@@ -1,0 +1,62 @@
+/// \file ablation_granularity.cpp
+/// Ablation A5 — evaluation granularity.  Paper Section III-A assigns
+/// each grid point its own G and T, and modules take their grid point's
+/// value (AnchorCell).  A physical module, however, integrates irradiance
+/// over its whole 1.28 m^2 aperture (FootprintMean), which averages away
+/// sub-module-scale variance.  This bench quantifies how the reported
+/// Table-I gain depends on that modeling choice — a reproduction finding
+/// worth knowing when comparing against the paper's absolute numbers.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pvfp/util/table.hpp"
+
+int main() {
+    using namespace pvfp;
+    bench::print_banner(std::cout, "Ablation A5: evaluation granularity",
+                        "Vinco et al., DATE 2018, Section III-A");
+
+    const auto roofs = bench::prepare_paper_roofs();
+    const auto topo = bench::paper_topology(32);
+
+    TextTable table({"Roof", "granularity", "Trad MWh", "Prop MWh",
+                     "gain %"});
+    table.set_align(0, Align::Left);
+    table.set_align(1, Align::Left);
+
+    for (const auto& prepared : roofs) {
+        const struct {
+            const char* name;
+            core::ModuleIrradiance mode;
+        } modes[] = {
+            {"anchor cell (paper)", core::ModuleIrradiance::AnchorCell},
+            {"footprint mean (physical)",
+             core::ModuleIrradiance::FootprintMean},
+            {"worst cell (pessimistic)", core::ModuleIrradiance::WorstCell},
+        };
+        for (const auto& m : modes) {
+            core::EvaluationOptions eval = bench::paper_eval_options();
+            eval.module_irradiance = m.mode;
+            const auto cmp = core::compare_placements(
+                prepared, topo, bench::paper_greedy_options(), eval);
+            table.add_row({prepared.name, m.name,
+                           TextTable::num(cmp.traditional_eval.net_mwh(), 3),
+                           TextTable::num(cmp.proposed_eval.net_mwh(), 3),
+                           TextTable::pct(cmp.improvement()) + "%"});
+        }
+        table.add_separator();
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nFinding: the granularity choice moves the reported gain by "
+           "several\npercentage points and its direction is roof-dependent: "
+           "where the\nheterogeneity lives at sub-module scale (surface "
+           "texture) only the\ncell-granular evaluation can harvest it; "
+           "where it lives at shading\nscale (towers/trees/neighbours) the "
+           "physical footprint-mean gain is\nas large or larger.  "
+           "Comparisons against the paper's absolute numbers\nmust state "
+           "the granularity they assume.\n";
+    return 0;
+}

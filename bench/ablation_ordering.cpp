@@ -1,0 +1,101 @@
+/// \file ablation_ordering.cpp
+/// Ablation A3 — series-first enumeration and the weak-module effect
+/// (paper Section V-B: "by enumerating modules in series-first fashion,
+/// it guarantees that the bottleneck effect in a series string due to a
+/// 'weak' module ... cannot occur").
+///
+/// The same module *positions* (greedy on Roof 1, N = 32) are kept while
+/// the assignment of positions to series strings is permuted; only the
+/// series/parallel aggregation changes.  Series-first assignment groups
+/// consecutively-picked (hence similar) positions into the same string;
+/// interleaved or scrambled assignments mix strong and weak positions and
+/// pay the min-current bottleneck.
+
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "pvfp/util/rng.hpp"
+#include "pvfp/util/table.hpp"
+
+int main() {
+    using namespace pvfp;
+    bench::print_banner(std::cout,
+                        "Ablation A3: series-first vs permuted string "
+                        "assignment",
+                        "Vinco et al., DATE 2018, Section V-B");
+
+    const auto config = bench::paper_config();
+    const auto prepared = core::prepare_scenario(core::make_roof1(), config);
+    const auto topo = bench::paper_topology(32);
+
+    const auto base = core::place_greedy(
+        prepared.area, prepared.suitability.suitability, prepared.geometry,
+        topo, bench::paper_greedy_options());
+
+    const auto evaluate = [&](const core::Floorplan& plan) {
+        return core::evaluate_floorplan(plan, prepared.area, prepared.field,
+                                        prepared.model,
+                                        bench::paper_eval_options());
+    };
+
+    TextTable table({"string assignment", "energy [MWh/yr]",
+                     "mismatch [kWh]", "vs series-first"});
+    table.set_align(0, Align::Left);
+
+    const auto base_eval = evaluate(base);
+    table.add_row({"series-first (paper)",
+                   TextTable::num(base_eval.net_mwh(), 3),
+                   TextTable::num(base_eval.mismatch_loss_kwh, 1), "-"});
+
+    // Round-robin: module k -> string k % n (interleaves pick order).
+    {
+        core::Floorplan plan = base;
+        const int m = topo.series;
+        const int n = topo.strings;
+        for (int k = 0; k < plan.module_count(); ++k) {
+            const int string_idx = k % n;
+            const int pos_in_string = k / n;
+            plan.modules[static_cast<std::size_t>(string_idx * m +
+                                                  pos_in_string)] =
+                base.modules[static_cast<std::size_t>(k)];
+        }
+        const auto eval = evaluate(plan);
+        table.add_row({"round-robin (interleaved)",
+                       TextTable::num(eval.net_mwh(), 3),
+                       TextTable::num(eval.mismatch_loss_kwh, 1),
+                       TextTable::pct(eval.energy_kwh /
+                                          base_eval.energy_kwh -
+                                      1.0) +
+                           "%"});
+    }
+
+    // Random permutations.
+    Rng rng(99);
+    for (int trial = 1; trial <= 3; ++trial) {
+        core::Floorplan plan = base;
+        std::vector<std::size_t> perm(plan.modules.size());
+        std::iota(perm.begin(), perm.end(), 0u);
+        for (std::size_t i = perm.size(); i > 1; --i)
+            std::swap(perm[i - 1],
+                      perm[static_cast<std::size_t>(rng.uniform_int(i))]);
+        for (std::size_t i = 0; i < perm.size(); ++i)
+            plan.modules[i] = base.modules[perm[i]];
+        const auto eval = evaluate(plan);
+        table.add_row({"random permutation #" + std::to_string(trial),
+                       TextTable::num(eval.net_mwh(), 3),
+                       TextTable::num(eval.mismatch_loss_kwh, 1),
+                       TextTable::pct(eval.energy_kwh /
+                                          base_eval.energy_kwh -
+                                      1.0) +
+                           "%"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nShape check: series-first has the lowest mismatch loss; "
+                 "permuted\nassignments mix weak and strong positions inside "
+                 "strings and lose\nenergy to the series bottleneck — the "
+                 "paper's Roof 1 argument.\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/// \file ablation_rigidity.cpp
+/// Ablation A6 — the value of module-level placement freedom, the
+/// paper's central novelty (Section I: individual modules "placed
+/// individually, therefore possibly yielding an unconventional,
+/// 'irregular' floorplanning").
+///
+/// Three placers on the same suitability data (Roof 3, both N):
+///   1. compact block        — zero freedom (the traditional baseline);
+///   2. rigid string rows    — string-level freedom only;
+///   3. free greedy (paper)  — module-level freedom.
+/// The 2->3 delta isolates what "irregular placement" is worth beyond
+/// merely relocating whole strings.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pvfp/core/string_row_placer.hpp"
+#include "pvfp/util/table.hpp"
+
+int main() {
+    using namespace pvfp;
+    bench::print_banner(std::cout,
+                        "Ablation A6: placement freedom (block / rigid "
+                        "rows / free modules)",
+                        "Vinco et al., DATE 2018, Sections I & V-B");
+
+    const auto config = bench::paper_config();
+    const auto prepared = core::prepare_scenario(core::make_roof3(), config);
+
+    TextTable table({"N", "placer", "energy [MWh/yr]", "vs block",
+                     "mismatch [kWh]", "cable [m]"});
+    table.set_align(1, Align::Left);
+
+    for (const int n : {16, 32}) {
+        const auto topo = bench::paper_topology(n);
+        const auto eval = [&](const core::Floorplan& plan) {
+            return core::evaluate_floorplan(plan, prepared.area,
+                                            prepared.field, prepared.model,
+                                            bench::paper_eval_options());
+        };
+
+        const auto block =
+            core::place_compact(prepared.area,
+                                prepared.suitability.suitability,
+                                prepared.geometry, topo);
+        const auto block_eval = eval(block.plan);
+
+        const auto rows = core::place_string_rows(
+            prepared.area, prepared.suitability.suitability,
+            prepared.geometry, topo);
+        const auto rows_eval = eval(rows);
+
+        const auto free_plan = core::place_greedy(
+            prepared.area, prepared.suitability.suitability,
+            prepared.geometry, topo, bench::paper_greedy_options());
+        const auto free_eval = eval(free_plan);
+
+        const auto add = [&](const char* name,
+                             const core::EvaluationResult& e) {
+            table.add_row({std::to_string(n), name,
+                           TextTable::num(e.net_mwh(), 3),
+                           TextTable::pct(e.energy_kwh /
+                                              block_eval.energy_kwh -
+                                          1.0) +
+                               "%",
+                           TextTable::num(e.mismatch_loss_kwh, 1),
+                           TextTable::num(e.extra_cable_m, 1)});
+        };
+        add("compact block (trad)", block_eval);
+        add("rigid string rows", rows_eval);
+        add("free modules (paper)", free_eval);
+        table.add_separator();
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: string-level freedom recovers part of the "
+                 "gain (strings\ndodge the worst zones); module-level "
+                 "freedom adds the rest by letting\neach module settle on "
+                 "its own best cells — the paper's Fig. 1 point,\n"
+                 "quantified.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/// \file ablation_suitability.cpp
+/// Ablation A1 — the suitability signature (paper Section III-C).
+/// The paper argues for the 75th percentile over the mean ("the average
+/// is not a representative value" for skewed distributions) and applies a
+/// temperature correction factor.  This bench sweeps the signature on
+/// Roof 2 / N = 16 and reports the yearly energy each variant's placement
+/// actually extracts.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pvfp/util/table.hpp"
+
+int main() {
+    using namespace pvfp;
+    bench::print_banner(std::cout,
+                        "Ablation A1: suitability percentile / T-correction",
+                        "Vinco et al., DATE 2018, Section III-C");
+
+    // Prepare Roof 2 once; recompute only the suitability per variant.
+    const auto config = bench::paper_config();
+    const auto prepared = core::prepare_scenario(core::make_roof2(), config);
+    const auto topo = bench::paper_topology(16);
+
+    struct Variant {
+        std::string name;
+        double percentile;
+        bool use_mean;
+        bool t_correction;
+    };
+    const std::vector<Variant> variants = {
+        {"mean (ablated)", 75.0, true, true},
+        {"p50", 50.0, false, true},
+        {"p75 (paper)", 75.0, false, true},
+        {"p90", 90.0, false, true},
+        {"p75, no T-correction", 75.0, false, false},
+    };
+
+    std::vector<core::EvaluationResult> results;
+    double p75_energy = 0.0;
+    for (const auto& v : variants) {
+        core::SuitabilityOptions opt = config.suitability;
+        opt.percentile = v.percentile;
+        opt.use_mean = v.use_mean;
+        opt.temperature_correction = v.t_correction;
+        const auto suit =
+            core::compute_suitability(prepared.field, prepared.area, opt);
+        const auto plan = core::place_greedy(
+            prepared.area, suit.suitability, prepared.geometry, topo,
+            bench::paper_greedy_options());
+        results.push_back(core::evaluate_floorplan(
+            plan, prepared.area, prepared.field, prepared.model,
+            bench::paper_eval_options()));
+        if (v.name == "p75 (paper)") p75_energy = results.back().energy_kwh;
+    }
+
+    TextTable table({"signature", "energy [MWh/yr]", "vs p75",
+                     "mismatch [kWh]", "cable [m]"});
+    table.set_align(0, Align::Left);
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        const auto& e = results[i];
+        table.add_row({variants[i].name,
+                       TextTable::num(e.net_mwh(), 3),
+                       TextTable::pct(e.energy_kwh / p75_energy - 1.0) + "%",
+                       TextTable::num(e.mismatch_loss_kwh, 1),
+                       TextTable::num(e.extra_cable_m, 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nShape check: the paper's p75-with-T-correction is at or "
+                 "near the top;\nthe mean is a weaker ranking signal on "
+                 "skewed irradiance distributions.\n";
+    return 0;
+}

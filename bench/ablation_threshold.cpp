@@ -1,0 +1,64 @@
+/// \file ablation_threshold.cpp
+/// Ablation A2 — the distance-threshold filter (paper Fig. 5 line 5:
+/// candidates are rejected when further from the placed modules than
+/// twice their average distance).  Sweeps the factor on Roof 2 / N = 32
+/// and reports energy, cable and filter activity — the trade-off between
+/// chasing bright outliers and wiring/mismatch cost.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pvfp/util/table.hpp"
+
+int main() {
+    using namespace pvfp;
+    bench::print_banner(std::cout,
+                        "Ablation A2: distance-threshold factor",
+                        "Vinco et al., DATE 2018, Section III-C / Fig. 5");
+
+    const auto config = bench::paper_config();
+    const auto prepared = core::prepare_scenario(core::make_roof2(), config);
+    const auto topo = bench::paper_topology(32);
+
+    TextTable table({"threshold", "energy [MWh/yr]", "cable [m]",
+                     "wiring loss [kWh]", "rejections", "relaxations"});
+    table.set_align(0, Align::Left);
+
+    struct Variant {
+        std::string label;
+        bool enabled;
+        double factor;
+    };
+    const Variant variants[] = {
+        {"disabled", false, 2.0}, {"1.0x", true, 1.0},
+        {"1.5x", true, 1.5},      {"2.0x (paper)", true, 2.0},
+        {"3.0x", true, 3.0},      {"5.0x", true, 5.0},
+    };
+
+    for (const auto& v : variants) {
+        core::GreedyOptions opt = bench::paper_greedy_options();
+        opt.enable_distance_threshold = v.enabled;
+        opt.distance_threshold_factor = v.factor;
+        core::GreedyStats stats;
+        const auto plan = core::place_greedy(
+            prepared.area, prepared.suitability.suitability,
+            prepared.geometry, topo, opt, &stats);
+        const auto eval =
+            core::evaluate_floorplan(plan, prepared.area, prepared.field,
+                                     prepared.model,
+                                     bench::paper_eval_options());
+        table.add_row({v.label, TextTable::num(eval.net_mwh(), 3),
+                       TextTable::num(eval.extra_cable_m, 1),
+                       TextTable::num(eval.wiring_loss_kwh, 2),
+                       std::to_string(stats.threshold_rejections),
+                       std::to_string(stats.threshold_relaxations)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nShape check: the filter actively rejects remote "
+                 "candidates (see the\nrejection counts) and bounds the "
+                 "extra cable; the energy cost of that\nbound stays within "
+                 "a few percent on these fields.  The paper adopts\nthe 2x "
+                 "factor as the cable/energy compromise.\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+#include "bench_common.hpp"
+
+#include <ostream>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::bench {
+
+core::ScenarioConfig paper_config(std::uint64_t weather_seed) {
+    core::ScenarioConfig config;
+    config.location = solar::Location{45.07, 7.69, 1.0};  // Torino
+    config.grid = pvfp::TimeGrid(15, 1, 365);             // NT = 35040
+    config.weather.seed = weather_seed;
+    config.cell_size = 0.2;                               // s = 20 cm
+    return config;
+}
+
+std::vector<core::PreparedScenario> prepare_paper_roofs(
+    std::uint64_t weather_seed) {
+    const core::ScenarioConfig config = paper_config(weather_seed);
+    std::vector<core::PreparedScenario> prepared;
+    for (const auto& scenario : core::make_paper_roofs())
+        prepared.push_back(core::prepare_scenario(scenario, config));
+    return prepared;
+}
+
+pv::Topology paper_topology(int n_modules) {
+    check_arg(n_modules % 8 == 0,
+              "paper_topology: the paper uses series strings of 8");
+    return pv::Topology{8, n_modules / 8};
+}
+
+core::GreedyOptions paper_greedy_options() {
+    core::GreedyOptions options;
+    options.anchor_score = core::AnchorScore::TopLeftCell;
+    return options;
+}
+
+core::EvaluationOptions paper_eval_options() {
+    core::EvaluationOptions options;
+    options.module_irradiance = core::ModuleIrradiance::AnchorCell;
+    return options;
+}
+
+void print_banner(std::ostream& os, const std::string& title,
+                  const std::string& paper_reference) {
+    os << "================================================================"
+          "====\n"
+       << title << '\n'
+       << "Reproduces: " << paper_reference << '\n'
+       << "Setup: synthetic Torino roofs/weather (see DESIGN.md "
+          "substitutions);\n"
+       << "       shapes and relative effects are comparable, absolute "
+          "values\n"
+       << "       depend on the synthetic climate.\n"
+       << "================================================================"
+          "====\n";
+}
+
+std::vector<ModuleBox> plan_boxes(const core::Floorplan& plan) {
+    std::vector<ModuleBox> boxes;
+    boxes.reserve(plan.modules.size());
+    for (int i = 0; i < plan.module_count(); ++i) {
+        const auto& m = plan.modules[static_cast<std::size_t>(i)];
+        boxes.push_back({m.x, m.y, plan.geometry.k1, plan.geometry.k2,
+                         i / plan.topology.series});
+    }
+    return boxes;
+}
+
+}  // namespace pvfp::bench

@@ -1,0 +1,45 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared infrastructure for the benchmark harnesses: the paper's
+/// experimental setup (full year, 15-minute steps, Torino weather,
+/// 20 cm grid) applied to the three synthetic roofs, plus small printing
+/// helpers so that every bench emits a self-describing report.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pvfp/core/pipeline.hpp"
+#include "pvfp/util/ascii_art.hpp"
+
+namespace pvfp::bench {
+
+/// The paper's experimental configuration (Section V-A): one year at
+/// 15-minute resolution, Torino location and climate, s = 20 cm.
+core::ScenarioConfig paper_config(std::uint64_t weather_seed = 42);
+
+/// Prepare the three Table-I roofs under paper_config().  Expensive
+/// (seconds per roof): call once per binary.
+std::vector<core::PreparedScenario> prepare_paper_roofs(
+    std::uint64_t weather_seed = 42);
+
+/// Paper topology for N modules: series strings of m = 8 (Section V-B).
+pv::Topology paper_topology(int n_modules);
+
+/// The paper-literal algorithm configuration: grid positions are ranked
+/// by their own cell's suitability (Fig. 5 line 1-2).
+core::GreedyOptions paper_greedy_options();
+
+/// The paper-literal evaluation granularity: each module operates at its
+/// grid point's G and T (Section III-A).  The library's physical default
+/// (footprint-mean) is compared against this in the granularity ablation.
+core::EvaluationOptions paper_eval_options();
+
+/// Banner with the experiment identity (printed by every bench).
+void print_banner(std::ostream& os, const std::string& title,
+                  const std::string& paper_reference);
+
+/// Render a floorplan's modules as ASCII boxes (A/B/C/D = series string).
+std::vector<ModuleBox> plan_boxes(const core::Floorplan& plan);
+
+}  // namespace pvfp::bench

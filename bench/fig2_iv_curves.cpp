@@ -1,0 +1,75 @@
+/// \file fig2_iv_curves.cpp
+/// Reproduction of **Fig. 2(a)** — the I-V characteristic's qualitative
+/// behaviour (background Section II-B): "when G increases, the
+/// open-circuit voltage Voc increases logarithmically and the short-
+/// circuit current Isc increases proportionally (dotted line); with fixed
+/// irradiance G, a temperature increase yields a slight increase of Isc
+/// which gives a decrease of Voc (solid line)".
+///
+/// Generated with the one-diode extension fitted to the PV-MF165EB3
+/// datasheet, plus the bypass-diode partial-shading curve that motivates
+/// the MPPT discussion.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pvfp/pv/one_diode.hpp"
+#include "pvfp/util/table.hpp"
+
+int main() {
+    using namespace pvfp;
+    bench::print_banner(std::cout, "Fig. 2(a): I-V curve behaviour",
+                        "Vinco et al., DATE 2018, Fig. 2(a) / Section II-B");
+
+    const auto model = pv::OneDiodeModel::fit_datasheet(pv::ModuleSpec{});
+
+    std::cout << "\nIrradiance sweep at 25 C (dotted line of Fig. 2a):\n";
+    TextTable gsweep({"G [W/m^2]", "Isc [A]", "Voc [V]", "Pmp [W]",
+                      "Vmp [V]"});
+    for (double g : {200.0, 400.0, 600.0, 800.0, 1000.0}) {
+        const auto mpp = model.max_power_point(g, 25.0);
+        gsweep.add_row({TextTable::num(g, 0),
+                        TextTable::num(model.short_circuit_current(g, 25.0), 2),
+                        TextTable::num(model.open_circuit_voltage(g, 25.0), 2),
+                        TextTable::num(mpp.power_w, 1),
+                        TextTable::num(mpp.voltage_v, 2)});
+    }
+    gsweep.print(std::cout);
+
+    std::cout << "\nTemperature sweep at 1000 W/m^2 (solid line of Fig. 2a):\n";
+    TextTable tsweep({"Tcell [C]", "Isc [A]", "Voc [V]", "Pmp [W]"});
+    for (double t : {0.0, 25.0, 50.0, 75.0}) {
+        tsweep.add_row({TextTable::num(t, 0),
+                        TextTable::num(model.short_circuit_current(1000.0, t), 3),
+                        TextTable::num(model.open_circuit_voltage(1000.0, t), 2),
+                        TextTable::num(model.max_power_point(1000.0, t).power_w,
+                                       1)});
+    }
+    tsweep.print(std::cout);
+
+    std::cout << "\nSampled I-V curve at STC (ASCII, I vs V):\n";
+    const auto curve = model.iv_curve(1000.0, 25.0, 33);
+    const double isc = curve.front().i;
+    for (std::size_t k = 0; k < curve.size(); k += 2) {
+        const int bars = static_cast<int>(curve[k].i / isc * 60.0);
+        std::cout << "V=" << TextTable::num(curve[k].v, 1) << "V |";
+        for (int b = 0; b < bars; ++b) std::cout << '#';
+        std::cout << " " << TextTable::num(curve[k].i, 2) << "A\n";
+    }
+
+    std::cout << "\nPartial shading (bypass diodes, Section II-B mismatch "
+                 "discussion):\n";
+    const pv::BypassedModule bypassed(model, 2);
+    TextTable shade({"substring G [W/m^2]", "Pmp [W]", "vs uniform"});
+    shade.set_align(0, Align::Left);
+    const double uniform =
+        bypassed.max_power_point({1000.0, 1000.0}, 25.0).power_w;
+    for (double g2 : {1000.0, 600.0, 300.0, 100.0}) {
+        const double p = bypassed.max_power_point({1000.0, g2}, 25.0).power_w;
+        shade.add_row({"1000 / " + TextTable::num(g2, 0),
+                       TextTable::num(p, 1),
+                       TextTable::pct(p / uniform - 1.0) + "%"});
+    }
+    shade.print(std::cout);
+    return 0;
+}

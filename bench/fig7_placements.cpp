@@ -1,0 +1,77 @@
+/// \file fig7_placements.cpp
+/// Reproduction of **Fig. 7** — "Traditional PV panel placements (a-c) and
+/// placements resulting from the PV floorplanning algorithm (d-f)" for
+/// N = 32 modules in 4 series strings on the three roofs.  Letters A-D
+/// mark the series string of each module (the paper's colors); '.' marks
+/// valid cells.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pvfp/util/table.hpp"
+
+int main() {
+    using namespace pvfp;
+    bench::print_banner(std::cout,
+                        "Fig. 7: traditional vs proposed placements (N=32)",
+                        "Vinco et al., DATE 2018, Fig. 7 / Section V-B");
+
+    const auto roofs = bench::prepare_paper_roofs();
+    const auto topo = bench::paper_topology(32);
+
+    for (const auto& prepared : roofs) {
+        const auto cmp = core::compare_placements(
+            prepared, topo, bench::paper_greedy_options(),
+            bench::paper_eval_options());
+
+        std::cout << "\n===== " << prepared.name
+                  << " ===================================\n";
+        std::cout << "\nTraditional (compact) placement — "
+                  << TextTable::num(cmp.traditional_eval.net_mwh(), 3)
+                  << " MWh/yr:\n"
+                  << render_floorplan(prepared.area.valid,
+                                      bench::plan_boxes(cmp.traditional),
+                                      120);
+        std::cout << "\nProposed (sparse, suitability-ranked) placement — "
+                  << TextTable::num(cmp.proposed_eval.net_mwh(), 3)
+                  << " MWh/yr ("
+                  << TextTable::pct(cmp.improvement()) << "%):\n"
+                  << render_floorplan(prepared.area.valid,
+                                      bench::plan_boxes(cmp.proposed), 120);
+
+        // Spatial-statistics comparison: the proposed placement is
+        // sparser (paper: "they clearly tend to be placed nearby the
+        // traditional placements, yet they are sparser").
+        const auto spread = [&](const core::Floorplan& plan) {
+            double acc = 0.0;
+            int pairs = 0;
+            for (std::size_t i = 0; i < plan.modules.size(); ++i) {
+                for (std::size_t j = i + 1; j < plan.modules.size(); ++j) {
+                    acc += core::center_distance_cells(
+                        plan.modules[i], plan.modules[j], plan.geometry);
+                    ++pairs;
+                }
+            }
+            return acc / pairs * prepared.area.cell_size;
+        };
+        TextTable stats({"placement", "mean pairwise dist [m]",
+                         "extra cable [m]", "mismatch [kWh]"});
+        stats.set_align(0, Align::Left);
+        stats.add_row({"traditional", TextTable::num(spread(cmp.traditional), 2),
+                       TextTable::num(cmp.traditional_eval.extra_cable_m, 1),
+                       TextTable::num(cmp.traditional_eval.mismatch_loss_kwh,
+                                      1)});
+        stats.add_row({"proposed", TextTable::num(spread(cmp.proposed), 2),
+                       TextTable::num(cmp.proposed_eval.extra_cable_m, 1),
+                       TextTable::num(cmp.proposed_eval.mismatch_loss_kwh,
+                                      1)});
+        stats.print(std::cout);
+    }
+
+    std::cout << "\nShape checks (paper Fig. 7): the proposed placements "
+                 "stay near the\nbright regions but spread into sparse, "
+                 "sometimes irregular patterns\n(e.g. following shade-free "
+                 "pockets), with modules of one string kept\nclose "
+                 "together by the wiring tie-break and distance threshold.\n";
+    return 0;
+}

@@ -1,0 +1,117 @@
+/// \file micro_kernels.cpp
+/// google-benchmark microbenchmarks of the pipeline's hot kernels:
+/// horizon ray-marching, per-cell irradiance sampling, per-cell
+/// histogram statistics, panel aggregation, and the summed-area table.
+/// These bound the cost drivers behind the paper's "<120 s" end-to-end
+/// figure.
+
+#include <benchmark/benchmark.h>
+
+#include "pvfp/core/suitability.hpp"
+#include "pvfp/geo/horizon.hpp"
+#include "pvfp/geo/scene.hpp"
+#include "pvfp/pv/array.hpp"
+#include "pvfp/solar/irradiance.hpp"
+#include "pvfp/util/rng.hpp"
+#include "pvfp/util/stats.hpp"
+
+namespace {
+
+using namespace pvfp;
+
+geo::Raster bench_dsm() {
+    geo::SceneBuilder scene(40.0, 20.0);
+    geo::MonopitchRoof roof;
+    roof.x = 4.0;
+    roof.y = 4.0;
+    roof.w = 30.0;
+    roof.d = 10.0;
+    roof.eave_height = 5.0;
+    roof.tilt_deg = 26.0;
+    scene.add_roof(roof);
+    scene.add_box({10.0, 6.0, 2.0, 2.0, 2.0, geo::HeightRef::Surface});
+    scene.add_building({35.0, 2.0, 4.0, 16.0, 14.0});
+    return scene.rasterize(0.2);
+}
+
+void BM_HorizonBuild(benchmark::State& state) {
+    const geo::Raster dsm = bench_dsm();
+    const int cells = static_cast<int>(state.range(0));
+    geo::HorizonOptions opt;
+    opt.azimuth_sectors = 72;
+    for (auto _ : state) {
+        geo::HorizonMap map(dsm, 25, 25, cells, 1, opt);
+        benchmark::DoNotOptimize(map.sky_view_factor(0, 0));
+    }
+    state.SetItemsProcessed(state.iterations() * cells * 72);
+}
+BENCHMARK(BM_HorizonBuild)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_CellIrradiance(benchmark::State& state) {
+    const geo::Raster dsm = bench_dsm();
+    const TimeGrid grid(60, 150, 10);
+    geo::HorizonMap horizon(dsm, 25, 25, 40, 30, {});
+    std::vector<solar::EnvSample> env(
+        static_cast<std::size_t>(grid.total_steps()),
+        solar::EnvSample{500.0, 400.0, 150.0, 20.0});
+    const solar::IrradianceField field(std::move(horizon), std::move(env),
+                                       grid, deg2rad(26.0), deg2rad(180.0));
+    long s = 0;
+    int x = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(field.cell_irradiance(x, x % 30, s));
+        s = (s + 7) % grid.total_steps();
+        x = (x + 3) % 40;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CellIrradiance);
+
+void BM_HistogramAddPercentile(benchmark::State& state) {
+    Rng rng(3);
+    std::vector<double> samples(8192);
+    for (auto& v : samples) v = rng.uniform(0.0, 1200.0);
+    for (auto _ : state) {
+        Histogram h(0.0, 1400.0, 256);
+        for (double v : samples) h.add(v);
+        benchmark::DoNotOptimize(h.percentile(75.0));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(samples.size()));
+}
+BENCHMARK(BM_HistogramAddPercentile);
+
+void BM_AggregatePanel(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const pv::Topology topo{8, n / 8};
+    Rng rng(5);
+    std::vector<pv::OperatingPoint> points(
+        static_cast<std::size_t>(n));
+    for (auto& p : points) {
+        p.power_w = rng.uniform(50.0, 165.0);
+        p.voltage_v = rng.uniform(20.0, 25.0);
+        p.current_a = p.power_w / p.voltage_v;
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pv::aggregate_panel(points, topo));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AggregatePanel)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SummedAreaTable(benchmark::State& state) {
+    Rng rng(9);
+    Grid2D<double> grid(296, 51);
+    for (auto& v : grid.data()) v = rng.uniform(0.0, 650.0);
+    for (auto _ : state) {
+        SummedAreaTable sat(grid);
+        benchmark::DoNotOptimize(sat.rect_sum(10, 10, 64, 16));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(grid.size()));
+}
+BENCHMARK(BM_SummedAreaTable);
+
+}  // namespace
+
+BENCHMARK_MAIN();

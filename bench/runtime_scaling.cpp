@@ -1,0 +1,104 @@
+/// \file runtime_scaling.cpp
+/// Reproduction of the paper's **Section V-B runtime claim**: "The
+/// execution time of the placement algorithm is proportional to the
+/// number of valid grid elements and to the number of panels to be
+/// placed, and required less than 120 s under all configurations".
+///
+/// google-benchmark sweep of place_greedy over Ng and N on synthetic
+/// areas (plus the real Roof-2 suitability), reporting the scaling
+/// exponents via benchmark complexity estimation.
+
+#include <benchmark/benchmark.h>
+
+#include "pvfp/core/greedy_placer.hpp"
+#include "pvfp/util/rng.hpp"
+
+namespace {
+
+using namespace pvfp;
+
+/// Synthetic area of the given size with a smooth random suitability.
+struct Instance {
+    geo::PlacementArea area;
+    Grid2D<double> suitability;
+};
+
+Instance make_instance(int width, int height, std::uint64_t seed) {
+    Instance inst;
+    inst.area.width = width;
+    inst.area.height = height;
+    inst.area.valid = Grid2D<unsigned char>(width, height, 1);
+    inst.area.valid_count = width * height;
+    inst.area.cell_size = 0.2;
+    inst.suitability = Grid2D<double>(width, height, 0.0);
+    Rng rng(seed);
+    for (int k = 0; k < 12; ++k) {
+        const double cx = rng.uniform(0.0, width);
+        const double cy = rng.uniform(0.0, height);
+        const double amp = rng.uniform(200.0, 600.0);
+        const double sigma2 = rng.uniform(20.0, 120.0);
+        for (int y = 0; y < height; ++y)
+            for (int x = 0; x < width; ++x)
+                inst.suitability(x, y) +=
+                    amp * std::exp(-((x - cx) * (x - cx) +
+                                     (y - cy) * (y - cy)) /
+                                   sigma2);
+    }
+    return inst;
+}
+
+/// Sweep Ng at fixed N = 16 (paper: time proportional to Ng).
+void BM_GreedyVsGridSize(benchmark::State& state) {
+    const int width = static_cast<int>(state.range(0));
+    const int height = 51;  // paper-roof depth
+    const Instance inst = make_instance(width, height, 7);
+    const core::PanelGeometry g{8, 4};
+    const pv::Topology topo{8, 2};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::place_greedy(
+            inst.area, inst.suitability, g, topo));
+    }
+    state.SetComplexityN(width * height);
+}
+BENCHMARK(BM_GreedyVsGridSize)
+    ->Arg(72)
+    ->Arg(144)
+    ->Arg(288)
+    ->Arg(576)
+    ->Complexity(benchmark::oN);
+
+/// Sweep N at fixed Ng (paper: time proportional to N).
+void BM_GreedyVsModuleCount(benchmark::State& state) {
+    const Instance inst = make_instance(288, 51, 11);
+    const core::PanelGeometry g{8, 4};
+    const int n = static_cast<int>(state.range(0));
+    const pv::Topology topo{8, n / 8};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::place_greedy(
+            inst.area, inst.suitability, g, topo));
+    }
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_GreedyVsModuleCount)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Complexity();
+
+/// Anchor enumeration alone (the per-call Ng-proportional part).
+void BM_EnumerateAnchors(benchmark::State& state) {
+    const int width = static_cast<int>(state.range(0));
+    const Instance inst = make_instance(width, 51, 13);
+    const core::PanelGeometry g{8, 4};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::enumerate_anchors(inst.area, g));
+    }
+    state.SetComplexityN(width * 51);
+}
+BENCHMARK(BM_EnumerateAnchors)->Arg(72)->Arg(288)->Arg(1152)->Complexity(
+    benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+/// \file table1_production.cpp
+/// Reproduction of **Table I** — "Characteristics of each roof, and power
+/// production of the proposed PV floorplanning algorithm with respect to
+/// traditional placements": three roofs x N in {16, 32}, m = 8 series.
+///
+/// For each configuration the harness prints the paper's reported values
+/// next to the measured ones, plus the diagnostics behind the gains
+/// (mismatch loss avoided, wiring overhead paid).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "pvfp/util/table.hpp"
+
+namespace {
+
+struct PaperRow {
+    const char* roof;
+    int n;
+    double trad_mwh;
+    double prop_mwh;
+    double gain_pct;
+};
+
+constexpr PaperRow kPaperRows[] = {
+    {"Roof 1", 16, 3.430, 4.094, 19.37},
+    {"Roof 1", 32, 6.729, 7.499, 11.44},
+    {"Roof 2", 16, 2.971, 3.619, 21.85},
+    {"Roof 2", 32, 5.941, 7.404, 23.63},
+    {"Roof 3", 16, 2.957, 3.642, 23.16},
+    {"Roof 3", 32, 5.746, 7.405, 28.86},
+};
+
+}  // namespace
+
+int main() {
+    using namespace pvfp;
+    bench::print_banner(std::cout, "Table I: yearly PV system production",
+                        "Vinco et al., DATE 2018, Table I / Section V-B");
+
+    const auto roofs = bench::prepare_paper_roofs();
+
+    TextTable geometry({"Roof", "WxL [cells]", "Ng (here)", "Ng (paper)",
+                        "tilt", "azimuth"});
+    geometry.set_align(0, Align::Left);
+    const int paper_ng[] = {9416, 11892, 11672};
+    for (std::size_t r = 0; r < roofs.size(); ++r) {
+        const auto& p = roofs[r];
+        geometry.add_row({p.name,
+                          std::to_string(p.area.width) + "x" +
+                              std::to_string(p.area.height),
+                          std::to_string(p.area.valid_count),
+                          std::to_string(paper_ng[r]),
+                          TextTable::num(rad2deg(p.area.tilt_rad), 0) + " deg",
+                          TextTable::num(rad2deg(p.area.azimuth_rad), 0) +
+                              " deg"});
+    }
+    geometry.print(std::cout);
+    std::cout << '\n';
+
+    TextTable table({"Roof", "N", "Trad MWh", "Prop MWh", "gain %",
+                     "paper Trad", "paper Prop", "paper %", "mismatch kWh",
+                     "cable m", "baseline"});
+    table.set_align(0, Align::Left);
+
+    std::size_t paper_idx = 0;
+    for (const auto& prepared : roofs) {
+        for (const int n : {16, 32}) {
+            const auto topo = bench::paper_topology(n);
+            const auto cmp = core::compare_placements(
+                prepared, topo, bench::paper_greedy_options(),
+                bench::paper_eval_options());
+            const PaperRow& ref = kPaperRows[paper_idx++];
+            const char* mode =
+                cmp.traditional_mode == core::CompactMode::FullBlock
+                    ? "block"
+                    : (cmp.traditional_mode == core::CompactMode::StringRows
+                           ? "rows"
+                           : "per-mod");
+            table.add_row(
+                {prepared.name, std::to_string(n),
+                 TextTable::num(cmp.traditional_eval.net_mwh(), 3),
+                 TextTable::num(cmp.proposed_eval.net_mwh(), 3),
+                 TextTable::pct(cmp.improvement()),
+                 TextTable::num(ref.trad_mwh, 3),
+                 TextTable::num(ref.prop_mwh, 3),
+                 "+" + TextTable::num(ref.gain_pct, 2),
+                 TextTable::num(cmp.traditional_eval.mismatch_loss_kwh, 1) +
+                     "->" +
+                     TextTable::num(cmp.proposed_eval.mismatch_loss_kwh, 1),
+                 TextTable::num(cmp.proposed_eval.extra_cable_m, 1), mode});
+        }
+        table.add_separator();
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nShape checks (paper Section V-B):\n"
+        << "  - proposed >= traditional on every configuration;\n"
+        << "  - the mismatch column shows the mechanism: the proposed\n"
+        << "    placement slashes series-bottleneck (weak module) losses;\n"
+        << "  - gains reach the tens of percent where the compact block\n"
+        << "    cannot escape the heterogeneity (cf. Roof 2 at N=32), and\n"
+        << "    the space-constrained Roof 1 gains least — the paper's\n"
+        << "    ordering;\n"
+        << "  - see bench/ablation_granularity for how the gain depends\n"
+        << "    on the paper's cell-granular evaluation convention.\n";
+    return 0;
+}

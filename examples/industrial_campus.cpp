@@ -1,0 +1,65 @@
+/// \file industrial_campus.cpp
+/// End-to-end reproduction of the paper's experimental campaign on one
+/// binary: the three industrial roofs, both module counts, with per-roof
+/// diagnostics — a compact version of the Table-I bench meant as a
+/// starting point for users adapting the pipeline to their own sites.
+/// Also demonstrates DSM export (the GIS interchange path): each roof's
+/// DSM is written as an ESRI ASCII grid next to the binary.
+
+#include <iostream>
+
+#include "pvfp/core/pipeline.hpp"
+#include "pvfp/geo/asc_grid.hpp"
+#include "pvfp/util/table.hpp"
+
+int main() {
+    using namespace pvfp;
+
+    std::cout << "Industrial campus study (paper Section V setup)\n"
+                 "===============================================\n";
+
+    core::ScenarioConfig config;
+    // Coarser time axis than the paper benches: hourly steps keep this
+    // example interactive (~15 s) while preserving the ranking behaviour.
+    config.grid = TimeGrid(60, 1, 365);
+    config.weather.seed = 42;
+
+    TextTable table({"Roof", "Ng", "N", "compact MWh", "proposed MWh",
+                     "gain", "baseline mode"});
+    table.set_align(0, Align::Left);
+
+    for (const auto& scenario : core::make_paper_roofs()) {
+        const auto prepared = core::prepare_scenario(scenario, config);
+
+        // GIS interchange: export the synthetic DSM for inspection in
+        // QGIS/GDAL (read back with geo::read_asc_grid_file).
+        const std::string path =
+            "dsm_" + std::string(1, scenario.name.back()) + ".asc";
+        geo::write_asc_grid_file(prepared.dsm, path);
+
+        for (const int n : {16, 32}) {
+            const pv::Topology topo{8, n / 8};
+            const auto cmp = core::compare_placements(prepared, topo);
+            const char* mode =
+                cmp.traditional_mode == core::CompactMode::FullBlock
+                    ? "block"
+                    : (cmp.traditional_mode == core::CompactMode::StringRows
+                           ? "rows"
+                           : "per-module");
+            table.add_row({prepared.name,
+                           std::to_string(prepared.area.valid_count),
+                           std::to_string(n),
+                           TextTable::num(cmp.traditional_eval.net_mwh(), 3),
+                           TextTable::num(cmp.proposed_eval.net_mwh(), 3),
+                           TextTable::pct(cmp.improvement()) + "%", mode});
+        }
+        std::cout << "exported " << path << " ("
+                  << prepared.dsm.width() << "x" << prepared.dsm.height()
+                  << " cells)\n";
+    }
+    std::cout << '\n';
+    table.print(std::cout);
+    std::cout << "\nFor the full-resolution (15-minute) reproduction with "
+                 "paper-side\ncomparisons, run bench/table1_production.\n";
+    return 0;
+}

@@ -1,0 +1,150 @@
+/// \file pvfloorplan_cli.cpp
+/// `pvfloorplan` — a small command-line tool exposing the pipeline:
+///
+///   pvfloorplan [options]
+///     --roof <1|2|3|residential|toy>   scenario (default: residential)
+///     --modules <N>                    module count (default: 8)
+///     --series <m>                     modules per string (default: 4)
+///     --seed <u64>                     weather seed (default: 42)
+///     --minutes <step>                 time step in minutes (default: 60)
+///     --export-dsm <path.asc>          write the scenario DSM and exit
+///     --csv <path.csv>                 also dump the placement as CSV
+///
+/// Demonstrates how a downstream user scripts the library without writing
+/// C++ beyond this thin shell.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "pvfp/core/pipeline.hpp"
+#include "pvfp/geo/asc_grid.hpp"
+#include "pvfp/util/ascii_art.hpp"
+#include "pvfp/util/csv.hpp"
+#include "pvfp/util/table.hpp"
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& message) {
+    std::cerr << "pvfloorplan: " << message << "\n"
+              << "usage: pvfloorplan [--roof 1|2|3|residential|toy] "
+                 "[--modules N]\n"
+              << "                   [--series m] [--seed u64] "
+                 "[--minutes step]\n"
+              << "                   [--export-dsm out.asc] [--csv out.csv]\n";
+    std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace pvfp;
+
+    std::string roof = "residential";
+    int modules = 8;
+    int series = 4;
+    std::uint64_t seed = 42;
+    int minutes = 60;
+    std::string dsm_path;
+    std::string csv_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc) usage_error("missing value after " + arg);
+            return argv[++i];
+        };
+        if (arg == "--roof") {
+            roof = next();
+        } else if (arg == "--modules") {
+            modules = std::atoi(next().c_str());
+        } else if (arg == "--series") {
+            series = std::atoi(next().c_str());
+        } else if (arg == "--seed") {
+            seed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--minutes") {
+            minutes = std::atoi(next().c_str());
+        } else if (arg == "--export-dsm") {
+            dsm_path = next();
+        } else if (arg == "--csv") {
+            csv_path = next();
+        } else if (arg == "--help" || arg == "-h") {
+            usage_error("help requested");
+        } else {
+            usage_error("unknown option " + arg);
+        }
+    }
+    if (modules <= 0 || series <= 0 || modules % series != 0)
+        usage_error("--modules must be a positive multiple of --series");
+
+    core::RoofScenario scenario = [&]() {
+        if (roof == "1") return core::make_roof1();
+        if (roof == "2") return core::make_roof2();
+        if (roof == "3") return core::make_roof3();
+        if (roof == "toy") return core::make_toy();
+        if (roof == "residential") return core::make_residential();
+        usage_error("unknown roof '" + roof + "'");
+    }();
+
+    if (!dsm_path.empty()) {
+        const auto dsm = scenario.scene.rasterize(0.2);
+        geo::write_asc_grid_file(dsm, dsm_path);
+        std::cout << "wrote " << dsm_path << " (" << dsm.width() << "x"
+                  << dsm.height() << " cells at 0.2 m)\n";
+        return 0;
+    }
+
+    core::ScenarioConfig config;
+    config.grid = TimeGrid(minutes, 1, 365);
+    config.weather.seed = seed;
+
+    try {
+        const auto prepared = core::prepare_scenario(scenario, config);
+        const pv::Topology topology{series, modules / series};
+        const auto cmp = core::compare_placements(prepared, topology);
+
+        std::cout << "scenario: " << prepared.name << "  (Ng = "
+                  << prepared.area.valid_count << ", grid "
+                  << prepared.area.width << "x" << prepared.area.height
+                  << ")\n";
+        TextTable table({"placement", "energy [kWh/yr]", "gain"});
+        table.set_align(0, Align::Left);
+        table.add_row({"compact",
+                       TextTable::num(cmp.traditional_eval.energy_kwh, 1),
+                       "-"});
+        table.add_row({"proposed",
+                       TextTable::num(cmp.proposed_eval.energy_kwh, 1),
+                       TextTable::pct(cmp.improvement()) + "%"});
+        table.print(std::cout);
+
+        std::vector<ModuleBox> boxes;
+        for (int i = 0; i < cmp.proposed.module_count(); ++i) {
+            const auto& m = cmp.proposed.modules[static_cast<std::size_t>(i)];
+            boxes.push_back({m.x, m.y, cmp.proposed.geometry.k1,
+                             cmp.proposed.geometry.k2, i / series});
+        }
+        std::cout << "\nproposed placement:\n"
+                  << render_floorplan(prepared.area.valid, boxes, 100);
+
+        if (!csv_path.empty()) {
+            CsvTable out({"module", "string", "cell_x", "cell_y", "x_m",
+                          "y_m"});
+            for (int i = 0; i < cmp.proposed.module_count(); ++i) {
+                const auto& m =
+                    cmp.proposed.modules[static_cast<std::size_t>(i)];
+                const auto c =
+                    cmp.proposed.center_m(i, prepared.area.cell_size);
+                out.add_row({std::to_string(i), std::to_string(i / series),
+                             std::to_string(m.x), std::to_string(m.y),
+                             TextTable::num(c.x_m, 2),
+                             TextTable::num(c.y_m, 2)});
+            }
+            out.write_file(csv_path);
+            std::cout << "wrote " << csv_path << '\n';
+        }
+    } catch (const Error& e) {
+        std::cerr << "pvfloorplan: " << e.what() << '\n';
+        return 1;
+    }
+    return 0;
+}

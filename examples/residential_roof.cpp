@@ -1,0 +1,82 @@
+/// \file residential_roof.cpp
+/// The title use-case: optimal floorplanning for a *residential*
+/// installation.  A gable-roof house with a chimney, a dormer and a
+/// garden tree; 6 modules in 2 strings of 3 are placed on the south
+/// plane, comparing the rule-of-thumb compact block with the paper's
+/// suitability-driven sparse placement, and reporting the homeowner-level
+/// quantities (yearly kWh, self-consumption-scale numbers, payback-style
+/// deltas).
+
+#include <iostream>
+
+#include "pvfp/core/pipeline.hpp"
+#include "pvfp/util/ascii_art.hpp"
+#include "pvfp/util/table.hpp"
+
+int main() {
+    using namespace pvfp;
+
+    std::cout << "Residential rooftop PV floorplanning (paper title "
+                 "use-case)\n"
+                 "==========================================================\n";
+
+    core::ScenarioConfig config;
+    config.weather.seed = 2026;
+
+    const core::RoofScenario scenario = core::make_residential();
+    std::cout << "Preparing scenario (DSM " << config.cell_size * 100
+              << " cm, one year at " << config.grid.minutes_per_step()
+              << "-minute steps)...\n";
+    const auto prepared = core::prepare_scenario(scenario, config);
+
+    std::cout << "South roof plane: " << prepared.area.width << " x "
+              << prepared.area.height << " cells, Ng = "
+              << prepared.area.valid_count << ", tilt "
+              << TextTable::num(rad2deg(prepared.area.tilt_rad), 0)
+              << " deg\n\n";
+
+    const pv::Topology topology{3, 2};  // 6 modules, 2 strings of 3
+    const auto cmp = core::compare_placements(prepared, topology);
+
+    TextTable table({"placement", "yearly energy [kWh]", "mismatch [kWh]",
+                     "extra cable [m]", "cable cost [$]"});
+    table.set_align(0, Align::Left);
+    table.add_row({"rule-of-thumb compact",
+                   TextTable::num(cmp.traditional_eval.energy_kwh, 0),
+                   TextTable::num(cmp.traditional_eval.mismatch_loss_kwh, 1),
+                   TextTable::num(cmp.traditional_eval.extra_cable_m, 1),
+                   TextTable::num(cmp.traditional_eval.wiring_cost_usd, 2)});
+    table.add_row({"proposed (suitability)",
+                   TextTable::num(cmp.proposed_eval.energy_kwh, 0),
+                   TextTable::num(cmp.proposed_eval.mismatch_loss_kwh, 1),
+                   TextTable::num(cmp.proposed_eval.extra_cable_m, 1),
+                   TextTable::num(cmp.proposed_eval.wiring_cost_usd, 2)});
+    table.print(std::cout);
+    std::cout << "Gain: " << TextTable::pct(cmp.improvement())
+              << " % yearly energy at iso-module-count (paper: 'roughly at "
+                 "iso-cost').\n";
+
+    const auto boxes = [&](const core::Floorplan& plan) {
+        std::vector<ModuleBox> out;
+        for (int i = 0; i < plan.module_count(); ++i) {
+            const auto& m = plan.modules[static_cast<std::size_t>(i)];
+            out.push_back({m.x, m.y, plan.geometry.k1, plan.geometry.k2,
+                           i / plan.topology.series});
+        }
+        return out;
+    };
+    std::cout << "\nCompact placement (A/B = string):\n"
+              << render_floorplan(prepared.area.valid,
+                                  boxes(cmp.traditional), 100);
+    std::cout << "\nProposed placement:\n"
+              << render_floorplan(prepared.area.valid, boxes(cmp.proposed),
+                                  100);
+
+    std::cout << "\np75 irradiance map of the plane (chimney/dormer/tree "
+                 "shade visible):\n";
+    HeatmapOptions hm;
+    hm.max_width = 100;
+    hm.mask = &prepared.area.valid;
+    std::cout << render_heatmap(prepared.suitability.g_percentile, hm);
+    return 0;
+}

@@ -1,0 +1,94 @@
+/// \file topology_explorer.cpp
+/// Series/parallel topology exploration: for a fixed number of modules,
+/// sweep every feasible m x n interconnection on the residential roof and
+/// report how topology interacts with placement quality — long strings
+/// are more exposed to the weak-module bottleneck (paper Sections II-B
+/// and V-B), short strings cost panel voltage.
+
+#include <iostream>
+
+#include "pvfp/core/pipeline.hpp"
+#include "pvfp/util/table.hpp"
+
+int main() {
+    using namespace pvfp;
+
+    std::cout << "Series/parallel topology explorer (N = 12 modules)\n"
+                 "==================================================\n";
+
+    core::ScenarioConfig config;
+    config.grid = TimeGrid(30, 1, 365);
+    config.weather.seed = 7;
+    // A larger residential-style roof so 12 modules fit comfortably.
+    core::RoofScenario scenario = core::make_toy(14.0, 8.0);
+    const auto prepared = core::prepare_scenario(scenario, config);
+    std::cout << "Roof: " << prepared.area.width << " x "
+              << prepared.area.height << " cells, Ng = "
+              << prepared.area.valid_count << "\n\n";
+
+    constexpr int kModules = 12;
+    TextTable table({"topology (m x n)", "proposed MWh", "mismatch [kWh]",
+                     "string V @STC", "panel I @STC", "cable [m]"});
+    table.set_align(0, Align::Left);
+
+    for (int m = 1; m <= kModules; ++m) {
+        if (kModules % m != 0) continue;
+        const int n = kModules / m;
+        const pv::Topology topo{m, n};
+        try {
+            const auto plan = core::place_greedy(
+                prepared.area, prepared.suitability.suitability,
+                prepared.geometry, topo);
+            const auto eval = core::evaluate_floorplan(
+                plan, prepared.area, prepared.field, prepared.model);
+            // STC electrical envelope of the topology.
+            const auto stc = prepared.model.operating_point(1000.0, 25.0);
+            table.add_row(
+                {std::to_string(m) + " x " + std::to_string(n),
+                 TextTable::num(eval.net_mwh(), 3),
+                 TextTable::num(eval.mismatch_loss_kwh, 1),
+                 TextTable::num(stc.voltage_v * m, 0) + " V",
+                 TextTable::num(stc.current_a * n, 1) + " A",
+                 TextTable::num(eval.extra_cable_m, 1)});
+        } catch (const Infeasible& e) {
+            table.add_row({std::to_string(m) + " x " + std::to_string(n),
+                           "infeasible", "-", "-", "-", "-"});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nReading: energy is nearly topology-independent when "
+                 "strings are\nspatially homogeneous (the placement's job); "
+                 "mismatch grows with m\nwhen a string is forced across "
+                 "heterogeneous cells.  The electrical\ncolumns show the "
+                 "inverter-window trade-off installers actually face.\n";
+
+    // Bonus: module orientation.  The paper fixes landscape (8x4 cells);
+    // the library supports portrait placement by swapping the footprint.
+    std::cout << "\nOrientation comparison (4 x 2 topology):\n";
+    TextTable orient({"orientation", "footprint [cells]", "proposed MWh"});
+    orient.set_align(0, Align::Left);
+    for (const bool portrait : {false, true}) {
+        const auto geometry = core::PanelGeometry::from_module(
+            prepared.config.module, prepared.config.cell_size, portrait);
+        const pv::Topology topo{4, 2};
+        try {
+            const auto plan = core::place_greedy(
+                prepared.area, prepared.suitability.suitability, geometry,
+                topo);
+            const auto eval = core::evaluate_floorplan(
+                plan, prepared.area, prepared.field, prepared.model);
+            orient.add_row({portrait ? "portrait" : "landscape",
+                            std::to_string(geometry.k1) + "x" +
+                                std::to_string(geometry.k2),
+                            TextTable::num(eval.net_mwh(), 3)});
+        } catch (const Infeasible&) {
+            orient.add_row({portrait ? "portrait" : "landscape",
+                            std::to_string(geometry.k1) + "x" +
+                                std::to_string(geometry.k2),
+                            "infeasible"});
+        }
+    }
+    orient.print(std::cout);
+    return 0;
+}

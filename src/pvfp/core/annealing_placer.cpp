@@ -1,0 +1,109 @@
+#include "pvfp/core/annealing_placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/rng.hpp"
+
+namespace pvfp::core {
+namespace {
+
+bool relocation_feasible(const Floorplan& plan, std::size_t index,
+                         const ModulePlacement& target,
+                         const geo::PlacementArea& area) {
+    if (!anchor_fits(area, plan.geometry, target.x, target.y)) return false;
+    for (std::size_t i = 0; i < plan.modules.size(); ++i) {
+        if (i == index) continue;
+        if (modules_overlap(target, plan.modules[i], plan.geometry))
+            return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+Floorplan refine_annealing(const Floorplan& initial,
+                           const geo::PlacementArea& area,
+                           const PlacementObjective& objective,
+                           const AnnealingOptions& options,
+                           AnnealingStats* stats) {
+    check_arg(static_cast<bool>(objective),
+              "refine_annealing: objective must be callable");
+    check_arg(options.iterations >= 0,
+              "refine_annealing: negative iteration count");
+    check_arg(options.cooling > 0.0 && options.cooling < 1.0,
+              "refine_annealing: cooling must be in (0,1)");
+    check_arg(options.swap_probability >= 0.0 &&
+                  options.swap_probability <= 1.0,
+              "refine_annealing: bad swap probability");
+    std::string why;
+    check_arg(floorplan_feasible(initial, area, &why),
+              "refine_annealing: initial plan infeasible: " + why);
+    check_arg(!initial.modules.empty(), "refine_annealing: empty plan");
+
+    const auto anchors = enumerate_anchors(area, initial.geometry);
+    check_arg(!anchors.empty(), "refine_annealing: no anchors");
+
+    pvfp::Rng rng(options.seed);
+
+    Floorplan current = initial;
+    double current_value = objective(current);
+    Floorplan best = current;
+    double best_value = current_value;
+
+    double temperature = options.initial_temperature;
+    if (temperature <= 0.0) {
+        // Auto scale: a few percent of the objective magnitude.
+        temperature = std::max(1e-9, std::abs(current_value) * 0.02);
+    }
+
+    AnnealingStats local;
+    local.initial_objective = current_value;
+
+    for (int it = 0; it < options.iterations; ++it) {
+        Floorplan candidate = current;
+        if (candidate.modules.size() >= 2 &&
+            rng.bernoulli(options.swap_probability)) {
+            // Swap two modules' string positions.
+            const auto i = static_cast<std::size_t>(
+                rng.uniform_int(candidate.modules.size()));
+            auto j = static_cast<std::size_t>(
+                rng.uniform_int(candidate.modules.size() - 1));
+            if (j >= i) ++j;
+            std::swap(candidate.modules[i], candidate.modules[j]);
+        } else {
+            // Relocate one module to a random feasible anchor.
+            const auto i = static_cast<std::size_t>(
+                rng.uniform_int(candidate.modules.size()));
+            const auto& target = anchors[static_cast<std::size_t>(
+                rng.uniform_int(anchors.size()))];
+            if (!relocation_feasible(candidate, i, target, area)) {
+                temperature *= options.cooling;
+                continue;
+            }
+            candidate.modules[i] = target;
+        }
+
+        const double value = objective(candidate);
+        const double delta = value - current_value;
+        if (delta >= 0.0 ||
+            rng.uniform() < std::exp(delta / temperature)) {
+            current = std::move(candidate);
+            current_value = value;
+            ++local.accepted;
+            if (current_value > best_value) {
+                best = current;
+                best_value = current_value;
+                ++local.improved;
+            }
+        }
+        temperature *= options.cooling;
+    }
+
+    local.final_objective = best_value;
+    if (stats) *stats = local;
+    return best;
+}
+
+}  // namespace pvfp::core

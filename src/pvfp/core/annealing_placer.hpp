@@ -1,0 +1,44 @@
+#pragma once
+/// \file annealing_placer.hpp
+/// Simulated-annealing refinement of a floorplan (extension/ablation).
+///
+/// The paper stops at the greedy heuristic; this refiner measures how much
+/// headroom greedy leaves on the table under the *true* objective (yearly
+/// energy including mismatch and wiring), which the greedy ranking only
+/// approximates through the suitability signature.  Moves: relocate one
+/// module to a random feasible anchor, or swap two modules between string
+/// positions (which changes mismatch/wiring but not covered cells).
+/// Fully deterministic given the seed.
+
+#include <functional>
+
+#include "pvfp/core/exhaustive_placer.hpp"
+#include "pvfp/core/layout.hpp"
+
+namespace pvfp::core {
+
+struct AnnealingOptions {
+    std::uint64_t seed = 1;
+    int iterations = 4000;
+    double initial_temperature = 0.0;  ///< 0 = auto from objective scale
+    double cooling = 0.995;            ///< geometric factor per iteration
+    /// Probability of a swap move (vs relocate).
+    double swap_probability = 0.3;
+};
+
+struct AnnealingStats {
+    int accepted = 0;
+    int improved = 0;
+    double initial_objective = 0.0;
+    double final_objective = 0.0;
+};
+
+/// Refine \p initial under \p objective (higher is better).  The returned
+/// plan is always feasible and never worse than the initial one.
+Floorplan refine_annealing(const Floorplan& initial,
+                           const geo::PlacementArea& area,
+                           const PlacementObjective& objective,
+                           const AnnealingOptions& options = {},
+                           AnnealingStats* stats = nullptr);
+
+}  // namespace pvfp::core

@@ -1,0 +1,160 @@
+#include "pvfp/core/bnb_placer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "pvfp/core/greedy_placer.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::core {
+namespace {
+
+struct Search {
+    std::vector<ModulePlacement> anchors;  // sorted by score desc
+    std::vector<double> scores;            // aligned with anchors
+    const PanelGeometry* geometry = nullptr;
+    int n_modules = 0;
+    long long max_nodes = 0;
+
+    std::vector<ModulePlacement> current;
+    double current_score = 0.0;
+    std::vector<ModulePlacement> best;
+    double best_score = -std::numeric_limits<double>::infinity();
+    BnbStats stats;
+
+    /// Upper bound: current score + sum of the r highest remaining scores
+    /// starting at index \p from (overlap ignored — a valid relaxation
+    /// because scores are sorted descending).
+    double bound(std::size_t from, int remaining) const {
+        double b = current_score;
+        for (std::size_t a = from;
+             a < anchors.size() && remaining > 0; ++a, --remaining)
+            b += scores[a];
+        return (remaining > 0)
+                   ? -std::numeric_limits<double>::infinity()
+                   : b;
+    }
+
+    void dfs(std::size_t from) {
+        ++stats.nodes;
+        if (stats.nodes > max_nodes)
+            throw Infeasible("place_bnb: node budget exceeded");
+
+        const int placed = static_cast<int>(current.size());
+        if (placed == n_modules) {
+            if (current_score > best_score) {
+                best_score = current_score;
+                best = current;
+            }
+            return;
+        }
+        const int remaining = n_modules - placed;
+        if (bound(from, remaining) <= best_score) {
+            ++stats.pruned;
+            return;
+        }
+        for (std::size_t a = from;
+             a + static_cast<std::size_t>(remaining) <= anchors.size();
+             ++a) {
+            // Re-check the bound as we move right: it only gets weaker.
+            if (bound(a, remaining) <= best_score) {
+                ++stats.pruned;
+                return;
+            }
+            const ModulePlacement& cand = anchors[a];
+            bool overlaps = false;
+            for (const auto& m : current) {
+                if (modules_overlap(cand, m, *geometry)) {
+                    overlaps = true;
+                    break;
+                }
+            }
+            if (overlaps) continue;
+            current.push_back(cand);
+            current_score += scores[a];
+            dfs(a + 1);
+            current.pop_back();
+            current_score -= scores[a];
+        }
+    }
+};
+
+}  // namespace
+
+Floorplan place_bnb(const geo::PlacementArea& area,
+                    const pvfp::Grid2D<double>& suitability,
+                    const PanelGeometry& geometry,
+                    const pv::Topology& topology, const BnbOptions& options,
+                    BnbStats* stats) {
+    check_arg(suitability.width() == area.width &&
+                  suitability.height() == area.height,
+              "place_bnb: suitability does not match the area");
+    const int n = topology.total();
+    check_arg(n > 0, "place_bnb: empty topology");
+
+    Search search;
+    search.geometry = &geometry;
+    search.n_modules = n;
+    search.max_nodes = options.max_nodes;
+
+    // Anchors sorted by score descending; greedy seed gives a strong
+    // incumbent so pruning bites immediately.
+    auto anchors = enumerate_anchors(area, geometry);
+    if (static_cast<int>(anchors.size()) < n)
+        throw Infeasible("place_bnb: fewer anchors than modules");
+    std::vector<std::pair<double, ModulePlacement>> ranked;
+    ranked.reserve(anchors.size());
+    for (const auto& a : anchors) {
+        ranked.emplace_back(
+            anchor_score(suitability, geometry, a.x, a.y,
+                         AnchorScore::FootprintMean) *
+                geometry.cell_count(),
+            a);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  if (a.second.y != b.second.y) return a.second.y < b.second.y;
+                  return a.second.x < b.second.x;
+              });
+    search.anchors.reserve(ranked.size());
+    search.scores.reserve(ranked.size());
+    for (const auto& [s, a] : ranked) {
+        search.anchors.push_back(a);
+        search.scores.push_back(s);
+    }
+
+    // Incumbent from the greedy heuristic (threshold disabled: pure score).
+    try {
+        GreedyOptions gopt;
+        gopt.enable_distance_threshold = false;
+        const Floorplan seed =
+            place_greedy(area, suitability, geometry, topology, gopt);
+        double seed_score = 0.0;
+        for (const auto& m : seed.modules)
+            seed_score += anchor_score(suitability, geometry, m.x, m.y,
+                                       AnchorScore::FootprintMean) *
+                          geometry.cell_count();
+        search.best = seed.modules;
+        search.best_score = seed_score;
+    } catch (const Infeasible&) {
+        // B&B will decide feasibility on its own.
+    }
+
+    search.dfs(0);
+
+    if (static_cast<int>(search.best.size()) != n)
+        throw Infeasible("place_bnb: no feasible anchor combination");
+
+    Floorplan plan;
+    plan.geometry = geometry;
+    plan.topology = topology;
+    plan.modules = std::move(search.best);
+    if (stats) {
+        *stats = search.stats;
+        stats->best_objective = search.best_score;
+    }
+    return plan;
+}
+
+}  // namespace pvfp::core

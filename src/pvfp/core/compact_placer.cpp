@@ -1,0 +1,199 @@
+#include "pvfp/core/compact_placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::core {
+namespace {
+
+/// All-valid test for a w x h cell rectangle at (x,y).
+bool rect_valid(const geo::PlacementArea& area, int x, int y, int w, int h) {
+    if (x < 0 || y < 0 || x + w > area.width || y + h > area.height)
+        return false;
+    for (int yy = y; yy < y + h; ++yy)
+        for (int xx = x; xx < x + w; ++xx)
+            if (!area.valid(xx, yy)) return false;
+    return true;
+}
+
+/// Occupancy helpers shared by the fallback paths.
+struct Occupancy {
+    explicit Occupancy(const geo::PlacementArea& area)
+        : grid(area.width, area.height, 0) {}
+
+    bool free_rect(int x, int y, int w, int h) const {
+        for (int yy = y; yy < y + h; ++yy)
+            for (int xx = x; xx < x + w; ++xx)
+                if (grid(xx, yy)) return false;
+        return true;
+    }
+    void mark_rect(int x, int y, int w, int h) {
+        for (int yy = y; yy < y + h; ++yy)
+            for (int xx = x; xx < x + w; ++xx)
+                grid(xx, yy) = 1;
+    }
+    pvfp::Grid2D<unsigned char> grid;
+};
+
+}  // namespace
+
+CompactResult place_compact(const geo::PlacementArea& area,
+                            const pvfp::Grid2D<double>& suitability,
+                            const PanelGeometry& geometry,
+                            const pv::Topology& topology,
+                            const CompactOptions& options) {
+    check_arg(suitability.width() == area.width &&
+                  suitability.height() == area.height,
+              "place_compact: suitability matrix does not match the area");
+    const int m = topology.series;
+    const int n = topology.strings;
+    check_arg(m > 0 && n > 0, "place_compact: degenerate topology");
+
+    const pvfp::SummedAreaTable sat(suitability, &area.valid);
+
+    CompactResult result;
+    result.plan.geometry = geometry;
+    result.plan.topology = topology;
+
+    // --- Mode 1: monolithic block, m modules per row, n rows. ----------
+    const int block_w = m * geometry.k1;
+    const int block_h = n * geometry.k2;
+    {
+        double best = -std::numeric_limits<double>::infinity();
+        int bx = -1;
+        int by = -1;
+        for (int y = 0; y + block_h <= area.height; ++y) {
+            for (int x = 0; x + block_w <= area.width; ++x) {
+                if (!rect_valid(area, x, y, block_w, block_h)) continue;
+                const double s = sat.rect_sum(x, y, block_w, block_h);
+                if (s > best) {
+                    best = s;
+                    bx = x;
+                    by = y;
+                }
+            }
+        }
+        if (bx >= 0) {
+            for (int j = 0; j < n; ++j)
+                for (int i = 0; i < m; ++i)
+                    result.plan.modules.push_back(
+                        {bx + i * geometry.k1, by + j * geometry.k2});
+            result.mode = CompactMode::FullBlock;
+            result.score = best;
+            return result;
+        }
+    }
+    if (!options.allow_fallback)
+        throw Infeasible(
+            "place_compact: the compact block does not fit the valid area");
+
+    // --- Mode 2: one compact row per string, rows placed independently. -
+    {
+        Occupancy occ(area);
+        const int row_w = m * geometry.k1;
+        const int row_h = geometry.k2;
+        Floorplan plan;
+        plan.geometry = geometry;
+        plan.topology = topology;
+        double total = 0.0;
+        bool ok = true;
+        int prev_x = -1;
+        int prev_y = -1;
+        for (int j = 0; j < n && ok; ++j) {
+            double best = -std::numeric_limits<double>::infinity();
+            int bx = -1;
+            int by = -1;
+            for (int y = 0; y + row_h <= area.height; ++y) {
+                for (int x = 0; x + row_w <= area.width; ++x) {
+                    if (!rect_valid(area, x, y, row_w, row_h)) continue;
+                    if (!occ.free_rect(x, y, row_w, row_h)) continue;
+                    double s = sat.rect_sum(x, y, row_w, row_h);
+                    // Keep rows near each other: tiny distance penalty so
+                    // equal-suitability rows stack compactly.
+                    if (prev_x >= 0) {
+                        const double d = std::hypot(
+                            static_cast<double>(x - prev_x),
+                            static_cast<double>(y - prev_y));
+                        s -= 1e-6 * d;
+                    }
+                    if (s > best) {
+                        best = s;
+                        bx = x;
+                        by = y;
+                    }
+                }
+            }
+            if (bx < 0) {
+                ok = false;
+                break;
+            }
+            occ.mark_rect(bx, by, row_w, row_h);
+            for (int i = 0; i < m; ++i)
+                plan.modules.push_back({bx + i * geometry.k1, by});
+            total += best;
+            prev_x = bx;
+            prev_y = by;
+        }
+        if (ok) {
+            result.plan = std::move(plan);
+            result.mode = CompactMode::StringRows;
+            result.score = total;
+            return result;
+        }
+    }
+
+    // --- Mode 3: per-module compaction. ---------------------------------
+    {
+        const auto anchors = enumerate_anchors(area, geometry);
+        if (static_cast<int>(anchors.size()) < topology.total())
+            throw Infeasible(
+                "place_compact: not enough anchors for the requested "
+                "module count");
+        Occupancy occ(area);
+        Floorplan plan;
+        plan.geometry = geometry;
+        plan.topology = topology;
+        double total = 0.0;
+        for (int k = 0; k < topology.total(); ++k) {
+            double best = -std::numeric_limits<double>::infinity();
+            int best_idx = -1;
+            for (std::size_t a = 0; a < anchors.size(); ++a) {
+                const auto& pos = anchors[a];
+                if (!occ.free_rect(pos.x, pos.y, geometry.k1, geometry.k2))
+                    continue;
+                double s = 0.0;
+                for (int yy = pos.y; yy < pos.y + geometry.k2; ++yy)
+                    for (int xx = pos.x; xx < pos.x + geometry.k1; ++xx)
+                        s += suitability(xx, yy);
+                if (!plan.modules.empty()) {
+                    // Compactness dominates: huge penalty per cell of
+                    // distance to the previous module.
+                    const double d = center_distance_cells(
+                        pos, plan.modules.back(), geometry);
+                    s -= 1e3 * d;
+                }
+                if (s > best) {
+                    best = s;
+                    best_idx = static_cast<int>(a);
+                }
+            }
+            if (best_idx < 0)
+                throw Infeasible(
+                    "place_compact: cannot place all modules even "
+                    "per-module");
+            const auto& pos = anchors[static_cast<std::size_t>(best_idx)];
+            occ.mark_rect(pos.x, pos.y, geometry.k1, geometry.k2);
+            plan.modules.push_back(pos);
+            total += best;
+        }
+        result.plan = std::move(plan);
+        result.mode = CompactMode::PerModule;
+        result.score = total;
+        return result;
+    }
+}
+
+}  // namespace pvfp::core

@@ -1,0 +1,47 @@
+#pragma once
+/// \file compact_placer.hpp
+/// The "traditional" compact placement baseline of paper Section V-B:
+/// modules packed tightly into an n-rows x m-columns block (one series
+/// string per row), positioned on "the most irradiated area of the roof"
+/// using the same suitability information as the proposed algorithm — the
+/// paper's deliberately strong reference.
+///
+/// When encumbrances leave no room for the monolithic block the placer
+/// degrades gracefully: first to independently-positioned compact string
+/// rows, then to per-module compaction (each module placed adjacent to the
+/// previous one).  The mode used is reported so experiments can tell.
+
+#include "pvfp/core/layout.hpp"
+#include "pvfp/util/grid2d.hpp"
+
+namespace pvfp::core {
+
+/// How compact the achievable placement was.
+enum class CompactMode {
+    FullBlock,    ///< the n x m block fit as one rectangle
+    StringRows,   ///< each string is one compact row, rows placed separately
+    PerModule,    ///< modules placed one-by-one, adjacency-greedy
+};
+
+struct CompactResult {
+    Floorplan plan;
+    CompactMode mode = CompactMode::FullBlock;
+    /// Total suitability captured by the footprint (the placement score).
+    double score = 0.0;
+};
+
+/// Options for the baseline.
+struct CompactOptions {
+    /// Allow degradation to StringRows / PerModule when the block cannot
+    /// fit; when false, throws Infeasible instead.
+    bool allow_fallback = true;
+};
+
+/// Place the traditional compact baseline.
+CompactResult place_compact(const geo::PlacementArea& area,
+                            const pvfp::Grid2D<double>& suitability,
+                            const PanelGeometry& geometry,
+                            const pv::Topology& topology,
+                            const CompactOptions& options = {});
+
+}  // namespace pvfp::core

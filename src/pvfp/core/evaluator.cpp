@@ -1,0 +1,115 @@
+#include "pvfp/core/evaluator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "pvfp/pv/array.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::core {
+
+double module_irradiance(const Floorplan& plan, int module_index,
+                         const solar::IrradianceField& field, long step,
+                         ModuleIrradiance mode) {
+    check_arg(module_index >= 0 && module_index < plan.module_count(),
+              "module_irradiance: index out of range");
+    const ModulePlacement& m =
+        plan.modules[static_cast<std::size_t>(module_index)];
+    const PanelGeometry& g = plan.geometry;
+    if (mode == ModuleIrradiance::AnchorCell) {
+        return field.cell_irradiance(m.x, m.y, step);
+    }
+    if (mode == ModuleIrradiance::WorstCell) {
+        double worst = std::numeric_limits<double>::infinity();
+        for (int yy = m.y; yy < m.y + g.k2; ++yy)
+            for (int xx = m.x; xx < m.x + g.k1; ++xx)
+                worst = std::min(worst,
+                                 field.cell_irradiance(xx, yy, step));
+        return worst;
+    }
+    double acc = 0.0;
+    for (int yy = m.y; yy < m.y + g.k2; ++yy)
+        for (int xx = m.x; xx < m.x + g.k1; ++xx)
+            acc += field.cell_irradiance(xx, yy, step);
+    return acc / g.cell_count();
+}
+
+EvaluationResult evaluate_floorplan(const Floorplan& plan,
+                                    const geo::PlacementArea& area,
+                                    const solar::IrradianceField& field,
+                                    const pv::EmpiricalModuleModel& model,
+                                    const EvaluationOptions& options) {
+    std::string why;
+    check_arg(floorplan_feasible(plan, area, &why),
+              "evaluate_floorplan: infeasible plan: " + why);
+    check_arg(field.width() == area.width && field.height() == area.height,
+              "evaluate_floorplan: field window does not match area");
+    check_arg(options.step_stride >= 1,
+              "evaluate_floorplan: step_stride must be >= 1");
+    pv::check_topology(plan.topology, plan.module_count());
+
+    const int n_modules = plan.module_count();
+    const int n_strings = plan.topology.strings;
+
+    // Wiring overhead is a property of the geometry, not of time.
+    const auto centers = plan.centers_m(area.cell_size);
+    const auto extra_lengths =
+        pv::panel_extra_lengths(centers, plan.topology, options.wiring);
+
+    EvaluationResult result;
+    result.strings.resize(static_cast<std::size_t>(n_strings));
+    for (int j = 0; j < n_strings; ++j) {
+        result.strings[static_cast<std::size_t>(j)].extra_cable_m =
+            extra_lengths[static_cast<std::size_t>(j)];
+        result.extra_cable_m += extra_lengths[static_cast<std::size_t>(j)];
+    }
+    result.wiring_cost_usd = pv::wiring_cost(extra_lengths, options.wiring);
+
+    const double k_th = field.config().thermal_k;
+    const double dt_h = field.time_grid().step_hours() *
+                        static_cast<double>(options.step_stride);
+
+    std::vector<pv::OperatingPoint> points(
+        static_cast<std::size_t>(n_modules));
+    for (long s = 0; s < field.steps(); s += options.step_stride) {
+        if (!field.is_daylight(s)) continue;
+        const double t_air = field.air_temperature(s);
+        for (int i = 0; i < n_modules; ++i) {
+            const double g = module_irradiance(plan, i, field, s,
+                                               options.module_irradiance);
+            const double tact = t_air + k_th * g;
+            points[static_cast<std::size_t>(i)] =
+                model.operating_point(g, tact);
+        }
+        const auto panel = pv::aggregate_panel(points, plan.topology);
+
+        double wiring_w = 0.0;
+        if (options.include_wiring_loss) {
+            for (int j = 0; j < n_strings; ++j) {
+                const double loss = pv::wiring_power_loss(
+                    extra_lengths[static_cast<std::size_t>(j)],
+                    panel.strings[static_cast<std::size_t>(j)].current_a,
+                    options.wiring);
+                wiring_w += loss;
+                result.strings[static_cast<std::size_t>(j)]
+                    .wiring_loss_kwh += loss * dt_h / 1000.0;
+            }
+        }
+
+        const double net_w = std::max(0.0, panel.power_w - wiring_w);
+        result.energy_kwh += net_w * dt_h / 1000.0;
+        result.ideal_energy_kwh += panel.ideal_power_w * dt_h / 1000.0;
+        result.mismatch_loss_kwh += panel.mismatch_loss_w * dt_h / 1000.0;
+        result.wiring_loss_kwh += wiring_w * dt_h / 1000.0;
+        for (int j = 0; j < n_strings; ++j) {
+            result.strings[static_cast<std::size_t>(j)].energy_kwh +=
+                panel.voltage_v *
+                panel.strings[static_cast<std::size_t>(j)].current_a * dt_h /
+                1000.0;
+        }
+    }
+    return result;
+}
+
+}  // namespace pvfp::core

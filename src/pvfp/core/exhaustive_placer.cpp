@@ -1,0 +1,116 @@
+#include "pvfp/core/exhaustive_placer.hpp"
+
+#include <limits>
+
+#include "pvfp/core/greedy_placer.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::core {
+namespace {
+
+struct SearchContext {
+    const std::vector<ModulePlacement>* anchors = nullptr;
+    const std::vector<double>* scores = nullptr;
+    const PanelGeometry* geometry = nullptr;
+    const PlacementObjective* objective = nullptr;  // may be null
+    int n_modules = 0;
+    long long max_nodes = 0;
+
+    Floorplan current;
+    double current_score = 0.0;  // separable objective accumulator
+    Floorplan best;
+    double best_value = -std::numeric_limits<double>::infinity();
+    ExhaustiveStats stats;
+};
+
+void dfs(SearchContext& ctx, std::size_t first_anchor) {
+    ++ctx.stats.nodes;
+    if (ctx.stats.nodes > ctx.max_nodes)
+        throw Infeasible(
+            "place_exhaustive: node budget exceeded — the instance is too "
+            "large for exhaustive search (the paper's O(N^Ng) point)");
+
+    const int placed = ctx.current.module_count();
+    if (placed == ctx.n_modules) {
+        ++ctx.stats.leaves;
+        const double value = (*ctx.objective)
+                                 ? (*ctx.objective)(ctx.current)
+                                 : ctx.current_score;
+        if (value > ctx.best_value) {
+            ctx.best_value = value;
+            ctx.best = ctx.current;
+        }
+        return;
+    }
+
+    const auto& anchors = *ctx.anchors;
+    // Not enough anchors left to finish: prune.
+    const std::size_t remaining_needed =
+        static_cast<std::size_t>(ctx.n_modules - placed);
+    for (std::size_t a = first_anchor;
+         a + remaining_needed <= anchors.size(); ++a) {
+        const ModulePlacement& cand = anchors[a];
+        bool overlaps = false;
+        for (const auto& m : ctx.current.modules) {
+            if (modules_overlap(cand, m, *ctx.geometry)) {
+                overlaps = true;
+                break;
+            }
+        }
+        if (overlaps) continue;
+        ctx.current.modules.push_back(cand);
+        ctx.current_score += (*ctx.scores)[a];
+        dfs(ctx, a + 1);
+        ctx.current.modules.pop_back();
+        ctx.current_score -= (*ctx.scores)[a];
+    }
+}
+
+}  // namespace
+
+Floorplan place_exhaustive(const geo::PlacementArea& area,
+                           const pvfp::Grid2D<double>& suitability,
+                           const PanelGeometry& geometry,
+                           const pv::Topology& topology,
+                           const PlacementObjective& objective,
+                           const ExhaustiveOptions& options,
+                           ExhaustiveStats* stats) {
+    check_arg(suitability.width() == area.width &&
+                  suitability.height() == area.height,
+              "place_exhaustive: suitability does not match the area");
+    const int n = topology.total();
+    check_arg(n > 0, "place_exhaustive: empty topology");
+
+    const auto anchors = enumerate_anchors(area, geometry);
+    if (static_cast<int>(anchors.size()) < n)
+        throw Infeasible("place_exhaustive: fewer anchors than modules");
+
+    std::vector<double> scores(anchors.size());
+    for (std::size_t a = 0; a < anchors.size(); ++a)
+        scores[a] = anchor_score(suitability, geometry, anchors[a].x,
+                                 anchors[a].y, AnchorScore::FootprintMean) *
+                    geometry.cell_count();
+
+    SearchContext ctx;
+    ctx.anchors = &anchors;
+    ctx.scores = &scores;
+    ctx.geometry = &geometry;
+    ctx.objective = &objective;
+    ctx.n_modules = n;
+    ctx.max_nodes = options.max_nodes;
+    ctx.current.geometry = geometry;
+    ctx.current.topology = topology;
+    ctx.best.geometry = geometry;
+    ctx.best.topology = topology;
+
+    dfs(ctx, 0);
+
+    if (ctx.best.module_count() != n)
+        throw Infeasible(
+            "place_exhaustive: no feasible combination of anchors");
+    ctx.stats.best_objective = ctx.best_value;
+    if (stats) *stats = ctx.stats;
+    return ctx.best;
+}
+
+}  // namespace pvfp::core

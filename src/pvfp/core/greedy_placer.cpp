@@ -1,0 +1,194 @@
+#include "pvfp/core/greedy_placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::core {
+namespace {
+
+/// A candidate anchor with its precomputed score.
+struct Candidate {
+    ModulePlacement pos;
+    double score = 0.0;
+    bool used = false;  ///< consumed or covered by a placed module
+};
+
+/// Mean pairwise center distance of the placed modules [cells].
+double mean_pairwise_distance(const std::vector<ModulePlacement>& placed,
+                              const PanelGeometry& g) {
+    if (placed.size() < 2) return 0.0;
+    double acc = 0.0;
+    int pairs = 0;
+    for (std::size_t i = 0; i < placed.size(); ++i) {
+        for (std::size_t j = i + 1; j < placed.size(); ++j) {
+            acc += center_distance_cells(placed[i], placed[j], g);
+            ++pairs;
+        }
+    }
+    return acc / pairs;
+}
+
+/// Distance from a candidate to the nearest placed module [cells].
+double distance_to_nearest(const ModulePlacement& cand,
+                           const std::vector<ModulePlacement>& placed,
+                           const PanelGeometry& g) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& p : placed)
+        best = std::min(best, center_distance_cells(cand, p, g));
+    return best;
+}
+
+}  // namespace
+
+double anchor_score(const pvfp::Grid2D<double>& suitability,
+                    const PanelGeometry& geometry, int x, int y,
+                    AnchorScore mode) {
+    if (mode == AnchorScore::TopLeftCell) return suitability(x, y);
+    double acc = 0.0;
+    for (int yy = y; yy < y + geometry.k2; ++yy)
+        for (int xx = x; xx < x + geometry.k1; ++xx)
+            acc += suitability(xx, yy);
+    return acc / geometry.cell_count();
+}
+
+Floorplan place_greedy(const geo::PlacementArea& area,
+                       const pvfp::Grid2D<double>& suitability,
+                       const PanelGeometry& geometry,
+                       const pv::Topology& topology,
+                       const GreedyOptions& options, GreedyStats* stats) {
+    check_arg(suitability.width() == area.width &&
+                  suitability.height() == area.height,
+              "place_greedy: suitability matrix does not match the area");
+    check_arg(options.distance_threshold_factor > 0.0,
+              "place_greedy: threshold factor must be positive");
+    const int n_modules = topology.total();
+    check_arg(n_modules > 0, "place_greedy: topology with no modules");
+
+    // Line 1-2 of Fig. 5: candidate list sorted by non-increasing
+    // suitability (position as a deterministic secondary key).
+    std::vector<Candidate> list;
+    for (const auto& a : enumerate_anchors(area, geometry)) {
+        list.push_back(
+            {a, anchor_score(suitability, geometry, a.x, a.y,
+                             options.anchor_score),
+             false});
+    }
+    if (list.empty())
+        throw Infeasible("place_greedy: no feasible anchor on this area");
+    std::sort(list.begin(), list.end(), [](const Candidate& a,
+                                           const Candidate& b) {
+        if (a.score != b.score) return a.score > b.score;
+        if (a.pos.y != b.pos.y) return a.pos.y < b.pos.y;
+        return a.pos.x < b.pos.x;
+    });
+    if (stats) stats->candidate_count = static_cast<int>(list.size());
+
+    // Occupancy of already placed modules, to re-check feasibility as the
+    // covered points are "removed from L" (line 7).
+    pvfp::Grid2D<unsigned char> occupied(area.width, area.height, 0);
+    const auto is_free = [&](const ModulePlacement& m) {
+        for (int yy = m.y; yy < m.y + geometry.k2; ++yy)
+            for (int xx = m.x; xx < m.x + geometry.k1; ++xx)
+                if (occupied(xx, yy)) return false;
+        return true;
+    };
+    const auto mark = [&](const ModulePlacement& m) {
+        for (int yy = m.y; yy < m.y + geometry.k2; ++yy)
+            for (int xx = m.x; xx < m.x + geometry.k1; ++xx)
+                occupied(xx, yy) = 1;
+    };
+
+    Floorplan plan;
+    plan.geometry = geometry;
+    plan.topology = topology;
+    plan.modules.reserve(static_cast<std::size_t>(n_modules));
+
+    // Line 4: series-first module loop.  (The set of chosen positions does
+    // not depend on the string index; the *order* of selection assigns
+    // consecutive picks to the same string, which is exactly the paper's
+    // series-first enumeration and what keeps wiring short per string.)
+    for (int i = 0; i < n_modules; ++i) {
+        const double mean_dist =
+            mean_pairwise_distance(plan.modules, geometry);
+        const double threshold =
+            options.distance_threshold_factor * mean_dist;
+        const bool use_threshold = options.enable_distance_threshold &&
+                                   plan.modules.size() >= 2;
+
+        // Scan in rank order for the best candidate that is still free and
+        // satisfies the distance threshold (line 5); the paper's text
+        // makes the wiring distance a tie-breaker among equal suitability,
+        // so among the leading equal-score group pick the one nearest to
+        // the previously placed module.
+        int chosen = -1;
+        int fallback = -1;  // best free candidate ignoring the threshold
+        for (std::size_t k = 0; k < list.size(); ++k) {
+            Candidate& cand = list[k];
+            if (cand.used) continue;
+            if (!is_free(cand.pos)) {
+                cand.used = true;  // covered by a previous module: remove
+                continue;
+            }
+            if (fallback < 0) fallback = static_cast<int>(k);
+            if (use_threshold &&
+                distance_to_nearest(cand.pos, plan.modules, geometry) >
+                    threshold) {
+                if (stats) ++stats->threshold_rejections;
+                continue;
+            }
+            chosen = static_cast<int>(k);
+            break;
+        }
+        if (chosen < 0) {
+            // No candidate passes the filter: relax it rather than place
+            // fewer than N modules (DESIGN.md Section 5, point 3).
+            if (fallback < 0)
+                throw Infeasible(
+                    "place_greedy: area cannot host " +
+                    std::to_string(n_modules) + " modules (placed " +
+                    std::to_string(plan.modules.size()) + ")");
+            chosen = fallback;
+            if (stats) ++stats->threshold_relaxations;
+        }
+
+        // Tie-break among equal-score candidates by wiring distance to the
+        // last placed module (paper line 2: "wiring overhead is used as a
+        // tie-breaker").
+        if (!plan.modules.empty()) {
+            const double lead_score =
+                list[static_cast<std::size_t>(chosen)].score;
+            const double tie_band =
+                options.tie_epsilon * std::abs(lead_score);
+            const ModulePlacement& prev = plan.modules.back();
+            double best_d = center_distance_cells(
+                list[static_cast<std::size_t>(chosen)].pos, prev, geometry);
+            for (std::size_t k = static_cast<std::size_t>(chosen) + 1;
+                 k < list.size(); ++k) {
+                Candidate& cand = list[k];
+                if (cand.score < lead_score - tie_band) break;
+                if (cand.used || !is_free(cand.pos)) continue;
+                if (use_threshold &&
+                    distance_to_nearest(cand.pos, plan.modules, geometry) >
+                        threshold)
+                    continue;
+                const double d =
+                    center_distance_cells(cand.pos, prev, geometry);
+                if (d < best_d) {
+                    best_d = d;
+                    chosen = static_cast<int>(k);
+                }
+            }
+        }
+
+        Candidate& winner = list[static_cast<std::size_t>(chosen)];
+        winner.used = true;
+        plan.modules.push_back(winner.pos);
+        mark(winner.pos);  // line 7: remove covered grid points
+    }
+    return plan;
+}
+
+}  // namespace pvfp::core

@@ -1,0 +1,78 @@
+#pragma once
+/// \file greedy_placer.hpp
+/// The paper's floorplanning algorithm (Section III-C, Fig. 5).
+///
+/// Grid positions are ranked by suitability; modules are allocated
+/// greedily in series-first order, picking candidate anchors in
+/// non-increasing suitability, with
+///  - wiring distance as tie-breaker among equal-suitability candidates,
+///  - a distance-threshold filter ("twice the average distance of the
+///    already placed modules") rejecting high-suitability outliers that
+///    would cost disproportionate cable,
+///  - removal of covered grid points after each placement (a module spans
+///    k1*k2 cells).
+///
+/// Interpretation choices relative to the terse pseudo-code are documented
+/// in DESIGN.md Section 5 and are switchable here for the ablations.
+
+#include "pvfp/core/layout.hpp"
+#include "pvfp/util/grid2d.hpp"
+
+namespace pvfp::core {
+
+/// How an anchor position is scored from the suitability matrix.
+enum class AnchorScore {
+    /// Mean suitability over the k1*k2 footprint (default: same spirit,
+    /// strictly better informed than a single cell).
+    FootprintMean,
+    /// The literal paper reading: suitability of the anchor grid point.
+    TopLeftCell,
+};
+
+/// Options of the greedy placement.
+struct GreedyOptions {
+    AnchorScore anchor_score = AnchorScore::FootprintMean;
+    /// Threshold factor: candidate-to-nearest-placed distance must not
+    /// exceed factor * mean pairwise distance of placed modules (paper
+    /// uses 2).  Disabled entirely when enable_distance_threshold=false.
+    double distance_threshold_factor = 2.0;
+    bool enable_distance_threshold = true;
+    /// Tolerance for "identical values of suitability" (tie-breaking),
+    /// *relative* to the leading candidate's score.  Real suitability
+    /// values never tie exactly (histogram noise, surface texture), so
+    /// candidates within this fraction of the best remaining score are
+    /// treated as the paper's "identical values" and resolved by wiring
+    /// distance.  A ~1% band keeps series strings spatially contiguous —
+    /// the homogeneity that makes series-first enumeration avoid the
+    /// weak-module bottleneck (paper Section V-B).
+    double tie_epsilon = 0.01;
+};
+
+/// Diagnostics of a greedy run.
+struct GreedyStats {
+    /// Candidates skipped by the distance-threshold filter.
+    int threshold_rejections = 0;
+    /// Placements that had to ignore the threshold because no candidate
+    /// satisfied it (the paper's loop would silently drop the module; we
+    /// place it anyway and count the relaxation).
+    int threshold_relaxations = 0;
+    /// Number of candidate anchors considered.
+    int candidate_count = 0;
+};
+
+/// Place topology.total() modules on \p area ranked by \p suitability.
+/// Returns the floorplan in series-first order.  Throws Infeasible when
+/// the area cannot host the requested number of modules.
+Floorplan place_greedy(const geo::PlacementArea& area,
+                       const pvfp::Grid2D<double>& suitability,
+                       const PanelGeometry& geometry,
+                       const pv::Topology& topology,
+                       const GreedyOptions& options = {},
+                       GreedyStats* stats = nullptr);
+
+/// Score an anchor according to \p mode (exposed for tests/ablation).
+double anchor_score(const pvfp::Grid2D<double>& suitability,
+                    const PanelGeometry& geometry, int x, int y,
+                    AnchorScore mode);
+
+}  // namespace pvfp::core

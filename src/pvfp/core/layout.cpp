@@ -1,0 +1,102 @@
+#include "pvfp/core/layout.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::core {
+
+PanelGeometry PanelGeometry::from_module(const pv::ModuleSpec& spec, double s,
+                                         bool portrait) {
+    check_arg(s > 0.0, "PanelGeometry: grid pitch must be positive");
+    const double w = portrait ? spec.height_m : spec.width_m;
+    const double h = portrait ? spec.width_m : spec.height_m;
+    const double k1f = w / s;
+    const double k2f = h / s;
+    const int k1 = static_cast<int>(std::lround(k1f));
+    const int k2 = static_cast<int>(std::lround(k2f));
+    check_arg(k1 > 0 && k2 > 0 && std::abs(k1f - k1) < 1e-9 &&
+                  std::abs(k2f - k2) < 1e-9,
+              "PanelGeometry: module dimensions must be integer multiples "
+              "of the grid pitch s (paper Section III-A)");
+    return PanelGeometry{k1, k2};
+}
+
+pv::ModulePosition Floorplan::center_m(int index, double cell_size) const {
+    check_arg(index >= 0 && index < module_count(),
+              "Floorplan::center_m: index out of range");
+    const ModulePlacement& m = modules[static_cast<std::size_t>(index)];
+    return pv::ModulePosition{
+        (m.x + geometry.k1 / 2.0) * cell_size,
+        (m.y + geometry.k2 / 2.0) * cell_size,
+    };
+}
+
+std::vector<pv::ModulePosition> Floorplan::centers_m(double cell_size) const {
+    std::vector<pv::ModulePosition> out;
+    out.reserve(modules.size());
+    for (int i = 0; i < module_count(); ++i)
+        out.push_back(center_m(i, cell_size));
+    return out;
+}
+
+bool anchor_fits(const geo::PlacementArea& area, const PanelGeometry& g,
+                 int x, int y) {
+    if (x < 0 || y < 0 || x + g.k1 > area.width || y + g.k2 > area.height)
+        return false;
+    for (int yy = y; yy < y + g.k2; ++yy)
+        for (int xx = x; xx < x + g.k1; ++xx)
+            if (!area.valid(xx, yy)) return false;
+    return true;
+}
+
+bool modules_overlap(const ModulePlacement& a, const ModulePlacement& b,
+                     const PanelGeometry& g) {
+    return a.x < b.x + g.k1 && b.x < a.x + g.k1 && a.y < b.y + g.k2 &&
+           b.y < a.y + g.k2;
+}
+
+bool floorplan_feasible(const Floorplan& plan, const geo::PlacementArea& area,
+                        std::string* why) {
+    for (std::size_t i = 0; i < plan.modules.size(); ++i) {
+        const ModulePlacement& m = plan.modules[i];
+        if (!anchor_fits(area, plan.geometry, m.x, m.y)) {
+            if (why)
+                *why = "module " + std::to_string(i) +
+                       " does not fit valid area at (" + std::to_string(m.x) +
+                       "," + std::to_string(m.y) + ")";
+            return false;
+        }
+        for (std::size_t j = i + 1; j < plan.modules.size(); ++j) {
+            if (modules_overlap(m, plan.modules[j], plan.geometry)) {
+                if (why)
+                    *why = "modules " + std::to_string(i) + " and " +
+                           std::to_string(j) + " overlap";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+double center_distance_cells(const ModulePlacement& a,
+                             const ModulePlacement& b,
+                             const PanelGeometry& /*g*/) {
+    // Same geometry for both, so anchor distance equals center distance.
+    return std::hypot(static_cast<double>(a.x - b.x),
+                      static_cast<double>(a.y - b.y));
+}
+
+std::vector<ModulePlacement> enumerate_anchors(const geo::PlacementArea& area,
+                                               const PanelGeometry& g) {
+    std::vector<ModulePlacement> anchors;
+    for (int y = 0; y + g.k2 <= area.height; ++y) {
+        for (int x = 0; x + g.k1 <= area.width; ++x) {
+            if (anchor_fits(area, g, x, y)) anchors.push_back({x, y});
+        }
+    }
+    return anchors;
+}
+
+}  // namespace pvfp::core

@@ -1,0 +1,78 @@
+#pragma once
+/// \file layout.hpp
+/// Placement-domain types shared by all placers: module footprints on the
+/// virtual grid (paper Section III-A), floorplans (the algorithm's output
+/// "array of N grid coordinates"), and their feasibility predicates.
+
+#include <vector>
+
+#include "pvfp/geo/suitable_area.hpp"
+#include "pvfp/pv/array.hpp"
+#include "pvfp/pv/module.hpp"
+#include "pvfp/pv/wiring.hpp"
+#include "pvfp/util/grid2d.hpp"
+
+namespace pvfp::core {
+
+/// Module footprint in grid cells: the paper's w = k1*s, h = k2*s with
+/// s = 20 cm and the 160x80 cm module -> k1 = 8, k2 = 4.
+struct PanelGeometry {
+    int k1 = 8;  ///< cells along x
+    int k2 = 4;  ///< cells along y
+
+    int cell_count() const { return k1 * k2; }
+
+    /// Derive from a module spec and grid pitch; throws InvalidArgument
+    /// when the module dimensions are not integer multiples of \p s
+    /// (the paper's condition on the choice of s).
+    static PanelGeometry from_module(const pv::ModuleSpec& spec, double s,
+                                     bool portrait = false);
+};
+
+/// One placed module: top-left covered cell in area coordinates.
+struct ModulePlacement {
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const ModulePlacement&) const = default;
+};
+
+/// A complete placement in *series-first* order: modules[j*m + i] is the
+/// i-th module of string j (paper Fig. 5, line 4).
+struct Floorplan {
+    std::vector<ModulePlacement> modules;
+    PanelGeometry geometry;
+    pv::Topology topology;
+
+    int module_count() const { return static_cast<int>(modules.size()); }
+
+    /// Center of module \p index on the roof plane [m].
+    pv::ModulePosition center_m(int index, double cell_size) const;
+    /// All centers, series-first order.
+    std::vector<pv::ModulePosition> centers_m(double cell_size) const;
+};
+
+/// True when a module anchored at (x,y) lies fully on valid cells of
+/// \p area (in-bounds and every covered cell valid).
+bool anchor_fits(const geo::PlacementArea& area, const PanelGeometry& g,
+                 int x, int y);
+
+/// True when two same-geometry modules at \p a and \p b overlap.
+bool modules_overlap(const ModulePlacement& a, const ModulePlacement& b,
+                     const PanelGeometry& g);
+
+/// Full feasibility: every module fits and no pair overlaps; throws
+/// nothing, returns false with the first violation in \p why (optional).
+bool floorplan_feasible(const Floorplan& plan, const geo::PlacementArea& area,
+                        std::string* why = nullptr);
+
+/// Euclidean center distance between two placements [cells].
+double center_distance_cells(const ModulePlacement& a,
+                             const ModulePlacement& b,
+                             const PanelGeometry& g);
+
+/// Enumerate all anchors whose footprint fits \p area, row-major order.
+std::vector<ModulePlacement> enumerate_anchors(const geo::PlacementArea& area,
+                                               const PanelGeometry& g);
+
+}  // namespace pvfp::core

@@ -1,0 +1,86 @@
+#include "pvfp/core/pipeline.hpp"
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::core {
+
+PreparedScenario prepare_scenario(const RoofScenario& scenario,
+                                  const ScenarioConfig& config) {
+    check_arg(config.cell_size > 0.0,
+              "prepare_scenario: cell_size must be positive");
+
+    // Section IV: DSM from (synthetic) GIS data at the grid pitch, so the
+    // solar-data resolution coincides with the virtual grid (Sec. III-A).
+    geo::Raster dsm = scenario.scene.rasterize(config.cell_size);
+
+    // Suitable-area identification.
+    geo::PlacementArea area = geo::extract_placement_area(
+        dsm, scenario.scene, scenario.roof_index, config.area);
+
+    // Shadow/horizon model for the placement window.
+    geo::HorizonMap horizon(dsm, area.origin_col, area.origin_row,
+                            area.width, area.height, config.horizon);
+
+    // Weather trace (synthetic stand-in for station data).
+    auto env = weather::generate_synthetic_weather(config.location,
+                                                   config.grid,
+                                                   config.weather);
+
+    // Per-cell surface normals: DSM structure (undulation, obstacle
+    // flanks) modulates the beam cell-by-cell.
+    geo::NormalMap normals = geo::NormalMap::from_dsm(
+        dsm, area.origin_col, area.origin_row, area.width, area.height);
+
+    // Irradiance/temperature field on the roof plane.
+    solar::FieldConfig field_config = config.field;
+    field_config.location = config.location;
+    solar::IrradianceField field(std::move(horizon), std::move(env),
+                                 config.grid, area.tilt_rad,
+                                 area.azimuth_rad, field_config,
+                                 std::move(normals));
+
+    // Suitability matrix (Section III-C).
+    SuitabilityResult suitability =
+        compute_suitability(field, area, config.suitability);
+
+    pv::EmpiricalModuleModel model(config.module);
+    const PanelGeometry geometry =
+        PanelGeometry::from_module(config.module, config.cell_size);
+
+    return PreparedScenario{scenario.name,
+                            std::move(dsm),
+                            std::move(area),
+                            std::move(field),
+                            std::move(suitability),
+                            std::move(model),
+                            geometry,
+                            config};
+}
+
+PlacementComparison compare_placements(const PreparedScenario& prepared,
+                                       const pv::Topology& topology,
+                                       const GreedyOptions& greedy_options,
+                                       const EvaluationOptions& eval_options) {
+    PlacementComparison cmp;
+
+    const CompactResult compact =
+        place_compact(prepared.area, prepared.suitability.suitability,
+                      prepared.geometry, topology);
+    cmp.traditional = compact.plan;
+    cmp.traditional_mode = compact.mode;
+
+    cmp.proposed = place_greedy(prepared.area,
+                                prepared.suitability.suitability,
+                                prepared.geometry, topology, greedy_options,
+                                &cmp.greedy_stats);
+
+    cmp.traditional_eval =
+        evaluate_floorplan(cmp.traditional, prepared.area, prepared.field,
+                           prepared.model, eval_options);
+    cmp.proposed_eval =
+        evaluate_floorplan(cmp.proposed, prepared.area, prepared.field,
+                           prepared.model, eval_options);
+    return cmp;
+}
+
+}  // namespace pvfp::core

@@ -1,0 +1,75 @@
+#pragma once
+/// \file pipeline.hpp
+/// End-to-end orchestration: scene -> DSM -> suitable area -> horizons ->
+/// weather -> irradiance field -> suitability -> placements -> energy.
+/// This is the programmatic equivalent of the paper's full flow (GIS data
+/// extraction of Section IV feeding the algorithm of Section III), and the
+/// single entry point used by examples and benches.
+
+#include <string>
+
+#include "pvfp/core/compact_placer.hpp"
+#include "pvfp/core/evaluator.hpp"
+#include "pvfp/core/greedy_placer.hpp"
+#include "pvfp/core/roof_library.hpp"
+#include "pvfp/core/suitability.hpp"
+#include "pvfp/weather/synthetic.hpp"
+
+namespace pvfp::core {
+
+/// Every knob of the pipeline, with paper-faithful defaults.
+struct ScenarioConfig {
+    solar::Location location{};  ///< Torino defaults
+    pvfp::TimeGrid grid{15, 1, 365};  ///< one year at 15-minute steps
+    weather::SyntheticWeatherOptions weather{};
+    solar::FieldConfig field{};
+    geo::SuitableAreaOptions area{};
+    geo::HorizonOptions horizon{};
+    SuitabilityOptions suitability{};
+    pv::ModuleSpec module{};
+    /// Virtual grid pitch s [m] (paper: 0.2); also the DSM resolution.
+    double cell_size = 0.2;
+};
+
+/// A scenario with all derived data materialized, ready for experiments.
+struct PreparedScenario {
+    std::string name;
+    geo::Raster dsm;
+    geo::PlacementArea area;
+    solar::IrradianceField field;
+    SuitabilityResult suitability;
+    pv::EmpiricalModuleModel model;
+    PanelGeometry geometry;
+    ScenarioConfig config;
+};
+
+/// Build every derived artifact of \p scenario under \p config.
+PreparedScenario prepare_scenario(const RoofScenario& scenario,
+                                  const ScenarioConfig& config = {});
+
+/// One Table-I style comparison: traditional vs proposed on a topology.
+struct PlacementComparison {
+    Floorplan traditional;
+    CompactMode traditional_mode = CompactMode::FullBlock;
+    Floorplan proposed;
+    GreedyStats greedy_stats;
+    EvaluationResult traditional_eval;
+    EvaluationResult proposed_eval;
+
+    /// Fractional improvement of proposed over traditional (Table I "%").
+    double improvement() const {
+        return traditional_eval.energy_kwh > 0.0
+                   ? proposed_eval.energy_kwh /
+                             traditional_eval.energy_kwh -
+                         1.0
+                   : 0.0;
+    }
+};
+
+/// Run both placers and evaluate them over the full horizon.
+PlacementComparison compare_placements(
+    const PreparedScenario& prepared, const pv::Topology& topology,
+    const GreedyOptions& greedy_options = {},
+    const EvaluationOptions& eval_options = {});
+
+}  // namespace pvfp::core

@@ -1,0 +1,232 @@
+#include "pvfp/core/roof_library.hpp"
+
+namespace pvfp::core {
+
+using geo::BoxObstacle;
+using geo::Building;
+using geo::HeightRef;
+using geo::MonopitchRoof;
+using geo::PipeRun;
+using geo::SceneBuilder;
+using geo::Tree;
+
+// The three scenes below are calibrated so that (a) the suitable-area
+// geometry matches Table I (bounding boxes ~287x51 / 298x51 / 298x52 cells,
+// Ng within a few percent of 9416 / 11892 / 11672), and (b) the irradiance
+// field varies at module-block scale *everywhere*, as the paper's Fig. 6(b)
+// maps show for the real roofs — tall pipe racks and risers cast moving
+// shade bands across the surface, perimeter trees/poles sweep the southern
+// strip in winter, and taller neighbours darken one end of each roof.
+
+RoofScenario make_roof1() {
+    SceneBuilder scene(100.0, 45.0);
+
+    MonopitchRoof roof;
+    roof.name = "roof1";
+    roof.x = 10.0;
+    roof.y = 15.0;
+    roof.w = 57.4;  // 287 cells at s = 0.2 m (Table I: 287x51)
+    roof.d = 10.2;  // 51 cells
+    roof.eave_height = 6.0;
+    roof.tilt_deg = 26.0;
+    roof.azimuth_deg = 195.0;  // S/SW
+    const int roof_index = scene.add_roof(roof);
+
+    // Aged sheet-metal surface: sagging between trusses plus irregular
+    // bumps (see RoofTexture docs — the Fig. 6(b) variance source).
+    geo::RoofTexture texture;
+    texture.undulation_amp_x = 0.02;
+    texture.undulation_period_x = 6.0;
+    texture.undulation_amp_y = 0.012;
+    texture.undulation_period_y = 4.5;
+    texture.noise_amp = 0.018;
+    texture.noise_scale = 3.0;
+    texture.seed = 101;
+    scene.set_roof_texture(roof_index, texture);
+
+    // Taller neighbour immediately east: morning shading of the east end.
+    scene.add_building({68.5, 8.0, 17.0, 30.0, 18.0});
+
+    // The paper: "pipes occupy a large space" on Roof 1.  Two east-west
+    // mains on a raised rack plus north-south risers every ~15 m: the
+    // rack's shadow sweeps a band north of it through the day, while the
+    // spans between risers still admit an 8-module compact row.
+    scene.add_pipe({14.0, 18.3, 62.0, 18.6, 0.6, 1.2});
+    scene.add_pipe({30.0, 22.4, 62.0, 22.1, 0.6, 1.0});
+    for (const double rx : {18.0, 33.0, 48.0, 63.0}) {
+        scene.add_pipe({rx, 16.0, rx + 0.4, 24.6, 0.4, 0.8});
+    }
+
+    // Stair penthouses rising well above the roof plus HVAC units; the
+    // southern one throws its midday shadow onto the mid-roof band.
+    scene.add_box({24.0, 15.6, 5.0, 2.8, 3.2, HeightRef::Surface});
+    scene.add_box({40.0, 21.8, 4.0, 2.5, 3.0, HeightRef::Surface});
+    scene.add_box({57.0, 17.0, 2.5, 2.0, 1.4, HeightRef::Surface});
+    scene.add_box({22.5, 20.0, 2.0, 2.0, 1.2, HeightRef::Surface});
+    scene.add_box({15.0, 16.4, 0.8, 0.8, 1.8, HeightRef::Surface});
+
+    // Vegetation barrier along the forecourt south of the roof plus a
+    // few light poles: low-sun shading that grades the southern strip.
+    scene.add_building({10.0, 28.8, 57.0, 2.0, 12.0});
+    for (const double px : {20.0, 36.0, 52.0}) {
+        scene.add_tree({px, 29.5, 1.0, 10.5});
+    }
+
+    return RoofScenario{"Roof 1", std::move(scene), roof_index};
+}
+
+RoofScenario make_roof2() {
+    SceneBuilder scene(100.0, 45.0);
+
+    MonopitchRoof roof;
+    roof.name = "roof2";
+    roof.x = 8.0;
+    roof.y = 15.0;
+    roof.w = 59.6;  // 298 cells (Table I: 298x51)
+    roof.d = 10.2;  // 51 cells
+    roof.eave_height = 6.0;
+    roof.tilt_deg = 26.0;
+    roof.azimuth_deg = 188.0;  // S, slightly W
+    const int roof_index = scene.add_roof(roof);
+
+    geo::RoofTexture texture;
+    texture.undulation_amp_x = 0.02;
+    texture.undulation_period_x = 6.5;
+    texture.undulation_amp_y = 0.012;
+    texture.undulation_period_y = 5.0;
+    texture.noise_amp = 0.018;
+    texture.noise_scale = 3.2;
+    texture.seed = 202;
+    scene.set_roof_texture(roof_index, texture);
+
+    // Large eastern neighbour: the "right-hand side least irradiated"
+    // pattern of Fig. 6(b).
+    scene.add_building({69.0, 8.0, 19.0, 30.0, 19.0});
+    // West wing of the same complex: evening shading of the west end.
+    scene.add_building({0.0, 12.0, 7.0, 24.0, 12.5});
+
+    // Stair tower and elevator penthouse rising well above the roof:
+    // their shadows sweep many meters of the surface through the day —
+    // the dominant amplitude-type heterogeneity on this roof.
+    scene.add_box({28.0, 15.4, 5.0, 3.0, 3.5, HeightRef::Surface});
+    scene.add_box({47.0, 19.0, 4.0, 3.0, 3.0, HeightRef::Surface});
+    scene.add_box({37.0, 22.3, 4.0, 2.5, 3.0, HeightRef::Surface});
+
+    // On-slope skylight strips (raised curbs shade their flanks).
+    for (const double sx : {14.0, 23.0, 38.0, 59.0}) {
+        scene.add_box({sx, 16.5, 1.2, 5.0, 0.8, HeightRef::Surface});
+    }
+
+    // Chimneys on the eastern half.
+    scene.add_box({54.0, 21.5, 1.0, 1.0, 2.0, HeightRef::Surface});
+    scene.add_box({61.0, 18.0, 1.0, 1.0, 2.0, HeightRef::Surface});
+
+    // Dense tree line along the street south of the building (modeled as
+    // a vegetation barrier with emergent crowns): winter shading that
+    // grades the southern half of the roof.
+    scene.add_building({8.0, 28.6, 60.0, 2.2, 12.5});
+    for (int k = 0; k < 8; ++k) {
+        scene.add_tree({11.0 + 7.0 * k, 31.0, 2.5, 12.5});
+    }
+
+    return RoofScenario{"Roof 2", std::move(scene), roof_index};
+}
+
+RoofScenario make_roof3() {
+    SceneBuilder scene(100.0, 48.0);
+
+    MonopitchRoof roof;
+    roof.name = "roof3";
+    roof.x = 10.0;
+    roof.y = 15.0;
+    roof.w = 59.6;  // 298 cells (Table I: 298x52)
+    roof.d = 10.4;  // 52 cells
+    roof.eave_height = 6.0;
+    roof.tilt_deg = 26.0;
+    roof.azimuth_deg = 202.0;  // SSW
+    const int roof_index = scene.add_roof(roof);
+
+    // The oldest building of the three: pronounced surface irregularity.
+    geo::RoofTexture texture;
+    texture.undulation_amp_x = 0.025;
+    texture.undulation_period_x = 5.5;
+    texture.undulation_amp_y = 0.015;
+    texture.undulation_period_y = 4.6;
+    texture.noise_amp = 0.02;
+    texture.noise_scale = 2.8;
+    texture.seed = 303;
+    scene.set_roof_texture(roof_index, texture);
+
+    // Western neighbour: evening shading of the west end.
+    scene.add_building({0.5, 8.0, 9.0, 30.0, 17.0});
+
+    // Stair tower plus scattered service boxes and raised conduits.
+    scene.add_box({36.0, 15.4, 4.5, 3.0, 3.5, HeightRef::Surface});
+    scene.add_box({52.0, 16.0, 4.0, 3.0, 3.0, HeightRef::Surface});
+    scene.add_box({24.0, 22.2, 3.5, 2.5, 2.8, HeightRef::Surface});
+    scene.add_box({20.0, 17.0, 2.0, 1.5, 1.4, HeightRef::Surface});
+    scene.add_box({48.0, 17.5, 1.5, 1.5, 1.8, HeightRef::Surface});
+    scene.add_box({58.0, 21.0, 2.0, 1.5, 1.2, HeightRef::Surface});
+    scene.add_pipe({40.0, 22.8, 62.0, 23.0, 0.5, 1.0});
+    scene.add_pipe({26.0, 16.2, 26.4, 24.8, 0.4, 0.8});
+
+    // Dense tall tree row just south of the eave: strong winter shading
+    // of the southern strip fading northward — the heterogeneity that
+    // gives this roof the largest gains in Table I.
+    scene.add_building({10.0, 28.4, 59.0, 2.2, 12.5});
+    for (int k = 0; k < 9; ++k) {
+        scene.add_tree({12.0 + 7.0 * k, 29.0, 3.0, 12.5});
+    }
+
+    return RoofScenario{"Roof 3", std::move(scene), roof_index};
+}
+
+std::vector<RoofScenario> make_paper_roofs() {
+    std::vector<RoofScenario> roofs;
+    roofs.push_back(make_roof1());
+    roofs.push_back(make_roof2());
+    roofs.push_back(make_roof3());
+    return roofs;
+}
+
+RoofScenario make_residential() {
+    SceneBuilder scene(30.0, 25.0);
+
+    // Gable roof, ridge east-west; modules go on the south-facing plane.
+    const int south_plane =
+        scene.add_gable_roof("house", 9.0, 8.0, 12.0, 8.0, 4.0, 30.0);
+
+    // Chimney near the ridge and a dormer on the south plane.
+    scene.add_box({12.0, 12.4, 0.9, 0.9, 1.4, HeightRef::Surface});
+    scene.add_box({16.5, 13.5, 2.0, 1.6, 1.3, HeightRef::Surface});
+
+    // Garden tree south-west of the house.
+    scene.add_tree({6.0, 19.0, 2.5, 9.0});
+
+    return RoofScenario{"Residential", std::move(scene), south_plane};
+}
+
+RoofScenario make_toy(double width_m, double depth_m) {
+    SceneBuilder scene(width_m + 8.0, depth_m + 8.0);
+
+    MonopitchRoof roof;
+    roof.name = "toy";
+    roof.x = 2.0;
+    roof.y = 3.0;
+    roof.w = width_m;
+    roof.d = depth_m;
+    roof.eave_height = 3.0;
+    roof.tilt_deg = 20.0;
+    roof.azimuth_deg = 180.0;
+    const int roof_index = scene.add_roof(roof);
+
+    // One chimney and an eastern wall for a shading gradient.
+    scene.add_box({roof.x + width_m * 0.35, roof.y + depth_m * 0.3, 0.6, 0.6,
+                   1.2, HeightRef::Surface});
+    scene.add_building(
+        {roof.x + width_m + 0.8, roof.y - 1.0, 2.0, depth_m + 2.0, 8.0});
+
+    return RoofScenario{"Toy", std::move(scene), roof_index};
+}
+
+}  // namespace pvfp::core

@@ -1,0 +1,50 @@
+#pragma once
+/// \file roof_library.hpp
+/// Synthetic stand-ins for the paper's case studies (Section V-A).
+///
+/// The paper evaluates three real lean-to industrial roofs in Torino
+/// (~49-60 m x 10 m plan, 26 deg tilt, facing S/SW) whose LiDAR DSMs are
+/// not public.  These factories build procedural scenes with the features
+/// the paper describes:
+///  - Roof 1: large pipe runs occupying much of the surface (the paper
+///    notes its reduced valid area and lower average irradiance), plus
+///    HVAC boxes and a taller neighbour to the east;
+///  - Roof 2: skylights/chimneys and an eastern neighbour producing the
+///    "least irradiated grid elements on the right-hand side" pattern of
+///    Fig. 6(b);
+///  - Roof 3: scattered service boxes, a southern tree row and a western
+///    neighbour (heterogeneous shading, the largest gains in Table I).
+/// A residential gable-roof scene (title use-case) and a small toy scene
+/// (tests/quickstart) complete the library.
+
+#include <string>
+
+#include "pvfp/geo/scene.hpp"
+
+namespace pvfp::core {
+
+/// A scene plus the roof plane on which modules are placed.
+struct RoofScenario {
+    std::string name;
+    geo::SceneBuilder scene;
+    int roof_index = 0;
+};
+
+/// Paper Roof 1 analogue (pipes dominate).
+RoofScenario make_roof1();
+/// Paper Roof 2 analogue (skylights + eastern neighbour).
+RoofScenario make_roof2();
+/// Paper Roof 3 analogue (tree row + western neighbour).
+RoofScenario make_roof3();
+/// All three paper roofs, in order.
+std::vector<RoofScenario> make_paper_roofs();
+
+/// Residential gable roof with chimney, dormer and a garden tree (the
+/// title's "residential installations" use-case; examples).
+RoofScenario make_residential();
+
+/// Small monopitch roof with one chimney and an eastern wall; fast enough
+/// for unit tests.  \p width_m x \p depth_m plan.
+RoofScenario make_toy(double width_m = 8.0, double depth_m = 4.8);
+
+}  // namespace pvfp::core

@@ -1,0 +1,88 @@
+#include "pvfp/core/string_row_placer.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::core {
+
+Floorplan place_string_rows(const geo::PlacementArea& area,
+                            const pvfp::Grid2D<double>& suitability,
+                            const PanelGeometry& geometry,
+                            const pv::Topology& topology,
+                            const StringRowOptions& options) {
+    check_arg(suitability.width() == area.width &&
+                  suitability.height() == area.height,
+              "place_string_rows: suitability does not match the area");
+    check_arg(options.row_distance_penalty >= 0.0,
+              "place_string_rows: negative penalty");
+    const int m = topology.series;
+    const int n = topology.strings;
+    check_arg(m > 0 && n > 0, "place_string_rows: degenerate topology");
+
+    const int row_w = m * geometry.k1;
+    const int row_h = geometry.k2;
+
+    const pvfp::SummedAreaTable sat(suitability, &area.valid);
+    const auto row_valid = [&](int x, int y) {
+        if (x < 0 || y < 0 || x + row_w > area.width ||
+            y + row_h > area.height)
+            return false;
+        for (int yy = y; yy < y + row_h; ++yy)
+            for (int xx = x; xx < x + row_w; ++xx)
+                if (!area.valid(xx, yy)) return false;
+        return true;
+    };
+
+    pvfp::Grid2D<unsigned char> occupied(area.width, area.height, 0);
+    const auto row_free = [&](int x, int y) {
+        for (int yy = y; yy < y + row_h; ++yy)
+            for (int xx = x; xx < x + row_w; ++xx)
+                if (occupied(xx, yy)) return false;
+        return true;
+    };
+
+    Floorplan plan;
+    plan.geometry = geometry;
+    plan.topology = topology;
+    plan.modules.reserve(static_cast<std::size_t>(topology.total()));
+
+    double prev_x = std::numeric_limits<double>::quiet_NaN();
+    double prev_y = 0.0;
+    for (int j = 0; j < n; ++j) {
+        double best = -std::numeric_limits<double>::infinity();
+        int bx = -1;
+        int by = -1;
+        for (int y = 0; y + row_h <= area.height; ++y) {
+            for (int x = 0; x + row_w <= area.width; ++x) {
+                if (!row_valid(x, y) || !row_free(x, y)) continue;
+                double score = sat.rect_sum(x, y, row_w, row_h);
+                if (!std::isnan(prev_x)) {
+                    score -= options.row_distance_penalty *
+                             std::hypot(x - prev_x, y - prev_y);
+                }
+                if (score > best) {
+                    best = score;
+                    bx = x;
+                    by = y;
+                }
+            }
+        }
+        if (bx < 0)
+            throw Infeasible(
+                "place_string_rows: string " + std::to_string(j) +
+                " does not fit (rigid rows need a clear " +
+                std::to_string(row_w) + "-cell span)");
+        for (int yy = by; yy < by + row_h; ++yy)
+            for (int xx = bx; xx < bx + row_w; ++xx)
+                occupied(xx, yy) = 1;
+        for (int i = 0; i < m; ++i)
+            plan.modules.push_back({bx + i * geometry.k1, by});
+        prev_x = bx;
+        prev_y = by;
+    }
+    return plan;
+}
+
+}  // namespace pvfp::core

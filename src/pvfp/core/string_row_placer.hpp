@@ -1,0 +1,36 @@
+#pragma once
+/// \file string_row_placer.hpp
+/// String-rigid placer: an intermediate between the traditional compact
+/// block and the paper's fully-free placement.
+///
+/// The paper's claimed novelty is letting *individual modules* be placed
+/// "individually, therefore possibly yielding an unconventional,
+/// 'irregular' floorplanning" (Section I).  This placer removes exactly
+/// that freedom — each series string stays one rigid row of m modules —
+/// while keeping everything else (suitability ranking, greedy selection).
+/// The energy gap between this placer and place_greedy() therefore
+/// *isolates the value of module-level freedom*, the paper's Fig. 1
+/// message, measured in bench/ablation_rigidity.
+
+#include "pvfp/core/layout.hpp"
+#include "pvfp/util/grid2d.hpp"
+
+namespace pvfp::core {
+
+struct StringRowOptions {
+    /// Small penalty per cell of distance between consecutive string rows
+    /// (keeps equal-suitability rows adjacent, mirroring the greedy's
+    /// wiring tie-break).
+    double row_distance_penalty = 1e-6;
+};
+
+/// Place each of the topology's n strings as one rigid horizontal row of
+/// m modules, rows chosen greedily by total footprint suitability.
+/// Throws Infeasible when any string cannot be placed.
+Floorplan place_string_rows(const geo::PlacementArea& area,
+                            const pvfp::Grid2D<double>& suitability,
+                            const PanelGeometry& geometry,
+                            const pv::Topology& topology,
+                            const StringRowOptions& options = {});
+
+}  // namespace pvfp::core

@@ -1,0 +1,88 @@
+#include "pvfp/core/suitability.hpp"
+
+#include <algorithm>
+
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/stats.hpp"
+
+namespace pvfp::core {
+
+double temperature_correction_factor(double t_c,
+                                     const SuitabilityOptions& options) {
+    const double denom =
+        options.derating_offset -
+        options.derating_per_k * options.reference_temp_c;
+    check_arg(denom > 0.0,
+              "temperature_correction_factor: derating model degenerate at "
+              "the reference temperature");
+    const double num =
+        options.derating_offset - options.derating_per_k * t_c;
+    return std::max(0.0, num / denom);
+}
+
+SuitabilityResult compute_suitability(const solar::IrradianceField& field,
+                                      const geo::PlacementArea& area,
+                                      const SuitabilityOptions& options) {
+    check_arg(field.width() == area.width && field.height() == area.height,
+              "compute_suitability: field window does not match area");
+    check_arg(options.percentile >= 0.0 && options.percentile <= 100.0,
+              "compute_suitability: percentile out of [0,100]");
+    check_arg(options.bins >= 8, "compute_suitability: too few bins");
+    check_arg(options.step_stride >= 1,
+              "compute_suitability: step_stride must be >= 1");
+    check_arg(options.g_max > 0.0 && options.t_max_c > options.t_min_c,
+              "compute_suitability: invalid histogram ranges");
+
+    const int w = area.width;
+    const int h = area.height;
+
+    // Collect the list of valid cells once; histograms only for them.
+    std::vector<std::pair<int, int>> cells;
+    cells.reserve(static_cast<std::size_t>(area.valid_count));
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            if (area.valid(x, y)) cells.emplace_back(x, y);
+    check_arg(!cells.empty(), "compute_suitability: no valid cells");
+
+    std::vector<pvfp::Histogram> g_hist(
+        cells.size(), pvfp::Histogram(0.0, options.g_max, options.bins));
+    std::vector<pvfp::Histogram> t_hist(
+        cells.size(),
+        pvfp::Histogram(options.t_min_c, options.t_max_c, options.bins));
+
+    const double k_th = field.config().thermal_k;
+    for (long s = 0; s < field.steps(); s += options.step_stride) {
+        if (options.daylight_only && !field.is_daylight(s)) continue;
+        const double t_air = field.air_temperature(s);
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const auto [x, y] = cells[c];
+            const double g = field.cell_irradiance(x, y, s);
+            g_hist[c].add(g);
+            t_hist[c].add(t_air + k_th * g);
+        }
+    }
+
+    SuitabilityResult out;
+    out.suitability = pvfp::Grid2D<double>(w, h, 0.0);
+    out.g_percentile = pvfp::Grid2D<double>(w, h, 0.0);
+    out.t_percentile = pvfp::Grid2D<double>(w, h, 0.0);
+
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        const auto [x, y] = cells[c];
+        const double gp = options.use_mean
+                              ? g_hist[c].approx_mean()
+                              : g_hist[c].percentile(options.percentile);
+        const double tp = options.use_mean
+                              ? t_hist[c].approx_mean()
+                              : t_hist[c].percentile(options.percentile);
+        out.g_percentile(x, y) = gp;
+        out.t_percentile(x, y) = tp;
+        double s_val = gp;
+        if (options.temperature_correction)
+            s_val *= temperature_correction_factor(tp, options);
+        out.suitability(x, y) = s_val;
+    }
+    return out;
+}
+
+}  // namespace pvfp::core

@@ -1,0 +1,119 @@
+#include "pvfp/geo/asc_grid.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::geo {
+namespace {
+
+std::string lower(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+}  // namespace
+
+Raster read_asc_grid(std::istream& is) {
+    // Header: key/value pairs in flexible order until the first row of
+    // numbers.  ncols/nrows/cellsize are mandatory.
+    long ncols = -1;
+    long nrows = -1;
+    double xll = 0.0;
+    double yll = 0.0;
+    bool centered = false;  // xllcenter/yllcenter variant
+    double cellsize = -1.0;
+    double nodata = kDefaultNoData;
+
+    std::string token;
+    // Read header keys.
+    for (;;) {
+        const auto pos = is.tellg();
+        if (!(is >> token)) throw IoError("asc_grid: truncated header");
+        const std::string key = lower(token);
+        if (key == "ncols") {
+            check_io(static_cast<bool>(is >> ncols), "asc_grid: bad ncols");
+        } else if (key == "nrows") {
+            check_io(static_cast<bool>(is >> nrows), "asc_grid: bad nrows");
+        } else if (key == "xllcorner" || key == "xllcenter") {
+            check_io(static_cast<bool>(is >> xll), "asc_grid: bad xllcorner");
+            centered = (key == "xllcenter");
+        } else if (key == "yllcorner" || key == "yllcenter") {
+            check_io(static_cast<bool>(is >> yll), "asc_grid: bad yllcorner");
+        } else if (key == "cellsize") {
+            check_io(static_cast<bool>(is >> cellsize),
+                     "asc_grid: bad cellsize");
+        } else if (key == "nodata_value") {
+            check_io(static_cast<bool>(is >> nodata),
+                     "asc_grid: bad NODATA_value");
+        } else {
+            // First data token: rewind and stop header parsing.
+            is.clear();
+            is.seekg(pos);
+            break;
+        }
+    }
+
+    check_io(ncols > 0 && nrows > 0, "asc_grid: missing/invalid ncols/nrows");
+    check_io(cellsize > 0.0, "asc_grid: missing/invalid cellsize");
+    check_io(ncols * nrows <=
+                 static_cast<long>(std::numeric_limits<int>::max()),
+             "asc_grid: grid too large");
+
+    const double half = centered ? 0.5 * cellsize : 0.0;
+    // Raster origin is the top-left (NW) corner; the header gives the
+    // bottom-left (SW) corner, nrows*cellsize further south.
+    const double origin_x = xll - half;
+    const double origin_y = (yll - half) + static_cast<double>(nrows) * cellsize;
+    Raster raster(static_cast<int>(ncols), static_cast<int>(nrows), cellsize,
+                  0.0, origin_x, origin_y);
+    raster.set_nodata(nodata);
+
+    for (int y = 0; y < raster.height(); ++y) {
+        for (int x = 0; x < raster.width(); ++x) {
+            double v = 0.0;
+            check_io(static_cast<bool>(is >> v),
+                     "asc_grid: truncated data section");
+            raster(x, y) = v;
+        }
+    }
+    return raster;
+}
+
+Raster read_asc_grid_file(const std::string& path) {
+    std::ifstream is(path);
+    check_io(is.good(), "asc_grid: cannot open '" + path + "'");
+    return read_asc_grid(is);
+}
+
+void write_asc_grid(const Raster& raster, std::ostream& os) {
+    os << "ncols " << raster.width() << '\n';
+    os << "nrows " << raster.height() << '\n';
+    os << "xllcorner " << raster.origin_x() << '\n';
+    os << "yllcorner "
+       << raster.origin_y() - raster.height() * raster.cell_size() << '\n';
+    os << "cellsize " << raster.cell_size() << '\n';
+    os << "NODATA_value " << raster.nodata() << '\n';
+    os.precision(6);
+    for (int y = 0; y < raster.height(); ++y) {
+        for (int x = 0; x < raster.width(); ++x) {
+            if (x) os << ' ';
+            os << raster(x, y);
+        }
+        os << '\n';
+    }
+}
+
+void write_asc_grid_file(const Raster& raster, const std::string& path) {
+    std::ofstream os(path);
+    check_io(os.good(), "asc_grid: cannot open '" + path + "' for writing");
+    write_asc_grid(raster, os);
+    check_io(os.good(), "asc_grid: write to '" + path + "' failed");
+}
+
+}  // namespace pvfp::geo

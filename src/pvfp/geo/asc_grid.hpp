@@ -1,0 +1,40 @@
+#pragma once
+/// \file asc_grid.hpp
+/// ESRI ASCII grid (.asc) import/export for Raster.
+///
+/// This is the interchange format used in place of GDAL/GeoTIFF: it is a
+/// plain-text grid format that every GIS package (QGIS, ArcGIS, GRASS, and
+/// GDAL itself) reads, so synthetic DSMs produced here can be inspected in
+/// real GIS tools and real LiDAR DSMs can be fed to the floorplanner.
+///
+/// Format:
+///   ncols 4
+///   nrows 3
+///   xllcorner 0.0
+///   yllcorner 0.0
+///   cellsize 0.2
+///   NODATA_value -9999
+///   <nrows lines of ncols numbers, row 0 = northernmost>
+
+#include <iosfwd>
+#include <string>
+
+#include "pvfp/geo/raster.hpp"
+
+namespace pvfp::geo {
+
+/// Parse an ASCII grid from a stream; throws IoError on malformed content.
+Raster read_asc_grid(std::istream& is);
+
+/// Parse an ASCII grid file; throws IoError when it cannot be opened.
+Raster read_asc_grid_file(const std::string& path);
+
+/// Serialize \p raster to a stream in ESRI ASCII grid format.
+/// Note: the format's yllcorner refers to the *bottom-left* corner while
+/// Raster's origin is top-left; the writer converts.
+void write_asc_grid(const Raster& raster, std::ostream& os);
+
+/// Serialize to a file; throws IoError on failure.
+void write_asc_grid_file(const Raster& raster, const std::string& path);
+
+}  // namespace pvfp::geo

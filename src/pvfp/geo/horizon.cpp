@@ -1,0 +1,130 @@
+#include "pvfp/geo/horizon.hpp"
+
+#include <cmath>
+
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/math.hpp"
+
+namespace pvfp::geo {
+namespace {
+
+/// March from the center of cell (x,y) along \p azimuth and return the
+/// maximum elevation angle seen.  \p growth >= 1 controls step growth.
+double march(const Raster& dsm, int x, int y, double azimuth_rad,
+             double max_distance, double step, double growth,
+             double max_step, double observer_offset) {
+    const double lx0 = dsm.local_x(x);
+    const double ly0 = dsm.local_y(y);
+    const double h0 = dsm(x, y) + observer_offset;
+    // Local frame: x east, y south; azimuth clockwise from North.
+    const double dirx = std::sin(azimuth_rad);
+    const double diry = -std::cos(azimuth_rad);
+
+    const double width_m = dsm.width() * dsm.cell_size();
+    const double height_m = dsm.height() * dsm.cell_size();
+
+    double best = 0.0;  // horizons below the horizontal do not shade
+    double t = step;
+    double dt = step;
+    while (t <= max_distance) {
+        const double lx = lx0 + t * dirx;
+        const double ly = ly0 + t * diry;
+        if (lx < 0.0 || ly < 0.0 || lx >= width_m || ly >= height_m) break;
+        const double h = dsm.sample_bilinear_local(lx, ly);
+        if (h > h0) {
+            const double ang = std::atan2(h - h0, t);
+            if (ang > best) best = ang;
+        }
+        dt = std::min(dt * growth, max_step);
+        t += dt;
+    }
+    return best;
+}
+
+}  // namespace
+
+HorizonMap::HorizonMap(const Raster& dsm, int x0, int y0, int win_w,
+                       int win_h, const HorizonOptions& options)
+    : x0_(x0), y0_(y0), win_w_(win_w), win_h_(win_h),
+      sectors_(options.azimuth_sectors) {
+    check_arg(win_w > 0 && win_h > 0, "HorizonMap: empty window");
+    check_arg(x0 >= 0 && y0 >= 0 && x0 + win_w <= dsm.width() &&
+                  y0 + win_h <= dsm.height(),
+              "HorizonMap: window outside raster");
+    check_arg(sectors_ >= 4, "HorizonMap: need at least 4 azimuth sectors");
+    check_arg(options.max_distance > 0.0 && options.step_factor > 0.0 &&
+                  options.step_growth >= 1.0 &&
+                  options.max_step_factor >= options.step_factor,
+              "HorizonMap: invalid marching parameters");
+
+    const double step = options.step_factor * dsm.cell_size();
+    angles_.resize(static_cast<std::size_t>(win_w) * win_h * sectors_);
+    svf_.resize(static_cast<std::size_t>(win_w) * win_h);
+
+    for (int wy = 0; wy < win_h; ++wy) {
+        for (int wx = 0; wx < win_w; ++wx) {
+            const std::size_t base = base_index(wx, wy);
+            double svf_acc = 0.0;
+            for (int s = 0; s < sectors_; ++s) {
+                const double az = kTwoPi * s / sectors_;
+                const double ang =
+                    march(dsm, x0 + wx, y0 + wy, az, options.max_distance,
+                          step, options.step_growth,
+                          options.max_step_factor * dsm.cell_size(),
+                          options.observer_offset);
+                angles_[base + static_cast<std::size_t>(s)] =
+                    static_cast<float>(ang);
+                const double c = std::cos(ang);
+                svf_acc += c * c;
+            }
+            svf_[base / static_cast<std::size_t>(sectors_)] =
+                static_cast<float>(svf_acc / sectors_);
+        }
+    }
+}
+
+std::size_t HorizonMap::base_index(int wx, int wy) const {
+    check_arg(wx >= 0 && wx < win_w_ && wy >= 0 && wy < win_h_,
+              "HorizonMap: window cell out of range");
+    return (static_cast<std::size_t>(wy) * win_w_ +
+            static_cast<std::size_t>(wx)) *
+           static_cast<std::size_t>(sectors_);
+}
+
+double HorizonMap::horizon(int wx, int wy, int s) const {
+    check_arg(s >= 0 && s < sectors_, "HorizonMap::horizon: bad sector");
+    return angles_[base_index(wx, wy) + static_cast<std::size_t>(s)];
+}
+
+double HorizonMap::horizon_at(int wx, int wy, double azimuth_rad) const {
+    const std::size_t base = base_index(wx, wy);
+    const double pos = wrap_two_pi(azimuth_rad) / kTwoPi * sectors_;
+    const int s0 = static_cast<int>(pos) % sectors_;
+    const int s1 = (s0 + 1) % sectors_;
+    const double frac = pos - std::floor(pos);
+    const double a0 = angles_[base + static_cast<std::size_t>(s0)];
+    const double a1 = angles_[base + static_cast<std::size_t>(s1)];
+    return lerp(a0, a1, frac);
+}
+
+bool HorizonMap::is_shaded(int wx, int wy, double azimuth_rad,
+                           double elevation_rad) const {
+    if (elevation_rad <= 0.0) return true;
+    return elevation_rad < horizon_at(wx, wy, azimuth_rad);
+}
+
+double HorizonMap::sky_view_factor(int wx, int wy) const {
+    return svf_[base_index(wx, wy) / static_cast<std::size_t>(sectors_)];
+}
+
+double brute_force_horizon(const Raster& dsm, int x, int y,
+                           double azimuth_rad,
+                           const HorizonOptions& options) {
+    check_arg(dsm.in_bounds(x, y), "brute_force_horizon: cell out of bounds");
+    const double step = options.step_factor * dsm.cell_size();
+    return march(dsm, x, y, azimuth_rad, options.max_distance, step,
+                 /*growth=*/1.0, /*max_step=*/step,
+                 options.observer_offset);
+}
+
+}  // namespace pvfp::geo

@@ -1,0 +1,125 @@
+#include "pvfp/geo/raster.hpp"
+
+#include <cmath>
+
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/math.hpp"
+
+namespace pvfp::geo {
+
+Raster::Raster(int width, int height, double cell_size, double fill,
+               double origin_x, double origin_y)
+    : grid_(width, height, fill),
+      cell_size_(cell_size),
+      origin_x_(origin_x),
+      origin_y_(origin_y) {
+    check_arg(cell_size > 0.0, "Raster: cell_size must be positive");
+}
+
+int Raster::col_of(double wx) const {
+    return static_cast<int>(std::floor((wx - origin_x_) / cell_size_));
+}
+
+int Raster::row_of(double wy) const {
+    return static_cast<int>(std::floor((origin_y_ - wy) / cell_size_));
+}
+
+double Raster::sample_bilinear_local(double lx, double ly) const {
+    check_arg(width() > 0 && height() > 0,
+              "Raster::sample_bilinear_local: empty");
+    // Continuous cell-center coordinates.
+    const double cx = lx / cell_size_ - 0.5;
+    const double cy = ly / cell_size_ - 0.5;
+    const double fx = std::clamp(cx, 0.0, static_cast<double>(width() - 1));
+    const double fy = std::clamp(cy, 0.0, static_cast<double>(height() - 1));
+    const int x0 = std::min(static_cast<int>(fx), width() - 1);
+    const int y0 = std::min(static_cast<int>(fy), height() - 1);
+    const int x1 = std::min(x0 + 1, width() - 1);
+    const int y1 = std::min(y0 + 1, height() - 1);
+    const double tx = fx - x0;
+    const double ty = fy - y0;
+    const double top = lerp(grid_(x0, y0), grid_(x1, y0), tx);
+    const double bot = lerp(grid_(x0, y1), grid_(x1, y1), tx);
+    return lerp(top, bot, ty);
+}
+
+NormalMap NormalMap::from_dsm(const Raster& dsm, int x0, int y0, int w,
+                              int h) {
+    check_arg(x0 >= 0 && y0 >= 0 && w > 0 && h > 0 &&
+                  x0 + w <= dsm.width() && y0 + h <= dsm.height(),
+              "NormalMap: window outside raster");
+    NormalMap out;
+    out.east = pvfp::Grid2D<float>(w, h, 0.0f);
+    out.north = pvfp::Grid2D<float>(w, h, 0.0f);
+    out.up = pvfp::Grid2D<float>(w, h, 1.0f);
+    const double cs = dsm.cell_size();
+    for (int wy = 0; wy < h; ++wy) {
+        for (int wx = 0; wx < w; ++wx) {
+            const int x = x0 + wx;
+            const int y = y0 + wy;
+            const int xm = std::max(x - 1, 0);
+            const int xp = std::min(x + 1, dsm.width() - 1);
+            const int ym = std::max(y - 1, 0);
+            const int yp = std::min(y + 1, dsm.height() - 1);
+            const double dzdx = (dsm(xp, y) - dsm(xm, y)) / ((xp - xm) * cs);
+            const double dzdy = (dsm(x, yp) - dsm(x, ym)) / ((yp - ym) * cs);
+            // Row index grows south: d(height)/d(north) = -dzdy.
+            const double e = -dzdx;
+            const double n = dzdy;
+            const double norm = std::sqrt(e * e + n * n + 1.0);
+            out.east(wx, wy) = static_cast<float>(e / norm);
+            out.north(wx, wy) = static_cast<float>(n / norm);
+            out.up(wx, wy) = static_cast<float>(1.0 / norm);
+        }
+    }
+    return out;
+}
+
+pvfp::Grid2D<double> slope_map(const Raster& dsm) {
+    check_arg(dsm.width() >= 2 && dsm.height() >= 2,
+              "slope_map: raster too small");
+    pvfp::Grid2D<double> out(dsm.width(), dsm.height(), 0.0);
+    const double cs = dsm.cell_size();
+    for (int y = 0; y < dsm.height(); ++y) {
+        for (int x = 0; x < dsm.width(); ++x) {
+            const int xm = std::max(x - 1, 0);
+            const int xp = std::min(x + 1, dsm.width() - 1);
+            const int ym = std::max(y - 1, 0);
+            const int yp = std::min(y + 1, dsm.height() - 1);
+            const double dzdx = (dsm(xp, y) - dsm(xm, y)) / ((xp - xm) * cs);
+            const double dzdy = (dsm(x, yp) - dsm(x, ym)) / ((yp - ym) * cs);
+            out(x, y) = std::atan(std::hypot(dzdx, dzdy));
+        }
+    }
+    return out;
+}
+
+pvfp::Grid2D<double> aspect_map(const Raster& dsm) {
+    check_arg(dsm.width() >= 2 && dsm.height() >= 2,
+              "aspect_map: raster too small");
+    pvfp::Grid2D<double> out(dsm.width(), dsm.height(), 0.0);
+    const double cs = dsm.cell_size();
+    for (int y = 0; y < dsm.height(); ++y) {
+        for (int x = 0; x < dsm.width(); ++x) {
+            const int xm = std::max(x - 1, 0);
+            const int xp = std::min(x + 1, dsm.width() - 1);
+            const int ym = std::max(y - 1, 0);
+            const int yp = std::min(y + 1, dsm.height() - 1);
+            const double dzdx = (dsm(xp, y) - dsm(xm, y)) / ((xp - xm) * cs);
+            const double dzdy = (dsm(x, yp) - dsm(x, ym)) / ((yp - ym) * cs);
+            if (dzdx == 0.0 && dzdy == 0.0) {
+                out(x, y) = std::nan("");
+                continue;
+            }
+            // Downslope direction in world coords: (-dzdx, -dzdy) with +y
+            // pointing south.  Azimuth measured clockwise from North:
+            // az = atan2(east_component, north_component).
+            const double east = -dzdx;
+            const double north = dzdy;  // +y is south, so north = -(-dzdy)
+            out(x, y) = wrap_two_pi(std::atan2(east, north));
+        }
+    }
+    return out;
+}
+
+}  // namespace pvfp::geo

@@ -1,0 +1,117 @@
+#pragma once
+/// \file raster.hpp
+/// Georeferenced rasters: the in-memory representation of the Digital
+/// Surface Model (DSM) that drives shadow casting and suitable-area
+/// extraction (paper Section IV).
+///
+/// The paper's infrastructure consumes LiDAR-derived DSMs through GIS
+/// tooling; here a Raster is a Grid2D with a geotransform (origin + square
+/// cell size in meters).  Conventions (standard GIS / GDAL):
+///  - world frame: x (easting) grows east, y (northing) grows north;
+///  - raster frame: column index grows east, row index grows *south*
+///    (row 0 is the northernmost), so world y decreases with row index;
+///  - "local" coordinates: plan meters relative to the top-left (NW)
+///    corner with local y growing south — the frame used by the scene
+///    builder and the placement code, where everything is row-aligned.
+
+#include <string>
+
+#include "pvfp/util/grid2d.hpp"
+
+namespace pvfp::geo {
+
+/// Value used to mark cells with no data in I/O (ESRI convention).
+inline constexpr double kDefaultNoData = -9999.0;
+
+/// A georeferenced, square-cell raster of doubles (heights in meters for
+/// DSMs, but also used for irradiance/suitability exports).
+class Raster {
+public:
+    Raster() = default;
+
+    /// \p width, \p height in cells; \p cell_size in meters (> 0).
+    /// \p origin_x: easting of the west edge; \p origin_y: northing of the
+    /// *north* edge (top-left corner of cell (0,0)).
+    Raster(int width, int height, double cell_size, double fill = 0.0,
+           double origin_x = 0.0, double origin_y = 0.0);
+
+    int width() const { return grid_.width(); }
+    int height() const { return grid_.height(); }
+    double cell_size() const { return cell_size_; }
+    double origin_x() const { return origin_x_; }
+    double origin_y() const { return origin_y_; }
+    double nodata() const { return nodata_; }
+    void set_nodata(double v) { nodata_ = v; }
+
+    bool in_bounds(int x, int y) const { return grid_.in_bounds(x, y); }
+
+    /// Unchecked fast access (hot loops).
+    double operator()(int x, int y) const { return grid_(x, y); }
+    double& operator()(int x, int y) { return grid_(x, y); }
+    /// Checked access.
+    double at(int x, int y) const { return grid_.at(x, y); }
+    double& at(int x, int y) { return grid_.at(x, y); }
+
+    const pvfp::Grid2D<double>& grid() const { return grid_; }
+    pvfp::Grid2D<double>& grid() { return grid_; }
+
+    /// World easting of the *center* of column \p x.
+    double world_x(int x) const { return origin_x_ + (x + 0.5) * cell_size_; }
+    /// World northing of the *center* of row \p y (decreases with row).
+    double world_y(int y) const { return origin_y_ - (y + 0.5) * cell_size_; }
+
+    /// Column containing world easting \p wx (may be out of bounds).
+    int col_of(double wx) const;
+    /// Row containing world northing \p wy (may be out of bounds).
+    int row_of(double wy) const;
+
+    /// Local plan x (meters east of the NW corner) of the center of col x.
+    double local_x(int x) const { return (x + 0.5) * cell_size_; }
+    /// Local plan y (meters south of the NW corner) of the center of row y.
+    double local_y(int y) const { return (y + 0.5) * cell_size_; }
+
+    /// Bilinear interpolation of the height surface at *local* plan
+    /// coordinates (meters from the NW corner, y growing south); clamps to
+    /// the raster edges.  Used by the horizon ray-marcher.
+    double sample_bilinear_local(double lx, double ly) const;
+
+    bool operator==(const Raster&) const = default;
+
+private:
+    pvfp::Grid2D<double> grid_;
+    double cell_size_ = 1.0;
+    double origin_x_ = 0.0;
+    double origin_y_ = 0.0;
+    double nodata_ = kDefaultNoData;
+};
+
+/// Per-cell unit surface normals of a DSM window in the (east, north, up)
+/// frame, from central differences.  The irradiance field uses these to
+/// modulate the beam component cell-by-cell — the mechanism by which DSM
+/// surface structure (roof undulation, obstacle flanks) produces the
+/// fine-grain irradiance variance the paper's suitability metric exploits.
+struct NormalMap {
+    pvfp::Grid2D<float> east;
+    pvfp::Grid2D<float> north;
+    pvfp::Grid2D<float> up;
+
+    int width() const { return east.width(); }
+    int height() const { return east.height(); }
+
+    /// Build for the window with top-left (x0, y0) and size w x h of
+    /// \p dsm; gradients use neighbors from the full raster (clamped at
+    /// its edges).
+    static NormalMap from_dsm(const Raster& dsm, int x0, int y0, int w,
+                              int h);
+};
+
+/// Per-cell slope (radians from horizontal) of the height surface computed
+/// with central differences (Horn's method simplified to 4-neighborhood at
+/// the borders).
+pvfp::Grid2D<double> slope_map(const Raster& dsm);
+
+/// Per-cell aspect (downslope azimuth, radians clockwise from North);
+/// flat cells get NaN.
+pvfp::Grid2D<double> aspect_map(const Raster& dsm);
+
+}  // namespace pvfp::geo

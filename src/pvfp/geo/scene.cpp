@@ -1,0 +1,263 @@
+#include "pvfp/geo/scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/math.hpp"
+
+namespace pvfp::geo {
+namespace {
+
+bool inside_rect(double lx, double ly, double x, double y, double w,
+                 double d) {
+    return lx >= x && lx < x + w && ly >= y && ly < y + d;
+}
+
+/// Squared distance from point p to segment (a, b) in the plane.
+double point_segment_dist(double px, double py, double ax, double ay,
+                          double bx, double by) {
+    const double vx = bx - ax;
+    const double vy = by - ay;
+    const double len2 = vx * vx + vy * vy;
+    double t = 0.0;
+    if (len2 > 0.0) {
+        t = ((px - ax) * vx + (py - ay) * vy) / len2;
+        t = std::clamp(t, 0.0, 1.0);
+    }
+    const double cx = ax + t * vx;
+    const double cy = ay + t * vy;
+    return std::hypot(px - cx, py - cy);
+}
+
+}  // namespace
+
+SceneBuilder::SceneBuilder(double extent_x, double extent_y,
+                           double ground_height)
+    : extent_x_(extent_x), extent_y_(extent_y),
+      ground_height_(ground_height) {
+    check_arg(extent_x > 0.0 && extent_y > 0.0,
+              "SceneBuilder: extents must be positive");
+}
+
+int SceneBuilder::add_roof(MonopitchRoof roof) {
+    check_arg(roof.w > 0.0 && roof.d > 0.0,
+              "SceneBuilder::add_roof: roof plan extents must be positive");
+    check_arg(roof.tilt_deg >= 0.0 && roof.tilt_deg < 90.0,
+              "SceneBuilder::add_roof: tilt must be in [0, 90) degrees");
+    roofs_.push_back(std::move(roof));
+    textures_.emplace_back();
+    return static_cast<int>(roofs_.size()) - 1;
+}
+
+void SceneBuilder::set_roof_texture(int roof_index,
+                                    const RoofTexture& texture) {
+    check_arg(roof_index >= 0 && roof_index < roof_count(),
+              "SceneBuilder::set_roof_texture: index out of range");
+    check_arg(texture.undulation_amp_x >= 0.0 &&
+                  texture.undulation_amp_y >= 0.0 &&
+                  texture.noise_amp >= 0.0,
+              "SceneBuilder::set_roof_texture: negative amplitude");
+    check_arg(texture.undulation_period_x > 0.0 &&
+                  texture.undulation_period_y > 0.0 &&
+                  texture.noise_scale > 0.0,
+              "SceneBuilder::set_roof_texture: non-positive period/scale");
+    textures_[static_cast<std::size_t>(roof_index)] = texture;
+}
+
+int SceneBuilder::add_gable_roof(const std::string& name, double x, double y,
+                                 double w, double d, double eave_height,
+                                 double tilt_deg) {
+    MonopitchRoof south;
+    south.name = name + "/south";
+    south.x = x;
+    south.y = y + d / 2.0;
+    south.w = w;
+    south.d = d / 2.0;
+    south.eave_height = eave_height;
+    south.tilt_deg = tilt_deg;
+    south.azimuth_deg = 180.0;  // downslope towards south
+    const int south_index = add_roof(south);
+
+    MonopitchRoof north = south;
+    north.name = name + "/north";
+    north.y = y;
+    north.azimuth_deg = 0.0;  // downslope towards north
+    add_roof(north);
+    return south_index;
+}
+
+void SceneBuilder::add_box(BoxObstacle box) {
+    check_arg(box.w > 0.0 && box.d > 0.0 && box.height >= 0.0,
+              "SceneBuilder::add_box: invalid box");
+    boxes_.push_back(box);
+}
+
+void SceneBuilder::add_pipe(PipeRun pipe) {
+    check_arg(pipe.width > 0.0 && pipe.height >= 0.0,
+              "SceneBuilder::add_pipe: invalid pipe");
+    pipes_.push_back(pipe);
+}
+
+void SceneBuilder::add_tree(Tree tree) {
+    check_arg(tree.radius > 0.0 && tree.height > 0.0,
+              "SceneBuilder::add_tree: invalid tree");
+    trees_.push_back(tree);
+}
+
+void SceneBuilder::add_building(Building building) {
+    check_arg(building.w > 0.0 && building.d > 0.0 && building.height >= 0.0,
+              "SceneBuilder::add_building: invalid building");
+    buildings_.push_back(building);
+}
+
+const MonopitchRoof& SceneBuilder::roof(int index) const {
+    check_arg(index >= 0 && index < roof_count(),
+              "SceneBuilder::roof: index out of range");
+    return roofs_[static_cast<std::size_t>(index)];
+}
+
+double SceneBuilder::roof_plane_height(int index, double lx, double ly) const {
+    const MonopitchRoof& r = roof(index);
+    // Downslope unit vector in the local frame (x east, y south):
+    // azimuth a (clockwise from North) has east = sin(a), north = cos(a),
+    // hence local y component = -cos(a).
+    const double a = deg2rad(r.azimuth_deg);
+    const double dx = std::sin(a);
+    const double dy = -std::cos(a);
+    // Height grows along -d.  Reference: the lowest plan corner, i.e. the
+    // corner maximizing the downslope projection.
+    const double ux = -dx;
+    const double uy = -dy;
+    double t_min = std::numeric_limits<double>::infinity();
+    const double corners[4][2] = {{r.x, r.y},
+                                  {r.x + r.w, r.y},
+                                  {r.x, r.y + r.d},
+                                  {r.x + r.w, r.y + r.d}};
+    for (const auto& c : corners)
+        t_min = std::min(t_min, c[0] * ux + c[1] * uy);
+    const double t = lx * ux + ly * uy;
+    return ground_height_ + r.eave_height +
+           std::tan(deg2rad(r.tilt_deg)) * (t - t_min);
+}
+
+bool SceneBuilder::inside_roof(int index, double lx, double ly) const {
+    const MonopitchRoof& r = roof(index);
+    return inside_rect(lx, ly, r.x, r.y, r.w, r.d);
+}
+
+namespace {
+
+/// Deterministic hash of a lattice point -> uniform in [-1, 1].
+double lattice_noise(std::int64_t ix, std::int64_t iy, std::uint32_t seed) {
+    std::uint64_t h = static_cast<std::uint64_t>(ix) * 0x9E3779B97F4A7C15ULL ^
+                      static_cast<std::uint64_t>(iy) * 0xC2B2AE3D27D4EB4FULL ^
+                      (static_cast<std::uint64_t>(seed) << 32);
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    // Top 53 bits -> [0,1) -> [-1,1).
+    return static_cast<double>(h >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+}
+
+/// Smooth value noise: bilinear interpolation of lattice values.
+double value_noise(double lx, double ly, double scale, std::uint32_t seed) {
+    const double gx = lx / scale;
+    const double gy = ly / scale;
+    const auto ix = static_cast<std::int64_t>(std::floor(gx));
+    const auto iy = static_cast<std::int64_t>(std::floor(gy));
+    const double tx = gx - static_cast<double>(ix);
+    const double ty = gy - static_cast<double>(iy);
+    const double v00 = lattice_noise(ix, iy, seed);
+    const double v10 = lattice_noise(ix + 1, iy, seed);
+    const double v01 = lattice_noise(ix, iy + 1, seed);
+    const double v11 = lattice_noise(ix + 1, iy + 1, seed);
+    const double top = v00 + (v10 - v00) * tx;
+    const double bot = v01 + (v11 - v01) * tx;
+    return top + (bot - top) * ty;
+}
+
+}  // namespace
+
+double SceneBuilder::roof_texture_height(int index, double lx,
+                                         double ly) const {
+    check_arg(index >= 0 && index < roof_count(),
+              "SceneBuilder::roof_texture_height: index out of range");
+    const auto& maybe = textures_[static_cast<std::size_t>(index)];
+    if (!maybe) return 0.0;
+    const RoofTexture& t = *maybe;
+    double dz = 0.0;
+    if (t.undulation_amp_x > 0.0)
+        dz += t.undulation_amp_x *
+              std::sin(kTwoPi * lx / t.undulation_period_x);
+    if (t.undulation_amp_y > 0.0)
+        dz += t.undulation_amp_y *
+              std::sin(kTwoPi * ly / t.undulation_period_y);
+    if (t.noise_amp > 0.0)
+        dz += t.noise_amp * value_noise(lx, ly, t.noise_scale, t.seed);
+    return dz;
+}
+
+double SceneBuilder::base_height(double lx, double ly) const {
+    double h = ground_height_;
+    for (const auto& b : buildings_) {
+        if (inside_rect(lx, ly, b.x, b.y, b.w, b.d))
+            h = std::max(h, ground_height_ + b.height);
+    }
+    for (int i = 0; i < roof_count(); ++i) {
+        if (inside_roof(i, lx, ly)) {
+            h = std::max(h, roof_plane_height(i, lx, ly) +
+                                roof_texture_height(i, lx, ly));
+        }
+    }
+    return h;
+}
+
+double SceneBuilder::surface_height(double lx, double ly) const {
+    const double base = base_height(lx, ly);
+    double h = base;
+    for (const auto& b : boxes_) {
+        if (!inside_rect(lx, ly, b.x, b.y, b.w, b.d)) continue;
+        const double ref =
+            (b.ref == HeightRef::Ground) ? ground_height_ : base;
+        h = std::max(h, ref + b.height);
+    }
+    for (const auto& p : pipes_) {
+        if (point_segment_dist(lx, ly, p.x0, p.y0, p.x1, p.y1) <=
+            p.width / 2.0) {
+            h = std::max(h, base + p.height);
+        }
+    }
+    for (const auto& t : trees_) {
+        const double r = std::hypot(lx - t.x, ly - t.y);
+        if (r < t.radius) {
+            // Conical canopy standing on the ground.
+            const double cone =
+                ground_height_ + t.height * (1.0 - r / t.radius);
+            h = std::max(h, cone);
+        }
+    }
+    return h;
+}
+
+Raster SceneBuilder::rasterize(double cell_size) const {
+    check_arg(cell_size > 0.0, "SceneBuilder::rasterize: bad cell size");
+    const int ncols = static_cast<int>(std::ceil(extent_x_ / cell_size));
+    const int nrows = static_cast<int>(std::ceil(extent_y_ / cell_size));
+    check_arg(ncols > 0 && nrows > 0,
+              "SceneBuilder::rasterize: degenerate raster");
+    // World georeference: NW corner at (0, extent_y) so that northing
+    // decreases with the row index per the Raster convention.
+    Raster dsm(ncols, nrows, cell_size, 0.0, /*origin_x=*/0.0,
+               /*origin_y=*/extent_y_);
+    for (int y = 0; y < nrows; ++y) {
+        for (int x = 0; x < ncols; ++x) {
+            dsm(x, y) = surface_height(dsm.local_x(x), dsm.local_y(y));
+        }
+    }
+    return dsm;
+}
+
+}  // namespace pvfp::geo

@@ -1,0 +1,166 @@
+#pragma once
+/// \file scene.hpp
+/// Procedural 3D scene description rasterized into a DSM.
+///
+/// The paper consumes LiDAR-derived Digital Surface Models of real
+/// industrial roofs; those data are proprietary, so this module builds the
+/// closest synthetic equivalent: parametric scenes made of pitched roof
+/// planes and the encumbrances the paper names (chimneys, dormers, pipes,
+/// HVAC boxes, antennas) plus external shading sources (neighbor buildings,
+/// trees).  Rasterizing a scene produces exactly the input the rest of the
+/// pipeline expects from a real DSM, and the analytic surface lets tests
+/// validate the raster path against closed-form heights.
+///
+/// Local plan frame: x in meters growing east, y in meters growing south,
+/// (0,0) at the scene's NW corner.  Azimuths are degrees clockwise from
+/// North (S = 180, SW = 225).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pvfp/geo/raster.hpp"
+
+namespace pvfp::geo {
+
+/// Reference level for an obstacle's height.
+enum class HeightRef {
+    Ground,   ///< absolute: ground level + height
+    Surface,  ///< relative: sits on whatever surface is below (e.g. a roof)
+};
+
+/// A rectangular single-pitch ("lean-to") roof plane, the roof type of the
+/// paper's three case studies (Section V-A: ~49x12 m, 26 deg, facing S/SW).
+struct MonopitchRoof {
+    std::string name;
+    double x = 0.0;       ///< NW corner, local meters
+    double y = 0.0;
+    double w = 10.0;      ///< extent east-west [m]
+    double d = 6.0;       ///< extent north-south [m]
+    double eave_height = 3.0;  ///< height of the *lowest* edge [m]
+    double tilt_deg = 26.0;    ///< inclination from horizontal
+    double azimuth_deg = 180.0;  ///< downslope direction (S = 180)
+};
+
+/// Box obstacle: chimney, dormer body, HVAC unit, parapet segment...
+struct BoxObstacle {
+    double x = 0.0, y = 0.0;  ///< NW corner
+    double w = 1.0, d = 1.0;
+    double height = 1.0;      ///< above the reference level
+    HeightRef ref = HeightRef::Surface;
+};
+
+/// A raised linear run (service pipes on industrial roofs — the main
+/// encumbrance of the paper's Roof 1).
+struct PipeRun {
+    double x0 = 0.0, y0 = 0.0;  ///< start point (centerline)
+    double x1 = 1.0, y1 = 0.0;  ///< end point
+    double width = 0.4;         ///< total width [m]
+    double height = 0.5;        ///< above the surface it crosses
+};
+
+/// A tree with a conical canopy standing on the ground.
+struct Tree {
+    double x = 0.0, y = 0.0;  ///< trunk position
+    double radius = 2.0;      ///< canopy radius at the base [m]
+    double height = 8.0;      ///< total height [m]
+};
+
+/// A neighbouring flat-roof building (external shading source).
+struct Building {
+    double x = 0.0, y = 0.0;
+    double w = 10.0, d = 10.0;
+    double height = 6.0;
+};
+
+/// Fine-scale structure of a roof surface, added on top of the ideal
+/// plane.  Real LiDAR DSMs of industrial roofs are not planar: decades of
+/// sagging between trusses and mounting irregularities produce decimeter
+/// undulation whose local normals modulate the incident beam cell by cell
+/// — the source of the broad 75th-percentile irradiance variation visible
+/// in the paper's Fig. 6(b).  Amplitudes should stay below the
+/// suitable-area obstacle tolerance so texture is not mistaken for
+/// encumbrance.
+struct RoofTexture {
+    /// Sinusoidal undulation along x (east-west): sagging between trusses.
+    double undulation_amp_x = 0.0;    ///< [m]
+    double undulation_period_x = 5.5; ///< [m]
+    /// Undulation along y (north-south): purlin-scale waviness.
+    double undulation_amp_y = 0.0;    ///< [m]
+    double undulation_period_y = 8.0; ///< [m]
+    /// Smooth pseudo-random bumps (value noise on a coarse lattice).
+    double noise_amp = 0.0;           ///< [m]
+    double noise_scale = 2.5;         ///< lattice spacing [m]
+    std::uint32_t seed = 1;
+};
+
+/// Scene description + analytic height evaluation + rasterization.
+class SceneBuilder {
+public:
+    /// \p extent_x, \p extent_y: plan size of the modeled area in meters.
+    SceneBuilder(double extent_x, double extent_y, double ground_height = 0.0);
+
+    /// Add a roof plane; returns its index (used by suitable-area
+    /// extraction and by roof-relative queries).
+    int add_roof(MonopitchRoof roof);
+    /// Convenience: add a gable roof as two opposite monopitch planes
+    /// sharing a ridge along the east-west axis at plan depth-center.
+    /// Returns the index of the *south-facing* plane (the second is +1).
+    int add_gable_roof(const std::string& name, double x, double y, double w,
+                       double d, double eave_height, double tilt_deg);
+
+    void add_box(BoxObstacle box);
+    void add_pipe(PipeRun pipe);
+    void add_tree(Tree tree);
+    void add_building(Building building);
+
+    /// Attach fine-scale surface texture to roof \p roof_index (replaces
+    /// any previous texture for that roof).
+    void set_roof_texture(int roof_index, const RoofTexture& texture);
+
+    double extent_x() const { return extent_x_; }
+    double extent_y() const { return extent_y_; }
+    double ground_height() const { return ground_height_; }
+
+    int roof_count() const { return static_cast<int>(roofs_.size()); }
+    const MonopitchRoof& roof(int index) const;
+
+    /// Height of roof plane \p index at local (lx, ly), ignoring the plan
+    /// rectangle bounds (pure plane equation, *without* texture).  Used by
+    /// suitable-area extraction to detect encumbrances as DSM-minus-plane
+    /// residuals — texture must stay within the obstacle tolerance.
+    double roof_plane_height(int index, double lx, double ly) const;
+
+    /// Texture displacement of roof \p index at (lx, ly); 0 when the roof
+    /// has no texture.
+    double roof_texture_height(int index, double lx, double ly) const;
+
+    /// True when (lx, ly) lies inside roof \p index's plan rectangle.
+    bool inside_roof(int index, double lx, double ly) const;
+
+    /// Analytic surface height at local (lx, ly): the max over ground,
+    /// buildings, roof planes, and all obstacles.
+    double surface_height(double lx, double ly) const;
+
+    /// Rasterize the surface into a DSM with square cells of \p cell_size.
+    /// Cell (0,0) is the NW corner of the scene; heights are sampled at
+    /// cell centers.
+    Raster rasterize(double cell_size) const;
+
+private:
+    /// Height of the base surface (ground, buildings, roofs) only.
+    double base_height(double lx, double ly) const;
+
+    double extent_x_;
+    double extent_y_;
+    double ground_height_;
+    std::vector<MonopitchRoof> roofs_;
+    std::vector<std::optional<RoofTexture>> textures_;  // aligned to roofs_
+    std::vector<BoxObstacle> boxes_;
+    std::vector<PipeRun> pipes_;
+    std::vector<Tree> trees_;
+    std::vector<Building> buildings_;
+};
+
+}  // namespace pvfp::geo

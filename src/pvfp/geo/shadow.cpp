@@ -1,0 +1,54 @@
+#include "pvfp/geo/shadow.hpp"
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::geo {
+
+bool is_shaded_brute_force(const Raster& dsm, int x, int y,
+                           double sun_azimuth_rad, double sun_elevation_rad,
+                           const HorizonOptions& options) {
+    if (sun_elevation_rad <= 0.0) return true;
+    const double horizon =
+        brute_force_horizon(dsm, x, y, sun_azimuth_rad, options);
+    return sun_elevation_rad < horizon;
+}
+
+pvfp::Grid2D<unsigned char> shadow_map(const Raster& dsm,
+                                       double sun_azimuth_rad,
+                                       double sun_elevation_rad,
+                                       const HorizonOptions& options) {
+    pvfp::Grid2D<unsigned char> out(dsm.width(), dsm.height(), 0);
+    for (int y = 0; y < dsm.height(); ++y) {
+        for (int x = 0; x < dsm.width(); ++x) {
+            out(x, y) = is_shaded_brute_force(dsm, x, y, sun_azimuth_rad,
+                                              sun_elevation_rad, options)
+                            ? 1
+                            : 0;
+        }
+    }
+    return out;
+}
+
+pvfp::Grid2D<double> shading_fraction_map(
+    const Raster& dsm, const std::vector<SunPosition>& positions,
+    const HorizonOptions& options) {
+    pvfp::Grid2D<double> out(dsm.width(), dsm.height(), 0.0);
+    int daylight = 0;
+    for (const auto& p : positions) {
+        if (p.elevation_rad <= 0.0) continue;
+        ++daylight;
+        for (int y = 0; y < dsm.height(); ++y) {
+            for (int x = 0; x < dsm.width(); ++x) {
+                if (is_shaded_brute_force(dsm, x, y, p.azimuth_rad,
+                                          p.elevation_rad, options))
+                    out(x, y) += 1.0;
+            }
+        }
+    }
+    check_arg(daylight > 0,
+              "shading_fraction_map: no daylight sun positions given");
+    for (double& v : out.data()) v /= daylight;
+    return out;
+}
+
+}  // namespace pvfp::geo

@@ -1,0 +1,43 @@
+#pragma once
+/// \file shadow.hpp
+/// Whole-raster shadow maps for a given sun position.
+///
+/// The production path tests shading through HorizonMap (O(1) per cell and
+/// time step); this module provides the direct, brute-force computation of
+/// a binary shadow raster for one sun position.  It serves three purposes:
+/// validation target for the horizon method in tests, visualization of
+/// shading patterns (examples), and small one-off queries.
+
+#include "pvfp/geo/horizon.hpp"
+#include "pvfp/geo/raster.hpp"
+#include "pvfp/util/grid2d.hpp"
+
+namespace pvfp::geo {
+
+/// True when cell (x,y) of \p dsm is shaded for a sun at
+/// (azimuth, elevation) [rad]: some obstruction along the sun azimuth rises
+/// above the ray to the sun.  Sun at or below the horizon shades everything.
+bool is_shaded_brute_force(const Raster& dsm, int x, int y,
+                           double sun_azimuth_rad, double sun_elevation_rad,
+                           const HorizonOptions& options = {});
+
+/// Binary shadow map over the full raster: 1 = shaded, 0 = sunlit.
+pvfp::Grid2D<unsigned char> shadow_map(const Raster& dsm,
+                                       double sun_azimuth_rad,
+                                       double sun_elevation_rad,
+                                       const HorizonOptions& options = {});
+
+/// Fraction of daylight shading per cell accumulated over a set of sun
+/// positions (used to visualize yearly shading patterns): for each cell,
+/// the fraction of the provided positions in which it is shaded.  Sun
+/// positions with elevation <= 0 are skipped.
+struct SunPosition {
+    double azimuth_rad = 0.0;
+    double elevation_rad = 0.0;
+};
+
+pvfp::Grid2D<double> shading_fraction_map(
+    const Raster& dsm, const std::vector<SunPosition>& positions,
+    const HorizonOptions& options = {});
+
+}  // namespace pvfp::geo

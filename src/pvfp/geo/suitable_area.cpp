@@ -1,0 +1,187 @@
+#include "pvfp/geo/suitable_area.hpp"
+
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/math.hpp"
+
+namespace pvfp::geo {
+
+pvfp::Grid2D<unsigned char> dilate_invalid(
+    const pvfp::Grid2D<unsigned char>& valid, double radius_cells) {
+    check_arg(radius_cells >= 0.0, "dilate_invalid: negative radius");
+    if (radius_cells == 0.0) return valid;
+    const int r = static_cast<int>(std::ceil(radius_cells));
+    // Disc offsets once.
+    std::vector<std::pair<int, int>> disc;
+    for (int dy = -r; dy <= r; ++dy) {
+        for (int dx = -r; dx <= r; ++dx) {
+            if (dx * dx + dy * dy <= radius_cells * radius_cells)
+                disc.emplace_back(dx, dy);
+        }
+    }
+    pvfp::Grid2D<unsigned char> out = valid;
+    for (int y = 0; y < valid.height(); ++y) {
+        for (int x = 0; x < valid.width(); ++x) {
+            if (valid(x, y)) continue;  // already invalid
+            for (const auto& [dx, dy] : disc) {
+                const int nx = x + dx;
+                const int ny = y + dy;
+                if (out.in_bounds(nx, ny)) out(nx, ny) = 0;
+            }
+        }
+    }
+    return out;
+}
+
+pvfp::Grid2D<unsigned char> largest_component(
+    const pvfp::Grid2D<unsigned char>& valid) {
+    pvfp::Grid2D<int> label(valid.width(), valid.height(), -1);
+    int best_label = -1;
+    int best_size = 0;
+    int next_label = 0;
+    for (int sy = 0; sy < valid.height(); ++sy) {
+        for (int sx = 0; sx < valid.width(); ++sx) {
+            if (!valid(sx, sy) || label(sx, sy) >= 0) continue;
+            // BFS flood fill.
+            int size = 0;
+            std::queue<std::pair<int, int>> frontier;
+            frontier.emplace(sx, sy);
+            label(sx, sy) = next_label;
+            while (!frontier.empty()) {
+                const auto [x, y] = frontier.front();
+                frontier.pop();
+                ++size;
+                constexpr int kDx[4] = {1, -1, 0, 0};
+                constexpr int kDy[4] = {0, 0, 1, -1};
+                for (int k = 0; k < 4; ++k) {
+                    const int nx = x + kDx[k];
+                    const int ny = y + kDy[k];
+                    if (valid.in_bounds(nx, ny) && valid(nx, ny) &&
+                        label(nx, ny) < 0) {
+                        label(nx, ny) = next_label;
+                        frontier.emplace(nx, ny);
+                    }
+                }
+            }
+            if (size > best_size) {
+                best_size = size;
+                best_label = next_label;
+            }
+            ++next_label;
+        }
+    }
+    pvfp::Grid2D<unsigned char> out(valid.width(), valid.height(), 0);
+    if (best_label >= 0) {
+        for (int y = 0; y < valid.height(); ++y)
+            for (int x = 0; x < valid.width(); ++x)
+                out(x, y) = (label(x, y) == best_label) ? 1 : 0;
+    }
+    return out;
+}
+
+PlacementArea extract_placement_area(const Raster& dsm,
+                                     const SceneBuilder& scene,
+                                     int roof_index,
+                                     const SuitableAreaOptions& options) {
+    check_arg(roof_index >= 0 && roof_index < scene.roof_count(),
+              "extract_placement_area: roof index out of range");
+    check_arg(options.obstacle_tolerance >= 0.0 && options.clearance >= 0.0 &&
+                  options.edge_margin >= 0.0,
+              "extract_placement_area: negative option");
+
+    const MonopitchRoof& roof = scene.roof(roof_index);
+    const double cs = dsm.cell_size();
+
+    // Stage 1: roof membership (with edge margin) and obstacle residuals.
+    pvfp::Grid2D<unsigned char> valid(dsm.width(), dsm.height(), 0);
+    const double m = options.edge_margin;
+    for (int y = 0; y < dsm.height(); ++y) {
+        for (int x = 0; x < dsm.width(); ++x) {
+            const double lx = dsm.local_x(x);
+            const double ly = dsm.local_y(y);
+            const bool inside = lx >= roof.x + m && lx < roof.x + roof.w - m &&
+                                ly >= roof.y + m && ly < roof.y + roof.d - m;
+            if (!inside) continue;
+            const double plane = scene.roof_plane_height(roof_index, lx, ly);
+            const double residual = dsm(x, y) - plane;
+            valid(x, y) = (residual <= options.obstacle_tolerance) ? 1 : 0;
+        }
+    }
+
+    // Stage 2: clearance dilation around obstacles.  Only obstacle cells
+    // *inside* the roof should repel; invalid cells outside the roof rect
+    // (which are all zero at this point) must not erase the roof border.
+    // dilate_invalid treats every zero cell as a repeller, so restrict the
+    // operation to the roof's bounding window.
+    const int bx0 = std::max(0, dsm.col_of(roof.x));
+    const int by0 = std::max(0, dsm.row_of(dsm.origin_y() - roof.y));
+    const int bx1 = std::min(dsm.width(), dsm.col_of(roof.x + roof.w) + 1);
+    const int by1 =
+        std::min(dsm.height(), dsm.row_of(dsm.origin_y() - roof.y - roof.d) + 1);
+    check_arg(bx1 > bx0 && by1 > by0,
+              "extract_placement_area: roof outside the raster");
+
+    if (options.clearance > 0.0) {
+        const double radius_cells = options.clearance / cs;
+        // Window copy holding 1 for valid, and 0 ONLY for obstacle cells;
+        // non-roof cells are temporarily marked valid so they do not repel.
+        pvfp::Grid2D<unsigned char> window(bx1 - bx0, by1 - by0, 1);
+        for (int y = by0; y < by1; ++y) {
+            for (int x = bx0; x < bx1; ++x) {
+                const double lx = dsm.local_x(x);
+                const double ly = dsm.local_y(y);
+                if (!scene.inside_roof(roof_index, lx, ly)) continue;
+                const double plane =
+                    scene.roof_plane_height(roof_index, lx, ly);
+                if (dsm(x, y) - plane > options.obstacle_tolerance)
+                    window(x - bx0, y - by0) = 0;
+            }
+        }
+        const auto dilated = dilate_invalid(window, radius_cells);
+        for (int y = by0; y < by1; ++y)
+            for (int x = bx0; x < bx1; ++x)
+                if (!dilated(x - bx0, y - by0)) valid(x, y) = 0;
+    }
+
+    if (options.keep_largest_component) valid = largest_component(valid);
+
+    // Stage 3: crop to the bounding box of valid cells.
+    int min_x = dsm.width();
+    int min_y = dsm.height();
+    int max_x = -1;
+    int max_y = -1;
+    int count = 0;
+    for (int y = 0; y < dsm.height(); ++y) {
+        for (int x = 0; x < dsm.width(); ++x) {
+            if (!valid(x, y)) continue;
+            ++count;
+            min_x = std::min(min_x, x);
+            min_y = std::min(min_y, y);
+            max_x = std::max(max_x, x);
+            max_y = std::max(max_y, y);
+        }
+    }
+    if (count == 0)
+        throw Infeasible("extract_placement_area: no valid cells on roof '" +
+                         roof.name + "'");
+
+    PlacementArea area;
+    area.width = max_x - min_x + 1;
+    area.height = max_y - min_y + 1;
+    area.origin_col = min_x;
+    area.origin_row = min_y;
+    area.cell_size = cs;
+    area.tilt_rad = deg2rad(roof.tilt_deg);
+    area.azimuth_rad = deg2rad(roof.azimuth_deg);
+    area.valid_count = count;
+    area.valid = pvfp::Grid2D<unsigned char>(area.width, area.height, 0);
+    for (int y = 0; y < area.height; ++y)
+        for (int x = 0; x < area.width; ++x)
+            area.valid(x, y) = valid(min_x + x, min_y + y);
+    return area;
+}
+
+}  // namespace pvfp::geo

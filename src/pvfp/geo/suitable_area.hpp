@@ -1,0 +1,81 @@
+#pragma once
+/// \file suitable_area.hpp
+/// Suitable-area extraction (paper Section IV): from a DSM and a roof plane
+/// description, identify the grid cells where PV modules may be placed —
+/// excluding encumbrances (chimneys, dormers, pipes...) detected as
+/// height residuals above the ideal roof plane — and align the result to
+/// the virtual placement grid of side s (= the DSM cell size here).
+///
+/// Output is a PlacementArea: the W x H grid of the paper's Section III-A
+/// with its Ng valid cells, plus the roof plane orientation the solar code
+/// needs for transposition.
+
+#include "pvfp/geo/raster.hpp"
+#include "pvfp/geo/scene.hpp"
+#include "pvfp/util/grid2d.hpp"
+
+namespace pvfp::geo {
+
+/// Tunables for encumbrance detection.
+struct SuitableAreaOptions {
+    /// A cell is an obstacle when DSM height exceeds the ideal roof plane
+    /// by more than this [m].  The default accommodates realistic roof
+    /// surface structure (undulation/sagging, LiDAR noise: up to ~2 dm)
+    /// while still catching real encumbrances (>= 0.4 m).
+    double obstacle_tolerance = 0.2;
+    /// Keep-out distance around detected obstacles [m] (maintenance access
+    /// and mounting-hardware clearance).
+    double clearance = 0.4;
+    /// Margin from the roof plan rectangle's edges [m].
+    double edge_margin = 0.2;
+    /// When true, keep only the largest 4-connected valid region (panels
+    /// are normally not split across disconnected patches... but the paper
+    /// does allow sparse placements, so the default keeps all patches).
+    bool keep_largest_component = false;
+};
+
+/// The placement domain handed to the floorplanner.
+struct PlacementArea {
+    /// Bounding-box size in grid cells (the paper's W x H, Table I).
+    int width = 0;
+    int height = 0;
+    /// Validity mask (1 = module area may cover this cell).
+    pvfp::Grid2D<unsigned char> valid;
+    /// Top-left cell of the bounding box inside the source DSM raster.
+    int origin_col = 0;
+    int origin_row = 0;
+    /// Grid pitch s [m] (equals the DSM cell size).
+    double cell_size = 0.2;
+    /// Roof plane orientation (for transposition and module temperature).
+    double tilt_rad = 0.0;
+    double azimuth_rad = 0.0;  ///< downslope azimuth, clockwise from North
+    /// Number of valid cells (the paper's Ng).
+    int valid_count = 0;
+
+    /// True when (x,y) is inside the bounding box and valid.
+    bool is_valid(int x, int y) const {
+        return valid.in_bounds(x, y) && valid(x, y) != 0;
+    }
+};
+
+/// Extract the placement area of roof \p roof_index from \p dsm.
+/// The DSM must come from (or be georeferenced like) \p scene so that cell
+/// centers map to the same local coordinates.  Throws Infeasible when no
+/// valid cell remains.
+PlacementArea extract_placement_area(const Raster& dsm,
+                                     const SceneBuilder& scene,
+                                     int roof_index,
+                                     const SuitableAreaOptions& options = {});
+
+/// Dilate the zero (invalid) cells of \p valid by a Euclidean disc of
+/// \p radius_cells cells: any valid cell within the disc of an invalid one
+/// becomes invalid.  Exposed for testing.
+pvfp::Grid2D<unsigned char> dilate_invalid(
+    const pvfp::Grid2D<unsigned char>& valid, double radius_cells);
+
+/// Keep only the largest 4-connected component of nonzero cells; ties are
+/// broken toward the first-found component.  Exposed for testing.
+pvfp::Grid2D<unsigned char> largest_component(
+    const pvfp::Grid2D<unsigned char>& valid);
+
+}  // namespace pvfp::geo

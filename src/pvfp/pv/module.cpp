@@ -1,0 +1,58 @@
+#include "pvfp/pv/module.hpp"
+
+#include <algorithm>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::pv {
+
+EmpiricalModuleModel::EmpiricalModuleModel(ModuleSpec spec)
+    : spec_(std::move(spec)) {
+    check_arg(spec_.width_m > 0.0 && spec_.height_m > 0.0,
+              "EmpiricalModuleModel: module dimensions must be positive");
+    check_arg(spec_.p_max_ref_w > 0.0 && spec_.vmp_ref_v > 0.0,
+              "EmpiricalModuleModel: reference power/voltage must be "
+              "positive");
+    check_arg(spec_.cells_in_series > 0,
+              "EmpiricalModuleModel: cells_in_series must be positive");
+}
+
+double EmpiricalModuleModel::power(double g, double tact_c) const {
+    check_arg(g >= 0.0, "EmpiricalModuleModel::power: negative irradiance");
+    const double derate = spec_.p_offset - spec_.p_temp_coeff * tact_c;
+    return std::max(0.0, spec_.p_max_ref_w * derate * 1e-3 * g);
+}
+
+double EmpiricalModuleModel::voltage(double g, double tact_c) const {
+    check_arg(g >= 0.0, "EmpiricalModuleModel::voltage: negative irradiance");
+    if (g == 0.0) return 0.0;  // no illumination, no operating point
+    const double derate = spec_.v_offset - spec_.v_temp_coeff * tact_c;
+    const double g_term = spec_.v_g_offset + spec_.v_g_slope * g;
+    return std::max(0.0, spec_.vmp_ref_v * derate * g_term);
+}
+
+double EmpiricalModuleModel::current(double g, double tact_c) const {
+    const double v = voltage(g, tact_c);
+    if (v <= 0.0) return 0.0;
+    return power(g, tact_c) / v;
+}
+
+OperatingPoint EmpiricalModuleModel::operating_point(double g,
+                                                     double tact_c) const {
+    OperatingPoint op;
+    op.power_w = power(g, tact_c);
+    op.voltage_v = voltage(g, tact_c);
+    op.current_a = (op.voltage_v > 0.0) ? op.power_w / op.voltage_v : 0.0;
+    return op;
+}
+
+double EmpiricalModuleModel::actual_temperature(double t_air_c, double g,
+                                                double thermal_k) {
+    check_arg(g >= 0.0,
+              "EmpiricalModuleModel::actual_temperature: negative G");
+    check_arg(thermal_k >= 0.0,
+              "EmpiricalModuleModel::actual_temperature: negative k");
+    return t_air_c + thermal_k * g;
+}
+
+}  // namespace pvfp::pv

@@ -1,0 +1,74 @@
+#include "pvfp/pv/mppt.hpp"
+
+#include <cmath>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::pv {
+
+double golden_section_max(const std::function<double(double)>& f, double lo,
+                          double hi, int iterations) {
+    check_arg(hi >= lo, "golden_section_max: hi < lo");
+    check_arg(iterations > 0, "golden_section_max: iterations must be > 0");
+    const double inv_phi = (std::sqrt(5.0) - 1.0) / 2.0;
+    double a = lo;
+    double b = hi;
+    double x1 = b - inv_phi * (b - a);
+    double x2 = a + inv_phi * (b - a);
+    double f1 = f(x1);
+    double f2 = f(x2);
+    for (int k = 0; k < iterations; ++k) {
+        if (f1 < f2) {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + inv_phi * (b - a);
+            f2 = f(x2);
+        } else {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - inv_phi * (b - a);
+            f1 = f(x1);
+        }
+    }
+    return 0.5 * (a + b);
+}
+
+OperatingPoint track_mpp(const std::function<double(double)>& current_at_v,
+                         double v_max, int coarse_samples) {
+    check_arg(v_max > 0.0, "track_mpp: v_max must be positive");
+    check_arg(coarse_samples >= 3, "track_mpp: need >= 3 coarse samples");
+
+    // Coarse scan finds the basin of the *global* maximum.
+    double best_v = 0.0;
+    double best_p = 0.0;
+    for (int k = 0; k <= coarse_samples; ++k) {
+        const double v = v_max * k / coarse_samples;
+        const double p = v * current_at_v(v);
+        if (p > best_p) {
+            best_p = p;
+            best_v = v;
+        }
+    }
+    const double dv = v_max / coarse_samples;
+    const double lo = std::max(0.0, best_v - dv);
+    const double hi = std::min(v_max, best_v + dv);
+    const double v_star = golden_section_max(
+        [&](double v) { return v * current_at_v(v); }, lo, hi);
+
+    OperatingPoint op;
+    op.voltage_v = v_star;
+    op.current_a = current_at_v(v_star);
+    op.power_w = op.voltage_v * op.current_a;
+    return op;
+}
+
+double mppt_efficiency(double panel_power_w, double ideal_power_w) {
+    check_arg(panel_power_w >= 0.0 && ideal_power_w >= 0.0,
+              "mppt_efficiency: negative power");
+    if (ideal_power_w == 0.0) return 1.0;
+    return panel_power_w / ideal_power_w;
+}
+
+}  // namespace pvfp::pv

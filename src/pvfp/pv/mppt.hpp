@@ -1,0 +1,41 @@
+#pragma once
+/// \file mppt.hpp
+/// Maximum-power-point tracking utilities (paper Section II-B: "an MPPT
+/// permits the extraction of the maximum power output ... at different
+/// irradiances and temperatures").
+///
+/// The paper's energy model assumes an ideal per-module MPPT; this module
+/// provides the generic search machinery (golden-section on smooth curves,
+/// global scan on multi-modal curves from partial shading) used by the
+/// one-diode extension and its benches.
+
+#include <functional>
+#include <vector>
+
+#include "pvfp/pv/module.hpp"
+
+namespace pvfp::pv {
+
+/// Maximize a unimodal function on [lo, hi] by golden-section search.
+/// Returns the argmax; \p iterations of ~60 give ~1e-12 interval shrink.
+double golden_section_max(const std::function<double(double)>& f, double lo,
+                          double hi, int iterations = 60);
+
+/// A sampled power-voltage curve.
+struct PvCurvePoint {
+    double v = 0.0;
+    double p = 0.0;
+};
+
+/// Global MPP of a sampled curve: coarse scan over the samples followed by
+/// golden-section refinement between the neighbors of the best sample.
+/// Robust to the multiple local maxima of partially-shaded curves.
+OperatingPoint track_mpp(const std::function<double(double)>& current_at_v,
+                         double v_max, int coarse_samples = 200);
+
+/// Fraction of ideal power retained: sum of per-module MPP powers vs the
+/// power of the composed series/parallel operating point.  Utility for the
+/// mismatch studies.
+double mppt_efficiency(double panel_power_w, double ideal_power_w);
+
+}  // namespace pvfp::pv

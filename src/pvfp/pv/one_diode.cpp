@@ -1,0 +1,247 @@
+#include "pvfp/pv/one_diode.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::pv {
+namespace {
+
+constexpr double kBoltzmann = 1.380649e-23;  // J/K
+constexpr double kElectronCharge = 1.602176634e-19;  // C
+constexpr double kTRefK = 298.15;  // 25 degC
+constexpr double kGRef = 1000.0;   // W/m^2
+
+double thermal_voltage(double t_c) {
+    return kBoltzmann * (t_c + 273.15) / kElectronCharge;
+}
+
+}  // namespace
+
+OneDiodeModel::OneDiodeModel(OneDiodeParams params) : params_(params) {
+    check_arg(params_.iph_ref_a > 0.0 && params_.i0_ref_a > 0.0,
+              "OneDiodeModel: currents must be positive");
+    check_arg(params_.ideality >= 1.0 && params_.ideality <= 2.0,
+              "OneDiodeModel: ideality factor out of the physical range");
+    check_arg(params_.rs_ohm >= 0.0 && params_.rsh_ohm > 0.0,
+              "OneDiodeModel: resistances invalid");
+    check_arg(params_.cells_in_series > 0,
+              "OneDiodeModel: cells_in_series must be positive");
+}
+
+void OneDiodeModel::scaled_params(double g, double t_c, double& iph,
+                                  double& i0, double& vt_total) const {
+    check_arg(g >= 0.0, "OneDiodeModel: negative irradiance");
+    const double t_k = t_c + 273.15;
+    check_arg(t_k > 0.0, "OneDiodeModel: temperature below absolute zero");
+    iph = params_.iph_ref_a * (g / kGRef) *
+          (1.0 + params_.isc_temp_coeff * (t_c - 25.0));
+    const double eg_j = params_.bandgap_ev * kElectronCharge;
+    i0 = params_.i0_ref_a * std::pow(t_k / kTRefK, 3.0) *
+         std::exp(eg_j / kBoltzmann * (1.0 / kTRefK - 1.0 / t_k));
+    vt_total = params_.ideality * params_.cells_in_series *
+               thermal_voltage(t_c);
+}
+
+double OneDiodeModel::current_at(double v, double g, double t_c) const {
+    double iph = 0.0;
+    double i0 = 0.0;
+    double vt = 0.0;
+    scaled_params(g, t_c, iph, i0, vt);
+
+    // Newton iteration on f(I) = Iph - I0*(exp((V+I*Rs)/vt)-1)
+    //                            - (V+I*Rs)/Rsh - I.
+    double i = std::max(0.0, iph);  // good starting point left of the knee
+    for (int iter = 0; iter < 60; ++iter) {
+        const double x = (v + i * params_.rs_ohm) / vt;
+        const double e = std::exp(std::min(x, 80.0));  // overflow guard
+        const double f =
+            iph - i0 * (e - 1.0) - (v + i * params_.rs_ohm) / params_.rsh_ohm -
+            i;
+        const double df = -i0 * e * params_.rs_ohm / vt -
+                          params_.rs_ohm / params_.rsh_ohm - 1.0;
+        const double step = f / df;
+        i -= step;
+        if (std::abs(step) < 1e-12) break;
+    }
+    return i;
+}
+
+double OneDiodeModel::voltage_at(double i, double g, double t_c,
+                                 double v_min) const {
+    // current_at is strictly decreasing in v; bisection between v_min and
+    // a voltage safely above Voc.
+    double lo = v_min;
+    double hi = open_circuit_voltage(std::max(g, 1.0), t_c) + 5.0;
+    if (current_at(lo, g, t_c) < i) return lo;  // cannot carry i even at v_min
+    for (int iter = 0; iter < 80; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (current_at(mid, g, t_c) >= i)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double OneDiodeModel::open_circuit_voltage(double g, double t_c) const {
+    if (g <= 0.0) return 0.0;
+    double iph = 0.0;
+    double i0 = 0.0;
+    double vt = 0.0;
+    scaled_params(g, t_c, iph, i0, vt);
+    // Ignore Rsh for the bracket top, then bisect current_at(v)=0.
+    const double voc_est = vt * std::log(iph / i0 + 1.0);
+    double lo = 0.0;
+    double hi = voc_est * 1.2 + 1.0;
+    for (int iter = 0; iter < 80; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (current_at(mid, g, t_c) > 0.0)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double OneDiodeModel::short_circuit_current(double g, double t_c) const {
+    return current_at(0.0, g, t_c);
+}
+
+OperatingPoint OneDiodeModel::max_power_point(double g, double t_c) const {
+    OperatingPoint op;
+    if (g <= 0.0) return op;
+    const double voc = open_circuit_voltage(g, t_c);
+    // Golden-section maximization of P(v) = v * I(v) on [0, voc].
+    const double inv_phi = (std::sqrt(5.0) - 1.0) / 2.0;
+    double a = 0.0;
+    double b = voc;
+    double x1 = b - inv_phi * (b - a);
+    double x2 = a + inv_phi * (b - a);
+    double f1 = x1 * current_at(x1, g, t_c);
+    double f2 = x2 * current_at(x2, g, t_c);
+    for (int iter = 0; iter < 60; ++iter) {
+        if (f1 < f2) {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + inv_phi * (b - a);
+            f2 = x2 * current_at(x2, g, t_c);
+        } else {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - inv_phi * (b - a);
+            f1 = x1 * current_at(x1, g, t_c);
+        }
+    }
+    op.voltage_v = 0.5 * (a + b);
+    op.current_a = current_at(op.voltage_v, g, t_c);
+    op.power_w = op.voltage_v * op.current_a;
+    return op;
+}
+
+std::vector<OneDiodeModel::IvPoint> OneDiodeModel::iv_curve(
+    double g, double t_c, int samples) const {
+    check_arg(samples >= 2, "OneDiodeModel::iv_curve: need >= 2 samples");
+    std::vector<IvPoint> curve(static_cast<std::size_t>(samples));
+    const double voc = open_circuit_voltage(g, t_c);
+    for (int k = 0; k < samples; ++k) {
+        const double v = voc * k / (samples - 1);
+        curve[static_cast<std::size_t>(k)] = {v, current_at(v, g, t_c)};
+    }
+    return curve;
+}
+
+OneDiodeModel OneDiodeModel::fit_datasheet(const ModuleSpec& spec,
+                                           double ideality, double rsh_ohm) {
+    OneDiodeParams p;
+    p.ideality = ideality;
+    p.rsh_ohm = rsh_ohm;
+    p.cells_in_series = spec.cells_in_series;
+    const double vt_total =
+        ideality * spec.cells_in_series * thermal_voltage(25.0);
+    // Iph ~= Isc (Rs*Isc << Rsh), I0 from the open-circuit condition.
+    p.iph_ref_a = spec.isc_ref_a;
+    p.i0_ref_a =
+        (p.iph_ref_a - spec.voc_ref_v / rsh_ohm) /
+        (std::exp(spec.voc_ref_v / vt_total) - 1.0);
+    check_arg(p.i0_ref_a > 0.0,
+              "OneDiodeModel::fit_datasheet: inconsistent datasheet values");
+
+    // Rs by bisection: increasing Rs monotonically lowers the maximum
+    // power; match the datasheet Pmp.
+    double lo = 0.0;
+    double hi = 2.0;  // ohm, far above any real module
+    for (int iter = 0; iter < 50; ++iter) {
+        p.rs_ohm = 0.5 * (lo + hi);
+        const OneDiodeModel candidate(p);
+        const double pmp =
+            candidate.max_power_point(kGRef, 25.0).power_w;
+        if (pmp > spec.p_max_ref_w)
+            lo = p.rs_ohm;
+        else
+            hi = p.rs_ohm;
+    }
+    p.rs_ohm = 0.5 * (lo + hi);
+    return OneDiodeModel(p);
+}
+
+BypassedModule::BypassedModule(const OneDiodeModel& module_model,
+                               int substring_count, double bypass_drop_v)
+    : substring_model_(module_model),
+      substrings_(static_cast<std::size_t>(substring_count)),
+      bypass_drop_v_(bypass_drop_v),
+      full_isc_ref_(module_model.params().iph_ref_a) {
+    check_arg(substring_count > 0, "BypassedModule: need >= 1 substring");
+    check_arg(bypass_drop_v >= 0.0, "BypassedModule: negative bypass drop");
+    check_arg(module_model.params().cells_in_series %
+                      substring_count ==
+                  0,
+              "BypassedModule: cells_in_series must divide evenly");
+    OneDiodeParams p = module_model.params();
+    // A substring is 1/n of the module: fewer cells *and* a 1/n share of
+    // the lumped series/shunt resistances, so that n substrings in series
+    // reproduce the full module exactly under uniform irradiance.
+    p.cells_in_series /= substring_count;
+    p.rs_ohm /= substring_count;
+    p.rsh_ohm /= substring_count;
+    substring_model_ = OneDiodeModel(p);
+}
+
+double BypassedModule::voltage_at(double i, const std::vector<double>& g,
+                                  double t_c) const {
+    check_arg(g.size() == substrings_,
+              "BypassedModule: irradiance vector size mismatch");
+    double v = 0.0;
+    for (double gs : g) {
+        // A substring carrying more than it can produce is clamped by its
+        // bypass diode at -bypass_drop.
+        const double vs =
+            substring_model_.voltage_at(i, gs, t_c, -bypass_drop_v_);
+        v += std::max(vs, -bypass_drop_v_);
+    }
+    return v;
+}
+
+OperatingPoint BypassedModule::max_power_point(const std::vector<double>& g,
+                                               double t_c) const {
+    check_arg(g.size() == substrings_,
+              "BypassedModule: irradiance vector size mismatch");
+    const double g_max = *std::max_element(g.begin(), g.end());
+    if (g_max <= 0.0) return {};
+    const double i_max =
+        substring_model_.short_circuit_current(g_max, t_c);
+    OperatingPoint best;
+    constexpr int kScan = 400;
+    for (int k = 1; k < kScan; ++k) {
+        const double i = i_max * k / kScan;
+        const double v = voltage_at(i, g, t_c);
+        const double p = v * i;
+        if (p > best.power_w) best = {p, v, i};
+    }
+    return best;
+}
+
+}  // namespace pvfp::pv

@@ -1,0 +1,114 @@
+#pragma once
+/// \file one_diode.hpp
+/// One-diode (5-parameter) PV model — the physics behind the I-V curves of
+/// paper Fig. 2(a), provided as a validation reference for the empirical
+/// model and to support the bypass-diode/partial-shading extension.
+///
+///   I = Iph - I0*(exp((V + I*Rs)/(n*Ns*Vt)) - 1) - (V + I*Rs)/Rsh
+///
+/// with photocurrent Iph scaled by irradiance and temperature, saturation
+/// current I0 following the usual T^3*exp(-Eg/kT) law, and thermal voltage
+/// Vt = k*T/q per cell.
+
+#include <vector>
+
+#include "pvfp/pv/module.hpp"
+
+namespace pvfp::pv {
+
+/// Electrical parameters of the one-diode module model at STC.
+struct OneDiodeParams {
+    double iph_ref_a = 7.40;    ///< photocurrent at STC [A]
+    double i0_ref_a = 1e-9;     ///< diode saturation current at STC [A]
+    double ideality = 1.30;     ///< diode ideality factor n
+    double rs_ohm = 0.35;       ///< series resistance
+    double rsh_ohm = 300.0;     ///< shunt resistance
+    int cells_in_series = 50;   ///< Ns
+    double isc_temp_coeff = 0.0005;  ///< alpha_Isc [A/K] relative: dIsc/dT / Isc
+    double bandgap_ev = 1.12;   ///< silicon
+};
+
+/// One-diode model of a full module (or of a bypass-protected substring
+/// when \p cells_in_series is set to a fraction of the module).
+class OneDiodeModel {
+public:
+    explicit OneDiodeModel(OneDiodeParams params = {});
+
+    /// Fit parameters so the model reproduces \p spec's STC datasheet
+    /// points (Isc, Voc, and approximately Pmp): Iph from Isc, I0 from
+    /// Voc, Rs tuned by bisection so the maximum power matches Pmp.
+    static OneDiodeModel fit_datasheet(const ModuleSpec& spec,
+                                       double ideality = 1.30,
+                                       double rsh_ohm = 300.0);
+
+    const OneDiodeParams& params() const { return params_; }
+
+    /// Current [A] at terminal voltage \p v, irradiance \p g [W/m^2] and
+    /// cell temperature \p t_c [deg C].  Solved by Newton iteration on the
+    /// implicit equation; monotone decreasing in v.
+    double current_at(double v, double g, double t_c) const;
+
+    /// Terminal voltage [V] at imposed current \p i (inverse of
+    /// current_at; bisection).  Returns a negative voltage (down to
+    /// \p v_min) when \p i exceeds the available photocurrent.
+    double voltage_at(double i, double g, double t_c,
+                      double v_min = -1.0) const;
+
+    /// Open-circuit voltage at the given conditions [V].
+    double open_circuit_voltage(double g, double t_c) const;
+
+    /// Short-circuit current at the given conditions [A].
+    double short_circuit_current(double g, double t_c) const;
+
+    /// Maximum power point via golden-section search on V in [0, Voc].
+    OperatingPoint max_power_point(double g, double t_c) const;
+
+    /// Sampled I-V curve with \p samples points from V=0 to Voc.
+    struct IvPoint {
+        double v = 0.0;
+        double i = 0.0;
+    };
+    std::vector<IvPoint> iv_curve(double g, double t_c,
+                                  int samples = 100) const;
+
+private:
+    /// Iph and I0 at the given conditions.
+    void scaled_params(double g, double t_c, double& iph, double& i0,
+                       double& vt_total) const;
+
+    OneDiodeParams params_;
+};
+
+/// A module made of bypass-protected substrings in series, each substring
+/// modeled by a one-diode model with its own irradiance — the mechanism
+/// behind the mismatch/shading behaviour described in paper Section II-B.
+class BypassedModule {
+public:
+    /// \p substring_count bypass groups (typically 3); the per-substring
+    /// model gets cells_in_series / substring_count cells.
+    BypassedModule(const OneDiodeModel& module_model, int substring_count,
+                   double bypass_drop_v = 0.5);
+
+    int substring_count() const { return static_cast<int>(substrings_); }
+
+    /// Module voltage at imposed current \p i with per-substring
+    /// irradiances \p g (size must equal substring_count) at \p t_c.
+    /// Substrings that cannot carry \p i are bypassed at -bypass_drop_v.
+    double voltage_at(double i, const std::vector<double>& g,
+                      double t_c) const;
+
+    /// Module MPP under (possibly non-uniform) irradiance: scan over
+    /// current.  With uniform irradiance this approaches the plain model's
+    /// MPP; under partial shading the curve has multiple local maxima and
+    /// the scan picks the global one.
+    OperatingPoint max_power_point(const std::vector<double>& g,
+                                   double t_c) const;
+
+private:
+    OneDiodeModel substring_model_;
+    std::size_t substrings_;
+    double bypass_drop_v_;
+    double full_isc_ref_;
+};
+
+}  // namespace pvfp::pv

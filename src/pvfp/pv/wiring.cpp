@@ -1,0 +1,57 @@
+#include "pvfp/pv/wiring.hpp"
+
+#include <cmath>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::pv {
+
+double string_extra_length(std::span<const ModulePosition> string_modules,
+                           const WiringSpec& spec) {
+    check_arg(spec.resistance_ohm_per_m >= 0.0 &&
+                  spec.connector_length_m >= 0.0 && spec.cost_per_m >= 0.0,
+              "WiringSpec: negative parameter");
+    double extra = 0.0;
+    for (std::size_t k = 1; k < string_modules.size(); ++k) {
+        const double dh =
+            std::abs(string_modules[k].x_m - string_modules[k - 1].x_m);
+        const double dv =
+            std::abs(string_modules[k].y_m - string_modules[k - 1].y_m);
+        extra += std::max(0.0, dh + dv - spec.connector_length_m);
+    }
+    return extra;
+}
+
+std::vector<double> panel_extra_lengths(
+    std::span<const ModulePosition> modules, const Topology& topology,
+    const WiringSpec& spec) {
+    check_topology(topology, static_cast<int>(modules.size()));
+    std::vector<double> lengths(static_cast<std::size_t>(topology.strings));
+    for (int j = 0; j < topology.strings; ++j) {
+        const auto string_span = modules.subspan(
+            static_cast<std::size_t>(j * topology.series),
+            static_cast<std::size_t>(topology.series));
+        lengths[static_cast<std::size_t>(j)] =
+            string_extra_length(string_span, spec);
+    }
+    return lengths;
+}
+
+double wiring_power_loss(double extra_length_m, double current_a,
+                         const WiringSpec& spec) {
+    check_arg(extra_length_m >= 0.0, "wiring_power_loss: negative length");
+    return spec.resistance_ohm_per_m * extra_length_m * current_a *
+           current_a;
+}
+
+double wiring_cost(std::span<const double> extra_lengths,
+                   const WiringSpec& spec) {
+    double total = 0.0;
+    for (double len : extra_lengths) {
+        check_arg(len >= 0.0, "wiring_cost: negative length");
+        total += len;
+    }
+    return total * spec.cost_per_m;
+}
+
+}  // namespace pvfp::pv

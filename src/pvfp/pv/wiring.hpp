@@ -1,0 +1,56 @@
+#pragma once
+/// \file wiring.hpp
+/// Wiring-overhead model of the sparse placement (paper Section III-B2 and
+/// Fig. 4).
+///
+/// For consecutive modules of a series string displaced by (dh, dv), the
+/// extra cable beyond the default connector of length L is
+///   extra = max(0, dh + dv - L)
+/// and the string overhead is the sum over consecutive pairs.  The power
+/// drop is R_unit * extra_length * I^2 (the string current flows through
+/// the extra cable); parallel-side wiring is neglected per the paper
+/// (combiner boxes are used either way).
+
+#include <span>
+#include <vector>
+
+#include "pvfp/pv/array.hpp"
+
+namespace pvfp::pv {
+
+/// Cable/connector assumptions (paper Section V-C: AWG 10, ~7 mOhm/m,
+/// ~1 $/m; the default connector spans one module width so a compact
+/// side-by-side string needs no extra cable).
+struct WiringSpec {
+    double resistance_ohm_per_m = 0.007;
+    double connector_length_m = 1.60;
+    double cost_per_m = 1.0;
+};
+
+/// A module's center position on the roof plane [m].
+struct ModulePosition {
+    double x_m = 0.0;
+    double y_m = 0.0;
+};
+
+/// Extra cable length [m] of one series string whose modules are visited
+/// in placement order (paper's series-first enumeration).
+double string_extra_length(std::span<const ModulePosition> string_modules,
+                           const WiringSpec& spec);
+
+/// Extra cable per string for a full panel in series-first order
+/// (module j*m+i = module i of string j).
+std::vector<double> panel_extra_lengths(
+    std::span<const ModulePosition> modules, const Topology& topology,
+    const WiringSpec& spec);
+
+/// Instantaneous wiring power loss [W] of a string carrying \p current_a
+/// through \p extra_length_m of extra cable.
+double wiring_power_loss(double extra_length_m, double current_a,
+                         const WiringSpec& spec);
+
+/// One-off material cost [$] of the extra cable.
+double wiring_cost(std::span<const double> extra_lengths,
+                   const WiringSpec& spec);
+
+}  // namespace pvfp::pv

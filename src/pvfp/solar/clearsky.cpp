@@ -1,0 +1,89 @@
+#include "pvfp/solar/clearsky.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::solar {
+
+double relative_air_mass(double elevation_rad, double altitude_m) {
+    // Kasten & Young (1989) with station-pressure scaling.
+    const double el_deg = rad2deg(elevation_rad);
+    const double pressure_ratio = std::exp(-altitude_m / 8434.5);
+    const double denom =
+        std::sin(elevation_rad) +
+        0.50572 * std::pow(el_deg + 6.07995, -1.6364);
+    check_arg(denom > 0.0, "relative_air_mass: sun too far below horizon");
+    return pressure_ratio / denom;
+}
+
+double rayleigh_optical_thickness(double air_mass) {
+    check_arg(air_mass > 0.0, "rayleigh_optical_thickness: bad air mass");
+    const double m = air_mass;
+    if (m <= 20.0) {
+        return 1.0 / (6.6296 + 1.7513 * m - 0.1202 * m * m +
+                      0.0065 * m * m * m - 0.00013 * m * m * m * m);
+    }
+    return 1.0 / (10.4 + 0.718 * m);
+}
+
+ClearSky esra_clear_sky(double elevation_rad, int doy, double linke,
+                        double altitude_m) {
+    check_arg(linke > 0.0, "esra_clear_sky: Linke turbidity must be > 0");
+    ClearSky out;
+    if (elevation_rad <= 0.0) return out;
+
+    const double i0 = extraterrestrial_normal_irradiance(doy);
+    const double m = relative_air_mass(elevation_rad, altitude_m);
+    const double dr = rayleigh_optical_thickness(m);
+
+    // Beam (Rigollier et al. 2000, eq. for the beam transmittance).
+    out.dni = i0 * std::exp(-0.8662 * linke * m * dr);
+
+    // Diffuse: transmission at zenith Trd(TL) times the solar-elevation
+    // function Fd(gamma_s, TL).
+    const double tl = linke;
+    const double trd =
+        -1.5843e-2 + 3.0543e-2 * tl + 3.797e-4 * tl * tl;
+    double a1 = 2.6463e-1 - 6.1581e-2 * tl + 3.1408e-3 * tl * tl;
+    if (a1 * trd < 2.0e-3) a1 = 2.0e-3 / trd;
+    const double a2 = 2.0402 + 1.8945e-2 * tl - 1.1161e-2 * tl * tl;
+    const double a3 = -1.3025 + 3.9231e-2 * tl + 8.5079e-3 * tl * tl;
+    const double s = std::sin(elevation_rad);
+    const double fd = a1 + a2 * s + a3 * s * s;
+    out.dhi = std::max(0.0, i0 * trd * fd);
+
+    out.ghi = out.dni * s + out.dhi;
+    return out;
+}
+
+LinkeTurbidity::LinkeTurbidity(const std::array<double, 12>& monthly)
+    : monthly_(monthly) {
+    for (double v : monthly_)
+        check_arg(v > 0.0, "LinkeTurbidity: values must be positive");
+}
+
+LinkeTurbidity LinkeTurbidity::torino_profile() {
+    // Po valley: winter fog/clear mix, hazy humid summers.  Values in the
+    // band PVGIS reports for the area (TL ~ 2.5 winter to ~4 summer).
+    return LinkeTurbidity({2.6, 2.8, 3.2, 3.5, 3.7, 3.9, 3.9, 3.8, 3.4, 3.0,
+                           2.7, 2.5});
+}
+
+double LinkeTurbidity::at_day(int doy) const {
+    check_arg(doy >= 1 && doy <= 366, "LinkeTurbidity::at_day: bad doy");
+    // Interpolate between mid-month anchors (day 15 of each 30.42-day
+    // nominal month), wrapping around the year end.
+    const double month_len = 365.0 / 12.0;
+    const double pos = (static_cast<double>(doy) - 1.0) / month_len - 0.5;
+    const int m0 =
+        static_cast<int>(std::floor(pos)) % 12;
+    const int i0 = (m0 + 12) % 12;
+    const int i1 = (i0 + 1) % 12;
+    const double frac = pos - std::floor(pos);
+    return lerp(monthly_[static_cast<std::size_t>(i0)],
+                monthly_[static_cast<std::size_t>(i1)], frac);
+}
+
+}  // namespace pvfp::solar

@@ -1,0 +1,56 @@
+#pragma once
+/// \file clearsky.hpp
+/// ESRA clear-sky irradiance model (Rigollier, Bauer & Wald 2000) — the
+/// model behind PVGIS, which the paper cites ([11], [17]) as its source of
+/// clear-sky and turbidity handling.  Atmospheric opacity is captured by
+/// the Linke turbidity factor TL (air-mass-2 convention), the same
+/// coefficient the paper uses to account for air pollution.
+
+#include <array>
+
+#include "pvfp/solar/sunpos.hpp"
+
+namespace pvfp::solar {
+
+/// Clear-sky irradiance components on the *horizontal* plane plus the
+/// direct normal component.  All in W/m^2.
+struct ClearSky {
+    double ghi = 0.0;  ///< global horizontal
+    double dni = 0.0;  ///< beam normal
+    double dhi = 0.0;  ///< diffuse horizontal
+};
+
+/// Kasten-Young relative optical air mass for the given solar elevation,
+/// with a pressure correction for \p altitude_m above sea level.
+/// Returns +inf-like large values as the sun approaches the horizon;
+/// callers gate on elevation > 0.
+double relative_air_mass(double elevation_rad, double altitude_m = 0.0);
+
+/// Rayleigh optical thickness delta_R(m) (Kasten 1996 piecewise fit, as
+/// used by ESRA).
+double rayleigh_optical_thickness(double air_mass);
+
+/// ESRA clear-sky at solar \p elevation_rad on day \p doy with Linke
+/// turbidity \p linke (typical range 2..7).  Elevation <= 0 yields zeros.
+ClearSky esra_clear_sky(double elevation_rad, int doy, double linke,
+                        double altitude_m = 0.0);
+
+/// Monthly Linke turbidity profile with linear interpolation over the day
+/// of year (wrap-around December->January).
+class LinkeTurbidity {
+public:
+    /// \p monthly: 12 values, January first.
+    explicit LinkeTurbidity(const std::array<double, 12>& monthly);
+
+    /// A reasonable Po-valley profile (hazier summers, clearer winters),
+    /// consistent with the PVGIS climatology the paper builds on.
+    static LinkeTurbidity torino_profile();
+
+    /// Turbidity on day-of-year \p doy (interpolating between mid-months).
+    double at_day(int doy) const;
+
+private:
+    std::array<double, 12> monthly_;
+};
+
+}  // namespace pvfp::solar

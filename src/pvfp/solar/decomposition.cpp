@@ -1,0 +1,97 @@
+#include "pvfp/solar/decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::solar {
+
+double clearness_index(double ghi, double elevation_rad, int doy) {
+    check_arg(ghi >= 0.0, "clearness_index: negative GHI");
+    if (elevation_rad <= 0.0) return 0.0;
+    const double top =
+        extraterrestrial_normal_irradiance(doy) * std::sin(elevation_rad);
+    if (top <= 0.0) return 0.0;
+    return std::clamp(ghi / top, 0.0, 1.25);
+}
+
+double erbs_diffuse_fraction(double kt) {
+    check_arg(kt >= 0.0, "erbs_diffuse_fraction: negative kt");
+    if (kt <= 0.22) return 1.0 - 0.09 * kt;
+    if (kt <= 0.80) {
+        const double kt2 = kt * kt;
+        return 0.9511 - 0.1604 * kt + 4.388 * kt2 - 16.638 * kt2 * kt +
+               12.336 * kt2 * kt2;
+    }
+    return 0.165;
+}
+
+double engerer2_diffuse_fraction(double kt, double zenith_rad,
+                                 double apparent_solar_time_hours,
+                                 double dktc, double kde) {
+    // Engerer2 (2015) parameter set.  The logistic core keeps the fraction
+    // in (C, 1); kde adds back cloud-enhancement diffuse.
+    constexpr double kC = 4.2336e-2;
+    constexpr double kB0 = -3.7912;
+    constexpr double kB1 = 7.5479;
+    constexpr double kB2 = -1.0036e-2;
+    constexpr double kB3 = 3.1480e-3;
+    constexpr double kB4 = -5.3146;
+    constexpr double kB5 = 1.7073;
+    const double z_deg = rad2deg(zenith_rad);
+    const double logistic =
+        1.0 / (1.0 + std::exp(kB0 + kB1 * kt + kB2 * apparent_solar_time_hours +
+                              kB3 * z_deg + kB4 * dktc));
+    const double f = kC + (1.0 - kC) * logistic + kB5 * kde;
+    return std::clamp(f, 0.0, 1.0);
+}
+
+namespace {
+
+Decomposition finalize(double ghi, double fraction, double elevation_rad,
+                       int doy) {
+    Decomposition out;
+    out.dhi = fraction * ghi;
+    const double sin_el = std::sin(elevation_rad);
+    if (sin_el <= 1e-6) {
+        out.dhi = ghi;  // all diffuse at grazing sun
+        out.dni = 0.0;
+        return out;
+    }
+    const double dni_raw = (ghi - out.dhi) / sin_el;
+    const double dni_cap = extraterrestrial_normal_irradiance(doy);
+    out.dni = std::clamp(dni_raw, 0.0, dni_cap);
+    // Keep consistency GHI = DNI*sin(el) + DHI after capping.
+    out.dhi = std::max(0.0, ghi - out.dni * sin_el);
+    return out;
+}
+
+}  // namespace
+
+Decomposition decompose_erbs(double ghi, double elevation_rad, int doy) {
+    check_arg(ghi >= 0.0, "decompose_erbs: negative GHI");
+    if (elevation_rad <= 0.0 || ghi == 0.0) return {};
+    const double kt = clearness_index(ghi, elevation_rad, doy);
+    return finalize(ghi, erbs_diffuse_fraction(kt), elevation_rad, doy);
+}
+
+Decomposition decompose_engerer2(double ghi, double ghi_clear,
+                                 double elevation_rad, int doy,
+                                 double apparent_solar_time_hours) {
+    check_arg(ghi >= 0.0, "decompose_engerer2: negative GHI");
+    check_arg(ghi_clear >= 0.0, "decompose_engerer2: negative clear-sky GHI");
+    if (elevation_rad <= 0.0 || ghi == 0.0) return {};
+    const double kt = clearness_index(ghi, elevation_rad, doy);
+    const double ktc = clearness_index(ghi_clear, elevation_rad, doy);
+    const double dktc = ktc - kt;
+    // Cloud-enhancement proxy: excess of measured over clear-sky global.
+    const double kde =
+        (ghi_clear > 0.0) ? std::max(0.0, 1.0 - ghi_clear / ghi) : 0.0;
+    const double zen = kPi / 2.0 - elevation_rad;
+    const double f = engerer2_diffuse_fraction(
+        kt, zen, apparent_solar_time_hours, dktc, kde);
+    return finalize(ghi, f, elevation_rad, doy);
+}
+
+}  // namespace pvfp::solar

@@ -1,0 +1,47 @@
+#pragma once
+/// \file decomposition.hpp
+/// Global-horizontal -> direct/diffuse decomposition models.
+///
+/// Paper Section IV: "If the weather station only provides global
+/// horizontal radiation, incident radiation is derived through
+/// state-of-the-art decomposition models [18]" ([18] = Engerer 2015).
+/// Implemented here: the classic Erbs correlation (hourly heritage,
+/// robust) and an Engerer2-style minute-resolution logistic model.
+
+#include "pvfp/solar/sunpos.hpp"
+
+namespace pvfp::solar {
+
+/// Result of a decomposition: beam normal + diffuse horizontal.
+struct Decomposition {
+    double dni = 0.0;
+    double dhi = 0.0;
+};
+
+/// Clearness index kt = GHI / (E0 * Gsc * sin(elevation)); clamped to
+/// [0, 1.25] to tame sensor spikes near sunrise.  Returns 0 for sun at or
+/// below the horizon.
+double clearness_index(double ghi, double elevation_rad, int doy);
+
+/// Erbs, Klein & Duffie (1982) diffuse fraction as a function of kt.
+double erbs_diffuse_fraction(double kt);
+
+/// Engerer2-style diffuse fraction (Engerer 2015, Solar Energy 116):
+/// logistic in kt, apparent solar time, zenith and the clear-sky deviation
+/// dktc = ktc - kt, plus the cloud-enhancement term kde.
+/// Coefficients follow the published Engerer2 fit.
+double engerer2_diffuse_fraction(double kt, double zenith_rad,
+                                 double apparent_solar_time_hours,
+                                 double dktc, double kde);
+
+/// Decompose \p ghi at the given sun elevation using Erbs; DNI is bounded
+/// by the extraterrestrial normal irradiance.
+Decomposition decompose_erbs(double ghi, double elevation_rad, int doy);
+
+/// Decompose using the Engerer2-style model.  \p ghi_clear is the
+/// clear-sky GHI used for dktc/kde (pass 0 to degrade to kt-only).
+Decomposition decompose_engerer2(double ghi, double ghi_clear,
+                                 double elevation_rad, int doy,
+                                 double apparent_solar_time_hours);
+
+}  // namespace pvfp::solar

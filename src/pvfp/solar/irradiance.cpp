@@ -1,0 +1,129 @@
+#include "pvfp/solar/irradiance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::solar {
+
+IrradianceField::IrradianceField(geo::HorizonMap horizon,
+                                 std::vector<EnvSample> env,
+                                 const pvfp::TimeGrid& grid, double tilt_rad,
+                                 double azimuth_rad,
+                                 const FieldConfig& config,
+                                 geo::NormalMap normals)
+    : horizon_(std::move(horizon)), grid_(grid), tilt_rad_(tilt_rad),
+      azimuth_rad_(azimuth_rad), config_(config),
+      normals_(std::move(normals)) {
+    check_arg(static_cast<long>(env.size()) == grid_.total_steps(),
+              "IrradianceField: env series length != time grid steps");
+    check_arg(tilt_rad >= 0.0 && tilt_rad <= kPi / 2.0,
+              "IrradianceField: tilt out of range");
+    check_arg(config.thermal_k >= 0.0,
+              "IrradianceField: thermal_k must be non-negative");
+    has_normals_ = normals_.width() > 0;
+    if (has_normals_) {
+        check_arg(normals_.width() == horizon_.window_width() &&
+                      normals_.height() == horizon_.window_height(),
+                  "IrradianceField: normal map does not match the window");
+    }
+
+    // Uniform plane normal: leans toward the downslope azimuth.
+    plane_e_ = std::sin(tilt_rad_) * std::sin(azimuth_rad_);
+    plane_n_ = std::sin(tilt_rad_) * std::cos(azimuth_rad_);
+    plane_u_ = std::cos(tilt_rad_);
+
+    steps_.resize(env.size());
+    for (long s = 0; s < grid_.total_steps(); ++s) {
+        const EnvSample& e = env[static_cast<std::size_t>(s)];
+        check_arg(e.ghi >= 0.0 && e.dni >= 0.0 && e.dhi >= 0.0,
+                  "IrradianceField: negative irradiance in env series");
+        StepData d;
+        const int doy = grid_.day_of_year(s);
+        const double hour = grid_.hour_of_day(s);
+        const SunPosition sun = sun_position(config_.location, doy, hour);
+        d.sun_azimuth = static_cast<float>(sun.azimuth_rad);
+        d.sun_elevation = static_cast<float>(sun.elevation_rad);
+        d.daylight = sun.elevation_rad > 0.0;
+        d.temp_air = static_cast<float>(e.temp_air_c);
+        const double cos_el = std::cos(sun.elevation_rad);
+        d.sun_e = static_cast<float>(cos_el * std::sin(sun.azimuth_rad));
+        d.sun_n = static_cast<float>(cos_el * std::cos(sun.azimuth_rad));
+        d.sun_u = static_cast<float>(std::sin(sun.elevation_rad));
+
+        if (e.ghi > 0.0 || e.dhi > 0.0) {
+            // Normal-equivalent beam magnitude: DNI plus, for Hay-Davies,
+            // the circumsolar share of the diffuse (guarded near the
+            // horizon exactly like the transposition model).
+            double beam_eq = 0.0;
+            if (d.daylight) {
+                beam_eq = e.dni;
+                if (config_.sky_model == SkyModel::HayDavies &&
+                    e.dhi > 0.0) {
+                    const double a = std::clamp(
+                        e.dni / extraterrestrial_normal_irradiance(doy),
+                        0.0, 1.0);
+                    const double sin_el_guard =
+                        std::max(std::sin(sun.elevation_rad), 0.01745);
+                    beam_eq += e.dhi * a / sin_el_guard;
+                }
+            }
+            d.beam_eq = static_cast<float>(beam_eq);
+
+            // Isotropic sky share and ground-reflected term on the plane.
+            double dhi_iso = e.dhi;
+            if (config_.sky_model == SkyModel::HayDavies) {
+                const double a = std::clamp(
+                    e.dni / extraterrestrial_normal_irradiance(doy), 0.0,
+                    1.0);
+                dhi_iso = e.dhi * (1.0 - (d.daylight ? a : 0.0));
+            }
+            d.sky_diffuse = static_cast<float>(
+                dhi_iso * (1.0 + std::cos(tilt_rad_)) / 2.0);
+            d.reflected = static_cast<float>(
+                e.ghi * config_.albedo * (1.0 - std::cos(tilt_rad_)) / 2.0);
+        }
+        steps_[static_cast<std::size_t>(s)] = d;
+    }
+}
+
+double IrradianceField::cell_irradiance(int x, int y, long s) const {
+    const StepData& d = step(s);
+    double g = d.reflected;
+    g += horizon_.sky_view_factor(x, y) * d.sky_diffuse;
+    if (d.beam_eq > 0.0f &&
+        !horizon_.is_shaded(x, y, d.sun_azimuth, d.sun_elevation)) {
+        double cosi;
+        if (has_normals_) {
+            cosi = normals_.east(x, y) * d.sun_e +
+                   normals_.north(x, y) * d.sun_n +
+                   normals_.up(x, y) * d.sun_u;
+        } else {
+            cosi = plane_e_ * d.sun_e + plane_n_ * d.sun_n +
+                   plane_u_ * d.sun_u;
+        }
+        if (cosi > 0.0) g += d.beam_eq * cosi;
+    }
+    return g;
+}
+
+double IrradianceField::cell_module_temperature(int x, int y, long s) const {
+    return air_temperature(s) + config_.thermal_k * cell_irradiance(x, y, s);
+}
+
+double IrradianceField::plane_irradiance_unshaded(long s) const {
+    const StepData& d = step(s);
+    const double cosi =
+        plane_e_ * d.sun_e + plane_n_ * d.sun_n + plane_u_ * d.sun_u;
+    return d.beam_eq * std::max(0.0, cosi) + d.sky_diffuse + d.reflected;
+}
+
+double IrradianceField::unshaded_insolation_kwh_m2() const {
+    double wh = 0.0;
+    for (long s = 0; s < steps(); ++s)
+        wh += plane_irradiance_unshaded(s) * grid_.step_hours();
+    return wh / 1000.0;
+}
+
+}  // namespace pvfp::solar

@@ -1,0 +1,137 @@
+#pragma once
+/// \file irradiance.hpp
+/// The spatio-temporal irradiance/temperature field G[i,j,t], T[i,j,t] of
+/// paper Section III-A, evaluated lazily.
+///
+/// Storing the full matrices for ~12,000 cells x 35,040 steps would take
+/// gigabytes; instead the field factorizes exactly the way the physics
+/// does:
+///
+///   G(cell, t) = visible(cell, t) * beam_plane(t)
+///              + svf(cell) * sky_diffuse_plane(t)
+///              + ground_reflected_plane(t)
+///
+/// where the three plane terms depend only on t (one transposition per
+/// step, the roof plane is uniform) and the two cell factors come from the
+/// horizon map (O(1) per query).  Module temperature follows the paper's
+/// Tact = Tair + k*G with k = alpha/h_c (Section III-B1, [12][13]).
+
+#include <vector>
+
+#include "pvfp/geo/horizon.hpp"
+#include "pvfp/solar/sunpos.hpp"
+#include "pvfp/solar/transposition.hpp"
+#include "pvfp/util/timegrid.hpp"
+
+namespace pvfp::solar {
+
+/// One time step of weather on the horizontal plane, as produced by the
+/// weather substrate (synthetic generator or station CSV import).
+struct EnvSample {
+    double ghi = 0.0;         ///< global horizontal irradiance [W/m^2]
+    double dni = 0.0;         ///< beam normal irradiance [W/m^2]
+    double dhi = 0.0;         ///< diffuse horizontal irradiance [W/m^2]
+    double temp_air_c = 20.0; ///< ambient air temperature [deg C]
+};
+
+/// Static configuration of the field.
+struct FieldConfig {
+    Location location;
+    SkyModel sky_model = SkyModel::HayDavies;
+    /// Ground albedo for the reflected component.
+    double albedo = 0.2;
+    /// Temperature coupling k = alpha/h_c [K m^2 / W]: Tact = Tair + k*G.
+    /// Default alpha=0.5, h_c=15 W/(K m^2) -> 1/30, i.e. +33 K at STC
+    /// irradiance, consistent with NOCT-class modules (paper Sec III-B1).
+    double thermal_k = 1.0 / 30.0;
+};
+
+/// Lazily-evaluated per-cell irradiance and module temperature over a
+/// placement-area window (the HorizonMap's window).
+class IrradianceField {
+public:
+    /// \p horizon: per-cell horizons for the placement window (moved in).
+    /// \p env: one sample per TimeGrid step (size must match).
+    /// \p tilt_rad / \p azimuth_rad: roof plane orientation.
+    /// \p normals: optional per-cell surface normals (same window); when
+    /// empty, every cell uses the uniform plane normal.  Per-cell normals
+    /// make the beam term respond to DSM surface structure — the
+    /// fine-grain G variance of the paper's Fig. 6(b).
+    IrradianceField(geo::HorizonMap horizon, std::vector<EnvSample> env,
+                    const pvfp::TimeGrid& grid, double tilt_rad,
+                    double azimuth_rad, const FieldConfig& config = {},
+                    geo::NormalMap normals = {});
+
+    int width() const { return horizon_.window_width(); }
+    int height() const { return horizon_.window_height(); }
+    long steps() const { return grid_.total_steps(); }
+    const pvfp::TimeGrid& time_grid() const { return grid_; }
+    const FieldConfig& config() const { return config_; }
+    double tilt_rad() const { return tilt_rad_; }
+    double azimuth_rad() const { return azimuth_rad_; }
+    const geo::HorizonMap& horizon() const { return horizon_; }
+
+    /// True when the sun is above the horizon at step \p s.
+    bool is_daylight(long s) const { return step(s).daylight; }
+
+    /// Sun position at step \p s.
+    SunPosition sun(long s) const {
+        const StepData& d = step(s);
+        return SunPosition{d.sun_azimuth, d.sun_elevation};
+    }
+
+    /// Ambient air temperature [deg C] at step \p s.
+    double air_temperature(long s) const { return step(s).temp_air; }
+
+    /// Plane-of-array irradiance [W/m^2] at cell (x,y) (window-local
+    /// coordinates) and step \p s, including shading.
+    double cell_irradiance(int x, int y, long s) const;
+
+    /// Module temperature [deg C] at the cell: Tair + k * G.
+    double cell_module_temperature(int x, int y, long s) const;
+
+    /// Unshaded plane-of-array irradiance at step \p s (diagnostics: what a
+    /// horizon-free cell with SVF=1 would receive).
+    double plane_irradiance_unshaded(long s) const;
+
+    /// Yearly unshaded plane-of-array insolation [kWh/m^2] (diagnostics).
+    double unshaded_insolation_kwh_m2() const;
+
+private:
+    struct StepData {
+        /// Beam(+circumsolar) normal-equivalent magnitude [W/m^2]; the
+        /// cell's plane-of-array beam is beam_eq * max(0, n_cell . s).
+        float beam_eq = 0.0f;
+        float sky_diffuse = 0.0f;    ///< isotropic sky diffuse on the plane
+        float reflected = 0.0f;      ///< ground-reflected on the plane
+        float temp_air = 0.0f;
+        float sun_azimuth = 0.0f;
+        float sun_elevation = 0.0f;
+        /// Sun unit vector (east, north, up).
+        float sun_e = 0.0f;
+        float sun_n = 0.0f;
+        float sun_u = 0.0f;
+        bool daylight = false;
+    };
+
+    const StepData& step(long s) const {
+        check_arg(s >= 0 && s < static_cast<long>(steps_.size()),
+                  "IrradianceField: step out of range");
+        return steps_[static_cast<std::size_t>(s)];
+    }
+
+    geo::HorizonMap horizon_;
+    pvfp::TimeGrid grid_;
+    double tilt_rad_;
+    double azimuth_rad_;
+    FieldConfig config_;
+    geo::NormalMap normals_;  ///< empty => uniform plane normal
+    bool has_normals_ = false;
+    /// Uniform plane normal (east, north, up).
+    double plane_e_ = 0.0;
+    double plane_n_ = 0.0;
+    double plane_u_ = 1.0;
+    std::vector<StepData> steps_;
+};
+
+}  // namespace pvfp::solar

@@ -1,0 +1,111 @@
+#include "pvfp/solar/sunpos.hpp"
+
+#include <cmath>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::solar {
+namespace {
+
+/// Day angle Gamma [rad] (Spencer's independent variable).
+double day_angle(int doy) {
+    check_arg(doy >= 1 && doy <= 366, "day_angle: doy must be in [1,366]");
+    return kTwoPi * (doy - 1) / 365.0;
+}
+
+}  // namespace
+
+double solar_declination(int doy) {
+    const double g = day_angle(doy);
+    return 0.006918 - 0.399912 * std::cos(g) + 0.070257 * std::sin(g) -
+           0.006758 * std::cos(2 * g) + 0.000907 * std::sin(2 * g) -
+           0.002697 * std::cos(3 * g) + 0.00148 * std::sin(3 * g);
+}
+
+double equation_of_time_minutes(int doy) {
+    const double g = day_angle(doy);
+    return 229.18 * (0.000075 + 0.001868 * std::cos(g) -
+                     0.032077 * std::sin(g) - 0.014615 * std::cos(2 * g) -
+                     0.04089 * std::sin(2 * g));
+}
+
+double eccentricity_factor(int doy) {
+    const double g = day_angle(doy);
+    return 1.00011 + 0.034221 * std::cos(g) + 0.00128 * std::sin(g) +
+           0.000719 * std::cos(2 * g) + 0.000077 * std::sin(2 * g);
+}
+
+double extraterrestrial_normal_irradiance(int doy) {
+    return kSolarConstant * eccentricity_factor(doy);
+}
+
+double solar_time_hours(const Location& loc, int doy, double clock_hour) {
+    // Longitude correction: 4 minutes per degree offset from the time-zone
+    // meridian (15 deg per hour), plus the equation of time.
+    const double tz_meridian = 15.0 * loc.timezone_hours;
+    const double minutes = equation_of_time_minutes(doy) +
+                           4.0 * (loc.longitude_deg - tz_meridian);
+    return clock_hour + minutes / 60.0;
+}
+
+double hour_angle_rad(const Location& loc, int doy, double clock_hour) {
+    const double t_solar = solar_time_hours(loc, doy, clock_hour);
+    return deg2rad(15.0 * (t_solar - 12.0));
+}
+
+SunPosition sun_position(const Location& loc, int doy, double clock_hour) {
+    const double phi = deg2rad(loc.latitude_deg);
+    const double delta = solar_declination(doy);
+    const double h = hour_angle_rad(loc, doy, clock_hour);
+
+    // Sun unit vector in the local horizon frame (north, east, up).
+    const double up = std::sin(phi) * std::sin(delta) +
+                      std::cos(phi) * std::cos(delta) * std::cos(h);
+    const double north = std::cos(phi) * std::sin(delta) -
+                         std::sin(phi) * std::cos(delta) * std::cos(h);
+    const double east = -std::cos(delta) * std::sin(h);
+
+    SunPosition pos;
+    pos.elevation_rad = std::asin(std::clamp(up, -1.0, 1.0));
+    pos.azimuth_rad = wrap_two_pi(std::atan2(east, north));
+    return pos;
+}
+
+SunPosition sun_position_acos(const Location& loc, int doy,
+                              double clock_hour) {
+    const double phi = deg2rad(loc.latitude_deg);
+    const double delta = solar_declination(doy);
+    const double h = hour_angle_rad(loc, doy, clock_hour);
+
+    const double sin_el = std::sin(phi) * std::sin(delta) +
+                          std::cos(phi) * std::cos(delta) * std::cos(h);
+    const double el = std::asin(std::clamp(sin_el, -1.0, 1.0));
+
+    SunPosition pos;
+    pos.elevation_rad = el;
+    const double cos_el = std::cos(el);
+    if (std::abs(cos_el) < 1e-12) {
+        pos.azimuth_rad = 0.0;  // sun at zenith: azimuth undefined
+        return pos;
+    }
+    const double cos_az = std::clamp(
+        (std::sin(delta) - sin_el * std::sin(phi)) / (cos_el * std::cos(phi)),
+        -1.0, 1.0);
+    const double az_from_north = std::acos(cos_az);  // in [0, pi]
+    // Morning (h < 0): sun in the eastern half; afternoon: mirror west.
+    pos.azimuth_rad =
+        (h <= 0.0) ? az_from_north : kTwoPi - az_from_north;
+    return pos;
+}
+
+double day_length_hours(const Location& loc, int doy) {
+    const double phi = deg2rad(loc.latitude_deg);
+    const double delta = solar_declination(doy);
+    const double x = -std::tan(phi) * std::tan(delta);
+    if (x <= -1.0) return 24.0;  // polar day
+    if (x >= 1.0) return 0.0;    // polar night
+    const double ws = std::acos(x);  // sunset hour angle
+    return 2.0 * rad2deg(ws) / 15.0;
+}
+
+}  // namespace pvfp::solar

@@ -1,0 +1,61 @@
+#pragma once
+/// \file sunpos.hpp
+/// Solar ephemeris: declination, equation of time, sun azimuth/elevation.
+///
+/// Accuracy target is the one relevant to rooftop shading at a 15-minute
+/// resolution (paper Section IV): a fraction of a degree, met by Spencer's
+/// Fourier fits (Spencer 1971, as tabulated in Iqbal, "An Introduction to
+/// Solar Radiation").  Two independent trigonometric paths to the azimuth
+/// are provided and cross-checked in the tests.
+
+#include "pvfp/util/math.hpp"
+
+namespace pvfp::solar {
+
+/// Geographic location and clock convention of the input time stamps.
+struct Location {
+    double latitude_deg = 45.07;    ///< +N (default: Torino)
+    double longitude_deg = 7.69;    ///< +E
+    double timezone_hours = 1.0;    ///< local clock = UTC + this (CET)
+};
+
+/// Horizontal sun coordinates.
+struct SunPosition {
+    double azimuth_rad = 0.0;    ///< clockwise from North, [0, 2*pi)
+    double elevation_rad = 0.0;  ///< above the horizon (negative = below)
+
+    double zenith_rad() const { return kPi / 2.0 - elevation_rad; }
+};
+
+/// Solar declination [rad] for day-of-year \p doy in [1, 365] (Spencer).
+double solar_declination(int doy);
+
+/// Equation of time [minutes] for day-of-year \p doy (Spencer).
+double equation_of_time_minutes(int doy);
+
+/// Eccentricity correction factor E0 = (r0/r)^2 (Spencer); multiplies the
+/// solar constant to give the extraterrestrial normal irradiance.
+double eccentricity_factor(int doy);
+
+/// Extraterrestrial normal irradiance [W/m^2] on day \p doy.
+double extraterrestrial_normal_irradiance(int doy);
+
+/// Apparent solar time [hours] given local clock hour and location.
+double solar_time_hours(const Location& loc, int doy, double clock_hour);
+
+/// Hour angle [rad] (0 at solar noon, negative in the morning).
+double hour_angle_rad(const Location& loc, int doy, double clock_hour);
+
+/// Sun position from latitude, declination and hour angle using the
+/// vector (atan2) formulation.
+SunPosition sun_position(const Location& loc, int doy, double clock_hour);
+
+/// Alternate derivation of the same quantity through the acos-based
+/// spherical-trig path; used as an independent cross-check in tests.
+SunPosition sun_position_acos(const Location& loc, int doy,
+                              double clock_hour);
+
+/// Day length [hours] from the sunset hour angle.
+double day_length_hours(const Location& loc, int doy);
+
+}  // namespace pvfp::solar

@@ -1,0 +1,91 @@
+#include "pvfp/solar/transposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::solar {
+
+double cos_incidence(const SunPosition& sun, double tilt_rad,
+                     double azimuth_rad) {
+    // cos(theta) = cos(beta)*sin(el) + sin(beta)*cos(el)*cos(az_sun - az_surf)
+    return std::cos(tilt_rad) * std::sin(sun.elevation_rad) +
+           std::sin(tilt_rad) * std::cos(sun.elevation_rad) *
+               std::cos(sun.azimuth_rad - azimuth_rad);
+}
+
+namespace {
+
+void check_inputs(double dni, double dhi, double ghi, double tilt_rad,
+                  double albedo) {
+    check_arg(dni >= 0.0 && dhi >= 0.0 && ghi >= 0.0,
+              "transposition: negative irradiance input");
+    check_arg(tilt_rad >= 0.0 && tilt_rad <= kPi / 2.0,
+              "transposition: tilt must be in [0, pi/2]");
+    check_arg(albedo >= 0.0 && albedo <= 1.0,
+              "transposition: albedo must be in [0,1]");
+}
+
+}  // namespace
+
+TiltedIrradiance isotropic_tilted(double dni, double dhi, double ghi,
+                                  const SunPosition& sun, double tilt_rad,
+                                  double azimuth_rad, double albedo,
+                                  int /*doy*/) {
+    check_inputs(dni, dhi, ghi, tilt_rad, albedo);
+    TiltedIrradiance out;
+    if (sun.elevation_rad > 0.0) {
+        const double cosi =
+            std::max(0.0, cos_incidence(sun, tilt_rad, azimuth_rad));
+        out.beam = dni * cosi;
+    }
+    out.sky_diffuse = dhi * (1.0 + std::cos(tilt_rad)) / 2.0;
+    out.ground_reflected = ghi * albedo * (1.0 - std::cos(tilt_rad)) / 2.0;
+    return out;
+}
+
+TiltedIrradiance hay_davies_tilted(double dni, double dhi, double ghi,
+                                   const SunPosition& sun, double tilt_rad,
+                                   double azimuth_rad, double albedo,
+                                   int doy) {
+    check_inputs(dni, dhi, ghi, tilt_rad, albedo);
+    TiltedIrradiance out;
+    out.ground_reflected = ghi * albedo * (1.0 - std::cos(tilt_rad)) / 2.0;
+
+    const double sin_el = std::sin(sun.elevation_rad);
+    if (sun.elevation_rad <= 0.0) {
+        // Night: only isotropic diffuse (usually zero anyway).
+        out.sky_diffuse = dhi * (1.0 + std::cos(tilt_rad)) / 2.0;
+        return out;
+    }
+
+    const double cosi =
+        std::max(0.0, cos_incidence(sun, tilt_rad, azimuth_rad));
+    // Anisotropy index: fraction of diffuse treated as circumsolar.
+    const double e0n = extraterrestrial_normal_irradiance(doy);
+    const double a = std::clamp(dni / e0n, 0.0, 1.0);
+    // Beam ratio Rb guarded near the horizon (standard practice caps the
+    // low-sun blow-up).
+    const double rb = cosi / std::max(sin_el, 0.01745);  // sin(1 deg)
+
+    out.beam = dni * cosi + dhi * a * rb;
+    out.sky_diffuse = dhi * (1.0 - a) * (1.0 + std::cos(tilt_rad)) / 2.0;
+    return out;
+}
+
+TiltedIrradiance transpose(SkyModel model, double dni, double dhi, double ghi,
+                           const SunPosition& sun, double tilt_rad,
+                           double azimuth_rad, double albedo, int doy) {
+    switch (model) {
+        case SkyModel::Isotropic:
+            return isotropic_tilted(dni, dhi, ghi, sun, tilt_rad, azimuth_rad,
+                                    albedo, doy);
+        case SkyModel::HayDavies:
+            return hay_davies_tilted(dni, dhi, ghi, sun, tilt_rad,
+                                     azimuth_rad, albedo, doy);
+    }
+    throw InvalidArgument("transpose: unknown sky model");
+}
+
+}  // namespace pvfp::solar

@@ -1,0 +1,58 @@
+#pragma once
+/// \file transposition.hpp
+/// Transposition of horizontal irradiance components onto the tilted roof
+/// plane ("incident global radiation" in paper Section IV, via [17]).
+///
+/// Two sky models are provided: isotropic (Liu-Jordan) and Hay-Davies
+/// (anisotropic with a circumsolar fraction).  Each returns the components
+/// separately so the shadow engine can attenuate beam+circumsolar with the
+/// binary sun-visibility bit and the isotropic part with the sky-view
+/// factor of the cell.
+
+#include "pvfp/solar/sunpos.hpp"
+
+namespace pvfp::solar {
+
+/// Cosine of the angle of incidence of the sun on a plane with the given
+/// tilt (from horizontal) and azimuth (downslope direction, clockwise from
+/// North).  Negative values mean the sun is behind the plane.
+double cos_incidence(const SunPosition& sun, double tilt_rad,
+                     double azimuth_rad);
+
+/// Irradiance on the tilted plane, split by shading behaviour.
+struct TiltedIrradiance {
+    /// Beam component (plus circumsolar diffuse for Hay-Davies): blocked
+    /// when the cell is shaded from the sun.
+    double beam = 0.0;
+    /// Isotropic sky diffuse: attenuated by the cell's sky-view factor.
+    double sky_diffuse = 0.0;
+    /// Ground-reflected component (albedo).
+    double ground_reflected = 0.0;
+
+    double total() const { return beam + sky_diffuse + ground_reflected; }
+};
+
+/// Sky-model selector used by the irradiance field.
+enum class SkyModel {
+    Isotropic,
+    HayDavies,
+};
+
+/// Liu-Jordan isotropic transposition.
+TiltedIrradiance isotropic_tilted(double dni, double dhi, double ghi,
+                                  const SunPosition& sun, double tilt_rad,
+                                  double azimuth_rad, double albedo, int doy);
+
+/// Hay-Davies transposition: anisotropy index A = DNI/E0n routes part of
+/// the diffuse into the circumsolar (beam-like) component.
+TiltedIrradiance hay_davies_tilted(double dni, double dhi, double ghi,
+                                   const SunPosition& sun, double tilt_rad,
+                                   double azimuth_rad, double albedo,
+                                   int doy);
+
+/// Dispatch on \p model.
+TiltedIrradiance transpose(SkyModel model, double dni, double dhi, double ghi,
+                           const SunPosition& sun, double tilt_rad,
+                           double azimuth_rad, double albedo, int doy);
+
+}  // namespace pvfp::solar

@@ -1,0 +1,150 @@
+#include "pvfp/util/ascii_art.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp {
+namespace {
+
+constexpr const char* kRamp = " .:-=+*#%@";
+constexpr int kRampLevels = 10;
+
+char ramp_char(double t) {
+    const int idx = std::clamp(static_cast<int>(t * kRampLevels), 0,
+                               kRampLevels - 1);
+    return kRamp[idx];
+}
+
+}  // namespace
+
+std::string render_heatmap(const Grid2D<double>& grid,
+                           const HeatmapOptions& options) {
+    check_arg(!grid.empty(), "render_heatmap: empty grid");
+    if (options.mask != nullptr) {
+        check_arg(options.mask->width() == grid.width() &&
+                      options.mask->height() == grid.height(),
+                  "render_heatmap: mask dimensions mismatch");
+    }
+
+    // Downsampling factors: terminal characters are roughly twice as tall
+    // as they are wide, so sample y twice as coarsely to keep aspect.
+    const int sx = std::max(1, (grid.width() + options.max_width - 1) /
+                                   options.max_width);
+    const int sy = 2 * sx;
+    const int out_w = (grid.width() + sx - 1) / sx;
+    const int out_h = (grid.height() + sy - 1) / sy;
+
+    double lo = options.lo;
+    double hi = options.hi;
+    if (options.autoscale) {
+        lo = std::numeric_limits<double>::infinity();
+        hi = -std::numeric_limits<double>::infinity();
+        for (int y = 0; y < grid.height(); ++y) {
+            for (int x = 0; x < grid.width(); ++x) {
+                if (options.mask && !(*options.mask)(x, y)) continue;
+                lo = std::min(lo, grid(x, y));
+                hi = std::max(hi, grid(x, y));
+            }
+        }
+        if (!(lo < hi)) {  // constant or fully masked grid
+            lo = lo - 0.5;
+            hi = lo + 1.0;
+        }
+    }
+
+    std::ostringstream oss;
+    for (int oy = 0; oy < out_h; ++oy) {
+        for (int ox = 0; ox < out_w; ++ox) {
+            double acc = 0.0;
+            int count = 0;
+            for (int y = oy * sy; y < std::min((oy + 1) * sy, grid.height());
+                 ++y) {
+                for (int x = ox * sx;
+                     x < std::min((ox + 1) * sx, grid.width()); ++x) {
+                    if (options.mask && !(*options.mask)(x, y)) continue;
+                    acc += grid(x, y);
+                    ++count;
+                }
+            }
+            if (count == 0) {
+                oss << ' ';
+            } else {
+                const double t = (acc / count - lo) / (hi - lo);
+                oss << ramp_char(t);
+            }
+        }
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+std::string render_floorplan(const Grid2D<unsigned char>& valid,
+                             const std::vector<ModuleBox>& modules,
+                             int max_width) {
+    check_arg(!valid.empty(), "render_floorplan: empty validity grid");
+    check_arg(max_width > 0, "render_floorplan: max_width must be positive");
+
+    const int sx =
+        std::max(1, (valid.width() + max_width - 1) / max_width);
+    const int sy = 2 * sx;
+    const int out_w = (valid.width() + sx - 1) / sx;
+    const int out_h = (valid.height() + sy - 1) / sy;
+
+    // Paint module interiors into a label grid; -1 = background.
+    Grid2D<int> label(valid.width(), valid.height(), -1);
+    for (const auto& box : modules) {
+        for (int y = box.y; y < box.y + box.h; ++y) {
+            for (int x = box.x; x < box.x + box.w; ++x) {
+                check_arg(label.in_bounds(x, y),
+                          "render_floorplan: module box out of bounds");
+                label(x, y) = box.string_index;
+            }
+        }
+    }
+
+    std::ostringstream oss;
+    for (int oy = 0; oy < out_h; ++oy) {
+        for (int ox = 0; ox < out_w; ++ox) {
+            // Majority vote within the sample box: module label wins over
+            // background so thin modules stay visible after downsampling.
+            int best_label = -1;
+            int valid_count = 0;
+            int total = 0;
+            for (int y = oy * sy; y < std::min((oy + 1) * sy, valid.height());
+                 ++y) {
+                for (int x = ox * sx;
+                     x < std::min((ox + 1) * sx, valid.width()); ++x) {
+                    ++total;
+                    if (label(x, y) >= 0) best_label = label(x, y);
+                    if (valid(x, y)) ++valid_count;
+                }
+            }
+            if (best_label >= 0)
+                oss << static_cast<char>('A' + (best_label % 26));
+            else if (valid_count * 2 >= total)
+                oss << '.';
+            else
+                oss << ' ';
+        }
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+std::string heatmap_legend(double lo, double hi, const std::string& unit) {
+    std::ostringstream oss;
+    oss << "legend: ";
+    for (int i = 0; i < kRampLevels; ++i) {
+        const double v = lo + (hi - lo) * (i + 0.5) / kRampLevels;
+        oss << '\'' << kRamp[i] << "'=" << static_cast<long long>(v);
+        if (i + 1 < kRampLevels) oss << ' ';
+    }
+    oss << ' ' << unit;
+    return oss.str();
+}
+
+}  // namespace pvfp

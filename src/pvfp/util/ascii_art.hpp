@@ -1,0 +1,51 @@
+#pragma once
+/// \file ascii_art.hpp
+/// Terminal rendering of rasters and floorplans.  Reproduces the *visual*
+/// artifacts of the paper: Fig. 6(b) irradiance heatmaps and Fig. 7
+/// placement maps — as ASCII, since the harness is a terminal program.
+
+#include <string>
+
+#include "pvfp/util/grid2d.hpp"
+
+namespace pvfp {
+
+/// Options for heatmap rendering.
+struct HeatmapOptions {
+    /// Maximum number of character columns; wider grids are downsampled by
+    /// box-averaging.  (Terminal cells are ~2x taller than wide, so the
+    /// vertical axis is downsampled twice as aggressively.)
+    int max_width = 110;
+    /// When true, scale to [min,max] of the data; otherwise use lo/hi below.
+    bool autoscale = true;
+    double lo = 0.0;
+    double hi = 1.0;
+    /// Cells where the mask (if given) is false render as blanks.
+    const Grid2D<unsigned char>* mask = nullptr;
+};
+
+/// Render \p grid as an ASCII heatmap using a 10-level ramp " .:-=+*#%@".
+/// Returns a multi-line string terminated by '\n'.
+std::string render_heatmap(const Grid2D<double>& grid,
+                           const HeatmapOptions& options = {});
+
+/// Render a floorplan: background is the validity mask ('.' valid, ' '
+/// invalid), modules are drawn as rectangles labelled by their series-string
+/// letter ('A', 'B', ...).  \p module_cells holds, per placed module, the
+/// top-left cell (x,y), footprint (w,h) in cells, and string index.
+struct ModuleBox {
+    int x = 0;
+    int y = 0;
+    int w = 0;
+    int h = 0;
+    int string_index = 0;
+};
+
+std::string render_floorplan(const Grid2D<unsigned char>& valid,
+                             const std::vector<ModuleBox>& modules,
+                             int max_width = 110);
+
+/// A one-line legend mapping ramp characters to value ranges.
+std::string heatmap_legend(double lo, double hi, const std::string& unit);
+
+}  // namespace pvfp

@@ -1,0 +1,154 @@
+#include "pvfp/util/csv.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp {
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+    check_arg(!header_.empty(), "CsvTable: header must not be empty");
+}
+
+std::size_t CsvTable::column(const std::string& name) const {
+    const auto it = std::find(header_.begin(), header_.end(), name);
+    check_arg(it != header_.end(), "CsvTable: no column named '" + name + "'");
+    return static_cast<std::size_t>(it - header_.begin());
+}
+
+bool CsvTable::has_column(const std::string& name) const {
+    return std::find(header_.begin(), header_.end(), name) != header_.end();
+}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+    check_arg(row.size() == header_.size(),
+              "CsvTable::add_row: row width does not match header");
+    rows_.push_back(std::move(row));
+}
+
+const std::vector<std::string>& CsvTable::row(std::size_t r) const {
+    check_arg(r < rows_.size(), "CsvTable::row: row index out of range");
+    return rows_[r];
+}
+
+const std::string& CsvTable::cell(std::size_t r, std::size_t c) const {
+    const auto& rr = row(r);
+    check_arg(c < rr.size(), "CsvTable::cell: column index out of range");
+    return rr[c];
+}
+
+double CsvTable::cell_as_double(std::size_t r, std::size_t c) const {
+    const std::string& s = cell(r, c);
+    double value = 0.0;
+    const auto* begin = s.data();
+    const auto* end = s.data() + s.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    check_io(ec == std::errc{} && ptr == end,
+             "CsvTable: cell '" + s + "' is not a number");
+    return value;
+}
+
+double CsvTable::cell_as_double(std::size_t r, const std::string& name) const {
+    return cell_as_double(r, column(name));
+}
+
+std::string csv_escape_field(const std::string& field) {
+    const bool needs_quotes =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes) return field;
+    std::string out = "\"";
+    for (char ch : field) {
+        if (ch == '"') out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+std::vector<std::string> csv_split_line(const std::string& line) {
+    std::vector<std::string> fields;
+    std::string current;
+    bool in_quotes = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char ch = line[i];
+        if (in_quotes) {
+            if (ch == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    current += '"';
+                    ++i;
+                } else {
+                    in_quotes = false;
+                }
+            } else {
+                current += ch;
+            }
+        } else if (ch == '"') {
+            in_quotes = true;
+        } else if (ch == ',') {
+            fields.push_back(std::move(current));
+            current.clear();
+        } else if (ch == '\r') {
+            // Tolerate CRLF files.
+        } else {
+            current += ch;
+        }
+    }
+    fields.push_back(std::move(current));
+    return fields;
+}
+
+void CsvTable::write(std::ostream& os) const {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        if (c) os << ',';
+        os << csv_escape_field(header_[c]);
+    }
+    os << '\n';
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c) os << ',';
+            os << csv_escape_field(row[c]);
+        }
+        os << '\n';
+    }
+}
+
+void CsvTable::write_file(const std::string& path) const {
+    std::ofstream os(path);
+    check_io(os.good(), "CsvTable: cannot open '" + path + "' for writing");
+    write(os);
+    check_io(os.good(), "CsvTable: write to '" + path + "' failed");
+}
+
+CsvTable CsvTable::read(std::istream& is) {
+    CsvTable table;
+    std::string line;
+    bool have_header = false;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        auto fields = csv_split_line(line);
+        if (!have_header) {
+            table.header_ = std::move(fields);
+            check_io(!table.header_.empty(), "CsvTable: empty header");
+            have_header = true;
+        } else {
+            check_io(fields.size() == table.header_.size(),
+                     "CsvTable: row width does not match header");
+            table.rows_.push_back(std::move(fields));
+        }
+    }
+    check_io(have_header, "CsvTable: no header found");
+    return table;
+}
+
+CsvTable CsvTable::read_file(const std::string& path) {
+    std::ifstream is(path);
+    check_io(is.good(), "CsvTable: cannot open '" + path + "'");
+    return read(is);
+}
+
+}  // namespace pvfp

@@ -1,0 +1,62 @@
+#pragma once
+/// \file csv.hpp
+/// Minimal CSV reading/writing for weather traces and experiment outputs.
+/// Supports a header row, comment lines starting with '#', and RFC-4180
+/// style quoting for fields containing commas/quotes/newlines.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pvfp {
+
+/// An in-memory CSV table: one header row plus data rows of equal width.
+class CsvTable {
+public:
+    CsvTable() = default;
+    /// Create with the given column names.
+    explicit CsvTable(std::vector<std::string> header);
+
+    const std::vector<std::string>& header() const { return header_; }
+    std::size_t column_count() const { return header_.size(); }
+    std::size_t row_count() const { return rows_.size(); }
+
+    /// Index of the column named \p name; throws InvalidArgument when the
+    /// column does not exist.
+    std::size_t column(const std::string& name) const;
+    /// True when a column named \p name exists.
+    bool has_column(const std::string& name) const;
+
+    /// Append a row; its width must match the header.
+    void add_row(std::vector<std::string> row);
+
+    const std::vector<std::string>& row(std::size_t r) const;
+    /// Cell (r, c) as string; bounds-checked.
+    const std::string& cell(std::size_t r, std::size_t c) const;
+    /// Cell parsed as double; throws IoError when not numeric.
+    double cell_as_double(std::size_t r, std::size_t c) const;
+    /// Cell in column \p name of row \p r parsed as double.
+    double cell_as_double(std::size_t r, const std::string& name) const;
+
+    /// Serialize to a stream with proper quoting.
+    void write(std::ostream& os) const;
+    /// Serialize to a file; throws IoError on failure.
+    void write_file(const std::string& path) const;
+
+    /// Parse from a stream; first non-comment line is the header.
+    static CsvTable read(std::istream& is);
+    /// Parse from a file; throws IoError when the file cannot be opened.
+    static CsvTable read_file(const std::string& path);
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Split one CSV line into fields honoring quotes.  Exposed for testing.
+std::vector<std::string> csv_split_line(const std::string& line);
+
+/// Quote a field if it contains characters that require quoting.
+std::string csv_escape_field(const std::string& field);
+
+}  // namespace pvfp

@@ -1,0 +1,134 @@
+#pragma once
+/// \file grid2d.hpp
+/// Grid2D<T>: a bounds-checked, row-major 2D array.
+///
+/// This is the in-memory workhorse for everything gridded in the project:
+/// DSM rasters (via geo::Raster), validity masks, suitability matrices.
+/// Coordinates are (col, row) = (x, y) with (0,0) at the *top-left*; +x goes
+/// right (east in map terms), +y goes down (south).  All placement code uses
+/// the same convention so indices can be passed around without conversion.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp {
+
+template <typename T>
+class Grid2D {
+public:
+    Grid2D() = default;
+
+    /// Create a \p width x \p height grid filled with \p fill.
+    Grid2D(int width, int height, T fill = T{})
+        : width_(width), height_(height),
+          cells_(static_cast<std::size_t>(check_dims(width, height)), fill) {}
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    /// Total number of cells (width*height).
+    std::size_t size() const { return cells_.size(); }
+    bool empty() const { return cells_.empty(); }
+
+    /// True when (x,y) addresses a cell of the grid.
+    bool in_bounds(int x, int y) const {
+        return x >= 0 && x < width_ && y >= 0 && y < height_;
+    }
+
+    /// Checked element access; throws InvalidArgument when out of bounds.
+    T& at(int x, int y) {
+        check_arg(in_bounds(x, y), "Grid2D::at: index out of bounds");
+        return cells_[index(x, y)];
+    }
+    const T& at(int x, int y) const {
+        check_arg(in_bounds(x, y), "Grid2D::at: index out of bounds");
+        return cells_[index(x, y)];
+    }
+
+    /// Unchecked element access for hot loops; caller guarantees bounds.
+    T& operator()(int x, int y) { return cells_[index(x, y)]; }
+    const T& operator()(int x, int y) const { return cells_[index(x, y)]; }
+
+    /// Row-major linear index of (x,y).
+    std::size_t index(int x, int y) const {
+        return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+               static_cast<std::size_t>(x);
+    }
+
+    /// Set every cell to \p value.
+    void fill(const T& value) {
+        std::fill(cells_.begin(), cells_.end(), value);
+    }
+
+    /// Raw storage, row-major.  Useful for bulk statistics.
+    const std::vector<T>& data() const { return cells_; }
+    std::vector<T>& data() { return cells_; }
+
+    bool operator==(const Grid2D&) const = default;
+
+private:
+    static long long check_dims(int width, int height) {
+        check_arg(width >= 0 && height >= 0,
+                  "Grid2D: dimensions must be non-negative");
+        return static_cast<long long>(width) * height;
+    }
+
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<T> cells_;
+};
+
+/// Summed-area table over a Grid2D<double>, enabling O(1) rectangle sums.
+/// Used by the compact ("traditional") placer to score every anchor of a
+/// block footprint in one pass.
+class SummedAreaTable {
+public:
+    SummedAreaTable() = default;
+
+    /// Build from \p grid; cells where \p mask is false contribute 0.
+    /// \p mask may be empty (all cells contribute).
+    explicit SummedAreaTable(const Grid2D<double>& grid,
+                             const Grid2D<unsigned char>* mask = nullptr)
+        : width_(grid.width()), height_(grid.height()),
+          sum_(static_cast<std::size_t>(width_ + 1) * (height_ + 1), 0.0) {
+        if (mask != nullptr) {
+            check_arg(mask->width() == width_ && mask->height() == height_,
+                      "SummedAreaTable: mask dimensions mismatch");
+        }
+        for (int y = 0; y < height_; ++y) {
+            for (int x = 0; x < width_; ++x) {
+                const double v =
+                    (mask == nullptr || (*mask)(x, y)) ? grid(x, y) : 0.0;
+                s(x + 1, y + 1) = v + s(x, y + 1) + s(x + 1, y) - s(x, y);
+            }
+        }
+    }
+
+    /// Sum of the rectangle with top-left (x0,y0) and size w x h.
+    /// The rectangle must lie inside the grid.
+    double rect_sum(int x0, int y0, int w, int h) const {
+        check_arg(x0 >= 0 && y0 >= 0 && w >= 0 && h >= 0 &&
+                      x0 + w <= width_ && y0 + h <= height_,
+                  "SummedAreaTable::rect_sum: rectangle out of bounds");
+        return s(x0 + w, y0 + h) - s(x0, y0 + h) - s(x0 + w, y0) + s(x0, y0);
+    }
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+private:
+    double& s(int x, int y) {
+        return sum_[static_cast<std::size_t>(y) * (width_ + 1) + x];
+    }
+    const double& s(int x, int y) const {
+        return sum_[static_cast<std::size_t>(y) * (width_ + 1) + x];
+    }
+
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<double> sum_;
+};
+
+}  // namespace pvfp

@@ -1,0 +1,44 @@
+#pragma once
+/// \file math.hpp
+/// Small numeric helpers and physical constants shared by the solar and
+/// geometry code.  Angles follow one convention project-wide: radians in
+/// computation, degrees only at API boundaries that say so in their names.
+
+#include <algorithm>
+#include <cmath>
+
+namespace pvfp {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Solar constant: mean extraterrestrial normal irradiance [W/m^2].
+inline constexpr double kSolarConstant = 1367.0;
+
+/// Degrees -> radians.
+constexpr double deg2rad(double deg) { return deg * kPi / 180.0; }
+/// Radians -> degrees.
+constexpr double rad2deg(double rad) { return rad * 180.0 / kPi; }
+
+/// Linear interpolation between \p a and \p b with weight \p t in [0,1].
+constexpr double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+/// Wrap an angle in radians into [0, 2*pi).
+inline double wrap_two_pi(double a) {
+    a = std::fmod(a, kTwoPi);
+    return a < 0.0 ? a + kTwoPi : a;
+}
+
+/// Wrap an angle in radians into (-pi, pi].
+inline double wrap_pi(double a) {
+    a = wrap_two_pi(a);
+    return a > kPi ? a - kTwoPi : a;
+}
+
+/// Smallest absolute angular difference |a-b| on the circle, in radians;
+/// the result lies in [0, pi].
+inline double angle_distance(double a, double b) {
+    return std::abs(wrap_pi(a - b));
+}
+
+}  // namespace pvfp

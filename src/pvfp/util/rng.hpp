@@ -1,0 +1,130 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic random number generation for the synthetic weather
+/// generator and the stochastic placers.
+///
+/// std::mt19937 is portable but std::*_distribution results differ between
+/// standard libraries; to make every experiment byte-reproducible across
+/// toolchains the project ships its own xoshiro256** generator plus the few
+/// distributions it needs.  Header-only by design: the generator is tiny and
+/// hot (inner loop of the weather synthesis).
+
+#include <cstdint>
+#include <cmath>
+
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/math.hpp"
+
+namespace pvfp {
+
+/// SplitMix64: used to expand a single 64-bit seed into xoshiro state.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (the public-domain reference implementation).
+class SplitMix64 {
+public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256**: small, fast, high-quality 64-bit PRNG (Blackman & Vigna).
+class Rng {
+public:
+    /// Seed deterministically; equal seeds give equal streams on every
+    /// platform.
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+        SplitMix64 sm(seed);
+        for (auto& word : state_) word = sm.next();
+    }
+
+    /// Next raw 64-bit value.
+    std::uint64_t next_u64() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() {
+        // 53 high bits -> double mantissa.
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) {
+        check_arg(hi >= lo, "Rng::uniform: hi must be >= lo");
+        return lo + (hi - lo) * uniform();
+    }
+
+    /// Uniform integer in [0, n); n must be positive.  Uses rejection
+    /// sampling, so the distribution is exactly uniform.
+    std::uint64_t uniform_int(std::uint64_t n) {
+        check_arg(n > 0, "Rng::uniform_int: n must be positive");
+        const std::uint64_t threshold = (0ULL - n) % n;  // 2^64 mod n
+        for (;;) {
+            const std::uint64_t r = next_u64();
+            if (r >= threshold) return r % n;
+        }
+    }
+
+    /// Bernoulli trial with success probability \p p in [0,1].
+    bool bernoulli(double p) { return uniform() < p; }
+
+    /// Standard normal via Box-Muller (deterministic, no cached spare to
+    /// keep the stream position predictable: one normal == two uniforms).
+    double normal() {
+        // Avoid log(0).
+        const double u1 = 1.0 - uniform();
+        const double u2 = uniform();
+        return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+    }
+
+    /// Normal with the given mean and standard deviation.
+    double normal(double mu, double sigma) {
+        check_arg(sigma >= 0.0, "Rng::normal: sigma must be non-negative");
+        return mu + sigma * normal();
+    }
+
+    /// Pick an index in [0, weights_size) with probability proportional to
+    /// weights[i]; weights must be non-negative with positive sum.
+    template <typename Container>
+    std::size_t weighted_choice(const Container& weights) {
+        double sum = 0.0;
+        for (double w : weights) {
+            check_arg(w >= 0.0, "Rng::weighted_choice: negative weight");
+            sum += w;
+        }
+        check_arg(sum > 0.0, "Rng::weighted_choice: zero total weight");
+        double r = uniform() * sum;
+        std::size_t i = 0;
+        for (double w : weights) {
+            if (r < w) return i;
+            r -= w;
+            ++i;
+        }
+        return i - 1;  // numerical edge: return the last index
+    }
+
+private:
+    static std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+}  // namespace pvfp

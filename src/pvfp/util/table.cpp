@@ -1,0 +1,93 @@
+#include "pvfp/util/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)),
+      aligns_(header_.size(), Align::Right) {
+    check_arg(!header_.empty(), "TextTable: header must not be empty");
+}
+
+void TextTable::set_align(std::size_t c, Align align) {
+    check_arg(c < aligns_.size(), "TextTable::set_align: column out of range");
+    aligns_[c] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+    check_arg(cells.size() == header_.size(),
+              "TextTable::add_row: row width does not match header");
+    rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{true, {}}); }
+
+void TextTable::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        if (row.separator) continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    const auto print_line = [&](char fill) {
+        os << '+';
+        for (std::size_t w : widths) {
+            for (std::size_t i = 0; i < w + 2; ++i) os << fill;
+            os << '+';
+        }
+        os << '\n';
+    };
+    const auto print_cells = [&](const std::vector<std::string>& cells) {
+        os << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const auto pad = widths[c] - cells[c].size();
+            os << ' ';
+            if (aligns_[c] == Align::Right)
+                os << std::string(pad, ' ') << cells[c];
+            else
+                os << cells[c] << std::string(pad, ' ');
+            os << " |";
+        }
+        os << '\n';
+    };
+
+    print_line('-');
+    print_cells(header_);
+    print_line('=');
+    for (const auto& row : rows_) {
+        if (row.separator)
+            print_line('-');
+        else
+            print_cells(row.cells);
+    }
+    print_line('-');
+}
+
+std::string TextTable::to_string() const {
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+std::string TextTable::num(double value, int decimals) {
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(decimals) << value;
+    return oss.str();
+}
+
+std::string TextTable::pct(double fraction, int decimals) {
+    std::ostringstream oss;
+    oss << std::showpos << std::fixed << std::setprecision(decimals)
+        << fraction * 100.0;
+    return oss.str();
+}
+
+}  // namespace pvfp

@@ -1,0 +1,59 @@
+#pragma once
+/// \file table.hpp
+/// Plain-text table formatting for the benchmark harnesses: every bench
+/// prints its reproduction of a paper table/figure as an aligned ASCII
+/// table so the output can be eyeballed against the paper.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pvfp {
+
+/// Column alignment inside a TextTable.
+enum class Align { Left, Right };
+
+/// An aligned monospace table with a header row and optional separators.
+///
+/// Usage:
+/// \code
+///   TextTable t({"Roof", "N", "MWh"});
+///   t.add_row({"Roof 1", "16", "3.43"});
+///   t.print(std::cout);
+/// \endcode
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /// Set the alignment of column \p c (default: Right for all).
+    void set_align(std::size_t c, Align align);
+
+    /// Append a data row; width must match the header.
+    void add_row(std::vector<std::string> cells);
+    /// Append a horizontal separator line.
+    void add_separator();
+
+    std::size_t row_count() const { return rows_.size(); }
+
+    /// Render with column padding, header underline and outer borders.
+    void print(std::ostream& os) const;
+    /// Render to a string (used by tests).
+    std::string to_string() const;
+
+    /// Format helper: fixed-decimal double.
+    static std::string num(double value, int decimals = 2);
+    /// Format helper: percentage with sign, e.g. "+19.37".
+    static std::string pct(double fraction, int decimals = 2);
+
+private:
+    struct Row {
+        bool separator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<Align> aligns_;
+    std::vector<Row> rows_;
+};
+
+}  // namespace pvfp

@@ -1,0 +1,64 @@
+#pragma once
+/// \file timegrid.hpp
+/// Discretization of the simulation horizon.
+///
+/// The paper evaluates placements over one year at 15-minute intervals
+/// (Section IV).  A TimeGrid maps a step index to (day-of-year, hour of
+/// local clock time); samples are taken at interval *centers* so that
+/// energy integration (sum * dt) is midpoint-rule accurate.  A non-leap
+/// year is assumed (the paper's horizon is "one year").
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp {
+
+class TimeGrid {
+public:
+    /// \p minutes_per_step must divide 24*60; \p start_day is the first
+    /// day-of-year (1 = Jan 1st); \p days is the horizon length.
+    explicit TimeGrid(int minutes_per_step = 15, int start_day = 1,
+                      int days = 365)
+        : minutes_per_step_(minutes_per_step), start_day_(start_day),
+          days_(days) {
+        check_arg(minutes_per_step > 0 && 1440 % minutes_per_step == 0,
+                  "TimeGrid: minutes_per_step must divide 1440");
+        check_arg(start_day >= 1 && start_day <= 365,
+                  "TimeGrid: start_day must be in [1,365]");
+        check_arg(days >= 1, "TimeGrid: need at least one day");
+    }
+
+    int minutes_per_step() const { return minutes_per_step_; }
+    int days() const { return days_; }
+    int start_day() const { return start_day_; }
+    int steps_per_day() const { return 1440 / minutes_per_step_; }
+    long total_steps() const {
+        return static_cast<long>(days_) * steps_per_day();
+    }
+    /// Step duration in hours (for energy integration).
+    double step_hours() const { return minutes_per_step_ / 60.0; }
+
+    /// Day-of-year of step \p s, wrapped into [1,365] so multi-year or
+    /// offset horizons stay valid.
+    int day_of_year(long s) const {
+        check_arg(s >= 0 && s < total_steps(), "TimeGrid: step out of range");
+        const long day = (start_day_ - 1 + s / steps_per_day()) % 365;
+        return static_cast<int>(day) + 1;
+    }
+
+    /// Local clock hour at the *center* of step \p s, in [0,24).
+    double hour_of_day(long s) const {
+        check_arg(s >= 0 && s < total_steps(), "TimeGrid: step out of range");
+        const long step_in_day = s % steps_per_day();
+        return (static_cast<double>(step_in_day) + 0.5) * minutes_per_step_ /
+               60.0;
+    }
+
+    bool operator==(const TimeGrid&) const = default;
+
+private:
+    int minutes_per_step_;
+    int start_day_;
+    int days_;
+};
+
+}  // namespace pvfp

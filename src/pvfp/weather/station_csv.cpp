@@ -1,0 +1,89 @@
+#include "pvfp/weather/station_csv.hpp"
+
+#include <cmath>
+
+#include "pvfp/solar/clearsky.hpp"
+#include "pvfp/solar/decomposition.hpp"
+#include "pvfp/util/csv.hpp"
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/table.hpp"
+
+namespace pvfp::weather {
+
+void write_station_csv(const std::string& path,
+                       const std::vector<EnvSample>& env,
+                       const pvfp::TimeGrid& grid) {
+    check_arg(static_cast<long>(env.size()) == grid.total_steps(),
+              "write_station_csv: series length != grid steps");
+    pvfp::CsvTable table({"day", "hour", "ghi", "dni", "dhi", "temp_air_c"});
+    for (long s = 0; s < grid.total_steps(); ++s) {
+        const EnvSample& e = env[static_cast<std::size_t>(s)];
+        table.add_row({std::to_string(grid.day_of_year(s)),
+                       pvfp::TextTable::num(grid.hour_of_day(s), 4),
+                       pvfp::TextTable::num(e.ghi, 2),
+                       pvfp::TextTable::num(e.dni, 2),
+                       pvfp::TextTable::num(e.dhi, 2),
+                       pvfp::TextTable::num(e.temp_air_c, 2)});
+    }
+    table.write_file(path);
+}
+
+std::vector<EnvSample> read_station_csv(const std::string& path,
+                                        const pvfp::TimeGrid& grid) {
+    const auto table = pvfp::CsvTable::read_file(path);
+    check_io(static_cast<long>(table.row_count()) == grid.total_steps(),
+             "read_station_csv: row count does not match the time grid");
+    std::vector<EnvSample> env(table.row_count());
+    for (std::size_t r = 0; r < table.row_count(); ++r) {
+        EnvSample e;
+        e.ghi = table.cell_as_double(r, "ghi");
+        e.dni = table.cell_as_double(r, "dni");
+        e.dhi = table.cell_as_double(r, "dhi");
+        e.temp_air_c = table.cell_as_double(r, "temp_air_c");
+        check_io(e.ghi >= 0.0 && e.dni >= 0.0 && e.dhi >= 0.0,
+                 "read_station_csv: negative irradiance at row " +
+                     std::to_string(r));
+        env[r] = e;
+    }
+    return env;
+}
+
+std::vector<EnvSample> read_station_csv_ghi_only(
+    const std::string& path, const pvfp::TimeGrid& grid,
+    const solar::Location& location, DecompositionModel model, double linke,
+    double altitude_m) {
+    const auto table = pvfp::CsvTable::read_file(path);
+    check_io(static_cast<long>(table.row_count()) == grid.total_steps(),
+             "read_station_csv_ghi_only: row count does not match the grid");
+    std::vector<EnvSample> env(table.row_count());
+    for (std::size_t r = 0; r < table.row_count(); ++r) {
+        const long s = static_cast<long>(r);
+        EnvSample e;
+        e.ghi = table.cell_as_double(r, "ghi");
+        e.temp_air_c = table.cell_as_double(r, "temp_air_c");
+        check_io(e.ghi >= 0.0,
+                 "read_station_csv_ghi_only: negative GHI at row " +
+                     std::to_string(r));
+        const int doy = grid.day_of_year(s);
+        const double hour = grid.hour_of_day(s);
+        const auto sun = solar::sun_position(location, doy, hour);
+        if (sun.elevation_rad > 0.0 && e.ghi > 0.0) {
+            solar::Decomposition d;
+            if (model == DecompositionModel::Erbs) {
+                d = solar::decompose_erbs(e.ghi, sun.elevation_rad, doy);
+            } else {
+                const auto clear = solar::esra_clear_sky(
+                    sun.elevation_rad, doy, linke, altitude_m);
+                d = solar::decompose_engerer2(
+                    e.ghi, clear.ghi, sun.elevation_rad, doy,
+                    solar::solar_time_hours(location, doy, hour));
+            }
+            e.dni = d.dni;
+            e.dhi = d.dhi;
+        }
+        env[r] = e;
+    }
+    return env;
+}
+
+}  // namespace pvfp::weather

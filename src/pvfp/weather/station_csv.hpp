@@ -1,0 +1,45 @@
+#pragma once
+/// \file station_csv.hpp
+/// Weather-station trace import/export (CSV).
+///
+/// Mirrors the paper's two acquisition paths (Section IV): stations that
+/// report all components, and stations that report only global horizontal
+/// radiation — for which "incident radiation is derived through
+/// state-of-the-art decomposition models".
+///
+/// Full format columns: day,hour,ghi,dni,dhi,temp_air_c
+/// GHI-only columns:    day,hour,ghi,temp_air_c
+/// (day = day-of-year 1..365; hour = local clock hour, fractional.)
+
+#include <string>
+#include <vector>
+
+#include "pvfp/weather/weather.hpp"
+
+namespace pvfp::weather {
+
+/// Decomposition model selector for GHI-only imports.
+enum class DecompositionModel {
+    Erbs,
+    Engerer2,
+};
+
+/// Write a series (aligned with \p grid) to CSV.
+void write_station_csv(const std::string& path,
+                       const std::vector<EnvSample>& env,
+                       const pvfp::TimeGrid& grid);
+
+/// Read a full-format CSV; validates the row count against \p grid and
+/// physical ranges.  Rows must be in time order.
+std::vector<EnvSample> read_station_csv(const std::string& path,
+                                        const pvfp::TimeGrid& grid);
+
+/// Read a GHI-only CSV and reconstruct DNI/DHI with the chosen
+/// decomposition model (clear-sky reference from ESRA for Engerer2).
+std::vector<EnvSample> read_station_csv_ghi_only(
+    const std::string& path, const pvfp::TimeGrid& grid,
+    const solar::Location& location,
+    DecompositionModel model = DecompositionModel::Erbs,
+    double linke = 3.0, double altitude_m = 0.0);
+
+}  // namespace pvfp::weather

@@ -1,0 +1,178 @@
+#include "pvfp/weather/synthetic.hpp"
+
+#include <cmath>
+
+#include "pvfp/solar/decomposition.hpp"
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/math.hpp"
+#include "pvfp/util/rng.hpp"
+
+namespace pvfp::weather {
+namespace {
+
+enum class Sky { Clear = 0, Partly = 1, Overcast = 2 };
+
+/// Per-state parameters of the clear-sky-ratio process.
+struct StateParams {
+    double base;   ///< mean clear-sky ratio
+    double sigma;  ///< AR(1) innovation scale
+    double lo;     ///< clamp range
+    double hi;
+};
+
+constexpr StateParams state_params(Sky s) {
+    switch (s) {
+        case Sky::Clear:
+            return {1.00, 0.03, 0.85, 1.08};
+        case Sky::Partly:
+            return {0.70, 0.18, 0.15, 1.15};  // hi > 1: cloud enhancement
+        case Sky::Overcast:
+            return {0.22, 0.06, 0.03, 0.45};
+    }
+    return {0.5, 0.1, 0.0, 1.0};
+}
+
+int month_of_doy(int doy) {
+    // Nominal 365/12-day months; good enough for climate interpolation.
+    const double month_len = 365.0 / 12.0;
+    const int m = static_cast<int>((doy - 1) / month_len);
+    return std::min(m, 11);
+}
+
+}  // namespace
+
+ClimateProfile ClimateProfile::torino() {
+    ClimateProfile c;
+    c.p_clear = {0.40, 0.45, 0.48, 0.47, 0.52, 0.58,
+                 0.63, 0.58, 0.53, 0.42, 0.32, 0.34};
+    c.p_overcast = {0.38, 0.33, 0.28, 0.28, 0.23, 0.15,
+                    0.10, 0.14, 0.20, 0.34, 0.45, 0.43};
+    c.mean_temp_c = {3.0, 5.0, 9.5, 13.5, 18.0, 22.0,
+                     24.5, 24.0, 19.5, 14.0, 8.0, 4.0};
+    c.diurnal_amplitude_c = {4.0, 5.0, 6.0, 6.0, 7.0, 7.5,
+                             8.0, 7.5, 6.5, 5.0, 4.0, 3.5};
+    return c;
+}
+
+void ClimateProfile::validate() const {
+    for (int m = 0; m < 12; ++m) {
+        const double pc = p_clear[static_cast<std::size_t>(m)];
+        const double po = p_overcast[static_cast<std::size_t>(m)];
+        check_arg(pc >= 0.0 && po >= 0.0 && pc + po <= 1.0,
+                  "ClimateProfile: monthly state probabilities invalid");
+        check_arg(diurnal_amplitude_c[static_cast<std::size_t>(m)] >= 0.0,
+                  "ClimateProfile: negative diurnal amplitude");
+    }
+}
+
+std::vector<EnvSample> generate_synthetic_weather(
+    const solar::Location& location, const pvfp::TimeGrid& grid,
+    const SyntheticWeatherOptions& options) {
+    options.climate.validate();
+    check_arg(options.state_persistence >= 0.0 &&
+                  options.state_persistence < 1.0,
+              "generate_synthetic_weather: persistence must be in [0,1)");
+    check_arg(options.ratio_ar1 >= 0.0 && options.ratio_ar1 < 1.0,
+              "generate_synthetic_weather: ratio_ar1 must be in [0,1)");
+    check_arg(options.temp_ar1 >= 0.0 && options.temp_ar1 < 1.0,
+              "generate_synthetic_weather: temp_ar1 must be in [0,1)");
+
+    pvfp::Rng rng(options.seed);
+    const ClimateProfile& climate = options.climate;
+
+    // Rescale the per-reference-step (15 min) dynamics to the actual
+    // grid step so sojourn times and noise correlation are defined in
+    // wall time, independent of the simulation resolution.
+    const double step_ratio = grid.minutes_per_step() / 15.0;
+    const double persistence =
+        std::pow(options.state_persistence, step_ratio);
+    const double ratio_ar1 = std::pow(options.ratio_ar1, step_ratio);
+    const double temp_ar1 = std::pow(options.temp_ar1, step_ratio);
+    // Keep the stationary variance of the temperature noise unchanged:
+    // sigma_step^2 = sigma^2 * (1 - a_step^2) / (1 - a_ref^2).
+    const double temp_sigma =
+        options.temp_noise_sigma *
+        std::sqrt((1.0 - temp_ar1 * temp_ar1) /
+                  (1.0 - options.temp_ar1 * options.temp_ar1));
+
+    std::vector<EnvSample> out(
+        static_cast<std::size_t>(grid.total_steps()));
+
+    // Markov state, initialized from the stationary distribution of the
+    // starting month.
+    Sky state = Sky::Partly;
+    {
+        const int m0 = month_of_doy(grid.start_day());
+        const double u = rng.uniform();
+        const double pc = climate.p_clear[static_cast<std::size_t>(m0)];
+        const double po = climate.p_overcast[static_cast<std::size_t>(m0)];
+        state = (u < pc) ? Sky::Clear
+                         : (u < pc + po ? Sky::Overcast : Sky::Partly);
+    }
+
+    double ratio_noise = 0.0;  // AR(1), in units of state sigma
+    double temp_noise = 0.0;   // AR(1) slow temperature wander [K]
+    double day_offset = 0.0;   // per-day temperature offset [K]
+    int current_day = -1;
+
+    for (long s = 0; s < grid.total_steps(); ++s) {
+        const int doy = grid.day_of_year(s);
+        const double hour = grid.hour_of_day(s);
+        const int month = month_of_doy(doy);
+        const double pc = climate.p_clear[static_cast<std::size_t>(month)];
+        const double po =
+            climate.p_overcast[static_cast<std::size_t>(month)];
+
+        if (doy != current_day) {
+            current_day = doy;
+            day_offset = rng.normal(0.0, 1.6);
+        }
+
+        // Sky-state transition: persist, otherwise redraw from the
+        // month's stationary distribution.
+        if (!rng.bernoulli(persistence)) {
+            const double u = rng.uniform();
+            state = (u < pc) ? Sky::Clear
+                             : (u < pc + po ? Sky::Overcast : Sky::Partly);
+        }
+
+        const StateParams sp = state_params(state);
+        ratio_noise = ratio_ar1 * ratio_noise +
+                      std::sqrt(1.0 - ratio_ar1 * ratio_ar1) * rng.normal();
+        const double ratio =
+            std::clamp(sp.base + sp.sigma * ratio_noise, sp.lo, sp.hi);
+
+        EnvSample e;
+
+        const auto sun = solar::sun_position(location, doy, hour);
+        if (sun.elevation_rad > 0.0) {
+            const double linke = options.turbidity.at_day(doy);
+            const auto clear = solar::esra_clear_sky(
+                sun.elevation_rad, doy, linke, options.altitude_m);
+            e.ghi = std::max(0.0, ratio * clear.ghi);
+            const auto split =
+                solar::decompose_erbs(e.ghi, sun.elevation_rad, doy);
+            // A clear sky should not produce more beam than the clear-sky
+            // model itself (Erbs can over-assign beam at high kt).
+            e.dni = std::min(split.dni, clear.dni * 1.05);
+            e.dhi = std::max(0.0, e.ghi - e.dni *
+                                             std::sin(sun.elevation_rad));
+        }
+
+        // Temperature: seasonal mean + clearness-scaled diurnal wave
+        // peaking at 14h + slow AR(1) wander + per-day offset.
+        temp_noise = temp_ar1 * temp_noise + temp_sigma * rng.normal();
+        const double amp_scale = 0.45 + 0.55 * ratio;
+        const double diurnal =
+            climate.diurnal_amplitude_c[static_cast<std::size_t>(month)] *
+            amp_scale * std::cos(kTwoPi * (hour - 14.0) / 24.0);
+        e.temp_air_c =
+            climate.mean_temp_c[static_cast<std::size_t>(month)] + diurnal +
+            temp_noise + day_offset;
+
+        out[static_cast<std::size_t>(s)] = e;
+    }
+    return out;
+}
+
+}  // namespace pvfp::weather

@@ -1,0 +1,70 @@
+#pragma once
+/// \file synthetic.hpp
+/// Deterministic synthetic weather generator.
+///
+/// Substitute for the paper's real weather-station traces ([16]): produces
+/// a year of 15-minute (GHI, DNI, DHI, Tair) samples with the statistical
+/// structure that the suitability metric exploits — skewed irradiance
+/// distributions, intra-day cloud variability and irradiance-coupled
+/// temperature.  The sky is a three-state Markov chain (clear / partly /
+/// overcast) whose monthly stationary probabilities come from a climate
+/// profile; within a state, the clear-sky ratio follows an AR(1) process.
+/// GHI = ratio * ESRA clear-sky GHI, decomposed into DNI/DHI with Erbs.
+///
+/// Everything is seeded: equal seeds give identical series on every
+/// platform (custom xoshiro RNG).
+
+#include <array>
+#include <vector>
+
+#include "pvfp/solar/clearsky.hpp"
+#include "pvfp/weather/weather.hpp"
+
+namespace pvfp::weather {
+
+/// Monthly climate description (January first in all arrays).
+struct ClimateProfile {
+    /// Stationary probability of a *clear* sky state.
+    std::array<double, 12> p_clear{};
+    /// Stationary probability of an *overcast* state (the remainder is
+    /// "partly cloudy").
+    std::array<double, 12> p_overcast{};
+    /// Monthly mean air temperature [deg C].
+    std::array<double, 12> mean_temp_c{};
+    /// Half peak-to-peak diurnal temperature swing on a clear day [K].
+    std::array<double, 12> diurnal_amplitude_c{};
+
+    /// Torino / western Po valley: foggy winters, hazy-bright summers.
+    static ClimateProfile torino();
+
+    /// Validate probability bounds; throws InvalidArgument when broken.
+    void validate() const;
+};
+
+/// Generator knobs beyond the climate itself.
+struct SyntheticWeatherOptions {
+    std::uint64_t seed = 42;
+    ClimateProfile climate = ClimateProfile::torino();
+    solar::LinkeTurbidity turbidity = solar::LinkeTurbidity::torino_profile();
+    double altitude_m = 240.0;  ///< Torino
+    /// Probability of keeping the current sky state across one
+    /// *reference step* of 15 minutes (0.95 ~= 5 h mean sojourn).  The
+    /// generator rescales to the actual TimeGrid step
+    /// (p_step = p^(minutes/15)) so the synthetic climate's wall-time
+    /// statistics do not depend on the simulation resolution.
+    double state_persistence = 0.95;
+    /// AR(1) coefficient of the within-state clear-sky-ratio noise, at
+    /// the 15-minute reference step (rescaled like the persistence).
+    double ratio_ar1 = 0.85;
+    /// AR(1) coefficient (15-minute reference) and innovation sigma of
+    /// the slow temperature noise [K].
+    double temp_ar1 = 0.995;
+    double temp_noise_sigma = 0.35;
+};
+
+/// Generate a series aligned with \p grid at \p location.
+std::vector<EnvSample> generate_synthetic_weather(
+    const solar::Location& location, const pvfp::TimeGrid& grid,
+    const SyntheticWeatherOptions& options = {});
+
+}  // namespace pvfp::weather

@@ -1,0 +1,59 @@
+#include "pvfp/weather/weather.hpp"
+
+#include <cmath>
+
+#include "pvfp/solar/sunpos.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::weather {
+
+WeatherSummary summarize(const std::vector<EnvSample>& env,
+                         const pvfp::TimeGrid& grid) {
+    check_arg(static_cast<long>(env.size()) == grid.total_steps(),
+              "summarize: series length != grid steps");
+    check_arg(!env.empty(), "summarize: empty series");
+    WeatherSummary s;
+    const double dt = grid.step_hours();
+    double temp_acc = 0.0;
+    s.min_temp_c = env.front().temp_air_c;
+    s.max_temp_c = env.front().temp_air_c;
+    for (const auto& e : env) {
+        s.ghi_kwh_m2 += e.ghi * dt / 1000.0;
+        s.dni_kwh_m2 += e.dni * dt / 1000.0;
+        s.dhi_kwh_m2 += e.dhi * dt / 1000.0;
+        temp_acc += e.temp_air_c;
+        s.min_temp_c = std::min(s.min_temp_c, e.temp_air_c);
+        s.max_temp_c = std::max(s.max_temp_c, e.temp_air_c);
+    }
+    s.mean_temp_c = temp_acc / static_cast<double>(env.size());
+    s.diffuse_fraction = (s.ghi_kwh_m2 > 0.0) ? s.dhi_kwh_m2 / s.ghi_kwh_m2
+                                              : 0.0;
+    return s;
+}
+
+long count_inconsistent_samples(const std::vector<EnvSample>& env,
+                                const pvfp::TimeGrid& grid,
+                                const solar::Location& location,
+                                double tolerance) {
+    check_arg(static_cast<long>(env.size()) == grid.total_steps(),
+              "count_inconsistent_samples: series length != grid steps");
+    check_arg(tolerance >= 0.0, "count_inconsistent_samples: bad tolerance");
+    long bad = 0;
+    for (long s = 0; s < grid.total_steps(); ++s) {
+        const EnvSample& e = env[static_cast<std::size_t>(s)];
+        if (e.ghi < 0.0 || e.dni < 0.0 || e.dhi < 0.0 ||
+            e.temp_air_c < -60.0 || e.temp_air_c > 60.0) {
+            ++bad;
+            continue;
+        }
+        const auto sun = solar::sun_position(location, grid.day_of_year(s),
+                                             grid.hour_of_day(s));
+        const double sin_el = std::max(0.0, std::sin(sun.elevation_rad));
+        const double closed = e.dni * sin_el + e.dhi;
+        const double scale = std::max(50.0, e.ghi);  // absolute floor 50 W/m^2
+        if (std::abs(closed - e.ghi) > tolerance * scale) ++bad;
+    }
+    return bad;
+}
+
+}  // namespace pvfp::weather

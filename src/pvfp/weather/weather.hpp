@@ -1,0 +1,43 @@
+#pragma once
+/// \file weather.hpp
+/// Weather-series types and summaries.
+///
+/// The paper feeds its GIS pipeline with real traces from personal/third-
+/// party weather stations (Section IV, [16]).  Here a weather series is a
+/// vector of solar::EnvSample aligned to a TimeGrid; it can come from the
+/// synthetic generator (synthetic.hpp) or from CSV import
+/// (station_csv.hpp), and both paths feed the same IrradianceField.
+
+#include <vector>
+
+#include "pvfp/solar/irradiance.hpp"
+#include "pvfp/util/timegrid.hpp"
+
+namespace pvfp::weather {
+
+using solar::EnvSample;
+
+/// Aggregate yearly quantities used for sanity checks and reporting.
+struct WeatherSummary {
+    double ghi_kwh_m2 = 0.0;       ///< horizontal insolation over horizon
+    double dni_kwh_m2 = 0.0;       ///< beam normal insolation
+    double dhi_kwh_m2 = 0.0;       ///< diffuse insolation
+    double mean_temp_c = 0.0;
+    double min_temp_c = 0.0;
+    double max_temp_c = 0.0;
+    double diffuse_fraction = 0.0; ///< DHI energy / GHI energy
+};
+
+/// Integrate a series into a summary.  Throws when sizes mismatch.
+WeatherSummary summarize(const std::vector<EnvSample>& env,
+                         const pvfp::TimeGrid& grid);
+
+/// Validate physical consistency of a series: no negative components,
+/// GHI ~= DNI*sin(el)+DHI within \p tolerance (relative), temperature in a
+/// plausible band.  Returns the number of inconsistent samples.
+long count_inconsistent_samples(const std::vector<EnvSample>& env,
+                                const pvfp::TimeGrid& grid,
+                                const solar::Location& location,
+                                double tolerance = 0.05);
+
+}  // namespace pvfp::weather

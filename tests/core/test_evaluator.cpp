@@ -1,0 +1,288 @@
+/// Tests for the energy evaluator: closed-form checks on uniform fields,
+/// mismatch accounting, wiring losses, stride scaling, and the worst-cell
+/// irradiance mode.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_helpers.hpp"
+#include "pvfp/core/evaluator.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::core {
+namespace {
+
+using pvfp::testing::coarse_grid;
+using pvfp::testing::constant_weather;
+using pvfp::testing::flat_area;
+using pvfp::testing::flat_field;
+
+Floorplan two_by_one_plan() {
+    Floorplan plan;
+    plan.geometry = {4, 2};
+    plan.topology = {2, 1};
+    plan.modules = {{0, 0}, {4, 0}};
+    return plan;
+}
+
+TEST(Evaluator, UniformFieldHasNoMismatchLoss) {
+    const TimeGrid grid = coarse_grid(4);
+    const auto field = flat_field(12, 4, grid, constant_weather(grid));
+    const auto area = flat_area(12, 4);
+    const pv::EmpiricalModuleModel model;
+    const auto result =
+        evaluate_floorplan(two_by_one_plan(), area, field, model);
+    EXPECT_GT(result.energy_kwh, 0.0);
+    EXPECT_NEAR(result.mismatch_loss_kwh, 0.0, 1e-9);
+    EXPECT_NEAR(result.energy_kwh + result.wiring_loss_kwh,
+                result.ideal_energy_kwh, 1e-9);
+    // Adjacent modules: no extra cable at all.
+    EXPECT_DOUBLE_EQ(result.extra_cable_m, 0.0);
+    EXPECT_DOUBLE_EQ(result.wiring_loss_kwh, 0.0);
+}
+
+TEST(Evaluator, EnergyMatchesHandIntegration) {
+    // Single module on a uniform field: energy = sum over daylight steps
+    // of P(G, Tact) * dt.
+    const TimeGrid grid = coarse_grid(2);
+    const auto field = flat_field(4, 2, grid, constant_weather(grid));
+    const auto area = flat_area(4, 2);
+    const pv::EmpiricalModuleModel model;
+    Floorplan plan;
+    plan.geometry = {4, 2};
+    plan.topology = {1, 1};
+    plan.modules = {{0, 0}};
+    const auto result = evaluate_floorplan(plan, area, field, model);
+
+    double expected_kwh = 0.0;
+    const double k = field.config().thermal_k;
+    for (long s = 0; s < field.steps(); ++s) {
+        if (!field.is_daylight(s)) continue;
+        const double g = field.cell_irradiance(0, 0, s);
+        const double t = field.air_temperature(s) + k * g;
+        expected_kwh += model.power(g, t) * grid.step_hours() / 1000.0;
+    }
+    EXPECT_NEAR(result.energy_kwh, expected_kwh, 1e-9);
+}
+
+TEST(Evaluator, WeakModuleCreatesMismatchLoss) {
+    // Non-uniform field via a shading wall: put one module of the string
+    // near the wall and compare against two sunny modules.
+    const auto& prepared = pvfp::testing::coarse_toy_scenario();
+    const auto& area = prepared.area;
+    // Find a sunny anchor and a shaded anchor from the suitability map.
+    const auto anchors = enumerate_anchors(area, prepared.geometry);
+    ASSERT_GE(anchors.size(), 2u);
+    double best = -1.0;
+    double worst = 1e18;
+    ModulePlacement sunny{};
+    ModulePlacement dark{};
+    for (const auto& a : anchors) {
+        const double sc =
+            anchor_score(prepared.suitability.suitability,
+                         prepared.geometry, a.x, a.y,
+                         AnchorScore::FootprintMean);
+        if (sc > best) {
+            best = sc;
+            sunny = a;
+        }
+        if (sc < worst) {
+            worst = sc;
+            dark = a;
+        }
+    }
+    ASSERT_GT(best, worst);
+
+    Floorplan mixed;
+    mixed.geometry = prepared.geometry;
+    mixed.topology = {2, 1};
+    mixed.modules = {sunny, dark};
+    ASSERT_FALSE(modules_overlap(sunny, dark, prepared.geometry));
+    const auto result = evaluate_floorplan(mixed, area, prepared.field,
+                                           prepared.model);
+    EXPECT_GT(result.mismatch_loss_kwh, 0.0);
+    EXPECT_LT(result.energy_kwh, result.ideal_energy_kwh);
+}
+
+TEST(Evaluator, WiringLossScalesWithSeparation) {
+    const TimeGrid grid = coarse_grid(2);
+    const auto field = flat_field(30, 2, grid, constant_weather(grid));
+    const auto area = flat_area(30, 2);
+    const pv::EmpiricalModuleModel model;
+
+    Floorplan near = two_by_one_plan();
+    Floorplan far = two_by_one_plan();
+    far.modules[1] = {24, 0};  // anchors 24 cells apart
+
+    const auto near_result = evaluate_floorplan(near, area, field, model);
+    const auto far_result = evaluate_floorplan(far, area, field, model);
+    EXPECT_DOUBLE_EQ(near_result.extra_cable_m, 0.0);
+    // Center distance = 24 cells = 4.8 m; minus the 1.6 m connector
+    // -> 3.2 m of extra cable (paper Fig. 4b with dv = 0).
+    EXPECT_NEAR(far_result.extra_cable_m, 3.2, 1e-9);
+    EXPECT_GT(far_result.wiring_loss_kwh, 0.0);
+    EXPECT_LT(far_result.energy_kwh, near_result.energy_kwh);
+    EXPECT_NEAR(far_result.wiring_cost_usd, 3.2, 1e-9);
+
+    // Disabling wiring loss removes the penalty but keeps the report.
+    EvaluationOptions no_wire;
+    no_wire.include_wiring_loss = false;
+    const auto free_wire = evaluate_floorplan(far, area, field, model,
+                                              no_wire);
+    EXPECT_NEAR(free_wire.energy_kwh, near_result.energy_kwh, 1e-9);
+    EXPECT_NEAR(free_wire.extra_cable_m, 3.2, 1e-9);
+    EXPECT_DOUBLE_EQ(free_wire.wiring_loss_kwh, 0.0);
+}
+
+TEST(Evaluator, WiringLossMagnitudeMatchesPaperFormula) {
+    // Constant irradiance => constant string current I; wiring loss over
+    // the horizon must equal R * L * I^2 * hours (paper Section V-C).
+    const TimeGrid grid = coarse_grid(1);
+    const auto field = flat_field(30, 2, grid, constant_weather(grid));
+    const auto area = flat_area(30, 2);
+    const pv::EmpiricalModuleModel model;
+    Floorplan far = two_by_one_plan();
+    far.modules[1] = {24, 0};
+    EvaluationOptions opt;
+    const auto result = evaluate_floorplan(far, area, field, model, opt);
+
+    double expected_kwh = 0.0;
+    const double k = field.config().thermal_k;
+    for (long s = 0; s < field.steps(); ++s) {
+        if (!field.is_daylight(s)) continue;
+        const double g = field.cell_irradiance(0, 0, s);
+        const double t = field.air_temperature(s) + k * g;
+        const double i = model.current(g, t);
+        expected_kwh += opt.wiring.resistance_ohm_per_m * 3.2 * i * i *
+                        grid.step_hours() / 1000.0;
+    }
+    EXPECT_NEAR(result.wiring_loss_kwh, expected_kwh, 1e-9);
+}
+
+TEST(Evaluator, StrideScalesEnergyApproximately) {
+    const auto& prepared = pvfp::testing::coarse_toy_scenario();
+    Floorplan plan;
+    plan.geometry = prepared.geometry;
+    plan.topology = {1, 1};
+    plan.modules = {enumerate_anchors(prepared.area, prepared.geometry)
+                        .front()};
+    EvaluationOptions full;
+    EvaluationOptions strided;
+    strided.step_stride = 4;
+    const auto a = evaluate_floorplan(plan, prepared.area, prepared.field,
+                                      prepared.model, full);
+    const auto b = evaluate_floorplan(plan, prepared.area, prepared.field,
+                                      prepared.model, strided);
+    EXPECT_NEAR(b.energy_kwh / a.energy_kwh, 1.0, 0.1);
+}
+
+TEST(Evaluator, WorstCellModeIsPessimistic) {
+    const auto& prepared = pvfp::testing::coarse_toy_scenario();
+    // A module near the shaded east edge sees mean > min.
+    const auto anchors = enumerate_anchors(prepared.area,
+                                           prepared.geometry);
+    Floorplan plan;
+    plan.geometry = prepared.geometry;
+    plan.topology = {1, 1};
+    plan.modules = {anchors.back()};
+    EvaluationOptions mean_mode;
+    EvaluationOptions worst_mode;
+    worst_mode.module_irradiance = ModuleIrradiance::WorstCell;
+    const auto mean_result = evaluate_floorplan(
+        plan, prepared.area, prepared.field, prepared.model, mean_mode);
+    const auto worst_result = evaluate_floorplan(
+        plan, prepared.area, prepared.field, prepared.model, worst_mode);
+    EXPECT_LE(worst_result.energy_kwh, mean_result.energy_kwh + 1e-9);
+}
+
+TEST(Evaluator, PerStringReportAddsUp) {
+    const TimeGrid grid = coarse_grid(1);
+    const auto field = flat_field(20, 6, grid, constant_weather(grid));
+    const auto area = flat_area(20, 6);
+    const pv::EmpiricalModuleModel model;
+    Floorplan plan;
+    plan.geometry = {4, 2};
+    plan.topology = {2, 2};
+    plan.modules = {{0, 0}, {4, 0}, {0, 2}, {4, 2}};
+    const auto result = evaluate_floorplan(plan, area, field, model);
+    ASSERT_EQ(result.strings.size(), 2u);
+    const double sum = result.strings[0].energy_kwh +
+                       result.strings[1].energy_kwh;
+    EXPECT_NEAR(sum, result.energy_kwh + result.wiring_loss_kwh, 1e-9);
+}
+
+TEST(Evaluator, RejectsBadInputs) {
+    const TimeGrid grid = coarse_grid(1);
+    const auto field = flat_field(8, 4, grid, constant_weather(grid));
+    const auto area = flat_area(8, 4);
+    const pv::EmpiricalModuleModel model;
+    Floorplan overlap = two_by_one_plan();
+    overlap.modules[1] = {2, 0};
+    EXPECT_THROW(evaluate_floorplan(overlap, area, field, model),
+                 InvalidArgument);
+    Floorplan plan = two_by_one_plan();
+    EvaluationOptions bad;
+    bad.step_stride = 0;
+    EXPECT_THROW(evaluate_floorplan(plan, area, field, model, bad),
+                 InvalidArgument);
+    Floorplan wrong_topo = two_by_one_plan();
+    wrong_topo.topology = {3, 1};
+    EXPECT_THROW(evaluate_floorplan(wrong_topo, area, field, model),
+                 InvalidArgument);
+}
+
+TEST(Evaluator, AnchorCellModeUsesTheGridPointValue) {
+    // On a uniform field anchor-cell equals footprint-mean; with the real
+    // toy scene (east-wall gradient) a module straddling the gradient
+    // differs between the two granularities.
+    const auto& prepared = pvfp::testing::coarse_toy_scenario();
+    const auto anchors = enumerate_anchors(prepared.area,
+                                           prepared.geometry);
+    Floorplan plan;
+    plan.geometry = prepared.geometry;
+    plan.topology = {1, 1};
+    plan.modules = {anchors.back()};  // near the shaded east edge
+    long day_step = -1;
+    for (long s = 0; s < prepared.field.steps(); ++s)
+        if (prepared.field.is_daylight(s)) {
+            day_step = s;
+            break;
+        }
+    ASSERT_GE(day_step, 0);
+    const double anchor_g = module_irradiance(
+        plan, 0, prepared.field, day_step, ModuleIrradiance::AnchorCell);
+    const auto& m = plan.modules[0];
+    EXPECT_DOUBLE_EQ(anchor_g,
+                     prepared.field.cell_irradiance(m.x, m.y, day_step));
+    // Anchor-cell is bounded by the footprint extremes.
+    const double worst = module_irradiance(plan, 0, prepared.field,
+                                           day_step,
+                                           ModuleIrradiance::WorstCell);
+    EXPECT_GE(anchor_g, worst - 1e-12);
+}
+
+TEST(ModuleIrradianceHelper, MeanAndWorst) {
+    const TimeGrid grid = coarse_grid(1);
+    const auto field = flat_field(8, 4, grid, constant_weather(grid));
+    Floorplan plan = two_by_one_plan();
+    // Uniform field: mean == worst.
+    long day_step = -1;
+    for (long s = 0; s < field.steps(); ++s)
+        if (field.is_daylight(s)) {
+            day_step = s;
+            break;
+        }
+    ASSERT_GE(day_step, 0);
+    EXPECT_DOUBLE_EQ(
+        module_irradiance(plan, 0, field, day_step,
+                          ModuleIrradiance::FootprintMean),
+        module_irradiance(plan, 0, field, day_step,
+                          ModuleIrradiance::WorstCell));
+    EXPECT_THROW(module_irradiance(plan, 5, field, day_step,
+                                   ModuleIrradiance::FootprintMean),
+                 InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pvfp::core

@@ -1,0 +1,118 @@
+/// Tests for layout types: footprint derivation from module dimensions,
+/// overlap/fit predicates, anchor enumeration, and floorplan feasibility.
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "pvfp/core/layout.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::core {
+namespace {
+
+using pvfp::testing::flat_area;
+using pvfp::testing::masked_area;
+
+TEST(PanelGeometry, PaperModuleOnPaperGrid) {
+    // 160 x 80 cm module on a 20 cm grid: k1 = 8, k2 = 4 (Section III-A).
+    const auto g = PanelGeometry::from_module(pv::ModuleSpec{}, 0.2);
+    EXPECT_EQ(g.k1, 8);
+    EXPECT_EQ(g.k2, 4);
+    EXPECT_EQ(g.cell_count(), 32);
+}
+
+TEST(PanelGeometry, PortraitSwapsAxes) {
+    const auto g = PanelGeometry::from_module(pv::ModuleSpec{}, 0.2, true);
+    EXPECT_EQ(g.k1, 4);
+    EXPECT_EQ(g.k2, 8);
+}
+
+TEST(PanelGeometry, NonMultipleGridRejected) {
+    // s = 30 cm does not divide 160 cm.
+    EXPECT_THROW(PanelGeometry::from_module(pv::ModuleSpec{}, 0.3),
+                 InvalidArgument);
+    EXPECT_THROW(PanelGeometry::from_module(pv::ModuleSpec{}, 0.0),
+                 InvalidArgument);
+    // s = 10 cm works and doubles the cell counts.
+    const auto g = PanelGeometry::from_module(pv::ModuleSpec{}, 0.1);
+    EXPECT_EQ(g.k1, 16);
+    EXPECT_EQ(g.k2, 8);
+}
+
+TEST(AnchorFits, BoundsAndValidity) {
+    auto area = flat_area(10, 6);
+    const PanelGeometry g{4, 2};
+    EXPECT_TRUE(anchor_fits(area, g, 0, 0));
+    EXPECT_TRUE(anchor_fits(area, g, 6, 4));
+    EXPECT_FALSE(anchor_fits(area, g, 7, 0));   // x overflow
+    EXPECT_FALSE(anchor_fits(area, g, 0, 5));   // y overflow
+    EXPECT_FALSE(anchor_fits(area, g, -1, 0));
+    area.valid(5, 1) = 0;  // hole
+    EXPECT_FALSE(anchor_fits(area, g, 3, 0));   // covers the hole
+    EXPECT_TRUE(anchor_fits(area, g, 0, 2));    // away from the hole
+}
+
+TEST(ModulesOverlap, TouchingIsNotOverlapping) {
+    const PanelGeometry g{4, 2};
+    EXPECT_TRUE(modules_overlap({0, 0}, {3, 1}, g));
+    EXPECT_FALSE(modules_overlap({0, 0}, {4, 0}, g));  // side by side
+    EXPECT_FALSE(modules_overlap({0, 0}, {0, 2}, g));  // stacked
+    EXPECT_TRUE(modules_overlap({2, 1}, {2, 1}, g));   // identical
+}
+
+TEST(Floorplan, CentersInMeters) {
+    Floorplan plan;
+    plan.geometry = {8, 4};
+    plan.topology = {1, 1};
+    plan.modules = {{0, 0}};
+    const auto c = plan.center_m(0, 0.2);
+    EXPECT_DOUBLE_EQ(c.x_m, 0.8);  // (0 + 8/2) * 0.2
+    EXPECT_DOUBLE_EQ(c.y_m, 0.4);
+    EXPECT_THROW(plan.center_m(1, 0.2), InvalidArgument);
+    EXPECT_EQ(plan.centers_m(0.2).size(), 1u);
+}
+
+TEST(FloorplanFeasible, DetectsEveryViolation) {
+    const auto area = flat_area(20, 10);
+    Floorplan plan;
+    plan.geometry = {4, 2};
+    plan.topology = {2, 1};
+    plan.modules = {{0, 0}, {4, 0}};
+    std::string why;
+    EXPECT_TRUE(floorplan_feasible(plan, area, &why)) << why;
+
+    plan.modules = {{0, 0}, {2, 1}};  // overlap
+    EXPECT_FALSE(floorplan_feasible(plan, area, &why));
+    EXPECT_NE(why.find("overlap"), std::string::npos);
+
+    plan.modules = {{0, 0}, {18, 0}};  // out of bounds
+    EXPECT_FALSE(floorplan_feasible(plan, area, &why));
+    EXPECT_NE(why.find("fit"), std::string::npos);
+}
+
+TEST(CenterDistance, EuclideanInCells) {
+    const PanelGeometry g{4, 2};
+    EXPECT_DOUBLE_EQ(center_distance_cells({0, 0}, {3, 4}, g), 5.0);
+    EXPECT_DOUBLE_EQ(center_distance_cells({2, 2}, {2, 2}, g), 0.0);
+}
+
+TEST(EnumerateAnchors, CountsOnCleanAndHoledAreas) {
+    const auto clean = flat_area(10, 6);
+    const PanelGeometry g{4, 2};
+    // (10-4+1) * (6-2+1) = 35 anchors.
+    EXPECT_EQ(enumerate_anchors(clean, g).size(), 35u);
+
+    Grid2D<unsigned char> mask(10, 6, 1);
+    for (int y = 0; y < 6; ++y) mask(5, y) = 0;  // full-height slit
+    const auto holed = masked_area(mask);
+    // Anchors must avoid x in [2..5]: x in {0,1,6} -> 3 * 5 = 15.
+    EXPECT_EQ(enumerate_anchors(holed, g).size(), 15u);
+}
+
+TEST(EnumerateAnchors, TooSmallAreaHasNone) {
+    const auto tiny = flat_area(3, 3);
+    EXPECT_TRUE(enumerate_anchors(tiny, PanelGeometry{4, 2}).empty());
+}
+
+}  // namespace
+}  // namespace pvfp::core

@@ -1,0 +1,231 @@
+/// Tests for the exhaustive, branch-and-bound, and annealing placers, and
+/// the optimality relations among them and the greedy heuristic.
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "pvfp/core/annealing_placer.hpp"
+#include "pvfp/core/bnb_placer.hpp"
+#include "pvfp/core/exhaustive_placer.hpp"
+#include "pvfp/core/greedy_placer.hpp"
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/rng.hpp"
+
+namespace pvfp::core {
+namespace {
+
+using pvfp::testing::flat_area;
+
+/// Footprint-suitability sum of a plan (the linearized objective).
+double plan_score(const Floorplan& plan, const Grid2D<double>& s) {
+    double acc = 0.0;
+    for (const auto& m : plan.modules) {
+        for (int y = m.y; y < m.y + plan.geometry.k2; ++y)
+            for (int x = m.x; x < m.x + plan.geometry.k1; ++x)
+                acc += s(x, y);
+    }
+    return acc;
+}
+
+Grid2D<double> random_suitability(int w, int h, std::uint64_t seed) {
+    Grid2D<double> s(w, h);
+    Rng rng(seed);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) s(x, y) = rng.uniform(0.5, 5.0);
+    return s;
+}
+
+TEST(Exhaustive, FindsObviousOptimum) {
+    const auto area = flat_area(12, 4);
+    auto s = Grid2D<double>(12, 4, 1.0);
+    for (int y = 0; y < 2; ++y)
+        for (int x = 8; x < 12; ++x) s(x, y) = 10.0;
+    ExhaustiveStats stats;
+    const Floorplan plan =
+        place_exhaustive(area, s, PanelGeometry{4, 2}, pv::Topology{1, 1},
+                         nullptr, {}, &stats);
+    EXPECT_EQ(plan.modules[0].x, 8);
+    EXPECT_EQ(plan.modules[0].y, 0);
+    EXPECT_GT(stats.leaves, 0);
+}
+
+TEST(Exhaustive, AtLeastAsGoodAsGreedy) {
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+        const auto area = flat_area(10, 6);
+        const auto s = random_suitability(10, 6, seed);
+        const PanelGeometry g{4, 2};
+        const pv::Topology topo{2, 1};
+        const Floorplan best = place_exhaustive(area, s, g, topo);
+        GreedyOptions gopt;
+        gopt.enable_distance_threshold = false;
+        const Floorplan greedy = place_greedy(area, s, g, topo, gopt);
+        EXPECT_GE(plan_score(best, s) + 1e-9, plan_score(greedy, s))
+            << "seed=" << seed;
+    }
+}
+
+TEST(Exhaustive, CustomObjectiveIsHonored) {
+    // Objective: prefer the module as far right as possible, regardless
+    // of suitability.
+    const auto area = flat_area(10, 2);
+    const auto s = Grid2D<double>(10, 2, 1.0);
+    const Floorplan plan = place_exhaustive(
+        area, s, PanelGeometry{4, 2}, pv::Topology{1, 1},
+        [](const Floorplan& p) {
+            return static_cast<double>(p.modules[0].x);
+        });
+    EXPECT_EQ(plan.modules[0].x, 6);
+}
+
+TEST(Exhaustive, NodeBudgetEnforced) {
+    const auto area = flat_area(30, 12);
+    const auto s = random_suitability(30, 12, 9);
+    ExhaustiveOptions opt;
+    opt.max_nodes = 1000;  // way too small for 3 modules here
+    EXPECT_THROW(place_exhaustive(area, s, PanelGeometry{4, 2},
+                                  pv::Topology{3, 1}, nullptr, opt),
+                 Infeasible);
+}
+
+TEST(Exhaustive, InfeasibleInstanceThrows) {
+    const auto area = flat_area(4, 2);
+    const auto s = Grid2D<double>(4, 2, 1.0);
+    EXPECT_THROW(place_exhaustive(area, s, PanelGeometry{4, 2},
+                                  pv::Topology{2, 1}),
+                 Infeasible);
+}
+
+TEST(Bnb, MatchesExhaustiveOnRandomInstances) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        const auto area = flat_area(12, 6);
+        const auto s = random_suitability(12, 6, seed);
+        const PanelGeometry g{4, 2};
+        const pv::Topology topo{2, 1};
+        const Floorplan exact = place_exhaustive(area, s, g, topo);
+        BnbStats stats;
+        const Floorplan bnb = place_bnb(area, s, g, topo, {}, &stats);
+        EXPECT_NEAR(plan_score(bnb, s), plan_score(exact, s), 1e-9)
+            << "seed=" << seed;
+        EXPECT_GT(stats.nodes, 0);
+    }
+}
+
+TEST(Bnb, PrunesComparedToExhaustive) {
+    const auto area = flat_area(14, 6);
+    const auto s = random_suitability(14, 6, 77);
+    const PanelGeometry g{4, 2};
+    const pv::Topology topo{3, 1};
+    ExhaustiveStats es;
+    place_exhaustive(area, s, g, topo, nullptr, {}, &es);
+    BnbStats bs;
+    place_bnb(area, s, g, topo, {}, &bs);
+    EXPECT_LT(bs.nodes, es.nodes);
+    EXPECT_GT(bs.pruned, 0);
+}
+
+TEST(Bnb, HandlesLargerInstanceThanExhaustiveCould) {
+    const auto& prepared = pvfp::testing::coarse_toy_scenario();
+    BnbStats stats;
+    const Floorplan plan =
+        place_bnb(prepared.area, prepared.suitability.suitability,
+                  prepared.geometry, pv::Topology{2, 2}, {}, &stats);
+    EXPECT_EQ(plan.module_count(), 4);
+    std::string why;
+    EXPECT_TRUE(floorplan_feasible(plan, prepared.area, &why)) << why;
+    // And it is at least as good as greedy on the same objective.
+    GreedyOptions gopt;
+    gopt.enable_distance_threshold = false;
+    const Floorplan greedy =
+        place_greedy(prepared.area, prepared.suitability.suitability,
+                     prepared.geometry, pv::Topology{2, 2}, gopt);
+    EXPECT_GE(plan_score(plan, prepared.suitability.suitability) + 1e-9,
+              plan_score(greedy, prepared.suitability.suitability));
+}
+
+TEST(Annealing, NeverWorseThanInitialAndFeasible) {
+    const auto area = flat_area(16, 8);
+    const auto s = random_suitability(16, 8, 5);
+    const PanelGeometry g{4, 2};
+    const pv::Topology topo{2, 2};
+    GreedyOptions gopt;
+    const Floorplan initial = place_greedy(area, s, g, topo, gopt);
+    const PlacementObjective objective = [&](const Floorplan& p) {
+        return plan_score(p, s);
+    };
+    AnnealingOptions aopt;
+    aopt.iterations = 1500;
+    aopt.seed = 3;
+    AnnealingStats stats;
+    const Floorplan refined =
+        refine_annealing(initial, area, objective, aopt, &stats);
+    EXPECT_GE(stats.final_objective, stats.initial_objective - 1e-9);
+    EXPECT_GE(objective(refined) + 1e-9, objective(initial));
+    std::string why;
+    EXPECT_TRUE(floorplan_feasible(refined, area, &why)) << why;
+}
+
+TEST(Annealing, ReachesOptimumOnEasyInstance) {
+    // One bright block, one module, silly initial position: annealing
+    // must find the block.
+    const auto area = flat_area(14, 4);
+    auto s = Grid2D<double>(14, 4, 1.0);
+    for (int y = 0; y < 2; ++y)
+        for (int x = 10; x < 14; ++x) s(x, y) = 10.0;
+    Floorplan initial;
+    initial.geometry = {4, 2};
+    initial.topology = {1, 1};
+    initial.modules = {{0, 0}};
+    const PlacementObjective objective = [&](const Floorplan& p) {
+        return plan_score(p, s);
+    };
+    AnnealingOptions aopt;
+    aopt.iterations = 3000;
+    aopt.seed = 9;
+    const Floorplan refined =
+        refine_annealing(initial, area, objective, aopt);
+    EXPECT_EQ(refined.modules[0].x, 10);
+    EXPECT_EQ(refined.modules[0].y, 0);
+}
+
+TEST(Annealing, DeterministicForFixedSeed) {
+    const auto area = flat_area(12, 6);
+    const auto s = random_suitability(12, 6, 21);
+    Floorplan initial;
+    initial.geometry = {4, 2};
+    initial.topology = {2, 1};
+    initial.modules = {{0, 0}, {4, 0}};
+    const PlacementObjective objective = [&](const Floorplan& p) {
+        return plan_score(p, s);
+    };
+    AnnealingOptions aopt;
+    aopt.iterations = 500;
+    aopt.seed = 123;
+    const Floorplan a = refine_annealing(initial, area, objective, aopt);
+    const Floorplan b = refine_annealing(initial, area, objective, aopt);
+    for (int i = 0; i < a.module_count(); ++i)
+        EXPECT_EQ(a.modules[static_cast<std::size_t>(i)],
+                  b.modules[static_cast<std::size_t>(i)]);
+}
+
+TEST(Annealing, Validation) {
+    const auto area = flat_area(8, 4);
+    Floorplan initial;
+    initial.geometry = {4, 2};
+    initial.topology = {1, 1};
+    initial.modules = {{0, 0}};
+    EXPECT_THROW(refine_annealing(initial, area, nullptr), InvalidArgument);
+    AnnealingOptions bad;
+    bad.cooling = 1.5;
+    EXPECT_THROW(refine_annealing(
+                     initial, area,
+                     [](const Floorplan&) { return 0.0; }, bad),
+                 InvalidArgument);
+    Floorplan infeasible = initial;
+    infeasible.modules = {{7, 0}};  // out of bounds
+    EXPECT_THROW(refine_annealing(infeasible, area,
+                                  [](const Floorplan&) { return 0.0; }),
+                 InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pvfp::core

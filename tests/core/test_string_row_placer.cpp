@@ -1,0 +1,117 @@
+/// Tests for the string-rigid placer (the module-freedom ablation's
+/// intermediate point between compact block and free greedy).
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "pvfp/core/greedy_placer.hpp"
+#include "pvfp/core/string_row_placer.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::core {
+namespace {
+
+using pvfp::testing::flat_area;
+using pvfp::testing::masked_area;
+
+double plan_score(const Floorplan& plan, const Grid2D<double>& s) {
+    double acc = 0.0;
+    for (const auto& m : plan.modules)
+        for (int y = m.y; y < m.y + plan.geometry.k2; ++y)
+            for (int x = m.x; x < m.x + plan.geometry.k1; ++x)
+                acc += s(x, y);
+    return acc;
+}
+
+TEST(StringRows, RowsAreRigidAndFeasible) {
+    const auto area = flat_area(30, 10);
+    const Grid2D<double> s(30, 10, 1.0);
+    const pv::Topology topo{3, 2};
+    const Floorplan plan =
+        place_string_rows(area, s, PanelGeometry{4, 2}, topo);
+    ASSERT_EQ(plan.module_count(), 6);
+    std::string why;
+    EXPECT_TRUE(floorplan_feasible(plan, area, &why)) << why;
+    for (int j = 0; j < 2; ++j) {
+        const auto& first = plan.modules[static_cast<std::size_t>(j * 3)];
+        for (int i = 1; i < 3; ++i) {
+            const auto& m =
+                plan.modules[static_cast<std::size_t>(j * 3 + i)];
+            EXPECT_EQ(m.y, first.y);
+            EXPECT_EQ(m.x, first.x + 4 * i);
+        }
+    }
+}
+
+TEST(StringRows, RowsLandOnBrightBands) {
+    const auto area = flat_area(30, 10);
+    auto s = Grid2D<double>(30, 10, 1.0);
+    for (int x = 10; x < 22; ++x) s(x, 6) = s(x, 7) = 5.0;  // bright band
+    const Floorplan plan = place_string_rows(area, s, PanelGeometry{4, 2},
+                                             pv::Topology{3, 1});
+    EXPECT_EQ(plan.modules[0].x, 10);
+    EXPECT_EQ(plan.modules[0].y, 6);
+}
+
+TEST(StringRows, ScoreBetweenBlockAndFreeGreedy) {
+    // Two bright bands far apart: the rigid-rows placer can split strings
+    // across them (beats one block) but cannot fragment a string (free
+    // greedy can do at least as well).
+    const auto area = flat_area(40, 12);
+    auto s = Grid2D<double>(40, 12, 1.0);
+    for (int x = 0; x < 12; ++x) s(x, 0) = s(x, 1) = 4.0;
+    for (int x = 28; x < 40; ++x) s(x, 10) = s(x, 11) = 4.0;
+    const PanelGeometry g{4, 2};
+    const pv::Topology topo{3, 2};
+
+    const auto rows = place_string_rows(area, s, g, topo);
+    GreedyOptions gopt;
+    gopt.enable_distance_threshold = false;
+    const auto free_plan = place_greedy(area, s, g, topo, gopt);
+    EXPECT_GE(plan_score(free_plan, s) + 1e-9, plan_score(rows, s));
+    // Rigid rows exploit both bands (each 12 cells wide = one 3-module
+    // row).
+    EXPECT_NEAR(plan_score(rows, s), 2 * 12 * 2 * 4.0, 1e-9);
+}
+
+TEST(StringRows, ThrowsWhenNoSpanFits) {
+    // Valid area split into 10-cell spans; a 3-module row needs 12.
+    Grid2D<unsigned char> mask(21, 2, 1);
+    for (int y = 0; y < 2; ++y) mask(10, y) = 0;
+    const auto area = masked_area(mask);
+    const Grid2D<double> s(21, 2, 1.0);
+    EXPECT_THROW(place_string_rows(area, s, PanelGeometry{4, 2},
+                                   pv::Topology{3, 1}),
+                 Infeasible);
+}
+
+TEST(StringRows, AdjacentRowsPreferredOnTies) {
+    const auto area = flat_area(12, 12);
+    const Grid2D<double> s(12, 12, 1.0);
+    const Floorplan plan = place_string_rows(area, s, PanelGeometry{4, 2},
+                                             pv::Topology{3, 3});
+    // Uniform field: rows stack adjacently thanks to the distance
+    // penalty.
+    for (int j = 1; j < 3; ++j) {
+        const int y_prev = plan.modules[static_cast<std::size_t>((j - 1) * 3)].y;
+        const int y_cur = plan.modules[static_cast<std::size_t>(j * 3)].y;
+        EXPECT_LE(std::abs(y_cur - y_prev), 2) << "string " << j;
+    }
+}
+
+TEST(StringRows, Validation) {
+    const auto area = flat_area(12, 4);
+    const Grid2D<double> wrong(13, 4, 1.0);
+    EXPECT_THROW(place_string_rows(area, wrong, PanelGeometry{4, 2},
+                                   pv::Topology{1, 1}),
+                 InvalidArgument);
+    const Grid2D<double> s(12, 4, 1.0);
+    StringRowOptions bad;
+    bad.row_distance_penalty = -1.0;
+    EXPECT_THROW(place_string_rows(area, s, PanelGeometry{4, 2},
+                                   pv::Topology{1, 1}, bad),
+                 InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pvfp::core

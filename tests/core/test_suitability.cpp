@@ -1,0 +1,191 @@
+/// Tests for the suitability metric (paper Section III-C): percentile
+/// behaviour on shaded vs unshaded cells, the temperature correction
+/// factor, and option handling (mean ablation, strides, daylight-only).
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "pvfp/core/suitability.hpp"
+#include "pvfp/geo/scene.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::core {
+namespace {
+
+using pvfp::testing::coarse_grid;
+using pvfp::testing::constant_weather;
+using pvfp::testing::flat_area;
+using pvfp::testing::flat_field;
+
+TEST(TemperatureCorrection, NormalizedAtReference) {
+    const SuitabilityOptions opt;
+    EXPECT_NEAR(temperature_correction_factor(25.0, opt), 1.0, 1e-12);
+    // Hotter cells are derated, colder ones boosted.
+    EXPECT_LT(temperature_correction_factor(60.0, opt), 1.0);
+    EXPECT_GT(temperature_correction_factor(0.0, opt), 1.0);
+    // Tracks the module's -0.48 %/K.
+    EXPECT_NEAR(temperature_correction_factor(35.0, opt), 1.0 - 0.048, 1e-9);
+}
+
+TEST(TemperatureCorrection, ClampsAtZero) {
+    const SuitabilityOptions opt;
+    EXPECT_DOUBLE_EQ(temperature_correction_factor(1000.0, opt), 0.0);
+}
+
+TEST(Suitability, UniformFieldGivesUniformMatrix) {
+    const TimeGrid grid = coarse_grid(4);
+    const auto field = flat_field(6, 4, grid, constant_weather(grid));
+    const auto area = flat_area(6, 4);
+    const auto result = compute_suitability(field, area);
+    const double ref = result.suitability(0, 0);
+    EXPECT_GT(ref, 0.0);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 6; ++x)
+            EXPECT_DOUBLE_EQ(result.suitability(x, y), ref);
+}
+
+TEST(Suitability, InvalidCellsStayZero) {
+    const TimeGrid grid = coarse_grid(2);
+    const auto field = flat_field(4, 4, grid, constant_weather(grid));
+    Grid2D<unsigned char> mask(4, 4, 1);
+    mask(2, 2) = 0;
+    const auto area = pvfp::testing::masked_area(mask);
+    const auto result = compute_suitability(field, area);
+    EXPECT_DOUBLE_EQ(result.suitability(2, 2), 0.0);
+    EXPECT_GT(result.suitability(0, 0), 0.0);
+}
+
+TEST(Suitability, ShadedCellsRankLower) {
+    // Real scene: eastern wall shades nearby cells; their p75 and thus
+    // suitability must be lower than cells far from the wall.
+    const auto& prepared = pvfp::testing::coarse_toy_scenario();
+    const auto& s = prepared.suitability.suitability;
+    const auto& area = prepared.area;
+    // Rightmost valid column (next to the east wall) vs a central one.
+    int right_x = -1;
+    int mid_x = area.width / 3;
+    for (int x = area.width - 1; x >= 0; --x) {
+        if (area.valid(x, area.height / 2)) {
+            right_x = x;
+            break;
+        }
+    }
+    ASSERT_GE(right_x, 0);
+    EXPECT_LT(s(right_x, area.height / 2), s(mid_x, area.height / 2));
+}
+
+TEST(Suitability, PercentileMapMatchesFig6Semantics) {
+    // g_percentile holds the raw p75 irradiance: for a clear-ish constant
+    // sky it must sit between zero and the unshaded plane peak.
+    const auto& prepared = pvfp::testing::coarse_toy_scenario();
+    double peak = 0.0;
+    for (long s = 0; s < prepared.field.steps(); ++s)
+        peak = std::max(peak, prepared.field.plane_irradiance_unshaded(s));
+    const auto& gp = prepared.suitability.g_percentile;
+    for (int y = 0; y < prepared.area.height; ++y) {
+        for (int x = 0; x < prepared.area.width; ++x) {
+            if (!prepared.area.valid(x, y)) continue;
+            EXPECT_GE(gp(x, y), 0.0);
+            EXPECT_LE(gp(x, y), peak * 1.01);
+        }
+    }
+}
+
+TEST(Suitability, TemperatureCorrectionLowersHotCells) {
+    const TimeGrid grid = coarse_grid(3);
+    const auto field = flat_field(3, 3, grid,
+                                  constant_weather(grid, 700, 600, 150,
+                                                   35.0));
+    const auto area = flat_area(3, 3);
+    SuitabilityOptions with_t;
+    with_t.temperature_correction = true;
+    SuitabilityOptions without_t;
+    without_t.temperature_correction = false;
+    const auto a = compute_suitability(field, area, with_t);
+    const auto b = compute_suitability(field, area, without_t);
+    // Hot climate (35 C + k*G > 25 C): correction strictly lowers S.
+    EXPECT_LT(a.suitability(1, 1), b.suitability(1, 1));
+    EXPECT_DOUBLE_EQ(b.suitability(1, 1), b.g_percentile(1, 1));
+}
+
+TEST(Suitability, MeanAblationDiffersFromPercentile) {
+    // Isolate the mean-vs-percentile comparison on the *daylight*
+    // distribution, where the paper's skewness argument applies directly:
+    // irradiance is skewed toward small values, so mean < p75.
+    const auto& prepared = pvfp::testing::coarse_toy_scenario();
+    SuitabilityOptions p75_opt = prepared.config.suitability;
+    p75_opt.daylight_only = true;
+    SuitabilityOptions mean_opt = p75_opt;
+    mean_opt.use_mean = true;
+    const auto p75_result =
+        compute_suitability(prepared.field, prepared.area, p75_opt);
+    const auto mean_result =
+        compute_suitability(prepared.field, prepared.area, mean_opt);
+    int lower = 0;
+    int total = 0;
+    for (int y = 0; y < prepared.area.height; y += 2) {
+        for (int x = 0; x < prepared.area.width; x += 2) {
+            if (!prepared.area.valid(x, y)) continue;
+            ++total;
+            if (mean_result.g_percentile(x, y) <
+                p75_result.g_percentile(x, y))
+                ++lower;
+        }
+    }
+    EXPECT_GT(lower, total * 0.9);
+}
+
+TEST(Suitability, StridePreservesCellRanking) {
+    // Subsampling the time axis shifts absolute percentiles (fewer hours
+    // of the day are represented) but must preserve the *ranking* of
+    // cells, which is all the greedy placer consumes.
+    const auto& prepared = pvfp::testing::coarse_toy_scenario();
+    SuitabilityOptions strided = prepared.config.suitability;
+    strided.step_stride = 4;
+    const auto fast =
+        compute_suitability(prepared.field, prepared.area, strided);
+    int checked = 0;
+    int agreed = 0;
+    const auto& full = prepared.suitability.suitability;
+    const auto& area = prepared.area;
+    for (int y1 = 0; y1 < area.height; y1 += 2) {
+        for (int x1 = 0; x1 < area.width; x1 += 3) {
+            if (!area.valid(x1, y1)) continue;
+            // Compare against a fixed reference cell ensemble.
+            for (int x2 = 1; x2 < area.width; x2 += 7) {
+                const int y2 = (y1 + 5) % area.height;
+                if (!area.valid(x2, y2)) continue;
+                const double a = full(x1, y1);
+                const double b = full(x2, y2);
+                if (a < 1.3 * b) continue;  // only clearly-ordered pairs
+                ++checked;
+                if (fast.suitability(x1, y1) > fast.suitability(x2, y2))
+                    ++agreed;
+            }
+        }
+    }
+    ASSERT_GT(checked, 20);
+    EXPECT_GT(static_cast<double>(agreed) / checked, 0.9);
+}
+
+TEST(Suitability, OptionValidation) {
+    const TimeGrid grid = coarse_grid(1);
+    const auto field = flat_field(3, 3, grid, constant_weather(grid));
+    const auto area = flat_area(3, 3);
+    SuitabilityOptions bad;
+    bad.percentile = 150.0;
+    EXPECT_THROW(compute_suitability(field, area, bad), InvalidArgument);
+    bad = {};
+    bad.bins = 2;
+    EXPECT_THROW(compute_suitability(field, area, bad), InvalidArgument);
+    bad = {};
+    bad.step_stride = 0;
+    EXPECT_THROW(compute_suitability(field, area, bad), InvalidArgument);
+    // Mismatched area/field dims.
+    const auto wrong_area = flat_area(4, 3);
+    EXPECT_THROW(compute_suitability(field, wrong_area, {}),
+                 InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pvfp::core

@@ -1,0 +1,188 @@
+/// Tests for the horizon map and shadow engine: closed-form wall shadows,
+/// agreement between the O(1) horizon path and the brute-force marcher,
+/// and sky-view factors.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pvfp/geo/horizon.hpp"
+#include "pvfp/geo/scene.hpp"
+#include "pvfp/geo/shadow.hpp"
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/math.hpp"
+
+namespace pvfp::geo {
+namespace {
+
+/// Flat ground with a wall: the canonical closed-form shadow scene.
+/// Wall of height \p h at local x in [wall_x, wall_x+thickness), spanning
+/// the full y extent.
+Raster wall_scene(double extent, double cell, double wall_x, double h,
+                  double thickness = 0.6) {
+    SceneBuilder scene(extent, extent);
+    scene.add_building({wall_x, 0.0, thickness, extent, h});
+    return scene.rasterize(cell);
+}
+
+TEST(Horizon, FlatGroundHasZeroHorizonAndUnitSvf) {
+    Raster dsm(30, 30, 0.5, 1.0);
+    HorizonOptions opt;
+    opt.azimuth_sectors = 24;
+    HorizonMap map(dsm, 5, 5, 20, 20, opt);
+    for (int s = 0; s < 24; ++s) EXPECT_DOUBLE_EQ(map.horizon(10, 10, s), 0.0);
+    EXPECT_DOUBLE_EQ(map.sky_view_factor(10, 10), 1.0);
+    EXPECT_FALSE(map.is_shaded(10, 10, deg2rad(180.0), deg2rad(5.0)));
+    EXPECT_TRUE(map.is_shaded(10, 10, deg2rad(180.0), -0.01));  // night
+}
+
+TEST(Horizon, WallElevationAngleMatchesClosedForm) {
+    // Wall 4 m tall at x = 10 m; observer on the ground 5 m west of it.
+    const Raster dsm = wall_scene(20.0, 0.2, 10.0, 4.0);
+    const int obs_x = 25;  // local x = 5.1 m
+    const int obs_y = 50;
+    const double obs_lx = dsm.local_x(obs_x);
+    // Looking east (azimuth 90 deg) the horizon is the wall top.
+    const double horizon =
+        brute_force_horizon(dsm, obs_x, obs_y, deg2rad(90.0));
+    const double dist = 10.0 - obs_lx;
+    const double expected = std::atan2(4.0 - 0.05, dist);  // observer offset
+    EXPECT_NEAR(horizon, expected, deg2rad(2.0));
+    // Looking west: nothing but flat ground.
+    EXPECT_NEAR(brute_force_horizon(dsm, obs_x, obs_y, deg2rad(270.0)), 0.0,
+                1e-12);
+}
+
+TEST(Horizon, ShadedIffSunBelowWallTop) {
+    const Raster dsm = wall_scene(20.0, 0.2, 10.0, 4.0);
+    HorizonOptions opt;
+    opt.azimuth_sectors = 72;
+    opt.step_growth = 1.0;  // exact marching for this test
+    HorizonMap map(dsm, 0, 0, dsm.width(), dsm.height(), opt);
+    const int obs_x = 25;
+    const int obs_y = 50;
+    const double wall_angle = std::atan2(4.0, 10.0 - dsm.local_x(obs_x));
+    EXPECT_TRUE(map.is_shaded(obs_x, obs_y, deg2rad(90.0),
+                              wall_angle - deg2rad(3.0)));
+    EXPECT_FALSE(map.is_shaded(obs_x, obs_y, deg2rad(90.0),
+                               wall_angle + deg2rad(3.0)));
+    // Same sun elevation from the west: unshaded.
+    EXPECT_FALSE(map.is_shaded(obs_x, obs_y, deg2rad(270.0),
+                               wall_angle - deg2rad(3.0)));
+}
+
+TEST(Horizon, InterpolatedHorizonMatchesBruteForceBetweenSectors) {
+    const Raster dsm = wall_scene(16.0, 0.4, 9.0, 3.0);
+    HorizonOptions opt;
+    opt.azimuth_sectors = 36;  // 10 deg sectors: interpolation matters
+    opt.step_growth = 1.0;
+    HorizonMap map(dsm, 0, 0, dsm.width(), dsm.height(), opt);
+    const int obs_x = 10;
+    const int obs_y = 20;
+    for (double az_deg = 45.0; az_deg <= 135.0; az_deg += 7.0) {
+        const double exact =
+            brute_force_horizon(dsm, obs_x, obs_y, deg2rad(az_deg), opt);
+        const double interp = map.horizon_at(obs_x, obs_y, deg2rad(az_deg));
+        EXPECT_NEAR(interp, exact, deg2rad(6.0)) << "az=" << az_deg;
+    }
+}
+
+TEST(Horizon, GeometricStepGrowthStaysAccurate) {
+    const Raster dsm = wall_scene(24.0, 0.2, 16.0, 5.0);
+    HorizonOptions exact_opt;
+    exact_opt.step_growth = 1.0;
+    HorizonOptions fast_opt;  // default growth 1.03
+    const int obs_x = 10;
+    const int obs_y = 60;
+    const double exact =
+        brute_force_horizon(dsm, obs_x, obs_y, deg2rad(90.0), exact_opt);
+    HorizonMap fast(dsm, obs_x, obs_y, 1, 1, fast_opt);
+    EXPECT_NEAR(fast.horizon_at(0, 0, deg2rad(90.0)), exact, deg2rad(1.5));
+}
+
+TEST(Horizon, SkyViewFactorDropsNearWall) {
+    const Raster dsm = wall_scene(20.0, 0.4, 10.0, 6.0);
+    HorizonOptions opt;
+    opt.azimuth_sectors = 36;
+    HorizonMap map(dsm, 0, 0, dsm.width(), dsm.height(), opt);
+    const int y = dsm.height() / 2;
+    const double svf_near = map.sky_view_factor(22, y);  // ~1.2 m west of wall
+    const double svf_far = map.sky_view_factor(3, y);    // far west
+    EXPECT_LT(svf_near, svf_far);
+    EXPECT_GT(svf_near, 0.3);
+    EXPECT_LE(svf_far, 1.0);
+    EXPECT_GT(svf_far, 0.9);
+}
+
+TEST(Horizon, RejectsBadWindowsAndParameters) {
+    Raster dsm(10, 10, 1.0);
+    EXPECT_THROW(HorizonMap(dsm, 0, 0, 11, 5, {}), InvalidArgument);
+    EXPECT_THROW(HorizonMap(dsm, -1, 0, 5, 5, {}), InvalidArgument);
+    HorizonOptions bad;
+    bad.azimuth_sectors = 2;
+    EXPECT_THROW(HorizonMap(dsm, 0, 0, 5, 5, bad), InvalidArgument);
+    bad = {};
+    bad.max_distance = -1.0;
+    EXPECT_THROW(HorizonMap(dsm, 0, 0, 5, 5, bad), InvalidArgument);
+    HorizonMap ok(dsm, 0, 0, 5, 5, {});
+    EXPECT_THROW(ok.horizon(5, 0, 0), InvalidArgument);
+    EXPECT_THROW(ok.horizon(0, 0, 99), InvalidArgument);
+    EXPECT_THROW(brute_force_horizon(dsm, 20, 0, 0.0), InvalidArgument);
+}
+
+TEST(Shadow, MapMatchesPerCellQueries) {
+    const Raster dsm = wall_scene(12.0, 0.4, 8.0, 3.0);
+    const double az = deg2rad(90.0);
+    const double el = deg2rad(15.0);
+    const auto map = shadow_map(dsm, az, el);
+    for (int y = 0; y < dsm.height(); y += 4) {
+        for (int x = 0; x < dsm.width(); x += 4) {
+            EXPECT_EQ(map(x, y) != 0,
+                      is_shaded_brute_force(dsm, x, y, az, el))
+                << x << "," << y;
+        }
+    }
+}
+
+TEST(Shadow, ShadowLengthMatchesSunElevation) {
+    // Sun from the east at elevation e: a wall of height h shades ground
+    // west of it for a length ~ h / tan(e).
+    const double h = 4.0;
+    const Raster dsm = wall_scene(30.0, 0.2, 20.0, h);
+    const double el = deg2rad(20.0);
+    const auto map = shadow_map(dsm, deg2rad(90.0), el);
+    const double expected_len = h / std::tan(el);  // ~11 m
+    const int y = dsm.height() / 2;
+    // A point well inside the expected shadow:
+    const int x_shaded = dsm.col_of(20.0 - expected_len * 0.8);
+    // A point clearly beyond it:
+    const int x_lit = dsm.col_of(20.0 - expected_len * 1.3);
+    EXPECT_EQ(map(x_shaded, y), 1);
+    EXPECT_EQ(map(x_lit, y), 0);
+}
+
+TEST(Shadow, SunBelowHorizonShadesEverything) {
+    Raster dsm(5, 5, 1.0, 0.0);
+    const auto map = shadow_map(dsm, 0.0, -0.1);
+    for (const auto v : map.data()) EXPECT_EQ(v, 1);
+}
+
+TEST(Shadow, FractionMapAveragesPositions) {
+    const Raster dsm = wall_scene(12.0, 0.4, 8.0, 4.0);
+    std::vector<SunPosition> suns{
+        {deg2rad(90.0), deg2rad(10.0)},   // east, low: long west shadow
+        {deg2rad(270.0), deg2rad(10.0)},  // west, low: other side
+        {deg2rad(180.0), -0.05},          // night: skipped
+    };
+    const auto frac = shading_fraction_map(dsm, suns);
+    const int y = dsm.height() / 2;
+    // A cell just west of the wall is shaded in exactly one of the two
+    // daylight positions.
+    EXPECT_NEAR(frac(17, y), 0.5, 1e-9);
+    EXPECT_THROW(
+        shading_fraction_map(dsm, {{0.0, -0.1}}),
+        InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pvfp::geo

@@ -1,0 +1,210 @@
+/// Tests for the per-cell NormalMap and the roof surface texture — the
+/// machinery behind the fine-grain irradiance variance (paper Fig. 6(b)).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pvfp/geo/raster.hpp"
+#include "pvfp/geo/scene.hpp"
+#include "pvfp/solar/irradiance.hpp"
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/math.hpp"
+#include "pvfp/util/timegrid.hpp"
+
+namespace pvfp::geo {
+namespace {
+
+TEST(NormalMap, FlatSurfacePointsUp) {
+    Raster dsm(8, 8, 0.5, 3.0);
+    const auto normals = NormalMap::from_dsm(dsm, 1, 1, 6, 6);
+    EXPECT_EQ(normals.width(), 6);
+    EXPECT_EQ(normals.height(), 6);
+    for (int y = 0; y < 6; ++y) {
+        for (int x = 0; x < 6; ++x) {
+            EXPECT_FLOAT_EQ(normals.east(x, y), 0.0f);
+            EXPECT_FLOAT_EQ(normals.north(x, y), 0.0f);
+            EXPECT_FLOAT_EQ(normals.up(x, y), 1.0f);
+        }
+    }
+}
+
+TEST(NormalMap, SouthSlopingPlaneLeansSouth) {
+    // Height decreases southward (row index growing): downslope south,
+    // so the normal's north-component is negative, east zero.
+    Raster dsm(10, 10, 0.5);
+    for (int y = 0; y < 10; ++y)
+        for (int x = 0; x < 10; ++x)
+            dsm(x, y) = 10.0 - std::tan(deg2rad(26.0)) * dsm.local_y(y);
+    const auto normals = NormalMap::from_dsm(dsm, 2, 2, 5, 5);
+    const double expected_horiz = std::sin(deg2rad(26.0));
+    EXPECT_NEAR(normals.east(2, 2), 0.0, 1e-6);
+    EXPECT_NEAR(normals.north(2, 2), -expected_horiz, 1e-6);
+    EXPECT_NEAR(normals.up(2, 2), std::cos(deg2rad(26.0)), 1e-6);
+    // Unit length.
+    const double len = std::sqrt(
+        normals.east(2, 2) * normals.east(2, 2) +
+        normals.north(2, 2) * normals.north(2, 2) +
+        normals.up(2, 2) * normals.up(2, 2));
+    EXPECT_NEAR(len, 1.0, 1e-6);
+}
+
+TEST(NormalMap, EastSlopingPlaneLeansEast) {
+    // Height decreases eastward: downslope east => east-component < 0?
+    // Normal leans toward the *downslope* direction: east positive?
+    // n = normalize(-dzdx, dzdy, 1): dzdx < 0 => east = -dzdx > 0.
+    Raster dsm(10, 10, 0.5);
+    for (int y = 0; y < 10; ++y)
+        for (int x = 0; x < 10; ++x)
+            dsm(x, y) = 10.0 - 0.3 * dsm.local_x(x);
+    const auto normals = NormalMap::from_dsm(dsm, 2, 2, 5, 5);
+    EXPECT_GT(normals.east(2, 2), 0.0f);
+    EXPECT_NEAR(normals.north(2, 2), 0.0, 1e-6);
+}
+
+TEST(NormalMap, WindowValidation) {
+    Raster dsm(4, 4, 1.0);
+    EXPECT_THROW(NormalMap::from_dsm(dsm, 0, 0, 5, 4), InvalidArgument);
+    EXPECT_THROW(NormalMap::from_dsm(dsm, -1, 0, 2, 2), InvalidArgument);
+    EXPECT_THROW(NormalMap::from_dsm(dsm, 0, 0, 0, 2), InvalidArgument);
+}
+
+TEST(RoofTexture, ZeroWithoutTextureAndBounded) {
+    SceneBuilder scene(20.0, 20.0);
+    MonopitchRoof roof;
+    roof.x = 2.0;
+    roof.y = 2.0;
+    roof.w = 12.0;
+    roof.d = 8.0;
+    roof.eave_height = 3.0;
+    roof.tilt_deg = 20.0;
+    const int idx = scene.add_roof(roof);
+    EXPECT_DOUBLE_EQ(scene.roof_texture_height(idx, 5.0, 5.0), 0.0);
+
+    RoofTexture t;
+    t.undulation_amp_x = 0.05;
+    t.undulation_amp_y = 0.03;
+    t.noise_amp = 0.04;
+    t.seed = 7;
+    scene.set_roof_texture(idx, t);
+    double min_dz = 1e9;
+    double max_dz = -1e9;
+    for (double lx = 2.0; lx < 14.0; lx += 0.3) {
+        for (double ly = 2.0; ly < 10.0; ly += 0.3) {
+            const double dz = scene.roof_texture_height(idx, lx, ly);
+            min_dz = std::min(min_dz, dz);
+            max_dz = std::max(max_dz, dz);
+            EXPECT_LE(std::abs(dz), 0.05 + 0.03 + 0.04 + 1e-12);
+        }
+    }
+    // The texture actually varies (not degenerate).
+    EXPECT_GT(max_dz - min_dz, 0.04);
+}
+
+TEST(RoofTexture, DeterministicAndSeedSensitive) {
+    SceneBuilder scene(10.0, 10.0);
+    MonopitchRoof roof;
+    roof.w = 8.0;
+    roof.d = 8.0;
+    const int idx = scene.add_roof(roof);
+    RoofTexture t;
+    t.noise_amp = 0.05;
+    t.seed = 1;
+    scene.set_roof_texture(idx, t);
+    const double a = scene.roof_texture_height(idx, 3.3, 4.4);
+    scene.set_roof_texture(idx, t);
+    EXPECT_DOUBLE_EQ(scene.roof_texture_height(idx, 3.3, 4.4), a);
+    t.seed = 2;
+    scene.set_roof_texture(idx, t);
+    EXPECT_NE(scene.roof_texture_height(idx, 3.3, 4.4), a);
+}
+
+TEST(RoofTexture, AppearsInRasterizedDsm) {
+    SceneBuilder scene(10.0, 10.0);
+    MonopitchRoof roof;
+    roof.x = 1.0;
+    roof.y = 1.0;
+    roof.w = 8.0;
+    roof.d = 8.0;
+    roof.eave_height = 2.0;
+    roof.tilt_deg = 0.0;  // flat: texture is the only variation
+    const int idx = scene.add_roof(roof);
+    RoofTexture t;
+    t.undulation_amp_x = 0.08;
+    t.undulation_period_x = 2.0;
+    scene.set_roof_texture(idx, t);
+    const Raster dsm = scene.rasterize(0.25);
+    double min_h = 1e9;
+    double max_h = -1e9;
+    for (int y = 8; y < 32; ++y) {
+        for (int x = 8; x < 32; ++x) {
+            min_h = std::min(min_h, dsm(x, y));
+            max_h = std::max(max_h, dsm(x, y));
+        }
+    }
+    EXPECT_GT(max_h - min_h, 0.12);  // ~2*amp visible
+    EXPECT_LT(max_h - min_h, 0.17);
+}
+
+TEST(RoofTexture, Validation) {
+    SceneBuilder scene(10.0, 10.0);
+    MonopitchRoof roof;
+    scene.add_roof(roof);
+    RoofTexture bad;
+    bad.noise_amp = -0.1;
+    EXPECT_THROW(scene.set_roof_texture(0, bad), InvalidArgument);
+    RoofTexture bad2;
+    bad2.undulation_period_x = 0.0;
+    EXPECT_THROW(scene.set_roof_texture(0, bad2), InvalidArgument);
+    EXPECT_THROW(scene.set_roof_texture(3, RoofTexture{}), InvalidArgument);
+    EXPECT_THROW(scene.roof_texture_height(5, 0.0, 0.0), InvalidArgument);
+}
+
+TEST(IrradianceFieldNormals, PerCellNormalModulatesBeam) {
+    // Two cells: one on the ideal plane, one tilted further toward the
+    // sun; with a NormalMap the second receives more beam.
+    const TimeGrid grid(60, 172, 1);
+    Raster dsm(6, 6, 0.2, 5.0);  // flat DSM: zero horizons
+    HorizonMap horizon(dsm, 0, 0, 6, 6, {});
+
+    NormalMap normals;
+    normals.east = Grid2D<float>(6, 6, 0.0f);
+    normals.north = Grid2D<float>(6, 6, 0.0f);
+    normals.up = Grid2D<float>(6, 6, 1.0f);
+    // Cell (3,3): tilted 20 deg toward south.
+    normals.north(3, 3) = static_cast<float>(-std::sin(deg2rad(20.0)));
+    normals.up(3, 3) = static_cast<float>(std::cos(deg2rad(20.0)));
+
+    std::vector<solar::EnvSample> env(
+        static_cast<std::size_t>(grid.total_steps()),
+        solar::EnvSample{600.0, 600.0, 100.0, 20.0});
+    solar::FieldConfig config;
+    config.sky_model = solar::SkyModel::Isotropic;
+    const solar::IrradianceField field(std::move(horizon), std::move(env),
+                                       grid, /*tilt=*/0.0, /*azimuth=*/0.0,
+                                       config, std::move(normals));
+    // Near solar noon the south-tilted cell collects more beam.
+    long noon = grid.total_steps() / 2;
+    ASSERT_TRUE(field.is_daylight(noon));
+    EXPECT_GT(field.cell_irradiance(3, 3, noon),
+              field.cell_irradiance(1, 1, noon) + 20.0);
+}
+
+TEST(IrradianceFieldNormals, MismatchedNormalMapThrows) {
+    const TimeGrid grid(60, 1, 1);
+    Raster dsm(4, 4, 0.2, 1.0);
+    HorizonMap horizon(dsm, 0, 0, 4, 4, {});
+    NormalMap wrong;
+    wrong.east = Grid2D<float>(3, 4, 0.0f);
+    wrong.north = Grid2D<float>(3, 4, 0.0f);
+    wrong.up = Grid2D<float>(3, 4, 1.0f);
+    std::vector<solar::EnvSample> env(
+        static_cast<std::size_t>(grid.total_steps()));
+    EXPECT_THROW(solar::IrradianceField(std::move(horizon), std::move(env),
+                                        grid, 0.3, kPi, {},
+                                        std::move(wrong)),
+                 InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pvfp::geo

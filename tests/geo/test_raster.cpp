@@ -1,0 +1,157 @@
+/// Tests for Raster georeferencing, bilinear sampling, slope/aspect, and
+/// the ESRI ASCII grid I/O round trip.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "pvfp/geo/asc_grid.hpp"
+#include "pvfp/geo/raster.hpp"
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/math.hpp"
+
+namespace pvfp::geo {
+namespace {
+
+TEST(Raster, GeoreferencingConventions) {
+    // 4x3 cells of 0.5 m; NW corner at easting 10, northing 20.
+    Raster r(4, 3, 0.5, 0.0, 10.0, 20.0);
+    EXPECT_DOUBLE_EQ(r.world_x(0), 10.25);
+    EXPECT_DOUBLE_EQ(r.world_y(0), 19.75);  // northing decreases with row
+    EXPECT_DOUBLE_EQ(r.world_y(2), 18.75);
+    EXPECT_EQ(r.col_of(10.25), 0);
+    EXPECT_EQ(r.col_of(11.9), 3);
+    EXPECT_EQ(r.row_of(19.75), 0);
+    EXPECT_EQ(r.row_of(18.6), 2);
+    // Local coordinates grow south from the NW corner.
+    EXPECT_DOUBLE_EQ(r.local_x(1), 0.75);
+    EXPECT_DOUBLE_EQ(r.local_y(1), 0.75);
+}
+
+TEST(Raster, RejectsBadCellSize) {
+    EXPECT_THROW(Raster(2, 2, 0.0), InvalidArgument);
+    EXPECT_THROW(Raster(2, 2, -1.0), InvalidArgument);
+}
+
+TEST(Raster, BilinearInterpolatesLinearSurfaceExactly) {
+    // Height = 2*lx + 3*ly is reproduced exactly by bilinear sampling.
+    Raster r(10, 8, 0.2);
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 10; ++x)
+            r(x, y) = 2.0 * r.local_x(x) + 3.0 * r.local_y(y);
+    for (double lx : {0.3, 0.77, 1.5}) {
+        for (double ly : {0.3, 0.9, 1.2}) {
+            EXPECT_NEAR(r.sample_bilinear_local(lx, ly), 2.0 * lx + 3.0 * ly,
+                        1e-12);
+        }
+    }
+}
+
+TEST(Raster, BilinearClampsAtEdges) {
+    Raster r(3, 3, 1.0);
+    r(0, 0) = 5.0;
+    EXPECT_DOUBLE_EQ(r.sample_bilinear_local(-10.0, -10.0), 5.0);
+    r(2, 2) = 9.0;
+    EXPECT_DOUBLE_EQ(r.sample_bilinear_local(100.0, 100.0), 9.0);
+}
+
+TEST(Raster, SlopeOfInclinedPlane) {
+    // Plane rising 0.5 m per meter southward: slope = atan(0.5).
+    Raster r(12, 12, 0.25);
+    for (int y = 0; y < 12; ++y)
+        for (int x = 0; x < 12; ++x) r(x, y) = 0.5 * r.local_y(y);
+    const auto slopes = slope_map(r);
+    EXPECT_NEAR(slopes(6, 6), std::atan(0.5), 1e-9);
+    // Flat plane has zero slope.
+    Raster flat(5, 5, 1.0, 2.0);
+    EXPECT_DOUBLE_EQ(slope_map(flat)(2, 2), 0.0);
+}
+
+TEST(Raster, AspectPointsDownslope) {
+    // Height increases northward (toward row 0) => downslope is south.
+    Raster r(8, 8, 1.0);
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x) r(x, y) = 10.0 - 1.0 * y;
+    const auto aspects = aspect_map(r);
+    EXPECT_NEAR(aspects(4, 4), kPi, 1e-9);  // 180 deg = South
+
+    // Height increases westward => downslope is east (90 deg).
+    Raster r2(8, 8, 1.0);
+    for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x) r2(x, y) = 10.0 - 1.0 * x;
+    EXPECT_NEAR(aspect_map(r2)(4, 4), kPi / 2.0, 1e-9);
+
+    // Flat cell: NaN.
+    Raster flat(4, 4, 1.0, 1.0);
+    EXPECT_TRUE(std::isnan(aspect_map(flat)(2, 2)));
+}
+
+TEST(AscGrid, RoundTripPreservesEverything) {
+    Raster r(5, 4, 0.2, 0.0, 3.0, 44.0);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 5; ++x) r(x, y) = x + 10.0 * y + 0.25;
+    r.set_nodata(-1234.0);
+
+    std::ostringstream out;
+    write_asc_grid(r, out);
+    std::istringstream in(out.str());
+    const Raster back = read_asc_grid(in);
+
+    EXPECT_EQ(back.width(), 5);
+    EXPECT_EQ(back.height(), 4);
+    EXPECT_DOUBLE_EQ(back.cell_size(), 0.2);
+    EXPECT_DOUBLE_EQ(back.origin_x(), 3.0);
+    EXPECT_DOUBLE_EQ(back.origin_y(), 44.0);
+    EXPECT_DOUBLE_EQ(back.nodata(), -1234.0);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 5; ++x)
+            EXPECT_DOUBLE_EQ(back(x, y), r(x, y)) << x << "," << y;
+}
+
+TEST(AscGrid, ParsesStandardEsriHeader) {
+    // yllcorner is the SW corner: NW origin must be yll + nrows*cell.
+    std::istringstream in(
+        "ncols 3\nnrows 2\nxllcorner 100\nyllcorner 200\ncellsize 10\n"
+        "NODATA_value -9999\n"
+        "1 2 3\n4 5 6\n");
+    const Raster r = read_asc_grid(in);
+    EXPECT_EQ(r.width(), 3);
+    EXPECT_EQ(r.height(), 2);
+    EXPECT_DOUBLE_EQ(r.origin_y(), 220.0);
+    EXPECT_DOUBLE_EQ(r(0, 0), 1.0);  // row 0 = northernmost
+    EXPECT_DOUBLE_EQ(r(2, 1), 6.0);
+}
+
+TEST(AscGrid, HeaderKeysAreCaseInsensitiveAndReordered) {
+    std::istringstream in(
+        "NROWS 1\nNCOLS 2\ncellsize 1\nXLLCORNER 0\nYLLCORNER 0\n7 8\n");
+    const Raster r = read_asc_grid(in);
+    EXPECT_EQ(r.width(), 2);
+    EXPECT_DOUBLE_EQ(r(1, 0), 8.0);
+}
+
+TEST(AscGrid, MalformedInputsThrow) {
+    std::istringstream missing_dims("cellsize 1\n1 2\n");
+    EXPECT_THROW(read_asc_grid(missing_dims), IoError);
+    std::istringstream truncated(
+        "ncols 2\nnrows 2\ncellsize 1\n1 2 3\n");
+    EXPECT_THROW(read_asc_grid(truncated), IoError);
+    std::istringstream bad_cell(
+        "ncols 1\nnrows 1\ncellsize -2\n1\n");
+    EXPECT_THROW(read_asc_grid(bad_cell), IoError);
+    EXPECT_THROW(read_asc_grid_file("/nonexistent/x.asc"), IoError);
+}
+
+TEST(AscGrid, FileRoundTrip) {
+    const std::string path = ::testing::TempDir() + "/pvfp_dsm.asc";
+    Raster r(2, 2, 0.5, 1.5);
+    write_asc_grid_file(r, path);
+    const Raster back = read_asc_grid_file(path);
+    EXPECT_DOUBLE_EQ(back(1, 1), 1.5);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pvfp::geo

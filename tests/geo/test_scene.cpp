@@ -1,0 +1,185 @@
+/// Tests for the procedural scene builder: analytic heights of each
+/// primitive and consistency of the rasterized DSM with the closed form.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pvfp/geo/scene.hpp"
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/math.hpp"
+
+namespace pvfp::geo {
+namespace {
+
+TEST(Scene, GroundOnlyScene) {
+    SceneBuilder scene(10.0, 10.0, 2.0);
+    EXPECT_DOUBLE_EQ(scene.surface_height(5.0, 5.0), 2.0);
+    const Raster dsm = scene.rasterize(0.5);
+    EXPECT_EQ(dsm.width(), 20);
+    EXPECT_EQ(dsm.height(), 20);
+    EXPECT_DOUBLE_EQ(dsm(10, 10), 2.0);
+}
+
+TEST(Scene, RejectsBadParameters) {
+    EXPECT_THROW(SceneBuilder(0.0, 5.0), InvalidArgument);
+    SceneBuilder scene(10.0, 10.0);
+    MonopitchRoof bad;
+    bad.w = -1.0;
+    EXPECT_THROW(scene.add_roof(bad), InvalidArgument);
+    bad.w = 5.0;
+    bad.tilt_deg = 95.0;
+    EXPECT_THROW(scene.add_roof(bad), InvalidArgument);
+    EXPECT_THROW(scene.rasterize(0.0), InvalidArgument);
+    EXPECT_THROW(scene.roof(0), InvalidArgument);
+}
+
+TEST(Scene, SouthFacingMonopitchHeights) {
+    SceneBuilder scene(20.0, 20.0);
+    MonopitchRoof roof;
+    roof.x = 5.0;
+    roof.y = 5.0;
+    roof.w = 10.0;
+    roof.d = 6.0;
+    roof.eave_height = 3.0;
+    roof.tilt_deg = 30.0;
+    roof.azimuth_deg = 180.0;  // downslope toward south (+y local)
+    const int idx = scene.add_roof(roof);
+
+    // The southern edge (y = 11) is the eave; height rises northward.
+    const double rise = std::tan(deg2rad(30.0));
+    EXPECT_NEAR(scene.roof_plane_height(idx, 10.0, 11.0), 3.0, 1e-9);
+    EXPECT_NEAR(scene.roof_plane_height(idx, 10.0, 5.0), 3.0 + 6.0 * rise,
+                1e-9);
+    // Same height along the east-west direction (no cross slope).
+    EXPECT_NEAR(scene.roof_plane_height(idx, 6.0, 8.0),
+                scene.roof_plane_height(idx, 14.0, 8.0), 1e-9);
+    // Outside the rect the surface falls back to ground.
+    EXPECT_DOUBLE_EQ(scene.surface_height(1.0, 1.0), 0.0);
+    EXPECT_TRUE(scene.inside_roof(idx, 10.0, 8.0));
+    EXPECT_FALSE(scene.inside_roof(idx, 4.9, 8.0));
+}
+
+TEST(Scene, WestFacingRoofSlopesAlongX) {
+    SceneBuilder scene(20.0, 20.0);
+    MonopitchRoof roof;
+    roof.x = 2.0;
+    roof.y = 2.0;
+    roof.w = 8.0;
+    roof.d = 4.0;
+    roof.eave_height = 2.0;
+    roof.tilt_deg = 20.0;
+    roof.azimuth_deg = 270.0;  // downslope toward west (-x local)
+    const int idx = scene.add_roof(roof);
+    const double rise = std::tan(deg2rad(20.0));
+    EXPECT_NEAR(scene.roof_plane_height(idx, 2.0, 4.0), 2.0, 1e-9);
+    EXPECT_NEAR(scene.roof_plane_height(idx, 10.0, 4.0), 2.0 + 8.0 * rise,
+                1e-9);
+}
+
+TEST(Scene, GableRoofSymmetricAboutRidge) {
+    SceneBuilder scene(30.0, 30.0);
+    const int south = scene.add_gable_roof("g", 5.0, 5.0, 10.0, 8.0, 3.0,
+                                           30.0);
+    const int north = south + 1;
+    // Ridge at plan mid-depth y = 9: both planes peak there.
+    const double ridge_s = scene.roof_plane_height(south, 10.0, 9.0);
+    const double ridge_n = scene.roof_plane_height(north, 10.0, 9.0);
+    EXPECT_NEAR(ridge_s, ridge_n, 1e-9);
+    // Eaves at the outer edges are at the eave height.
+    EXPECT_NEAR(scene.roof_plane_height(south, 10.0, 13.0), 3.0, 1e-9);
+    EXPECT_NEAR(scene.roof_plane_height(north, 10.0, 5.0), 3.0, 1e-9);
+    // Surface is symmetric about the ridge.
+    EXPECT_NEAR(scene.surface_height(10.0, 7.0),
+                scene.surface_height(10.0, 11.0), 1e-9);
+}
+
+TEST(Scene, BoxReferencesGroundOrSurface) {
+    SceneBuilder scene(20.0, 20.0);
+    MonopitchRoof roof;
+    roof.x = 0.0;
+    roof.y = 0.0;
+    roof.w = 20.0;
+    roof.d = 10.0;
+    roof.eave_height = 4.0;
+    roof.tilt_deg = 0.0;  // flat roof for easy numbers
+    scene.add_roof(roof);
+    scene.add_box({2.0, 2.0, 1.0, 1.0, 1.5, HeightRef::Surface});
+    scene.add_box({5.0, 2.0, 1.0, 1.0, 1.5, HeightRef::Ground});
+    EXPECT_DOUBLE_EQ(scene.surface_height(2.5, 2.5), 5.5);  // roof + 1.5
+    // Ground-referenced box is below the roof: roof wins.
+    EXPECT_DOUBLE_EQ(scene.surface_height(5.5, 2.5), 4.0);
+    // Outside boxes: plain roof.
+    EXPECT_DOUBLE_EQ(scene.surface_height(10.0, 5.0), 4.0);
+}
+
+TEST(Scene, PipeRaisesNarrowBand) {
+    SceneBuilder scene(20.0, 10.0);
+    scene.add_pipe({2.0, 5.0, 18.0, 5.0, 0.6, 0.4});
+    EXPECT_DOUBLE_EQ(scene.surface_height(10.0, 5.0), 0.4);
+    EXPECT_DOUBLE_EQ(scene.surface_height(10.0, 5.29), 0.4);  // within halfwidth
+    EXPECT_DOUBLE_EQ(scene.surface_height(10.0, 5.5), 0.0);   // outside
+    // Beyond the endpoints the band ends.
+    EXPECT_DOUBLE_EQ(scene.surface_height(19.0, 5.0), 0.0);
+}
+
+TEST(Scene, TreeConeProfile) {
+    SceneBuilder scene(20.0, 20.0);
+    scene.add_tree({10.0, 10.0, 3.0, 9.0});
+    EXPECT_DOUBLE_EQ(scene.surface_height(10.0, 10.0), 9.0);  // apex
+    EXPECT_NEAR(scene.surface_height(11.5, 10.0), 4.5, 1e-9);  // half radius
+    EXPECT_DOUBLE_EQ(scene.surface_height(13.1, 10.0), 0.0);   // outside
+}
+
+TEST(Scene, BuildingFlatTop) {
+    SceneBuilder scene(20.0, 20.0);
+    scene.add_building({5.0, 5.0, 4.0, 4.0, 7.0});
+    EXPECT_DOUBLE_EQ(scene.surface_height(7.0, 7.0), 7.0);
+    EXPECT_DOUBLE_EQ(scene.surface_height(4.9, 7.0), 0.0);
+}
+
+TEST(Scene, RasterMatchesAnalyticSurface) {
+    SceneBuilder scene(15.0, 12.0, 0.5);
+    MonopitchRoof roof;
+    roof.x = 2.0;
+    roof.y = 2.0;
+    roof.w = 10.0;
+    roof.d = 6.0;
+    roof.eave_height = 3.0;
+    roof.tilt_deg = 26.0;
+    roof.azimuth_deg = 195.0;  // oblique: exercises the general plane path
+    scene.add_roof(roof);
+    scene.add_box({4.0, 4.0, 1.0, 1.0, 1.0, HeightRef::Surface});
+    scene.add_tree({13.0, 10.0, 1.5, 6.0});
+
+    const Raster dsm = scene.rasterize(0.25);
+    for (int y = 0; y < dsm.height(); y += 3) {
+        for (int x = 0; x < dsm.width(); x += 3) {
+            EXPECT_NEAR(dsm(x, y),
+                        scene.surface_height(dsm.local_x(x), dsm.local_y(y)),
+                        1e-12);
+        }
+    }
+}
+
+TEST(Scene, ObliqueAzimuthProducesCrossSlope) {
+    SceneBuilder scene(30.0, 30.0);
+    MonopitchRoof roof;
+    roof.x = 5.0;
+    roof.y = 5.0;
+    roof.w = 20.0;
+    roof.d = 10.0;
+    roof.eave_height = 5.0;
+    roof.tilt_deg = 26.0;
+    roof.azimuth_deg = 195.0;  // SSW: height varies along x too
+    const int idx = scene.add_roof(roof);
+    const double west = scene.roof_plane_height(idx, 6.0, 10.0);
+    const double east = scene.roof_plane_height(idx, 24.0, 10.0);
+    // Downslope has a westward component => east side is higher.
+    EXPECT_GT(east, west);
+    // The lowest corner is at the eave height.
+    EXPECT_NEAR(scene.roof_plane_height(idx, 5.0, 15.0), 5.0, 0.2);
+}
+
+}  // namespace
+}  // namespace pvfp::geo

@@ -1,0 +1,178 @@
+/// Tests for suitable-area extraction: obstacle detection via plane
+/// residuals, clearance dilation, connected components, and the grid
+/// alignment of the resulting placement area.
+
+#include <gtest/gtest.h>
+
+#include "pvfp/geo/scene.hpp"
+#include "pvfp/geo/suitable_area.hpp"
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/math.hpp"
+
+namespace pvfp::geo {
+namespace {
+
+SceneBuilder simple_roof_scene() {
+    SceneBuilder scene(20.0, 16.0);
+    MonopitchRoof roof;
+    roof.name = "r";
+    roof.x = 4.0;
+    roof.y = 4.0;
+    roof.w = 12.0;
+    roof.d = 8.0;
+    roof.eave_height = 3.0;
+    roof.tilt_deg = 26.0;
+    roof.azimuth_deg = 180.0;
+    scene.add_roof(roof);
+    return scene;
+}
+
+TEST(SuitableArea, CleanRoofIsFullyValidUpToMargin) {
+    SceneBuilder scene = simple_roof_scene();
+    const Raster dsm = scene.rasterize(0.2);
+    SuitableAreaOptions opt;
+    opt.edge_margin = 0.0;
+    opt.clearance = 0.0;
+    const PlacementArea area = extract_placement_area(dsm, scene, 0, opt);
+    EXPECT_EQ(area.width, 60);   // 12 m / 0.2
+    EXPECT_EQ(area.height, 40);  // 8 m / 0.2
+    EXPECT_EQ(area.valid_count, 60 * 40);
+    EXPECT_NEAR(area.tilt_rad, deg2rad(26.0), 1e-12);
+    EXPECT_NEAR(area.azimuth_rad, deg2rad(180.0), 1e-12);
+    EXPECT_DOUBLE_EQ(area.cell_size, 0.2);
+}
+
+TEST(SuitableArea, EdgeMarginShrinksArea) {
+    SceneBuilder scene = simple_roof_scene();
+    const Raster dsm = scene.rasterize(0.2);
+    SuitableAreaOptions opt;
+    opt.edge_margin = 0.4;  // 2 cells on each side
+    opt.clearance = 0.0;
+    const PlacementArea area = extract_placement_area(dsm, scene, 0, opt);
+    EXPECT_EQ(area.width, 56);
+    EXPECT_EQ(area.height, 36);
+    EXPECT_EQ(area.valid_count, 56 * 36);
+}
+
+TEST(SuitableArea, ObstacleCellsAreInvalid) {
+    SceneBuilder scene = simple_roof_scene();
+    // A 1 x 1 m chimney in the middle of the roof.
+    scene.add_box({9.5, 7.5, 1.0, 1.0, 1.0, HeightRef::Surface});
+    const Raster dsm = scene.rasterize(0.2);
+    SuitableAreaOptions opt;
+    opt.edge_margin = 0.0;
+    opt.clearance = 0.0;
+    const PlacementArea area = extract_placement_area(dsm, scene, 0, opt);
+    // 25 cells covered by the chimney must be invalid.
+    EXPECT_EQ(area.valid_count, 60 * 40 - 25);
+    // Spot-check: a cell inside the chimney footprint.
+    const int cx = static_cast<int>((10.0 - 4.0) / 0.2) - area.origin_col +
+                   dsm.col_of(4.0);
+    (void)cx;  // the count assertion above is the strong check
+}
+
+TEST(SuitableArea, ClearanceDilatesObstacles) {
+    SceneBuilder scene = simple_roof_scene();
+    scene.add_box({9.6, 7.6, 0.8, 0.8, 1.0, HeightRef::Surface});
+    const Raster dsm = scene.rasterize(0.2);
+    SuitableAreaOptions no_clear;
+    no_clear.edge_margin = 0.0;
+    no_clear.clearance = 0.0;
+    SuitableAreaOptions with_clear = no_clear;
+    with_clear.clearance = 0.6;
+    const auto a0 = extract_placement_area(dsm, scene, 0, no_clear);
+    const auto a1 = extract_placement_area(dsm, scene, 0, with_clear);
+    EXPECT_LT(a1.valid_count, a0.valid_count);
+    // Clearance must not erase the whole roof.
+    EXPECT_GT(a1.valid_count, a0.valid_count / 2);
+}
+
+TEST(SuitableArea, CroppingToBoundingBox) {
+    SceneBuilder scene(30.0, 20.0);
+    MonopitchRoof roof;
+    roof.x = 10.0;
+    roof.y = 6.0;
+    roof.w = 8.0;
+    roof.d = 6.0;
+    roof.eave_height = 3.0;
+    roof.tilt_deg = 10.0;
+    scene.add_roof(roof);
+    const Raster dsm = scene.rasterize(0.5);
+    SuitableAreaOptions opt;
+    opt.edge_margin = 0.0;
+    opt.clearance = 0.0;
+    const PlacementArea area = extract_placement_area(dsm, scene, 0, opt);
+    EXPECT_EQ(area.width, 16);
+    EXPECT_EQ(area.height, 12);
+    EXPECT_EQ(area.origin_col, dsm.col_of(10.0 + 0.25));
+    // is_valid() bounds-checks gracefully.
+    EXPECT_TRUE(area.is_valid(0, 0));
+    EXPECT_FALSE(area.is_valid(-1, 0));
+    EXPECT_FALSE(area.is_valid(99, 0));
+}
+
+TEST(SuitableArea, ThrowsWhenRoofFullyObstructed) {
+    SceneBuilder scene = simple_roof_scene();
+    // Cover the whole roof with a giant box.
+    scene.add_box({4.0, 4.0, 12.0, 8.0, 2.0, HeightRef::Surface});
+    const Raster dsm = scene.rasterize(0.2);
+    EXPECT_THROW(extract_placement_area(dsm, scene, 0, {}), Infeasible);
+}
+
+TEST(SuitableArea, RejectsBadArguments) {
+    SceneBuilder scene = simple_roof_scene();
+    const Raster dsm = scene.rasterize(0.2);
+    EXPECT_THROW(extract_placement_area(dsm, scene, 5, {}), InvalidArgument);
+    SuitableAreaOptions bad;
+    bad.clearance = -1.0;
+    EXPECT_THROW(extract_placement_area(dsm, scene, 0, bad), InvalidArgument);
+}
+
+TEST(DilateInvalid, DiscGrowth) {
+    Grid2D<unsigned char> v(9, 9, 1);
+    v(4, 4) = 0;
+    const auto d1 = dilate_invalid(v, 1.0);
+    EXPECT_EQ(d1(4, 3), 0);
+    EXPECT_EQ(d1(3, 4), 0);
+    EXPECT_EQ(d1(3, 3), 1);  // sqrt(2) > 1: diagonal survives
+    const auto d15 = dilate_invalid(v, 1.5);
+    EXPECT_EQ(d15(3, 3), 0);  // sqrt(2) <= 1.5
+    EXPECT_EQ(d15(2, 4), 1);  // distance 2 > 1.5
+    // Radius zero is the identity.
+    EXPECT_EQ(dilate_invalid(v, 0.0), v);
+    EXPECT_THROW(dilate_invalid(v, -0.5), InvalidArgument);
+}
+
+TEST(LargestComponent, KeepsOnlyTheBiggest) {
+    Grid2D<unsigned char> v(10, 3, 0);
+    // Component A: 4 cells; component B: 6 cells, separated by a gap.
+    for (int x = 0; x < 4; ++x) v(x, 0) = 1;
+    for (int x = 0; x < 6; ++x) v(x + 4, 2) = 1;
+    const auto keep = largest_component(v);
+    int count = 0;
+    for (const auto c : keep.data())
+        if (c) ++count;
+    EXPECT_EQ(count, 6);
+    EXPECT_EQ(keep(0, 0), 0);
+    EXPECT_EQ(keep(5, 2), 1);
+}
+
+TEST(LargestComponent, DiagonalIsNotConnected) {
+    Grid2D<unsigned char> v(2, 2, 0);
+    v(0, 0) = 1;
+    v(1, 1) = 1;
+    const auto keep = largest_component(v);
+    int count = 0;
+    for (const auto c : keep.data())
+        if (c) ++count;
+    EXPECT_EQ(count, 1);  // 4-connectivity: two separate components
+}
+
+TEST(LargestComponent, AllInvalidYieldsEmpty) {
+    Grid2D<unsigned char> v(3, 3, 0);
+    const auto keep = largest_component(v);
+    for (const auto c : keep.data()) EXPECT_EQ(c, 0);
+}
+
+}  // namespace
+}  // namespace pvfp::geo

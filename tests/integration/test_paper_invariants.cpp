@@ -1,0 +1,176 @@
+/// End-to-end invariants mirroring DESIGN.md Section 7 ("success criteria
+/// for reproduction") on fast coarse configurations, plus cross-substrate
+/// consistency checks (weather round-trip through the full pipeline,
+/// greedy vs random baselines).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "../test_helpers.hpp"
+#include "pvfp/core/pipeline.hpp"
+#include "pvfp/util/rng.hpp"
+#include "pvfp/weather/station_csv.hpp"
+
+namespace pvfp::core {
+namespace {
+
+TEST(PaperInvariants, GreedyBeatsRandomPlacements) {
+    const auto& p = pvfp::testing::coarse_toy_scenario();
+    const pv::Topology topo{2, 2};
+    const auto greedy = place_greedy(p.area, p.suitability.suitability,
+                                     p.geometry, topo);
+    const auto greedy_eval =
+        evaluate_floorplan(greedy, p.area, p.field, p.model);
+
+    // Random feasible placements, rejection-sampled.
+    const auto anchors = enumerate_anchors(p.area, p.geometry);
+    Rng rng(123);
+    int beaten = 0;
+    int trials = 0;
+    for (int t = 0; t < 12; ++t) {
+        Floorplan plan;
+        plan.geometry = p.geometry;
+        plan.topology = topo;
+        int guard = 0;
+        while (plan.module_count() < topo.total() && guard < 10000) {
+            ++guard;
+            const auto& cand = anchors[static_cast<std::size_t>(
+                rng.uniform_int(anchors.size()))];
+            bool ok = true;
+            for (const auto& m : plan.modules)
+                if (modules_overlap(cand, m, p.geometry)) ok = false;
+            if (ok) plan.modules.push_back(cand);
+        }
+        if (plan.module_count() != topo.total()) continue;
+        ++trials;
+        const auto eval = evaluate_floorplan(plan, p.area, p.field, p.model);
+        if (greedy_eval.energy_kwh >= eval.energy_kwh) ++beaten;
+    }
+    ASSERT_GT(trials, 8);
+    // The suitability-driven placement beats the large majority of
+    // random feasible placements.
+    EXPECT_GE(beaten, trials - 1);
+}
+
+TEST(PaperInvariants, WiringOverheadIsMarginal) {
+    // Paper Section V-C: "both power and cost overheads are not an
+    // issue" — wiring loss well below 1% of extracted energy.
+    const auto& p = pvfp::testing::coarse_toy_scenario();
+    const auto cmp = compare_placements(p, pv::Topology{2, 2});
+    EXPECT_LT(cmp.proposed_eval.wiring_loss_kwh,
+              0.01 * cmp.proposed_eval.energy_kwh);
+}
+
+TEST(PaperInvariants, MismatchPlusNetEqualsIdealMinusWiring) {
+    const auto& p = pvfp::testing::coarse_toy_scenario();
+    const auto cmp = compare_placements(p, pv::Topology{2, 2});
+    const auto& e = cmp.proposed_eval;
+    EXPECT_NEAR(e.energy_kwh + e.mismatch_loss_kwh + e.wiring_loss_kwh,
+                e.ideal_energy_kwh, 1e-6);
+}
+
+TEST(PaperInvariants, ShadedRoofYieldsLessThanUnshadedBound) {
+    const auto& p = pvfp::testing::coarse_toy_scenario();
+    const auto cmp = compare_placements(p, pv::Topology{2, 2});
+    // Upper bound: every module at the unshaded plane irradiance with
+    // per-module MPPT and no losses.
+    double bound_kwh = 0.0;
+    const double k = p.field.config().thermal_k;
+    for (long s = 0; s < p.field.steps(); ++s) {
+        if (!p.field.is_daylight(s)) continue;
+        const double g = p.field.plane_irradiance_unshaded(s);
+        const double t = p.field.air_temperature(s) + k * g;
+        bound_kwh += 4.0 * p.model.power(g, t) *
+                     p.field.time_grid().step_hours() / 1000.0;
+    }
+    EXPECT_LE(cmp.proposed_eval.energy_kwh, bound_kwh * 1.0001);
+    EXPECT_GT(cmp.proposed_eval.energy_kwh, 0.5 * bound_kwh);
+}
+
+TEST(PaperInvariants, WeatherCsvRoundTripPreservesEnergy) {
+    // Export the synthetic weather, re-import it, rebuild the field, and
+    // check the evaluated energy matches to CSV precision — validating
+    // the real-data ingestion path end to end.
+    const solar::Location torino{45.07, 7.69, 1.0};
+    const TimeGrid grid(60, 100, 20);
+    weather::SyntheticWeatherOptions wopt;
+    wopt.seed = 31;
+    const auto env = weather::generate_synthetic_weather(torino, grid, wopt);
+
+    const std::string path = ::testing::TempDir() + "/pvfp_roundtrip.csv";
+    weather::write_station_csv(path, env, grid);
+    const auto back = weather::read_station_csv(path, grid);
+    std::remove(path.c_str());
+
+    geo::Raster dsm(12, 6, 0.2, 5.0);
+    const auto build_field = [&](std::vector<solar::EnvSample> e) {
+        geo::HorizonOptions hopt;
+        hopt.azimuth_sectors = 16;
+        geo::HorizonMap horizon(dsm, 0, 0, 12, 6, hopt);
+        return solar::IrradianceField(std::move(horizon), std::move(e),
+                                      grid, deg2rad(26.0), deg2rad(180.0));
+    };
+    const auto field_a = build_field(env);
+    const auto field_b = build_field(back);
+
+    const auto area = pvfp::testing::flat_area(12, 6);
+    Floorplan plan;
+    plan.geometry = {4, 2};
+    plan.topology = {2, 1};
+    plan.modules = {{0, 0}, {4, 0}};
+    const pv::EmpiricalModuleModel model;
+    const auto ea = evaluate_floorplan(plan, area, field_a, model);
+    const auto eb = evaluate_floorplan(plan, area, field_b, model);
+    EXPECT_NEAR(ea.energy_kwh, eb.energy_kwh, 0.05);
+}
+
+TEST(PaperInvariants, SeedChangesWeatherButNotFeasibility) {
+    core::ScenarioConfig config;
+    config.grid = TimeGrid(120, 1, 37);
+    config.horizon.azimuth_sectors = 24;
+    config.weather.seed = 1;
+    const auto a = prepare_scenario(make_toy(), config);
+    config.weather.seed = 2;
+    const auto b = prepare_scenario(make_toy(), config);
+    // Same geometry...
+    EXPECT_EQ(a.area.valid_count, b.area.valid_count);
+    // ...different skies...
+    EXPECT_NE(a.suitability.g_percentile(2, 2),
+              b.suitability.g_percentile(2, 2));
+    // ...both place fine.
+    const auto ca = compare_placements(a, pv::Topology{2, 2});
+    const auto cb = compare_placements(b, pv::Topology{2, 2});
+    EXPECT_GT(ca.proposed_eval.energy_kwh, 0.0);
+    EXPECT_GT(cb.proposed_eval.energy_kwh, 0.0);
+}
+
+/// Parameterized sweep: every paper roof prepares and hosts both paper
+/// module counts on a coarse grid (fast smoke of the full campaign).
+class PaperRoofSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperRoofSweep, PreparesAndPlaces) {
+    const int roof_idx = GetParam();
+    core::ScenarioConfig config;
+    config.grid = TimeGrid(120, 1, 31);  // fast: 31 days, 2 h steps
+    config.horizon.azimuth_sectors = 24;
+    config.suitability.step_stride = 2;
+    auto roofs = make_paper_roofs();
+    const auto prepared = prepare_scenario(
+        roofs[static_cast<std::size_t>(roof_idx)], config);
+    for (const int n : {16, 32}) {
+        const auto cmp =
+            compare_placements(prepared, pv::Topology{8, n / 8});
+        EXPECT_EQ(cmp.proposed.module_count(), n);
+        std::string why;
+        EXPECT_TRUE(floorplan_feasible(cmp.proposed, prepared.area, &why))
+            << why;
+        EXPECT_GT(cmp.proposed_eval.energy_kwh, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRoofs, PaperRoofSweep,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace pvfp::core

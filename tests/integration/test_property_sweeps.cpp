@@ -1,0 +1,163 @@
+/// Cross-module property sweeps (TEST_P): physics invariants of the
+/// solar chain over broad parameter grids, wiring-model geometry
+/// properties, and placer invariants on randomized masked areas.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_helpers.hpp"
+#include "pvfp/core/compact_placer.hpp"
+#include "pvfp/core/greedy_placer.hpp"
+#include "pvfp/pv/wiring.hpp"
+#include "pvfp/solar/clearsky.hpp"
+#include "pvfp/solar/decomposition.hpp"
+#include "pvfp/solar/transposition.hpp"
+#include "pvfp/util/rng.hpp"
+
+namespace pvfp {
+namespace {
+
+// ------------------------------------------------ solar chain sweep --
+
+struct SolarCase {
+    int doy;
+    double elevation_deg;
+    double linke;
+};
+
+class SolarChain : public ::testing::TestWithParam<SolarCase> {};
+
+TEST_P(SolarChain, ClearSkyDecomposeTransposeInvariants) {
+    const auto [doy, el_deg, linke] = GetParam();
+    const double el = deg2rad(el_deg);
+
+    // Clear sky is physical.
+    const auto cs = solar::esra_clear_sky(el, doy, linke);
+    EXPECT_GE(cs.dni, 0.0);
+    EXPECT_GE(cs.dhi, 0.0);
+    EXPECT_LT(cs.dni, solar::extraterrestrial_normal_irradiance(doy));
+    EXPECT_NEAR(cs.ghi, cs.dni * std::sin(el) + cs.dhi, 1e-9);
+
+    // Decomposing the clear-sky GHI approximately recovers a beam-heavy
+    // split (closure always exact).
+    const auto d = solar::decompose_erbs(cs.ghi, el, doy);
+    EXPECT_NEAR(d.dni * std::sin(el) + d.dhi, cs.ghi, 1e-9);
+
+    // Transposing onto a south 26-deg plane conserves non-negativity and
+    // the horizontal identity at tilt 0.
+    const solar::SunPosition sun{deg2rad(180.0), el};
+    for (const auto model :
+         {solar::SkyModel::Isotropic, solar::SkyModel::HayDavies}) {
+        const auto flat = solar::transpose(model, cs.dni, cs.dhi, cs.ghi,
+                                           sun, 0.0, 0.0, 0.2, doy);
+        EXPECT_NEAR(flat.beam + flat.sky_diffuse, cs.ghi, 1e-6);
+        const auto tilted =
+            solar::transpose(model, cs.dni, cs.dhi, cs.ghi, sun,
+                             deg2rad(26.0), deg2rad(180.0), 0.2, doy);
+        EXPECT_GE(tilted.beam, 0.0);
+        EXPECT_GE(tilted.sky_diffuse, 0.0);
+        EXPECT_GE(tilted.ground_reflected, 0.0);
+        // South tilt increases beam capture whenever the sun is south and
+        // below the complement of the tilt.
+        if (el_deg < 64.0) EXPECT_GT(tilted.beam, flat.beam * 0.999);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SolarChain,
+    ::testing::Values(SolarCase{15, 15.0, 2.5}, SolarCase{15, 30.0, 3.5},
+                      SolarCase{80, 25.0, 3.0}, SolarCase{80, 45.0, 4.5},
+                      SolarCase{172, 20.0, 2.0}, SolarCase{172, 60.0, 3.9},
+                      SolarCase{265, 40.0, 5.0}, SolarCase{355, 12.0, 2.6},
+                      SolarCase{355, 21.0, 7.0}));
+
+// ------------------------------------------------- wiring properties --
+
+class WiringProps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WiringProps, TranslationInvariantAndMonotoneUnderStretch) {
+    Rng rng(GetParam());
+    const pv::WiringSpec spec;
+    std::vector<pv::ModulePosition> string_modules;
+    for (int i = 0; i < 6; ++i)
+        string_modules.push_back(
+            {rng.uniform(0.0, 30.0), rng.uniform(0.0, 10.0)});
+
+    const double base = pv::string_extra_length(string_modules, spec);
+    EXPECT_GE(base, 0.0);
+
+    // Translation invariance.
+    auto shifted = string_modules;
+    for (auto& m : shifted) {
+        m.x_m += 13.7;
+        m.y_m -= 4.2;
+    }
+    EXPECT_NEAR(pv::string_extra_length(shifted, spec), base, 1e-9);
+
+    // Uniform stretch about the first module never shortens the cable.
+    auto stretched = string_modules;
+    for (auto& m : stretched) {
+        m.x_m = string_modules[0].x_m + 1.5 * (m.x_m - string_modules[0].x_m);
+        m.y_m = string_modules[0].y_m + 1.5 * (m.y_m - string_modules[0].y_m);
+    }
+    EXPECT_GE(pv::string_extra_length(stretched, spec) + 1e-9, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WiringProps,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ------------------------------------------- placer invariant sweep --
+
+class PlacerOnRandomMasks : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PlacerOnRandomMasks, GreedyAndCompactInvariants) {
+    Rng rng(GetParam());
+    // Random mask: start fully valid, knock out random blobs (~25%).
+    Grid2D<unsigned char> mask(36, 14, 1);
+    for (int blob = 0; blob < 6; ++blob) {
+        const int cx = static_cast<int>(rng.uniform_int(36));
+        const int cy = static_cast<int>(rng.uniform_int(14));
+        const int r = 1 + static_cast<int>(rng.uniform_int(3));
+        for (int y = std::max(0, cy - r); y < std::min(14, cy + r); ++y)
+            for (int x = std::max(0, cx - r); x < std::min(36, cx + r); ++x)
+                mask(x, y) = 0;
+    }
+    const auto area = pvfp::testing::masked_area(mask);
+    Grid2D<double> s(36, 14);
+    for (auto& v : s.data()) v = rng.uniform(50.0, 500.0);
+
+    const core::PanelGeometry g{4, 2};
+    const pv::Topology topo{2, 2};
+    const auto anchors = core::enumerate_anchors(area, g);
+    if (static_cast<int>(anchors.size()) < topo.total()) GTEST_SKIP();
+
+    try {
+        const auto greedy = core::place_greedy(area, s, g, topo);
+        std::string why;
+        EXPECT_TRUE(core::floorplan_feasible(greedy, area, &why)) << why;
+        EXPECT_EQ(greedy.module_count(), 4);
+        // Determinism.
+        const auto again = core::place_greedy(area, s, g, topo);
+        EXPECT_EQ(greedy.modules, again.modules);
+    } catch (const Infeasible&) {
+        // Anchor count can exceed N while no non-overlapping combination
+        // exists; acceptable outcome for adversarial masks.
+    }
+
+    try {
+        const auto compact = core::place_compact(area, s, g, topo);
+        std::string why;
+        EXPECT_TRUE(core::floorplan_feasible(compact.plan, area, &why))
+            << why;
+    } catch (const Infeasible&) {
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacerOnRandomMasks,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88,
+                                           99, 111));
+
+}  // namespace
+}  // namespace pvfp

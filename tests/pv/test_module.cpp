@@ -1,0 +1,139 @@
+/// Tests for the empirical module model: STC reference point (the paper's
+/// datasheet anchor), derating trends, and the Tact coupling.
+
+#include <gtest/gtest.h>
+
+#include "pvfp/pv/module.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::pv {
+namespace {
+
+TEST(EmpiricalModule, ReproducesStcDatasheetPoint) {
+    const EmpiricalModuleModel model;
+    // G = 1000 W/m^2, Tact = 25 C: exactly 165 W (corrected power
+    // coefficients hit the datasheet point); the voltage equation as
+    // printed gives 24 * 0.995 = 23.88 V, 0.5% under the Vmp_ref anchor.
+    EXPECT_NEAR(model.power(1000.0, 25.0), 165.0, 1e-9);
+    EXPECT_NEAR(model.voltage(1000.0, 25.0), 23.88, 1e-9);
+    EXPECT_NEAR(model.current(1000.0, 25.0), 165.0 / 23.88, 1e-9);
+    EXPECT_NEAR(model.area_m2(), 1.28, 1e-12);
+}
+
+TEST(EmpiricalModule, PowerLinearInIrradiance) {
+    const EmpiricalModuleModel model;
+    const double p500 = model.power(500.0, 25.0);
+    const double p1000 = model.power(1000.0, 25.0);
+    EXPECT_NEAR(p1000 / p500, 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(model.power(0.0, 25.0), 0.0);
+}
+
+TEST(EmpiricalModule, PowerTemperatureCoefficientMatchesDatasheet) {
+    const EmpiricalModuleModel model;
+    const double p25 = model.power(1000.0, 25.0);
+    const double p35 = model.power(1000.0, 35.0);
+    // -0.48 %/K relative to the STC value.
+    EXPECT_NEAR((p35 - p25) / p25 / 10.0, -0.0048, 1e-6);
+}
+
+TEST(EmpiricalModule, VoltageWeaklyDependentOnIrradiance) {
+    // Paper: "the maximum power voltage of the module is roughly
+    // independent of the irradiance" — the G-term swings ~3% over
+    // [200, 1000] W/m^2.
+    const EmpiricalModuleModel model;
+    const double v200 = model.voltage(200.0, 25.0);
+    const double v1000 = model.voltage(1000.0, 25.0);
+    EXPECT_LT(std::abs(v1000 - v200) / v1000, 0.12);
+    EXPECT_GT(v1000, v200);  // slightly increasing
+}
+
+TEST(EmpiricalModule, FivefoldPowerSwingOverPaperRange) {
+    // Paper Section III-C: over G in [200, 1000] W/m^2 power changes ~5x.
+    const EmpiricalModuleModel model;
+    const double ratio =
+        model.power(1000.0, 25.0) / model.power(200.0, 25.0);
+    EXPECT_NEAR(ratio, 5.0, 0.01);
+}
+
+TEST(EmpiricalModule, TemperatureSwingWithinTwentyPercent) {
+    // Paper: "typical T ranges only change power by ±20% at most".
+    const EmpiricalModuleModel model;
+    const double p25 = model.power(800.0, 25.0);
+    const double p65 = model.power(800.0, 65.0);  // hot summer module
+    const double p0 = model.power(800.0, 0.0);    // cold winter module
+    EXPECT_GT(p65 / p25, 0.78);
+    EXPECT_LT(p0 / p25, 1.15);
+}
+
+TEST(EmpiricalModule, ClampsInsteadOfGoingNegative) {
+    const EmpiricalModuleModel model;
+    // Absurdly hot: derating would go negative; the model clamps at 0.
+    EXPECT_DOUBLE_EQ(model.power(1000.0, 300.0), 0.0);
+    EXPECT_DOUBLE_EQ(model.voltage(1000.0, 400.0), 0.0);
+    EXPECT_DOUBLE_EQ(model.current(1000.0, 400.0), 0.0);
+    // No-irradiance voltage is defined as 0 (no operating point).
+    EXPECT_DOUBLE_EQ(model.voltage(0.0, 25.0), 0.0);
+}
+
+TEST(EmpiricalModule, OperatingPointConsistent) {
+    const EmpiricalModuleModel model;
+    const OperatingPoint op = model.operating_point(730.0, 41.0);
+    EXPECT_NEAR(op.power_w, op.voltage_v * op.current_a, 1e-9);
+    EXPECT_GT(op.power_w, 0.0);
+}
+
+TEST(EmpiricalModule, ActualTemperatureModel) {
+    // Tact = T + k*G with k = alpha/h_c (paper Sec III-B1).
+    EXPECT_DOUBLE_EQ(
+        EmpiricalModuleModel::actual_temperature(20.0, 900.0, 1.0 / 30.0),
+        50.0);
+    EXPECT_DOUBLE_EQ(EmpiricalModuleModel::actual_temperature(20.0, 0.0, 0.1),
+                     20.0);
+    EXPECT_THROW(
+        EmpiricalModuleModel::actual_temperature(20.0, -1.0, 0.03),
+        InvalidArgument);
+    EXPECT_THROW(
+        EmpiricalModuleModel::actual_temperature(20.0, 1.0, -0.03),
+        InvalidArgument);
+}
+
+TEST(EmpiricalModule, NegativeIrradianceRejected) {
+    const EmpiricalModuleModel model;
+    EXPECT_THROW(model.power(-1.0, 25.0), InvalidArgument);
+    EXPECT_THROW(model.voltage(-1.0, 25.0), InvalidArgument);
+}
+
+TEST(EmpiricalModule, SpecValidation) {
+    ModuleSpec bad;
+    bad.width_m = 0.0;
+    EXPECT_THROW(EmpiricalModuleModel{bad}, InvalidArgument);
+    ModuleSpec bad2;
+    bad2.cells_in_series = 0;
+    EXPECT_THROW(EmpiricalModuleModel{bad2}, InvalidArgument);
+}
+
+/// Monotonicity sweep: dP/dG > 0 and dP/dT < 0 everywhere sensible.
+class ModuleMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(ModuleMonotone, PowerMonotoneInGAndT) {
+    const EmpiricalModuleModel model;
+    const double t = GetParam();
+    double prev = model.power(0.0, t);
+    for (double g = 50.0; g <= 1200.0; g += 50.0) {
+        const double cur = model.power(g, t);
+        EXPECT_GT(cur, prev) << "g=" << g << " t=" << t;
+        prev = cur;
+    }
+    double prev_t = model.power(800.0, -10.0);
+    for (double tt = 0.0; tt <= 80.0; tt += 10.0) {
+        const double cur = model.power(800.0, tt);
+        EXPECT_LT(cur, prev_t) << "t=" << tt;
+        prev_t = cur;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, ModuleMonotone,
+                         ::testing::Values(-10.0, 0.0, 25.0, 50.0, 75.0));
+
+}  // namespace
+}  // namespace pvfp::pv

@@ -1,0 +1,166 @@
+/// Tests for the one-diode model: datasheet fit, I-V curve shape (paper
+/// Fig. 2a), scaling with G and T, and bypass-diode partial shading.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pvfp/pv/one_diode.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::pv {
+namespace {
+
+OneDiodeModel fitted() { return OneDiodeModel::fit_datasheet(ModuleSpec{}); }
+
+TEST(OneDiode, FitHitsDatasheetCorners) {
+    const ModuleSpec spec;
+    const OneDiodeModel model = fitted();
+    EXPECT_NEAR(model.short_circuit_current(1000.0, 25.0), spec.isc_ref_a,
+                0.05);
+    EXPECT_NEAR(model.open_circuit_voltage(1000.0, 25.0), spec.voc_ref_v,
+                0.25);
+    const OperatingPoint mpp = model.max_power_point(1000.0, 25.0);
+    EXPECT_NEAR(mpp.power_w, spec.p_max_ref_w, 1.0);
+    // Vmp in the plausible band around the datasheet's 24 V.
+    EXPECT_GT(mpp.voltage_v, 21.0);
+    EXPECT_LT(mpp.voltage_v, 27.0);
+}
+
+TEST(OneDiode, IvCurveMonotoneDecreasing) {
+    const OneDiodeModel model = fitted();
+    const auto curve = model.iv_curve(800.0, 40.0, 60);
+    ASSERT_EQ(curve.size(), 60u);
+    for (std::size_t k = 1; k < curve.size(); ++k) {
+        EXPECT_LT(curve[k].i, curve[k - 1].i + 1e-9);
+        EXPECT_GT(curve[k].v, curve[k - 1].v);
+    }
+    // Endpoints: Isc at V=0, ~0 A at Voc.
+    EXPECT_NEAR(curve.front().i,
+                model.short_circuit_current(800.0, 40.0), 1e-6);
+    EXPECT_NEAR(curve.back().i, 0.0, 0.02);
+}
+
+TEST(OneDiode, Fig2aIrradianceTrends) {
+    // Paper Fig. 2(a) dotted line: G up => Isc proportional, Voc grows
+    // logarithmically (slowly).
+    const OneDiodeModel model = fitted();
+    const double isc_half = model.short_circuit_current(500.0, 25.0);
+    const double isc_full = model.short_circuit_current(1000.0, 25.0);
+    EXPECT_NEAR(isc_full / isc_half, 2.0, 0.02);
+    const double voc_half = model.open_circuit_voltage(500.0, 25.0);
+    const double voc_full = model.open_circuit_voltage(1000.0, 25.0);
+    EXPECT_GT(voc_full, voc_half);
+    EXPECT_LT(voc_full - voc_half, 2.0);  // log growth: < 2 V per doubling
+}
+
+TEST(OneDiode, Fig2aTemperatureTrends) {
+    // Paper Fig. 2(a) solid line: T up => Isc slightly up, Voc down.
+    const OneDiodeModel model = fitted();
+    const double isc_cold = model.short_circuit_current(1000.0, 10.0);
+    const double isc_hot = model.short_circuit_current(1000.0, 60.0);
+    EXPECT_GT(isc_hot, isc_cold);
+    EXPECT_LT((isc_hot - isc_cold) / isc_cold, 0.05);
+    const double voc_cold = model.open_circuit_voltage(1000.0, 10.0);
+    const double voc_hot = model.open_circuit_voltage(1000.0, 60.0);
+    EXPECT_LT(voc_hot, voc_cold);
+    // Physical band: -1.5..-3.8 mV/K per cell * 50 cells * 50 K.
+    EXPECT_GT(voc_cold - voc_hot, 4.0);
+    EXPECT_LT(voc_cold - voc_hot, 9.5);
+}
+
+TEST(OneDiode, MppPowerDropsWithTemperature) {
+    const OneDiodeModel model = fitted();
+    const double p25 = model.max_power_point(1000.0, 25.0).power_w;
+    const double p60 = model.max_power_point(1000.0, 60.0).power_w;
+    EXPECT_LT(p60, p25);
+    // Temperature coefficient in the physical band [-0.75, -0.20] %/K
+    // (the plain 5-parameter model runs a touch steeper than datasheets).
+    const double coeff = (p60 - p25) / p25 / 35.0;
+    EXPECT_GT(coeff, -0.0075);
+    EXPECT_LT(coeff, -0.0020);
+}
+
+TEST(OneDiode, VoltageAtInvertsCurrentAt) {
+    const OneDiodeModel model = fitted();
+    for (double v : {5.0, 15.0, 22.0, 26.0}) {
+        const double i = model.current_at(v, 900.0, 30.0);
+        const double v_back = model.voltage_at(i, 900.0, 30.0);
+        EXPECT_NEAR(v_back, v, 1e-4) << "v=" << v;
+    }
+    // Demanding more than Isc returns the floor voltage.
+    const double isc = model.short_circuit_current(900.0, 30.0);
+    EXPECT_LE(model.voltage_at(isc * 1.2, 900.0, 30.0), -0.99);
+}
+
+TEST(OneDiode, DarkModuleProducesNothing) {
+    const OneDiodeModel model = fitted();
+    EXPECT_DOUBLE_EQ(model.open_circuit_voltage(0.0, 25.0), 0.0);
+    const OperatingPoint mpp = model.max_power_point(0.0, 25.0);
+    EXPECT_DOUBLE_EQ(mpp.power_w, 0.0);
+}
+
+TEST(OneDiode, ParameterValidation) {
+    OneDiodeParams bad;
+    bad.ideality = 3.0;
+    EXPECT_THROW(OneDiodeModel{bad}, InvalidArgument);
+    OneDiodeParams bad2;
+    bad2.rsh_ohm = 0.0;
+    EXPECT_THROW(OneDiodeModel{bad2}, InvalidArgument);
+    OneDiodeParams bad3;
+    bad3.cells_in_series = 0;
+    EXPECT_THROW(OneDiodeModel{bad3}, InvalidArgument);
+    const OneDiodeModel model = fitted();
+    EXPECT_THROW(model.current_at(1.0, -5.0, 25.0), InvalidArgument);
+}
+
+TEST(BypassedModule, UniformIrradianceMatchesPlainModel) {
+    const OneDiodeModel model = fitted();
+    const BypassedModule bypassed(model, 2);
+    const std::vector<double> uniform{800.0, 800.0};
+    const OperatingPoint mpp_b = bypassed.max_power_point(uniform, 30.0);
+    const OperatingPoint mpp_p = model.max_power_point(800.0, 30.0);
+    EXPECT_NEAR(mpp_b.power_w, mpp_p.power_w, 0.03 * mpp_p.power_w);
+}
+
+TEST(BypassedModule, PartialShadingActivatesBypass) {
+    const OneDiodeModel model = fitted();
+    const BypassedModule bypassed(model, 2);
+    // One substring at 20%: without bypass the whole module would be
+    // dragged to ~20%; with bypass it keeps > 40% of full power.
+    const OperatingPoint full =
+        bypassed.max_power_point({1000.0, 1000.0}, 25.0);
+    const OperatingPoint shaded =
+        bypassed.max_power_point({1000.0, 200.0}, 25.0);
+    EXPECT_LT(shaded.power_w, full.power_w);
+    EXPECT_GT(shaded.power_w, 0.40 * full.power_w);
+}
+
+TEST(BypassedModule, VoltageClampedByBypassDiode) {
+    const OneDiodeModel model = fitted();
+    const BypassedModule bypassed(model, 2, 0.5);
+    // Force a current the dark substring cannot carry: its voltage clamps
+    // at -0.5 V instead of going strongly negative.
+    // Half-module substring: half the cells and half the lumped Rs/Rsh.
+    const double v = bypassed.voltage_at(3.0, {1000.0, 0.0}, 25.0);
+    const double v_lit =
+        OneDiodeModel(OneDiodeParams{
+            model.params().iph_ref_a, model.params().i0_ref_a,
+            model.params().ideality, model.params().rs_ohm / 2.0,
+            model.params().rsh_ohm / 2.0,
+            model.params().cells_in_series / 2,
+            model.params().isc_temp_coeff, model.params().bandgap_ev})
+            .voltage_at(3.0, 1000.0, 25.0);
+    EXPECT_NEAR(v, v_lit - 0.5, 0.05);
+}
+
+TEST(BypassedModule, Validation) {
+    const OneDiodeModel model = fitted();
+    EXPECT_THROW(BypassedModule(model, 0), InvalidArgument);
+    EXPECT_THROW(BypassedModule(model, 3), InvalidArgument);  // 50 % 3 != 0
+    const BypassedModule ok(model, 2);
+    EXPECT_THROW(ok.max_power_point({1000.0}, 25.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pvfp::pv

@@ -1,0 +1,144 @@
+/// Tests for the ESRA clear-sky model: air mass, Rayleigh thickness,
+/// magnitude sanity against published clear-sky values, and monotony in
+/// elevation/turbidity/altitude.
+
+#include <gtest/gtest.h>
+
+#include "pvfp/solar/clearsky.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::solar {
+namespace {
+
+TEST(AirMass, OneAtZenithAndGrowsTowardHorizon) {
+    EXPECT_NEAR(relative_air_mass(deg2rad(90.0)), 1.0, 0.01);
+    EXPECT_NEAR(relative_air_mass(deg2rad(30.0)), 2.0, 0.02);
+    EXPECT_NEAR(relative_air_mass(deg2rad(5.0)), 10.3, 0.5);
+    // Kasten-Young stays finite at the horizon.
+    const double at_horizon = relative_air_mass(0.0);
+    EXPECT_GT(at_horizon, 30.0);
+    EXPECT_LT(at_horizon, 45.0);
+}
+
+TEST(AirMass, AltitudeReducesPressureAndAirMass) {
+    const double sea = relative_air_mass(deg2rad(40.0), 0.0);
+    const double alpine = relative_air_mass(deg2rad(40.0), 2000.0);
+    EXPECT_LT(alpine, sea);
+    EXPECT_NEAR(alpine / sea, std::exp(-2000.0 / 8434.5), 1e-9);
+}
+
+TEST(Rayleigh, PiecewiseFitContinuousNearTwenty) {
+    const double below = rayleigh_optical_thickness(19.999);
+    const double above = rayleigh_optical_thickness(20.001);
+    EXPECT_NEAR(below, above, 0.002);
+    EXPECT_THROW(rayleigh_optical_thickness(0.0), InvalidArgument);
+}
+
+TEST(Rayleigh, DecreasesWithAirMass) {
+    double prev = rayleigh_optical_thickness(1.0);
+    for (double m = 2.0; m < 40.0; m += 1.0) {
+        const double cur = rayleigh_optical_thickness(m);
+        EXPECT_LT(cur, prev) << "m=" << m;
+        prev = cur;
+    }
+}
+
+TEST(Esra, NightIsZero) {
+    const ClearSky cs = esra_clear_sky(-0.05, 100, 3.0);
+    EXPECT_DOUBLE_EQ(cs.ghi, 0.0);
+    EXPECT_DOUBLE_EQ(cs.dni, 0.0);
+    EXPECT_DOUBLE_EQ(cs.dhi, 0.0);
+}
+
+TEST(Esra, MagnitudesMatchPublishedBallpark) {
+    // Clean summer atmosphere (TL=3), high sun (60 deg): DNI ~ 850+-80,
+    // GHI ~ 820+-80, diffuse ~ 15% of global — the standard ESRA numbers.
+    const ClearSky cs = esra_clear_sky(deg2rad(60.0), 172, 3.0);
+    EXPECT_NEAR(cs.dni, 850.0, 90.0);
+    EXPECT_NEAR(cs.ghi, 830.0, 90.0);
+    EXPECT_GT(cs.dhi, 60.0);
+    EXPECT_LT(cs.dhi, 180.0);
+    EXPECT_NEAR(cs.ghi, cs.dni * std::sin(deg2rad(60.0)) + cs.dhi, 1e-9);
+}
+
+TEST(Esra, GhiIncreasesWithElevation) {
+    double prev = 0.0;
+    for (double el = 2.0; el <= 90.0; el += 2.0) {
+        const ClearSky cs = esra_clear_sky(deg2rad(el), 172, 3.0);
+        EXPECT_GE(cs.ghi, prev) << "el=" << el;
+        prev = cs.ghi;
+    }
+}
+
+TEST(Esra, TurbidityReducesBeamAndRaisesDiffuse) {
+    const ClearSky clean = esra_clear_sky(deg2rad(45.0), 100, 2.0);
+    const ClearSky hazy = esra_clear_sky(deg2rad(45.0), 100, 6.0);
+    EXPECT_LT(hazy.dni, clean.dni);
+    EXPECT_GT(hazy.dhi, clean.dhi);
+    // Total still drops with haze.
+    EXPECT_LT(hazy.ghi, clean.ghi);
+    EXPECT_THROW(esra_clear_sky(deg2rad(45.0), 100, 0.0), InvalidArgument);
+}
+
+TEST(Esra, BeamBelowExtraterrestrial) {
+    for (double el = 5.0; el <= 90.0; el += 5.0) {
+        for (double tl : {2.0, 3.5, 5.0, 7.0}) {
+            const ClearSky cs = esra_clear_sky(deg2rad(el), 172, tl);
+            EXPECT_LT(cs.dni, extraterrestrial_normal_irradiance(172));
+            EXPECT_GE(cs.dni, 0.0);
+            EXPECT_GE(cs.dhi, 0.0);
+        }
+    }
+}
+
+TEST(Esra, AltitudeIncreasesBeam) {
+    const ClearSky sea = esra_clear_sky(deg2rad(40.0), 200, 3.0, 0.0);
+    const ClearSky mountain = esra_clear_sky(deg2rad(40.0), 200, 3.0, 2500.0);
+    EXPECT_GT(mountain.dni, sea.dni);
+}
+
+TEST(Esra, YearlyClearSkyGhiTorinoBallpark) {
+    // Integrate clear-sky GHI over a year at 45N: literature gives
+    // ~1700-1900 kWh/m^2 for TL ~ 3 — a coarse but strong sanity check.
+    const Location torino{45.07, 7.69, 1.0};
+    const LinkeTurbidity turbidity = LinkeTurbidity::torino_profile();
+    double kwh = 0.0;
+    for (int doy = 1; doy <= 365; ++doy) {
+        for (double h = 0.25; h < 24.0; h += 0.5) {
+            const auto sun = sun_position(torino, doy, h);
+            if (sun.elevation_rad <= 0.0) continue;
+            kwh += esra_clear_sky(sun.elevation_rad, doy,
+                                  turbidity.at_day(doy), 240.0)
+                       .ghi *
+                   0.5 / 1000.0;
+        }
+    }
+    EXPECT_GT(kwh, 1500.0);
+    EXPECT_LT(kwh, 2000.0);
+}
+
+TEST(LinkeProfile, InterpolatesSmoothlyAndWraps) {
+    const LinkeTurbidity lt = LinkeTurbidity::torino_profile();
+    double prev = lt.at_day(1);
+    double max_step = 0.0;
+    for (int doy = 2; doy <= 365; ++doy) {
+        const double cur = lt.at_day(doy);
+        max_step = std::max(max_step, std::abs(cur - prev));
+        prev = cur;
+    }
+    // Daily interpolation steps are small (no monthly jumps).
+    EXPECT_LT(max_step, 0.05);
+    // December 31 is close to January 1 (wrap-around continuity).
+    EXPECT_NEAR(lt.at_day(365), lt.at_day(1), 0.1);
+    EXPECT_THROW(lt.at_day(0), InvalidArgument);
+    EXPECT_THROW(LinkeTurbidity({0.0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}),
+                 InvalidArgument);
+}
+
+TEST(LinkeProfile, SummerHazierThanWinterInTorino) {
+    const LinkeTurbidity lt = LinkeTurbidity::torino_profile();
+    EXPECT_GT(lt.at_day(190), lt.at_day(15));
+}
+
+}  // namespace
+}  // namespace pvfp::solar

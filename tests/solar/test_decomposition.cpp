@@ -1,0 +1,149 @@
+/// Tests for GHI decomposition: Erbs correlation properties, Engerer2
+/// bounds/behaviour, and closure (GHI = DNI*sin(el) + DHI) of both paths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pvfp/solar/clearsky.hpp"
+#include "pvfp/solar/decomposition.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::solar {
+namespace {
+
+TEST(ClearnessIndex, DefinitionAndClamping) {
+    const int doy = 172;
+    const double el = deg2rad(60.0);
+    const double top =
+        extraterrestrial_normal_irradiance(doy) * std::sin(el);
+    EXPECT_NEAR(clearness_index(0.5 * top, el, doy), 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(clearness_index(10.0 * top, el, doy), 1.25);  // clamp
+    EXPECT_DOUBLE_EQ(clearness_index(500.0, -0.1, doy), 0.0);       // night
+    EXPECT_THROW(clearness_index(-1.0, el, doy), InvalidArgument);
+}
+
+TEST(Erbs, PiecewiseValuesAndContinuity) {
+    // Overcast: nearly all diffuse.
+    EXPECT_NEAR(erbs_diffuse_fraction(0.0), 1.0, 1e-12);
+    EXPECT_NEAR(erbs_diffuse_fraction(0.1), 0.991, 1e-3);
+    // Clear: the flat 0.165 branch.
+    EXPECT_DOUBLE_EQ(erbs_diffuse_fraction(0.9), 0.165);
+    // Continuity at the 0.22 junction.
+    EXPECT_NEAR(erbs_diffuse_fraction(0.22 - 1e-9),
+                erbs_diffuse_fraction(0.22 + 1e-9), 5e-3);
+    EXPECT_THROW(erbs_diffuse_fraction(-0.1), InvalidArgument);
+}
+
+TEST(Erbs, FractionWithinUnitInterval) {
+    for (double kt = 0.0; kt <= 1.25; kt += 0.01) {
+        const double f = erbs_diffuse_fraction(kt);
+        EXPECT_GE(f, 0.0) << kt;
+        EXPECT_LE(f, 1.0) << kt;
+    }
+}
+
+TEST(Erbs, BroadlyDecreasingFromOvercastToClear) {
+    // Not strictly monotone near the polynomial's tail, but the coarse
+    // trend must hold: clearer sky => smaller diffuse fraction.
+    EXPECT_GT(erbs_diffuse_fraction(0.1), erbs_diffuse_fraction(0.5));
+    EXPECT_GT(erbs_diffuse_fraction(0.5), erbs_diffuse_fraction(0.85));
+}
+
+TEST(DecomposeErbs, ClosureHolds) {
+    const int doy = 100;
+    for (double el_deg : {5.0, 20.0, 45.0, 70.0}) {
+        for (double ghi : {50.0, 200.0, 500.0, 900.0}) {
+            const double el = deg2rad(el_deg);
+            const auto d = decompose_erbs(ghi, el, doy);
+            EXPECT_NEAR(d.dni * std::sin(el) + d.dhi, ghi, 1e-9)
+                << "el=" << el_deg << " ghi=" << ghi;
+            EXPECT_GE(d.dni, 0.0);
+            EXPECT_GE(d.dhi, 0.0);
+        }
+    }
+}
+
+TEST(DecomposeErbs, NightAndZeroGhi) {
+    const auto night = decompose_erbs(100.0, -0.1, 50);
+    EXPECT_DOUBLE_EQ(night.dni, 0.0);
+    EXPECT_DOUBLE_EQ(night.dhi, 0.0);
+    const auto zero = decompose_erbs(0.0, deg2rad(30.0), 50);
+    EXPECT_DOUBLE_EQ(zero.dni, 0.0);
+    EXPECT_DOUBLE_EQ(zero.dhi, 0.0);
+}
+
+TEST(DecomposeErbs, DniCappedByExtraterrestrial) {
+    const int doy = 1;
+    const double el = deg2rad(3.0);  // grazing sun, huge 1/sin(el)
+    const auto d = decompose_erbs(300.0, el, doy);
+    EXPECT_LE(d.dni, extraterrestrial_normal_irradiance(doy) + 1e-9);
+    // Closure still maintained after the cap.
+    EXPECT_NEAR(d.dni * std::sin(el) + d.dhi, 300.0, 1e-9);
+}
+
+TEST(Engerer2, FractionBounded) {
+    for (double kt = 0.0; kt <= 1.2; kt += 0.05) {
+        for (double zen_deg : {10.0, 45.0, 80.0}) {
+            const double f = engerer2_diffuse_fraction(
+                kt, deg2rad(zen_deg), 12.0, 0.0, 0.0);
+            EXPECT_GE(f, 0.0);
+            EXPECT_LE(f, 1.0);
+        }
+    }
+}
+
+TEST(Engerer2, CloudyVsClearSeparation) {
+    // kt = 0.2 (overcast) must give much more diffuse than kt = 0.8.
+    const double cloudy =
+        engerer2_diffuse_fraction(0.2, deg2rad(45.0), 12.0, 0.5, 0.0);
+    const double clear =
+        engerer2_diffuse_fraction(0.8, deg2rad(45.0), 12.0, 0.0, 0.0);
+    EXPECT_GT(cloudy, 0.8);
+    EXPECT_LT(clear, 0.3);
+}
+
+TEST(Engerer2, CloudEnhancementTermAddsDiffuse) {
+    const double base =
+        engerer2_diffuse_fraction(1.0, deg2rad(30.0), 12.0, -0.1, 0.0);
+    const double enhanced =
+        engerer2_diffuse_fraction(1.0, deg2rad(30.0), 12.0, -0.1, 0.2);
+    EXPECT_GT(enhanced, base);
+}
+
+TEST(DecomposeEngerer2, ClosureAndClearSkyConsistency) {
+    const Location torino{45.07, 7.69, 1.0};
+    const int doy = 172;
+    const double hour = 12.0;
+    const auto sun = sun_position(torino, doy, hour);
+    const auto clear = esra_clear_sky(sun.elevation_rad, doy, 3.0);
+    // Measured == clear sky: mostly beam.
+    const auto d = decompose_engerer2(clear.ghi, clear.ghi,
+                                      sun.elevation_rad, doy,
+                                      solar_time_hours(torino, doy, hour));
+    EXPECT_NEAR(d.dni * std::sin(sun.elevation_rad) + d.dhi, clear.ghi, 1e-9);
+    EXPECT_LT(d.dhi / clear.ghi, 0.35);
+    // Heavy overcast: nearly all diffuse.
+    const auto o = decompose_engerer2(0.15 * clear.ghi, clear.ghi,
+                                      sun.elevation_rad, doy,
+                                      solar_time_hours(torino, doy, hour));
+    EXPECT_GT(o.dhi / (0.15 * clear.ghi), 0.8);
+}
+
+TEST(DecomposeEngerer2, DegradesGracefullyWithoutClearSky) {
+    const auto d = decompose_engerer2(400.0, 0.0, deg2rad(40.0), 150, 10.0);
+    EXPECT_GE(d.dni, 0.0);
+    EXPECT_GE(d.dhi, 0.0);
+    EXPECT_NEAR(d.dni * std::sin(deg2rad(40.0)) + d.dhi, 400.0, 1e-9);
+}
+
+TEST(Decompose, NegativeInputsRejected) {
+    EXPECT_THROW(decompose_erbs(-1.0, 0.5, 100), InvalidArgument);
+    EXPECT_THROW(decompose_engerer2(-1.0, 0.0, 0.5, 100, 12.0),
+                 InvalidArgument);
+    EXPECT_THROW(decompose_engerer2(100.0, -1.0, 0.5, 100, 12.0),
+                 InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pvfp::solar

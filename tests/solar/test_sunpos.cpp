@@ -1,0 +1,184 @@
+/// Tests for the solar ephemeris: declination extremes, equation of time,
+/// solar-noon geometry, cross-check of the two azimuth derivations, and
+/// day-length sanity across latitudes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pvfp/solar/sunpos.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::solar {
+namespace {
+
+constexpr int kSummerSolstice = 172;  // ~Jun 21
+constexpr int kWinterSolstice = 355;  // ~Dec 21
+constexpr int kSpringEquinox = 80;    // ~Mar 21
+
+TEST(Declination, ExtremesAtSolstices) {
+    EXPECT_NEAR(rad2deg(solar_declination(kSummerSolstice)), 23.44, 0.3);
+    EXPECT_NEAR(rad2deg(solar_declination(kWinterSolstice)), -23.44, 0.3);
+    EXPECT_NEAR(rad2deg(solar_declination(kSpringEquinox)), 0.0, 1.0);
+}
+
+TEST(Declination, BoundedEverywhere) {
+    for (int doy = 1; doy <= 365; ++doy) {
+        const double d = rad2deg(solar_declination(doy));
+        EXPECT_LE(std::abs(d), 23.6) << "doy=" << doy;
+    }
+    EXPECT_THROW(solar_declination(0), InvalidArgument);
+    EXPECT_THROW(solar_declination(367), InvalidArgument);
+}
+
+TEST(EquationOfTime, KnownShape) {
+    // EoT ~ -14 min in mid-February, ~ +16 min in early November.
+    EXPECT_NEAR(equation_of_time_minutes(45), -14.2, 1.5);
+    EXPECT_NEAR(equation_of_time_minutes(309), 16.4, 1.5);
+    // Bounded by ~±17 minutes all year.
+    for (int doy = 1; doy <= 365; ++doy)
+        EXPECT_LE(std::abs(equation_of_time_minutes(doy)), 17.5);
+}
+
+TEST(Eccentricity, WithinKnownBand) {
+    // Earth-sun distance varies ~±1.7% -> E0 within ~[0.966, 1.035].
+    for (int doy = 1; doy <= 365; ++doy) {
+        const double e = eccentricity_factor(doy);
+        EXPECT_GT(e, 0.96);
+        EXPECT_LT(e, 1.04);
+    }
+    // Perihelion in early January: maximum E0.
+    EXPECT_GT(eccentricity_factor(3), eccentricity_factor(185));
+    EXPECT_NEAR(extraterrestrial_normal_irradiance(80), kSolarConstant, 30.0);
+}
+
+TEST(SunPosition, SolarNoonElevationMatchesClosedForm) {
+    const Location torino{45.07, 7.69, 1.0};
+    for (int doy : {kSpringEquinox, kSummerSolstice, kWinterSolstice}) {
+        // Find the clock hour of solar noon from the time equation.
+        const double noon_clock =
+            12.0 - (equation_of_time_minutes(doy) +
+                    4.0 * (torino.longitude_deg - 15.0)) /
+                       60.0;
+        const auto pos = sun_position(torino, doy, noon_clock);
+        const double expected = 90.0 - torino.latitude_deg +
+                                rad2deg(solar_declination(doy));
+        EXPECT_NEAR(rad2deg(pos.elevation_rad), expected, 0.1)
+            << "doy=" << doy;
+        // At solar noon in Torino the sun is due south.
+        EXPECT_NEAR(rad2deg(pos.azimuth_rad), 180.0, 0.5) << "doy=" << doy;
+    }
+}
+
+TEST(SunPosition, MorningEastAfternoonWest) {
+    const Location torino{45.07, 7.69, 1.0};
+    const auto morning = sun_position(torino, kSummerSolstice, 8.0);
+    const auto evening = sun_position(torino, kSummerSolstice, 18.0);
+    EXPECT_GT(morning.elevation_rad, 0.0);
+    EXPECT_LT(rad2deg(morning.azimuth_rad), 180.0);  // eastern half
+    EXPECT_GT(rad2deg(evening.azimuth_rad), 180.0);  // western half
+}
+
+TEST(SunPosition, NightElevationNegative) {
+    const Location torino{45.07, 7.69, 1.0};
+    EXPECT_LT(sun_position(torino, 10, 0.5).elevation_rad, 0.0);
+    EXPECT_LT(sun_position(torino, 10, 23.5).elevation_rad, 0.0);
+}
+
+TEST(SunPosition, ZenithNeverExceeded) {
+    const Location equator{0.0, 0.0, 0.0};
+    for (int doy = 1; doy <= 365; doy += 7) {
+        for (double h = 0.25; h < 24.0; h += 0.5) {
+            const auto pos = sun_position(equator, doy, h);
+            EXPECT_LE(pos.elevation_rad, kPi / 2.0 + 1e-9);
+            EXPECT_GE(pos.azimuth_rad, 0.0);
+            EXPECT_LT(pos.azimuth_rad, kTwoPi);
+        }
+    }
+}
+
+/// Cross-check the two independent azimuth derivations over a broad sweep.
+struct SweepCase {
+    double lat;
+    int doy;
+};
+
+class TwoDerivations : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(TwoDerivations, AgreeEverywhere) {
+    const auto [lat, doy] = GetParam();
+    const Location loc{lat, 7.69, 1.0};
+    for (double h = 0.25; h < 24.0; h += 0.25) {
+        const auto a = sun_position(loc, doy, h);
+        const auto b = sun_position_acos(loc, doy, h);
+        EXPECT_NEAR(a.elevation_rad, b.elevation_rad, 1e-9);
+        // The acos path is ill-conditioned where the sun crosses the
+        // meridian (azimuth near 0 or pi: d(acos)/dx blows up at +-1), so
+        // compare azimuths only away from those singular directions.
+        const bool near_meridian =
+            angle_distance(a.azimuth_rad, 0.0) < 0.15 ||
+            angle_distance(a.azimuth_rad, kPi) < 0.15;
+        if (a.elevation_rad > deg2rad(-5.0) && !near_meridian) {
+            EXPECT_NEAR(angle_distance(a.azimuth_rad, b.azimuth_rad), 0.0,
+                        1e-5)
+                << "lat=" << lat << " doy=" << doy << " h=" << h;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LatitudeSeason, TwoDerivations,
+    ::testing::Values(SweepCase{45.07, 172}, SweepCase{45.07, 355},
+                      SweepCase{45.07, 80}, SweepCase{0.0, 172},
+                      SweepCase{-33.9, 172}, SweepCase{-33.9, 355},
+                      SweepCase{68.0, 172}, SweepCase{68.0, 355}));
+
+TEST(SouthernHemisphere, NoonSunIsNorth) {
+    const Location sydney{-33.87, 151.2, 10.0};
+    const double noon_clock =
+        12.0 - (equation_of_time_minutes(kWinterSolstice) +
+                4.0 * (sydney.longitude_deg - 150.0)) /
+                   60.0;
+    // December solstice: the subsolar latitude (-23.4) lies north of
+    // Sydney (-33.9), so the noon sun is due north (azimuth ~ 0/360).
+    const auto pos = sun_position(sydney, kWinterSolstice, noon_clock);
+    const double az = rad2deg(pos.azimuth_rad);
+    EXPECT_TRUE(az < 20.0 || az > 340.0) << az;
+}
+
+TEST(DayLength, SeasonalOrderingAndPolarCases) {
+    const Location torino{45.07, 7.69, 1.0};
+    const double summer = day_length_hours(torino, kSummerSolstice);
+    const double winter = day_length_hours(torino, kWinterSolstice);
+    const double equinox = day_length_hours(torino, kSpringEquinox);
+    EXPECT_GT(summer, 15.0);
+    EXPECT_LT(summer, 16.2);
+    EXPECT_GT(winter, 8.3);
+    EXPECT_LT(winter, 9.2);
+    EXPECT_NEAR(equinox, 12.0, 0.25);
+
+    const Location tromso{78.0, 19.0, 1.0};
+    EXPECT_DOUBLE_EQ(day_length_hours(tromso, kSummerSolstice), 24.0);
+    EXPECT_DOUBLE_EQ(day_length_hours(tromso, kWinterSolstice), 0.0);
+}
+
+TEST(SolarTime, LongitudeAndEotShiftClockTime) {
+    // At the time-zone meridian (15 deg E for CET) solar time differs from
+    // clock time by the equation of time only.
+    const Location on_meridian{45.0, 15.0, 1.0};
+    const int doy = 100;
+    const double st = solar_time_hours(on_meridian, doy, 12.0);
+    EXPECT_NEAR(st, 12.0 + equation_of_time_minutes(doy) / 60.0, 1e-12);
+    // 7.69 E is west of the meridian: solar time lags.
+    const Location torino{45.07, 7.69, 1.0};
+    EXPECT_LT(solar_time_hours(torino, doy, 12.0), st);
+    // Hour angle is zero at solar noon.
+    const double noon_clock =
+        12.0 - (equation_of_time_minutes(doy) +
+                4.0 * (torino.longitude_deg - 15.0)) /
+                   60.0;
+    EXPECT_NEAR(hour_angle_rad(torino, doy, noon_clock), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pvfp::solar

@@ -1,0 +1,173 @@
+/// Tests for plane-of-array transposition: incidence geometry, the
+/// horizontal identity (tilt 0 reproduces GHI), model ordering for
+/// south-facing winter sun, and the beam/diffuse split used for shading.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pvfp/solar/transposition.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::solar {
+namespace {
+
+SunPosition sun_at(double az_deg, double el_deg) {
+    return SunPosition{deg2rad(az_deg), deg2rad(el_deg)};
+}
+
+TEST(CosIncidence, NormalIncidenceIsOne) {
+    // Plane tilted 30 deg facing south; sun due south at elevation 60:
+    // the sun is along the plane normal.
+    const double c =
+        cos_incidence(sun_at(180.0, 60.0), deg2rad(30.0), deg2rad(180.0));
+    EXPECT_NEAR(c, 1.0, 1e-12);
+}
+
+TEST(CosIncidence, HorizontalPlaneEqualsSinElevation) {
+    for (double el : {10.0, 35.0, 70.0}) {
+        const double c = cos_incidence(sun_at(123.0, el), 0.0, 0.0);
+        EXPECT_NEAR(c, std::sin(deg2rad(el)), 1e-12);
+    }
+}
+
+TEST(CosIncidence, SunBehindPlaneIsNegative) {
+    // South-facing vertical wall, sun due north.
+    const double c =
+        cos_incidence(sun_at(0.0, 30.0), deg2rad(90.0), deg2rad(180.0));
+    EXPECT_LT(c, 0.0);
+}
+
+TEST(Isotropic, HorizontalIdentityReproducesGhi) {
+    // At tilt 0: beam = DNI*sin(el), sky = DHI, ground term = 0.
+    const auto sun = sun_at(180.0, 40.0);
+    const auto t = isotropic_tilted(600.0, 150.0, 600.0 * std::sin(sun.elevation_rad) + 150.0,
+                                    sun, 0.0, 0.0, 0.2, 172);
+    EXPECT_NEAR(t.beam, 600.0 * std::sin(deg2rad(40.0)), 1e-9);
+    EXPECT_NEAR(t.sky_diffuse, 150.0, 1e-9);
+    EXPECT_DOUBLE_EQ(t.ground_reflected, 0.0);
+}
+
+TEST(Isotropic, TiltTradesSkyForGround) {
+    const auto sun = sun_at(180.0, 45.0);
+    const auto flat = isotropic_tilted(500.0, 200.0, 553.0, sun, 0.0,
+                                       deg2rad(180.0), 0.25, 100);
+    const auto steep = isotropic_tilted(500.0, 200.0, 553.0, sun,
+                                        deg2rad(60.0), deg2rad(180.0), 0.25,
+                                        100);
+    EXPECT_LT(steep.sky_diffuse, flat.sky_diffuse);
+    EXPECT_GT(steep.ground_reflected, flat.ground_reflected);
+}
+
+TEST(Isotropic, SouthTiltBeatsHorizontalForLowWinterSun) {
+    // Winter noon sun at 21 deg elevation: a 26-45 deg south tilt collects
+    // far more beam than the horizontal.
+    const auto sun = sun_at(180.0, 21.0);
+    const auto flat =
+        isotropic_tilted(700.0, 80.0, 330.0, sun, 0.0, 0.0, 0.2, 355);
+    const auto tilted = isotropic_tilted(700.0, 80.0, 330.0, sun,
+                                         deg2rad(40.0), deg2rad(180.0), 0.2,
+                                         355);
+    EXPECT_GT(tilted.beam, 1.5 * flat.beam);
+}
+
+TEST(Isotropic, NightHasNoBeam) {
+    const auto t = isotropic_tilted(0.0, 0.0, 0.0, sun_at(0.0, -10.0),
+                                    deg2rad(30.0), deg2rad(180.0), 0.2, 20);
+    EXPECT_DOUBLE_EQ(t.total(), 0.0);
+}
+
+TEST(HayDavies, ReducesToIsotropicWhenNoBeam) {
+    // DNI = 0 => anisotropy index 0 => identical to isotropic.
+    const auto sun = sun_at(180.0, 30.0);
+    const auto hd = hay_davies_tilted(0.0, 220.0, 220.0, sun, deg2rad(35.0),
+                                      deg2rad(180.0), 0.2, 80);
+    const auto iso = isotropic_tilted(0.0, 220.0, 220.0, sun, deg2rad(35.0),
+                                      deg2rad(180.0), 0.2, 80);
+    EXPECT_NEAR(hd.beam, iso.beam, 1e-9);
+    EXPECT_NEAR(hd.sky_diffuse, iso.sky_diffuse, 1e-9);
+    EXPECT_NEAR(hd.ground_reflected, iso.ground_reflected, 1e-9);
+}
+
+TEST(HayDavies, MovesCircumsolarIntoBeamComponent) {
+    const auto sun = sun_at(180.0, 50.0);
+    const auto hd = hay_davies_tilted(800.0, 120.0, 733.0, sun,
+                                      deg2rad(30.0), deg2rad(180.0), 0.2,
+                                      172);
+    const auto iso = isotropic_tilted(800.0, 120.0, 733.0, sun,
+                                      deg2rad(30.0), deg2rad(180.0), 0.2,
+                                      172);
+    // Part of the diffuse moved into the (shading-sensitive) beam bucket.
+    EXPECT_GT(hd.beam, iso.beam);
+    EXPECT_LT(hd.sky_diffuse, iso.sky_diffuse);
+    // Totals stay within a few percent of each other for a sunlit cell.
+    EXPECT_NEAR(hd.total(), iso.total(), 0.12 * iso.total());
+}
+
+TEST(HayDavies, AnisotropyBoundedNearHorizon) {
+    // Grazing sun with strong beam must not blow up through 1/sin(el).
+    const auto sun = sun_at(90.0, 1.0);
+    const auto hd = hay_davies_tilted(300.0, 80.0, 90.0, sun, deg2rad(26.0),
+                                      deg2rad(90.0), 0.2, 200);
+    EXPECT_LT(hd.beam, 3000.0);
+    EXPECT_GE(hd.beam, 0.0);
+}
+
+TEST(Transpose, DispatchMatchesDirectCalls) {
+    const auto sun = sun_at(200.0, 35.0);
+    const auto a = transpose(SkyModel::Isotropic, 500.0, 100.0, 390.0, sun,
+                             deg2rad(26.0), deg2rad(195.0), 0.2, 150);
+    const auto b = isotropic_tilted(500.0, 100.0, 390.0, sun, deg2rad(26.0),
+                                    deg2rad(195.0), 0.2, 150);
+    EXPECT_DOUBLE_EQ(a.total(), b.total());
+    const auto c = transpose(SkyModel::HayDavies, 500.0, 100.0, 390.0, sun,
+                             deg2rad(26.0), deg2rad(195.0), 0.2, 150);
+    const auto d = hay_davies_tilted(500.0, 100.0, 390.0, sun, deg2rad(26.0),
+                                     deg2rad(195.0), 0.2, 150);
+    EXPECT_DOUBLE_EQ(c.total(), d.total());
+}
+
+TEST(Transpose, InputValidation) {
+    const auto sun = sun_at(180.0, 30.0);
+    EXPECT_THROW(isotropic_tilted(-1.0, 0.0, 0.0, sun, 0.3, 0.0, 0.2, 1),
+                 InvalidArgument);
+    EXPECT_THROW(isotropic_tilted(0.0, 0.0, 0.0, sun, -0.1, 0.0, 0.2, 1),
+                 InvalidArgument);
+    EXPECT_THROW(isotropic_tilted(0.0, 0.0, 0.0, sun, 0.3, 0.0, 1.5, 1),
+                 InvalidArgument);
+}
+
+/// Parameterized identity: for a sunlit, unshaded plane the three
+/// components are non-negative across a seasonal/diurnal sweep.
+struct TransposeCase {
+    double az_deg;
+    double el_deg;
+    double tilt_deg;
+};
+
+class NonNegativity : public ::testing::TestWithParam<TransposeCase> {};
+
+TEST_P(NonNegativity, AllComponents) {
+    const auto [az, el, tilt] = GetParam();
+    const auto sun = sun_at(az, el);
+    for (const auto model : {SkyModel::Isotropic, SkyModel::HayDavies}) {
+        const auto t = transpose(model, 420.0, 130.0, 400.0, sun,
+                                 deg2rad(tilt), deg2rad(195.0), 0.2, 140);
+        EXPECT_GE(t.beam, 0.0);
+        EXPECT_GE(t.sky_diffuse, 0.0);
+        EXPECT_GE(t.ground_reflected, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NonNegativity,
+    ::testing::Values(TransposeCase{90.0, 10.0, 26.0},
+                      TransposeCase{135.0, 30.0, 26.0},
+                      TransposeCase{180.0, 65.0, 26.0},
+                      TransposeCase{270.0, 15.0, 26.0},
+                      TransposeCase{0.0, 20.0, 26.0},
+                      TransposeCase{180.0, 45.0, 0.0},
+                      TransposeCase{180.0, 45.0, 90.0}));
+
+}  // namespace
+}  // namespace pvfp::solar

@@ -1,0 +1,92 @@
+#pragma once
+/// \file test_helpers.hpp
+/// Shared fixtures for the pvfp test suite: small placement areas,
+/// synthetic irradiance fields, and a cached coarse toy scenario so that
+/// expensive preparation happens once per binary.
+
+#include <vector>
+
+#include "pvfp/core/pipeline.hpp"
+#include "pvfp/geo/suitable_area.hpp"
+#include "pvfp/solar/irradiance.hpp"
+#include "pvfp/util/grid2d.hpp"
+
+namespace pvfp::testing {
+
+/// A fully-valid placement area of the given size (flat, 26 deg S roof).
+inline geo::PlacementArea flat_area(int width, int height,
+                                    double cell_size = 0.2) {
+    geo::PlacementArea area;
+    area.width = width;
+    area.height = height;
+    area.valid = Grid2D<unsigned char>(width, height, 1);
+    area.cell_size = cell_size;
+    area.tilt_rad = deg2rad(26.0);
+    area.azimuth_rad = deg2rad(180.0);
+    area.valid_count = width * height;
+    return area;
+}
+
+/// Area with the given mask (1 = valid).
+inline geo::PlacementArea masked_area(const Grid2D<unsigned char>& mask,
+                                      double cell_size = 0.2) {
+    geo::PlacementArea area;
+    area.width = mask.width();
+    area.height = mask.height();
+    area.valid = mask;
+    area.cell_size = cell_size;
+    area.tilt_rad = deg2rad(26.0);
+    area.azimuth_rad = deg2rad(180.0);
+    area.valid_count = 0;
+    for (const auto v : mask.data())
+        if (v) ++area.valid_count;
+    return area;
+}
+
+/// A small coarse time grid: \p days days of hourly steps starting at the
+/// summer solstice (long daylight keeps tests meaningful and fast).
+inline TimeGrid coarse_grid(int days = 8, int minutes = 60) {
+    return TimeGrid(minutes, /*start_day=*/172, days);
+}
+
+/// A constant-weather series (clear, warm) for a grid.
+inline std::vector<solar::EnvSample> constant_weather(const TimeGrid& grid,
+                                                      double ghi = 600.0,
+                                                      double dni = 500.0,
+                                                      double dhi = 180.0,
+                                                      double temp = 22.0) {
+    return std::vector<solar::EnvSample>(
+        static_cast<std::size_t>(grid.total_steps()),
+        solar::EnvSample{ghi, dni, dhi, temp});
+}
+
+/// IrradianceField over a flat DSM (uniform field: svf = 1, no shadows).
+inline solar::IrradianceField flat_field(int width, int height,
+                                         const TimeGrid& grid,
+                                         std::vector<solar::EnvSample> env,
+                                         double tilt_deg = 26.0,
+                                         double azimuth_deg = 180.0) {
+    geo::Raster dsm(width, height, 0.2, /*fill=*/5.0);
+    geo::HorizonOptions hopt;
+    hopt.azimuth_sectors = 16;  // flat: horizons are all zero anyway
+    hopt.max_distance = 5.0;
+    geo::HorizonMap horizon(dsm, 0, 0, width, height, hopt);
+    return solar::IrradianceField(std::move(horizon), std::move(env), grid,
+                                  deg2rad(tilt_deg), deg2rad(azimuth_deg));
+}
+
+/// The toy scenario prepared with a coarse (fast) configuration, cached
+/// per test binary.
+inline const core::PreparedScenario& coarse_toy_scenario() {
+    static const core::PreparedScenario prepared = [] {
+        core::ScenarioConfig config;
+        config.grid = TimeGrid(60, 1, 73);  // ~5x faster than a full year
+        config.weather.seed = 11;
+        config.horizon.azimuth_sectors = 36;
+        config.suitability.step_stride = 1;
+        return core::prepare_scenario(core::make_toy(), config);
+    }();
+    return prepared;
+}
+
+}  // namespace pvfp::testing

@@ -1,0 +1,215 @@
+/// Tests for CSV parsing/serialization, TextTable rendering, the ASCII
+/// renderers and TimeGrid.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "pvfp/util/ascii_art.hpp"
+#include "pvfp/util/csv.hpp"
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/table.hpp"
+#include "pvfp/util/timegrid.hpp"
+
+namespace pvfp {
+namespace {
+
+// ---------------------------------------------------------------- CSV --
+
+TEST(Csv, SplitSimpleLine) {
+    const auto f = csv_split_line("a,b,c");
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(f[0], "a");
+    EXPECT_EQ(f[2], "c");
+}
+
+TEST(Csv, SplitQuotedFieldsWithCommasAndQuotes) {
+    const auto f = csv_split_line(R"(plain,"has,comma","has ""quote""")");
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(f[1], "has,comma");
+    EXPECT_EQ(f[2], "has \"quote\"");
+}
+
+TEST(Csv, SplitEmptyFields) {
+    const auto f = csv_split_line(",,");
+    ASSERT_EQ(f.size(), 3u);
+    for (const auto& s : f) EXPECT_TRUE(s.empty());
+}
+
+TEST(Csv, EscapeRoundTrip) {
+    const std::string nasty = "a,\"b\"\nc";
+    const std::string escaped = csv_escape_field(nasty);
+    const auto back = csv_split_line(escaped);
+    ASSERT_EQ(back.size(), 1u);
+    // Newline inside quoted fields is not supported by the line-based
+    // reader; escaping still protects comma and quotes.
+    EXPECT_EQ(csv_escape_field("plain"), "plain");
+}
+
+TEST(Csv, TableRoundTripThroughStream) {
+    CsvTable t({"x", "label"});
+    t.add_row({"1.5", "hello"});
+    t.add_row({"-2", "with,comma"});
+    std::ostringstream out;
+    t.write(out);
+    std::istringstream in(out.str());
+    const CsvTable back = CsvTable::read(in);
+    ASSERT_EQ(back.row_count(), 2u);
+    EXPECT_EQ(back.cell(1, 1), "with,comma");
+    EXPECT_DOUBLE_EQ(back.cell_as_double(0, "x"), 1.5);
+    EXPECT_DOUBLE_EQ(back.cell_as_double(1, 0), -2.0);
+}
+
+TEST(Csv, CommentsAndBlankLinesIgnored) {
+    std::istringstream in("# a comment\n\nx,y\n# another\n1,2\n");
+    const CsvTable t = CsvTable::read(in);
+    EXPECT_EQ(t.row_count(), 1u);
+    EXPECT_EQ(t.column("y"), 1u);
+}
+
+TEST(Csv, ErrorsAreReported) {
+    std::istringstream ragged("a,b\n1\n");
+    EXPECT_THROW(CsvTable::read(ragged), IoError);
+    std::istringstream empty("");
+    EXPECT_THROW(CsvTable::read(empty), IoError);
+
+    CsvTable t({"a"});
+    EXPECT_THROW(t.add_row({"1", "2"}), InvalidArgument);
+    t.add_row({"not-a-number"});
+    EXPECT_THROW(t.cell_as_double(0, 0), IoError);
+    EXPECT_THROW(t.column("missing"), InvalidArgument);
+    EXPECT_FALSE(t.has_column("missing"));
+    EXPECT_TRUE(t.has_column("a"));
+}
+
+TEST(Csv, FileRoundTrip) {
+    const std::string path = ::testing::TempDir() + "/pvfp_csv_test.csv";
+    CsvTable t({"v"});
+    t.add_row({"3.25"});
+    t.write_file(path);
+    const CsvTable back = CsvTable::read_file(path);
+    EXPECT_DOUBLE_EQ(back.cell_as_double(0, "v"), 3.25);
+    std::remove(path.c_str());
+    EXPECT_THROW(CsvTable::read_file("/nonexistent/nope.csv"), IoError);
+}
+
+// ---------------------------------------------------------- TextTable --
+
+TEST(TextTable, RendersAlignedCells) {
+    TextTable t({"name", "val"});
+    t.set_align(0, Align::Left);
+    t.add_row({"a", "1"});
+    t.add_row({"longer", "22"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("| a      |"), std::string::npos);
+    EXPECT_NE(s.find("|  22 |"), std::string::npos);
+    EXPECT_NE(s.find("name"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorAndErrors) {
+    TextTable t({"a"});
+    t.add_row({"1"});
+    t.add_separator();
+    t.add_row({"2"});
+    EXPECT_EQ(t.row_count(), 3u);  // separator counts as a row entry
+    EXPECT_THROW(t.add_row({"1", "2"}), InvalidArgument);
+    EXPECT_THROW(t.set_align(5, Align::Left), InvalidArgument);
+    EXPECT_THROW(TextTable({}), InvalidArgument);
+}
+
+TEST(TextTable, NumberFormatting) {
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(-1.0, 0), "-1");
+    EXPECT_EQ(TextTable::pct(0.1937, 2), "+19.37");
+    EXPECT_EQ(TextTable::pct(-0.05, 1), "-5.0");
+}
+
+// ------------------------------------------------------------ ASCII art --
+
+TEST(AsciiArt, HeatmapShapeAndRamp) {
+    Grid2D<double> g(10, 4);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 10; ++x) g(x, y) = x;  // left-to-right ramp
+    const std::string s = render_heatmap(g);
+    // 10 wide fits without downsampling; y downsampled by 2 -> 2 rows.
+    const auto newline = s.find('\n');
+    EXPECT_EQ(newline, 10u);
+    // Low values on the left must map to a sparser glyph than the right.
+    EXPECT_EQ(s[0], ' ');
+    EXPECT_EQ(s[9], '@');
+}
+
+TEST(AsciiArt, HeatmapConstantGridDoesNotDivideByZero) {
+    Grid2D<double> g(4, 4, 3.0);
+    EXPECT_NO_THROW(render_heatmap(g));
+}
+
+TEST(AsciiArt, HeatmapMaskBlanksCells) {
+    Grid2D<double> g(4, 2, 1.0);
+    Grid2D<unsigned char> mask(4, 2, 1);
+    for (int y = 0; y < 2; ++y) mask(0, y) = 0;
+    HeatmapOptions opt;
+    opt.mask = &mask;
+    const std::string s = render_heatmap(g, opt);
+    EXPECT_EQ(s[0], ' ');
+}
+
+TEST(AsciiArt, FloorplanDrawsModulesAndBackground) {
+    Grid2D<unsigned char> valid(12, 6, 1);
+    valid(11, 0) = 0;
+    std::vector<ModuleBox> boxes{{0, 0, 4, 2, 0}, {4, 2, 4, 2, 1}};
+    const std::string s = render_floorplan(valid, boxes, 80);
+    EXPECT_NE(s.find('A'), std::string::npos);
+    EXPECT_NE(s.find('B'), std::string::npos);
+    EXPECT_NE(s.find('.'), std::string::npos);
+}
+
+TEST(AsciiArt, FloorplanOutOfBoundsModuleThrows) {
+    Grid2D<unsigned char> valid(4, 4, 1);
+    std::vector<ModuleBox> boxes{{2, 2, 4, 4, 0}};
+    EXPECT_THROW(render_floorplan(valid, boxes), InvalidArgument);
+}
+
+TEST(AsciiArt, LegendMentionsUnitAndLevels) {
+    const std::string s = heatmap_legend(0.0, 1000.0, "W/m^2");
+    EXPECT_NE(s.find("W/m^2"), std::string::npos);
+    EXPECT_NE(s.find('@'), std::string::npos);
+}
+
+// ------------------------------------------------------------ TimeGrid --
+
+TEST(TimeGrid, YearAt15MinutesHas35040Steps) {
+    const TimeGrid g(15, 1, 365);
+    EXPECT_EQ(g.total_steps(), 35040);
+    EXPECT_EQ(g.steps_per_day(), 96);
+    EXPECT_DOUBLE_EQ(g.step_hours(), 0.25);
+}
+
+TEST(TimeGrid, MidIntervalSampling) {
+    const TimeGrid g(60, 1, 2);
+    EXPECT_DOUBLE_EQ(g.hour_of_day(0), 0.5);
+    EXPECT_DOUBLE_EQ(g.hour_of_day(23), 23.5);
+    EXPECT_EQ(g.day_of_year(0), 1);
+    EXPECT_EQ(g.day_of_year(24), 2);
+}
+
+TEST(TimeGrid, StartDayOffsetAndWrap) {
+    const TimeGrid g(60, 364, 3);
+    EXPECT_EQ(g.day_of_year(0), 364);
+    EXPECT_EQ(g.day_of_year(24), 365);
+    EXPECT_EQ(g.day_of_year(48), 1);  // wraps into the next year
+}
+
+TEST(TimeGrid, RejectsBadParameters) {
+    EXPECT_THROW(TimeGrid(7, 1, 365), InvalidArgument);   // 1440 % 7 != 0
+    EXPECT_THROW(TimeGrid(15, 0, 365), InvalidArgument);
+    EXPECT_THROW(TimeGrid(15, 1, 0), InvalidArgument);
+    const TimeGrid g(15, 1, 1);
+    EXPECT_THROW(g.day_of_year(-1), InvalidArgument);
+    EXPECT_THROW(g.day_of_year(96), InvalidArgument);
+    EXPECT_THROW(g.hour_of_day(96), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pvfp

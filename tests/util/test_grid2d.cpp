@@ -1,0 +1,111 @@
+/// Tests for Grid2D and SummedAreaTable.
+
+#include <gtest/gtest.h>
+
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/grid2d.hpp"
+#include "pvfp/util/rng.hpp"
+
+namespace pvfp {
+namespace {
+
+TEST(Grid2D, ConstructionAndFill) {
+    Grid2D<int> g(4, 3, 7);
+    EXPECT_EQ(g.width(), 4);
+    EXPECT_EQ(g.height(), 3);
+    EXPECT_EQ(g.size(), 12u);
+    EXPECT_EQ(g.at(0, 0), 7);
+    EXPECT_EQ(g.at(3, 2), 7);
+    g.fill(-1);
+    EXPECT_EQ(g.at(2, 1), -1);
+}
+
+TEST(Grid2D, EmptyGrid) {
+    Grid2D<double> g;
+    EXPECT_TRUE(g.empty());
+    EXPECT_EQ(g.width(), 0);
+    EXPECT_FALSE(g.in_bounds(0, 0));
+}
+
+TEST(Grid2D, NegativeDimensionsThrow) {
+    EXPECT_THROW(Grid2D<int>(-1, 3), InvalidArgument);
+    EXPECT_THROW(Grid2D<int>(3, -1), InvalidArgument);
+}
+
+TEST(Grid2D, BoundsChecking) {
+    Grid2D<int> g(2, 2);
+    EXPECT_THROW(g.at(2, 0), InvalidArgument);
+    EXPECT_THROW(g.at(0, 2), InvalidArgument);
+    EXPECT_THROW(g.at(-1, 0), InvalidArgument);
+    EXPECT_TRUE(g.in_bounds(1, 1));
+    EXPECT_FALSE(g.in_bounds(2, 1));
+}
+
+TEST(Grid2D, RowMajorIndexing) {
+    Grid2D<int> g(3, 2);
+    int v = 0;
+    for (int y = 0; y < 2; ++y)
+        for (int x = 0; x < 3; ++x) g(x, y) = v++;
+    // data() must be row-major.
+    EXPECT_EQ(g.data()[0], 0);
+    EXPECT_EQ(g.data()[3], 3);  // start of row 1
+    EXPECT_EQ(g.index(2, 1), 5u);
+}
+
+TEST(Grid2D, EqualityIsValueBased) {
+    Grid2D<int> a(2, 2, 1);
+    Grid2D<int> b(2, 2, 1);
+    EXPECT_EQ(a, b);
+    b(1, 1) = 2;
+    EXPECT_NE(a, b);
+}
+
+TEST(SummedAreaTable, MatchesBruteForceOnRandomGrid) {
+    Rng rng(31);
+    Grid2D<double> g(17, 11);
+    for (int y = 0; y < 11; ++y)
+        for (int x = 0; x < 17; ++x) g(x, y) = rng.uniform(-3.0, 3.0);
+    SummedAreaTable sat(g);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int x0 = static_cast<int>(rng.uniform_int(17));
+        const int y0 = static_cast<int>(rng.uniform_int(11));
+        const int w = static_cast<int>(rng.uniform_int(17 - x0 + 1));
+        const int h = static_cast<int>(rng.uniform_int(11 - y0 + 1));
+        double expected = 0.0;
+        for (int y = y0; y < y0 + h; ++y)
+            for (int x = x0; x < x0 + w; ++x) expected += g(x, y);
+        EXPECT_NEAR(sat.rect_sum(x0, y0, w, h), expected, 1e-9);
+    }
+}
+
+TEST(SummedAreaTable, MaskedCellsContributeZero) {
+    Grid2D<double> g(3, 3, 5.0);
+    Grid2D<unsigned char> mask(3, 3, 1);
+    mask(1, 1) = 0;
+    SummedAreaTable sat(g, &mask);
+    EXPECT_DOUBLE_EQ(sat.rect_sum(0, 0, 3, 3), 5.0 * 8);
+    EXPECT_DOUBLE_EQ(sat.rect_sum(1, 1, 1, 1), 0.0);
+}
+
+TEST(SummedAreaTable, FullAndEmptyRects) {
+    Grid2D<double> g(4, 4, 1.0);
+    SummedAreaTable sat(g);
+    EXPECT_DOUBLE_EQ(sat.rect_sum(0, 0, 4, 4), 16.0);
+    EXPECT_DOUBLE_EQ(sat.rect_sum(2, 2, 0, 0), 0.0);
+}
+
+TEST(SummedAreaTable, OutOfBoundsRectThrows) {
+    Grid2D<double> g(4, 4, 1.0);
+    SummedAreaTable sat(g);
+    EXPECT_THROW(sat.rect_sum(1, 1, 4, 1), InvalidArgument);
+    EXPECT_THROW(sat.rect_sum(-1, 0, 1, 1), InvalidArgument);
+}
+
+TEST(SummedAreaTable, MaskDimensionMismatchThrows) {
+    Grid2D<double> g(4, 4, 1.0);
+    Grid2D<unsigned char> mask(3, 4, 1);
+    EXPECT_THROW(SummedAreaTable(g, &mask), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pvfp

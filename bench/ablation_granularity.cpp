@@ -12,8 +12,11 @@
 #include "bench_common.hpp"
 #include "pvfp/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace pvfp;
+    bench::BenchReporter reporter(argc, argv);
+    const auto whole_run =
+        reporter.time_section("ablation_granularity/total");
     bench::print_banner(std::cout, "Ablation A5: evaluation granularity",
                         "Vinco et al., DATE 2018, Section III-A");
 

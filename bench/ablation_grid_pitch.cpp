@@ -11,8 +11,10 @@
 #include "bench_common.hpp"
 #include "pvfp/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace pvfp;
+    bench::BenchReporter reporter(argc, argv);
+    const auto whole_run = reporter.time_section("ablation_grid_pitch/total");
     bench::print_banner(std::cout, "Ablation A4: virtual grid pitch s",
                         "Vinco et al., DATE 2018, Section III-A");
 

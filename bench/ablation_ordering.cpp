@@ -19,8 +19,10 @@
 #include "pvfp/util/rng.hpp"
 #include "pvfp/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace pvfp;
+    bench::BenchReporter reporter(argc, argv);
+    const auto whole_run = reporter.time_section("ablation_ordering/total");
     bench::print_banner(std::cout,
                         "Ablation A3: series-first vs permuted string "
                         "assignment",

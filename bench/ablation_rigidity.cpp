@@ -17,8 +17,10 @@
 #include "pvfp/core/string_row_placer.hpp"
 #include "pvfp/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace pvfp;
+    bench::BenchReporter reporter(argc, argv);
+    const auto whole_run = reporter.time_section("ablation_rigidity/total");
     bench::print_banner(std::cout,
                         "Ablation A6: placement freedom (block / rigid "
                         "rows / free modules)",

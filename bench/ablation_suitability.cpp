@@ -13,8 +13,11 @@
 #include "bench_common.hpp"
 #include "pvfp/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace pvfp;
+    bench::BenchReporter reporter(argc, argv);
+    const auto whole_run =
+        reporter.time_section("ablation_suitability/total");
     bench::print_banner(std::cout,
                         "Ablation A1: suitability percentile / T-correction",
                         "Vinco et al., DATE 2018, Section III-C");

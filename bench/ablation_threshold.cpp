@@ -10,8 +10,10 @@
 #include "bench_common.hpp"
 #include "pvfp/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace pvfp;
+    bench::BenchReporter reporter(argc, argv);
+    const auto whole_run = reporter.time_section("ablation_threshold/total");
     bench::print_banner(std::cout,
                         "Ablation A2: distance-threshold factor",
                         "Vinco et al., DATE 2018, Section III-C / Fig. 5");

@@ -1,10 +1,103 @@
 #include "bench_common.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <ostream>
+#include <string_view>
+#include <utility>
 
 #include "pvfp/util/error.hpp"
 
 namespace pvfp::bench {
+
+namespace {
+
+/// JSON string escaping for record names (quotes, backslashes, control
+/// characters; names are ASCII in practice).
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+BenchReporter::BenchReporter(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) == "--json") {
+            if (i + 1 >= argc) {
+                std::cerr << argv[0]
+                          << ": --json requires a path argument\n";
+                std::exit(2);
+            }
+            path_ = argv[i + 1];
+            ++i;
+        }
+    }
+}
+
+BenchReporter::~BenchReporter() {
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    if (!out) {
+        std::cerr << "BenchReporter: cannot open " << path_ << '\n';
+        return;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const Record& r = records_[i];
+        out << "  {\"name\": \"" << json_escape(r.name)
+            << "\", \"wall_ms\": " << r.wall_ms
+            << ", \"iterations\": " << r.iterations << '}'
+            << (i + 1 < records_.size() ? "," : "") << '\n';
+    }
+    out << "]\n";
+    if (!out.flush())
+        std::cerr << "BenchReporter: write to " << path_ << " failed\n";
+}
+
+void BenchReporter::record(std::string name, double wall_ms,
+                           std::int64_t iterations) {
+    records_.push_back({std::move(name), wall_ms, iterations});
+}
+
+BenchReporter::Scope::Scope(BenchReporter& reporter, std::string name,
+                            std::int64_t iterations)
+    : reporter_(reporter),
+      name_(std::move(name)),
+      iterations_(iterations),
+      start_(std::chrono::steady_clock::now()) {}
+
+BenchReporter::Scope::~Scope() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    reporter_.record(
+        std::move(name_),
+        std::chrono::duration<double, std::milli>(elapsed).count(),
+        iterations_);
+}
+
+BenchReporter::Scope BenchReporter::time_section(std::string name,
+                                                 std::int64_t iterations) {
+    return Scope(*this, std::move(name), iterations);
+}
 
 core::ScenarioConfig paper_config(std::uint64_t weather_seed) {
     core::ScenarioConfig config;

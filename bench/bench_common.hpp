@@ -5,6 +5,8 @@
 /// 20 cm grid) applied to the three synthetic roofs, plus small printing
 /// helpers so that every bench emits a self-describing report.
 
+#include <chrono>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -13,6 +15,62 @@
 #include "pvfp/util/ascii_art.hpp"
 
 namespace pvfp::bench {
+
+/// Machine-readable bench output.  Every harness constructs one reporter
+/// from its command line; passing `--json <path>` makes the destructor
+/// write a JSON array of `{"name": ..., "wall_ms": ..., "iterations": ...}`
+/// records, one per timed section, so CI can append trajectory points
+/// (`BENCH_*.json`) across PRs.  Without the flag the reporter is inert.
+class BenchReporter {
+public:
+    /// Consumes `--json <path>` from the argument list (other arguments
+    /// are ignored).  A missing path is a usage error: message on stderr
+    /// and exit code 2, like the example CLIs.
+    BenchReporter(int argc, char** argv);
+    /// Writes the JSON file when enabled; failures go to stderr (a bench
+    /// must never die in a destructor over reporting).
+    ~BenchReporter();
+
+    BenchReporter(const BenchReporter&) = delete;
+    BenchReporter& operator=(const BenchReporter&) = delete;
+
+    /// Append one record.
+    void record(std::string name, double wall_ms,
+                std::int64_t iterations = 1);
+
+    /// RAII section timer: measures from construction to destruction and
+    /// records the elapsed wall time.
+    class Scope {
+    public:
+        Scope(BenchReporter& reporter, std::string name,
+              std::int64_t iterations);
+        ~Scope();
+        Scope(const Scope&) = delete;
+        Scope& operator=(const Scope&) = delete;
+
+    private:
+        BenchReporter& reporter_;
+        std::string name_;
+        std::int64_t iterations_;
+        std::chrono::steady_clock::time_point start_;
+    };
+
+    /// Time a section: `const auto t = reporter.time_section("roof1/n16");`
+    [[nodiscard]] Scope time_section(std::string name,
+                                     std::int64_t iterations = 1);
+
+    bool enabled() const { return !path_.empty(); }
+
+private:
+    struct Record {
+        std::string name;
+        double wall_ms;
+        std::int64_t iterations;
+    };
+
+    std::string path_;
+    std::vector<Record> records_;
+};
 
 /// The paper's experimental configuration (Section V-A): one year at
 /// 15-minute resolution, Torino location and climate, s = 20 cm.

@@ -16,8 +16,10 @@
 #include "pvfp/pv/one_diode.hpp"
 #include "pvfp/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace pvfp;
+    bench::BenchReporter reporter(argc, argv);
+    const auto whole_run = reporter.time_section("fig2_iv_curves/total");
     bench::print_banner(std::cout, "Fig. 2(a): I-V curve behaviour",
                         "Vinco et al., DATE 2018, Fig. 2(a) / Section II-B");
 

@@ -16,8 +16,10 @@
 #include "pvfp/pv/module.hpp"
 #include "pvfp/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace pvfp;
+    bench::BenchReporter reporter(argc, argv);
+    const auto whole_run = reporter.time_section("fig3_module_curves/total");
     bench::print_banner(std::cout,
                         "Fig. 3: PV-MF165EB3 empirical model characteristics",
                         "Vinco et al., DATE 2018, Fig. 3 / Section III-B1");

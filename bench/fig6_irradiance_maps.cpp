@@ -11,8 +11,11 @@
 #include "pvfp/util/stats.hpp"
 #include "pvfp/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace pvfp;
+    bench::BenchReporter reporter(argc, argv);
+    const auto whole_run =
+        reporter.time_section("fig6_irradiance_maps/total");
     bench::print_banner(std::cout,
                         "Fig. 6(b): 75th-percentile irradiance maps",
                         "Vinco et al., DATE 2018, Fig. 6(b) / Section V-A");

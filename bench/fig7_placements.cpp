@@ -10,8 +10,10 @@
 #include "bench_common.hpp"
 #include "pvfp/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace pvfp;
+    bench::BenchReporter reporter(argc, argv);
+    const auto whole_run = reporter.time_section("fig7_placements/total");
     bench::print_banner(std::cout,
                         "Fig. 7: traditional vs proposed placements (N=32)",
                         "Vinco et al., DATE 2018, Fig. 7 / Section V-B");

@@ -30,8 +30,10 @@ double plan_score(const pvfp::core::Floorplan& plan,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace pvfp;
+    bench::BenchReporter reporter(argc, argv);
+    const auto whole_run = reporter.time_section("optimality_gap/total");
     bench::print_banner(std::cout,
                         "Optimality gap: greedy vs exact on small instances",
                         "Vinco et al., DATE 2018, Sections III-C & V-B");

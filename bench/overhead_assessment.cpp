@@ -13,8 +13,11 @@
 #include "pvfp/pv/wiring.hpp"
 #include "pvfp/util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace pvfp;
+    bench::BenchReporter reporter(argc, argv);
+    const auto whole_run =
+        reporter.time_section("overhead_assessment/total");
     bench::print_banner(std::cout, "Section V-C: wiring overhead assessment",
                         "Vinco et al., DATE 2018, Section V-C");
 

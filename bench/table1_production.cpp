@@ -33,12 +33,19 @@ constexpr PaperRow kPaperRows[] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace pvfp;
+    bench::BenchReporter reporter(argc, argv);
+    const auto whole_run = reporter.time_section("table1_production/total");
     bench::print_banner(std::cout, "Table I: yearly PV system production",
                         "Vinco et al., DATE 2018, Table I / Section V-B");
 
-    const auto roofs = bench::prepare_paper_roofs();
+    std::vector<core::PreparedScenario> roofs;
+    {
+        const auto prep =
+            reporter.time_section("table1_production/prepare_roofs", 3);
+        roofs = bench::prepare_paper_roofs();
+    }
 
     TextTable geometry({"Roof", "WxL [cells]", "Ng (here)", "Ng (paper)",
                         "tilt", "azimuth"});
@@ -67,6 +74,9 @@ int main() {
     for (const auto& prepared : roofs) {
         for (const int n : {16, 32}) {
             const auto topo = bench::paper_topology(n);
+            const auto section = reporter.time_section(
+                "table1_production/" + prepared.name + "/n" +
+                std::to_string(n));
             const auto cmp = core::compare_placements(
                 prepared, topo, bench::paper_greedy_options(),
                 bench::paper_eval_options());

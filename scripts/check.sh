@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verify, exactly as CI runs it: configure -> build -> ctest ->
+# one smoke example.  Exits nonzero on the first failure.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-build}"
+
+cd "$repo_root"
+
+echo "== configure =="
+cmake -B "$build_dir" -S .
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== build =="
+cmake --build "$build_dir" -j "$jobs"
+
+echo "== ctest =="
+# An explicit job count: bare `ctest -j` means *unbounded* parallelism
+# before CMake 3.29.
+(cd "$build_dir" && ctest --output-on-failure -j "$jobs")
+
+echo "== smoke example (quickstart) =="
+"$build_dir/examples/example_quickstart" > /dev/null
+
+echo "== all checks passed =="

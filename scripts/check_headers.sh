@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Every public header must compile standalone: catches missing #includes
+# (e.g. C++20 <span>) that transitive inclusion would mask.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+cxx="${CXX:-g++}"
+fail=0
+while IFS= read -r header; do
+    # Compile a stub that includes the header (rather than the header
+    # itself) so `#pragma once` does not warn about a main file.
+    if ! echo "#include \"${header#src/}\"" | \
+            "$cxx" -std=c++20 -fsyntax-only -Wall -Wextra -Isrc \
+                   -x c++ -; then
+        echo "FAIL: $header does not compile standalone" >&2
+        fail=1
+    fi
+done < <(find src/pvfp -name '*.hpp' | sort)
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "all headers compile standalone"

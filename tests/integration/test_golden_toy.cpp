@@ -1,0 +1,65 @@
+/// Golden regression anchor for the cached coarse toy scenario.
+///
+/// Pins the three quantities every future optimization PR must preserve:
+/// the suitable-area cell count (GIS extraction), the placed panel count
+/// (floorplanner), and the total energy of the proposed plan plus its
+/// annualized extrapolation (irradiance + electrical models).  Tolerances
+/// are tight enough to catch an accidental model/default/RNG change but
+/// loose enough to survive benign floating-point reassociation.
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "pvfp/core/pipeline.hpp"
+
+namespace pvfp::core {
+namespace {
+
+// Golden values measured on the seed implementation (TimeGrid(60, 1, 73),
+// weather seed 11, 36 horizon sectors).  Any deliberate change to the
+// defaults, models, or RNG stream must update them consciously.
+constexpr int kGoldenValidCells = 799;
+constexpr int kGoldenPanelCount = 4;
+constexpr double kGoldenEnergyKwh = 137.326;
+
+/// compare_placements is the expensive step; run it once per binary like
+/// the scenario fixture itself.
+const PlacementComparison& toy_comparison() {
+    static const PlacementComparison cmp = compare_placements(
+        pvfp::testing::coarse_toy_scenario(), pv::Topology{2, 2});
+    return cmp;
+}
+
+TEST(GoldenToy, SuitableAreaCellCount) {
+    const auto& p = pvfp::testing::coarse_toy_scenario();
+    EXPECT_EQ(p.area.valid_count, kGoldenValidCells);
+    // The mask agrees with its cached count.
+    int counted = 0;
+    for (const auto v : p.area.valid.data())
+        if (v) ++counted;
+    EXPECT_EQ(counted, p.area.valid_count);
+}
+
+TEST(GoldenToy, PanelCountAndEnergy) {
+    const PlacementComparison& cmp = toy_comparison();
+    EXPECT_EQ(cmp.proposed.module_count(), kGoldenPanelCount);
+    EXPECT_EQ(cmp.traditional.module_count(), kGoldenPanelCount);
+    // 0.5% relative tolerance: generous for FP noise, far below any
+    // meaningful model change.
+    EXPECT_NEAR(cmp.proposed_eval.energy_kwh, kGoldenEnergyKwh,
+                0.005 * kGoldenEnergyKwh);
+}
+
+TEST(GoldenToy, AnnualizedEnergyStaysPhysical) {
+    // The 73-day horizon extrapolates to a plausible Torino annual yield
+    // per 165 Wp module; anchors the absolute scale of the synthetic
+    // climate independently of the exact golden value.
+    const PlacementComparison& cmp = toy_comparison();
+    const double per_module_annual_kwh = cmp.proposed_eval.energy_kwh /
+                                         kGoldenPanelCount * (365.0 / 73.0);
+    EXPECT_GT(per_module_annual_kwh, 90.0);
+    EXPECT_LT(per_module_annual_kwh, 320.0);
+}
+
+}  // namespace
+}  // namespace pvfp::core

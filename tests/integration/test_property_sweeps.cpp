@@ -60,7 +60,9 @@ TEST_P(SolarChain, ClearSkyDecomposeTransposeInvariants) {
         EXPECT_GE(tilted.ground_reflected, 0.0);
         // South tilt increases beam capture whenever the sun is south and
         // below the complement of the tilt.
-        if (el_deg < 64.0) EXPECT_GT(tilted.beam, flat.beam * 0.999);
+        if (el_deg < 64.0) {
+            EXPECT_GT(tilted.beam, flat.beam * 0.999);
+        }
     }
 }
 

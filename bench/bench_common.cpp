@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "pvfp/util/error.hpp"
+#include "pvfp/util/parallel.hpp"
 
 namespace pvfp::bench {
 
@@ -66,7 +67,8 @@ BenchReporter::~BenchReporter() {
         const Record& r = records_[i];
         out << "  {\"name\": \"" << json_escape(r.name)
             << "\", \"wall_ms\": " << r.wall_ms
-            << ", \"iterations\": " << r.iterations << '}'
+            << ", \"iterations\": " << r.iterations
+            << ", \"threads\": " << r.threads << '}'
             << (i + 1 < records_.size() ? "," : "") << '\n';
     }
     out << "]\n";
@@ -76,7 +78,8 @@ BenchReporter::~BenchReporter() {
 
 void BenchReporter::record(std::string name, double wall_ms,
                            std::int64_t iterations) {
-    records_.push_back({std::move(name), wall_ms, iterations});
+    records_.push_back(
+        {std::move(name), wall_ms, iterations, pvfp::thread_count()});
 }
 
 BenchReporter::Scope::Scope(BenchReporter& reporter, std::string name,

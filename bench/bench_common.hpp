@@ -18,9 +18,11 @@ namespace pvfp::bench {
 
 /// Machine-readable bench output.  Every harness constructs one reporter
 /// from its command line; passing `--json <path>` makes the destructor
-/// write a JSON array of `{"name": ..., "wall_ms": ..., "iterations": ...}`
-/// records, one per timed section, so CI can append trajectory points
-/// (`BENCH_*.json`) across PRs.  Without the flag the reporter is inert.
+/// write a JSON array of `{"name": ..., "wall_ms": ..., "iterations": ...,
+/// "threads": ...}` records, one per timed section, so CI can append
+/// trajectory points (`BENCH_*.json`) across PRs.  `threads` is the
+/// thread-pool size at record time, so thread-sweep sections yield
+/// speedup trajectories.  Without the flag the reporter is inert.
 class BenchReporter {
 public:
     /// Consumes `--json <path>` from the argument list (other arguments
@@ -34,7 +36,8 @@ public:
     BenchReporter(const BenchReporter&) = delete;
     BenchReporter& operator=(const BenchReporter&) = delete;
 
-    /// Append one record.
+    /// Append one record; the current pvfp::thread_count() is captured
+    /// with it.
     void record(std::string name, double wall_ms,
                 std::int64_t iterations = 1);
 
@@ -66,6 +69,7 @@ private:
         std::string name;
         double wall_ms;
         std::int64_t iterations;
+        int threads;
     };
 
     std::string path_;

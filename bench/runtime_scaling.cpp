@@ -10,7 +10,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "pvfp/core/greedy_placer.hpp"
+#include "pvfp/geo/horizon.hpp"
+#include "pvfp/geo/raster.hpp"
+#include "pvfp/util/parallel.hpp"
 #include "pvfp/util/rng.hpp"
 
 namespace {
@@ -98,6 +103,53 @@ void BM_EnumerateAnchors(benchmark::State& state) {
 }
 BENCHMARK(BM_EnumerateAnchors)->Arg(72)->Arg(288)->Arg(1152)->Complexity(
     benchmark::oN);
+
+/// Thread sweep of the prepare-time bottleneck (HorizonMap ray sweep):
+/// Arg = thread count, so the per-Arg timings are the speedup curve and
+/// the reported counter mirrors the `threads` field of the hand-rolled
+/// benches' --json records.
+void BM_HorizonMapThreadSweep(benchmark::State& state) {
+    const int threads = static_cast<int>(state.range(0));
+    pvfp::set_thread_count(threads);
+    // A DSM with structure so the march does real work: random boxes.
+    pvfp::geo::Raster dsm(160, 96, 0.2, 5.0);
+    pvfp::Rng rng(17);
+    for (int b = 0; b < 24; ++b) {
+        const int bx = static_cast<int>(rng.uniform_int(150));
+        const int by = static_cast<int>(rng.uniform_int(90));
+        const double h = rng.uniform(0.5, 4.0);
+        for (int y = by; y < std::min(96, by + 6); ++y)
+            for (int x = bx; x < std::min(160, bx + 6); ++x)
+                dsm(x, y) += h;
+    }
+    pvfp::geo::HorizonOptions opt;
+    opt.azimuth_sectors = 48;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pvfp::geo::HorizonMap(dsm, 8, 8, 144, 80, opt));
+    }
+    state.counters["threads"] = threads;
+    pvfp::set_thread_count(0);  // restore the default pool
+}
+BENCHMARK(BM_HorizonMapThreadSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Thread sweep of the placement scoring path on a large synthetic area.
+void BM_GreedyThreadSweep(benchmark::State& state) {
+    const int threads = static_cast<int>(state.range(0));
+    pvfp::set_thread_count(threads);
+    const Instance inst = make_instance(576, 51, 19);
+    const core::PanelGeometry g{8, 4};
+    const pv::Topology topo{8, 4};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::place_greedy(inst.area, inst.suitability, g, topo));
+    }
+    state.counters["threads"] = threads;
+    pvfp::set_thread_count(0);
+}
+BENCHMARK(BM_GreedyThreadSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

@@ -3,13 +3,20 @@
 /// production of the proposed PV floorplanning algorithm with respect to
 /// traditional placements": three roofs x N in {16, 32}, m = 8 series.
 ///
-/// For each configuration the harness prints the paper's reported values
-/// next to the measured ones, plus the diagnostics behind the gains
-/// (mismatch loss avoided, wiring overhead paid).
+/// The whole campaign runs through the batch API (core::run_scenarios):
+/// the three roofs are prepared and compared concurrently on the thread
+/// pool, which is what makes the full-resolution reproduction scale with
+/// cores.  A final thread sweep re-times one evaluation at 1/2/4/max
+/// threads (each `--json` record carries a `threads` field) and checks
+/// that the energies are bitwise identical at every thread count.
 
+#include <algorithm>
 #include <iostream>
+#include <optional>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "pvfp/util/parallel.hpp"
 #include "pvfp/util/table.hpp"
 
 namespace {
@@ -36,23 +43,36 @@ constexpr PaperRow kPaperRows[] = {
 int main(int argc, char** argv) {
     using namespace pvfp;
     bench::BenchReporter reporter(argc, argv);
-    const auto whole_run = reporter.time_section("table1_production/total");
+    // The `total` record is the cross-PR trajectory key: it must keep
+    // measuring the campaign only, so it is closed before the thread
+    // sweep below.
+    std::optional<bench::BenchReporter::Scope> whole_run;
+    whole_run.emplace(reporter, "table1_production/total", 1);
     bench::print_banner(std::cout, "Table I: yearly PV system production",
                         "Vinco et al., DATE 2018, Table I / Section V-B");
 
-    std::vector<core::PreparedScenario> roofs;
+    // The full campaign as one batch: prepare + place + evaluate the
+    // three roofs for both paper topologies (N = 16 and N = 32).
+    core::BatchOptions batch;
+    batch.topologies = {bench::paper_topology(16), bench::paper_topology(32)};
+    batch.greedy = bench::paper_greedy_options();
+    batch.eval = bench::paper_eval_options();
+
+    std::vector<core::ScenarioReport> reports;
     {
-        const auto prep =
-            reporter.time_section("table1_production/prepare_roofs", 3);
-        roofs = bench::prepare_paper_roofs();
+        const auto section =
+            reporter.time_section("table1_production/run_scenarios");
+        const auto scenarios = core::make_paper_roofs();
+        reports = core::run_scenarios(scenarios, bench::paper_config(),
+                                      batch);
     }
 
     TextTable geometry({"Roof", "WxL [cells]", "Ng (here)", "Ng (paper)",
                         "tilt", "azimuth"});
     geometry.set_align(0, Align::Left);
     const int paper_ng[] = {9416, 11892, 11672};
-    for (std::size_t r = 0; r < roofs.size(); ++r) {
-        const auto& p = roofs[r];
+    for (std::size_t r = 0; r < reports.size(); ++r) {
+        const auto& p = reports[r].prepared;
         geometry.add_row({p.name,
                           std::to_string(p.area.width) + "x" +
                               std::to_string(p.area.height),
@@ -71,15 +91,10 @@ int main(int argc, char** argv) {
     table.set_align(0, Align::Left);
 
     std::size_t paper_idx = 0;
-    for (const auto& prepared : roofs) {
-        for (const int n : {16, 32}) {
-            const auto topo = bench::paper_topology(n);
-            const auto section = reporter.time_section(
-                "table1_production/" + prepared.name + "/n" +
-                std::to_string(n));
-            const auto cmp = core::compare_placements(
-                prepared, topo, bench::paper_greedy_options(),
-                bench::paper_eval_options());
+    for (const auto& report : reports) {
+        for (std::size_t t = 0; t < batch.topologies.size(); ++t) {
+            const int n = batch.topologies[t].total();
+            const auto& cmp = report.comparisons[t];
             const PaperRow& ref = kPaperRows[paper_idx++];
             const char* mode =
                 cmp.traditional_mode == core::CompactMode::FullBlock
@@ -88,7 +103,7 @@ int main(int argc, char** argv) {
                            ? "rows"
                            : "per-mod");
             table.add_row(
-                {prepared.name, std::to_string(n),
+                {report.prepared.name, std::to_string(n),
                  TextTable::num(cmp.traditional_eval.net_mwh(), 3),
                  TextTable::num(cmp.proposed_eval.net_mwh(), 3),
                  TextTable::pct(cmp.improvement()),
@@ -104,6 +119,37 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
 
+    whole_run.reset();  // campaign done: close the trajectory record
+
+    // Thread sweep over the heaviest single evaluation (Roof 1, N = 32):
+    // one record per thread count (the `threads` JSON field captures the
+    // sweep), plus a bitwise determinism check across all counts.
+    const int hw_threads = thread_count();
+    std::vector<int> sweep{1, 2, 4, hw_threads};
+    std::sort(sweep.begin(), sweep.end());
+    sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+    const auto& roof1 = reports.front();
+    const auto& plan = roof1.comparisons.back().proposed;
+    std::vector<double> sweep_energies;
+    for (const int t : sweep) {
+        set_thread_count(t);
+        const auto section = reporter.time_section(
+            "table1_production/thread_sweep/eval_roof1_n32");
+        const auto eval = core::evaluate_floorplan(
+            plan, roof1.prepared.area, roof1.prepared.field,
+            roof1.prepared.model, batch.eval);
+        sweep_energies.push_back(eval.energy_kwh);
+    }
+    set_thread_count(0);  // restore the default
+    bool bitwise_equal = true;
+    for (const double e : sweep_energies)
+        bitwise_equal = bitwise_equal && e == sweep_energies.front();
+    std::cout << "\nThread sweep (Roof 1, N=32 evaluation) at {";
+    for (std::size_t i = 0; i < sweep.size(); ++i)
+        std::cout << (i ? "," : "") << sweep[i];
+    std::cout << "} threads: energies bitwise "
+              << (bitwise_equal ? "IDENTICAL" : "DIFFERENT (BUG)") << '\n';
+
     std::cout
         << "\nShape checks (paper Section V-B):\n"
         << "  - proposed >= traditional on every configuration;\n"
@@ -115,5 +161,5 @@ int main(int argc, char** argv) {
         << "    ordering;\n"
         << "  - see bench/ablation_granularity for how the gain depends\n"
         << "    on the paper's cell-granular evaluation convention.\n";
-    return 0;
+    return bitwise_equal ? 0 : 1;
 }

@@ -20,26 +20,34 @@ int main() {
 
     core::ScenarioConfig config;
     // Coarser time axis than the paper benches: hourly steps keep this
-    // example interactive (~15 s) while preserving the ranking behaviour.
+    // example interactive while preserving the ranking behaviour.
     config.grid = TimeGrid(60, 1, 365);
     config.weather.seed = 42;
+
+    // The whole campaign through the batch runner: the three roofs are
+    // prepared and compared concurrently on the thread pool (policy Auto
+    // picks outer- vs inner-loop parallelism; see README "Performance &
+    // threading").
+    core::BatchOptions batch;
+    batch.topologies = {pv::Topology{8, 2}, pv::Topology{8, 4}};
+    const auto scenarios = core::make_paper_roofs();
+    const auto reports = core::run_scenarios(scenarios, config, batch);
 
     TextTable table({"Roof", "Ng", "N", "compact MWh", "proposed MWh",
                      "gain", "baseline mode"});
     table.set_align(0, Align::Left);
 
-    for (const auto& scenario : core::make_paper_roofs()) {
-        const auto prepared = core::prepare_scenario(scenario, config);
+    for (const auto& report : reports) {
+        const auto& prepared = report.prepared;
 
         // GIS interchange: export the synthetic DSM for inspection in
         // QGIS/GDAL (read back with geo::read_asc_grid_file).
         const std::string path =
-            "dsm_" + std::string(1, scenario.name.back()) + ".asc";
+            "dsm_" + std::string(1, prepared.name.back()) + ".asc";
         geo::write_asc_grid_file(prepared.dsm, path);
 
-        for (const int n : {16, 32}) {
-            const pv::Topology topo{8, n / 8};
-            const auto cmp = core::compare_placements(prepared, topo);
+        for (std::size_t t = 0; t < batch.topologies.size(); ++t) {
+            const auto& cmp = report.comparisons[t];
             const char* mode =
                 cmp.traditional_mode == core::CompactMode::FullBlock
                     ? "block"
@@ -48,7 +56,7 @@ int main() {
                            : "per-module");
             table.add_row({prepared.name,
                            std::to_string(prepared.area.valid_count),
-                           std::to_string(n),
+                           std::to_string(batch.topologies[t].total()),
                            TextTable::num(cmp.traditional_eval.net_mwh(), 3),
                            TextTable::num(cmp.proposed_eval.net_mwh(), 3),
                            TextTable::pct(cmp.improvement()) + "%", mode});

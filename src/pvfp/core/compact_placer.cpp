@@ -5,9 +5,40 @@
 #include <limits>
 
 #include "pvfp/util/error.hpp"
+#include "pvfp/util/parallel.hpp"
 
 namespace pvfp::core {
 namespace {
+
+/// Result of a parallel argmax scan over candidate positions.  Combining
+/// partials in chunk order with "strictly greater wins" reproduces the
+/// sequential scan's first-candidate-wins tie-breaking exactly, so the
+/// chosen position is independent of the thread count.
+struct ScanBest {
+    double score = -std::numeric_limits<double>::infinity();
+    long index = -1;  ///< flat scan index of the winner (-1: none)
+};
+
+ScanBest better_of(ScanBest a, const ScanBest& b) {
+    return b.score > a.score ? b : a;
+}
+
+/// Argmax of score(index) over [0, count) in scan order; score returns
+/// -infinity for invalid candidates.  Chunked over \p chunk indices.
+template <typename ScoreFn>
+ScanBest parallel_scan_best(long count, long chunk, const ScoreFn& score) {
+    return parallel_reduce(
+        0L, count, chunk, ScanBest{},
+        [&](long b, long e) {
+            ScanBest best;
+            for (long i = b; i < e; ++i) {
+                const double s = score(i);
+                if (s > best.score) best = {s, i};
+            }
+            return best;
+        },
+        better_of);
+}
 
 /// All-valid test for a w x h cell rectangle at (x,y).
 bool rect_valid(const geo::PlacementArea& area, int x, int y, int w, int h) {
@@ -62,20 +93,24 @@ CompactResult place_compact(const geo::PlacementArea& area,
     const int block_w = m * geometry.k1;
     const int block_h = n * geometry.k2;
     {
-        double best = -std::numeric_limits<double>::infinity();
-        int bx = -1;
-        int by = -1;
-        for (int y = 0; y + block_h <= area.height; ++y) {
-            for (int x = 0; x + block_w <= area.width; ++x) {
-                if (!rect_valid(area, x, y, block_w, block_h)) continue;
-                const double s = sat.rect_sum(x, y, block_w, block_h);
-                if (s > best) {
-                    best = s;
-                    bx = x;
-                    by = y;
-                }
-            }
-        }
+        const long nx = area.width - block_w + 1;
+        const long ny = area.height - block_h + 1;
+        const ScanBest found = parallel_scan_best(
+            std::max(0L, nx) * std::max(0L, ny), 4 * std::max(1L, nx),
+            [&](long i) {
+                const int x = static_cast<int>(i % nx);
+                const int y = static_cast<int>(i / nx);
+                if (!rect_valid(area, x, y, block_w, block_h))
+                    return -std::numeric_limits<double>::infinity();
+                return sat.rect_sum(x, y, block_w, block_h);
+            });
+        const double best = found.score;
+        const int bx = found.index >= 0
+                           ? static_cast<int>(found.index % nx)
+                           : -1;
+        const int by = found.index >= 0
+                           ? static_cast<int>(found.index / nx)
+                           : -1;
         if (bx >= 0) {
             for (int j = 0; j < n; ++j)
                 for (int i = 0; i < m; ++i)
@@ -102,14 +137,20 @@ CompactResult place_compact(const geo::PlacementArea& area,
         bool ok = true;
         int prev_x = -1;
         int prev_y = -1;
+        const long nx = area.width - row_w + 1;
+        const long ny = area.height - row_h + 1;
         for (int j = 0; j < n && ok; ++j) {
-            double best = -std::numeric_limits<double>::infinity();
-            int bx = -1;
-            int by = -1;
-            for (int y = 0; y + row_h <= area.height; ++y) {
-                for (int x = 0; x + row_w <= area.width; ++x) {
-                    if (!rect_valid(area, x, y, row_w, row_h)) continue;
-                    if (!occ.free_rect(x, y, row_w, row_h)) continue;
+            // Strings are placed sequentially (each depends on the
+            // occupancy and position of the previous), but the candidate
+            // scan for one row parallelizes.
+            const ScanBest found = parallel_scan_best(
+                std::max(0L, nx) * std::max(0L, ny), 4 * std::max(1L, nx),
+                [&](long i) {
+                    const int x = static_cast<int>(i % nx);
+                    const int y = static_cast<int>(i / nx);
+                    if (!rect_valid(area, x, y, row_w, row_h) ||
+                        !occ.free_rect(x, y, row_w, row_h))
+                        return -std::numeric_limits<double>::infinity();
                     double s = sat.rect_sum(x, y, row_w, row_h);
                     // Keep rows near each other: tiny distance penalty so
                     // equal-suitability rows stack compactly.
@@ -119,13 +160,15 @@ CompactResult place_compact(const geo::PlacementArea& area,
                             static_cast<double>(y - prev_y));
                         s -= 1e-6 * d;
                     }
-                    if (s > best) {
-                        best = s;
-                        bx = x;
-                        by = y;
-                    }
-                }
-            }
+                    return s;
+                });
+            const double best = found.score;
+            const int bx = found.index >= 0
+                               ? static_cast<int>(found.index % nx)
+                               : -1;
+            const int by = found.index >= 0
+                               ? static_cast<int>(found.index / nx)
+                               : -1;
             if (bx < 0) {
                 ok = false;
                 break;
@@ -158,28 +201,27 @@ CompactResult place_compact(const geo::PlacementArea& area,
         plan.topology = topology;
         double total = 0.0;
         for (int k = 0; k < topology.total(); ++k) {
-            double best = -std::numeric_limits<double>::infinity();
-            int best_idx = -1;
-            for (std::size_t a = 0; a < anchors.size(); ++a) {
-                const auto& pos = anchors[a];
-                if (!occ.free_rect(pos.x, pos.y, geometry.k1, geometry.k2))
-                    continue;
-                double s = 0.0;
-                for (int yy = pos.y; yy < pos.y + geometry.k2; ++yy)
-                    for (int xx = pos.x; xx < pos.x + geometry.k1; ++xx)
-                        s += suitability(xx, yy);
-                if (!plan.modules.empty()) {
-                    // Compactness dominates: huge penalty per cell of
-                    // distance to the previous module.
-                    const double d = center_distance_cells(
-                        pos, plan.modules.back(), geometry);
-                    s -= 1e3 * d;
-                }
-                if (s > best) {
-                    best = s;
-                    best_idx = static_cast<int>(a);
-                }
-            }
+            const ScanBest found = parallel_scan_best(
+                static_cast<long>(anchors.size()), 128, [&](long a) {
+                    const auto& pos = anchors[static_cast<std::size_t>(a)];
+                    if (!occ.free_rect(pos.x, pos.y, geometry.k1,
+                                       geometry.k2))
+                        return -std::numeric_limits<double>::infinity();
+                    double s = 0.0;
+                    for (int yy = pos.y; yy < pos.y + geometry.k2; ++yy)
+                        for (int xx = pos.x; xx < pos.x + geometry.k1; ++xx)
+                            s += suitability(xx, yy);
+                    if (!plan.modules.empty()) {
+                        // Compactness dominates: huge penalty per cell of
+                        // distance to the previous module.
+                        const double d = center_distance_cells(
+                            pos, plan.modules.back(), geometry);
+                        s -= 1e3 * d;
+                    }
+                    return s;
+                });
+            const double best = found.score;
+            const int best_idx = static_cast<int>(found.index);
             if (best_idx < 0)
                 throw Infeasible(
                     "place_compact: cannot place all modules even "

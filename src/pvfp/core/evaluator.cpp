@@ -6,33 +6,88 @@
 
 #include "pvfp/pv/array.hpp"
 #include "pvfp/util/error.hpp"
+#include "pvfp/util/parallel.hpp"
 
 namespace pvfp::core {
+namespace {
+
+/// Sampled time steps per parallel shard.  Fixed (independent of the
+/// thread count) so the shard grid — and therefore the order in which
+/// partial energies are merged — is reproducible at any parallelism.
+constexpr long kStepsPerShard = 256;
+
+/// Unchecked core of module_irradiance: preconditions (module index in
+/// range, footprint inside the field window, step in range) are
+/// validated once at the evaluate_floorplan boundary.
+double module_irradiance_raw(const Floorplan& plan, int module_index,
+                             const solar::IrradianceField& field, long step,
+                             ModuleIrradiance mode) {
+    const ModulePlacement& m =
+        plan.modules[static_cast<std::size_t>(module_index)];
+    const PanelGeometry& g = plan.geometry;
+    if (mode == ModuleIrradiance::AnchorCell) {
+        return field.cell_irradiance_unchecked(m.x, m.y, step);
+    }
+    if (mode == ModuleIrradiance::WorstCell) {
+        double worst = std::numeric_limits<double>::infinity();
+        for (int yy = m.y; yy < m.y + g.k2; ++yy)
+            for (int xx = m.x; xx < m.x + g.k1; ++xx)
+                worst = std::min(
+                    worst, field.cell_irradiance_unchecked(xx, yy, step));
+        return worst;
+    }
+    double acc = 0.0;
+    for (int yy = m.y; yy < m.y + g.k2; ++yy)
+        for (int xx = m.x; xx < m.x + g.k1; ++xx)
+            acc += field.cell_irradiance_unchecked(xx, yy, step);
+    return acc / g.cell_count();
+}
+
+/// Per-shard accumulator: the time-dependent slice of EvaluationResult.
+/// Shards cover disjoint step ranges and are merged in shard order, so
+/// the fold is associative-by-construction and bitwise-reproducible.
+struct Partial {
+    double energy_kwh = 0.0;
+    double ideal_energy_kwh = 0.0;
+    double mismatch_loss_kwh = 0.0;
+    double wiring_loss_kwh = 0.0;
+    std::vector<double> string_energy_kwh;
+    std::vector<double> string_wiring_loss_kwh;
+
+    explicit Partial(std::size_t n_strings = 0)
+        : string_energy_kwh(n_strings, 0.0),
+          string_wiring_loss_kwh(n_strings, 0.0) {}
+};
+
+Partial merge(Partial acc, const Partial& p) {
+    acc.energy_kwh += p.energy_kwh;
+    acc.ideal_energy_kwh += p.ideal_energy_kwh;
+    acc.mismatch_loss_kwh += p.mismatch_loss_kwh;
+    acc.wiring_loss_kwh += p.wiring_loss_kwh;
+    for (std::size_t j = 0; j < acc.string_energy_kwh.size(); ++j) {
+        acc.string_energy_kwh[j] += p.string_energy_kwh[j];
+        acc.string_wiring_loss_kwh[j] += p.string_wiring_loss_kwh[j];
+    }
+    return acc;
+}
+
+}  // namespace
 
 double module_irradiance(const Floorplan& plan, int module_index,
                          const solar::IrradianceField& field, long step,
                          ModuleIrradiance mode) {
     check_arg(module_index >= 0 && module_index < plan.module_count(),
               "module_irradiance: index out of range");
+    check_arg(step >= 0 && step < field.steps(),
+              "module_irradiance: step out of range");
     const ModulePlacement& m =
         plan.modules[static_cast<std::size_t>(module_index)];
-    const PanelGeometry& g = plan.geometry;
-    if (mode == ModuleIrradiance::AnchorCell) {
-        return field.cell_irradiance(m.x, m.y, step);
-    }
-    if (mode == ModuleIrradiance::WorstCell) {
-        double worst = std::numeric_limits<double>::infinity();
-        for (int yy = m.y; yy < m.y + g.k2; ++yy)
-            for (int xx = m.x; xx < m.x + g.k1; ++xx)
-                worst = std::min(worst,
-                                 field.cell_irradiance(xx, yy, step));
-        return worst;
-    }
-    double acc = 0.0;
-    for (int yy = m.y; yy < m.y + g.k2; ++yy)
-        for (int xx = m.x; xx < m.x + g.k1; ++xx)
-            acc += field.cell_irradiance(xx, yy, step);
-    return acc / g.cell_count();
+    check_arg(m.x >= 0 && m.y >= 0 &&
+                  m.x + plan.geometry.k1 <= field.width() &&
+                  m.y + plan.geometry.k2 <= field.height(),
+              "module_irradiance: module footprint outside the field "
+              "window");
+    return module_irradiance_raw(plan, module_index, field, step, mode);
 }
 
 EvaluationResult evaluate_floorplan(const Floorplan& plan,
@@ -48,6 +103,10 @@ EvaluationResult evaluate_floorplan(const Floorplan& plan,
     check_arg(options.step_stride >= 1,
               "evaluate_floorplan: step_stride must be >= 1");
     pv::check_topology(plan.topology, plan.module_count());
+    // Boundary validation complete: feasibility puts every module
+    // footprint inside the area (== the field window) and the step loops
+    // below stay inside [0, steps) by construction, so the inner loops
+    // use the unchecked field accessors.
 
     const int n_modules = plan.module_count();
     const int n_strings = plan.topology.strings;
@@ -67,47 +126,78 @@ EvaluationResult evaluate_floorplan(const Floorplan& plan,
     result.wiring_cost_usd = pv::wiring_cost(extra_lengths, options.wiring);
 
     const double k_th = field.config().thermal_k;
-    const double dt_h = field.time_grid().step_hours() *
-                        static_cast<double>(options.step_stride);
+    const double step_h = field.time_grid().step_hours();
+    const long n_steps = field.steps();
+    const long stride = options.step_stride;
+    const long n_samples = (n_steps + stride - 1) / stride;
 
-    std::vector<pv::OperatingPoint> points(
-        static_cast<std::size_t>(n_modules));
-    for (long s = 0; s < field.steps(); s += options.step_stride) {
-        if (!field.is_daylight(s)) continue;
-        const double t_air = field.air_temperature(s);
-        for (int i = 0; i < n_modules; ++i) {
-            const double g = module_irradiance(plan, i, field, s,
-                                               options.module_irradiance);
-            const double tact = t_air + k_th * g;
-            points[static_cast<std::size_t>(i)] =
-                model.operating_point(g, tact);
-        }
-        const auto panel = pv::aggregate_panel(points, plan.topology);
+    // Shard the time axis over sampled steps; each shard accumulates its
+    // own Partial and the partials merge in shard order.
+    const Partial total = parallel_reduce(
+        0L, n_samples, kStepsPerShard, Partial(static_cast<std::size_t>(n_strings)),
+        [&](long kb, long ke) {
+            Partial p(static_cast<std::size_t>(n_strings));
+            std::vector<pv::OperatingPoint> points(
+                static_cast<std::size_t>(n_modules));
+            for (long k = kb; k < ke; ++k) {
+                const long s = k * stride;
+                if (!field.is_daylight(s)) continue;
+                // The sampled step stands in for the next `stride` real
+                // steps — except the last sample, which only represents
+                // the steps that actually remain in the horizon.
+                const double dt_h =
+                    step_h * static_cast<double>(
+                                 std::min(stride, n_steps - s));
+                const double t_air = field.air_temperature(s);
+                for (int i = 0; i < n_modules; ++i) {
+                    const double g = module_irradiance_raw(
+                        plan, i, field, s, options.module_irradiance);
+                    const double tact = t_air + k_th * g;
+                    points[static_cast<std::size_t>(i)] =
+                        model.operating_point(g, tact);
+                }
+                const auto panel = pv::aggregate_panel(points, plan.topology);
 
-        double wiring_w = 0.0;
-        if (options.include_wiring_loss) {
-            for (int j = 0; j < n_strings; ++j) {
-                const double loss = pv::wiring_power_loss(
-                    extra_lengths[static_cast<std::size_t>(j)],
-                    panel.strings[static_cast<std::size_t>(j)].current_a,
-                    options.wiring);
-                wiring_w += loss;
-                result.strings[static_cast<std::size_t>(j)]
-                    .wiring_loss_kwh += loss * dt_h / 1000.0;
+                double wiring_w = 0.0;
+                if (options.include_wiring_loss) {
+                    for (int j = 0; j < n_strings; ++j) {
+                        const double loss = pv::wiring_power_loss(
+                            extra_lengths[static_cast<std::size_t>(j)],
+                            panel.strings[static_cast<std::size_t>(j)]
+                                .current_a,
+                            options.wiring);
+                        wiring_w += loss;
+                        p.string_wiring_loss_kwh[static_cast<std::size_t>(
+                            j)] += loss * dt_h / 1000.0;
+                    }
+                }
+
+                const double net_w = std::max(0.0, panel.power_w - wiring_w);
+                p.energy_kwh += net_w * dt_h / 1000.0;
+                p.ideal_energy_kwh += panel.ideal_power_w * dt_h / 1000.0;
+                p.mismatch_loss_kwh += panel.mismatch_loss_w * dt_h / 1000.0;
+                p.wiring_loss_kwh += wiring_w * dt_h / 1000.0;
+                for (int j = 0; j < n_strings; ++j) {
+                    p.string_energy_kwh[static_cast<std::size_t>(j)] +=
+                        panel.voltage_v *
+                        panel.strings[static_cast<std::size_t>(j)]
+                            .current_a *
+                        dt_h / 1000.0;
+                }
             }
-        }
+            return p;
+        },
+        merge);
 
-        const double net_w = std::max(0.0, panel.power_w - wiring_w);
-        result.energy_kwh += net_w * dt_h / 1000.0;
-        result.ideal_energy_kwh += panel.ideal_power_w * dt_h / 1000.0;
-        result.mismatch_loss_kwh += panel.mismatch_loss_w * dt_h / 1000.0;
-        result.wiring_loss_kwh += wiring_w * dt_h / 1000.0;
-        for (int j = 0; j < n_strings; ++j) {
-            result.strings[static_cast<std::size_t>(j)].energy_kwh +=
-                panel.voltage_v *
-                panel.strings[static_cast<std::size_t>(j)].current_a * dt_h /
-                1000.0;
-        }
+    result.energy_kwh = total.energy_kwh;
+    result.ideal_energy_kwh = total.ideal_energy_kwh;
+    result.mismatch_loss_kwh = total.mismatch_loss_kwh;
+    result.wiring_loss_kwh = total.wiring_loss_kwh;
+    for (int j = 0; j < n_strings; ++j) {
+        result.strings[static_cast<std::size_t>(j)].energy_kwh =
+            total.string_energy_kwh[static_cast<std::size_t>(j)];
+        result.strings[static_cast<std::size_t>(j)].wiring_loss_kwh =
+            total.string_wiring_loss_kwh[static_cast<std::size_t>(j)];
     }
     return result;
 }

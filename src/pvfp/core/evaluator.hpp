@@ -33,7 +33,9 @@ struct EvaluationOptions {
     pv::WiringSpec wiring{};
     bool include_wiring_loss = true;
     ModuleIrradiance module_irradiance = ModuleIrradiance::FootprintMean;
-    /// Evaluate every k-th step and scale energy by k (>=1); exact at 1.
+    /// Evaluate every k-th step; each sampled step is billed for the real
+    /// steps it represents (k, clamped for the trailing interval when the
+    /// horizon is not a multiple of k).  Exact at 1.
     long step_stride = 1;
 };
 
@@ -69,7 +71,9 @@ EvaluationResult evaluate_floorplan(const Floorplan& plan,
                                     const pv::EmpiricalModuleModel& model,
                                     const EvaluationOptions& options = {});
 
-/// Footprint irradiance of one module at one step (exposed for tests).
+/// Footprint irradiance of one module at one step (exposed for tests);
+/// validates the module index, the step, and that the module footprint
+/// lies inside the field window.
 double module_irradiance(const Floorplan& plan, int module_index,
                          const solar::IrradianceField& field, long step,
                          ModuleIrradiance mode);

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "pvfp/util/error.hpp"
+#include "pvfp/util/parallel.hpp"
 
 namespace pvfp::core {
 namespace {
@@ -68,14 +69,22 @@ Floorplan place_greedy(const geo::PlacementArea& area,
     check_arg(n_modules > 0, "place_greedy: topology with no modules");
 
     // Line 1-2 of Fig. 5: candidate list sorted by non-increasing
-    // suitability (position as a deterministic secondary key).
-    std::vector<Candidate> list;
-    for (const auto& a : enumerate_anchors(area, geometry)) {
-        list.push_back(
-            {a, anchor_score(suitability, geometry, a.x, a.y,
-                             options.anchor_score),
-             false});
-    }
+    // suitability (position as a deterministic secondary key).  Scoring
+    // the anchors is embarrassingly parallel: each candidate writes only
+    // its own slot, so the chunked loop is deterministic.
+    const auto anchors = enumerate_anchors(area, geometry);
+    std::vector<Candidate> list(anchors.size());
+    parallel_for(
+        0, static_cast<long>(anchors.size()), 256, [&](long b, long e) {
+            for (long k = b; k < e; ++k) {
+                const auto& a = anchors[static_cast<std::size_t>(k)];
+                list[static_cast<std::size_t>(k)] = {
+                    a,
+                    anchor_score(suitability, geometry, a.x, a.y,
+                                 options.anchor_score),
+                    false};
+            }
+        });
     if (list.empty())
         throw Infeasible("place_greedy: no feasible anchor on this area");
     std::sort(list.begin(), list.end(), [](const Candidate& a,

@@ -1,6 +1,10 @@
 #include "pvfp/core/pipeline.hpp"
 
+#include <optional>
+#include <utility>
+
 #include "pvfp/util/error.hpp"
+#include "pvfp/util/parallel.hpp"
 
 namespace pvfp::core {
 
@@ -81,6 +85,54 @@ PlacementComparison compare_placements(const PreparedScenario& prepared,
         evaluate_floorplan(cmp.proposed, prepared.area, prepared.field,
                            prepared.model, eval_options);
     return cmp;
+}
+
+std::vector<ScenarioReport> run_scenarios(
+    std::span<const RoofScenario> scenarios, const ScenarioConfig& config,
+    const BatchOptions& options) {
+    check_arg(!options.topologies.empty(),
+              "run_scenarios: no topologies to compare");
+
+    const long n = static_cast<long>(scenarios.size());
+    // PreparedScenario has no default constructor; build into optionals
+    // (one slot per scenario — disjoint writes) and unwrap at the end.
+    std::vector<std::optional<ScenarioReport>> slots(
+        static_cast<std::size_t>(n));
+
+    const auto process = [&](long i) {
+        ScenarioReport report{
+            prepare_scenario(scenarios[static_cast<std::size_t>(i)],
+                             config),
+            {}};
+        report.comparisons.reserve(options.topologies.size());
+        for (const auto& topology : options.topologies)
+            report.comparisons.push_back(
+                compare_placements(report.prepared, topology,
+                                   options.greedy, options.eval));
+        slots[static_cast<std::size_t>(i)] = std::move(report);
+    };
+
+    const bool outer =
+        options.policy == ParallelPolicy::OuterScenarios ||
+        (options.policy == ParallelPolicy::Auto && n >= thread_count());
+    if (outer && n > 1) {
+        // One scenario per task; SerialScope keeps each scenario's inner
+        // loops inline so the pool is not oversubscribed by nested
+        // fan-out.
+        parallel_for(0, n, 1, [&](long b, long e) {
+            SerialScope serial;
+            for (long i = b; i < e; ++i) process(i);
+        });
+    } else {
+        // Few big roofs: let each scenario's horizon / field / evaluator
+        // loops use the whole pool instead.
+        for (long i = 0; i < n; ++i) process(i);
+    }
+
+    std::vector<ScenarioReport> reports;
+    reports.reserve(static_cast<std::size_t>(n));
+    for (auto& slot : slots) reports.push_back(std::move(*slot));
+    return reports;
 }
 
 }  // namespace pvfp::core

@@ -6,6 +6,7 @@
 /// extraction of Section IV feeding the algorithm of Section III), and the
 /// single entry point used by examples and benches.
 
+#include <span>
 #include <string>
 
 #include "pvfp/core/compact_placer.hpp"
@@ -71,5 +72,45 @@ PlacementComparison compare_placements(
     const PreparedScenario& prepared, const pv::Topology& topology,
     const GreedyOptions& greedy_options = {},
     const EvaluationOptions& eval_options = {});
+
+/// How the batch runner distributes its work over the thread pool.
+enum class ParallelPolicy {
+    /// Outer-loop when the batch is at least as wide as the pool (many
+    /// small roofs), inner-loop otherwise (few big roofs).
+    Auto,
+    /// One scenario per task; each scenario's own loops run serially.
+    /// Best when scenarios are many and individually small.
+    OuterScenarios,
+    /// Scenarios processed one after the other; each one's horizon /
+    /// field / evaluation loops fan out.  Best for few large roofs.
+    InnerLoops,
+};
+
+/// Batch configuration: which topologies to compare on every scenario,
+/// and how to parallelize.
+struct BatchOptions {
+    /// Topologies compared on each scenario (paper Table I: 8x2, 8x4).
+    std::vector<pv::Topology> topologies{{8, 2}, {8, 4}};
+    GreedyOptions greedy{};
+    EvaluationOptions eval{};
+    ParallelPolicy policy = ParallelPolicy::Auto;
+};
+
+/// Everything the batch produced for one scenario.
+struct ScenarioReport {
+    PreparedScenario prepared;
+    /// One comparison per BatchOptions::topologies entry, same order.
+    std::vector<PlacementComparison> comparisons;
+};
+
+/// Prepare and compare many roof scenarios concurrently — the many-roofs
+/// workload (one report per input scenario, input order preserved).
+/// Results are identical under every policy and thread count: scenarios
+/// are independent, and the inner loops use deterministic fixed-chunk
+/// parallelism.  The first exception thrown by any scenario (e.g.
+/// Infeasible when a topology does not fit) is rethrown.
+std::vector<ScenarioReport> run_scenarios(
+    std::span<const RoofScenario> scenarios,
+    const ScenarioConfig& config = {}, const BatchOptions& options = {});
 
 }  // namespace pvfp::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "pvfp/util/error.hpp"
+#include "pvfp/util/parallel.hpp"
 #include "pvfp/util/stats.hpp"
 
 namespace pvfp::core {
@@ -50,17 +51,33 @@ SuitabilityResult compute_suitability(const solar::IrradianceField& field,
         cells.size(),
         pvfp::Histogram(options.t_min_c, options.t_max_c, options.bins));
 
-    const double k_th = field.config().thermal_k;
+    // Resolve the sampled time axis once (stride + daylight filter), then
+    // sweep it per cell: cells own disjoint histograms, so the cell loop
+    // parallelizes with deterministic results (histogram bin counts are
+    // order-independent integers).
+    std::vector<long> sampled;
+    std::vector<double> sampled_t_air;
     for (long s = 0; s < field.steps(); s += options.step_stride) {
         if (options.daylight_only && !field.is_daylight(s)) continue;
-        const double t_air = field.air_temperature(s);
-        for (std::size_t c = 0; c < cells.size(); ++c) {
-            const auto [x, y] = cells[c];
-            const double g = field.cell_irradiance(x, y, s);
-            g_hist[c].add(g);
-            t_hist[c].add(t_air + k_th * g);
-        }
+        sampled.push_back(s);
+        sampled_t_air.push_back(field.air_temperature(s));
     }
+
+    const double k_th = field.config().thermal_k;
+    parallel_for(
+        0, static_cast<long>(cells.size()), 32, [&](long cb, long ce) {
+            for (long c = cb; c < ce; ++c) {
+                const auto [x, y] = cells[static_cast<std::size_t>(c)];
+                auto& gh = g_hist[static_cast<std::size_t>(c)];
+                auto& th = t_hist[static_cast<std::size_t>(c)];
+                for (std::size_t k = 0; k < sampled.size(); ++k) {
+                    const double g = field.cell_irradiance_unchecked(
+                        x, y, sampled[k]);
+                    gh.add(g);
+                    th.add(sampled_t_air[k] + k_th * g);
+                }
+            }
+        });
 
     SuitabilityResult out;
     out.suitability = pvfp::Grid2D<double>(w, h, 0.0);

@@ -1,9 +1,11 @@
 #include "pvfp/geo/horizon.hpp"
 
+#include <cassert>
 #include <cmath>
 
 #include "pvfp/util/error.hpp"
 #include "pvfp/util/math.hpp"
+#include "pvfp/util/parallel.hpp"
 
 namespace pvfp::geo {
 namespace {
@@ -61,42 +63,73 @@ HorizonMap::HorizonMap(const Raster& dsm, int x0, int y0, int win_w,
     angles_.resize(static_cast<std::size_t>(win_w) * win_h * sectors_);
     svf_.resize(static_cast<std::size_t>(win_w) * win_h);
 
-    for (int wy = 0; wy < win_h; ++wy) {
-        for (int wx = 0; wx < win_w; ++wx) {
-            const std::size_t base = base_index(wx, wy);
-            double svf_acc = 0.0;
-            for (int s = 0; s < sectors_; ++s) {
-                const double az = kTwoPi * s / sectors_;
-                const double ang =
-                    march(dsm, x0 + wx, y0 + wy, az, options.max_distance,
-                          step, options.step_growth,
-                          options.max_step_factor * dsm.cell_size(),
-                          options.observer_offset);
-                angles_[base + static_cast<std::size_t>(s)] =
-                    static_cast<float>(ang);
-                const double c = std::cos(ang);
-                svf_acc += c * c;
+    // The win_h x win_w x sectors ray sweep is the prepare-time
+    // bottleneck; rows are independent (each writes its own angles_/svf_
+    // slice), so parallelize over window rows.  One row per chunk keeps
+    // the grid thread-count independent, hence deterministic.
+    parallel_for(0, win_h, 1, [&](long row_begin, long row_end) {
+        for (long wy = row_begin; wy < row_end; ++wy) {
+            for (int wx = 0; wx < win_w; ++wx) {
+                const std::size_t base =
+                    base_index(wx, static_cast<int>(wy));
+                double svf_acc = 0.0;
+                for (int s = 0; s < sectors_; ++s) {
+                    const double az = kTwoPi * s / sectors_;
+                    const double ang = march(
+                        dsm, x0 + wx, y0 + static_cast<int>(wy), az,
+                        options.max_distance, step, options.step_growth,
+                        options.max_step_factor * dsm.cell_size(),
+                        options.observer_offset);
+                    angles_[base + static_cast<std::size_t>(s)] =
+                        static_cast<float>(ang);
+                    const double c = std::cos(ang);
+                    svf_acc += c * c;
+                }
+                svf_[base / static_cast<std::size_t>(sectors_)] =
+                    static_cast<float>(svf_acc / sectors_);
             }
-            svf_[base / static_cast<std::size_t>(sectors_)] =
-                static_cast<float>(svf_acc / sectors_);
         }
-    }
+    });
 }
 
 std::size_t HorizonMap::base_index(int wx, int wy) const {
-    check_arg(wx >= 0 && wx < win_w_ && wy >= 0 && wy < win_h_,
-              "HorizonMap: window cell out of range");
+    // Internal hot path: every public entry (horizon, horizon_at,
+    // sky_view_factor) validates its bounds first, so only a debug
+    // assert remains here.
+    assert(wx >= 0 && wx < win_w_ && wy >= 0 && wy < win_h_);
     return (static_cast<std::size_t>(wy) * win_w_ +
             static_cast<std::size_t>(wx)) *
            static_cast<std::size_t>(sectors_);
 }
 
 double HorizonMap::horizon(int wx, int wy, int s) const {
+    check_arg(wx >= 0 && wx < win_w_ && wy >= 0 && wy < win_h_,
+              "HorizonMap: window cell out of range");
     check_arg(s >= 0 && s < sectors_, "HorizonMap::horizon: bad sector");
     return angles_[base_index(wx, wy) + static_cast<std::size_t>(s)];
 }
 
 double HorizonMap::horizon_at(int wx, int wy, double azimuth_rad) const {
+    check_arg(wx >= 0 && wx < win_w_ && wy >= 0 && wy < win_h_,
+              "HorizonMap: window cell out of range");
+    return horizon_at_unchecked(wx, wy, azimuth_rad);
+}
+
+bool HorizonMap::is_shaded(int wx, int wy, double azimuth_rad,
+                           double elevation_rad) const {
+    check_arg(wx >= 0 && wx < win_w_ && wy >= 0 && wy < win_h_,
+              "HorizonMap: window cell out of range");
+    return is_shaded_unchecked(wx, wy, azimuth_rad, elevation_rad);
+}
+
+double HorizonMap::sky_view_factor(int wx, int wy) const {
+    check_arg(wx >= 0 && wx < win_w_ && wy >= 0 && wy < win_h_,
+              "HorizonMap: window cell out of range");
+    return sky_view_factor_unchecked(wx, wy);
+}
+
+double HorizonMap::horizon_at_unchecked(int wx, int wy,
+                                        double azimuth_rad) const {
     const std::size_t base = base_index(wx, wy);
     const double pos = wrap_two_pi(azimuth_rad) / kTwoPi * sectors_;
     const int s0 = static_cast<int>(pos) % sectors_;
@@ -107,13 +140,13 @@ double HorizonMap::horizon_at(int wx, int wy, double azimuth_rad) const {
     return lerp(a0, a1, frac);
 }
 
-bool HorizonMap::is_shaded(int wx, int wy, double azimuth_rad,
-                           double elevation_rad) const {
+bool HorizonMap::is_shaded_unchecked(int wx, int wy, double azimuth_rad,
+                                     double elevation_rad) const {
     if (elevation_rad <= 0.0) return true;
-    return elevation_rad < horizon_at(wx, wy, azimuth_rad);
+    return elevation_rad < horizon_at_unchecked(wx, wy, azimuth_rad);
 }
 
-double HorizonMap::sky_view_factor(int wx, int wy) const {
+double HorizonMap::sky_view_factor_unchecked(int wx, int wy) const {
     return svf_[base_index(wx, wy) / static_cast<std::size_t>(sectors_)];
 }
 

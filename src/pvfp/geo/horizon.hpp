@@ -72,6 +72,15 @@ public:
     /// SVF = mean over sectors of cos^2(horizon).
     double sky_view_factor(int wx, int wy) const;
 
+    /// Unchecked fast paths of horizon_at / is_shaded / sky_view_factor
+    /// for inner loops whose cell domain is validated once at the
+    /// boundary (the irradiance field).  Precondition (debug-asserted):
+    /// (wx, wy) inside the window.
+    double horizon_at_unchecked(int wx, int wy, double azimuth_rad) const;
+    bool is_shaded_unchecked(int wx, int wy, double azimuth_rad,
+                             double elevation_rad) const;
+    double sky_view_factor_unchecked(int wx, int wy) const;
+
 private:
     std::size_t base_index(int wx, int wy) const;
 

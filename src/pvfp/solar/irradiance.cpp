@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "pvfp/util/error.hpp"
+#include "pvfp/util/parallel.hpp"
 
 namespace pvfp::solar {
 
@@ -34,8 +35,13 @@ IrradianceField::IrradianceField(geo::HorizonMap horizon,
     plane_n_ = std::sin(tilt_rad_) * std::cos(azimuth_rad_);
     plane_u_ = std::cos(tilt_rad_);
 
+    // Per-step precompute (sun position + transposition for each of the
+    // ~35,040 steps) parallelized over step chunks: each step writes only
+    // its own steps_ slot, so the fixed chunk grid keeps the result
+    // bitwise-identical at any thread count.
     steps_.resize(env.size());
-    for (long s = 0; s < grid_.total_steps(); ++s) {
+    parallel_for(0, grid_.total_steps(), 512, [&](long sb, long se) {
+    for (long s = sb; s < se; ++s) {
         const EnvSample& e = env[static_cast<std::size_t>(s)];
         check_arg(e.ghi >= 0.0 && e.dni >= 0.0 && e.dhi >= 0.0,
                   "IrradianceField: negative irradiance in env series");
@@ -86,14 +92,25 @@ IrradianceField::IrradianceField(geo::HorizonMap horizon,
         }
         steps_[static_cast<std::size_t>(s)] = d;
     }
+    });
 }
 
 double IrradianceField::cell_irradiance(int x, int y, long s) const {
+    check_arg(s >= 0 && s < static_cast<long>(steps_.size()),
+              "IrradianceField: step out of range");
+    check_arg(x >= 0 && x < width() && y >= 0 && y < height(),
+              "IrradianceField: cell out of range");
+    return cell_irradiance_unchecked(x, y, s);
+}
+
+double IrradianceField::cell_irradiance_unchecked(int x, int y,
+                                                  long s) const {
     const StepData& d = step(s);
     double g = d.reflected;
-    g += horizon_.sky_view_factor(x, y) * d.sky_diffuse;
+    g += horizon_.sky_view_factor_unchecked(x, y) * d.sky_diffuse;
     if (d.beam_eq > 0.0f &&
-        !horizon_.is_shaded(x, y, d.sun_azimuth, d.sun_elevation)) {
+        !horizon_.is_shaded_unchecked(x, y, d.sun_azimuth,
+                                      d.sun_elevation)) {
         double cosi;
         if (has_normals_) {
             cosi = normals_.east(x, y) * d.sun_e +
@@ -113,7 +130,7 @@ double IrradianceField::cell_module_temperature(int x, int y, long s) const {
 }
 
 double IrradianceField::plane_irradiance_unshaded(long s) const {
-    const StepData& d = step(s);
+    const StepData& d = checked_step(s);
     const double cosi =
         plane_e_ * d.sun_e + plane_n_ * d.sun_n + plane_u_ * d.sun_u;
     return d.beam_eq * std::max(0.0, cosi) + d.sky_diffuse + d.reflected;

@@ -16,9 +16,11 @@
 /// horizon map (O(1) per query).  Module temperature follows the paper's
 /// Tact = Tair + k*G with k = alpha/h_c (Section III-B1, [12][13]).
 
+#include <cassert>
 #include <vector>
 
 #include "pvfp/geo/horizon.hpp"
+#include "pvfp/util/error.hpp"
 #include "pvfp/solar/sunpos.hpp"
 #include "pvfp/solar/transposition.hpp"
 #include "pvfp/util/timegrid.hpp"
@@ -72,20 +74,29 @@ public:
     const geo::HorizonMap& horizon() const { return horizon_; }
 
     /// True when the sun is above the horizon at step \p s.
-    bool is_daylight(long s) const { return step(s).daylight; }
+    bool is_daylight(long s) const { return checked_step(s).daylight; }
 
     /// Sun position at step \p s.
     SunPosition sun(long s) const {
-        const StepData& d = step(s);
+        const StepData& d = checked_step(s);
         return SunPosition{d.sun_azimuth, d.sun_elevation};
     }
 
     /// Ambient air temperature [deg C] at step \p s.
-    double air_temperature(long s) const { return step(s).temp_air; }
+    double air_temperature(long s) const {
+        return checked_step(s).temp_air;
+    }
 
     /// Plane-of-array irradiance [W/m^2] at cell (x,y) (window-local
-    /// coordinates) and step \p s, including shading.
+    /// coordinates) and step \p s, including shading.  Validates the
+    /// cell and step (throws InvalidArgument).
     double cell_irradiance(int x, int y, long s) const;
+
+    /// Unchecked fast path of cell_irradiance for inner loops that have
+    /// already validated their iteration domain once at the boundary
+    /// (evaluator, suitability).  Precondition (debug-asserted): cell
+    /// inside the window and 0 <= s < steps().
+    double cell_irradiance_unchecked(int x, int y, long s) const;
 
     /// Module temperature [deg C] at the cell: Tair + k * G.
     double cell_module_temperature(int x, int y, long s) const;
@@ -115,6 +126,15 @@ private:
     };
 
     const StepData& step(long s) const {
+        // Innermost hot path (per cell per step): the step range is
+        // validated once at the public call-site boundary; keep only a
+        // debug assert here.
+        assert(s >= 0 && s < static_cast<long>(steps_.size()));
+        return steps_[static_cast<std::size_t>(s)];
+    }
+
+    /// Validating accessor backing the public per-step methods.
+    const StepData& checked_step(long s) const {
         check_arg(s >= 0 && s < static_cast<long>(steps_.size()),
                   "IrradianceField: step out of range");
         return steps_[static_cast<std::size_t>(s)];

@@ -41,6 +41,12 @@ inline void check_arg(bool condition, const std::string& message) {
     if (!condition) throw InvalidArgument(message);
 }
 
+/// Literal-message overload: avoids constructing a std::string on the
+/// success path, so boundary checks stay free in hot code.
+inline void check_arg(bool condition, const char* message) {
+    if (!condition) throw InvalidArgument(message);
+}
+
 /// Throw IoError with \p message unless \p condition holds.
 inline void check_io(bool condition, const std::string& message) {
     if (!condition) throw IoError(message);

@@ -1,0 +1,208 @@
+#include "pvfp/util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace pvfp {
+namespace {
+
+thread_local int t_serial_depth = 0;
+
+/// One parallel_for call: a grid of chunks claimed by atomic increment.
+/// Any thread (worker or the submitting caller) repeatedly claims the
+/// next chunk index; when a chunk throws, the remaining chunks are
+/// claimed but skipped so the group still drains and the caller can
+/// rethrow the first error.
+struct TaskGroup {
+    long n_chunks = 0;
+    const std::function<void(long)>* body = nullptr;
+    std::atomic<long> next{0};
+    std::atomic<long> remaining{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;  // first error; guarded by mutex
+    std::mutex mutex;
+    std::condition_variable done;
+
+    bool exhausted() const {
+        return next.load(std::memory_order_relaxed) >= n_chunks;
+    }
+};
+
+void run_group_chunks(TaskGroup& group) {
+    for (;;) {
+        const long ci = group.next.fetch_add(1, std::memory_order_relaxed);
+        if (ci >= group.n_chunks) return;
+        if (!group.failed.load(std::memory_order_relaxed)) {
+            try {
+                (*group.body)(ci);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(group.mutex);
+                if (!group.error) group.error = std::current_exception();
+                group.failed.store(true, std::memory_order_relaxed);
+            }
+        }
+        if (group.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            // Last chunk: wake the waiting caller.  Taking the mutex
+            // pairs with the caller's wait so the notification cannot be
+            // lost between its predicate check and its sleep.
+            std::lock_guard<std::mutex> lock(group.mutex);
+            group.done.notify_all();
+        }
+    }
+}
+
+int default_thread_count() {
+    if (const char* env = std::getenv("PVFP_THREADS")) {
+        char* end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v >= 1 && v <= 4096)
+            return static_cast<int>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// The global pool: T-1 worker threads (the caller is the T-th).  Workers
+/// sleep until a group is queued, then help drain it.  Groups stay in the
+/// queue until their chunks are all claimed, so several workers pick up
+/// the same group concurrently.
+class Pool {
+public:
+    static Pool& instance() {
+        static Pool pool;
+        return pool;
+    }
+
+    int threads() {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return configured_;
+    }
+
+    void resize(int n) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        const int want = n == 0 ? default_thread_count() : n;
+        if (want == configured_) return;
+        stop_workers(lock);
+        configured_ = want;
+        // Workers respawn lazily on the next submit.
+    }
+
+    void submit(const std::shared_ptr<TaskGroup>& group) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ensure_workers();
+            queue_.push_back(group);
+        }
+        wake_.notify_all();
+    }
+
+    ~Pool() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stop_workers(lock);
+    }
+
+private:
+    Pool() : configured_(default_thread_count()) {}
+
+    void ensure_workers() {  // requires mutex_ held
+        if (!workers_.empty() || configured_ <= 1) return;
+        stop_ = false;
+        workers_.reserve(static_cast<std::size_t>(configured_ - 1));
+        for (int i = 0; i < configured_ - 1; ++i)
+            workers_.emplace_back([this] { worker_loop(); });
+    }
+
+    void stop_workers(std::unique_lock<std::mutex>& lock) {
+        if (workers_.empty()) return;
+        stop_ = true;
+        wake_.notify_all();
+        std::vector<std::thread> workers = std::move(workers_);
+        workers_.clear();
+        lock.unlock();
+        for (auto& w : workers) w.join();
+        lock.lock();
+        stop_ = false;
+    }
+
+    void worker_loop() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (stop_) return;
+            std::shared_ptr<TaskGroup> group = queue_.front();
+            if (group->exhausted()) {
+                queue_.pop_front();
+                continue;
+            }
+            lock.unlock();
+            run_group_chunks(*group);
+            lock.lock();
+            if (!queue_.empty() && queue_.front() == group)
+                queue_.pop_front();
+        }
+    }
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<std::shared_ptr<TaskGroup>> queue_;
+    std::vector<std::thread> workers_;
+    bool stop_ = false;
+    int configured_ = 1;
+};
+
+}  // namespace
+
+int thread_count() { return Pool::instance().threads(); }
+
+void set_thread_count(int n) {
+    check_arg(n >= 0, "set_thread_count: thread count must be >= 0");
+    Pool::instance().resize(n);
+}
+
+SerialScope::SerialScope() { ++t_serial_depth; }
+SerialScope::~SerialScope() { --t_serial_depth; }
+
+bool in_serial_scope() { return t_serial_depth > 0; }
+
+void parallel_for_chunks(long n_chunks,
+                         const std::function<void(long)>& body) {
+    check_arg(n_chunks >= 0, "parallel_for_chunks: negative chunk count");
+    if (n_chunks == 0) return;
+    if (n_chunks == 1 || in_serial_scope() || thread_count() == 1) {
+        // Inline path: same chunk grid, same order — bitwise identical to
+        // the pooled path for deterministic bodies by construction.
+        for (long ci = 0; ci < n_chunks; ++ci) body(ci);
+        return;
+    }
+    auto group = std::make_shared<TaskGroup>();
+    group->n_chunks = n_chunks;
+    group->body = &body;
+    group->remaining.store(n_chunks, std::memory_order_relaxed);
+    Pool::instance().submit(group);
+    // The caller helps: drains chunks until none are left to claim...
+    run_group_chunks(*group);
+    // ...then waits for chunks other threads are still running.
+    std::unique_lock<std::mutex> lock(group->mutex);
+    group->done.wait(lock, [&] {
+        return group->remaining.load(std::memory_order_acquire) == 0;
+    });
+    if (group->error) std::rethrow_exception(group->error);
+}
+
+void parallel_for(long begin, long end, long chunk,
+                  const std::function<void(long, long)>& body) {
+    if (begin >= end) return;
+    check_arg(chunk > 0, "parallel_for: chunk must be positive");
+    const long n_chunks = (end - begin + chunk - 1) / chunk;
+    parallel_for_chunks(n_chunks, [&](long ci) {
+        const long b = begin + ci * chunk;
+        body(b, std::min(end, b + chunk));
+    });
+}
+
+}  // namespace pvfp

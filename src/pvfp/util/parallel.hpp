@@ -1,0 +1,91 @@
+#pragma once
+/// \file parallel.hpp
+/// Deterministic parallel execution substrate shared by every hot path.
+///
+/// A lazily-initialized global thread pool executes range loops split into
+/// *fixed-size chunks whose boundaries depend only on the range and the
+/// chunk size — never on the thread count*.  Chunks that write disjoint
+/// state therefore produce bitwise-identical results at any parallelism,
+/// and parallel_reduce combines its per-chunk partials sequentially in
+/// chunk order, so floating-point accumulation is reproducible too:
+/// PVFP_THREADS=1 and PVFP_THREADS=64 give the same bits.
+///
+/// The pool size comes from the PVFP_THREADS environment variable when
+/// set (>= 1), else std::thread::hardware_concurrency(), and can be
+/// changed at a quiescent point with set_thread_count().  The submitting
+/// thread always participates in the work (a pool of T threads runs
+/// T-1 workers plus the caller), which also makes nested parallel_for
+/// calls deadlock-free: a blocked caller first drains its own chunks.
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp {
+
+/// Number of threads parallel loops will use (>= 1).
+int thread_count();
+
+/// Override the pool size: \p n >= 1 sets it, \p n == 0 restores the
+/// default (PVFP_THREADS env, else hardware concurrency).  Joins and
+/// respawns the workers; must only be called while no parallel work is
+/// in flight (benches/tests sweeping thread counts at sync points).
+void set_thread_count(int n);
+
+/// While an instance is alive on a thread, parallel loops issued from
+/// that thread run inline (sequentially, same chunk order).  Used by the
+/// batch runner's outer-loop policy so concurrently processed scenarios
+/// do not each fan out again.
+class SerialScope {
+public:
+    SerialScope();
+    ~SerialScope();
+    SerialScope(const SerialScope&) = delete;
+    SerialScope& operator=(const SerialScope&) = delete;
+};
+
+/// True when the calling thread is inside a SerialScope.
+bool in_serial_scope();
+
+/// Run body(chunk_index) for every index in [0, n_chunks).  Chunks run
+/// concurrently on the pool (the caller included); the call returns when
+/// all chunks finished.  The first exception thrown by a chunk is
+/// rethrown here after the group drains; unclaimed chunks are skipped
+/// *best-effort* — chunks claimed before or concurrently with the
+/// failure still run to completion, so bodies must not rely on an
+/// exception cancelling their siblings.
+void parallel_for_chunks(long n_chunks,
+                         const std::function<void(long)>& body);
+
+/// Split [begin, end) into chunks of \p chunk iterations (the last chunk
+/// may be short) and run body(chunk_begin, chunk_end) for each.  The
+/// chunk grid depends only on (begin, end, chunk): deterministic at any
+/// thread count for bodies with disjoint writes.
+void parallel_for(long begin, long end, long chunk,
+                  const std::function<void(long, long)>& body);
+
+/// Deterministic map-reduce: map(chunk_begin, chunk_end) -> T per chunk,
+/// then combine(acc, partial) folded *sequentially in chunk order* over
+/// \p init.  Reproducible at any parallelism because both the chunk grid
+/// and the fold order are fixed.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(long begin, long end, long chunk, T init, Map&& map,
+                  Combine&& combine) {
+    if (begin >= end) return init;
+    check_arg(chunk > 0, "parallel_reduce: chunk must be positive");
+    const long n_chunks = (end - begin + chunk - 1) / chunk;
+    std::vector<T> partials(static_cast<std::size_t>(n_chunks), init);
+    parallel_for_chunks(n_chunks, [&](long ci) {
+        const long b = begin + ci * chunk;
+        const long e = std::min(end, b + chunk);
+        partials[static_cast<std::size_t>(ci)] = map(b, e);
+    });
+    T acc = std::move(init);
+    for (auto& p : partials) acc = combine(std::move(acc), std::move(p));
+    return acc;
+}
+
+}  // namespace pvfp

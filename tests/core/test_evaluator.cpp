@@ -177,6 +177,39 @@ TEST(Evaluator, StrideScalesEnergyApproximately) {
     EXPECT_NEAR(b.energy_kwh / a.energy_kwh, 1.0, 0.1);
 }
 
+TEST(Evaluator, TrailingStrideIntervalIsClamped) {
+    // 24 hourly steps at stride 7 sample s = 0, 7, 14, 21; the last
+    // sample must be billed for the 3 remaining steps, not 7 (total
+    // billed time = the horizon, not 28 h).
+    const TimeGrid grid = coarse_grid(1);
+    ASSERT_EQ(grid.total_steps(), 24);
+    const auto field = flat_field(4, 2, grid, constant_weather(grid));
+    const auto area = flat_area(4, 2);
+    const pv::EmpiricalModuleModel model;
+    Floorplan plan;
+    plan.geometry = {4, 2};
+    plan.topology = {1, 1};
+    plan.modules = {{0, 0}};
+    EvaluationOptions strided;
+    strided.step_stride = 7;
+    const auto result =
+        evaluate_floorplan(plan, area, field, model, strided);
+
+    double expected_kwh = 0.0;
+    const double k = field.config().thermal_k;
+    for (long s = 0; s < field.steps(); s += 7) {
+        if (!field.is_daylight(s)) continue;
+        const double dt_h =
+            grid.step_hours() * static_cast<double>(
+                                    std::min<long>(7, field.steps() - s));
+        const double g = field.cell_irradiance(0, 0, s);
+        const double t = field.air_temperature(s) + k * g;
+        expected_kwh += model.power(g, t) * dt_h / 1000.0;
+    }
+    EXPECT_NEAR(result.energy_kwh, expected_kwh, 1e-12);
+    EXPECT_GT(result.energy_kwh, 0.0);
+}
+
 TEST(Evaluator, WorstCellModeIsPessimistic) {
     const auto& prepared = pvfp::testing::coarse_toy_scenario();
     // A module near the shaded east edge sees mean > min.

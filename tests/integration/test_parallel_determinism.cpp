@@ -1,0 +1,133 @@
+/// End-to-end determinism of the parallel substrate: the full pipeline
+/// (horizon sweep, irradiance precompute, suitability, placement,
+/// evaluation) must produce *bitwise-identical* results at 1 and 8
+/// threads, and the golden-toy anchors must keep holding.  This is the
+/// ctest enforcement of the "deterministic at any parallelism" contract.
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "pvfp/core/pipeline.hpp"
+#include "pvfp/util/parallel.hpp"
+
+namespace pvfp::core {
+namespace {
+
+// Same golden values as test_golden_toy.cpp.
+constexpr int kGoldenValidCells = 799;
+constexpr int kGoldenPanelCount = 4;
+constexpr double kGoldenEnergyKwh = 137.326;
+
+struct ToyRun {
+    PreparedScenario prepared;
+    PlacementComparison cmp;
+};
+
+ToyRun run_toy_at(int threads) {
+    set_thread_count(threads);
+    core::ScenarioConfig config;
+    config.grid = TimeGrid(60, 1, 73);
+    config.weather.seed = 11;
+    config.horizon.azimuth_sectors = 36;
+    config.suitability.step_stride = 1;
+    ToyRun run{prepare_scenario(make_toy(), config), {}};
+    run.cmp = compare_placements(run.prepared, pv::Topology{2, 2});
+    return run;
+}
+
+void expect_bitwise_equal(const EvaluationResult& a,
+                          const EvaluationResult& b) {
+    // EXPECT_EQ on doubles is deliberate: the contract is bitwise
+    // identity, not tolerance.
+    EXPECT_EQ(a.energy_kwh, b.energy_kwh);
+    EXPECT_EQ(a.ideal_energy_kwh, b.ideal_energy_kwh);
+    EXPECT_EQ(a.mismatch_loss_kwh, b.mismatch_loss_kwh);
+    EXPECT_EQ(a.wiring_loss_kwh, b.wiring_loss_kwh);
+    EXPECT_EQ(a.extra_cable_m, b.extra_cable_m);
+    ASSERT_EQ(a.strings.size(), b.strings.size());
+    for (std::size_t j = 0; j < a.strings.size(); ++j) {
+        EXPECT_EQ(a.strings[j].energy_kwh, b.strings[j].energy_kwh);
+        EXPECT_EQ(a.strings[j].wiring_loss_kwh,
+                  b.strings[j].wiring_loss_kwh);
+    }
+}
+
+TEST(ParallelDeterminism, FullPipelineBitwiseIdenticalAcrossThreadCounts) {
+    const ToyRun one = run_toy_at(1);
+    const ToyRun eight = run_toy_at(8);
+    set_thread_count(0);
+
+    // Identical derived data...
+    EXPECT_EQ(one.prepared.area.valid_count, eight.prepared.area.valid_count);
+    ASSERT_EQ(one.prepared.suitability.suitability.data().size(),
+              eight.prepared.suitability.suitability.data().size());
+    for (std::size_t i = 0;
+         i < one.prepared.suitability.suitability.data().size(); ++i)
+        EXPECT_EQ(one.prepared.suitability.suitability.data()[i],
+                  eight.prepared.suitability.suitability.data()[i]);
+
+    // ...identical placements...
+    ASSERT_EQ(one.cmp.proposed.modules.size(),
+              eight.cmp.proposed.modules.size());
+    for (std::size_t i = 0; i < one.cmp.proposed.modules.size(); ++i)
+        EXPECT_EQ(one.cmp.proposed.modules[i], eight.cmp.proposed.modules[i]);
+    ASSERT_EQ(one.cmp.traditional.modules.size(),
+              eight.cmp.traditional.modules.size());
+    for (std::size_t i = 0; i < one.cmp.traditional.modules.size(); ++i)
+        EXPECT_EQ(one.cmp.traditional.modules[i],
+                  eight.cmp.traditional.modules[i]);
+
+    // ...and bitwise-identical energies.
+    expect_bitwise_equal(one.cmp.proposed_eval, eight.cmp.proposed_eval);
+    expect_bitwise_equal(one.cmp.traditional_eval,
+                         eight.cmp.traditional_eval);
+}
+
+TEST(ParallelDeterminism, GoldenToyAnchorsHoldUnderParallelism) {
+    const ToyRun eight = run_toy_at(8);
+    set_thread_count(0);
+    EXPECT_EQ(eight.prepared.area.valid_count, kGoldenValidCells);
+    EXPECT_EQ(eight.cmp.proposed.module_count(), kGoldenPanelCount);
+    EXPECT_EQ(eight.cmp.traditional.module_count(), kGoldenPanelCount);
+    EXPECT_NEAR(eight.cmp.proposed_eval.energy_kwh, kGoldenEnergyKwh,
+                0.005 * kGoldenEnergyKwh);
+}
+
+TEST(ParallelDeterminism, BatchRunnerMatchesSequentialPipeline) {
+    // run_scenarios must give the same results as prepare + compare by
+    // hand, under both parallel policies.
+    core::ScenarioConfig config;
+    config.grid = TimeGrid(60, 172, 8);  // short horizon: keep it fast
+    config.weather.seed = 11;
+    config.horizon.azimuth_sectors = 36;
+
+    BatchOptions batch;
+    batch.topologies = {pv::Topology{2, 2}};
+
+    const std::vector<RoofScenario> scenarios = {make_toy(),
+                                                 make_toy(10.0, 6.0)};
+
+    batch.policy = ParallelPolicy::OuterScenarios;
+    const auto outer = run_scenarios(scenarios, config, batch);
+    batch.policy = ParallelPolicy::InnerLoops;
+    const auto inner = run_scenarios(scenarios, config, batch);
+
+    ASSERT_EQ(outer.size(), scenarios.size());
+    ASSERT_EQ(inner.size(), scenarios.size());
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+        const auto prepared = prepare_scenario(scenarios[i], config);
+        const auto reference =
+            compare_placements(prepared, batch.topologies[0]);
+        ASSERT_EQ(outer[i].comparisons.size(), 1u);
+        ASSERT_EQ(inner[i].comparisons.size(), 1u);
+        expect_bitwise_equal(outer[i].comparisons[0].proposed_eval,
+                             reference.proposed_eval);
+        expect_bitwise_equal(inner[i].comparisons[0].proposed_eval,
+                             reference.proposed_eval);
+        EXPECT_EQ(outer[i].prepared.area.valid_count,
+                  prepared.area.valid_count);
+    }
+}
+
+}  // namespace
+}  // namespace pvfp::core

@@ -1,0 +1,171 @@
+/// Unit tests of the deterministic parallel substrate: chunk-grid
+/// determinism, pool reuse across many calls, exception propagation,
+/// nesting, SerialScope, and thread-count control.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/parallel.hpp"
+
+namespace pvfp {
+namespace {
+
+TEST(Parallel, ThreadCountControl) {
+    set_thread_count(3);
+    EXPECT_EQ(thread_count(), 3);
+    set_thread_count(1);
+    EXPECT_EQ(thread_count(), 1);
+    set_thread_count(0);  // default: env or hardware concurrency
+    EXPECT_GE(thread_count(), 1);
+    EXPECT_THROW(set_thread_count(-1), InvalidArgument);
+}
+
+TEST(Parallel, ForCoversRangeExactlyOnce) {
+    for (const int threads : {1, 4}) {
+        set_thread_count(threads);
+        std::vector<std::atomic<int>> hits(1000);
+        parallel_for(0, 1000, 7, [&](long b, long e) {
+            for (long i = b; i < e; ++i)
+                hits[static_cast<std::size_t>(i)].fetch_add(1);
+        });
+        for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    }
+    set_thread_count(0);
+}
+
+TEST(Parallel, ChunkGridIndependentOfThreadCount) {
+    // Record the chunk boundaries actually used at different thread
+    // counts: they must be identical (that is what makes reductions over
+    // them reproducible).
+    const auto boundaries_at = [](int threads) {
+        set_thread_count(threads);
+        std::vector<std::pair<long, long>> chunks(
+            (257 + 31) / 32);  // one slot per chunk: disjoint writes
+        parallel_for(0, 257, 32, [&](long b, long e) {
+            chunks[static_cast<std::size_t>(b / 32)] = {b, e};
+        });
+        return chunks;
+    };
+    const auto one = boundaries_at(1);
+    const auto eight = boundaries_at(8);
+    set_thread_count(0);
+    ASSERT_EQ(one.size(), eight.size());
+    for (std::size_t i = 0; i < one.size(); ++i) {
+        EXPECT_EQ(one[i], eight[i]);
+        EXPECT_EQ(one[i].first, static_cast<long>(i) * 32);
+    }
+    EXPECT_EQ(one.back().second, 257);  // short trailing chunk
+}
+
+TEST(Parallel, ReduceIsBitwiseReproducible) {
+    // A sum of values spanning ~12 orders of magnitude: any change in
+    // association changes the bits.  Fixed chunking + in-order combine
+    // must give the same double at every thread count.
+    std::vector<double> values(10000);
+    double x = 1e-6;
+    for (auto& v : values) {
+        v = x;
+        x = x * 1.003 + 1e-7;
+    }
+    const auto sum_at = [&](int threads) {
+        set_thread_count(threads);
+        return parallel_reduce(
+            0L, static_cast<long>(values.size()), 97L, 0.0,
+            [&](long b, long e) {
+                double acc = 0.0;
+                for (long i = b; i < e; ++i)
+                    acc += values[static_cast<std::size_t>(i)];
+                return acc;
+            },
+            [](double a, double b) { return a + b; });
+    };
+    const double s1 = sum_at(1);
+    const double s2 = sum_at(2);
+    const double s8 = sum_at(8);
+    set_thread_count(0);
+    EXPECT_EQ(s1, s2);  // bitwise: EXPECT_EQ on doubles, not NEAR
+    EXPECT_EQ(s1, s8);
+}
+
+TEST(Parallel, PoolIsReusedAcrossManyCalls) {
+    set_thread_count(4);
+    long total = 0;
+    for (int round = 0; round < 200; ++round) {
+        total += parallel_reduce(
+            0L, 100L, 9L, 0L,
+            [](long b, long e) { return e - b; },
+            [](long a, long b) { return a + b; });
+    }
+    set_thread_count(0);
+    EXPECT_EQ(total, 200 * 100);
+}
+
+TEST(Parallel, ExceptionPropagatesAndPoolSurvives) {
+    set_thread_count(4);
+    EXPECT_THROW(
+        parallel_for(0, 100, 1,
+                     [](long b, long) {
+                         if (b == 37)
+                             throw InvalidArgument("boom from chunk 37");
+                     }),
+        InvalidArgument);
+    // The pool must still work after a failed group.
+    std::atomic<long> count{0};
+    parallel_for(0, 50, 3, [&](long b, long e) { count += e - b; });
+    EXPECT_EQ(count.load(), 50);
+    set_thread_count(0);
+}
+
+TEST(Parallel, NestedParallelForDoesNotDeadlock) {
+    set_thread_count(4);
+    std::vector<std::atomic<int>> hits(30 * 40);
+    parallel_for(0, 30, 1, [&](long ob, long oe) {
+        for (long o = ob; o < oe; ++o) {
+            parallel_for(0, 40, 4, [&](long ib, long ie) {
+                for (long i = ib; i < ie; ++i)
+                    hits[static_cast<std::size_t>(o * 40 + i)].fetch_add(1);
+            });
+        }
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    set_thread_count(0);
+}
+
+TEST(Parallel, SerialScopeForcesInlineExecution) {
+    set_thread_count(4);
+    const auto main_thread = std::this_thread::get_id();
+    bool all_on_caller = true;
+    {
+        SerialScope serial;
+        EXPECT_TRUE(in_serial_scope());
+        parallel_for(0, 64, 1, [&](long, long) {
+            if (std::this_thread::get_id() != main_thread)
+                all_on_caller = false;
+        });
+    }
+    EXPECT_FALSE(in_serial_scope());
+    EXPECT_TRUE(all_on_caller);
+    set_thread_count(0);
+}
+
+TEST(Parallel, EmptyAndDegenerateRanges) {
+    int calls = 0;
+    parallel_for(5, 5, 4, [&](long, long) { ++calls; });
+    parallel_for(7, 3, 4, [&](long, long) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    EXPECT_THROW(parallel_for(0, 10, 0, [](long, long) {}),
+                 InvalidArgument);
+    EXPECT_EQ(parallel_reduce(
+                  3L, 3L, 4L, 42L, [](long, long) { return 0L; },
+                  [](long a, long b) { return a + b; }),
+              42L);
+}
+
+}  // namespace
+}  // namespace pvfp

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "pvfp/util/error.hpp"
 #include "pvfp/util/rng.hpp"
@@ -21,15 +23,14 @@ bool relocation_feasible(const Floorplan& plan, std::size_t index,
     return true;
 }
 
-}  // namespace
-
-Floorplan refine_annealing(const Floorplan& initial,
-                           const geo::PlacementArea& area,
-                           const PlacementObjective& objective,
-                           const AnnealingOptions& options,
-                           AnnealingStats* stats) {
-    check_arg(static_cast<bool>(objective),
-              "refine_annealing: objective must be callable");
+/// The shared annealing loop.  A Proposer exposes the current objective
+/// value, proposes swap/relocate moves, and accepts or rejects the single
+/// outstanding proposal; both proposers consume no randomness, so the RNG
+/// stream — and therefore the proposed move sequence — is identical for
+/// the closure and incremental paths.
+template <typename Proposer>
+Floorplan anneal(Proposer& proposer, std::span<const ModulePlacement> anchors,
+                 const AnnealingOptions& options, AnnealingStats* stats) {
     check_arg(options.iterations >= 0,
               "refine_annealing: negative iteration count");
     check_arg(options.cooling > 0.0 && options.cooling < 1.0,
@@ -37,19 +38,14 @@ Floorplan refine_annealing(const Floorplan& initial,
     check_arg(options.swap_probability >= 0.0 &&
                   options.swap_probability <= 1.0,
               "refine_annealing: bad swap probability");
-    std::string why;
-    check_arg(floorplan_feasible(initial, area, &why),
-              "refine_annealing: initial plan infeasible: " + why);
-    check_arg(!initial.modules.empty(), "refine_annealing: empty plan");
-
-    const auto anchors = enumerate_anchors(area, initial.geometry);
     check_arg(!anchors.empty(), "refine_annealing: no anchors");
+    const std::size_t n = proposer.module_count();
+    check_arg(n > 0, "refine_annealing: empty plan");
 
     pvfp::Rng rng(options.seed);
 
-    Floorplan current = initial;
-    double current_value = objective(current);
-    Floorplan best = current;
+    double current_value = proposer.current_value();
+    Floorplan best = proposer.snapshot();
     double best_value = current_value;
 
     double temperature = options.initial_temperature;
@@ -62,47 +58,136 @@ Floorplan refine_annealing(const Floorplan& initial,
     local.initial_objective = current_value;
 
     for (int it = 0; it < options.iterations; ++it) {
-        Floorplan candidate = current;
-        if (candidate.modules.size() >= 2 &&
-            rng.bernoulli(options.swap_probability)) {
+        double value = 0.0;
+        bool proposed = false;
+        if (n >= 2 && rng.bernoulli(options.swap_probability)) {
             // Swap two modules' string positions.
-            const auto i = static_cast<std::size_t>(
-                rng.uniform_int(candidate.modules.size()));
-            auto j = static_cast<std::size_t>(
-                rng.uniform_int(candidate.modules.size() - 1));
+            const auto i = static_cast<std::size_t>(rng.uniform_int(n));
+            auto j = static_cast<std::size_t>(rng.uniform_int(n - 1));
             if (j >= i) ++j;
-            std::swap(candidate.modules[i], candidate.modules[j]);
+            value = proposer.propose_swap(i, j);
+            proposed = true;
         } else {
             // Relocate one module to a random feasible anchor.
-            const auto i = static_cast<std::size_t>(
-                rng.uniform_int(candidate.modules.size()));
-            const auto& target = anchors[static_cast<std::size_t>(
+            const auto i = static_cast<std::size_t>(rng.uniform_int(n));
+            const ModulePlacement& target = anchors[static_cast<std::size_t>(
                 rng.uniform_int(anchors.size()))];
-            if (!relocation_feasible(candidate, i, target, area)) {
-                temperature *= options.cooling;
-                continue;
-            }
-            candidate.modules[i] = target;
+            proposed = proposer.propose_move(i, target, value);
+        }
+        if (!proposed) {
+            temperature *= options.cooling;
+            continue;
         }
 
-        const double value = objective(candidate);
         const double delta = value - current_value;
         if (delta >= 0.0 ||
             rng.uniform() < std::exp(delta / temperature)) {
-            current = std::move(candidate);
+            proposer.accept();
             current_value = value;
             ++local.accepted;
             if (current_value > best_value) {
-                best = current;
+                best = proposer.snapshot();
                 best_value = current_value;
                 ++local.improved;
             }
+        } else {
+            proposer.reject();
         }
         temperature *= options.cooling;
     }
 
     local.final_objective = best_value;
     if (stats) *stats = local;
+    return best;
+}
+
+/// Full-copy proposer: every proposal evaluates the objective closure on
+/// a candidate copy (the objective revalidates the whole plan when it is
+/// evaluate_floorplan — the cost the incremental path removes).
+struct ClosureProposer {
+    const geo::PlacementArea& area;
+    const PlacementObjective& objective;
+    Floorplan current;
+    Floorplan candidate;
+
+    std::size_t module_count() const { return current.modules.size(); }
+    double current_value() { return objective(current); }
+    Floorplan snapshot() const { return current; }
+    double propose_swap(std::size_t i, std::size_t j) {
+        candidate = current;
+        std::swap(candidate.modules[i], candidate.modules[j]);
+        return objective(candidate);
+    }
+    bool propose_move(std::size_t i, const ModulePlacement& target,
+                      double& value) {
+        if (!relocation_feasible(current, i, target, area)) return false;
+        candidate = current;
+        candidate.modules[i] = target;
+        value = objective(candidate);
+        return true;
+    }
+    void accept() { current = std::move(candidate); }
+    void reject() {}
+};
+
+/// Delta proposer: feasibility is the targeted per-footprint check, and
+/// the objective updates through the evaluator's cached series.
+struct IncrementalProposer {
+    IncrementalEvaluator& evaluator;
+
+    std::size_t module_count() const {
+        return evaluator.plan().modules.size();
+    }
+    double current_value() { return evaluator.energy_kwh(); }
+    Floorplan snapshot() const { return evaluator.plan(); }
+    double propose_swap(std::size_t i, std::size_t j) {
+        return evaluator.delta_swap(static_cast<int>(i),
+                                    static_cast<int>(j));
+    }
+    bool propose_move(std::size_t i, const ModulePlacement& target,
+                      double& value) {
+        if (!evaluator.move_feasible(static_cast<int>(i), target))
+            return false;
+        value = evaluator.delta_move(static_cast<int>(i), target);
+        return true;
+    }
+    void accept() { evaluator.commit(); }
+    void reject() { evaluator.rollback(); }
+};
+
+}  // namespace
+
+Floorplan refine_annealing(const Floorplan& initial,
+                           const geo::PlacementArea& area,
+                           const PlacementObjective& objective,
+                           const AnnealingOptions& options,
+                           AnnealingStats* stats) {
+    check_arg(static_cast<bool>(objective),
+              "refine_annealing: objective must be callable");
+    std::string why;
+    check_arg(floorplan_feasible(initial, area, &why),
+              "refine_annealing: initial plan infeasible: " + why);
+    check_arg(!initial.modules.empty(), "refine_annealing: empty plan");
+
+    const auto anchors = enumerate_anchors(area, initial.geometry);
+    ClosureProposer proposer{area, objective, initial, {}};
+    return anneal(proposer, anchors, options, stats);
+}
+
+Floorplan refine_annealing(IncrementalEvaluator& evaluator,
+                           const AnnealingOptions& options,
+                           AnnealingStats* stats) {
+    check_arg(!evaluator.has_pending(),
+              "refine_annealing: evaluator holds a pending proposal");
+
+    const auto anchors =
+        enumerate_anchors(evaluator.area(), evaluator.plan().geometry);
+    IncrementalProposer proposer{evaluator};
+    Floorplan best = anneal(proposer, anchors, options, stats);
+
+    // The loop leaves the evaluator at the last accepted plan; move it to
+    // the best visited one so callers read best energy/result directly.
+    evaluator.sync_to(best.modules);
     return best;
 }
 

@@ -9,10 +9,25 @@
 /// module to a random feasible anchor, or swap two modules between string
 /// positions (which changes mismatch/wiring but not covered cells).
 /// Fully deterministic given the seed.
+///
+/// Two entry points share one proposal loop (and one RNG stream):
+///  - the closure overload evaluates an arbitrary PlacementObjective on a
+///    full candidate copy per proposal (O(steps x all modules) when the
+///    objective is evaluate_floorplan);
+///  - the IncrementalEvaluator overload drives proposals through
+///    delta_move/delta_swap + commit/rollback, so a relocation pays only
+///    the moved module's series (free on an anchor-cache hit) plus a
+///    cheap re-aggregation of cached operating points, and a swap only
+///    the re-aggregation.  Feasibility is validated per moved footprint
+///    only — the
+///    full-plan re-validation that evaluate_floorplan performs on every
+///    closure call is hoisted into the evaluator's one-time constructor
+///    pass.
 
 #include <functional>
 
 #include "pvfp/core/exhaustive_placer.hpp"
+#include "pvfp/core/incremental_evaluator.hpp"
 #include "pvfp/core/layout.hpp"
 
 namespace pvfp::core {
@@ -38,6 +53,16 @@ struct AnnealingStats {
 Floorplan refine_annealing(const Floorplan& initial,
                            const geo::PlacementArea& area,
                            const PlacementObjective& objective,
+                           const AnnealingOptions& options = {},
+                           AnnealingStats* stats = nullptr);
+
+/// Refine the evaluator's committed plan under the true yearly-energy
+/// objective through the incremental delta API.  Consumes the same RNG
+/// stream as the closure overload, so both paths propose the same move
+/// sequence for a given seed.  On return the evaluator is committed at
+/// the best visited plan (which is also returned); it must not hold a
+/// pending proposal on entry.
+Floorplan refine_annealing(IncrementalEvaluator& evaluator,
                            const AnnealingOptions& options = {},
                            AnnealingStats* stats = nullptr);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
+#include <utility>
 
 #include "pvfp/core/greedy_placer.hpp"
 #include "pvfp/util/error.hpp"
@@ -75,6 +77,116 @@ struct Search {
             dfs(a + 1);
             current.pop_back();
             current_score -= scores[a];
+        }
+    }
+};
+
+/// True-energy search: the same anchor-ordered DFS, but scores are the
+/// separable ideal-energy upper bounds and leaves are scored exactly via
+/// delta updates against the previously scored leaf.
+struct EnergySearch {
+    std::vector<ModulePlacement> anchors;  // sorted by ideal energy desc
+    std::vector<double> ideals;            // aligned with anchors
+    const geo::PlacementArea* area = nullptr;
+    const solar::IrradianceField* field = nullptr;
+    const pv::EmpiricalModuleModel* model = nullptr;
+    const EvaluationOptions* eval_options = nullptr;
+    PanelGeometry geometry;
+    pv::Topology topology;
+    int n_modules = 0;
+    long long max_nodes = 0;
+
+    std::vector<ModulePlacement> current;
+    std::vector<ModulePlacement> scratch;  // row-major leaf assignment
+    std::optional<IncrementalEvaluator> evaluator;
+    std::vector<ModulePlacement> best;
+    double best_energy = -std::numeric_limits<double>::infinity();
+    BnbStats stats;
+
+    /// The ideal-energy bound carries ~1e-12 kWh of summation noise; a
+    /// pruning margin keeps the search exact despite it (prune only when
+    /// the bound is clearly not beatable).
+    static constexpr double kBoundSlack = 1e-9;
+
+    double placed_ideal = 0.0;
+
+    /// Upper bound on any completion: ideal energy of the placed modules
+    /// plus the top remaining ideals (overlap ignored — a valid
+    /// relaxation because ideals are sorted descending).
+    double bound(std::size_t from, int remaining) const {
+        double b = placed_ideal;
+        for (std::size_t a = from;
+             a < anchors.size() && remaining > 0; ++a, --remaining)
+            b += ideals[a];
+        return (remaining > 0)
+                   ? -std::numeric_limits<double>::infinity()
+                   : b;
+    }
+
+    /// Score the current (complete) anchor set.  The series-first
+    /// assignment matters to the objective (string min-currents, wiring
+    /// order), so the set is canonicalized to row-major order — exactly
+    /// the assignment place_exhaustive gives the same set, which is what
+    /// makes the two searches agree on the optimum.
+    double leaf_energy() {
+        scratch = current;
+        std::sort(scratch.begin(), scratch.end(),
+                  [](const ModulePlacement& a, const ModulePlacement& b) {
+                      if (a.y != b.y) return a.y < b.y;
+                      return a.x < b.x;
+                  });
+        if (!evaluator.has_value()) {
+            Floorplan plan;
+            plan.geometry = geometry;
+            plan.topology = topology;
+            plan.modules = scratch;
+            evaluator.emplace(std::move(plan), *area, *field, *model,
+                              *eval_options);
+            return evaluator->energy_kwh();
+        }
+        return evaluator->sync_to(scratch);
+    }
+
+    void dfs(std::size_t from) {
+        ++stats.nodes;
+        if (stats.nodes > max_nodes)
+            throw Infeasible("place_bnb_energy: node budget exceeded");
+
+        const int placed = static_cast<int>(current.size());
+        if (placed == n_modules) {
+            const double energy = leaf_energy();
+            if (energy > best_energy) {
+                best_energy = energy;
+                best = scratch;  // the canonical assignment that was scored
+            }
+            return;
+        }
+        const int remaining = n_modules - placed;
+        if (bound(from, remaining) <= best_energy - kBoundSlack) {
+            ++stats.pruned;
+            return;
+        }
+        for (std::size_t a = from;
+             a + static_cast<std::size_t>(remaining) <= anchors.size();
+             ++a) {
+            if (bound(a, remaining) <= best_energy - kBoundSlack) {
+                ++stats.pruned;
+                return;
+            }
+            const ModulePlacement& cand = anchors[a];
+            bool overlaps = false;
+            for (const auto& m : current) {
+                if (modules_overlap(cand, m, geometry)) {
+                    overlaps = true;
+                    break;
+                }
+            }
+            if (overlaps) continue;
+            current.push_back(cand);
+            placed_ideal += ideals[a];
+            dfs(a + 1);
+            current.pop_back();
+            placed_ideal -= ideals[a];
         }
     }
 };
@@ -153,6 +265,70 @@ Floorplan place_bnb(const geo::PlacementArea& area,
     if (stats) {
         *stats = search.stats;
         stats->best_objective = search.best_score;
+    }
+    return plan;
+}
+
+Floorplan place_bnb_energy(const geo::PlacementArea& area,
+                           const solar::IrradianceField& field,
+                           const pv::EmpiricalModuleModel& model,
+                           const PanelGeometry& geometry,
+                           const pv::Topology& topology,
+                           const EvaluationOptions& eval_options,
+                           const BnbOptions& options, BnbStats* stats) {
+    check_arg(field.width() == area.width && field.height() == area.height,
+              "place_bnb_energy: field window does not match area");
+    const int n = topology.total();
+    check_arg(n > 0, "place_bnb_energy: empty topology");
+
+    auto anchors = enumerate_anchors(area, geometry);
+    if (static_cast<int>(anchors.size()) < n)
+        throw Infeasible("place_bnb_energy: fewer anchors than modules");
+    const auto ideals =
+        ideal_anchor_energies(anchors, geometry, field, model, eval_options);
+
+    // Sort by ideal energy descending (deterministic y,x tie-break) so
+    // the DFS descends the strongest branch first: the first leaf is a
+    // greedy-by-ideal incumbent and pruning bites immediately.
+    std::vector<std::pair<double, ModulePlacement>> ranked;
+    ranked.reserve(anchors.size());
+    for (std::size_t a = 0; a < anchors.size(); ++a)
+        ranked.emplace_back(ideals[a], anchors[a]);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  if (a.second.y != b.second.y) return a.second.y < b.second.y;
+                  return a.second.x < b.second.x;
+              });
+
+    EnergySearch search;
+    search.anchors.reserve(ranked.size());
+    search.ideals.reserve(ranked.size());
+    for (const auto& [ideal, anchor] : ranked) {
+        search.anchors.push_back(anchor);
+        search.ideals.push_back(ideal);
+    }
+    search.area = &area;
+    search.field = &field;
+    search.model = &model;
+    search.eval_options = &eval_options;
+    search.geometry = geometry;
+    search.topology = topology;
+    search.n_modules = n;
+    search.max_nodes = options.max_nodes;
+
+    search.dfs(0);
+
+    if (static_cast<int>(search.best.size()) != n)
+        throw Infeasible("place_bnb_energy: no feasible anchor combination");
+
+    Floorplan plan;
+    plan.geometry = geometry;
+    plan.topology = topology;
+    plan.modules = std::move(search.best);
+    if (stats) {
+        *stats = search.stats;
+        stats->best_objective = search.best_energy;
     }
     return plan;
 }

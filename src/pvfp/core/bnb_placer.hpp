@@ -13,6 +13,7 @@
 /// the greedy heuristic's optimality gap; the full roofs remain greedy
 /// territory, as the paper argues.
 
+#include "pvfp/core/incremental_evaluator.hpp"
 #include "pvfp/core/layout.hpp"
 #include "pvfp/util/grid2d.hpp"
 
@@ -35,5 +36,30 @@ Floorplan place_bnb(const geo::PlacementArea& area,
                     const PanelGeometry& geometry,
                     const pv::Topology& topology,
                     const BnbOptions& options = {}, BnbStats* stats = nullptr);
+
+/// Exact maximizer of the *true yearly energy* (the objective of
+/// evaluate_floorplan) over anchor sets on small instances.  Anchors are
+/// ranked by their ideal per-module energy (ideal_anchor_energies); the
+/// bound "placed ideal + top remaining ideals" is a valid relaxation
+/// because series/parallel mismatch and wiring can only lose energy
+/// relative to per-module MPPT, and leaves are scored exactly through an
+/// IncrementalEvaluator — consecutive DFS leaves share long prefixes, so
+/// each leaf is a delta instead of a full evaluate_floorplan.  Each
+/// chosen set is scored under the canonical *row-major* series-first
+/// assignment — the same assignment place_exhaustive gives that set — so
+/// both searches agree on the optimum (neither optimizes over
+/// permutations within a set; use delta_swap/annealing for that axis).
+/// The mismatch/wiring slack makes this bound looser than the linearized
+/// one, so the practical reach is audit-sized instances (the paper's
+/// point about exhaustive search stands).  Throws Infeasible like
+/// place_bnb; stats->best_objective reports energy [kWh].
+Floorplan place_bnb_energy(const geo::PlacementArea& area,
+                           const solar::IrradianceField& field,
+                           const pv::EmpiricalModuleModel& model,
+                           const PanelGeometry& geometry,
+                           const pv::Topology& topology,
+                           const EvaluationOptions& eval_options = {},
+                           const BnbOptions& options = {},
+                           BnbStats* stats = nullptr);
 
 }  // namespace pvfp::core

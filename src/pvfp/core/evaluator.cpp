@@ -24,23 +24,8 @@ double module_irradiance_raw(const Floorplan& plan, int module_index,
                              ModuleIrradiance mode) {
     const ModulePlacement& m =
         plan.modules[static_cast<std::size_t>(module_index)];
-    const PanelGeometry& g = plan.geometry;
-    if (mode == ModuleIrradiance::AnchorCell) {
-        return field.cell_irradiance_unchecked(m.x, m.y, step);
-    }
-    if (mode == ModuleIrradiance::WorstCell) {
-        double worst = std::numeric_limits<double>::infinity();
-        for (int yy = m.y; yy < m.y + g.k2; ++yy)
-            for (int xx = m.x; xx < m.x + g.k1; ++xx)
-                worst = std::min(
-                    worst, field.cell_irradiance_unchecked(xx, yy, step));
-        return worst;
-    }
-    double acc = 0.0;
-    for (int yy = m.y; yy < m.y + g.k2; ++yy)
-        for (int xx = m.x; xx < m.x + g.k1; ++xx)
-            acc += field.cell_irradiance_unchecked(xx, yy, step);
-    return acc / g.cell_count();
+    return anchor_irradiance_unchecked(plan.geometry, m.x, m.y, field, step,
+                                       mode);
 }
 
 /// Per-shard accumulator: the time-dependent slice of EvaluationResult.
@@ -72,6 +57,33 @@ Partial merge(Partial acc, const Partial& p) {
 }
 
 }  // namespace
+
+double anchor_irradiance_unchecked(const PanelGeometry& g, int x, int y,
+                                   const solar::IrradianceField& field,
+                                   long step, ModuleIrradiance mode) {
+    if (mode == ModuleIrradiance::AnchorCell) {
+        return field.cell_irradiance_unchecked(x, y, step);
+    }
+    if (mode == ModuleIrradiance::WorstCell) {
+        double worst = std::numeric_limits<double>::infinity();
+        for (int yy = y; yy < y + g.k2; ++yy)
+            for (int xx = x; xx < x + g.k1; ++xx)
+                worst = std::min(
+                    worst, field.cell_irradiance_unchecked(xx, yy, step));
+        return worst;
+    }
+    double acc = 0.0;
+    for (int yy = y; yy < y + g.k2; ++yy)
+        for (int xx = x; xx < x + g.k1; ++xx)
+            acc += field.cell_irradiance_unchecked(xx, yy, step);
+    return acc / g.cell_count();
+}
+
+pv::OperatingPoint sample_operating_point(const pv::EmpiricalModuleModel& model,
+                                          double g, double t_air,
+                                          double thermal_k) {
+    return model.operating_point(g, t_air + thermal_k * g);
+}
 
 double module_irradiance(const Floorplan& plan, int module_index,
                          const solar::IrradianceField& field, long step,
@@ -152,9 +164,8 @@ EvaluationResult evaluate_floorplan(const Floorplan& plan,
                 for (int i = 0; i < n_modules; ++i) {
                     const double g = module_irradiance_raw(
                         plan, i, field, s, options.module_irradiance);
-                    const double tact = t_air + k_th * g;
                     points[static_cast<std::size_t>(i)] =
-                        model.operating_point(g, tact);
+                        sample_operating_point(model, g, t_air, k_th);
                 }
                 const auto panel = pv::aggregate_panel(points, plan.topology);
 

@@ -78,4 +78,21 @@ double module_irradiance(const Floorplan& plan, int module_index,
                          const solar::IrradianceField& field, long step,
                          ModuleIrradiance mode);
 
+/// Footprint irradiance of a geometry-sized footprint anchored at (x, y):
+/// the exact per-module kernel of evaluate_floorplan, shared with the
+/// IncrementalEvaluator so both compute bitwise-identical values.
+/// Preconditions (footprint inside the field window, step in range) are
+/// debug-asserted only — validate at the call-site boundary.
+double anchor_irradiance_unchecked(const PanelGeometry& geometry, int x, int y,
+                                   const solar::IrradianceField& field,
+                                   long step, ModuleIrradiance mode);
+
+/// Operating point of one module seeing irradiance \p g at air temperature
+/// \p t_air: Tact = Tair + k*G (paper Section III-B1), then the empirical
+/// maximum-power model.  Deliberately a non-inline shared kernel so the
+/// full and incremental evaluators produce the same bits.
+pv::OperatingPoint sample_operating_point(const pv::EmpiricalModuleModel& model,
+                                          double g, double t_air,
+                                          double thermal_k);
+
 }  // namespace pvfp::core

@@ -13,7 +13,10 @@
 /// (position-only, so enumerating anchor *combinations* is exact); a
 /// custom objective receives the full floorplan (series-first assignment
 /// in enumeration order) and may be non-separable, e.g. true yearly
-/// energy.
+/// energy.  For the true-energy objective, wrap an IncrementalEvaluator
+/// with make_incremental_objective (incremental_evaluator.hpp): DFS
+/// leaves share long prefixes, so each leaf is scored by a delta update
+/// instead of a full re-evaluation.
 
 #include <functional>
 

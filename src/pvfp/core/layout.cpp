@@ -23,14 +23,20 @@ PanelGeometry PanelGeometry::from_module(const pv::ModuleSpec& spec, double s,
     return PanelGeometry{k1, k2};
 }
 
-pv::ModulePosition Floorplan::center_m(int index, double cell_size) const {
-    check_arg(index >= 0 && index < module_count(),
-              "Floorplan::center_m: index out of range");
-    const ModulePlacement& m = modules[static_cast<std::size_t>(index)];
+pv::ModulePosition module_center_m(const ModulePlacement& m,
+                                   const PanelGeometry& geometry,
+                                   double cell_size) {
     return pv::ModulePosition{
         (m.x + geometry.k1 / 2.0) * cell_size,
         (m.y + geometry.k2 / 2.0) * cell_size,
     };
+}
+
+pv::ModulePosition Floorplan::center_m(int index, double cell_size) const {
+    check_arg(index >= 0 && index < module_count(),
+              "Floorplan::center_m: index out of range");
+    return module_center_m(modules[static_cast<std::size_t>(index)], geometry,
+                           cell_size);
 }
 
 std::vector<pv::ModulePosition> Floorplan::centers_m(double cell_size) const {

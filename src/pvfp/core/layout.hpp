@@ -37,6 +37,14 @@ struct ModulePlacement {
     bool operator==(const ModulePlacement&) const = default;
 };
 
+/// Center of a geometry-sized module anchored at \p m on the roof plane
+/// [m].  The one shared kernel behind Floorplan::center_m and the
+/// incremental evaluator's per-string wiring recomputation, so both
+/// produce the same bits.
+pv::ModulePosition module_center_m(const ModulePlacement& m,
+                                   const PanelGeometry& geometry,
+                                   double cell_size);
+
 /// A complete placement in *series-first* order: modules[j*m + i] is the
 /// i-th module of string j (paper Fig. 5, line 4).
 struct Floorplan {

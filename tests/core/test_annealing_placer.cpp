@@ -1,0 +1,142 @@
+/// Tests for refine_annealing under the *true* yearly-energy objective —
+/// the workload the IncrementalEvaluator path exists for.  (The
+/// linearized-objective behavior of the closure path is covered by
+/// test_optimal_placers.)
+
+#include <gtest/gtest.h>
+
+#include "../test_helpers.hpp"
+#include "pvfp/core/annealing_placer.hpp"
+#include "pvfp/core/evaluator.hpp"
+#include "pvfp/core/greedy_placer.hpp"
+#include "pvfp/core/incremental_evaluator.hpp"
+
+namespace pvfp::core {
+namespace {
+
+using pvfp::testing::ShadedSetup;
+
+Floorplan base_plan() {
+    Floorplan plan;
+    plan.geometry = {4, 2};
+    plan.topology = {2, 2};
+    // Deliberately poor start: two modules in the ridge-shaded east.
+    plan.modules = {{16, 0}, {16, 6}, {0, 0}, {0, 6}};
+    return plan;
+}
+
+double true_energy(const ShadedSetup& s, const Floorplan& plan) {
+    return evaluate_floorplan(plan, s.area, s.field, s.model).energy_kwh;
+}
+
+TEST(AnnealingTrueObjective, NeverWorseThanInitial) {
+    const ShadedSetup s = pvfp::testing::shaded_setup();
+    const Floorplan initial = base_plan();
+    const double initial_energy = true_energy(s, initial);
+    for (const std::uint64_t seed : {1u, 7u, 42u}) {
+        IncrementalEvaluator ev(initial, s.area, s.field, s.model);
+        AnnealingOptions aopt;
+        aopt.iterations = 400;
+        aopt.seed = seed;
+        AnnealingStats stats;
+        const Floorplan refined = refine_annealing(ev, aopt, &stats);
+        // Property: the refined plan is feasible and never worse than the
+        // initial one under the true objective (re-checked with a fresh
+        // full evaluation, independent of the evaluator's bookkeeping).
+        std::string why;
+        EXPECT_TRUE(floorplan_feasible(refined, s.area, &why)) << why;
+        const double refined_energy = true_energy(s, refined);
+        EXPECT_GE(refined_energy + 1e-9, initial_energy) << "seed=" << seed;
+        EXPECT_GE(stats.final_objective + 1e-9, stats.initial_objective);
+        // The evaluator is left committed at the returned best plan.
+        EXPECT_EQ(ev.plan().modules, refined.modules);
+        EXPECT_NEAR(ev.energy_kwh(), refined_energy, 1e-9);
+    }
+}
+
+TEST(AnnealingTrueObjective, NoFullPlanReevaluationInProposalLoop) {
+    const ShadedSetup s = pvfp::testing::shaded_setup();
+    IncrementalEvaluator ev(base_plan(), s.area, s.field, s.model);
+    AnnealingOptions aopt;
+    aopt.iterations = 300;
+    aopt.seed = 11;
+    AnnealingStats stats;
+    refine_annealing(ev, aopt, &stats);
+    // The hoisting contract: one full pass at construction, everything
+    // after is delta work with targeted per-footprint validation — no
+    // proposal ever triggered a full-plan evaluation or a full-plan
+    // feasibility walk (infeasible anchors are filtered by
+    // move_feasible, so none even reaches the evaluator).
+    EXPECT_EQ(ev.stats().full_passes, 1);
+    EXPECT_EQ(ev.stats().rejected, 0);
+    EXPECT_GT(ev.stats().proposals, 0);
+    EXPECT_GE(ev.stats().proposals, static_cast<long>(stats.accepted));
+}
+
+TEST(AnnealingTrueObjective, IncrementalPathMatchesClosurePath) {
+    const ShadedSetup s = pvfp::testing::shaded_setup();
+    const Floorplan initial = base_plan();
+    AnnealingOptions aopt;
+    aopt.iterations = 250;
+    aopt.seed = 5;
+
+    const PlacementObjective closure = [&](const Floorplan& p) {
+        return evaluate_floorplan(p, s.area, s.field, s.model).energy_kwh;
+    };
+    AnnealingStats closure_stats;
+    const Floorplan via_closure =
+        refine_annealing(initial, s.area, closure, aopt, &closure_stats);
+
+    IncrementalEvaluator ev(initial, s.area, s.field, s.model);
+    AnnealingStats inc_stats;
+    const Floorplan via_delta = refine_annealing(ev, aopt, &inc_stats);
+
+    // Both paths consume the same RNG stream and agree on objective
+    // values to ~1e-12 relative, so the accept/reject trajectory — and
+    // therefore the result — is identical.
+    EXPECT_EQ(via_closure.modules, via_delta.modules);
+    EXPECT_EQ(closure_stats.accepted, inc_stats.accepted);
+    EXPECT_EQ(closure_stats.improved, inc_stats.improved);
+    EXPECT_NEAR(closure_stats.final_objective, inc_stats.final_objective,
+                1e-9);
+}
+
+TEST(AnnealingTrueObjective, GoldenToyFixedSeedRegression) {
+    const auto& prepared = pvfp::testing::coarse_toy_scenario();
+    const pv::Topology topology{2, 2};
+    const Floorplan greedy =
+        place_greedy(prepared.area, prepared.suitability.suitability,
+                     prepared.geometry, topology);
+    const double greedy_energy =
+        evaluate_floorplan(greedy, prepared.area, prepared.field,
+                           prepared.model)
+            .energy_kwh;
+
+    IncrementalEvaluator ev(greedy, prepared.area, prepared.field,
+                            prepared.model);
+    AnnealingOptions aopt;
+    aopt.iterations = 800;
+    aopt.seed = 7;
+    AnnealingStats stats;
+    const Floorplan refined = refine_annealing(ev, aopt, &stats);
+    const double refined_energy =
+        evaluate_floorplan(refined, prepared.area, prepared.field,
+                           prepared.model)
+            .energy_kwh;
+
+    EXPECT_GE(refined_energy + 1e-9, greedy_energy);
+    EXPECT_NEAR(ev.energy_kwh(), refined_energy, 1e-9);
+    // Fixed-seed regression: the refined energy on the golden toy roof.
+    // Measured on the seed implementation of this suite — it equals the
+    // greedy plan's pinned golden energy, i.e. annealing finds no
+    // headroom on the toy roof (the paper's implicit claim that greedy
+    // suffices).  A deliberate change to the models, defaults, or RNG
+    // stream must update it consciously (same contract as
+    // kGoldenEnergyKwh in test_golden_toy).
+    constexpr double kGoldenRefinedKwh = 137.326;
+    EXPECT_NEAR(refined_energy, kGoldenRefinedKwh,
+                0.005 * kGoldenRefinedKwh);
+}
+
+}  // namespace
+}  // namespace pvfp::core

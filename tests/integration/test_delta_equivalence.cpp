@@ -1,0 +1,148 @@
+/// Differential harness for the IncrementalEvaluator: thousands of seeded
+/// random move/swap/rollback steps across roof-library scenarios, with
+/// the committed incremental totals checked against a fresh full
+/// evaluate_floorplan at every point (<= 1e-9 kWh), at 1 and 8 threads —
+/// and the two thread counts must agree bitwise, like every other
+/// deterministic pipeline stage (PR-2 contract).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../test_helpers.hpp"
+#include "pvfp/core/evaluator.hpp"
+#include "pvfp/core/greedy_placer.hpp"
+#include "pvfp/core/incremental_evaluator.hpp"
+#include "pvfp/core/pipeline.hpp"
+#include "pvfp/core/roof_library.hpp"
+#include "pvfp/util/parallel.hpp"
+#include "pvfp/util/rng.hpp"
+
+namespace pvfp::core {
+namespace {
+
+constexpr int kStepsPerScenario = 1000;
+constexpr double kTolKwh = 1e-9;
+
+void expect_result_matches(const EvaluationResult& inc,
+                           const EvaluationResult& full, int step) {
+    EXPECT_NEAR(inc.energy_kwh, full.energy_kwh, kTolKwh) << "step " << step;
+    EXPECT_NEAR(inc.ideal_energy_kwh, full.ideal_energy_kwh, kTolKwh);
+    EXPECT_NEAR(inc.mismatch_loss_kwh, full.mismatch_loss_kwh, kTolKwh);
+    EXPECT_NEAR(inc.wiring_loss_kwh, full.wiring_loss_kwh, kTolKwh);
+    EXPECT_NEAR(inc.extra_cable_m, full.extra_cable_m, 1e-12);
+    ASSERT_EQ(inc.strings.size(), full.strings.size());
+    for (std::size_t j = 0; j < full.strings.size(); ++j) {
+        EXPECT_NEAR(inc.strings[j].energy_kwh, full.strings[j].energy_kwh,
+                    kTolKwh);
+        EXPECT_NEAR(inc.strings[j].wiring_loss_kwh,
+                    full.strings[j].wiring_loss_kwh, kTolKwh);
+    }
+}
+
+struct Trace {
+    std::vector<double> energies;
+    Floorplan final_plan;
+};
+
+/// Drive one seeded random move/swap/rollback sequence.  After *every*
+/// step (commit, rollback, or rejected proposal) the committed state is
+/// compared against a fresh full evaluation of the committed plan.
+Trace run_trace(const PreparedScenario& p, const Floorplan& initial,
+                const EvaluationOptions& eval, std::uint64_t seed) {
+    IncrementalEvaluator ev(initial, p.area, p.field, p.model, eval);
+    const auto anchors = enumerate_anchors(p.area, initial.geometry);
+    Rng rng(seed);
+    Trace trace;
+    trace.energies.reserve(kStepsPerScenario);
+    const std::size_t n = initial.modules.size();
+    for (int step = 0; step < kStepsPerScenario; ++step) {
+        const std::uint64_t kind = rng.uniform_int(100);
+        if (kind < 45) {
+            // Relocation, committed or rolled back at random.
+            const int i = static_cast<int>(rng.uniform_int(n));
+            const ModulePlacement& target =
+                anchors[static_cast<std::size_t>(
+                    rng.uniform_int(anchors.size()))];
+            if (ev.move_feasible(i, target)) {
+                ev.delta_move(i, target);
+                if (rng.bernoulli(0.7))
+                    ev.commit();
+                else
+                    ev.rollback();
+            }
+        } else if (kind < 75 && n >= 2) {
+            // Swap, committed or rolled back at random.
+            const int i = static_cast<int>(rng.uniform_int(n));
+            int j = static_cast<int>(rng.uniform_int(n - 1));
+            if (j >= i) ++j;
+            ev.delta_swap(i, j);
+            if (rng.bernoulli(0.7))
+                ev.commit();
+            else
+                ev.rollback();
+        } else {
+            // Adversarial: always roll the proposal back.
+            const int i = static_cast<int>(rng.uniform_int(n));
+            const ModulePlacement& target =
+                anchors[static_cast<std::size_t>(
+                    rng.uniform_int(anchors.size()))];
+            if (ev.move_feasible(i, target)) {
+                ev.delta_move(i, target);
+                ev.rollback();
+            }
+        }
+        trace.energies.push_back(ev.energy_kwh());
+        const EvaluationResult full = evaluate_floorplan(
+            ev.plan(), p.area, p.field, p.model, eval);
+        expect_result_matches(ev.result(), full, step);
+    }
+    EXPECT_EQ(ev.stats().full_passes, 1);
+    trace.final_plan = ev.plan();
+    return trace;
+}
+
+/// Run the trace at 1 and 8 threads: the harness's tolerance contract
+/// holds at both, and the two runs must be bitwise-identical.
+void run_scenario(const PreparedScenario& p, const pv::Topology& topology,
+                  const EvaluationOptions& eval, std::uint64_t seed) {
+    const Floorplan initial =
+        place_greedy(p.area, p.suitability.suitability, p.geometry,
+                     topology);
+    set_thread_count(1);
+    const Trace t1 = run_trace(p, initial, eval, seed);
+    set_thread_count(8);
+    const Trace t8 = run_trace(p, initial, eval, seed);
+    set_thread_count(0);
+    ASSERT_EQ(t1.energies.size(), t8.energies.size());
+    for (std::size_t k = 0; k < t1.energies.size(); ++k) {
+        // Bitwise equality across thread counts: exact, not NEAR.
+        ASSERT_EQ(t1.energies[k], t8.energies[k]) << "step " << k;
+    }
+    EXPECT_EQ(t1.final_plan.modules, t8.final_plan.modules);
+}
+
+TEST(DeltaEquivalence, ToyRoofThousandStepTrace) {
+    ScenarioConfig config;
+    config.grid = TimeGrid(60, 80, 10);
+    config.weather.seed = 3;
+    config.horizon.azimuth_sectors = 12;
+    const PreparedScenario prepared = prepare_scenario(make_toy(), config);
+    run_scenario(prepared, pv::Topology{2, 2}, {}, /*seed=*/101);
+}
+
+TEST(DeltaEquivalence, ResidentialRoofStridedTrace) {
+    ScenarioConfig config;
+    config.grid = TimeGrid(60, 172, 8);
+    config.weather.seed = 29;
+    config.horizon.azimuth_sectors = 12;
+    config.cell_size = 0.4;  // coarser virtual grid: k1 = 4, k2 = 2
+    const PreparedScenario prepared =
+        prepare_scenario(make_residential(), config);
+    EvaluationOptions eval;
+    eval.step_stride = 2;
+    run_scenario(prepared, pv::Topology{3, 2}, eval, /*seed=*/202);
+}
+
+}  // namespace
+}  // namespace pvfp::core

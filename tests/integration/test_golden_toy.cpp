@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "../test_helpers.hpp"
+#include "pvfp/core/incremental_evaluator.hpp"
 #include "pvfp/core/pipeline.hpp"
 
 namespace pvfp::core {
@@ -48,6 +49,75 @@ TEST(GoldenToy, PanelCountAndEnergy) {
     // meaningful model change.
     EXPECT_NEAR(cmp.proposed_eval.energy_kwh, kGoldenEnergyKwh,
                 0.005 * kGoldenEnergyKwh);
+}
+
+TEST(GoldenToy, IncrementalFullPassMatchesPinnedEnergy) {
+    // The IncrementalEvaluator's cached one-time full pass must land on
+    // the same totals as the pinned evaluate_floorplan result — both
+    // against the fresh full evaluation (tight, the delta-equivalence
+    // contract) and against the golden constant (loose, the regression
+    // anchor).
+    const auto& p = pvfp::testing::coarse_toy_scenario();
+    const PlacementComparison& cmp = toy_comparison();
+    const IncrementalEvaluator ev(cmp.proposed, p.area, p.field, p.model);
+    EXPECT_NEAR(ev.energy_kwh(), cmp.proposed_eval.energy_kwh, 1e-9);
+    EXPECT_NEAR(ev.energy_kwh(), kGoldenEnergyKwh,
+                0.005 * kGoldenEnergyKwh);
+    const EvaluationResult inc = ev.result();
+    EXPECT_NEAR(inc.ideal_energy_kwh, cmp.proposed_eval.ideal_energy_kwh,
+                1e-9);
+    EXPECT_NEAR(inc.mismatch_loss_kwh, cmp.proposed_eval.mismatch_loss_kwh,
+                1e-9);
+    EXPECT_NEAR(inc.wiring_loss_kwh, cmp.proposed_eval.wiring_loss_kwh,
+                1e-9);
+    EXPECT_NEAR(inc.extra_cable_m, cmp.proposed_eval.extra_cable_m, 1e-12);
+}
+
+TEST(GoldenToy, IncrementalCommittedMoveSequencePinned) {
+    // One deterministic committed move/swap/rollback sequence on the
+    // proposed plan: every committed state must match a fresh full
+    // evaluation exactly (<= 1e-9 kWh), and the final energy is pinned
+    // like the other golden values.
+    const auto& p = pvfp::testing::coarse_toy_scenario();
+    const PlacementComparison& cmp = toy_comparison();
+    IncrementalEvaluator ev(cmp.proposed, p.area, p.field, p.model);
+
+    const auto check_against_full = [&] {
+        const EvaluationResult full = evaluate_floorplan(
+            ev.plan(), p.area, p.field, p.model, ev.options());
+        EXPECT_NEAR(ev.energy_kwh(), full.energy_kwh, 1e-9);
+    };
+
+    // Move module 0 to the first feasible anchor that is not its own.
+    const auto anchors = enumerate_anchors(p.area, cmp.proposed.geometry);
+    ASSERT_FALSE(anchors.empty());
+    bool moved = false;
+    for (const ModulePlacement& a : anchors) {
+        if (a == ev.plan().modules[0]) continue;
+        if (!ev.move_feasible(0, a)) continue;
+        ev.delta_move(0, a);
+        ev.commit();
+        moved = true;
+        break;
+    }
+    ASSERT_TRUE(moved);
+    check_against_full();
+
+    ev.delta_swap(0, 3);
+    ev.commit();
+    check_against_full();
+
+    // A rolled-back proposal leaves the committed state untouched.
+    const double before_rollback = ev.energy_kwh();
+    ev.delta_swap(1, 2);
+    ev.rollback();
+    EXPECT_EQ(ev.energy_kwh(), before_rollback);
+    check_against_full();
+
+    // Pinned endpoint of the sequence (measured on the seed
+    // implementation, same contract as kGoldenEnergyKwh).
+    constexpr double kGoldenMovedKwh = 135.521;
+    EXPECT_NEAR(ev.energy_kwh(), kGoldenMovedKwh, 0.005 * kGoldenMovedKwh);
 }
 
 TEST(GoldenToy, AnnualizedEnergyStaysPhysical) {

@@ -75,6 +75,38 @@ inline solar::IrradianceField flat_field(int width, int height,
                                   deg2rad(tilt_deg), deg2rad(azimuth_deg));
 }
 
+/// A small scenario with real spatial structure — a chimney and an
+/// eastern ridge cast shadows, and the chimney cells are keep-out — so
+/// relocating a module genuinely changes the energy objective (a flat
+/// uniform field would only exercise the wiring term).  Shared by the
+/// incremental-evaluator, annealing, and optimal-placer suites.
+struct ShadedSetup {
+    geo::PlacementArea area;
+    solar::IrradianceField field;
+    pv::EmpiricalModuleModel model;
+};
+
+inline ShadedSetup shaded_setup(int days = 4, int w = 24, int h = 10) {
+    const TimeGrid grid = coarse_grid(days);
+    auto env = constant_weather(grid);
+    geo::Raster dsm(w, h, 0.2, 5.0);
+    for (int y = 4; y < 6 && y < h; ++y)
+        for (int x = 10; x < 12 && x < w; ++x) dsm(x, y) = 7.0;  // chimney
+    for (int y = 0; y < h; ++y)
+        for (int x = w - 2; x < w; ++x) dsm(x, y) = 9.0;  // eastern ridge
+    geo::HorizonOptions hopt;
+    hopt.azimuth_sectors = 16;
+    hopt.max_distance = 10.0;
+    geo::HorizonMap horizon(dsm, 0, 0, w, h, hopt);
+    solar::IrradianceField field(std::move(horizon), std::move(env), grid,
+                                 deg2rad(26.0), deg2rad(180.0));
+    Grid2D<unsigned char> mask(w, h, 1);
+    for (int y = 4; y < 6 && y < h; ++y)
+        for (int x = 10; x < 12 && x < w; ++x) mask(x, y) = 0;
+    return ShadedSetup{masked_area(mask), std::move(field),
+                       pv::EmpiricalModuleModel{}};
+}
+
 /// The toy scenario prepared with a coarse (fast) configuration, cached
 /// per test binary.
 inline const core::PreparedScenario& coarse_toy_scenario() {

@@ -1,18 +1,28 @@
 /// \file micro_kernels.cpp
 /// google-benchmark microbenchmarks of the pipeline's hot kernels:
-/// horizon ray-marching, per-cell irradiance sampling, per-cell
+/// horizon ray-marching, per-cell irradiance sampling, the batched SoA
+/// irradiance kernels (scalar and AVX2 dispatch vs the per-cell scalar
+/// baseline — the headline of the batched-kernel PR), per-cell
 /// histogram statistics, panel aggregation, and the summed-area table.
 /// These bound the cost drivers behind the paper's "<120 s" end-to-end
-/// figure.
+/// figure.  scripts/collect_bench_kernels.sh appends the
+/// irradiance-kernel records to BENCH_kernels.json for the cross-PR
+/// trajectory.
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "pvfp/core/evaluator.hpp"
+#include "pvfp/core/pipeline.hpp"
+#include "pvfp/core/roof_library.hpp"
 #include "pvfp/core/suitability.hpp"
 #include "pvfp/geo/horizon.hpp"
 #include "pvfp/geo/scene.hpp"
 #include "pvfp/pv/array.hpp"
 #include "pvfp/solar/irradiance.hpp"
 #include "pvfp/util/rng.hpp"
+#include "pvfp/util/simd.hpp"
 #include "pvfp/util/stats.hpp"
 
 namespace {
@@ -66,6 +76,150 @@ void BM_CellIrradiance(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CellIrradiance);
+
+/// The golden toy roof under the placer-speedup configuration
+/// (30-minute year): the reference workload of the batched-kernel
+/// acceptance gate.  Prepared once per binary.
+const core::PreparedScenario& toy_prepared() {
+    static const core::PreparedScenario prepared = [] {
+        core::ScenarioConfig config;
+        config.grid = TimeGrid(30, 1, 365);
+        config.weather.seed = 17;
+        return core::prepare_scenario(core::make_toy(), config);
+    }();
+    return prepared;
+}
+
+/// Sampled daylight steps of the toy field (stride 4, the search-loop
+/// granularity).
+const std::vector<long>& toy_sampled_steps() {
+    static const std::vector<long> steps = [] {
+        const auto& field = toy_prepared().field;
+        std::vector<long> out;
+        for (long s = 0; s < field.steps(); s += 4)
+            if (field.is_daylight(s)) out.push_back(s);
+        return out;
+    }();
+    return steps;
+}
+
+/// Apply a bench arg (0 = scalar, 1 = AVX2) to the kernel dispatch;
+/// returns false when the level is unavailable on this CPU.
+bool apply_simd_arg(benchmark::State& state) {
+    if (state.range(0) == 1) {
+        if (!cpu_supports_avx2()) {
+            state.SkipWithError("CPU has no AVX2");
+            return false;
+        }
+        set_simd_level(SimdLevel::Avx2);
+    } else {
+        set_simd_level(SimdLevel::Scalar);
+    }
+    return true;
+}
+
+/// Baseline: one field row filled through per-cell scalar calls — the
+/// pre-batching hot loop of compute_suitability / the footprint modes.
+void BM_IrradianceRowScalarCells(benchmark::State& state) {
+    const auto& field = toy_prepared().field;
+    const auto& steps = toy_sampled_steps();
+    std::vector<double> out(static_cast<std::size_t>(field.width()));
+    std::size_t n = 0;
+    int y = 0;
+    for (auto _ : state) {
+        const long s = steps[n++ % steps.size()];
+        for (int x = 0; x < field.width(); ++x)
+            out[static_cast<std::size_t>(x)] =
+                field.cell_irradiance_unchecked(x, y, s);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+        y = (y + 1) % field.height();
+    }
+    state.SetItemsProcessed(state.iterations() * field.width());
+}
+BENCHMARK(BM_IrradianceRowScalarCells);
+
+/// Batched row kernel at a given dispatch level (0 scalar, 1 AVX2).
+void BM_IrradianceRowKernel(benchmark::State& state) {
+    if (!apply_simd_arg(state)) return;
+    const auto& field = toy_prepared().field;
+    const auto& steps = toy_sampled_steps();
+    std::vector<double> out(static_cast<std::size_t>(field.width()));
+    std::size_t n = 0;
+    int y = 0;
+    for (auto _ : state) {
+        const long s = steps[n++ % steps.size()];
+        field.cell_irradiance_row(y, s, 0, field.width(), out.data());
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+        y = (y + 1) % field.height();
+    }
+    state.SetItemsProcessed(state.iterations() * field.width());
+    set_simd_level_auto();
+}
+BENCHMARK(BM_IrradianceRowKernel)->Arg(0)->Arg(1);
+
+/// Baseline: one cell's full sampled-step series through per-cell
+/// scalar calls — the pre-batching per-anchor series build.
+void BM_IrradianceSeriesScalarCells(benchmark::State& state) {
+    const auto& field = toy_prepared().field;
+    const auto& steps = toy_sampled_steps();
+    std::vector<double> out(steps.size());
+    int x = 0;
+    for (auto _ : state) {
+        for (std::size_t k = 0; k < steps.size(); ++k)
+            out[k] = field.cell_irradiance_unchecked(x, 1, steps[k]);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+        x = (x + 1) % field.width();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(steps.size()));
+}
+BENCHMARK(BM_IrradianceSeriesScalarCells);
+
+/// Batched series kernel at a given dispatch level (0 scalar, 1 AVX2).
+void BM_IrradianceSeriesKernel(benchmark::State& state) {
+    if (!apply_simd_arg(state)) return;
+    const auto& field = toy_prepared().field;
+    const auto& steps = toy_sampled_steps();
+    std::vector<double> out(steps.size());
+    int x = 0;
+    for (auto _ : state) {
+        field.cell_irradiance_series(x, 1, steps, out.data());
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+        x = (x + 1) % field.width();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(steps.size()));
+    set_simd_level_auto();
+}
+BENCHMARK(BM_IrradianceSeriesKernel)->Arg(0)->Arg(1);
+
+/// Footprint-mean anchor series (the IncrementalEvaluator's per-anchor
+/// work) through the batch path, per dispatch level.
+void BM_AnchorSeriesKernel(benchmark::State& state) {
+    if (!apply_simd_arg(state)) return;
+    const auto& prepared = toy_prepared();
+    const auto& steps = toy_sampled_steps();
+    std::vector<double> out(steps.size());
+    int x = 0;
+    const int x_max = prepared.field.width() - prepared.geometry.k1;
+    for (auto _ : state) {
+        core::anchor_irradiance_series(
+            prepared.geometry, x, 0, prepared.field, steps,
+            core::ModuleIrradiance::FootprintMean, out.data());
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+        x = (x + 1) % (x_max + 1);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(steps.size()) *
+                            prepared.geometry.cell_count());
+    set_simd_level_auto();
+}
+BENCHMARK(BM_AnchorSeriesKernel)->Arg(0)->Arg(1);
 
 void BM_HistogramAddPercentile(benchmark::State& state) {
     Rng rng(3);

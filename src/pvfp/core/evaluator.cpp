@@ -64,19 +64,75 @@ double anchor_irradiance_unchecked(const PanelGeometry& g, int x, int y,
     if (mode == ModuleIrradiance::AnchorCell) {
         return field.cell_irradiance_unchecked(x, y, step);
     }
+    // Footprint modes ride the batched row kernel one footprint row at a
+    // time (kMaxRow-wide spans for an unreachably wide module — chunking
+    // a row left to right does not change the fold order); the row
+    // values are folded in the scalar (yy, xx) cell order, so the result
+    // is bitwise-identical to the per-cell loop.
+    constexpr int kMaxRow = 256;
+    double buf[kMaxRow];
     if (mode == ModuleIrradiance::WorstCell) {
         double worst = std::numeric_limits<double>::infinity();
         for (int yy = y; yy < y + g.k2; ++yy)
-            for (int xx = x; xx < x + g.k1; ++xx)
-                worst = std::min(
-                    worst, field.cell_irradiance_unchecked(xx, yy, step));
+            for (int xx = x; xx < x + g.k1; xx += kMaxRow) {
+                const int xe = std::min(xx + kMaxRow, x + g.k1);
+                field.cell_irradiance_row(yy, step, xx, xe, buf);
+                for (int i = 0; i < xe - xx; ++i)
+                    worst = std::min(worst, buf[i]);
+            }
         return worst;
     }
     double acc = 0.0;
     for (int yy = y; yy < y + g.k2; ++yy)
-        for (int xx = x; xx < x + g.k1; ++xx)
-            acc += field.cell_irradiance_unchecked(xx, yy, step);
+        for (int xx = x; xx < x + g.k1; xx += kMaxRow) {
+            const int xe = std::min(xx + kMaxRow, x + g.k1);
+            field.cell_irradiance_row(yy, step, xx, xe, buf);
+            for (int i = 0; i < xe - xx; ++i) acc += buf[i];
+        }
     return acc / g.cell_count();
+}
+
+void anchor_irradiance_series(const PanelGeometry& g, int x, int y,
+                              const solar::IrradianceField& field,
+                              std::span<const long> steps,
+                              ModuleIrradiance mode, double* out) {
+    const std::size_t n = steps.size();
+    if (n == 0) return;
+    // Validate the step span once here, not once per footprint cell.
+    const long n_steps = field.steps();
+    for (const long s : steps)
+        check_arg(s >= 0 && s < n_steps,
+                  "anchor_irradiance_series: step out of range");
+    if (mode == ModuleIrradiance::AnchorCell) {
+        field.cell_irradiance_series_unchecked(x, y, steps, out);
+        return;
+    }
+    // One batched series per footprint cell, folded elementwise in the
+    // scalar (yy, xx) cell order: per step this performs exactly the
+    // additions / mins of anchor_irradiance_unchecked.
+    static thread_local std::vector<double> cell_buf;
+    cell_buf.resize(n);
+    if (mode == ModuleIrradiance::WorstCell) {
+        std::fill(out, out + n,
+                  std::numeric_limits<double>::infinity());
+        for (int yy = y; yy < y + g.k2; ++yy)
+            for (int xx = x; xx < x + g.k1; ++xx) {
+                field.cell_irradiance_series_unchecked(xx, yy, steps,
+                                                       cell_buf.data());
+                for (std::size_t k = 0; k < n; ++k)
+                    out[k] = std::min(out[k], cell_buf[k]);
+            }
+        return;
+    }
+    std::fill(out, out + n, 0.0);
+    for (int yy = y; yy < y + g.k2; ++yy)
+        for (int xx = x; xx < x + g.k1; ++xx) {
+            field.cell_irradiance_series_unchecked(xx, yy, steps,
+                                                   cell_buf.data());
+            for (std::size_t k = 0; k < n; ++k) out[k] += cell_buf[k];
+        }
+    const double count = g.cell_count();
+    for (std::size_t k = 0; k < n; ++k) out[k] /= count;
 }
 
 pv::OperatingPoint sample_operating_point(const pv::EmpiricalModuleModel& model,
@@ -144,28 +200,65 @@ EvaluationResult evaluate_floorplan(const Floorplan& plan,
     const long n_samples = (n_steps + stride - 1) / stride;
 
     // Shard the time axis over sampled steps; each shard accumulates its
-    // own Partial and the partials merge in shard order.
+    // own Partial and the partials merge in shard order.  Scratch
+    // (sampled-step lists, the per-module irradiance series, the
+    // operating-point vector) comes from a pool so a shard reuses the
+    // previous shard's allocations instead of reallocating per shard.
+    struct ShardScratch {
+        std::vector<long> steps;
+        std::vector<double> dt_h;
+        std::vector<double> t_air;
+        std::vector<double> g;  ///< n_modules x steps.size(), module-major
+        std::vector<pv::OperatingPoint> points;
+    };
+    ScratchPool<ShardScratch> scratch_pool;
+
     const Partial total = parallel_reduce(
         0L, n_samples, kStepsPerShard, Partial(static_cast<std::size_t>(n_strings)),
         [&](long kb, long ke) {
             Partial p(static_cast<std::size_t>(n_strings));
-            std::vector<pv::OperatingPoint> points(
-                static_cast<std::size_t>(n_modules));
+            auto scratch = scratch_pool.acquire();
+            // Resolve the shard's sampled daylight steps once, then build
+            // each module's footprint-irradiance series through the
+            // batched kernels (bitwise-identical per step to the scalar
+            // per-cell walk this loop used to do).
+            scratch->steps.clear();
+            scratch->dt_h.clear();
+            scratch->t_air.clear();
             for (long k = kb; k < ke; ++k) {
                 const long s = k * stride;
                 if (!field.is_daylight(s)) continue;
+                scratch->steps.push_back(s);
                 // The sampled step stands in for the next `stride` real
                 // steps — except the last sample, which only represents
                 // the steps that actually remain in the horizon.
-                const double dt_h =
-                    step_h * static_cast<double>(
-                                 std::min(stride, n_steps - s));
-                const double t_air = field.air_temperature(s);
+                scratch->dt_h.push_back(
+                    step_h *
+                    static_cast<double>(std::min(stride, n_steps - s)));
+                scratch->t_air.push_back(field.air_temperature(s));
+            }
+            const std::size_t nk = scratch->steps.size();
+            if (nk == 0) return p;
+            scratch->g.resize(static_cast<std::size_t>(n_modules) * nk);
+            for (int i = 0; i < n_modules; ++i) {
+                const ModulePlacement& m =
+                    plan.modules[static_cast<std::size_t>(i)];
+                anchor_irradiance_series(
+                    plan.geometry, m.x, m.y, field, scratch->steps,
+                    options.module_irradiance,
+                    scratch->g.data() + static_cast<std::size_t>(i) * nk);
+            }
+            std::vector<pv::OperatingPoint>& points = scratch->points;
+            points.resize(static_cast<std::size_t>(n_modules));
+            for (std::size_t k = 0; k < nk; ++k) {
+                const double dt_h = scratch->dt_h[k];
+                const double t_air = scratch->t_air[k];
                 for (int i = 0; i < n_modules; ++i) {
-                    const double g = module_irradiance_raw(
-                        plan, i, field, s, options.module_irradiance);
                     points[static_cast<std::size_t>(i)] =
-                        sample_operating_point(model, g, t_air, k_th);
+                        sample_operating_point(
+                            model,
+                            scratch->g[static_cast<std::size_t>(i) * nk + k],
+                            t_air, k_th);
                 }
                 const auto panel = pv::aggregate_panel(points, plan.topology);
 

@@ -11,6 +11,8 @@
 /// the sparse placement pays the per-string wiring loss R*Lextra*I^2
 /// (pv::wiring).  Integration uses the midpoint rule over the TimeGrid.
 
+#include <span>
+
 #include "pvfp/core/layout.hpp"
 #include "pvfp/pv/wiring.hpp"
 #include "pvfp/solar/irradiance.hpp"
@@ -86,6 +88,19 @@ double module_irradiance(const Floorplan& plan, int module_index,
 double anchor_irradiance_unchecked(const PanelGeometry& geometry, int x, int y,
                                    const solar::IrradianceField& field,
                                    long step, ModuleIrradiance mode);
+
+/// Batched footprint irradiance: out[k] = anchor_irradiance_unchecked of
+/// the footprint anchored at (x, y) at steps[k] — bitwise identical to
+/// the per-step scalar loop (it rides the field's batched series kernel
+/// and folds footprint cells in the scalar cell order).  This is the
+/// per-anchor hot path of the IncrementalEvaluator's series build, the
+/// evaluate_floorplan time shards, and ideal_anchor_energies.
+/// Preconditions as anchor_irradiance_unchecked; the step span is
+/// validated here, once, not per footprint cell.
+void anchor_irradiance_series(const PanelGeometry& geometry, int x, int y,
+                              const solar::IrradianceField& field,
+                              std::span<const long> steps,
+                              ModuleIrradiance mode, double* out);
 
 /// Operating point of one module seeing irradiance \p g at air temperature
 /// \p t_air: Tact = Tair + k*G (paper Section III-B1), then the empirical

@@ -41,8 +41,7 @@ IncrementalEvaluator::IncrementalEvaluator(
 
     if (anchor_cache_capacity == 0) {
         const std::size_t bytes_per_series =
-            std::max<std::size_t>(1, samples_.size()) *
-            sizeof(pv::OperatingPoint);
+            std::max<std::size_t>(1, samples_.size()) * 3 * sizeof(double);
         anchor_cache_capacity = std::clamp<std::size_t>(
             kCacheBudgetBytes / bytes_per_series, 16, 1 << 16);
     }
@@ -78,6 +77,8 @@ void IncrementalEvaluator::build_samples() {
         smp.t_air = field_->air_temperature(s);
         samples_.push_back(smp);
     }
+    sample_steps_.reserve(samples_.size());
+    for (const Sample& smp : samples_) sample_steps_.push_back(smp.step);
     chunk_offsets_.assign(static_cast<std::size_t>(n_chunks_) + 1, 0);
     // samples_ is in ascending chunk order: offsets by linear scan.
     std::size_t k = 0;
@@ -104,25 +105,39 @@ IncrementalEvaluator::series_for_anchor(const ModulePlacement& anchor) {
         }
     }
 
-    auto series = std::make_shared<OpSeries>(samples_.size());
+    auto series = std::make_shared<OpSeries>();
     auto& ops = *series;
+    ops.power_w.resize(samples_.size());
+    ops.voltage_v.resize(samples_.size());
+    ops.current_a.resize(samples_.size());
     const double k_th = field_->config().thermal_k;
     const ModuleIrradiance mode = options_.module_irradiance;
     // Disjoint per-sample writes on a fixed chunk grid: bitwise-identical
-    // at any thread count.
-    parallel_for(0, static_cast<long>(samples_.size()), kStepsPerShard,
-                 [&](long b, long e) {
-                     for (long k = b; k < e; ++k) {
-                         const Sample& smp =
-                             samples_[static_cast<std::size_t>(k)];
-                         const double g = anchor_irradiance_unchecked(
-                             plan_.geometry, anchor.x, anchor.y, *field_,
-                             smp.step, mode);
-                         ops[static_cast<std::size_t>(k)] =
-                             sample_operating_point(model_, g, smp.t_air,
-                                                    k_th);
-                     }
-                 });
+    // at any thread count.  Each chunk pulls its footprint-irradiance
+    // span from the batched series kernel, then samples the empirical
+    // model point by point — the same g values, hence the same bits, as
+    // the former per-sample scalar walk.
+    parallel_for(
+        0, static_cast<long>(samples_.size()), kStepsPerShard,
+        [&](long b, long e) {
+            static thread_local std::vector<double> g_buf;
+            g_buf.resize(static_cast<std::size_t>(e - b));
+            anchor_irradiance_series(
+                plan_.geometry, anchor.x, anchor.y, *field_,
+                std::span<const long>(sample_steps_)
+                    .subspan(static_cast<std::size_t>(b),
+                             static_cast<std::size_t>(e - b)),
+                mode, g_buf.data());
+            for (long k = b; k < e; ++k) {
+                const Sample& smp = samples_[static_cast<std::size_t>(k)];
+                const pv::OperatingPoint op = sample_operating_point(
+                    model_, g_buf[static_cast<std::size_t>(k - b)],
+                    smp.t_air, k_th);
+                ops.power_w[static_cast<std::size_t>(k)] = op.power_w;
+                ops.voltage_v[static_cast<std::size_t>(k)] = op.voltage_v;
+                ops.current_a[static_cast<std::size_t>(k)] = op.current_a;
+            }
+        });
     ++stats_.series_computed;
 
     cache_.emplace(key, series);
@@ -155,66 +170,122 @@ IncrementalEvaluator::Totals IncrementalEvaluator::accumulate(
 
     // One shard per map call (chunk size 1 over shard indices), merged in
     // shard order: the same summation tree as evaluate_floorplan.
+    //
+    // The per-sample work is phrased as elementwise passes over the
+    // contiguous SoA operating-point streams — string voltage sums, the
+    // series current min, the ideal-power sum, then the wiring / net
+    // folds — so the compiler vectorizes each pass, while every
+    // accumulator (p.energy, p.string_*, ...) is still folded sample by
+    // sample in ascending k, string by string in ascending j: exactly
+    // the summation order (hence the bits) of the former scalar loop and
+    // of evaluate_floorplan.
     const Partial total = parallel_reduce(
         0L, n_chunks_, 1L, Partial(static_cast<std::size_t>(n_str)),
         [&](long cb, long ce) {
             Partial p(static_cast<std::size_t>(n_str));
-            std::vector<double> str_cur(static_cast<std::size_t>(n_str));
+            auto sc = acc_scratch_.acquire();
             for (long c = cb; c < ce; ++c) {
                 const std::size_t kb =
                     chunk_offsets_[static_cast<std::size_t>(c)];
                 const std::size_t ke =
                     chunk_offsets_[static_cast<std::size_t>(c) + 1];
-                for (std::size_t k = kb; k < ke; ++k) {
-                    const Sample& smp = samples_[k];
-                    // Replicates pv::aggregate_panel's accumulation order
-                    // over the cached operating points.
-                    double min_v = std::numeric_limits<double>::infinity();
-                    double panel_i = 0.0;
-                    double ideal = 0.0;
+                const std::size_t nk = ke - kb;
+                if (nk == 0) continue;
+                constexpr double kInf =
+                    std::numeric_limits<double>::infinity();
+                sc->v.assign(nk, 0.0);
+                sc->min_v.assign(nk, kInf);
+                sc->panel_i.assign(nk, 0.0);
+                sc->ideal.assign(nk, 0.0);
+                sc->volt.resize(nk);
+                sc->power.resize(nk);
+                sc->wiring.assign(nk, 0.0);
+                sc->cur.resize(static_cast<std::size_t>(n_str) * nk);
+                sc->loss.resize(static_cast<std::size_t>(n_str) * nk);
+
+                double* const ideal = sc->ideal.data();
+                double* const min_v = sc->min_v.data();
+                double* const panel_i = sc->panel_i.data();
+                for (int j = 0; j < n_str; ++j) {
+                    double* const v = sc->v.data();
+                    double* const cur =
+                        sc->cur.data() + static_cast<std::size_t>(j) * nk;
+                    std::fill(v, v + nk, 0.0);
+                    std::fill(cur, cur + nk, kInf);
+                    for (int i = 0; i < m; ++i) {
+                        const OpSeries& s =
+                            *ops[static_cast<std::size_t>(j * m + i)];
+                        const double* const vol = s.voltage_v.data() + kb;
+                        const double* const cu = s.current_a.data() + kb;
+                        const double* const pw = s.power_w.data() + kb;
+                        for (std::size_t k = 0; k < nk; ++k)
+                            v[k] += vol[k];
+                        for (std::size_t k = 0; k < nk; ++k)
+                            cur[k] = std::min(cur[k], cu[k]);
+                        for (std::size_t k = 0; k < nk; ++k)
+                            ideal[k] += pw[k];
+                    }
+                    for (std::size_t k = 0; k < nk; ++k)
+                        if (!std::isfinite(cur[k])) cur[k] = 0.0;
+                    for (std::size_t k = 0; k < nk; ++k)
+                        min_v[k] = std::min(min_v[k], v[k]);
+                    for (std::size_t k = 0; k < nk; ++k)
+                        panel_i[k] += cur[k];
+                }
+                double* const volt = sc->volt.data();
+                double* const power = sc->power.data();
+                for (std::size_t k = 0; k < nk; ++k)
+                    volt[k] = std::isfinite(min_v[k]) ? min_v[k] : 0.0;
+                for (std::size_t k = 0; k < nk; ++k)
+                    power[k] = volt[k] * panel_i[k];
+
+                double* const wiring = sc->wiring.data();
+                if (wiring_on) {
                     for (int j = 0; j < n_str; ++j) {
-                        double v = 0.0;
-                        double cur =
-                            std::numeric_limits<double>::infinity();
-                        for (int i = 0; i < m; ++i) {
-                            const pv::OperatingPoint& op =
-                                (*ops[static_cast<std::size_t>(j * m + i)])
-                                    [k];
-                            v += op.voltage_v;
-                            cur = std::min(cur, op.current_a);
-                            ideal += op.power_w;
-                        }
-                        if (!std::isfinite(cur)) cur = 0.0;
-                        min_v = std::min(min_v, v);
-                        panel_i += cur;
-                        str_cur[static_cast<std::size_t>(j)] = cur;
+                        const double extra =
+                            extra_lengths[static_cast<std::size_t>(j)];
+                        check_arg(extra >= 0.0,
+                                  "wiring_power_loss: negative length");
+                        // ((R * extra) * I) * I: the association of
+                        // pv::wiring_power_loss.
+                        const double rl =
+                            options_.wiring.resistance_ohm_per_m * extra;
+                        const double* const cur =
+                            sc->cur.data() +
+                            static_cast<std::size_t>(j) * nk;
+                        double* const loss =
+                            sc->loss.data() +
+                            static_cast<std::size_t>(j) * nk;
+                        for (std::size_t k = 0; k < nk; ++k)
+                            loss[k] = rl * cur[k] * cur[k];
+                        for (std::size_t k = 0; k < nk; ++k)
+                            wiring[k] += loss[k];
                     }
-                    const double volt = std::isfinite(min_v) ? min_v : 0.0;
-                    const double power = volt * panel_i;
+                }
 
-                    double wiring_w = 0.0;
+                // Sample-order fold into the shard partial (the
+                // reduction the determinism contract pins).
+                for (std::size_t k = 0; k < nk; ++k) {
+                    const double dt_h = samples_[kb + k].dt_h;
                     if (wiring_on) {
-                        for (int j = 0; j < n_str; ++j) {
-                            const double loss = pv::wiring_power_loss(
-                                extra_lengths[static_cast<std::size_t>(j)],
-                                str_cur[static_cast<std::size_t>(j)],
-                                options_.wiring);
-                            wiring_w += loss;
+                        for (int j = 0; j < n_str; ++j)
                             p.string_wiring[static_cast<std::size_t>(j)] +=
-                                loss * smp.dt_h / 1000.0;
-                        }
+                                sc->loss[static_cast<std::size_t>(j) * nk +
+                                         k] *
+                                dt_h / 1000.0;
                     }
-
-                    const double net = std::max(0.0, power - wiring_w);
-                    p.energy += net * smp.dt_h / 1000.0;
-                    p.ideal += ideal * smp.dt_h / 1000.0;
+                    const double net =
+                        std::max(0.0, power[k] - wiring[k]);
+                    p.energy += net * dt_h / 1000.0;
+                    p.ideal += ideal[k] * dt_h / 1000.0;
                     p.mismatch +=
-                        std::max(0.0, ideal - power) * smp.dt_h / 1000.0;
-                    p.wiring += wiring_w * smp.dt_h / 1000.0;
+                        std::max(0.0, ideal[k] - power[k]) * dt_h / 1000.0;
+                    p.wiring += wiring[k] * dt_h / 1000.0;
                     for (int j = 0; j < n_str; ++j) {
                         p.string_energy[static_cast<std::size_t>(j)] +=
-                            volt * str_cur[static_cast<std::size_t>(j)] *
-                            smp.dt_h / 1000.0;
+                            volt[k] *
+                            sc->cur[static_cast<std::size_t>(j) * nk + k] *
+                            dt_h / 1000.0;
                     }
                 }
             }
@@ -432,36 +503,37 @@ std::vector<double> ideal_anchor_energies(
     const long n_grid = (n_steps + stride - 1) / stride;
     const double step_h = field.time_grid().step_hours();
     const double k_th = field.config().thermal_k;
-    struct Step {
-        long s;
-        double dt_h;
-        double t_air;
-    };
-    std::vector<Step> steps;
-    steps.reserve(static_cast<std::size_t>(n_grid));
+    std::vector<long> step_ids;
+    std::vector<double> dt_h;
+    std::vector<double> t_air;
+    step_ids.reserve(static_cast<std::size_t>(n_grid));
     for (long k = 0; k < n_grid; ++k) {
         const long s = k * stride;
         if (!field.is_daylight(s)) continue;
-        steps.push_back(
-            {s, step_h * static_cast<double>(std::min(stride, n_steps - s)),
-             field.air_temperature(s)});
+        step_ids.push_back(s);
+        dt_h.push_back(step_h *
+                       static_cast<double>(std::min(stride, n_steps - s)));
+        t_air.push_back(field.air_temperature(s));
     }
 
     std::vector<double> out(anchors.size(), 0.0);
-    // Disjoint per-anchor writes, each a serial in-order sum over steps:
-    // deterministic at any thread count.
+    // Disjoint per-anchor writes, each a serial in-order sum over steps
+    // (fed by the batched series kernel): deterministic at any thread
+    // count and any SIMD level.
     parallel_for(0, static_cast<long>(anchors.size()), 8, [&](long b, long e) {
+        static thread_local std::vector<double> g_buf;
+        g_buf.resize(step_ids.size());
         for (long a = b; a < e; ++a) {
             const ModulePlacement& anchor =
                 anchors[static_cast<std::size_t>(a)];
+            anchor_irradiance_series(geometry, anchor.x, anchor.y, field,
+                                     step_ids, options.module_irradiance,
+                                     g_buf.data());
             double acc = 0.0;
-            for (const Step& st : steps) {
-                const double g = anchor_irradiance_unchecked(
-                    geometry, anchor.x, anchor.y, field, st.s,
-                    options.module_irradiance);
-                const pv::OperatingPoint op =
-                    sample_operating_point(model, g, st.t_air, k_th);
-                acc += op.power_w * st.dt_h / 1000.0;
+            for (std::size_t k = 0; k < step_ids.size(); ++k) {
+                const pv::OperatingPoint op = sample_operating_point(
+                    model, g_buf[k], t_air[k], k_th);
+                acc += op.power_w * dt_h[k] / 1000.0;
             }
             out[static_cast<std::size_t>(a)] = acc;
         }

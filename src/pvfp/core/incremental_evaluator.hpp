@@ -40,6 +40,7 @@
 #include "pvfp/core/evaluator.hpp"
 #include "pvfp/core/exhaustive_placer.hpp"
 #include "pvfp/core/layout.hpp"
+#include "pvfp/util/parallel.hpp"
 
 namespace pvfp::core {
 
@@ -123,7 +124,15 @@ public:
     const IncrementalStats& stats() const { return stats_; }
 
 private:
-    using OpSeries = std::vector<pv::OperatingPoint>;
+    /// Per-anchor operating points over the sampled steps, stored as
+    /// structure-of-arrays so accumulate()'s per-sample folds run over
+    /// contiguous branch-free streams (the SIMD target named by the
+    /// ROADMAP).  Same bytes as the former vector<OperatingPoint>.
+    struct OpSeries {
+        std::vector<double> power_w;
+        std::vector<double> voltage_v;
+        std::vector<double> current_a;
+    };
 
     /// One daylight sampled step of the stride grid.
     struct Sample {
@@ -131,6 +140,20 @@ private:
         long chunk = 0;    ///< fixed 256-sample shard (thread-independent)
         double dt_h = 0.0; ///< hours this sample is billed for
         double t_air = 0.0;
+    };
+
+    /// Reusable per-chunk buffers of accumulate(); pooled across
+    /// proposals so a delta probe does not reallocate.
+    struct AccScratch {
+        std::vector<double> v;        ///< string voltage sum per sample
+        std::vector<double> min_v;    ///< min over strings
+        std::vector<double> panel_i;  ///< current sum over strings
+        std::vector<double> ideal;
+        std::vector<double> volt;
+        std::vector<double> power;
+        std::vector<double> wiring;
+        std::vector<double> cur;   ///< n_strings x samples, string-major
+        std::vector<double> loss;  ///< n_strings x samples, string-major
     };
 
     /// The time-dependent slice of EvaluationResult.
@@ -164,10 +187,13 @@ private:
     EvaluationOptions options_;
 
     std::vector<Sample> samples_;
+    /// samples_[k].step, flattened for the batched series kernels.
+    std::vector<long> sample_steps_;
     /// samples_ index range of shard c is [chunk_offsets_[c],
     /// chunk_offsets_[c+1]); shards are merged in this order.
     std::vector<std::size_t> chunk_offsets_;
     long n_chunks_ = 0;
+    mutable ScratchPool<AccScratch> acc_scratch_;
 
     std::vector<std::shared_ptr<const OpSeries>> module_ops_;
     std::vector<double> extra_lengths_;

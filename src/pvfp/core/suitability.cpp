@@ -64,15 +64,24 @@ SuitabilityResult compute_suitability(const solar::IrradianceField& field,
     }
 
     const double k_th = field.config().thermal_k;
+    // Each cell's time sweep runs through the batched series kernel
+    // (bitwise-identical to the scalar per-step walk), then feeds the
+    // histograms; the irradiance scratch is pooled across chunks.  The
+    // sampled axis is built from [0, steps()) above and the cells come
+    // from the window-matched area, so the unchecked entry applies.
+    ScratchPool<std::vector<double>> scratch_pool;
     parallel_for(
         0, static_cast<long>(cells.size()), 32, [&](long cb, long ce) {
+            auto g_buf = scratch_pool.acquire();
+            g_buf->resize(sampled.size());
             for (long c = cb; c < ce; ++c) {
                 const auto [x, y] = cells[static_cast<std::size_t>(c)];
                 auto& gh = g_hist[static_cast<std::size_t>(c)];
                 auto& th = t_hist[static_cast<std::size_t>(c)];
+                field.cell_irradiance_series_unchecked(x, y, sampled,
+                                                       g_buf->data());
                 for (std::size_t k = 0; k < sampled.size(); ++k) {
-                    const double g = field.cell_irradiance_unchecked(
-                        x, y, sampled[k]);
+                    const double g = (*g_buf)[k];
                     gh.add(g);
                     th.add(sampled_t_air[k] + k_th * g);
                 }

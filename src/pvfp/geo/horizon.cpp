@@ -66,12 +66,16 @@ HorizonMap::HorizonMap(const Raster& dsm, int x0, int y0, int win_w,
     // The win_h x win_w x sectors ray sweep is the prepare-time
     // bottleneck; rows are independent (each writes its own angles_/svf_
     // slice), so parallelize over window rows.  One row per chunk keeps
-    // the grid thread-count independent, hence deterministic.
+    // the grid thread-count independent, hence deterministic.  Writes
+    // into angles_ are sector-strided (the storage is sector-major for
+    // the batched irradiance kernels); build time is march-dominated, so
+    // the stride costs nothing.
+    const std::size_t ncells = static_cast<std::size_t>(cell_count());
     parallel_for(0, win_h, 1, [&](long row_begin, long row_end) {
         for (long wy = row_begin; wy < row_end; ++wy) {
             for (int wx = 0; wx < win_w; ++wx) {
-                const std::size_t base =
-                    base_index(wx, static_cast<int>(wy));
+                const std::size_t ci =
+                    cell_index(wx, static_cast<int>(wy));
                 double svf_acc = 0.0;
                 for (int s = 0; s < sectors_; ++s) {
                     const double az = kTwoPi * s / sectors_;
@@ -80,33 +84,33 @@ HorizonMap::HorizonMap(const Raster& dsm, int x0, int y0, int win_w,
                         options.max_distance, step, options.step_growth,
                         options.max_step_factor * dsm.cell_size(),
                         options.observer_offset);
-                    angles_[base + static_cast<std::size_t>(s)] =
+                    angles_[static_cast<std::size_t>(s) * ncells + ci] =
                         static_cast<float>(ang);
                     const double c = std::cos(ang);
                     svf_acc += c * c;
                 }
-                svf_[base / static_cast<std::size_t>(sectors_)] =
-                    static_cast<float>(svf_acc / sectors_);
+                svf_[ci] = static_cast<float>(svf_acc / sectors_);
             }
         }
     });
 }
 
-std::size_t HorizonMap::base_index(int wx, int wy) const {
+std::size_t HorizonMap::cell_index(int wx, int wy) const {
     // Internal hot path: every public entry (horizon, horizon_at,
     // sky_view_factor) validates its bounds first, so only a debug
     // assert remains here.
     assert(wx >= 0 && wx < win_w_ && wy >= 0 && wy < win_h_);
-    return (static_cast<std::size_t>(wy) * win_w_ +
-            static_cast<std::size_t>(wx)) *
-           static_cast<std::size_t>(sectors_);
+    return static_cast<std::size_t>(wy) * win_w_ +
+           static_cast<std::size_t>(wx);
 }
 
 double HorizonMap::horizon(int wx, int wy, int s) const {
     check_arg(wx >= 0 && wx < win_w_ && wy >= 0 && wy < win_h_,
               "HorizonMap: window cell out of range");
     check_arg(s >= 0 && s < sectors_, "HorizonMap::horizon: bad sector");
-    return angles_[base_index(wx, wy) + static_cast<std::size_t>(s)];
+    return angles_[static_cast<std::size_t>(s) *
+                       static_cast<std::size_t>(cell_count()) +
+                   cell_index(wx, wy)];
 }
 
 double HorizonMap::horizon_at(int wx, int wy, double azimuth_rad) const {
@@ -130,13 +134,14 @@ double HorizonMap::sky_view_factor(int wx, int wy) const {
 
 double HorizonMap::horizon_at_unchecked(int wx, int wy,
                                         double azimuth_rad) const {
-    const std::size_t base = base_index(wx, wy);
+    const std::size_t ci = cell_index(wx, wy);
+    const std::size_t ncells = static_cast<std::size_t>(cell_count());
     const double pos = wrap_two_pi(azimuth_rad) / kTwoPi * sectors_;
     const int s0 = static_cast<int>(pos) % sectors_;
     const int s1 = (s0 + 1) % sectors_;
     const double frac = pos - std::floor(pos);
-    const double a0 = angles_[base + static_cast<std::size_t>(s0)];
-    const double a1 = angles_[base + static_cast<std::size_t>(s1)];
+    const double a0 = angles_[static_cast<std::size_t>(s0) * ncells + ci];
+    const double a1 = angles_[static_cast<std::size_t>(s1) * ncells + ci];
     return lerp(a0, a1, frac);
 }
 
@@ -147,7 +152,7 @@ bool HorizonMap::is_shaded_unchecked(int wx, int wy, double azimuth_rad,
 }
 
 double HorizonMap::sky_view_factor_unchecked(int wx, int wy) const {
-    return svf_[base_index(wx, wy) / static_cast<std::size_t>(sectors_)];
+    return svf_[cell_index(wx, wy)];
 }
 
 double brute_force_horizon(const Raster& dsm, int x, int y,

@@ -81,15 +81,33 @@ public:
                              double elevation_rad) const;
     double sky_view_factor_unchecked(int wx, int wy) const;
 
+    /// Number of window cells (= width * height): the stride between two
+    /// consecutive sector planes of angles_data().
+    long cell_count() const {
+        return static_cast<long>(win_w_) * win_h_;
+    }
+
+    /// Raw horizon storage for the batched irradiance kernels.  Layout is
+    /// *sector-major* (structure-of-arrays): plane s is cell_count()
+    /// consecutive floats, one per window cell in row-major order, so the
+    /// angle of cell (wx, wy) in sector s sits at
+    /// angles_data()[s * cell_count() + wy * window_width() + wx].  A
+    /// fixed time step pins (s0, s1, frac) of the horizon interpolation,
+    /// turning a row sweep into two unit-stride plane loads.
+    const float* angles_data() const { return angles_.data(); }
+
+    /// Raw per-cell sky-view factors, row-major over the window.
+    const float* svf_data() const { return svf_.data(); }
+
 private:
-    std::size_t base_index(int wx, int wy) const;
+    std::size_t cell_index(int wx, int wy) const;
 
     int x0_;
     int y0_;
     int win_w_;
     int win_h_;
     int sectors_;
-    /// Row-major per-cell, then per-sector horizon angles [rad].
+    /// Sector-major horizon angles [rad]: see angles_data().
     std::vector<float> angles_;
     std::vector<float> svf_;
 };

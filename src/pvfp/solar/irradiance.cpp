@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "pvfp/solar/irradiance_kernels.hpp"
 #include "pvfp/util/error.hpp"
 #include "pvfp/util/parallel.hpp"
+#include "pvfp/util/simd.hpp"
 
 namespace pvfp::solar {
 
@@ -29,75 +32,122 @@ IrradianceField::IrradianceField(geo::HorizonMap horizon,
                       normals_.height() == horizon_.window_height(),
                   "IrradianceField: normal map does not match the window");
     }
+    // The batch kernels address horizon sector planes through int32
+    // offsets; a window large enough to overflow them would not fit in
+    // memory anyway, but fail loudly rather than wrap.
+    check_arg(horizon_.cell_count() *
+                      static_cast<long long>(horizon_.sectors()) <=
+                  std::numeric_limits<std::int32_t>::max(),
+              "IrradianceField: horizon map too large for batch kernels");
+
+    // Env-series validation, hoisted out of the per-step precompute loop
+    // (it used to re-check inside the hot inner loop on every step).
+    for (const EnvSample& e : env) {
+        check_arg(e.ghi >= 0.0 && e.dni >= 0.0 && e.dhi >= 0.0,
+                  "IrradianceField: negative irradiance in env series");
+    }
 
     // Uniform plane normal: leans toward the downslope azimuth.
     plane_e_ = std::sin(tilt_rad_) * std::sin(azimuth_rad_);
     plane_n_ = std::sin(tilt_rad_) * std::cos(azimuth_rad_);
     plane_u_ = std::cos(tilt_rad_);
 
+    const std::size_t n = env.size();
+    beam_eq_.resize(n);
+    sky_diffuse_.resize(n);
+    reflected_.resize(n);
+    temp_air_.resize(n);
+    sun_azimuth_.resize(n);
+    sun_elevation_.resize(n);
+    sun_e_.resize(n);
+    sun_n_.resize(n);
+    sun_u_.resize(n);
+    daylight_.resize(n);
+    hor_off0_.resize(n);
+    hor_off1_.resize(n);
+    hor_frac_.resize(n);
+
+    const int sectors = horizon_.sectors();
+    const std::int32_t ncells =
+        static_cast<std::int32_t>(horizon_.cell_count());
+
     // Per-step precompute (sun position + transposition for each of the
     // ~35,040 steps) parallelized over step chunks: each step writes only
-    // its own steps_ slot, so the fixed chunk grid keeps the result
+    // its own SoA slots, so the fixed chunk grid keeps the result
     // bitwise-identical at any thread count.
-    steps_.resize(env.size());
     parallel_for(0, grid_.total_steps(), 512, [&](long sb, long se) {
     for (long s = sb; s < se; ++s) {
-        const EnvSample& e = env[static_cast<std::size_t>(s)];
-        check_arg(e.ghi >= 0.0 && e.dni >= 0.0 && e.dhi >= 0.0,
-                  "IrradianceField: negative irradiance in env series");
-        StepData d;
+        const std::size_t si = static_cast<std::size_t>(s);
+        const EnvSample& e = env[si];
         const int doy = grid_.day_of_year(s);
         const double hour = grid_.hour_of_day(s);
         const SunPosition sun = sun_position(config_.location, doy, hour);
-        d.sun_azimuth = static_cast<float>(sun.azimuth_rad);
-        d.sun_elevation = static_cast<float>(sun.elevation_rad);
-        d.daylight = sun.elevation_rad > 0.0;
-        d.temp_air = static_cast<float>(e.temp_air_c);
+        const bool daylight = sun.elevation_rad > 0.0;
+        sun_azimuth_[si] = static_cast<float>(sun.azimuth_rad);
+        sun_elevation_[si] = static_cast<float>(sun.elevation_rad);
+        daylight_[si] = daylight ? 1 : 0;
+        temp_air_[si] = static_cast<float>(e.temp_air_c);
         const double cos_el = std::cos(sun.elevation_rad);
-        d.sun_e = static_cast<float>(cos_el * std::sin(sun.azimuth_rad));
-        d.sun_n = static_cast<float>(cos_el * std::cos(sun.azimuth_rad));
-        d.sun_u = static_cast<float>(std::sin(sun.elevation_rad));
+        sun_e_[si] = static_cast<float>(cos_el * std::sin(sun.azimuth_rad));
+        sun_n_[si] = static_cast<float>(cos_el * std::cos(sun.azimuth_rad));
+        sun_u_[si] = static_cast<float>(std::sin(sun.elevation_rad));
 
+        float beam_eq_f = 0.0f;
+        float sky_diffuse_f = 0.0f;
+        float reflected_f = 0.0f;
         if (e.ghi > 0.0 || e.dhi > 0.0) {
+            // Extraterrestrial normal irradiance is needed by both the
+            // circumsolar share and the isotropic split under Hay-Davies;
+            // compute it once per step (it used to be evaluated twice).
+            const bool hay = config_.sky_model == SkyModel::HayDavies;
+            double a = 0.0;
+            if (hay) {
+                a = std::clamp(e.dni / extraterrestrial_normal_irradiance(doy),
+                               0.0, 1.0);
+            }
             // Normal-equivalent beam magnitude: DNI plus, for Hay-Davies,
             // the circumsolar share of the diffuse (guarded near the
             // horizon exactly like the transposition model).
             double beam_eq = 0.0;
-            if (d.daylight) {
+            if (daylight) {
                 beam_eq = e.dni;
-                if (config_.sky_model == SkyModel::HayDavies &&
-                    e.dhi > 0.0) {
-                    const double a = std::clamp(
-                        e.dni / extraterrestrial_normal_irradiance(doy),
-                        0.0, 1.0);
+                if (hay && e.dhi > 0.0) {
                     const double sin_el_guard =
                         std::max(std::sin(sun.elevation_rad), 0.01745);
                     beam_eq += e.dhi * a / sin_el_guard;
                 }
             }
-            d.beam_eq = static_cast<float>(beam_eq);
+            beam_eq_f = static_cast<float>(beam_eq);
 
             // Isotropic sky share and ground-reflected term on the plane.
             double dhi_iso = e.dhi;
-            if (config_.sky_model == SkyModel::HayDavies) {
-                const double a = std::clamp(
-                    e.dni / extraterrestrial_normal_irradiance(doy), 0.0,
-                    1.0);
-                dhi_iso = e.dhi * (1.0 - (d.daylight ? a : 0.0));
-            }
-            d.sky_diffuse = static_cast<float>(
+            if (hay) dhi_iso = e.dhi * (1.0 - (daylight ? a : 0.0));
+            sky_diffuse_f = static_cast<float>(
                 dhi_iso * (1.0 + std::cos(tilt_rad_)) / 2.0);
-            d.reflected = static_cast<float>(
+            reflected_f = static_cast<float>(
                 e.ghi * config_.albedo * (1.0 - std::cos(tilt_rad_)) / 2.0);
         }
-        steps_[static_cast<std::size_t>(s)] = d;
+        beam_eq_[si] = beam_eq_f;
+        sky_diffuse_[si] = sky_diffuse_f;
+        reflected_[si] = reflected_f;
+
+        // Horizon interpolation weights for this step's sun azimuth —
+        // exactly the arithmetic of HorizonMap::horizon_at_unchecked, so
+        // the batch kernels reproduce the scalar lookup bit for bit.
+        const double pos =
+            wrap_two_pi(static_cast<double>(sun_azimuth_[si])) / kTwoPi *
+            sectors;
+        const int s0 = static_cast<int>(pos) % sectors;
+        const int s1 = (s0 + 1) % sectors;
+        hor_off0_[si] = static_cast<std::int32_t>(s0) * ncells;
+        hor_off1_[si] = static_cast<std::int32_t>(s1) * ncells;
+        hor_frac_[si] = pos - std::floor(pos);
     }
     });
 }
 
 double IrradianceField::cell_irradiance(int x, int y, long s) const {
-    check_arg(s >= 0 && s < static_cast<long>(steps_.size()),
-              "IrradianceField: step out of range");
+    check_step(s);
     check_arg(x >= 0 && x < width() && y >= 0 && y < height(),
               "IrradianceField: cell out of range");
     return cell_irradiance_unchecked(x, y, s);
@@ -105,24 +155,91 @@ double IrradianceField::cell_irradiance(int x, int y, long s) const {
 
 double IrradianceField::cell_irradiance_unchecked(int x, int y,
                                                   long s) const {
-    const StepData& d = step(s);
-    double g = d.reflected;
-    g += horizon_.sky_view_factor_unchecked(x, y) * d.sky_diffuse;
-    if (d.beam_eq > 0.0f &&
-        !horizon_.is_shaded_unchecked(x, y, d.sun_azimuth,
-                                      d.sun_elevation)) {
+    // Innermost scalar hot path (per cell per step): the iteration
+    // domain is validated once at the public call-site boundary.
+    assert(s >= 0 && s < static_cast<long>(daylight_.size()));
+    const std::size_t si = static_cast<std::size_t>(s);
+    double g = reflected_[si];
+    g += horizon_.sky_view_factor_unchecked(x, y) * sky_diffuse_[si];
+    if (beam_eq_[si] > 0.0f &&
+        !horizon_.is_shaded_unchecked(x, y, sun_azimuth_[si],
+                                      sun_elevation_[si])) {
         double cosi;
         if (has_normals_) {
-            cosi = normals_.east(x, y) * d.sun_e +
-                   normals_.north(x, y) * d.sun_n +
-                   normals_.up(x, y) * d.sun_u;
+            cosi = normals_.east(x, y) * sun_e_[si] +
+                   normals_.north(x, y) * sun_n_[si] +
+                   normals_.up(x, y) * sun_u_[si];
         } else {
-            cosi = plane_e_ * d.sun_e + plane_n_ * d.sun_n +
-                   plane_u_ * d.sun_u;
+            cosi = plane_e_ * sun_e_[si] + plane_n_ * sun_n_[si] +
+                   plane_u_ * sun_u_[si];
         }
-        if (cosi > 0.0) g += d.beam_eq * cosi;
+        if (cosi > 0.0) g += beam_eq_[si] * cosi;
     }
     return g;
+}
+
+detail::FieldView IrradianceField::view() const {
+    detail::FieldView v;
+    v.beam_eq = beam_eq_.data();
+    v.sky_diffuse = sky_diffuse_.data();
+    v.reflected = reflected_.data();
+    v.sun_elevation = sun_elevation_.data();
+    v.sun_e = sun_e_.data();
+    v.sun_n = sun_n_.data();
+    v.sun_u = sun_u_.data();
+    v.hor_off0 = hor_off0_.data();
+    v.hor_off1 = hor_off1_.data();
+    v.hor_frac = hor_frac_.data();
+    v.angles = horizon_.angles_data();
+    v.svf = horizon_.svf_data();
+    if (has_normals_) {
+        v.norm_e = normals_.east.data().data();
+        v.norm_n = normals_.north.data().data();
+        v.norm_u = normals_.up.data().data();
+    }
+    v.plane_e = plane_e_;
+    v.plane_n = plane_n_;
+    v.plane_u = plane_u_;
+    v.width = width();
+    return v;
+}
+
+void IrradianceField::cell_irradiance_row(int y, long s, int x0, int x1,
+                                          double* out) const {
+    check_step(s);
+    check_arg(y >= 0 && y < height() && x0 >= 0 && x0 <= x1 &&
+                  x1 <= width(),
+              "IrradianceField: row span out of range");
+    if (x0 == x1) return;
+    const detail::FieldView v = view();
+    if (simd_level() == SimdLevel::Avx2 && detail::avx2_kernels_compiled())
+        detail::cell_row_avx2(v, y, s, x0, x1, out);
+    else
+        detail::cell_row_scalar(v, y, s, x0, x1, out);
+}
+
+void IrradianceField::cell_irradiance_series(int x, int y,
+                                             std::span<const long> steps,
+                                             double* out) const {
+    check_arg(x >= 0 && x < width() && y >= 0 && y < height(),
+              "IrradianceField: cell out of range");
+    const long n_steps = this->steps();
+    for (const long s : steps)
+        check_arg(s >= 0 && s < n_steps,
+                  "IrradianceField: step out of range");
+    cell_irradiance_series_unchecked(x, y, steps, out);
+}
+
+void IrradianceField::cell_irradiance_series_unchecked(
+    int x, int y, std::span<const long> steps, double* out) const {
+    assert(x >= 0 && x < width() && y >= 0 && y < height());
+    if (steps.empty()) return;
+    const detail::FieldView v = view();
+    if (simd_level() == SimdLevel::Avx2 && detail::avx2_kernels_compiled())
+        detail::cell_series_avx2(v, x, y, steps.data(), steps.size(), out);
+    else
+        detail::cell_series_scalar(v, x, y, steps.data(), steps.size(),
+                                   out);
 }
 
 double IrradianceField::cell_module_temperature(int x, int y, long s) const {
@@ -130,10 +247,12 @@ double IrradianceField::cell_module_temperature(int x, int y, long s) const {
 }
 
 double IrradianceField::plane_irradiance_unshaded(long s) const {
-    const StepData& d = checked_step(s);
-    const double cosi =
-        plane_e_ * d.sun_e + plane_n_ * d.sun_n + plane_u_ * d.sun_u;
-    return d.beam_eq * std::max(0.0, cosi) + d.sky_diffuse + d.reflected;
+    check_step(s);
+    const std::size_t si = static_cast<std::size_t>(s);
+    const double cosi = plane_e_ * sun_e_[si] + plane_n_ * sun_n_[si] +
+                        plane_u_ * sun_u_[si];
+    return beam_eq_[si] * std::max(0.0, cosi) + sky_diffuse_[si] +
+           reflected_[si];
 }
 
 double IrradianceField::unshaded_insolation_kwh_m2() const {

@@ -15,8 +15,19 @@
 /// step, the roof plane is uniform) and the two cell factors come from the
 /// horizon map (O(1) per query).  Module temperature follows the paper's
 /// Tact = Tair + k*G with k = alpha/h_c (Section III-B1, [12][13]).
+///
+/// Per-step state is stored as structure-of-arrays planes (one
+/// contiguous array per physical quantity) and the horizon interpolation
+/// weights (sector pair + fraction, fixed per step) are precomputed, so
+/// the two batched entry points — cell_irradiance_row (fixed step, span
+/// of cells) and cell_irradiance_series (fixed cell, span of steps) —
+/// run as branch-free SIMD-friendly loops.  Both are *bitwise identical*
+/// to the scalar cell_irradiance_unchecked per cell, at any SIMD level
+/// (see util/simd.hpp for the dispatch contract).
 
 #include <cassert>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "pvfp/geo/horizon.hpp"
@@ -48,6 +59,41 @@ struct FieldConfig {
     double thermal_k = 1.0 / 30.0;
 };
 
+namespace detail {
+
+/// Raw pointer view of the field's SoA planes, consumed by the scalar
+/// and AVX2 batch kernels (irradiance_kernels.hpp).  Pointers stay valid
+/// for the lifetime of the owning IrradianceField.
+struct FieldView {
+    // Step-indexed planes (one entry per time step).
+    const float* beam_eq = nullptr;
+    const float* sky_diffuse = nullptr;
+    const float* reflected = nullptr;
+    const float* sun_elevation = nullptr;
+    const float* sun_e = nullptr;
+    const float* sun_n = nullptr;
+    const float* sun_u = nullptr;
+    /// Horizon interpolation per step: angle-plane offsets of the two
+    /// sectors bracketing the sun azimuth (already multiplied by the
+    /// cell count) and the interpolation fraction.
+    const std::int32_t* hor_off0 = nullptr;
+    const std::int32_t* hor_off1 = nullptr;
+    const double* hor_frac = nullptr;
+    // Cell-indexed planes (row-major over the window).
+    const float* angles = nullptr;  ///< sector-major horizon planes
+    const float* svf = nullptr;
+    const float* norm_e = nullptr;  ///< nullptr => uniform plane normal
+    const float* norm_n = nullptr;
+    const float* norm_u = nullptr;
+    // Uniform plane normal (east, north, up).
+    double plane_e = 0.0;
+    double plane_n = 0.0;
+    double plane_u = 1.0;
+    int width = 0;  ///< window width: row stride of the cell planes
+};
+
+}  // namespace detail
+
 /// Lazily-evaluated per-cell irradiance and module temperature over a
 /// placement-area window (the HorizonMap's window).
 class IrradianceField {
@@ -74,17 +120,22 @@ public:
     const geo::HorizonMap& horizon() const { return horizon_; }
 
     /// True when the sun is above the horizon at step \p s.
-    bool is_daylight(long s) const { return checked_step(s).daylight; }
+    bool is_daylight(long s) const {
+        check_step(s);
+        return daylight_[static_cast<std::size_t>(s)] != 0;
+    }
 
     /// Sun position at step \p s.
     SunPosition sun(long s) const {
-        const StepData& d = checked_step(s);
-        return SunPosition{d.sun_azimuth, d.sun_elevation};
+        check_step(s);
+        return SunPosition{sun_azimuth_[static_cast<std::size_t>(s)],
+                           sun_elevation_[static_cast<std::size_t>(s)]};
     }
 
     /// Ambient air temperature [deg C] at step \p s.
     double air_temperature(long s) const {
-        return checked_step(s).temp_air;
+        check_step(s);
+        return temp_air_[static_cast<std::size_t>(s)];
     }
 
     /// Plane-of-array irradiance [W/m^2] at cell (x,y) (window-local
@@ -98,6 +149,33 @@ public:
     /// inside the window and 0 <= s < steps().
     double cell_irradiance_unchecked(int x, int y, long s) const;
 
+    /// Batched row kernel: out[i] = cell_irradiance of cell (x0+i, y) at
+    /// step \p s for i in [0, x1-x0).  Bitwise identical to calling
+    /// cell_irradiance_unchecked per cell, at any SIMD level; validates
+    /// the row, span, and step once (throws InvalidArgument).  This is
+    /// the fixed-step hot path of compute_suitability, the Fig. 6 maps,
+    /// and the footprint modes of anchor_irradiance_unchecked.
+    void cell_irradiance_row(int y, long s, int x0, int x1,
+                             double* out) const;
+
+    /// Batched series kernel: out[k] = cell_irradiance of cell (x, y) at
+    /// steps[k].  Bitwise identical to the scalar loop at any SIMD
+    /// level; validates the cell and every step once (throws
+    /// InvalidArgument).  This is the fixed-cell hot path of the
+    /// IncrementalEvaluator's per-anchor series build.
+    void cell_irradiance_series(int x, int y, std::span<const long> steps,
+                                double* out) const;
+
+    /// Unchecked fast path of cell_irradiance_series for callers that
+    /// validated the cell and step span once at their own boundary
+    /// (anchor_irradiance_series sweeping a footprint, suitability's
+    /// per-cell sweep over one prevalidated sampled axis).
+    /// Preconditions (debug-asserted): cell inside the window, every
+    /// steps[k] in [0, steps()).
+    void cell_irradiance_series_unchecked(int x, int y,
+                                          std::span<const long> steps,
+                                          double* out) const;
+
     /// Module temperature [deg C] at the cell: Tair + k * G.
     double cell_module_temperature(int x, int y, long s) const;
 
@@ -109,36 +187,13 @@ public:
     double unshaded_insolation_kwh_m2() const;
 
 private:
-    struct StepData {
-        /// Beam(+circumsolar) normal-equivalent magnitude [W/m^2]; the
-        /// cell's plane-of-array beam is beam_eq * max(0, n_cell . s).
-        float beam_eq = 0.0f;
-        float sky_diffuse = 0.0f;    ///< isotropic sky diffuse on the plane
-        float reflected = 0.0f;      ///< ground-reflected on the plane
-        float temp_air = 0.0f;
-        float sun_azimuth = 0.0f;
-        float sun_elevation = 0.0f;
-        /// Sun unit vector (east, north, up).
-        float sun_e = 0.0f;
-        float sun_n = 0.0f;
-        float sun_u = 0.0f;
-        bool daylight = false;
-    };
-
-    const StepData& step(long s) const {
-        // Innermost hot path (per cell per step): the step range is
-        // validated once at the public call-site boundary; keep only a
-        // debug assert here.
-        assert(s >= 0 && s < static_cast<long>(steps_.size()));
-        return steps_[static_cast<std::size_t>(s)];
-    }
-
-    /// Validating accessor backing the public per-step methods.
-    const StepData& checked_step(long s) const {
-        check_arg(s >= 0 && s < static_cast<long>(steps_.size()),
+    /// Validating step guard backing the public per-step methods.
+    void check_step(long s) const {
+        check_arg(s >= 0 && s < static_cast<long>(daylight_.size()),
                   "IrradianceField: step out of range");
-        return steps_[static_cast<std::size_t>(s)];
     }
+
+    detail::FieldView view() const;
 
     geo::HorizonMap horizon_;
     pvfp::TimeGrid grid_;
@@ -151,7 +206,27 @@ private:
     double plane_e_ = 0.0;
     double plane_n_ = 0.0;
     double plane_u_ = 1.0;
-    std::vector<StepData> steps_;
+
+    // Per-step SoA planes (formerly one array-of-structs).  beam_eq is
+    // the beam(+circumsolar) normal-equivalent magnitude [W/m^2]: a
+    // cell's plane-of-array beam is beam_eq * max(0, n_cell . s).
+    std::vector<float> beam_eq_;
+    std::vector<float> sky_diffuse_;  ///< isotropic sky diffuse, in plane
+    std::vector<float> reflected_;    ///< ground-reflected, in plane
+    std::vector<float> temp_air_;
+    std::vector<float> sun_azimuth_;
+    std::vector<float> sun_elevation_;
+    /// Sun unit vector (east, north, up).
+    std::vector<float> sun_e_;
+    std::vector<float> sun_n_;
+    std::vector<float> sun_u_;
+    std::vector<std::uint8_t> daylight_;
+    /// Precomputed horizon interpolation per step: the batch kernels
+    /// look up angles[hor_off{0,1}[s] + cell] and lerp with hor_frac[s];
+    /// values replicate HorizonMap::horizon_at_unchecked bit for bit.
+    std::vector<std::int32_t> hor_off0_;
+    std::vector<std::int32_t> hor_off1_;
+    std::vector<double> hor_frac_;
 };
 
 }  // namespace pvfp::solar

@@ -1,0 +1,50 @@
+#pragma once
+/// \file irradiance_kernels.hpp
+/// Internal batched irradiance kernels over a FieldView (SoA planes).
+///
+/// Two shapes, two implementations each:
+///  - row kernel:    fixed step, contiguous span of cells in one row;
+///  - series kernel: fixed cell, arbitrary span of steps.
+///
+/// The scalar implementations are branch-free inner loops (horizon lerp
+/// + compare instead of is_shaded branching, masked beam term) written
+/// so GCC/Clang auto-vectorize them; the AVX2 implementations are
+/// hand-written intrinsics selected at runtime (util/simd.hpp).  Both
+/// compute the *same IEEE operations in the same association* as
+/// IrradianceField::cell_irradiance_unchecked — no FMA (the build sets
+/// -ffp-contract=off), no reassociation — so every implementation is
+/// bitwise-identical per cell.  tests/solar/test_batched_kernels pins
+/// this property across roofs, sky models, normals on/off, and SIMD
+/// on/off.
+///
+/// Preconditions (debug-asserted by the callers, validated at the
+/// IrradianceField boundary): row/cell inside the window, steps in
+/// range, out sized to the span.
+
+#include <cstddef>
+
+#include "pvfp/solar/irradiance.hpp"
+
+namespace pvfp::solar::detail {
+
+/// out[i] = G(x0 + i, y, s) for i in [0, x1 - x0).
+void cell_row_scalar(const FieldView& f, int y, long s, int x0, int x1,
+                     double* out);
+
+/// out[k] = G(x, y, steps[k]) for k in [0, n).
+void cell_series_scalar(const FieldView& f, int x, int y, const long* steps,
+                        std::size_t n, double* out);
+
+/// True when this build carries the AVX2 kernels (x86-64 compilers);
+/// callers must additionally check pvfp::cpu_supports_avx2() / the
+/// dispatch level before calling them.
+bool avx2_kernels_compiled();
+
+/// AVX2 twins of the scalar kernels; fall back to the scalar kernels on
+/// builds where avx2_kernels_compiled() is false.
+void cell_row_avx2(const FieldView& f, int y, long s, int x0, int x1,
+                   double* out);
+void cell_series_avx2(const FieldView& f, int x, int y, const long* steps,
+                      std::size_t n, double* out);
+
+}  // namespace pvfp::solar::detail

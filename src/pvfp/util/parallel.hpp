@@ -19,6 +19,8 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -66,6 +68,63 @@ void parallel_for_chunks(long n_chunks,
 /// thread count for bodies with disjoint writes.
 void parallel_for(long begin, long end, long chunk,
                   const std::function<void(long, long)>& body);
+
+/// A free-list of reusable scratch objects for parallel loop bodies.
+/// A chunk body acquires a lease, works in the scratch object, and the
+/// lease returns it to the pool on destruction, so a loop of hundreds of
+/// chunks allocates at most thread_count() objects instead of one per
+/// chunk (the evaluator's per-shard operating-point vectors, the batched
+/// kernels' irradiance buffers).  Scratch objects are interchangeable by
+/// contract — bodies must fully (re)initialize what they read — so reuse
+/// never affects results.  Thread-safe; typically declared on the stack
+/// right before the parallel loop that uses it.
+template <typename T>
+class ScratchPool {
+public:
+    /// RAII handle on one scratch object.
+    class Lease {
+    public:
+        Lease(ScratchPool& pool, std::unique_ptr<T> obj)
+            : pool_(&pool), obj_(std::move(obj)) {}
+        ~Lease() {
+            if (obj_) pool_->release(std::move(obj_));
+        }
+        Lease(Lease&& other) noexcept
+            : pool_(other.pool_), obj_(std::move(other.obj_)) {}
+        Lease& operator=(Lease&&) = delete;
+        Lease(const Lease&) = delete;
+        Lease& operator=(const Lease&) = delete;
+
+        T& operator*() { return *obj_; }
+        T* operator->() { return obj_.get(); }
+
+    private:
+        ScratchPool* pool_;
+        std::unique_ptr<T> obj_;
+    };
+
+    /// Pop a pooled object, or default-construct the pool's first few.
+    Lease acquire() {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!free_.empty()) {
+                std::unique_ptr<T> obj = std::move(free_.back());
+                free_.pop_back();
+                return Lease(*this, std::move(obj));
+            }
+        }
+        return Lease(*this, std::make_unique<T>());
+    }
+
+private:
+    void release(std::unique_ptr<T> obj) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        free_.push_back(std::move(obj));
+    }
+
+    std::mutex mutex_;
+    std::vector<std::unique_ptr<T>> free_;
+};
 
 /// Deterministic map-reduce: map(chunk_begin, chunk_end) -> T per chunk,
 /// then combine(acc, partial) folded *sequentially in chunk order* over

@@ -1,0 +1,50 @@
+#pragma once
+/// \file simd.hpp
+/// Runtime SIMD dispatch for the batched irradiance kernels.
+///
+/// The batched kernels (solar/irradiance_kernels) ship two
+/// implementations: a branch-free scalar loop the compiler can
+/// auto-vectorize, and a hand-written AVX2 path.  Which one runs is a
+/// pure runtime decision — the library binary is portable — resolved
+/// from, in priority order:
+///
+///   1. a set_simd_level() override (tests and benches toggling paths),
+///   2. the PVFP_SIMD environment variable
+///      ("scalar"/"off"/"0" forces scalar, "avx2" forces AVX2 — an
+///      InvalidArgument when the CPU lacks it, as is any unrecognized
+///      value, so a CI job forcing a level fails loudly instead of
+///      silently testing the wrong kernels — "auto"/unset detects), and
+///   3. CPU detection (auto runs AVX2 only when the CPU has it).
+///
+/// Determinism contract: both paths compute elementwise-identical IEEE
+/// arithmetic (same operations, same association, no FMA contraction —
+/// the build sets -ffp-contract=off), so switching levels never changes
+/// a single bit of any result.  tests/solar/test_batched_kernels pins
+/// this.
+
+namespace pvfp {
+
+/// Kernel implementation tiers, in increasing width.
+enum class SimdLevel {
+    Scalar,  ///< portable loops (still auto-vectorizable)
+    Avx2,    ///< 4-wide double / 8-wide float intrinsics
+};
+
+/// True when the executing CPU supports AVX2.
+bool cpu_supports_avx2();
+
+/// The level the batched kernels dispatch to right now.
+SimdLevel simd_level();
+
+/// Force a level (Avx2 throws InvalidArgument when the CPU lacks it).
+/// Only call at a quiescent point — the setting is global.
+void set_simd_level(SimdLevel level);
+
+/// Restore the default resolution (PVFP_SIMD env, then CPU detection);
+/// throws InvalidArgument on a bad PVFP_SIMD value, like startup does.
+void set_simd_level_auto();
+
+/// Human-readable name of a level ("scalar" / "avx2") for bench banners.
+const char* simd_level_name(SimdLevel level);
+
+}  // namespace pvfp

@@ -6,7 +6,9 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -152,6 +154,43 @@ TEST(Parallel, SerialScopeForcesInlineExecution) {
     EXPECT_FALSE(in_serial_scope());
     EXPECT_TRUE(all_on_caller);
     set_thread_count(0);
+}
+
+TEST(ScratchPool, ReusesReleasedObjectsAndIsolatesLiveOnes) {
+    ScratchPool<std::vector<int>> pool;
+    const std::vector<int>* first = nullptr;
+    {
+        auto lease = pool.acquire();
+        lease->assign(64, 7);
+        first = &*lease;
+        // A second lease while the first is live must be a distinct
+        // object.
+        auto other = pool.acquire();
+        EXPECT_NE(&*other, first);
+        other->assign(8, 1);
+    }
+    // Both returned; the next acquire reuses one of them (capacity kept).
+    auto again = pool.acquire();
+    const bool reused = &*again == first || again->capacity() > 0;
+    EXPECT_TRUE(reused);
+}
+
+TEST(ScratchPool, BoundsAllocationsAcrossManyChunks) {
+    ScratchPool<std::vector<double>> pool;
+    std::atomic<int> peak_distinct{0};
+    std::mutex mutex;
+    std::set<const void*> seen;
+    parallel_for(0, 512, 1, [&](long, long) {
+        auto lease = pool.acquire();
+        lease->resize(32);
+        std::lock_guard<std::mutex> lock(mutex);
+        seen.insert(&*lease);
+        peak_distinct = static_cast<int>(seen.size());
+    });
+    // Far fewer distinct scratch objects than chunks: reuse works.  The
+    // bound is generous (threads + a few races), never 512.
+    EXPECT_LE(peak_distinct.load(), thread_count() * 4);
+    EXPECT_GE(peak_distinct.load(), 1);
 }
 
 TEST(Parallel, EmptyAndDegenerateRanges) {

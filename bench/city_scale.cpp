@@ -1,0 +1,120 @@
+/// \file city_scale.cpp
+/// City-scale batch bench: shared-sky batching vs per-roof weather
+/// regeneration on the synthetic city fixture (ROADMAP "shared-weather
+/// batching" / "city-scale batch ingestion").
+///
+/// Generates a 60-roof city (tiles + index) into a scratch directory,
+/// then ranks it twice with gis::run_city under a production city
+/// configuration — 5-minute sky resolution (cloud transients resolved),
+/// sampled suitability/evaluation strides, 48 horizon sectors:
+///   1. share_sky = false  — every roof regenerates the env series and
+///      the per-step sun/transposition precompute (the pre-PR-5
+///      run_scenarios behaviour);
+///   2. share_sky = true   — one SharedSkyArtifact serves the batch.
+/// Outputs are verified byte-identical; the wall-clock ratio is the
+/// shared-sky batch speedup, and roofs/sec the city throughput.
+/// `--json BENCH_city.json` records both runs for the BENCH_* trajectory
+/// (scripts/collect_bench_city.sh).
+///
+///   bench_city_scale [--roofs N] [--minutes M] [--stride K]
+///                    [--json out.json]
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "pvfp/gis/city_runner.hpp"
+#include "pvfp/gis/fixture.hpp"
+#include "pvfp/util/parallel.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+    std::ifstream is(path);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace pvfp;
+    using Clock = std::chrono::steady_clock;
+
+    bench::BenchReporter reporter(argc, argv);
+    int roofs = 60;
+    int minutes = 5;
+    long stride = 96;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (arg == "--roofs") roofs = std::atoi(next());
+        else if (arg == "--minutes") minutes = std::atoi(next());
+        else if (arg == "--stride") stride = std::atol(next());
+    }
+
+    bench::print_banner(std::cout, "City-scale batch ranking",
+                        "ROADMAP: city-scale ingestion + shared-weather "
+                        "batching");
+
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "pvfp_bench_city")
+            .string();
+    std::filesystem::remove_all(dir);
+    gis::CityFixtureOptions fixture_options;
+    fixture_options.roofs = roofs;
+    const gis::CityFixture fixture =
+        gis::generate_city_fixture(dir, fixture_options);
+    const gis::TileIndex tiles = gis::TileIndex::scan(dir);
+    const gis::RoofRegistry registry =
+        gis::RoofRegistry::load(fixture.csv_index_path);
+    std::cout << "fixture: " << fixture.records << " roofs, "
+              << fixture.tiles_written << " tiles, "
+              << minutes << "-minute grid, stride " << stride << ", "
+              << thread_count() << " threads\n\n";
+
+    gis::CityRunOptions options;
+    options.config.grid = TimeGrid(minutes, 1, 365);
+    options.config.suitability.step_stride = stride;
+    options.config.horizon.azimuth_sectors = 48;
+    options.eval.step_stride = stride;
+    options.topologies = {{8, 2}};
+
+    const auto timed_run = [&](bool share, const char* jsonl) {
+        options.share_sky = share;
+        options.jsonl_path = dir + "/" + jsonl;
+        const auto start = Clock::now();
+        const gis::CityRunSummary summary =
+            gis::run_city(tiles, registry, options);
+        const double ms = std::chrono::duration<double, std::milli>(
+                              Clock::now() - start)
+                              .count();
+        std::cout << (share ? "shared sky " : "per-roof sky") << ": "
+                  << ms / 1000.0 << " s  ("
+                  << 1000.0 * static_cast<double>(summary.processed) / ms
+                  << " roofs/sec, " << summary.failed << " infeasible)\n";
+        reporter.record(share ? "city/shared_sky" : "city/per_roof_sky", ms,
+                        summary.processed);
+        return ms;
+    };
+
+    // Per-roof regeneration first (the baseline), shared second.
+    const double per_roof_ms = timed_run(false, "per_roof.jsonl");
+    const double shared_ms = timed_run(true, "shared.jsonl");
+
+    const bool identical = read_file(dir + "/per_roof.jsonl") ==
+                           read_file(dir + "/shared.jsonl");
+    std::cout << "outputs byte-identical: " << (identical ? "yes" : "NO")
+              << "\n";
+    std::cout << "shared-sky batch speedup: " << per_roof_ms / shared_ms
+              << "x\n";
+    if (!identical) return 1;
+    return 0;
+}

@@ -44,7 +44,7 @@ int main() {
         // QGIS/GDAL (read back with geo::read_asc_grid_file).
         const std::string path =
             "dsm_" + std::string(1, prepared.name.back()) + ".asc";
-        geo::write_asc_grid_file(prepared.dsm, path);
+        geo::write_asc_grid_file(*prepared.dsm, path);
 
         for (std::size_t t = 0; t < batch.topologies.size(); ++t) {
             const auto& cmp = report.comparisons[t];
@@ -62,7 +62,7 @@ int main() {
                            TextTable::pct(cmp.improvement()) + "%", mode});
         }
         std::cout << "exported " << path << " ("
-                  << prepared.dsm.width() << "x" << prepared.dsm.height()
+                  << prepared.dsm->width() << "x" << prepared.dsm->height()
                   << " cells)\n";
     }
     std::cout << '\n';

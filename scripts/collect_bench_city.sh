@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Bench-trajectory collector for the city-scale batch runner: runs
+# bench_city_scale in JSON mode and appends one record per timed run
+# (tagged with the current commit) plus a derived speedup/throughput
+# record to BENCH_city.json at the repo root, mirroring
+# collect_bench_kernels.sh (ROADMAP trajectory item).
+#
+# Usage: scripts/collect_bench_city.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-build}"
+bench="$repo_root/$build_dir/bench/bench_city_scale"
+out="$repo_root/BENCH_city.json"
+
+if [[ ! -x "$bench" ]]; then
+    echo "error: $bench not built" >&2
+    exit 1
+fi
+
+commit="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+raw_path="$(mktemp)"
+trap 'rm -f "$raw_path"' EXIT
+
+"$bench" --json "$raw_path"
+
+RAW_PATH="$raw_path" COMMIT="$commit" OUT_PATH="$out" python3 - <<'PY'
+import json
+import os
+
+with open(os.environ["RAW_PATH"]) as f:
+    raw = json.load(f)
+commit = os.environ["COMMIT"]
+out_path = os.environ["OUT_PATH"]
+
+records = []
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        records = json.load(f)
+
+by_name = {}
+for b in raw:
+    rec = {
+        "commit": commit,
+        "name": b["name"],
+        "wall_ms": b["wall_ms"],
+        "roofs": b["iterations"],
+        "roofs_per_sec": 1000.0 * b["iterations"] / b["wall_ms"]
+            if b["wall_ms"] > 0 else None,
+        "threads": b["threads"],
+    }
+    by_name[b["name"]] = rec
+    records.append(rec)
+
+shared = by_name.get("city/shared_sky")
+per_roof = by_name.get("city/per_roof_sky")
+if shared and per_roof and shared["wall_ms"] > 0:
+    speedup = per_roof["wall_ms"] / shared["wall_ms"]
+    records.append({
+        "commit": commit,
+        "name": "city/shared_sky_speedup",
+        "speedup": speedup,
+        "threads": shared["threads"],
+    })
+    print(f"shared-sky batch speedup: {speedup:.2f}x "
+          f"({shared['roofs_per_sec']:.1f} roofs/sec shared, "
+          f"{per_roof['roofs_per_sec']:.1f} per-roof)")
+
+with open(out_path, "w") as f:
+    json.dump(records, f, indent=1)
+    f.write("\n")
+print(f"appended {len(by_name) + 1} records at {commit} -> {out_path}")
+PY

@@ -1,5 +1,6 @@
 #include "pvfp/core/pipeline.hpp"
 
+#include <cmath>
 #include <optional>
 #include <utility>
 
@@ -13,22 +14,51 @@ PreparedScenario prepare_scenario(const RoofScenario& scenario,
     check_arg(config.cell_size > 0.0,
               "prepare_scenario: cell_size must be positive");
 
-    // Section IV: DSM from (synthetic) GIS data at the grid pitch, so the
-    // solar-data resolution coincides with the virtual grid (Sec. III-A).
-    geo::Raster dsm = scenario.scene.rasterize(config.cell_size);
+    // Section IV: DSM from GIS data at the grid pitch, so the solar-data
+    // resolution coincides with the virtual grid (Sec. III-A).  GIS
+    // scenarios carry a measured mosaic (aliased, not copied — windows
+    // can be megabytes and a city run prepares thousands); procedural
+    // ones rasterize their scene.
+    std::shared_ptr<const geo::Raster> dsm_ptr = scenario.dsm;
+    if (dsm_ptr) {
+        check_arg(std::abs(dsm_ptr->cell_size() - config.cell_size) < 1e-9,
+                  "prepare_scenario: scenario DSM cell size != "
+                  "config.cell_size");
+    } else {
+        dsm_ptr = std::make_shared<const geo::Raster>(
+            scenario.scene.rasterize(config.cell_size));
+    }
+    const geo::Raster& dsm = *dsm_ptr;
 
     // Suitable-area identification.
     geo::PlacementArea area = geo::extract_placement_area(
-        dsm, scenario.scene, scenario.roof_index, config.area);
+        dsm, scenario.scene, scenario.roof_index, config.area,
+        scenario.placement_mask.get());
 
     // Shadow/horizon model for the placement window.
     geo::HorizonMap horizon(dsm, area.origin_col, area.origin_row,
                             area.width, area.height, config.horizon);
 
-    // Weather trace (synthetic stand-in for station data).
-    auto env = weather::generate_synthetic_weather(config.location,
-                                                   config.grid,
-                                                   config.weather);
+    // Sky state: the shared per-batch artifact when the caller prepared
+    // one, else a private weather trace (synthetic stand-in for station
+    // data) and per-step precompute for this scenario alone.
+    std::shared_ptr<const solar::SharedSkyArtifact> sky = config.shared_sky;
+    if (sky) {
+        // The field reads its time grid from the artifact; a mismatched
+        // config.grid would silently simulate a different horizon.
+        check_arg(sky->grid.minutes_per_step() ==
+                          config.grid.minutes_per_step() &&
+                      sky->grid.start_day() == config.grid.start_day() &&
+                      sky->grid.days() == config.grid.days(),
+                  "prepare_scenario: shared_sky grid != config.grid");
+    }
+    if (!sky) {
+        sky = solar::make_shared_sky(
+            config.location, config.grid,
+            weather::generate_synthetic_weather(config.location, config.grid,
+                                                config.weather),
+            config.field.sky_model);
+    }
 
     // Per-cell surface normals: DSM structure (undulation, obstacle
     // flanks) modulates the beam cell-by-cell.
@@ -38,10 +68,9 @@ PreparedScenario prepare_scenario(const RoofScenario& scenario,
     // Irradiance/temperature field on the roof plane.
     solar::FieldConfig field_config = config.field;
     field_config.location = config.location;
-    solar::IrradianceField field(std::move(horizon), std::move(env),
-                                 config.grid, area.tilt_rad,
-                                 area.azimuth_rad, field_config,
-                                 std::move(normals));
+    solar::IrradianceField field(std::move(horizon), std::move(sky),
+                                 area.tilt_rad, area.azimuth_rad,
+                                 field_config, std::move(normals));
 
     // Suitability matrix (Section III-C).
     SuitabilityResult suitability =
@@ -52,7 +81,7 @@ PreparedScenario prepare_scenario(const RoofScenario& scenario,
         PanelGeometry::from_module(config.module, config.cell_size);
 
     return PreparedScenario{scenario.name,
-                            std::move(dsm),
+                            std::move(dsm_ptr),
                             std::move(area),
                             std::move(field),
                             std::move(suitability),
@@ -94,6 +123,20 @@ std::vector<ScenarioReport> run_scenarios(
               "run_scenarios: no topologies to compare");
 
     const long n = static_cast<long>(scenarios.size());
+    // Shared-weather batching: every scenario in the batch sees the same
+    // site, grid, and weather options, so the env series and the per-step
+    // sun/transposition precompute are prepared exactly once (its own
+    // loops parallelize here, before the scenario fan-out) instead of
+    // once per roof.  Bitwise-identical to the per-roof path.
+    ScenarioConfig batch_config = config;
+    if (!batch_config.shared_sky && n > 0) {
+        batch_config.shared_sky = solar::make_shared_sky(
+            config.location, config.grid,
+            weather::generate_synthetic_weather(config.location, config.grid,
+                                                config.weather),
+            config.field.sky_model);
+    }
+
     // PreparedScenario has no default constructor; build into optionals
     // (one slot per scenario — disjoint writes) and unwrap at the end.
     std::vector<std::optional<ScenarioReport>> slots(
@@ -102,7 +145,7 @@ std::vector<ScenarioReport> run_scenarios(
     const auto process = [&](long i) {
         ScenarioReport report{
             prepare_scenario(scenarios[static_cast<std::size_t>(i)],
-                             config),
+                             batch_config),
             {}};
         report.comparisons.reserve(options.topologies.size());
         for (const auto& topology : options.topologies)

@@ -6,6 +6,7 @@
 /// extraction of Section IV feeding the algorithm of Section III), and the
 /// single entry point used by examples and benches.
 
+#include <memory>
 #include <span>
 #include <string>
 
@@ -14,6 +15,7 @@
 #include "pvfp/core/greedy_placer.hpp"
 #include "pvfp/core/roof_library.hpp"
 #include "pvfp/core/suitability.hpp"
+#include "pvfp/solar/sky_artifact.hpp"
 #include "pvfp/weather/synthetic.hpp"
 
 namespace pvfp::core {
@@ -30,12 +32,24 @@ struct ScenarioConfig {
     pv::ModuleSpec module{};
     /// Virtual grid pitch s [m] (paper: 0.2); also the DSM resolution.
     double cell_size = 0.2;
+    /// Shared per-batch sky precompute (ROADMAP "shared-weather
+    /// batching").  When set, prepare_scenario consumes it instead of
+    /// regenerating synthetic weather and the per-step sun/transposition
+    /// precompute for every roof; it must have been prepared for this
+    /// config's location, grid, and sky model (checked).  run_scenarios
+    /// prepares one automatically when unset.  Results are bitwise
+    /// identical either way.
+    std::shared_ptr<const solar::SharedSkyArtifact> shared_sky;
 };
 
 /// A scenario with all derived data materialized, ready for experiments.
 struct PreparedScenario {
     std::string name;
-    geo::Raster dsm;
+    /// The DSM the artifacts were derived from — shared, never null:
+    /// GIS scenarios alias their (immutable) mosaic instead of copying
+    /// a possibly multi-megabyte window per roof; procedural scenarios
+    /// own their rasterization.
+    std::shared_ptr<const geo::Raster> dsm;
     geo::PlacementArea area;
     solar::IrradianceField field;
     SuitabilityResult suitability;

@@ -72,7 +72,7 @@ RoofScenario make_roof1() {
         scene.add_tree({px, 29.5, 1.0, 10.5});
     }
 
-    return RoofScenario{"Roof 1", std::move(scene), roof_index};
+    return RoofScenario{"Roof 1", std::move(scene), roof_index, {}, {}};
 }
 
 RoofScenario make_roof2() {
@@ -129,7 +129,7 @@ RoofScenario make_roof2() {
         scene.add_tree({11.0 + 7.0 * k, 31.0, 2.5, 12.5});
     }
 
-    return RoofScenario{"Roof 2", std::move(scene), roof_index};
+    return RoofScenario{"Roof 2", std::move(scene), roof_index, {}, {}};
 }
 
 RoofScenario make_roof3() {
@@ -178,7 +178,7 @@ RoofScenario make_roof3() {
         scene.add_tree({12.0 + 7.0 * k, 29.0, 3.0, 12.5});
     }
 
-    return RoofScenario{"Roof 3", std::move(scene), roof_index};
+    return RoofScenario{"Roof 3", std::move(scene), roof_index, {}, {}};
 }
 
 std::vector<RoofScenario> make_paper_roofs() {
@@ -203,7 +203,7 @@ RoofScenario make_residential() {
     // Garden tree south-west of the house.
     scene.add_tree({6.0, 19.0, 2.5, 9.0});
 
-    return RoofScenario{"Residential", std::move(scene), south_plane};
+    return RoofScenario{"Residential", std::move(scene), south_plane, {}, {}};
 }
 
 RoofScenario make_toy(double width_m, double depth_m) {
@@ -226,7 +226,7 @@ RoofScenario make_toy(double width_m, double depth_m) {
     scene.add_building(
         {roof.x + width_m + 0.8, roof.y - 1.0, 2.0, depth_m + 2.0, 8.0});
 
-    return RoofScenario{"Toy", std::move(scene), roof_index};
+    return RoofScenario{"Toy", std::move(scene), roof_index, {}, {}};
 }
 
 }  // namespace pvfp::core

@@ -17,6 +17,7 @@
 /// A residential gable-roof scene (title use-case) and a small toy scene
 /// (tests/quickstart) complete the library.
 
+#include <memory>
 #include <string>
 
 #include "pvfp/geo/scene.hpp"
@@ -24,10 +25,27 @@
 namespace pvfp::core {
 
 /// A scene plus the roof plane on which modules are placed.
+///
+/// Two provenances share this type: procedural scenarios (the library
+/// below) carry only the scene, and prepare_scenario rasterizes it; GIS
+/// scenarios (pvfp::gis) additionally carry a measured DSM mosaic and
+/// optionally a footprint mask, with the scene reduced to the fitted
+/// roof-plane description the suitable-area extraction needs.
 struct RoofScenario {
     std::string name;
     geo::SceneBuilder scene;
     int roof_index = 0;
+    /// When set, prepare_scenario uses this raster instead of
+    /// scene.rasterize() — the real-world path, where the DSM is measured
+    /// (tile mosaic) rather than synthesized.  Its cell size must match
+    /// ScenarioConfig::cell_size.  Shared so that scenario values stay
+    /// cheap to copy around the batch runner.
+    std::shared_ptr<const geo::Raster> dsm;
+    /// Optional placement mask aligned with the DSM (same width/height):
+    /// cells holding 0 are excluded from the suitable area on top of the
+    /// geometric roof-rectangle test (GIS: outside the footprint polygon,
+    /// or NODATA in the source tiles).
+    std::shared_ptr<const pvfp::Grid2D<unsigned char>> placement_mask;
 };
 
 /// Paper Roof 1 analogue (pipes dominate).

@@ -17,38 +17,59 @@ std::string lower(std::string s) {
     return s;
 }
 
+/// Mark a header key as seen; a second occurrence is corruption (e.g.
+/// two concatenated files) and must not silently win.
+void mark_seen(bool& seen, const std::string& key) {
+    check_io(!seen, "asc_grid: duplicate header key '" + key + "'");
+    seen = true;
+}
+
 }  // namespace
 
-Raster read_asc_grid(std::istream& is) {
+AscHeader read_asc_header(std::istream& is) {
     // Header: key/value pairs in flexible order until the first row of
-    // numbers.  ncols/nrows/cellsize are mandatory.
+    // numbers.  ncols/nrows/cellsize are mandatory.  operator>> treats
+    // '\r' as whitespace, so CRLF (and lone-CR) files parse unchanged.
     long ncols = -1;
     long nrows = -1;
     double xll = 0.0;
     double yll = 0.0;
-    bool centered = false;  // xllcenter/yllcenter variant
+    bool x_centered = false;  // xllcenter variant (per-axis, ESRI spec)
+    bool y_centered = false;
     double cellsize = -1.0;
     double nodata = kDefaultNoData;
+    bool seen_ncols = false;
+    bool seen_nrows = false;
+    bool seen_xll = false;
+    bool seen_yll = false;
+    bool seen_cellsize = false;
+    bool seen_nodata = false;
 
     std::string token;
-    // Read header keys.
     for (;;) {
         const auto pos = is.tellg();
         if (!(is >> token)) throw IoError("asc_grid: truncated header");
         const std::string key = lower(token);
         if (key == "ncols") {
+            mark_seen(seen_ncols, key);
             check_io(static_cast<bool>(is >> ncols), "asc_grid: bad ncols");
         } else if (key == "nrows") {
+            mark_seen(seen_nrows, key);
             check_io(static_cast<bool>(is >> nrows), "asc_grid: bad nrows");
         } else if (key == "xllcorner" || key == "xllcenter") {
-            check_io(static_cast<bool>(is >> xll), "asc_grid: bad xllcorner");
-            centered = (key == "xllcenter");
+            mark_seen(seen_xll, "xllcorner/xllcenter");
+            check_io(static_cast<bool>(is >> xll), "asc_grid: bad " + key);
+            x_centered = (key == "xllcenter");
         } else if (key == "yllcorner" || key == "yllcenter") {
-            check_io(static_cast<bool>(is >> yll), "asc_grid: bad yllcorner");
+            mark_seen(seen_yll, "yllcorner/yllcenter");
+            check_io(static_cast<bool>(is >> yll), "asc_grid: bad " + key);
+            y_centered = (key == "yllcenter");
         } else if (key == "cellsize") {
+            mark_seen(seen_cellsize, key);
             check_io(static_cast<bool>(is >> cellsize),
                      "asc_grid: bad cellsize");
         } else if (key == "nodata_value") {
+            mark_seen(seen_nodata, key);
             check_io(static_cast<bool>(is >> nodata),
                      "asc_grid: bad NODATA_value");
         } else {
@@ -65,14 +86,35 @@ Raster read_asc_grid(std::istream& is) {
                  static_cast<long>(std::numeric_limits<int>::max()),
              "asc_grid: grid too large");
 
-    const double half = centered ? 0.5 * cellsize : 0.0;
+    AscHeader header;
+    header.ncols = ncols;
+    header.nrows = nrows;
+    // Normalize the center variants to the corner convention, per axis.
+    header.xllcorner = x_centered ? xll - 0.5 * cellsize : xll;
+    header.yllcorner = y_centered ? yll - 0.5 * cellsize : yll;
+    header.cellsize = cellsize;
+    header.nodata = nodata;
+    return header;
+}
+
+AscHeader read_asc_header_file(const std::string& path) {
+    std::ifstream is(path);
+    check_io(is.good(), "asc_grid: cannot open '" + path + "'");
+    return read_asc_header(is);
+}
+
+Raster read_asc_grid(std::istream& is) {
+    const AscHeader header = read_asc_header(is);
+
     // Raster origin is the top-left (NW) corner; the header gives the
     // bottom-left (SW) corner, nrows*cellsize further south.
-    const double origin_x = xll - half;
-    const double origin_y = (yll - half) + static_cast<double>(nrows) * cellsize;
-    Raster raster(static_cast<int>(ncols), static_cast<int>(nrows), cellsize,
-                  0.0, origin_x, origin_y);
-    raster.set_nodata(nodata);
+    const double origin_x = header.xllcorner;
+    const double origin_y =
+        header.yllcorner + static_cast<double>(header.nrows) * header.cellsize;
+    Raster raster(static_cast<int>(header.ncols),
+                  static_cast<int>(header.nrows), header.cellsize, 0.0,
+                  origin_x, origin_y);
+    raster.set_nodata(header.nodata);
 
     for (int y = 0; y < raster.height(); ++y) {
         for (int x = 0; x < raster.width(); ++x) {
@@ -92,6 +134,10 @@ Raster read_asc_grid_file(const std::string& path) {
 }
 
 void write_asc_grid(const Raster& raster, std::ostream& os) {
+    // Georeferencing must survive the text round trip exactly enough for
+    // lattice-alignment checks (UTM eastings/northings have 6-7 integer
+    // digits); the default 6 significant digits would truncate them.
+    const std::streamsize saved_precision = os.precision(12);
     os << "ncols " << raster.width() << '\n';
     os << "nrows " << raster.height() << '\n';
     os << "xllcorner " << raster.origin_x() << '\n';
@@ -107,6 +153,7 @@ void write_asc_grid(const Raster& raster, std::ostream& os) {
         }
         os << '\n';
     }
+    os.precision(saved_precision);
 }
 
 void write_asc_grid_file(const Raster& raster, const std::string& path) {

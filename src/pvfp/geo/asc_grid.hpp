@@ -15,6 +15,12 @@
 ///   cellsize 0.2
 ///   NODATA_value -9999
 ///   <nrows lines of ncols numbers, row 0 = northernmost>
+///
+/// The parser accepts the variations found in the wild: header keys in any
+/// case and order, CRLF line endings, and the xllcenter/yllcenter variant
+/// (lower-left *cell center* instead of corner, per the ESRI spec — each
+/// axis independently).  Duplicate header keys are rejected: real exporters
+/// never emit them, so a duplicate means a corrupted or concatenated file.
 
 #include <iosfwd>
 #include <string>
@@ -22,6 +28,34 @@
 #include "pvfp/geo/raster.hpp"
 
 namespace pvfp::geo {
+
+/// Parsed .asc header, in the file's own conventions (lower-left
+/// reference).  This is all a tile index needs to place a tile in world
+/// coordinates without reading its data section.
+struct AscHeader {
+    long ncols = 0;
+    long nrows = 0;
+    /// World easting/northing of the lower-left *corner* of the grid
+    /// (center variants are already converted by the parser).
+    double xllcorner = 0.0;
+    double yllcorner = 0.0;
+    double cellsize = 0.0;
+    double nodata = kDefaultNoData;
+
+    /// Easting of the east edge.
+    double x_max() const { return xllcorner + ncols * cellsize; }
+    /// Northing of the north edge.
+    double y_max() const { return yllcorner + nrows * cellsize; }
+};
+
+/// Parse only the header of an ASCII grid from a stream, leaving the
+/// stream positioned at the first data token; throws IoError on malformed
+/// or duplicated header keys.
+AscHeader read_asc_header(std::istream& is);
+
+/// Parse the header of an ASCII grid file without loading its data
+/// section (tile discovery over large directories).
+AscHeader read_asc_header_file(const std::string& path);
 
 /// Parse an ASCII grid from a stream; throws IoError on malformed content.
 Raster read_asc_grid(std::istream& is);

@@ -85,17 +85,23 @@ pvfp::Grid2D<unsigned char> largest_component(
 PlacementArea extract_placement_area(const Raster& dsm,
                                      const SceneBuilder& scene,
                                      int roof_index,
-                                     const SuitableAreaOptions& options) {
+                                     const SuitableAreaOptions& options,
+                                     const pvfp::Grid2D<unsigned char>* mask) {
     check_arg(roof_index >= 0 && roof_index < scene.roof_count(),
               "extract_placement_area: roof index out of range");
     check_arg(options.obstacle_tolerance >= 0.0 && options.clearance >= 0.0 &&
                   options.edge_margin >= 0.0,
               "extract_placement_area: negative option");
+    check_arg(mask == nullptr || (mask->width() == dsm.width() &&
+                                  mask->height() == dsm.height()),
+              "extract_placement_area: mask does not match the DSM");
 
     const MonopitchRoof& roof = scene.roof(roof_index);
     const double cs = dsm.cell_size();
 
-    // Stage 1: roof membership (with edge margin) and obstacle residuals.
+    // Stage 1: roof membership (with edge margin), the footprint mask,
+    // and obstacle residuals.  NODATA cells (gaps in measured mosaics)
+    // are never placeable.
     pvfp::Grid2D<unsigned char> valid(dsm.width(), dsm.height(), 0);
     const double m = options.edge_margin;
     for (int y = 0; y < dsm.height(); ++y) {
@@ -105,6 +111,8 @@ PlacementArea extract_placement_area(const Raster& dsm,
             const bool inside = lx >= roof.x + m && lx < roof.x + roof.w - m &&
                                 ly >= roof.y + m && ly < roof.y + roof.d - m;
             if (!inside) continue;
+            if (mask && (*mask)(x, y) == 0) continue;
+            if (dsm(x, y) == dsm.nodata()) continue;
             const double plane = scene.roof_plane_height(roof_index, lx, ly);
             const double residual = dsm(x, y) - plane;
             valid(x, y) = (residual <= options.obstacle_tolerance) ? 1 : 0;

@@ -60,12 +60,19 @@ struct PlacementArea {
 
 /// Extract the placement area of roof \p roof_index from \p dsm.
 /// The DSM must come from (or be georeferenced like) \p scene so that cell
-/// centers map to the same local coordinates.  Throws Infeasible when no
-/// valid cell remains.
+/// centers map to the same local coordinates.  Cells equal to the DSM's
+/// NODATA value are never valid (measured mosaics may have gaps; the
+/// scene rasterizer never emits NODATA).  \p mask, when non-null, must
+/// have the DSM's dimensions; cells holding 0 are excluded on top of the
+/// roof-rectangle test (GIS footprint polygons) but do *not* repel as
+/// obstacles in the clearance dilation.  Throws Infeasible when no valid
+/// cell remains.
 PlacementArea extract_placement_area(const Raster& dsm,
                                      const SceneBuilder& scene,
                                      int roof_index,
-                                     const SuitableAreaOptions& options = {});
+                                     const SuitableAreaOptions& options = {},
+                                     const pvfp::Grid2D<unsigned char>* mask =
+                                         nullptr);
 
 /// Dilate the zero (invalid) cells of \p valid by a Euclidean disc of
 /// \p radius_cells cells: any valid cell within the disc of an invalid one

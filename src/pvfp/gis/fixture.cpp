@@ -1,0 +1,280 @@
+#include "pvfp/gis/fixture.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pvfp/geo/asc_grid.hpp"
+#include "pvfp/geo/scene.hpp"
+#include "pvfp/gis/json.hpp"
+#include "pvfp/util/csv.hpp"
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/rng.hpp"
+
+namespace pvfp::gis {
+
+namespace {
+
+std::string fmt(double v, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    return buf;
+}
+
+/// One emitted index record, in fixture-local coordinates (converted to
+/// world on write).
+struct LocalRecord {
+    std::string id;
+    double x0 = 0.0, y0 = 0.0, x1 = 0.0, y1 = 0.0;  // local, y SOUTHWARD
+    bool cut_corner = false;  ///< emit a 5-vertex polygon missing one corner
+};
+
+}  // namespace
+
+CityFixture generate_city_fixture(const std::string& directory,
+                                  const CityFixtureOptions& options) {
+    check_arg(options.roofs >= 1, "city_fixture: need at least one roof");
+    check_arg(options.cell_size > 0.0, "city_fixture: bad cell size");
+    check_arg(options.tile_cells >= 8, "city_fixture: tiles too small");
+    check_arg(options.lot_w >= 12.0 && options.lot_d >= 10.0,
+              "city_fixture: lots must fit a house (>= 12 x 10 m)");
+
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(directory, ec);
+    check_io(fs::is_directory(directory, ec),
+             "city_fixture: cannot create '" + directory + "'");
+
+    Rng rng(options.seed);
+
+    // ---- Plan the lots. -------------------------------------------------
+    // Each lot hosts one house; a gable house contributes two records.
+    // Decide house types first so the city extent is known before any
+    // geometry lands.
+    struct LotPlan {
+        bool gable = false;
+    };
+    std::vector<LotPlan> lots;
+    int records_planned = 0;
+    while (records_planned < options.roofs) {
+        LotPlan lot;
+        lot.gable =
+            records_planned + 2 <= options.roofs && rng.bernoulli(0.35);
+        records_planned += lot.gable ? 2 : 1;
+        lots.push_back(lot);
+    }
+    const int n_lots = static_cast<int>(lots.size());
+    const int cols = std::max(
+        1, static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n_lots)))));
+    const int rows = (n_lots + cols - 1) / cols;
+
+    const double border = 6.0;  // shading context beyond the outer lots
+    // Make the extent an exact multiple of the tile span so the tile cut
+    // is clean; rasterize() ceils to whole cells anyway.
+    const double tile_m = options.tile_cells * options.cell_size;
+    const double want_x = cols * options.lot_w + 2.0 * border;
+    const double want_y = rows * options.lot_d + 2.0 * border;
+    const int tiles_x = static_cast<int>(std::ceil(want_x / tile_m));
+    const int tiles_y = static_cast<int>(std::ceil(want_y / tile_m));
+    const double extent_x = tiles_x * tile_m;
+    const double extent_y = tiles_y * tile_m;
+
+    // ---- Build the city scene. ------------------------------------------
+    geo::SceneBuilder city(extent_x, extent_y, 0.0);
+    std::vector<LocalRecord> records;
+    records.reserve(static_cast<std::size_t>(options.roofs));
+
+    for (int li = 0; li < n_lots; ++li) {
+        const int lc = li % cols;
+        const int lr = li / cols;
+        const double lot_x = border + lc * options.lot_w;
+        const double lot_y = border + lr * options.lot_d;
+
+        // House plan rectangle inside the lot, jittered.
+        const double house_w = rng.uniform(8.0, options.lot_w - 3.5);
+        const double house_d = rng.uniform(6.5, options.lot_d - 3.0);
+        const double hx =
+            lot_x + rng.uniform(1.0, options.lot_w - house_w - 1.0);
+        const double hy =
+            lot_y + rng.uniform(1.0, options.lot_d - house_d - 1.0);
+        const double eave = rng.uniform(3.0, 5.5);
+        const double tilt = rng.uniform(16.0, 34.0);
+
+        const auto emit = [&](double x0, double y0, double x1, double y1) {
+            LocalRecord rec;
+            // Zero-padded to 3 digits, growing naturally past 999.
+            char id[32];
+            std::snprintf(id, sizeof id, "roof_%03d",
+                          static_cast<int>(records.size()));
+            rec.id = id;
+            rec.x0 = x0;
+            rec.y0 = y0;
+            rec.x1 = x1;
+            rec.y1 = y1;
+            rec.cut_corner = records.size() % 5 == 4;
+            records.push_back(rec);
+        };
+
+        if (lots[static_cast<std::size_t>(li)].gable) {
+            city.add_gable_roof("house_" + std::to_string(li), hx, hy,
+                                house_w, house_d, eave, tilt);
+            // South-facing plane = southern half, north-facing = northern.
+            emit(hx, hy + house_d / 2.0, hx + house_w, hy + house_d);
+            emit(hx, hy, hx + house_w, hy + house_d / 2.0);
+        } else {
+            geo::MonopitchRoof roof;
+            roof.name = "house_" + std::to_string(li);
+            roof.x = hx;
+            roof.y = hy;
+            roof.w = house_w;
+            roof.d = house_d;
+            roof.eave_height = eave;
+            roof.tilt_deg = tilt;
+            // Mostly south-ish, with east/west outliers.
+            roof.azimuth_deg = rng.bernoulli(0.8)
+                                   ? rng.uniform(150.0, 230.0)
+                                   : rng.uniform(70.0, 290.0);
+            const int roof_index = city.add_roof(roof);
+            emit(hx, hy, hx + house_w, hy + house_d);
+
+            // Decimeter surface structure on some monopitch roofs (below
+            // the obstacle tolerance — texture, not encumbrance).
+            if (rng.bernoulli(0.6)) {
+                geo::RoofTexture texture;
+                texture.undulation_amp_x = rng.uniform(0.02, 0.07);
+                texture.undulation_period_x = rng.uniform(4.0, 7.0);
+                texture.noise_amp = rng.uniform(0.01, 0.05);
+                texture.noise_scale = rng.uniform(2.0, 4.0);
+                texture.seed = static_cast<std::uint32_t>(
+                    options.seed * 131 + static_cast<std::uint32_t>(li));
+                city.set_roof_texture(roof_index, texture);
+            }
+        }
+
+        // Encumbrances: chimney near a corner, occasional HVAC box.
+        if (rng.bernoulli(0.7)) {
+            const double cw = rng.uniform(0.4, 0.8);
+            city.add_box({hx + rng.uniform(0.8, house_w - 1.6),
+                          hy + rng.uniform(0.8, house_d - 1.6), cw, cw,
+                          rng.uniform(0.8, 1.6), geo::HeightRef::Surface});
+        }
+        if (rng.bernoulli(0.25)) {
+            city.add_box({hx + rng.uniform(1.0, house_w - 2.5),
+                          hy + rng.uniform(1.0, house_d - 2.5),
+                          rng.uniform(1.0, 1.8), rng.uniform(0.8, 1.4),
+                          rng.uniform(0.6, 1.1), geo::HeightRef::Surface});
+        }
+        // Garden tree on the lot edge (external shading).
+        if (rng.bernoulli(0.45)) {
+            city.add_tree({lot_x + rng.uniform(0.5, options.lot_w - 0.5),
+                           lot_y + rng.uniform(0.3, 1.2),
+                           rng.uniform(1.4, 2.4), rng.uniform(6.0, 10.0)});
+        }
+    }
+
+    // ---- Rasterize once, cut into tiles. --------------------------------
+    const geo::Raster dsm = city.rasterize(options.cell_size);
+    const int total_cols = dsm.width();
+    const int total_rows = dsm.height();
+
+    int tiles_written = 0;
+    for (int ty = 0; ty < tiles_y; ++ty) {
+        for (int tx = 0; tx < tiles_x; ++tx) {
+            const int c0 = tx * options.tile_cells;
+            const int r0 = ty * options.tile_cells;
+            const int w = std::min(options.tile_cells, total_cols - c0);
+            const int h = std::min(options.tile_cells, total_rows - r0);
+            if (w <= 0 || h <= 0) continue;
+            // World georeference: the scene's NW corner sits at
+            // (origin_x, origin_y + extent_y).
+            geo::Raster tile(w, h, options.cell_size, 0.0,
+                             options.origin_x + c0 * options.cell_size,
+                             options.origin_y + extent_y -
+                                 r0 * options.cell_size);
+            for (int y = 0; y < h; ++y)
+                for (int x = 0; x < w; ++x)
+                    tile(x, y) = dsm(c0 + x, r0 + y);
+            char name[64];
+            std::snprintf(name, sizeof name, "tile_%02d_%02d.asc", ty, tx);
+            geo::write_asc_grid_file(tile,
+                                     (fs::path(directory) / name).string());
+            ++tiles_written;
+        }
+    }
+
+    // ---- Indexes (local y southward -> world northing). ------------------
+    const auto world_x = [&](double lx) { return options.origin_x + lx; };
+    const auto world_y = [&](double ly) {
+        return options.origin_y + extent_y - ly;
+    };
+    const auto polygon_of = [&](const LocalRecord& rec) {
+        // Cut the NE corner: a 5-vertex polygon (world coords, CCW).
+        const double cut = std::min(2.0, 0.35 * (rec.x1 - rec.x0));
+        std::vector<std::array<double, 2>> poly;
+        poly.push_back({world_x(rec.x0), world_y(rec.y1)});  // SW
+        poly.push_back({world_x(rec.x1), world_y(rec.y1)});  // SE
+        poly.push_back({world_x(rec.x1), world_y(rec.y0) - cut});
+        poly.push_back({world_x(rec.x1) - cut, world_y(rec.y0)});
+        poly.push_back({world_x(rec.x0), world_y(rec.y0)});  // NW
+        return poly;
+    };
+
+    CityFixture fixture;
+    fixture.directory = directory;
+    fixture.records = static_cast<int>(records.size());
+    fixture.tiles_written = tiles_written;
+
+    CsvTable csv({"id", "min_x", "min_y", "max_x", "max_y", "lat", "lon",
+                  "polygon"});
+    for (const LocalRecord& rec : records) {
+        std::string poly;
+        if (rec.cut_corner) {
+            for (const auto& [px, py] : polygon_of(rec)) {
+                if (!poly.empty()) poly += ';';
+                poly += fmt(px, 3) + " " + fmt(py, 3);
+            }
+        }
+        csv.add_row({rec.id, fmt(world_x(rec.x0), 3), fmt(world_y(rec.y1), 3),
+                     fmt(world_x(rec.x1), 3), fmt(world_y(rec.y0), 3),
+                     "45.07", "7.69", poly});
+    }
+    fixture.csv_index_path = (fs::path(directory) / "index.csv").string();
+    csv.write_file(fixture.csv_index_path);
+
+    if (options.write_json_index) {
+        fixture.json_index_path =
+            (fs::path(directory) / "index.json").string();
+        std::ofstream os(fixture.json_index_path);
+        check_io(os.good(), "city_fixture: cannot write JSON index");
+        os << "[\n";
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            const LocalRecord& rec = records[i];
+            os << "  {\"id\": \"" << json_escape(rec.id) << "\", \"bbox\": ["
+               << fmt(world_x(rec.x0), 3) << ", " << fmt(world_y(rec.y1), 3)
+               << ", " << fmt(world_x(rec.x1), 3) << ", "
+               << fmt(world_y(rec.y0), 3)
+               << "], \"lat\": 45.07, \"lon\": 7.69";
+            if (rec.cut_corner) {
+                os << ", \"polygon\": [";
+                bool first = true;
+                for (const auto& [px, py] : polygon_of(rec)) {
+                    if (!first) os << ", ";
+                    first = false;
+                    os << "[" << fmt(px, 3) << ", " << fmt(py, 3) << "]";
+                }
+                os << "]";
+            }
+            os << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+        }
+        os << "]\n";
+        check_io(os.good(), "city_fixture: JSON index write failed");
+    }
+    return fixture;
+}
+
+}  // namespace pvfp::gis

@@ -1,0 +1,56 @@
+#pragma once
+/// \file fixture.hpp
+/// Synthetic city fixture: tiles + footprint index on disk.
+///
+/// The real input of the GIS subsystem is a directory of LiDAR DSM
+/// tiles plus a cadastral footprint index — data that cannot ship with
+/// the repository.  This generator produces a statistically similar
+/// stand-in entirely from the procedural scene substrate: a seeded grid
+/// of residential lots (monopitch and gable houses with chimneys, HVAC
+/// boxes, garden trees, decimeter roof texture) rasterized once and cut
+/// into .asc tiles (written via write_asc_grid), with a CSV *and* JSON
+/// footprint index describing every roof plane (gable = two records;
+/// some records carry footprint polygons that cut a corner).  Tests,
+/// benches, the CI determinism gate, and `pvfp_city --gen-fixture` all
+/// build their cities here, so every consumer exercises the identical
+/// end-to-end path: write tiles -> scan -> mosaic -> fit -> place.
+
+#include <cstdint>
+#include <string>
+
+namespace pvfp::gis {
+
+struct CityFixtureOptions {
+    /// Number of roof *records* in the index (a gable contributes two).
+    int roofs = 60;
+    std::uint64_t seed = 7;
+    /// DSM resolution [m] (paper grid pitch).
+    double cell_size = 0.2;
+    /// Tile side length in cells (default 160 = 32 m tiles at 0.2 m).
+    int tile_cells = 160;
+    /// World coordinates of the city's SW corner [m] (UTM-like).
+    double origin_x = 12000.0;
+    double origin_y = 48000.0;
+    /// Residential lot plan size [m].
+    double lot_w = 16.0;
+    double lot_d = 14.0;
+    /// Also write index.json next to index.csv.
+    bool write_json_index = true;
+};
+
+/// What was written where.
+struct CityFixture {
+    std::string directory;        ///< tiles live here
+    std::string csv_index_path;   ///< <dir>/index.csv
+    std::string json_index_path;  ///< <dir>/index.json ("" when disabled)
+    int tiles_written = 0;
+    int records = 0;
+};
+
+/// Generate the fixture into \p directory (created if needed; existing
+/// tiles/indexes are overwritten).  Deterministic in (options.seed,
+/// options): equal inputs produce byte-identical tiles and indexes.
+CityFixture generate_city_fixture(const std::string& directory,
+                                  const CityFixtureOptions& options = {});
+
+}  // namespace pvfp::gis

@@ -1,0 +1,298 @@
+#include "pvfp/gis/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::gis {
+
+namespace {
+constexpr int kMaxDepth = 128;
+}  // namespace
+
+/// Recursive-descent parser over a string_view cursor.
+class JsonParser {
+public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    JsonValue parse_document() {
+        JsonValue v = parse_value(0);
+        skip_ws();
+        check_io(pos_ == text_.size(), "json: trailing garbage after value");
+        return v;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw IoError("json: " + what + " at offset " +
+                      std::to_string(pos_));
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') ++pos_;
+            else break;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) != lit) return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    JsonValue parse_value(int depth) {
+        if (depth > kMaxDepth) fail("nesting too deep");
+        skip_ws();
+        const char c = peek();
+        JsonValue v;
+        switch (c) {
+        case '{': {
+            v.type_ = JsonValue::Type::Object;
+            ++pos_;
+            skip_ws();
+            if (peek() == '}') { ++pos_; return v; }
+            for (;;) {
+                skip_ws();
+                if (peek() != '"') fail("expected object key string");
+                std::string key = parse_string_body();
+                skip_ws();
+                expect(':');
+                v.object_.emplace_back(std::move(key),
+                                       parse_value(depth + 1));
+                skip_ws();
+                if (peek() == ',') { ++pos_; continue; }
+                expect('}');
+                return v;
+            }
+        }
+        case '[': {
+            v.type_ = JsonValue::Type::Array;
+            ++pos_;
+            skip_ws();
+            if (peek() == ']') { ++pos_; return v; }
+            for (;;) {
+                v.array_.push_back(parse_value(depth + 1));
+                skip_ws();
+                if (peek() == ',') { ++pos_; continue; }
+                expect(']');
+                return v;
+            }
+        }
+        case '"':
+            v.type_ = JsonValue::Type::String;
+            v.string_ = parse_string_body();
+            return v;
+        case 't':
+            if (!consume_literal("true")) fail("bad literal");
+            v.type_ = JsonValue::Type::Bool;
+            v.bool_ = true;
+            return v;
+        case 'f':
+            if (!consume_literal("false")) fail("bad literal");
+            v.type_ = JsonValue::Type::Bool;
+            v.bool_ = false;
+            return v;
+        case 'n':
+            if (!consume_literal("null")) fail("bad literal");
+            v.type_ = JsonValue::Type::Null;
+            return v;
+        default:
+            return parse_number();
+        }
+    }
+
+    /// Cursor sits on the opening quote.
+    std::string parse_string_body() {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') { out += c; continue; }
+            if (pos_ >= text_.size()) fail("unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': append_utf8(parse_hex4(), out); break;
+            default: fail("bad escape");
+            }
+        }
+    }
+
+    unsigned parse_hex4() {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size()) fail("truncated \\u escape");
+            const char c = text_[pos_++];
+            code <<= 4;
+            if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                code |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                code |= static_cast<unsigned>(c - 'A' + 10);
+            else fail("bad \\u escape digit");
+        }
+        return code;
+    }
+
+    /// BMP code point to UTF-8 (surrogate pairs are combined when the
+    /// low half follows; a lone surrogate is rejected).
+    void append_utf8(unsigned code, std::string& out) {
+        if (code >= 0xD800 && code <= 0xDBFF) {
+            if (!(pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                  text_[pos_ + 1] == 'u'))
+                fail("lone high surrogate");
+            pos_ += 2;
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) fail("bad low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("lone low surrogate");
+        }
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+    }
+
+    JsonValue parse_number() {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        auto digits = [&] {
+            std::size_t n = 0;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                ++n;
+            }
+            return n;
+        };
+        if (digits() == 0) fail("bad number");
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (digits() == 0) fail("bad number fraction");
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (digits() == 0) fail("bad number exponent");
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        JsonValue v;
+        v.type_ = JsonValue::Type::Number;
+        v.number_ = std::strtod(token.c_str(), nullptr);
+        return v;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+    return JsonParser(text).parse_document();
+}
+
+bool JsonValue::as_bool() const {
+    check_io(type_ == Type::Bool, "json: value is not a boolean");
+    return bool_;
+}
+
+double JsonValue::as_number() const {
+    check_io(type_ == Type::Number, "json: value is not a number");
+    return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+    check_io(type_ == Type::String, "json: value is not a string");
+    return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+    check_io(type_ == Type::Array, "json: value is not an array");
+    return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::as_object()
+    const {
+    check_io(type_ == Type::Object, "json: value is not an object");
+    return object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+    if (type_ != Type::Object) return nullptr;
+    for (const auto& [k, v] : object_)
+        if (k == key) return &v;
+    return nullptr;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+    const JsonValue* v = find(key);
+    check_io(v != nullptr, "json: missing key '" + key + "'");
+    return *v;
+}
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace pvfp::gis

@@ -1,0 +1,71 @@
+#pragma once
+/// \file json.hpp
+/// Minimal JSON reader/escaper for the GIS subsystem.
+///
+/// Three GIS surfaces speak JSON: the footprint index (an array of roof
+/// records), the JSONL result stream of the city runner (one object per
+/// roof, also re-read on resume), and the tests that pin both.  The
+/// project deliberately carries no third-party dependencies, so this is
+/// a small, strict, self-contained value parser: UTF-8 in, full JSON
+/// grammar (objects, arrays, strings with escapes incl. \uXXXX, numbers,
+/// booleans, null), objects kept in insertion order, trailing garbage
+/// rejected.  It is an ingestion tool, not a serialization framework —
+/// writers in this codebase emit JSON by formatting strings (the schema
+/// is fixed), with json_escape for string payloads.
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pvfp::gis {
+
+/// An immutable parsed JSON value.
+class JsonValue {
+public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    /// Parse one complete JSON document; throws IoError on any syntax
+    /// error, on trailing non-whitespace, and on nesting deeper than an
+    /// anti-abuse bound (128 levels).
+    static JsonValue parse(std::string_view text);
+
+    JsonValue() = default;
+
+    Type type() const { return type_; }
+    bool is_null() const { return type_ == Type::Null; }
+    bool is_bool() const { return type_ == Type::Bool; }
+    bool is_number() const { return type_ == Type::Number; }
+    bool is_string() const { return type_ == Type::String; }
+    bool is_array() const { return type_ == Type::Array; }
+    bool is_object() const { return type_ == Type::Object; }
+
+    /// Typed accessors; throw IoError when the value has another type.
+    bool as_bool() const;
+    double as_number() const;
+    const std::string& as_string() const;
+    const std::vector<JsonValue>& as_array() const;
+    const std::vector<std::pair<std::string, JsonValue>>& as_object() const;
+
+    /// Object lookup: nullptr when absent (or when not an object —
+    /// lenient on purpose so optional-field probing reads naturally).
+    const JsonValue* find(const std::string& key) const;
+    /// Object lookup that throws IoError when the key is missing.
+    const JsonValue& at(const std::string& key) const;
+
+private:
+    friend class JsonParser;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Escape \p s for inclusion inside a JSON string literal (quotes not
+/// added): ", \, control characters.
+std::string json_escape(std::string_view s);
+
+}  // namespace pvfp::gis

@@ -1,0 +1,112 @@
+#pragma once
+/// \file roof_registry.hpp
+/// The footprint index of a city run: which roofs exist, where.
+///
+/// A RoofRegistry is loaded from a CSV or JSON index file mapping roof
+/// ids to world-coordinate footprints (axis-aligned bbox, optionally
+/// refined by a polygon) plus optional per-roof site coordinates.  From
+/// a registry record and a TileIndex, make_scenario assembles a
+/// core::RoofScenario on demand — the bridge from measured GIS input to
+/// the paper's pipeline:
+///
+///   mosaic the roof's context window  ->  mask the footprint
+///   ->  least-squares fit the roof plane (trimmed re-fit against
+///       encumbrance bias)  ->  describe it as a MonopitchRoof so
+///       suitable-area extraction sees residuals against the *fitted*
+///       plane of the *measured* DSM.
+///
+/// Index formats (world coordinates, meters; ids must be unique):
+///   CSV:  id,min_x,min_y,max_x,max_y[,lat,lon][,polygon]
+///         polygon = "x y;x y;..." (>= 3 vertices, implicit closure)
+///   JSON: [{"id": "...", "bbox": [min_x,min_y,max_x,max_y],
+///          "lat": ..., "lon": ..., "polygon": [[x,y],...]}, ...]
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "pvfp/core/roof_library.hpp"
+#include "pvfp/gis/tile_index.hpp"
+
+namespace pvfp::gis {
+
+/// One roof footprint of the index.
+struct RoofRecord {
+    std::string id;
+    /// Axis-aligned footprint bounding box, world coordinates.
+    WorldRect bbox{};
+    /// Optional footprint polygon (world coordinates, implicit closure);
+    /// empty = the bbox is the footprint.  Cells whose centers fall
+    /// outside are masked from placement (they still shade).
+    std::vector<std::array<double, 2>> polygon;
+    /// Optional per-roof site override (a registry may span sites whose
+    /// sun geometry differs); the run's configured timezone applies.
+    bool has_location = false;
+    double latitude_deg = 0.0;
+    double longitude_deg = 0.0;
+};
+
+/// Least-squares roof plane in the mosaic's local frame (x east, y south
+/// from the window's NW corner): z = a*lx + b*ly + c.
+struct RoofPlaneFit {
+    double a = 0.0;
+    double b = 0.0;
+    double c = 0.0;
+    double tilt_deg = 0.0;     ///< atan(|grad z|)
+    double azimuth_deg = 0.0;  ///< downslope, clockwise from North
+    double rmse_m = 0.0;       ///< residual RMS over the kept cells
+    long cells = 0;            ///< cells in the final fit
+};
+
+/// Knobs of the record -> scenario assembly.
+struct ScenarioBuildOptions {
+    /// Mosaic margin around the footprint bbox [m]: context that shades
+    /// the roof (neighbour buildings, trees) without being placeable.
+    double context_margin_m = 8.0;
+    /// Trimmed re-fit: after the first least-squares pass, drop cells
+    /// whose |residual| exceeds this many RMS and fit once more, so
+    /// chimneys/dormers inside the footprint do not tilt the plane.
+    /// 0 disables the second pass.
+    double trim_sigma = 3.0;
+};
+
+/// Fit the roof plane over the cells where \p mask is nonzero (and the
+/// DSM holds data).  Throws Infeasible when fewer than 3 cells remain.
+/// Exposed for tests; make_scenario calls it internally.
+RoofPlaneFit fit_roof_plane(const geo::Raster& dsm,
+                            const pvfp::Grid2D<unsigned char>& mask,
+                            double trim_sigma = 3.0);
+
+/// Assemble the scenario for \p record: mosaic its window from
+/// \p tiles, mask its footprint, fit its plane, and package everything
+/// as a core::RoofScenario (measured DSM override + placement mask +
+/// fitted-plane scene).  NODATA cells are excluded from placement and
+/// backfilled with the window's minimum height so the horizon scan sees
+/// ground, not a -9999 m canyon.  Throws Infeasible when the footprint
+/// holds no data cells.  \p fit_out, when non-null, receives the plane
+/// fit diagnostics.
+core::RoofScenario make_scenario(const RoofRecord& record,
+                                 const TileIndex& tiles,
+                                 const ScenarioBuildOptions& options = {},
+                                 TileCache* cache = nullptr,
+                                 RoofPlaneFit* fit_out = nullptr);
+
+/// The loaded index.
+class RoofRegistry {
+public:
+    /// Load by extension: ".json" -> JSON, anything else -> CSV.
+    static RoofRegistry load(const std::string& path);
+    static RoofRegistry load_csv(const std::string& path);
+    static RoofRegistry load_json(const std::string& path);
+
+    long size() const { return static_cast<long>(records_.size()); }
+    const std::vector<RoofRecord>& records() const { return records_; }
+    const RoofRecord& record(long i) const;
+
+private:
+    void validate() const;  ///< unique non-empty ids, sane bboxes
+
+    std::vector<RoofRecord> records_;
+};
+
+}  // namespace pvfp::gis

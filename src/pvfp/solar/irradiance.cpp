@@ -10,6 +10,17 @@
 #include "pvfp/util/simd.hpp"
 
 namespace pvfp::solar {
+namespace {
+
+/// Member-initializer guard: the artifact ctor reads its time grid from
+/// the artifact, which must exist before any member touches it.
+const pvfp::TimeGrid& sky_grid_checked(
+    const std::shared_ptr<const SharedSkyArtifact>& sky) {
+    check_arg(sky != nullptr, "IrradianceField: null sky artifact");
+    return sky->grid;
+}
+
+}  // namespace
 
 IrradianceField::IrradianceField(geo::HorizonMap horizon,
                                  std::vector<EnvSample> env,
@@ -17,15 +28,37 @@ IrradianceField::IrradianceField(geo::HorizonMap horizon,
                                  double azimuth_rad,
                                  const FieldConfig& config,
                                  geo::NormalMap normals)
-    : horizon_(std::move(horizon)), grid_(grid), tilt_rad_(tilt_rad),
-      azimuth_rad_(azimuth_rad), config_(config),
+    // Self-contained path: prepare a private sky artifact for this env
+    // series and delegate.  One implementation of the per-step math —
+    // the shared-sky batch path and this path produce the same bits.
+    : IrradianceField(std::move(horizon),
+                      make_shared_sky(config.location, grid, std::move(env),
+                                      config.sky_model),
+                      tilt_rad, azimuth_rad, config, std::move(normals)) {}
+
+IrradianceField::IrradianceField(geo::HorizonMap horizon,
+                                 std::shared_ptr<const SharedSkyArtifact> sky,
+                                 double tilt_rad, double azimuth_rad,
+                                 const FieldConfig& config,
+                                 geo::NormalMap normals)
+    : horizon_(std::move(horizon)), grid_(sky_grid_checked(sky)),
+      tilt_rad_(tilt_rad), azimuth_rad_(azimuth_rad), config_(config),
       normals_(std::move(normals)) {
-    check_arg(static_cast<long>(env.size()) == grid_.total_steps(),
-              "IrradianceField: env series length != time grid steps");
     check_arg(tilt_rad >= 0.0 && tilt_rad <= kPi / 2.0,
               "IrradianceField: tilt out of range");
     check_arg(config.thermal_k >= 0.0,
               "IrradianceField: thermal_k must be non-negative");
+    // The precomputed sun positions and circumsolar split embed the
+    // artifact's site and sky model; a mismatched FieldConfig would
+    // silently compute a different physics than asked for.
+    check_arg(config.location.latitude_deg == sky->location.latitude_deg &&
+                  config.location.longitude_deg ==
+                      sky->location.longitude_deg &&
+                  config.location.timezone_hours ==
+                      sky->location.timezone_hours,
+              "IrradianceField: config.location != sky artifact location");
+    check_arg(config.sky_model == sky->sky_model,
+              "IrradianceField: config.sky_model != sky artifact model");
     has_normals_ = normals_.width() > 0;
     if (has_normals_) {
         check_arg(normals_.width() == horizon_.window_width() &&
@@ -40,19 +73,12 @@ IrradianceField::IrradianceField(geo::HorizonMap horizon,
                   std::numeric_limits<std::int32_t>::max(),
               "IrradianceField: horizon map too large for batch kernels");
 
-    // Env-series validation, hoisted out of the per-step precompute loop
-    // (it used to re-check inside the hot inner loop on every step).
-    for (const EnvSample& e : env) {
-        check_arg(e.ghi >= 0.0 && e.dni >= 0.0 && e.dhi >= 0.0,
-                  "IrradianceField: negative irradiance in env series");
-    }
-
     // Uniform plane normal: leans toward the downslope azimuth.
     plane_e_ = std::sin(tilt_rad_) * std::sin(azimuth_rad_);
     plane_n_ = std::sin(tilt_rad_) * std::cos(azimuth_rad_);
     plane_u_ = std::cos(tilt_rad_);
 
-    const std::size_t n = env.size();
+    const std::size_t n = sky->env.size();
     beam_eq_.resize(n);
     sky_diffuse_.resize(n);
     reflected_.resize(n);
@@ -70,60 +96,34 @@ IrradianceField::IrradianceField(geo::HorizonMap horizon,
     const int sectors = horizon_.sectors();
     const std::int32_t ncells =
         static_cast<std::int32_t>(horizon_.cell_count());
+    const SharedSkyArtifact& a = *sky;
 
-    // Per-step precompute (sun position + transposition for each of the
-    // ~35,040 steps) parallelized over step chunks: each step writes only
-    // its own SoA slots, so the fixed chunk grid keeps the result
-    // bitwise-identical at any thread count.
-    parallel_for(0, grid_.total_steps(), 512, [&](long sb, long se) {
+    // Per-roof finish: round the shared per-step precompute into the
+    // float SoA planes and apply the only tilt-dependent transposition
+    // factors (isotropic-sky and ground-reflected projections).  The
+    // expensive per-step work — sun position, circumsolar split — was
+    // done once in the artifact; this loop is two multiplies and a
+    // handful of casts per step, chunked deterministically.
+    parallel_for(0, grid_.total_steps(), 4096, [&](long sb, long se) {
     for (long s = sb; s < se; ++s) {
         const std::size_t si = static_cast<std::size_t>(s);
-        const EnvSample& e = env[si];
-        const int doy = grid_.day_of_year(s);
-        const double hour = grid_.hour_of_day(s);
-        const SunPosition sun = sun_position(config_.location, doy, hour);
-        const bool daylight = sun.elevation_rad > 0.0;
-        sun_azimuth_[si] = static_cast<float>(sun.azimuth_rad);
-        sun_elevation_[si] = static_cast<float>(sun.elevation_rad);
-        daylight_[si] = daylight ? 1 : 0;
+        const EnvSample& e = a.env[si];
+        sun_azimuth_[si] = static_cast<float>(a.sun_azimuth[si]);
+        sun_elevation_[si] = static_cast<float>(a.sun_elevation[si]);
+        daylight_[si] = a.daylight[si];
         temp_air_[si] = static_cast<float>(e.temp_air_c);
-        const double cos_el = std::cos(sun.elevation_rad);
-        sun_e_[si] = static_cast<float>(cos_el * std::sin(sun.azimuth_rad));
-        sun_n_[si] = static_cast<float>(cos_el * std::cos(sun.azimuth_rad));
-        sun_u_[si] = static_cast<float>(std::sin(sun.elevation_rad));
+        sun_e_[si] = static_cast<float>(a.sun_e[si]);
+        sun_n_[si] = static_cast<float>(a.sun_n[si]);
+        sun_u_[si] = static_cast<float>(a.sun_u[si]);
 
         float beam_eq_f = 0.0f;
         float sky_diffuse_f = 0.0f;
         float reflected_f = 0.0f;
         if (e.ghi > 0.0 || e.dhi > 0.0) {
-            // Extraterrestrial normal irradiance is needed by both the
-            // circumsolar share and the isotropic split under Hay-Davies;
-            // compute it once per step (it used to be evaluated twice).
-            const bool hay = config_.sky_model == SkyModel::HayDavies;
-            double a = 0.0;
-            if (hay) {
-                a = std::clamp(e.dni / extraterrestrial_normal_irradiance(doy),
-                               0.0, 1.0);
-            }
-            // Normal-equivalent beam magnitude: DNI plus, for Hay-Davies,
-            // the circumsolar share of the diffuse (guarded near the
-            // horizon exactly like the transposition model).
-            double beam_eq = 0.0;
-            if (daylight) {
-                beam_eq = e.dni;
-                if (hay && e.dhi > 0.0) {
-                    const double sin_el_guard =
-                        std::max(std::sin(sun.elevation_rad), 0.01745);
-                    beam_eq += e.dhi * a / sin_el_guard;
-                }
-            }
-            beam_eq_f = static_cast<float>(beam_eq);
-
+            beam_eq_f = static_cast<float>(a.beam_eq[si]);
             // Isotropic sky share and ground-reflected term on the plane.
-            double dhi_iso = e.dhi;
-            if (hay) dhi_iso = e.dhi * (1.0 - (daylight ? a : 0.0));
             sky_diffuse_f = static_cast<float>(
-                dhi_iso * (1.0 + std::cos(tilt_rad_)) / 2.0);
+                a.dhi_iso[si] * (1.0 + std::cos(tilt_rad_)) / 2.0);
             reflected_f = static_cast<float>(
                 e.ghi * config_.albedo * (1.0 - std::cos(tilt_rad_)) / 2.0);
         }

@@ -27,25 +27,18 @@
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "pvfp/geo/horizon.hpp"
 #include "pvfp/util/error.hpp"
+#include "pvfp/solar/sky_artifact.hpp"
 #include "pvfp/solar/sunpos.hpp"
 #include "pvfp/solar/transposition.hpp"
 #include "pvfp/util/timegrid.hpp"
 
 namespace pvfp::solar {
-
-/// One time step of weather on the horizontal plane, as produced by the
-/// weather substrate (synthetic generator or station CSV import).
-struct EnvSample {
-    double ghi = 0.0;         ///< global horizontal irradiance [W/m^2]
-    double dni = 0.0;         ///< beam normal irradiance [W/m^2]
-    double dhi = 0.0;         ///< diffuse horizontal irradiance [W/m^2]
-    double temp_air_c = 20.0; ///< ambient air temperature [deg C]
-};
 
 /// Static configuration of the field.
 struct FieldConfig {
@@ -108,6 +101,20 @@ public:
     IrradianceField(geo::HorizonMap horizon, std::vector<EnvSample> env,
                     const pvfp::TimeGrid& grid, double tilt_rad,
                     double azimuth_rad, const FieldConfig& config = {},
+                    geo::NormalMap normals = {});
+
+    /// Shared-sky constructor (ROADMAP "shared-weather batching"): build
+    /// from a SharedSkyArtifact prepared once per batch instead of a
+    /// private env series.  The time grid comes from the artifact;
+    /// \p config.location and \p config.sky_model must match the
+    /// artifact's exactly (checked), since the precomputed sun positions
+    /// and circumsolar split embed them.  Bitwise identical to the
+    /// self-contained constructor above for the same inputs — that
+    /// constructor now delegates here.
+    IrradianceField(geo::HorizonMap horizon,
+                    std::shared_ptr<const SharedSkyArtifact> sky,
+                    double tilt_rad, double azimuth_rad,
+                    const FieldConfig& config = {},
                     geo::NormalMap normals = {});
 
     int width() const { return horizon_.window_width(); }

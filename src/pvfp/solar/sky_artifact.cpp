@@ -1,0 +1,98 @@
+#include "pvfp/solar/sky_artifact.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/parallel.hpp"
+
+namespace pvfp::solar {
+
+SharedSkyArtifact prepare_sky_artifact(const Location& location,
+                                       const pvfp::TimeGrid& grid,
+                                       std::vector<EnvSample> env,
+                                       SkyModel sky_model) {
+    check_arg(static_cast<long>(env.size()) == grid.total_steps(),
+              "prepare_sky_artifact: env series length != time grid steps");
+    for (const EnvSample& e : env) {
+        check_arg(e.ghi >= 0.0 && e.dni >= 0.0 && e.dhi >= 0.0,
+                  "prepare_sky_artifact: negative irradiance in env series");
+    }
+
+    SharedSkyArtifact sky;
+    sky.location = location;
+    sky.grid = grid;
+    sky.sky_model = sky_model;
+    sky.env = std::move(env);
+
+    const std::size_t n = sky.env.size();
+    sky.sun_azimuth.resize(n);
+    sky.sun_elevation.resize(n);
+    sky.daylight.resize(n);
+    sky.sun_e.resize(n);
+    sky.sun_n.resize(n);
+    sky.sun_u.resize(n);
+    sky.beam_eq.resize(n);
+    sky.dhi_iso.resize(n);
+
+    const bool hay = sky_model == SkyModel::HayDavies;
+
+    // Per-step precompute (sun position + roof-independent transposition
+    // terms for each of the ~35,040 steps) parallelized over step chunks:
+    // each step writes only its own slots, so the fixed chunk grid keeps
+    // the result bitwise-identical at any thread count.
+    parallel_for(0, grid.total_steps(), 512, [&](long sb, long se) {
+    for (long s = sb; s < se; ++s) {
+        const std::size_t si = static_cast<std::size_t>(s);
+        const EnvSample& e = sky.env[si];
+        const int doy = grid.day_of_year(s);
+        const double hour = grid.hour_of_day(s);
+        const SunPosition sun = sun_position(location, doy, hour);
+        const bool daylight = sun.elevation_rad > 0.0;
+        sky.sun_azimuth[si] = sun.azimuth_rad;
+        sky.sun_elevation[si] = sun.elevation_rad;
+        sky.daylight[si] = daylight ? 1 : 0;
+        const double cos_el = std::cos(sun.elevation_rad);
+        sky.sun_e[si] = cos_el * std::sin(sun.azimuth_rad);
+        sky.sun_n[si] = cos_el * std::cos(sun.azimuth_rad);
+        sky.sun_u[si] = std::sin(sun.elevation_rad);
+
+        double beam_eq = 0.0;
+        double dhi_iso = 0.0;
+        if (e.ghi > 0.0 || e.dhi > 0.0) {
+            // Extraterrestrial normal irradiance feeds both the
+            // circumsolar share and the isotropic split under Hay-Davies.
+            double a = 0.0;
+            if (hay) {
+                a = std::clamp(e.dni / extraterrestrial_normal_irradiance(doy),
+                               0.0, 1.0);
+            }
+            // Normal-equivalent beam magnitude: DNI plus, for Hay-Davies,
+            // the circumsolar share of the diffuse (guarded near the
+            // horizon exactly like the transposition model).
+            if (daylight) {
+                beam_eq = e.dni;
+                if (hay && e.dhi > 0.0) {
+                    const double sin_el_guard =
+                        std::max(std::sin(sun.elevation_rad), 0.01745);
+                    beam_eq += e.dhi * a / sin_el_guard;
+                }
+            }
+            dhi_iso = e.dhi;
+            if (hay) dhi_iso = e.dhi * (1.0 - (daylight ? a : 0.0));
+        }
+        sky.beam_eq[si] = beam_eq;
+        sky.dhi_iso[si] = dhi_iso;
+    }
+    });
+    return sky;
+}
+
+std::shared_ptr<const SharedSkyArtifact> make_shared_sky(
+    const Location& location, const pvfp::TimeGrid& grid,
+    std::vector<EnvSample> env, SkyModel sky_model) {
+    return std::make_shared<const SharedSkyArtifact>(
+        prepare_sky_artifact(location, grid, std::move(env), sky_model));
+}
+
+}  // namespace pvfp::solar

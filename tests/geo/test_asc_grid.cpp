@@ -1,0 +1,145 @@
+/// \file test_asc_grid.cpp
+/// The hardened .asc parser: CRLF, header-key case, the xllcenter /
+/// yllcenter variants (each axis independently), duplicate-key
+/// rejection, and the header-only parse used by the GIS tile index.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pvfp/geo/asc_grid.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::geo {
+namespace {
+
+constexpr const char* kPlain =
+    "ncols 3\n"
+    "nrows 2\n"
+    "xllcorner 10.0\n"
+    "yllcorner 20.0\n"
+    "cellsize 0.5\n"
+    "NODATA_value -9999\n"
+    "1 2 3\n"
+    "4 5 6\n";
+
+TEST(AscGrid, ParsesPlainLf) {
+    std::istringstream in(kPlain);
+    const Raster r = read_asc_grid(in);
+    EXPECT_EQ(r.width(), 3);
+    EXPECT_EQ(r.height(), 2);
+    EXPECT_DOUBLE_EQ(r.cell_size(), 0.5);
+    EXPECT_DOUBLE_EQ(r.origin_x(), 10.0);
+    EXPECT_DOUBLE_EQ(r.origin_y(), 21.0);  // yll + nrows * cellsize
+    EXPECT_DOUBLE_EQ(r(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(r(2, 1), 6.0);
+}
+
+TEST(AscGrid, AcceptsCrlfLineEndings) {
+    std::string crlf(kPlain);
+    std::string with_cr;
+    for (const char c : crlf) {
+        if (c == '\n') with_cr += "\r\n";
+        else with_cr += c;
+    }
+    std::istringstream in(with_cr);
+    const Raster r = read_asc_grid(in);
+    EXPECT_EQ(r.width(), 3);
+    EXPECT_EQ(r.height(), 2);
+    EXPECT_DOUBLE_EQ(r(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(r(2, 1), 6.0);
+
+    std::istringstream lf(kPlain);
+    EXPECT_EQ(read_asc_grid(lf), r);
+}
+
+TEST(AscGrid, HeaderKeysAreCaseInsensitive) {
+    std::istringstream in(
+        "NCOLS 2\nNrows 1\nXLLCorner 1.0\nYllCorner 2.0\nCELLSIZE 1.0\n"
+        "nodata_VALUE -1\n"
+        "7 8\n");
+    const Raster r = read_asc_grid(in);
+    EXPECT_EQ(r.width(), 2);
+    EXPECT_EQ(r.height(), 1);
+    EXPECT_DOUBLE_EQ(r.nodata(), -1.0);
+    EXPECT_DOUBLE_EQ(r(1, 0), 8.0);
+}
+
+TEST(AscGrid, XllcenterShiftsOnlyTheXAxis) {
+    std::istringstream in(
+        "ncols 2\nnrows 2\nxllcenter 10.0\nyllcorner 20.0\ncellsize 1.0\n"
+        "1 2\n3 4\n");
+    const Raster r = read_asc_grid(in);
+    // Center of the lower-left cell at x=10 -> west edge at 9.5.
+    EXPECT_DOUBLE_EQ(r.origin_x(), 9.5);
+    // y axis used the corner convention: north edge at 20 + 2*1.
+    EXPECT_DOUBLE_EQ(r.origin_y(), 22.0);
+}
+
+TEST(AscGrid, YllcenterShiftsOnlyTheYAxis) {
+    std::istringstream in(
+        "ncols 2\nnrows 2\nxllcorner 10.0\nyllcenter 20.0\ncellsize 1.0\n"
+        "1 2\n3 4\n");
+    const Raster r = read_asc_grid(in);
+    EXPECT_DOUBLE_EQ(r.origin_x(), 10.0);
+    // Lower-left cell *center* at y=20 -> south edge 19.5, north 21.5.
+    EXPECT_DOUBLE_EQ(r.origin_y(), 21.5);
+}
+
+TEST(AscGrid, RejectsDuplicateHeaderKeys) {
+    std::istringstream dup_ncols(
+        "ncols 2\nncols 2\nnrows 1\ncellsize 1.0\n1 2\n");
+    EXPECT_THROW(read_asc_grid(dup_ncols), IoError);
+
+    // Mixed-case duplicates are still duplicates.
+    std::istringstream dup_case(
+        "ncols 2\nNCOLS 2\nnrows 1\ncellsize 1.0\n1 2\n");
+    EXPECT_THROW(read_asc_grid(dup_case), IoError);
+
+    // Corner + center of the same axis is a duplicate too.
+    std::istringstream dup_xll(
+        "ncols 2\nnrows 1\nxllcorner 0\nxllcenter 0\ncellsize 1.0\n1 2\n");
+    EXPECT_THROW(read_asc_grid(dup_xll), IoError);
+
+    std::istringstream dup_nodata(
+        "ncols 2\nnrows 1\ncellsize 1.0\nNODATA_value -1\nnodata_value -2\n"
+        "1 2\n");
+    EXPECT_THROW(read_asc_grid(dup_nodata), IoError);
+}
+
+TEST(AscGrid, HeaderOnlyParseLeavesStreamAtData) {
+    std::istringstream in(kPlain);
+    const AscHeader h = read_asc_header(in);
+    EXPECT_EQ(h.ncols, 3);
+    EXPECT_EQ(h.nrows, 2);
+    EXPECT_DOUBLE_EQ(h.xllcorner, 10.0);
+    EXPECT_DOUBLE_EQ(h.yllcorner, 20.0);
+    EXPECT_DOUBLE_EQ(h.cellsize, 0.5);
+    EXPECT_DOUBLE_EQ(h.nodata, -9999.0);
+    EXPECT_DOUBLE_EQ(h.x_max(), 11.5);
+    EXPECT_DOUBLE_EQ(h.y_max(), 21.0);
+    double first = 0.0;
+    ASSERT_TRUE(static_cast<bool>(in >> first));
+    EXPECT_DOUBLE_EQ(first, 1.0);
+}
+
+TEST(AscGrid, HeaderNormalizesCenterVariants) {
+    std::istringstream in(
+        "ncols 4\nnrows 3\nxllcenter 1.0\nyllcenter 2.0\ncellsize 2.0\n"
+        "0 0 0 0\n0 0 0 0\n0 0 0 0\n");
+    const AscHeader h = read_asc_header(in);
+    EXPECT_DOUBLE_EQ(h.xllcorner, 0.0);
+    EXPECT_DOUBLE_EQ(h.yllcorner, 1.0);
+}
+
+TEST(AscGrid, MissingMandatoryKeysStillRejected) {
+    std::istringstream no_cell("ncols 2\nnrows 1\n1 2\n");
+    EXPECT_THROW(read_asc_grid(no_cell), IoError);
+    std::istringstream no_dims("cellsize 1.0\n1 2\n");
+    EXPECT_THROW(read_asc_grid(no_dims), IoError);
+    std::istringstream trunc("ncols 2\nnrows 2\ncellsize 1.0\n1 2 3\n");
+    EXPECT_THROW(read_asc_grid(trunc), IoError);
+}
+
+}  // namespace
+}  // namespace pvfp::geo

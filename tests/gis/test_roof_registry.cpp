@@ -1,0 +1,296 @@
+/// \file test_roof_registry.cpp
+/// Footprint index loading (CSV + JSON parity), plane fitting, and the
+/// record -> RoofScenario assembly against synthetic tiles.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "pvfp/core/pipeline.hpp"
+#include "pvfp/geo/asc_grid.hpp"
+#include "pvfp/geo/scene.hpp"
+#include "pvfp/gis/roof_registry.hpp"
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/math.hpp"
+
+namespace pvfp::gis {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const std::string& name) {
+    const fs::path dir = fs::path(::testing::TempDir()) / ("pvfp_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+std::string write_text(const std::string& dir, const std::string& name,
+                       const std::string& content) {
+    const std::string path = dir + "/" + name;
+    std::ofstream os(path);
+    os << content;
+    return path;
+}
+
+TEST(RoofRegistry, CsvAndJsonLoadTheSameRecords) {
+    const std::string dir = temp_dir("registry_parity");
+    const std::string csv = write_text(
+        dir, "index.csv",
+        "id,min_x,min_y,max_x,max_y,lat,lon,polygon\n"
+        "r1,0,0,10,8,45.1,7.7,\n"
+        "r2,12,0,20,6,,,\"0 0;8 0;8 6\"\n");
+    const std::string json = write_text(
+        dir, "index.json",
+        "[{\"id\": \"r1\", \"bbox\": [0, 0, 10, 8], \"lat\": 45.1, "
+        "\"lon\": 7.7},\n"
+        " {\"id\": \"r2\", \"bbox\": [12, 0, 20, 6], "
+        "\"polygon\": [[0, 0], [8, 0], [8, 6]]}]\n");
+
+    const RoofRegistry a = RoofRegistry::load(csv);
+    const RoofRegistry b = RoofRegistry::load(json);
+    ASSERT_EQ(a.size(), 2);
+    ASSERT_EQ(b.size(), 2);
+    for (long i = 0; i < 2; ++i) {
+        EXPECT_EQ(a.record(i).id, b.record(i).id);
+        EXPECT_DOUBLE_EQ(a.record(i).bbox.x0, b.record(i).bbox.x0);
+        EXPECT_DOUBLE_EQ(a.record(i).bbox.y1, b.record(i).bbox.y1);
+        EXPECT_EQ(a.record(i).has_location, b.record(i).has_location);
+        EXPECT_EQ(a.record(i).polygon.size(), b.record(i).polygon.size());
+    }
+    EXPECT_TRUE(a.record(0).has_location);
+    EXPECT_DOUBLE_EQ(a.record(0).latitude_deg, 45.1);
+    EXPECT_FALSE(a.record(1).has_location);
+    ASSERT_EQ(a.record(1).polygon.size(), 3u);
+    EXPECT_DOUBLE_EQ(a.record(1).polygon[1][0], 8.0);
+}
+
+TEST(RoofRegistry, RejectsBrokenIndexes) {
+    const std::string dir = temp_dir("registry_broken");
+    // Duplicate ids.
+    EXPECT_THROW(RoofRegistry::load(write_text(
+                     dir, "dup.csv",
+                     "id,min_x,min_y,max_x,max_y\nr1,0,0,1,1\nr1,2,0,3,1\n")),
+                 IoError);
+    // Degenerate bbox.
+    EXPECT_THROW(RoofRegistry::load(write_text(
+                     dir, "degen.csv",
+                     "id,min_x,min_y,max_x,max_y\nr1,5,0,5,1\n")),
+                 IoError);
+    // Missing column.
+    EXPECT_THROW(RoofRegistry::load(write_text(
+                     dir, "cols.csv", "id,min_x,min_y,max_x\nr1,0,0,1\n")),
+                 IoError);
+    // Two-vertex polygon.
+    EXPECT_THROW(RoofRegistry::load(write_text(
+                     dir, "poly.csv",
+                     "id,min_x,min_y,max_x,max_y,polygon\n"
+                     "r1,0,0,4,4,\"0 0;1 1\"\n")),
+                 IoError);
+    // JSON root must be an array.
+    EXPECT_THROW(
+        RoofRegistry::load(write_text(dir, "obj.json", "{\"id\": \"x\"}")),
+        IoError);
+    // Empty index.
+    EXPECT_THROW(RoofRegistry::load(write_text(
+                     dir, "empty.csv", "id,min_x,min_y,max_x,max_y\n")),
+                 IoError);
+}
+
+TEST(FitRoofPlane, RecoversAKnownPlaneExactly) {
+    // z = 0.30*lx - 0.18*ly + 4.
+    const int w = 30, h = 24;
+    geo::Raster dsm(w, h, 0.2, 0.0);
+    pvfp::Grid2D<unsigned char> mask(w, h, 1);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            dsm(x, y) = 0.30 * dsm.local_x(x) - 0.18 * dsm.local_y(y) + 4.0;
+
+    const RoofPlaneFit fit = fit_roof_plane(dsm, mask);
+    EXPECT_NEAR(fit.a, 0.30, 1e-12);
+    EXPECT_NEAR(fit.b, -0.18, 1e-12);
+    EXPECT_NEAR(fit.c, 4.0, 1e-10);
+    EXPECT_NEAR(fit.rmse_m, 0.0, 1e-10);
+    EXPECT_EQ(fit.cells, w * h);
+    // Downslope of z rising east & falling south: west-of-south... the
+    // gradient (0.30, -0.18) points east/up-north, downslope azimuth =
+    // atan2(+(-0.30)... check against the closed form.
+    EXPECT_NEAR(fit.tilt_deg, rad2deg(std::atan(std::hypot(0.30, 0.18))),
+                1e-9);
+    const double az = std::atan2(-0.30, -0.18);
+    EXPECT_NEAR(fit.azimuth_deg, rad2deg(az < 0 ? az + kTwoPi : az), 1e-9);
+}
+
+TEST(FitRoofPlane, TrimmedRefitShrugsOffAChimney) {
+    const int w = 40, h = 30;
+    geo::Raster dsm(w, h, 0.2, 0.0);
+    pvfp::Grid2D<unsigned char> mask(w, h, 1);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            dsm(x, y) = 0.25 * dsm.local_y(y) + 3.0;
+    // A 3x3 chimney 1.2 m proud of the plane.
+    for (int y = 10; y < 13; ++y)
+        for (int x = 20; x < 23; ++x) dsm(x, y) += 1.2;
+
+    const RoofPlaneFit untrimmed = fit_roof_plane(dsm, mask, 0.0);
+    const RoofPlaneFit trimmed = fit_roof_plane(dsm, mask, 3.0);
+    // The trimmed fit must sit much closer to the true plane.
+    EXPECT_LT(std::abs(trimmed.a), std::abs(untrimmed.a) + 1e-9);
+    EXPECT_NEAR(trimmed.a, 0.0, 5e-4);
+    EXPECT_NEAR(trimmed.b, 0.25, 5e-3);
+    EXPECT_LT(trimmed.rmse_m, untrimmed.rmse_m);
+    EXPECT_LT(trimmed.cells, static_cast<long>(w) * h);
+}
+
+TEST(FitRoofPlane, NeedsThreeCells) {
+    geo::Raster dsm(4, 4, 0.2, 1.0);
+    pvfp::Grid2D<unsigned char> mask(4, 4, 0);
+    mask(0, 0) = mask(1, 1) = 1;
+    EXPECT_THROW(fit_roof_plane(dsm, mask), Infeasible);
+}
+
+/// One synthetic monopitch house written as two tiles, with a chimney.
+struct HouseTiles {
+    std::string dir;
+    static constexpr double kTilt = 24.0;
+    static constexpr double kAzimuth = 180.0;
+    // House plan rect in world coords.
+    static constexpr double kX0 = 104.0, kY0 = 203.0;
+    static constexpr double kW = 9.0, kD = 7.0;
+
+    explicit HouseTiles(const std::string& name) : dir(temp_dir(name)) {
+        geo::SceneBuilder scene(24.0, 16.0, 0.0);
+        geo::MonopitchRoof roof;
+        roof.x = 4.0;  // local: world - (100, 200), y flipped below
+        roof.y = 6.0;
+        roof.w = kW;
+        roof.d = kD;
+        roof.eave_height = 3.5;
+        roof.tilt_deg = kTilt;
+        roof.azimuth_deg = kAzimuth;
+        scene.add_roof(roof);
+        scene.add_box({6.0, 8.0, 0.6, 0.6, 1.2, geo::HeightRef::Surface});
+        const geo::Raster dsm = scene.rasterize(0.2);
+        // Scene local frame -> world (100, 200): split into 2 tiles.
+        const int half = dsm.width() / 2;
+        for (int t = 0; t < 2; ++t) {
+            const int w = t == 0 ? half : dsm.width() - half;
+            geo::Raster tile(w, dsm.height(), 0.2, 0.0,
+                             100.0 + (t == 0 ? 0 : half) * 0.2,
+                             200.0 + 16.0);
+            for (int y = 0; y < dsm.height(); ++y)
+                for (int x = 0; x < w; ++x)
+                    tile(x, y) = dsm((t == 0 ? 0 : half) + x, y);
+            geo::write_asc_grid_file(tile, dir + "/t" + std::to_string(t) +
+                                               ".asc");
+        }
+    }
+
+    RoofRecord record() const {
+        RoofRecord rec;
+        rec.id = "house";
+        // World bbox: local (4,6)-(13,13) with y flip about extent 16.
+        rec.bbox = {kX0, kY0, kX0 + kW, kY0 + kD};
+        return rec;
+    }
+};
+
+TEST(MakeScenario, RecoversOrientationAndExcludesTheChimney) {
+    const HouseTiles house("make_scenario");
+    const TileIndex tiles = TileIndex::scan(house.dir);
+    RoofPlaneFit fit;
+    const core::RoofScenario scenario =
+        make_scenario(house.record(), tiles, {}, nullptr, &fit);
+
+    EXPECT_EQ(scenario.name, "house");
+    ASSERT_NE(scenario.dsm, nullptr);
+    ASSERT_NE(scenario.placement_mask, nullptr);
+    EXPECT_NEAR(fit.tilt_deg, HouseTiles::kTilt, 0.6);
+    EXPECT_NEAR(fit.azimuth_deg, HouseTiles::kAzimuth, 2.0);
+    EXPECT_LT(fit.rmse_m, 0.05);
+
+    // End to end through the pipeline: the chimney and its clearance
+    // must be keep-out, the rest placeable.
+    core::ScenarioConfig config;
+    config.grid = TimeGrid(60, 172, 2);
+    config.cell_size = tiles.cell_size();
+    config.horizon.azimuth_sectors = 16;
+    config.horizon.max_distance = 10.0;
+    const core::PreparedScenario prepared =
+        core::prepare_scenario(scenario, config);
+    EXPECT_GT(prepared.area.valid_count, 400);
+    // 0.6 m chimney = 9 cells, plus clearance ring: meaningfully fewer
+    // valid cells than the bare footprint bbox.
+    const int bbox_cells = static_cast<int>(
+        (HouseTiles::kW / 0.2) * (HouseTiles::kD / 0.2));
+    EXPECT_LT(prepared.area.valid_count, bbox_cells - 9);
+    EXPECT_NEAR(rad2deg(prepared.area.tilt_rad), HouseTiles::kTilt, 0.6);
+}
+
+TEST(MakeScenario, PolygonMasksThePlacementArea) {
+    const HouseTiles house("make_scenario_poly");
+    const TileIndex tiles = TileIndex::scan(house.dir);
+
+    RoofRecord plain = house.record();
+    RoofRecord clipped = house.record();
+    // Keep only the western 5 m of the footprint.
+    clipped.polygon = {{HouseTiles::kX0, HouseTiles::kY0},
+                       {HouseTiles::kX0 + 5.0, HouseTiles::kY0},
+                       {HouseTiles::kX0 + 5.0, HouseTiles::kY0 + 7.0},
+                       {HouseTiles::kX0, HouseTiles::kY0 + 7.0}};
+
+    const core::RoofScenario full = make_scenario(plain, tiles);
+    const core::RoofScenario cut = make_scenario(clipped, tiles);
+    long full_cells = 0, cut_cells = 0;
+    for (const auto v : full.placement_mask->data()) full_cells += v != 0;
+    for (const auto v : cut.placement_mask->data()) cut_cells += v != 0;
+    EXPECT_GT(full_cells, cut_cells);
+    // ~5/9 of the footprint survives (mask counts footprint cells, before
+    // obstacle/clearance analysis).
+    EXPECT_NEAR(static_cast<double>(cut_cells) /
+                    static_cast<double>(full_cells),
+                5.0 / 9.0, 0.05);
+}
+
+TEST(MakeScenario, NoDataGapsAreMaskedAndBackfilled) {
+    const std::string dir = temp_dir("make_scenario_nodata");
+    geo::Raster tile(40, 30, 0.5, 2.0, 0.0, 15.0);
+    tile.set_nodata(-9999.0);
+    for (int y = 8; y < 22; ++y)
+        for (int x = 10; x < 30; ++x) tile(x, y) = 6.0;  // flat roof slab
+    for (int y = 12; y < 15; ++y)
+        for (int x = 14; x < 17; ++x) tile(x, y) = -9999.0;  // scan gap
+    geo::write_asc_grid_file(tile, dir + "/t.asc");
+
+    const TileIndex tiles = TileIndex::scan(dir);
+    RoofRecord rec;
+    rec.id = "slab";
+    rec.bbox = {5.0, 4.0, 15.0, 11.0};
+    const core::RoofScenario scenario = make_scenario(rec, tiles);
+
+    // The packaged DSM is fully backfilled (no NODATA pit for the
+    // horizon scan), and the mask excludes exactly the 3x3 gap from the
+    // footprint.
+    const auto& mask = *scenario.placement_mask;
+    const auto& dsm = *scenario.dsm;
+    for (int y = 0; y < dsm.height(); ++y)
+        for (int x = 0; x < dsm.width(); ++x)
+            EXPECT_NE(dsm(x, y), dsm.nodata());
+    long masked = 0;
+    for (const auto v : mask.data()) masked += v != 0;
+    const long footprint = static_cast<long>((10.0 / 0.5) * (7.0 / 0.5));
+    EXPECT_EQ(masked, footprint - 9);
+}
+
+TEST(MakeScenario, OffTileFootprintIsInfeasible) {
+    const HouseTiles house("make_scenario_off");
+    const TileIndex tiles = TileIndex::scan(house.dir);
+    RoofRecord rec;
+    rec.id = "elsewhere";
+    rec.bbox = {900.0, 900.0, 910.0, 908.0};
+    EXPECT_THROW(make_scenario(rec, tiles), Infeasible);
+}
+
+}  // namespace
+}  // namespace pvfp::gis

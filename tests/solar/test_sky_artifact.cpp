@@ -1,0 +1,196 @@
+/// \file test_sky_artifact.cpp
+/// The shared-sky batching contract: an IrradianceField built from a
+/// SharedSkyArtifact is bitwise identical to the self-contained
+/// constructor, one artifact serves many roofs, and the precompute is
+/// thread-count invariant.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "pvfp/solar/irradiance.hpp"
+#include "pvfp/solar/sky_artifact.hpp"
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/parallel.hpp"
+#include "test_helpers.hpp"
+
+namespace pvfp::solar {
+namespace {
+
+using pvfp::testing::coarse_grid;
+using pvfp::testing::constant_weather;
+
+geo::Raster shaded_dsm(int w = 20, int h = 12) {
+    geo::Raster dsm(w, h, 0.2, 5.0);
+    for (int y = 3; y < 5; ++y)
+        for (int x = 8; x < 10; ++x) dsm(x, y) = 7.0;  // chimney
+    for (int y = 0; y < h; ++y) dsm(w - 1, y) = 8.5;   // eastern wall
+    return dsm;
+}
+
+geo::HorizonMap make_horizon(const geo::Raster& dsm) {
+    geo::HorizonOptions hopt;
+    hopt.azimuth_sectors = 24;
+    hopt.max_distance = 8.0;
+    return geo::HorizonMap(dsm, 0, 0, dsm.width(), dsm.height(), hopt);
+}
+
+/// Non-constant weather exercising every branch (night, overcast,
+/// beam-only, diffuse-only).
+std::vector<EnvSample> varied_weather(const TimeGrid& grid) {
+    std::vector<EnvSample> env(
+        static_cast<std::size_t>(grid.total_steps()));
+    for (std::size_t i = 0; i < env.size(); ++i) {
+        const double phase = static_cast<double>(i % 24);
+        env[i].ghi = phase < 6 ? 0.0 : 80.0 * phase;
+        env[i].dni = phase < 8 ? 0.0 : 60.0 * phase;
+        env[i].dhi = phase < 6 ? 0.0 : 25.0 * phase;
+        env[i].temp_air_c = 10.0 + phase;
+    }
+    return env;
+}
+
+TEST(SkyArtifact, FieldFromArtifactIsBitwiseIdentical) {
+    const TimeGrid grid = coarse_grid(6);
+    const auto env = varied_weather(grid);
+    const geo::Raster dsm = shaded_dsm();
+    const FieldConfig config;  // Torino, Hay-Davies
+
+    const IrradianceField self(make_horizon(dsm), env, grid,
+                               deg2rad(26.0), deg2rad(180.0), config);
+    const auto sky =
+        make_shared_sky(config.location, grid, env, config.sky_model);
+    const IrradianceField shared(make_horizon(dsm), sky, deg2rad(26.0),
+                                 deg2rad(180.0), config);
+
+    ASSERT_EQ(self.steps(), shared.steps());
+    for (long s = 0; s < self.steps(); ++s) {
+        ASSERT_EQ(self.is_daylight(s), shared.is_daylight(s));
+        ASSERT_EQ(self.sun(s).azimuth_rad, shared.sun(s).azimuth_rad);
+        ASSERT_EQ(self.sun(s).elevation_rad, shared.sun(s).elevation_rad);
+        ASSERT_EQ(self.air_temperature(s), shared.air_temperature(s));
+        for (int y = 0; y < self.height(); ++y)
+            for (int x = 0; x < self.width(); ++x)
+                ASSERT_EQ(self.cell_irradiance(x, y, s),
+                          shared.cell_irradiance(x, y, s))
+                    << "cell (" << x << "," << y << ") step " << s;
+    }
+}
+
+TEST(SkyArtifact, OneArtifactServesManyRoofOrientations) {
+    const TimeGrid grid = coarse_grid(4);
+    const auto env = varied_weather(grid);
+    const geo::Raster dsm = shaded_dsm();
+    const FieldConfig config;
+    const auto sky =
+        make_shared_sky(config.location, grid, env, config.sky_model);
+
+    for (const auto& [tilt, azimuth] :
+         {std::pair{10.0, 150.0}, std::pair{26.0, 180.0},
+          std::pair{35.0, 225.0}, std::pair{0.0, 0.0}}) {
+        const IrradianceField self(make_horizon(dsm), env, grid,
+                                   deg2rad(tilt), deg2rad(azimuth), config);
+        const IrradianceField shared(make_horizon(dsm), sky, deg2rad(tilt),
+                                     deg2rad(azimuth), config);
+        for (long s = 0; s < self.steps(); s += 3)
+            for (int y = 0; y < self.height(); y += 3)
+                for (int x = 0; x < self.width(); x += 3)
+                    ASSERT_EQ(self.cell_irradiance(x, y, s),
+                              shared.cell_irradiance(x, y, s))
+                        << "tilt " << tilt << " azimuth " << azimuth;
+    }
+}
+
+TEST(SkyArtifact, IsotropicSkyModelMatchesToo) {
+    const TimeGrid grid = coarse_grid(3);
+    const auto env = varied_weather(grid);
+    const geo::Raster dsm = shaded_dsm();
+    FieldConfig config;
+    config.sky_model = SkyModel::Isotropic;
+
+    const IrradianceField self(make_horizon(dsm), env, grid,
+                               deg2rad(26.0), deg2rad(180.0), config);
+    const auto sky =
+        make_shared_sky(config.location, grid, env, config.sky_model);
+    const IrradianceField shared(make_horizon(dsm), sky, deg2rad(26.0),
+                                 deg2rad(180.0), config);
+    for (long s = 0; s < self.steps(); ++s)
+        for (int y = 0; y < self.height(); y += 2)
+            for (int x = 0; x < self.width(); x += 2)
+                ASSERT_EQ(self.cell_irradiance(x, y, s),
+                          shared.cell_irradiance(x, y, s));
+}
+
+TEST(SkyArtifact, PrecomputeIsThreadCountInvariant) {
+    const TimeGrid grid = coarse_grid(10);
+    const auto env = varied_weather(grid);
+    const FieldConfig config;
+
+    set_thread_count(1);
+    const SharedSkyArtifact one = prepare_sky_artifact(
+        config.location, grid, env, config.sky_model);
+    set_thread_count(8);
+    const SharedSkyArtifact eight = prepare_sky_artifact(
+        config.location, grid, env, config.sky_model);
+    set_thread_count(0);
+
+    ASSERT_EQ(one.steps(), eight.steps());
+    for (long s = 0; s < one.steps(); ++s) {
+        const std::size_t i = static_cast<std::size_t>(s);
+        ASSERT_EQ(one.sun_azimuth[i], eight.sun_azimuth[i]);
+        ASSERT_EQ(one.sun_elevation[i], eight.sun_elevation[i]);
+        ASSERT_EQ(one.sun_e[i], eight.sun_e[i]);
+        ASSERT_EQ(one.sun_n[i], eight.sun_n[i]);
+        ASSERT_EQ(one.sun_u[i], eight.sun_u[i]);
+        ASSERT_EQ(one.beam_eq[i], eight.beam_eq[i]);
+        ASSERT_EQ(one.dhi_iso[i], eight.dhi_iso[i]);
+        ASSERT_EQ(one.daylight[i], eight.daylight[i]);
+    }
+}
+
+TEST(SkyArtifact, Validation) {
+    const TimeGrid grid = coarse_grid(2);
+    const FieldConfig config;
+    const geo::Raster dsm = shaded_dsm();
+
+    // Env length mismatch.
+    auto short_env = constant_weather(grid);
+    short_env.pop_back();
+    EXPECT_THROW(prepare_sky_artifact(config.location, grid, short_env,
+                                      config.sky_model),
+                 InvalidArgument);
+
+    // Negative irradiance.
+    auto bad_env = constant_weather(grid);
+    bad_env[1].dhi = -1.0;
+    EXPECT_THROW(prepare_sky_artifact(config.location, grid, bad_env,
+                                      config.sky_model),
+                 InvalidArgument);
+
+    // Null artifact handle.
+    EXPECT_THROW(IrradianceField(make_horizon(dsm), nullptr, 0.3, kPi,
+                                 config),
+                 InvalidArgument);
+
+    const auto sky = make_shared_sky(config.location, grid,
+                                     constant_weather(grid),
+                                     config.sky_model);
+
+    // Mismatched location.
+    FieldConfig other_site = config;
+    other_site.location.latitude_deg += 1.0;
+    EXPECT_THROW(IrradianceField(make_horizon(dsm), sky, 0.3, kPi,
+                                 other_site),
+                 InvalidArgument);
+
+    // Mismatched sky model.
+    FieldConfig other_model = config;
+    other_model.sky_model = SkyModel::Isotropic;
+    EXPECT_THROW(IrradianceField(make_horizon(dsm), sky, 0.3, kPi,
+                                 other_model),
+                 InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pvfp::solar

@@ -31,6 +31,7 @@
 
 #include "pvfp/gis/city_runner.hpp"
 #include "pvfp/gis/fixture.hpp"
+#include "pvfp/util/cli.hpp"
 
 namespace {
 
@@ -81,6 +82,7 @@ int main(int argc, char** argv) {
     bool resume = false;
     bool shared_sky = true;
 
+    try {
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&]() -> std::string {
@@ -92,22 +94,28 @@ int main(int argc, char** argv) {
         else if (arg == "--out") out_path = next();
         else if (arg == "--summary") summary_path = next();
         else if (arg == "--topologies") topologies = next();
-        else if (arg == "--minutes") minutes = std::atoi(next().c_str());
-        else if (arg == "--stride") stride = std::atol(next().c_str());
-        else if (arg == "--sectors") sectors = std::atoi(next().c_str());
+        else if (arg == "--minutes")
+            minutes = cli::parse_int(arg, next(), 1, 24 * 60);
+        else if (arg == "--stride") stride = cli::parse_long(arg, next(), 1);
+        else if (arg == "--sectors") sectors = cli::parse_int(arg, next(), 1);
         else if (arg == "--seed") {
-            seed = std::strtoull(next().c_str(), nullptr, 10);
+            seed = cli::parse_u64(arg, next());
             seed_set = true;
         }
-        else if (arg == "--shard") shard = std::atoi(next().c_str());
-        else if (arg == "--tile-cache") tile_cache = std::atoi(next().c_str());
-        else if (arg == "--margin") margin = std::atof(next().c_str());
+        else if (arg == "--shard") shard = cli::parse_int(arg, next(), 1);
+        else if (arg == "--tile-cache")
+            tile_cache = cli::parse_int(arg, next(), 1);
+        else if (arg == "--margin")
+            margin = cli::parse_double(arg, next(), 0.0);
         else if (arg == "--resume") resume = true;
         else if (arg == "--no-shared-sky") shared_sky = false;
         else if (arg == "--gen-fixture") fixture_dir = next();
-        else if (arg == "--roofs") fixture_roofs = std::atoi(next().c_str());
+        else if (arg == "--roofs") fixture_roofs = cli::parse_int(arg, next(), 1);
         else if (arg == "--help" || arg == "-h") usage_error("help requested");
         else usage_error("unknown option " + arg);
+    }
+    } catch (const cli::UsageError& e) {
+        usage_error(e.what());
     }
 
     try {

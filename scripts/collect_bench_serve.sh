@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Bench-trajectory collector for the serving plane: runs
+# bench_serve_latency in JSON mode and appends one record per timed
+# section (tagged with the current commit) plus a derived cold-vs-warm
+# speedup record to BENCH_serve.json at the repo root, mirroring
+# collect_bench_city.sh (ROADMAP trajectory item).
+#
+# Usage: scripts/collect_bench_serve.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-build}"
+bench="$repo_root/$build_dir/bench/bench_serve_latency"
+out="$repo_root/BENCH_serve.json"
+
+if [[ ! -x "$bench" ]]; then
+    echo "error: $bench not built" >&2
+    exit 1
+fi
+
+commit="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+raw_path="$(mktemp)"
+trap 'rm -f "$raw_path"' EXIT
+
+"$bench" --json "$raw_path"
+
+RAW_PATH="$raw_path" COMMIT="$commit" OUT_PATH="$out" python3 - <<'PY'
+import json
+import os
+
+with open(os.environ["RAW_PATH"]) as f:
+    raw = json.load(f)
+commit = os.environ["COMMIT"]
+out_path = os.environ["OUT_PATH"]
+
+records = []
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        records = json.load(f)
+
+by_name = {}
+for b in raw:
+    rec = {
+        "commit": commit,
+        "name": b["name"],
+        "wall_ms": b["wall_ms"],
+        "requests": b["iterations"],
+        "threads": b["threads"],
+    }
+    by_name[b["name"]] = rec
+    records.append(rec)
+
+cold = by_name.get("serve/cold_plan_ms")
+warm = by_name.get("serve/warm_plan_ms")
+extra = 0
+if cold and warm and warm["wall_ms"] > 0:
+    speedup = cold["wall_ms"] / warm["wall_ms"]
+    records.append({
+        "commit": commit,
+        "name": "serve/cold_warm_speedup",
+        "speedup": speedup,
+        "threads": cold["threads"],
+    })
+    extra = 1
+    print(f"cold/warm plan speedup: {speedup:.1f}x "
+          f"({cold['wall_ms']:.1f} ms cold, {warm['wall_ms']:.2f} ms warm)")
+
+with open(out_path, "w") as f:
+    json.dump(records, f, indent=1)
+    f.write("\n")
+print(f"appended {len(by_name) + extra} records at {commit} -> {out_path}")
+PY

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "pvfp/gis/json.hpp"
+#include "pvfp/gis/jsonl.hpp"
 #include "pvfp/util/csv.hpp"
 #include "pvfp/util/error.hpp"
 #include "pvfp/util/parallel.hpp"
@@ -113,25 +114,28 @@ CityRunSummary run_city(const TileIndex& tiles, const RoofRegistry& registry,
     // ---- Resume: keep the longest valid prefix of the stream. -----------
     // Shards append whole, in registry order, so a valid stream is always
     // line k == record k; anything else (a torn final line from a kill
-    // mid-write, stale ids after an index edit) ends the prefix and is
-    // recomputed.
+    // mid-write — even one that still looks string-like because the cut
+    // landed inside an escaped JSON string — stale ids after an index
+    // edit, CRLF artifacts of a transferred stream) is normalized or
+    // recomputed by the shared prefix scanner, the same code path the
+    // serving daemon's request-log replay trusts.
     std::vector<RoofResult> kept;
     if (options.resume) {
-        std::ifstream is(options.jsonl_path);
-        std::string line;
-        long k = 0;
-        while (is.good() && k < total && std::getline(is, line)) {
-            RoofResult r;
-            try {
-                r = roof_result_from_jsonl(line);
-            } catch (const Error&) {
-                break;
-            }
-            if (r.id != registry.record(k).id) break;
-            r.from_resume = true;
-            kept.push_back(std::move(r));
-            ++k;
-        }
+        read_jsonl_prefix(
+            options.jsonl_path,
+            [&](long k, const std::string& line) {
+                RoofResult r;
+                try {
+                    r = roof_result_from_jsonl(line);
+                } catch (const std::exception&) {
+                    return false;
+                }
+                if (r.id != registry.record(k).id) return false;
+                r.from_resume = true;
+                kept.push_back(std::move(r));
+                return true;
+            },
+            total);
     }
     summary.resumed = static_cast<long>(kept.size());
 

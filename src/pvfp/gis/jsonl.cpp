@@ -1,0 +1,27 @@
+#include "pvfp/gis/jsonl.hpp"
+
+#include <fstream>
+
+namespace pvfp::gis {
+
+std::vector<std::string> read_jsonl_prefix(const std::string& path,
+                                           const JsonlLineValidator& valid,
+                                           long max_lines) {
+    std::vector<std::string> lines;
+    // Binary mode: line endings are handled here, identically on every
+    // platform, so the validator always sees the bare payload.
+    std::ifstream is(path, std::ios::binary);
+    if (!is.is_open()) return lines;
+
+    std::string line;
+    long k = 0;
+    while ((max_lines < 0 || k < max_lines) && std::getline(is, line)) {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (!valid(k, line)) break;
+        lines.push_back(line);
+        ++k;
+    }
+    return lines;
+}
+
+}  // namespace pvfp::gis

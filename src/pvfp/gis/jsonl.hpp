@@ -1,0 +1,46 @@
+#pragma once
+/// \file jsonl.hpp
+/// Longest-valid-prefix scanning of append-only JSONL streams.
+///
+/// Two subsystems recover state from a JSONL stream that may have been
+/// cut mid-write: the city runner's --resume (keep computed roofs,
+/// recompute the rest) and the serving daemon's --replay (re-execute a
+/// logged request session).  Both need the same contract, so it lives
+/// here once: read lines in order, hand each to a caller validator, and
+/// stop at the first line that is torn or out of place — the surviving
+/// prefix is exactly what an uninterrupted writer would have produced.
+///
+/// Edge cases this scanner owns (each pinned by tests):
+///  - a final record with no trailing newline is a complete line when it
+///    validates (the writer was killed between the bytes and the '\n');
+///  - CRLF-terminated lines (a stream that crossed a Windows machine or
+///    a text-mode transfer) validate like their LF twins — the '\r' is
+///    stripped before the validator sees the line;
+///  - a write interrupted anywhere inside a line — including inside an
+///    escaped JSON string, where the prefix can still look string-like —
+///    fails validation (JSON requires the object to close) and ends the
+///    scan, as does an empty trailing line from a double newline.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pvfp::gis {
+
+/// Validates line \p k (0-based) of a stream; return false to end the
+/// prefix.  Typically parses the line and checks it belongs at
+/// position k (record id, sequence number); it must not throw — wrap
+/// parse attempts in try/catch and report false.
+using JsonlLineValidator = std::function<bool(long k, const std::string&)>;
+
+/// Read the longest prefix of \p path whose lines all satisfy
+/// \p valid, in order.  Lines are returned with line endings (LF or
+/// CRLF) stripped.  A missing or unreadable file yields an empty
+/// prefix — recovery treats it as "nothing written yet".
+/// \p max_lines bounds the scan when >= 0 (a stream can hold stale
+/// records past the writer's planned length after an index edit).
+std::vector<std::string> read_jsonl_prefix(const std::string& path,
+                                           const JsonlLineValidator& valid,
+                                           long max_lines = -1);
+
+}  // namespace pvfp::gis

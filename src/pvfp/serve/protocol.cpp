@@ -1,0 +1,70 @@
+#include "pvfp/serve/protocol.hpp"
+
+#include "pvfp/gis/json.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::serve {
+
+Request parse_request(const std::string& line) {
+    const gis::JsonValue v = gis::JsonValue::parse(line);
+    check_io(v.is_object(), "request is not a JSON object");
+    Request request;
+    request.op = v.at("op").as_string();
+    if (request.op == "rank" || request.op == "plan")
+        request.id = v.at("id").as_string();
+    if (request.op == "plan") {
+        request.series = static_cast<int>(v.at("series").as_number());
+        request.strings = static_cast<int>(v.at("strings").as_number());
+        check_io(request.series >= 1 && request.strings >= 1,
+                 "plan: series and strings must be >= 1");
+        if (const gis::JsonValue* o = v.find("orientation")) {
+            const std::string& orientation = o->as_string();
+            check_io(orientation == "portrait" || orientation == "landscape",
+                     "plan: orientation must be portrait or landscape");
+            request.portrait = orientation == "portrait";
+        }
+    } else if (request.op != "rank" && request.op != "status" &&
+               request.op != "reload" && request.op != "quit") {
+        throw IoError("unknown op '" + request.op + "'");
+    }
+    return request;
+}
+
+std::string request_log_line(long seq, const std::string& raw_line) {
+    return "{\"seq\":" + std::to_string(seq) + ",\"request\":\"" +
+           gis::json_escape(raw_line) + "\"}";
+}
+
+std::string request_from_log_line(long expected_seq,
+                                  const std::string& line) {
+    const gis::JsonValue v = gis::JsonValue::parse(line);
+    const long seq = static_cast<long>(v.at("seq").as_number());
+    check_io(seq == expected_seq,
+             "request log: sequence gap (got " + std::to_string(seq) +
+                 ", expected " + std::to_string(expected_seq) + ")");
+    return v.at("request").as_string();
+}
+
+std::string ok_envelope(long seq, const std::string& op) {
+    return "{\"seq\":" + std::to_string(seq) + ",\"op\":\"" +
+           gis::json_escape(op) + "\"";
+}
+
+std::string error_response(long seq, const std::string& op,
+                           const std::string& id, const std::string& what) {
+    std::string out = ok_envelope(seq, op);
+    if (!id.empty()) out += ",\"id\":\"" + gis::json_escape(id) + "\"";
+    out += ",\"status\":\"error\",\"error\":\"" + gis::json_escape(what) +
+           "\"}";
+    return out;
+}
+
+std::string rank_response(long seq, const gis::RoofResult& result) {
+    // The batch codec already emits {"id":...}; splice the envelope in
+    // front so a rank payload stays byte-compatible with the run_city
+    // JSONL record for the same roof.
+    const std::string body = gis::roof_result_to_jsonl(result);
+    return ok_envelope(seq, "rank") + "," + body.substr(1);
+}
+
+}  // namespace pvfp::serve

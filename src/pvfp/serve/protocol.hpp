@@ -1,0 +1,68 @@
+#pragma once
+/// \file protocol.hpp
+/// The serving daemon's newline-delimited JSON request/response schema.
+///
+/// One request object per line in, one response object per line out,
+/// same order.  Ops:
+///
+///   {"op":"rank","id":"R"}
+///       Compare every configured topology on roof R — the payload is
+///       byte-identical to R's run_city JSONL record (same fixed key
+///       order and precision), wrapped with the sequence number.
+///   {"op":"plan","id":"R","series":M,"strings":N[,"orientation":"portrait"]}
+///       Re-place K = M*N panels (landscape by default) on roof R:
+///       proposed placement coordinates + energies.
+///   {"op":"status"}   daemon identity: registry/tile counts, config.
+///   {"op":"reload"}   re-read the footprint index from disk; edited
+///                     roofs rebuild on their next request.
+///   {"op":"quit"}     acknowledge and shut the session down.
+///
+/// Every response starts {"seq":N,"op":...} with N the 0-based arrival
+/// index, and `"status":"ok"` or `"status":"error","error":...`.
+/// Response bytes are a pure function of the request sequence (never of
+/// scheduling, cache hits, or wall clock), which is what lets --replay
+/// reproduce a logged session byte-for-byte at any thread count.
+///
+/// The request log wraps each raw request line as
+/// {"seq":N,"request":"<escaped line>"} so a torn tail write is
+/// detected by the same longest-valid-prefix scan the city runner's
+/// resume uses.
+
+#include <optional>
+#include <string>
+
+#include "pvfp/gis/city_runner.hpp"
+
+namespace pvfp::serve {
+
+/// A parsed request line.
+struct Request {
+    std::string op;  ///< rank | plan | status | reload | quit
+    std::string id;  ///< roof id (rank, plan)
+    int series = 0;      ///< plan
+    int strings = 0;     ///< plan
+    bool portrait = false;  ///< plan: panel orientation
+};
+
+/// Parse one request line; throws IoError naming the defect (malformed
+/// JSON, missing field, unknown op) — the server turns that into an
+/// error response carrying the same message.
+Request parse_request(const std::string& line);
+
+/// Serialize the request-log record for \p raw_line at \p seq.
+std::string request_log_line(long seq, const std::string& raw_line);
+
+/// Parse one request-log record back; throws IoError on malformed
+/// input (a torn tail), used as the replay prefix validator.
+std::string request_from_log_line(long expected_seq,
+                                  const std::string& line);
+
+/// Response builders (no trailing newline; fixed key order/precision).
+std::string ok_envelope(long seq, const std::string& op);
+std::string error_response(long seq, const std::string& op,
+                           const std::string& id, const std::string& what);
+/// Wrap a roof's batch-format payload (roof_result_to_jsonl) with the
+/// response envelope.
+std::string rank_response(long seq, const gis::RoofResult& result);
+
+}  // namespace pvfp::serve

@@ -1,0 +1,372 @@
+#include "pvfp/serve/resident_state.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <condition_variable>
+
+#include "pvfp/util/error.hpp"
+#include "pvfp/weather/synthetic.hpp"
+
+namespace pvfp::serve {
+
+namespace {
+
+void hash_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;  // FNV-1a 64 prime
+    }
+}
+
+void hash_double(std::uint64_t& h, double v) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    hash_bytes(h, &bits, sizeof bits);
+}
+
+}  // namespace
+
+std::uint64_t roof_record_hash(const gis::RoofRecord& record,
+                               const gis::ScenarioBuildOptions& build) {
+    std::uint64_t h = 14695981039346656037ull;  // FNV-1a 64 offset basis
+    hash_bytes(h, record.id.data(), record.id.size());
+    hash_double(h, record.bbox.x0);
+    hash_double(h, record.bbox.y0);
+    hash_double(h, record.bbox.x1);
+    hash_double(h, record.bbox.y1);
+    for (const auto& [x, y] : record.polygon) {
+        hash_double(h, x);
+        hash_double(h, y);
+    }
+    const unsigned char has_loc = record.has_location ? 1 : 0;
+    hash_bytes(h, &has_loc, 1);
+    if (record.has_location) {
+        hash_double(h, record.latitude_deg);
+        hash_double(h, record.longitude_deg);
+    }
+    hash_double(h, build.context_margin_m);
+    hash_double(h, build.trim_sigma);
+    return h;
+}
+
+std::size_t prepared_scenario_bytes(const core::PreparedScenario& prepared) {
+    std::size_t bytes = 0;
+    // The mosaic window (aliased by the scenario, owned here: the cache
+    // entry is what keeps it alive).
+    if (prepared.dsm)
+        bytes += prepared.dsm->grid().size() * sizeof(double);
+    // Placement validity mask.
+    bytes += prepared.area.valid.size() * sizeof(unsigned char);
+    // Horizon planes: sector-major angles + SVF, float each.
+    const geo::HorizonMap& horizon = prepared.field.horizon();
+    bytes += static_cast<std::size_t>(horizon.cell_count()) *
+             (static_cast<std::size_t>(horizon.sectors()) + 1) *
+             sizeof(float);
+    // Per-cell surface normals (3 float planes over the window).
+    bytes += static_cast<std::size_t>(horizon.cell_count()) * 3 *
+             sizeof(float);
+    // Irradiance SoA step planes: 9 float planes, the daylight bytes,
+    // and the horizon-lerp precompute (2 x int32 + 1 x double).
+    bytes += static_cast<std::size_t>(prepared.field.steps()) *
+             (9 * sizeof(float) + sizeof(std::uint8_t) +
+              2 * sizeof(std::int32_t) + sizeof(double));
+    // Suitability, G percentile, T percentile grids.
+    bytes += (prepared.suitability.suitability.size() +
+              prepared.suitability.g_percentile.size() +
+              prepared.suitability.t_percentile.size()) *
+             sizeof(double);
+    return bytes;
+}
+
+std::size_t sky_artifact_bytes(const solar::SharedSkyArtifact& artifact) {
+    const auto steps = static_cast<std::size_t>(artifact.steps());
+    // env (4 doubles) + 7 double series + the daylight byte per step.
+    return steps * (sizeof(solar::EnvSample) + 7 * sizeof(double) +
+                    sizeof(std::uint8_t));
+}
+
+/// One in-flight preparation (roof build or sky precompute): joiners
+/// wait on this latch, never on a state-wide mutex.
+struct ResidentState::Build {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    bool done = false;
+    std::shared_ptr<const PreparedRoof> roof;
+    std::shared_ptr<const solar::SharedSkyArtifact> sky;
+    std::exception_ptr error;
+
+    void finish(std::shared_ptr<const PreparedRoof> r,
+                std::shared_ptr<const solar::SharedSkyArtifact> s,
+                std::exception_ptr e) {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            done = true;
+            roof = std::move(r);
+            sky = std::move(s);
+            error = e;
+        }
+        done_cv.notify_all();
+    }
+
+    void wait() {
+        std::unique_lock<std::mutex> lock(mutex);
+        done_cv.wait(lock, [&] { return done; });
+        if (error) std::rethrow_exception(error);
+    }
+};
+
+ResidentState::ResidentState(gis::TileIndex tiles, gis::RoofRegistry registry,
+                             ServeConfig config)
+    : tiles_(std::move(tiles)),
+      serve_config_(std::move(config)),
+      base_config_(serve_config_.config),
+      tile_cache_(serve_config_.tile_cache_tiles) {
+    check_arg(!serve_config_.topologies.empty(),
+              "ResidentState: no topologies configured");
+    base_config_.cell_size = tiles_.cell_size();
+    base_config_.shared_sky = nullptr;
+    update_registry(std::move(registry));
+}
+
+void ResidentState::update_registry(gis::RoofRegistry registry) {
+    auto next = std::make_shared<const gis::RoofRegistry>(std::move(registry));
+    auto by_id = std::make_shared<std::unordered_map<std::string, long>>();
+    by_id->reserve(static_cast<std::size_t>(next->size()));
+    for (long i = 0; i < next->size(); ++i)
+        (*by_id)[next->record(i).id] = i;
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    registry_ = std::move(next);
+    by_id_ = std::move(by_id);
+}
+
+std::shared_ptr<const gis::RoofRegistry> ResidentState::registry() const {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    return registry_;
+}
+
+void ResidentState::invalidate(const std::string& roof_id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    drop_entry_locked(roof_id, /*stale=*/true);
+}
+
+void ResidentState::drop_entry_locked(const std::string& roof_id,
+                                      bool stale) {
+    const auto it = entries_.find(roof_id);
+    if (it == entries_.end()) return;
+    entry_bytes_ -= it->second.roof->resident_bytes;
+    lru_.erase(it->second.lru_it);
+    entries_.erase(it);
+    if (stale)
+        ++invalidations_;
+    else
+        ++evictions_;
+}
+
+void ResidentState::evict_over_budget_locked() {
+    // Sky artifacts referenced by resident entries are part of the
+    // resident footprint; an artifact's bytes drop off once the last
+    // roof using it is evicted (pruned below).
+    const auto artifact_bytes = [&] {
+        std::size_t b = 0;
+        std::lock_guard<std::mutex> sky_lock(sky_mutex_);
+        for (auto it = sky_cache_.begin(); it != sky_cache_.end();) {
+            // use_count == 1: only the cache holds it — no resident
+            // roof, no in-flight build.  Safe to drop.
+            if (it->second.use_count() == 1) {
+                it = sky_cache_.erase(it);
+            } else {
+                b += sky_artifact_bytes(*it->second);
+                ++it;
+            }
+        }
+        return b;
+    };
+    while (lru_.size() > 1 &&
+           entry_bytes_ + artifact_bytes() >
+               serve_config_.memory_budget_bytes) {
+        drop_entry_locked(lru_.back(), /*stale=*/false);
+    }
+    artifact_bytes();  // prune artifacts the final eviction released
+}
+
+std::shared_ptr<const solar::SharedSkyArtifact> ResidentState::sky_for(
+    const solar::Location& location) {
+    const std::pair<double, double> key{location.latitude_deg,
+                                        location.longitude_deg};
+    const std::string flight_key = std::to_string(key.first) + "," +
+                                   std::to_string(key.second);
+    std::shared_ptr<Build> build;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(sky_mutex_);
+        const auto it = sky_cache_.find(key);
+        if (it != sky_cache_.end()) return it->second;
+        const auto fl = sky_in_flight_.find(flight_key);
+        if (fl != sky_in_flight_.end()) {
+            build = fl->second;
+        } else {
+            build = std::make_shared<Build>();
+            sky_in_flight_.emplace(flight_key, build);
+            owner = true;
+        }
+    }
+    if (!owner) {
+        build->wait();
+        return build->sky;
+    }
+
+    std::shared_ptr<const solar::SharedSkyArtifact> sky;
+    std::exception_ptr error;
+    try {
+        sky = solar::make_shared_sky(
+            location, base_config_.grid,
+            weather::generate_synthetic_weather(location, base_config_.grid,
+                                                base_config_.weather),
+            base_config_.field.sky_model);
+    } catch (...) {
+        error = std::current_exception();
+    }
+    {
+        std::lock_guard<std::mutex> lock(sky_mutex_);
+        sky_in_flight_.erase(flight_key);
+        if (!error) sky_cache_.emplace(key, sky);
+    }
+    build->finish(nullptr, sky, error);
+    if (error) std::rethrow_exception(error);
+    return sky;
+}
+
+std::shared_ptr<PreparedRoof> ResidentState::build_roof(
+    const gis::RoofRecord& record, std::uint64_t hash) {
+    gis::RoofPlaneFit fit;
+    const core::RoofScenario scenario = gis::make_scenario(
+        record, tiles_, serve_config_.build, &tile_cache_, &fit);
+
+    core::ScenarioConfig config = base_config_;
+    if (record.has_location) {
+        config.location.latitude_deg = record.latitude_deg;
+        config.location.longitude_deg = record.longitude_deg;
+    }
+    // Same clamp as run_city: the mosaic answers horizon rays only out
+    // to the context margin, so never march further.
+    config.horizon.max_distance =
+        std::min(config.horizon.max_distance,
+                 serve_config_.build.context_margin_m +
+                     std::hypot(record.bbox.width(), record.bbox.height()));
+    config.shared_sky = sky_for(config.location);
+
+    auto roof = std::make_shared<PreparedRoof>(PreparedRoof{
+        record.id, hash, fit, config,
+        core::prepare_scenario(scenario, config), 0});
+    roof->resident_bytes = prepared_scenario_bytes(roof->prepared);
+    return roof;
+}
+
+std::shared_ptr<const PreparedRoof> ResidentState::prepare(
+    const std::string& roof_id) {
+    for (;;) {
+        // Snapshot the registry: a concurrent update_registry swaps the
+        // pointer, never mutates the snapshot.
+        std::shared_ptr<const gis::RoofRegistry> registry;
+        std::shared_ptr<const std::unordered_map<std::string, long>> by_id;
+        {
+            std::lock_guard<std::mutex> lock(registry_mutex_);
+            registry = registry_;
+            by_id = by_id_;
+        }
+        const auto rec_it = by_id->find(roof_id);
+        check_arg(rec_it != by_id->end(),
+                  "serve: unknown roof '" + roof_id + "'");
+        const gis::RoofRecord& record = registry->record(rec_it->second);
+        const std::uint64_t hash =
+            roof_record_hash(record, serve_config_.build);
+
+        std::shared_ptr<Build> build;
+        bool owner = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            const auto it = entries_.find(roof_id);
+            if (it != entries_.end()) {
+                if (it->second.roof->content_hash == hash) {
+                    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+                    ++hits_;
+                    return it->second.roof;
+                }
+                // Index edit: the resident entry no longer matches the
+                // record.  Drop it and rebuild below.
+                drop_entry_locked(roof_id, /*stale=*/true);
+            }
+            const auto fl = in_flight_.find(roof_id);
+            if (fl != in_flight_.end()) {
+                build = fl->second;
+                ++hits_;
+            } else {
+                build = std::make_shared<Build>();
+                in_flight_.emplace(roof_id, build);
+                owner = true;
+                ++misses_;
+            }
+        }
+
+        if (!owner) {
+            build->wait();
+            // The joined build may predate a registry edit; only accept
+            // it when it matches what this request resolved.
+            if (build->roof && build->roof->content_hash == hash)
+                return build->roof;
+            continue;
+        }
+
+        // Owner builds with no state lock held: different roofs prepare
+        // fully in parallel (tile loads dedup in the TileCache, the sky
+        // precompute dedups per site above).
+        std::shared_ptr<PreparedRoof> roof;
+        std::exception_ptr error;
+        try {
+            roof = build_roof(record, hash);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            in_flight_.erase(roof_id);
+            if (!error) {
+                // A stale twin cannot exist here: any entry was dropped
+                // before this build started, and only the in-flight
+                // owner inserts.
+                lru_.push_front(roof_id);
+                entries_[roof_id] = EntryRef{roof, lru_.begin()};
+                entry_bytes_ += roof->resident_bytes;
+                evict_over_budget_locked();
+            }
+        }
+        build->finish(roof, nullptr, error);
+        if (error) std::rethrow_exception(error);
+        return roof;
+    }
+}
+
+ResidentStats ResidentState::stats() const {
+    ResidentStats s;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        s.entries = entries_.size();
+        s.resident_bytes = entry_bytes_;
+        s.hits = hits_;
+        s.misses = misses_;
+        s.evictions = evictions_;
+        s.invalidations = invalidations_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(sky_mutex_);
+        s.sky_artifacts = sky_cache_.size();
+        for (const auto& [key, sky] : sky_cache_)
+            s.resident_bytes += sky_artifact_bytes(*sky);
+    }
+    s.tile_cache_hits = tile_cache_.hits();
+    s.tile_cache_misses = tile_cache_.misses();
+    return s;
+}
+
+}  // namespace pvfp::serve

@@ -1,0 +1,341 @@
+#include "pvfp/serve/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "pvfp/core/evaluator.hpp"
+#include "pvfp/core/greedy_placer.hpp"
+#include "pvfp/gis/json.hpp"
+#include "pvfp/gis/jsonl.hpp"
+#include "pvfp/serve/protocol.hpp"
+#include "pvfp/util/atomic_queue.hpp"
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/parallel.hpp"
+
+#ifdef __unix__
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <ext/stdio_filebuf.h>
+#endif
+
+namespace pvfp::serve {
+
+namespace {
+
+std::string num(double v, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    return buf;
+}
+
+}  // namespace
+
+/// One unit of work crossing the ring: the reader parses exactly once;
+/// a parse failure travels as an error item so the response still
+/// occupies the request's sequence slot.
+struct Server::Item {
+    long seq = 0;
+    bool stop = false;      ///< sentinel: dispatcher shuts down
+    bool parse_ok = false;
+    std::string error;      ///< parse failure message
+    Request request;
+};
+
+Server::Server(gis::TileIndex tiles, gis::RoofRegistry registry,
+               ServerOptions options)
+    : options_(std::move(options)),
+      state_(std::make_unique<ResidentState>(
+          std::move(tiles), std::move(registry), options_.state)) {
+    if (!options_.request_log_path.empty()) {
+        log_ = std::make_unique<std::ofstream>(options_.request_log_path,
+                                               std::ios::binary |
+                                                   std::ios::trunc);
+        check_io(log_->good(), "serve: cannot open request log '" +
+                                   options_.request_log_path + "'");
+    }
+}
+
+Server::~Server() = default;
+
+Server::Item Server::make_item(long seq, const std::string& raw_line) const {
+    Item item;
+    item.seq = seq;
+    try {
+        item.request = parse_request(raw_line);
+        item.parse_ok = true;
+    } catch (const std::exception& e) {
+        item.error = e.what();
+    }
+    return item;
+}
+
+std::string Server::respond(const Item& item) {
+    if (!item.parse_ok)
+        return error_response(item.seq, "error", "", item.error);
+    const Request& request = item.request;
+    const ServeConfig& config = state_->config();
+    try {
+        if (request.op == "rank") {
+            gis::RoofResult result;
+            result.id = request.id;
+            try {
+                const std::shared_ptr<const PreparedRoof> roof =
+                    state_->prepare(request.id);
+                result.valid_cells = roof->prepared.area.valid_count;
+                result.area_w = roof->prepared.area.width;
+                result.area_h = roof->prepared.area.height;
+                result.tilt_deg = roof->fit.tilt_deg;
+                result.azimuth_deg = roof->fit.azimuth_deg;
+                result.fit_rmse_m = roof->fit.rmse_m;
+                for (const pv::Topology& topology : config.topologies) {
+                    const core::PlacementComparison cmp =
+                        core::compare_placements(roof->prepared, topology,
+                                                 config.greedy, config.eval);
+                    gis::RoofTopologyResult t;
+                    t.topology = topology;
+                    t.proposed_kwh = cmp.proposed_eval.energy_kwh;
+                    t.compact_kwh = cmp.traditional_eval.energy_kwh;
+                    t.improvement_pct = cmp.improvement() * 100.0;
+                    result.best_kwh = std::max(result.best_kwh,
+                                               t.proposed_kwh);
+                    result.topologies.push_back(t);
+                }
+                result.ok = true;
+            } catch (const std::exception& e) {
+                // Same shape run_city records for a failed roof, so the
+                // payload stays byte-compatible either way.
+                gis::RoofResult failed;
+                failed.id = request.id;
+                failed.error = e.what();
+                result = std::move(failed);
+            }
+            return rank_response(item.seq, result);
+        }
+        if (request.op == "plan") {
+            const std::shared_ptr<const PreparedRoof> roof =
+                state_->prepare(request.id);
+            const core::PanelGeometry geometry =
+                request.portrait
+                    ? core::PanelGeometry::from_module(
+                          roof->config.module, roof->config.cell_size, true)
+                    : roof->prepared.geometry;
+            const pv::Topology topology{request.series, request.strings};
+            const core::Floorplan plan = core::place_greedy(
+                roof->prepared.area, roof->prepared.suitability.suitability,
+                geometry, topology, config.greedy);
+            const core::EvaluationResult eval = core::evaluate_floorplan(
+                plan, roof->prepared.area, roof->prepared.field,
+                roof->prepared.model, config.eval);
+            std::string out = ok_envelope(item.seq, "plan");
+            out += ",\"id\":\"" + gis::json_escape(request.id) + "\"";
+            out += ",\"status\":\"ok\"";
+            out += ",\"series\":" + std::to_string(topology.series);
+            out += ",\"strings\":" + std::to_string(topology.strings);
+            out += std::string(",\"orientation\":\"") +
+                   (request.portrait ? "portrait" : "landscape") + "\"";
+            out += ",\"modules\":[";
+            for (std::size_t m = 0; m < plan.modules.size(); ++m) {
+                if (m) out += ',';
+                out += '[' + std::to_string(plan.modules[m].x) + ',' +
+                       std::to_string(plan.modules[m].y) + ']';
+            }
+            out += "],\"energy_kwh\":" + num(eval.energy_kwh, 6);
+            out += ",\"mismatch_loss_kwh\":" + num(eval.mismatch_loss_kwh, 6);
+            out += ",\"wiring_loss_kwh\":" + num(eval.wiring_loss_kwh, 6);
+            out += '}';
+            return out;
+        }
+        if (request.op == "status") {
+            // Deterministic identity only — never cache statistics or
+            // timings, which would differ between live and replay.
+            const std::shared_ptr<const gis::RoofRegistry> registry =
+                state_->registry();
+            std::string out = ok_envelope(item.seq, "status");
+            out += ",\"status\":\"ok\",\"protocol\":1";
+            out += ",\"roofs\":" + std::to_string(registry->size());
+            out += ",\"tiles\":" +
+                   std::to_string(state_->tiles().tiles().size());
+            out += ",\"cell_size\":" + num(state_->tiles().cell_size(), 4);
+            out += ",\"topologies\":[";
+            for (std::size_t t = 0; t < config.topologies.size(); ++t) {
+                if (t) out += ',';
+                out += '[' + std::to_string(config.topologies[t].series) +
+                       ',' + std::to_string(config.topologies[t].strings) +
+                       ']';
+            }
+            out += "],\"memory_budget_mb\":" +
+                   std::to_string(config.memory_budget_bytes >> 20);
+            out += '}';
+            return out;
+        }
+        if (request.op == "reload") {
+            check_arg(!options_.index_path.empty(),
+                      "reload: server started without --index");
+            gis::RoofRegistry registry =
+                gis::RoofRegistry::load(options_.index_path);
+            const long roofs = registry.size();
+            state_->update_registry(std::move(registry));
+            return ok_envelope(item.seq, "reload") +
+                   ",\"status\":\"ok\",\"roofs\":" + std::to_string(roofs) +
+                   "}";
+        }
+        // quit
+        return ok_envelope(item.seq, "quit") + ",\"status\":\"ok\"}";
+    } catch (const std::exception& e) {
+        return error_response(item.seq, request.op, request.id, e.what());
+    }
+}
+
+bool Server::serve(std::istream& in, std::ostream& out) {
+    AtomicQueue<Item> queue(options_.queue_capacity);
+    const long max_batch = options_.max_batch > 0
+                               ? options_.max_batch
+                               : 2 * static_cast<long>(thread_count());
+
+    std::thread dispatcher([&] {
+        std::vector<Item> batch;
+        std::vector<std::string> responses;
+        const auto flush = [&] {
+            const long n = static_cast<long>(batch.size());
+            if (n == 0) return;
+            responses.assign(static_cast<std::size_t>(n), {});
+            // run_city's policy: one request per task when the batch is
+            // at least pool-wide, else inline so inner loops fan out.
+            if (n > 1 && n >= thread_count()) {
+                parallel_for(0, n, 1, [&](long begin, long end) {
+                    SerialScope serial;
+                    for (long k = begin; k < end; ++k)
+                        responses[static_cast<std::size_t>(k)] =
+                            respond(batch[static_cast<std::size_t>(k)]);
+                });
+            } else {
+                for (long k = 0; k < n; ++k)
+                    responses[static_cast<std::size_t>(k)] =
+                        respond(batch[static_cast<std::size_t>(k)]);
+            }
+            for (const std::string& response : responses)
+                out << response << '\n';
+            out.flush();
+            batch.clear();
+        };
+        bool stop = false;
+        while (!stop) {
+            Item item = queue.pop();
+            for (;;) {
+                if (item.stop) {
+                    stop = true;
+                    break;
+                }
+                // Ops that mutate shared state execute as serial
+                // barriers between batches, so every request sees a
+                // registry state determined by arrival order alone.
+                const bool barrier =
+                    item.parse_ok && (item.request.op == "reload" ||
+                                      item.request.op == "quit");
+                if (barrier) {
+                    flush();
+                    out << respond(item) << '\n';
+                    out.flush();
+                } else {
+                    batch.push_back(std::move(item));
+                    if (static_cast<long>(batch.size()) >= max_batch)
+                        flush();
+                }
+                if (!queue.try_pop(item)) break;
+            }
+            flush();
+        }
+    });
+
+    bool saw_quit = false;
+    std::string raw;
+    while (!saw_quit && std::getline(in, raw)) {
+        if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+        if (raw.empty()) continue;  // blank keep-alives: no seq, no log
+        const long seq = seq_++;
+        if (log_) {
+            *log_ << request_log_line(seq, raw) << '\n';
+            log_->flush();
+        }
+        Item item = make_item(seq, raw);
+        saw_quit = item.parse_ok && item.request.op == "quit";
+        queue.push(std::move(item));
+    }
+    Item sentinel;
+    sentinel.stop = true;
+    queue.push(std::move(sentinel));
+    dispatcher.join();
+    return saw_quit;
+}
+
+long Server::replay(const std::string& log_path, std::ostream& out) {
+    std::vector<std::string> raws;
+    gis::read_jsonl_prefix(log_path, [&](long k, const std::string& line) {
+        try {
+            raws.push_back(request_from_log_line(k, line));
+            return true;
+        } catch (const std::exception&) {
+            return false;  // torn tail: stop at the longest valid prefix
+        }
+    });
+    long seq = 0;
+    for (const std::string& raw : raws) {
+        out << respond(make_item(seq, raw)) << '\n';
+        ++seq;
+    }
+    out.flush();
+    seq_ = std::max(seq_, seq);
+    return seq;
+}
+
+#ifdef __unix__
+
+void Server::serve_socket(const std::string& socket_path) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    check_io(fd >= 0, "serve: cannot create AF_UNIX socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    check_arg(socket_path.size() < sizeof(addr.sun_path),
+              "serve: socket path too long: '" + socket_path + "'");
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                  socket_path.c_str());
+    ::unlink(socket_path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 4) != 0) {
+        ::close(fd);
+        throw IoError("serve: cannot listen on '" + socket_path + "'");
+    }
+    bool quit = false;
+    while (!quit) {
+        const int client = ::accept(fd, nullptr, nullptr);
+        if (client < 0) break;
+        // stdio_filebuf owns its fd; dup so in and out close separately.
+        __gnu_cxx::stdio_filebuf<char> in_buf(client, std::ios::in);
+        __gnu_cxx::stdio_filebuf<char> out_buf(::dup(client),
+                                               std::ios::out);
+        std::istream client_in(&in_buf);
+        std::ostream client_out(&out_buf);
+        quit = serve(client_in, client_out);
+    }
+    ::close(fd);
+    ::unlink(socket_path.c_str());
+}
+
+#else
+
+void Server::serve_socket(const std::string&) {
+    throw IoError("serve: socket mode requires a POSIX platform");
+}
+
+#endif
+
+}  // namespace pvfp::serve

@@ -1,0 +1,95 @@
+#pragma once
+/// \file server.hpp
+/// pvfp::serve::Server — the always-on ranking daemon.
+///
+/// One accept/parse thread reads newline-delimited JSON requests (from
+/// a pipe or a local socket), appends each to a replayable request log,
+/// and pushes it into a bounded lock-free MPSC ring
+/// (util/atomic_queue.hpp) — no mutex anywhere on the request path.  A
+/// dispatcher thread drains the ring in arrival order and executes
+/// batches of independent requests on the existing PR-2 worker pool
+/// (one request per task when the batch is pool-wide, inner-loop
+/// fan-out otherwise — the run_city policy), writing responses strictly
+/// in arrival order.  Because every response byte is a pure function of
+/// the request sequence — per-roof results are bitwise thread-count
+/// independent, and ops that mutate shared state (reload, quit) run as
+/// serial barriers — a live session at 8 threads, a live session at 1
+/// thread, and a --replay of the logged session all produce identical
+/// bytes.  That extends the repo's determinism contract from batch
+/// outputs to the serving plane and gives load tests an exact oracle.
+///
+/// Hot state (tiles, per-site sky artifacts, prepared roofs) lives in
+/// ResidentState and persists across sessions/connections: the first
+/// request on a roof pays mosaic + fit + horizon + sky once, every
+/// later rank/plan on it costs milliseconds.
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "pvfp/serve/resident_state.hpp"
+
+namespace pvfp::serve {
+
+struct ServerOptions {
+    ServeConfig state{};
+    /// Append every request here (JSONL, torn-tail safe); "" disables
+    /// logging (and with it replayability).
+    std::string request_log_path;
+    /// Footprint index path backing the `reload` op; "" rejects reload.
+    std::string index_path;
+    /// Request ring capacity (rounded up to a power of two).
+    std::size_t queue_capacity = 1024;
+    /// Max requests executed as one batch; 0 = 2 x thread_count().
+    int max_batch = 0;
+};
+
+class Server {
+public:
+    Server(gis::TileIndex tiles, gis::RoofRegistry registry,
+           ServerOptions options);
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Serve one session: read requests from \p in until EOF or a quit
+    /// op, write responses to \p out in arrival order.  Returns true
+    /// when quit ended the session (a socket accept loop stops then).
+    /// Resident state, the request log, and sequence numbers persist
+    /// across sessions.
+    bool serve(std::istream& in, std::ostream& out);
+
+    /// Serve connections on a local (AF_UNIX) stream socket at \p path,
+    /// one client at a time, until a quit request.  The socket file is
+    /// created fresh (an existing one is replaced).
+    void serve_socket(const std::string& socket_path);
+
+    /// Re-execute the longest valid prefix of a request log serially,
+    /// writing responses to \p out — byte-identical to the live
+    /// session(s) that produced the log, at any thread count.  Returns
+    /// the number of requests replayed.
+    long replay(const std::string& log_path, std::ostream& out);
+
+    /// Requests accepted so far (== next sequence number).
+    long requests_accepted() const { return seq_; }
+
+    ResidentState& state() { return *state_; }
+    const ResidentState& state() const { return *state_; }
+
+private:
+    struct Item;
+
+    /// Compute the response line for one parsed item (no newline).
+    /// Deterministic per (seq, request, registry state); never throws.
+    std::string respond(const Item& item);
+    Item make_item(long seq, const std::string& raw_line) const;
+
+    ServerOptions options_;
+    std::unique_ptr<ResidentState> state_;
+    std::unique_ptr<std::ofstream> log_;
+    long seq_ = 0;
+};
+
+}  // namespace pvfp::serve

@@ -1,0 +1,154 @@
+#pragma once
+/// \file atomic_queue.hpp
+/// Bounded lock-free multi-producer queue — the serving plane's request
+/// path (ROADMAP "always-on ranking service").
+///
+/// The daemon's accept/parse threads must never stall behind a worker
+/// holding a mutex mid-computation, so the hand-off between them is a
+/// fixed-capacity ring buffer in the audio-thread idiom: every slot
+/// carries a sequence ticket, producers claim slots by CAS on the
+/// enqueue cursor, consumers by CAS on the dequeue cursor, and the
+/// ticket handshake orders the value transfer without any lock (the
+/// classic Vyukov bounded queue).  try_push/try_pop are lock-free and
+/// wait-free of each other; the blocking push/pop convenience wrappers
+/// layer C++20 atomic waits on top for the daemon's idle periods — a
+/// sleeping consumer costs nothing, a producer wakes it with one
+/// notify, and the fast path stays CAS-only.
+///
+/// Capacity is rounded up to a power of two.  Values are moved in and
+/// out; the queue never allocates after construction.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp {
+
+template <typename T>
+class AtomicQueue {
+public:
+    /// \p capacity: minimum number of buffered items (>= 1); the ring is
+    /// sized to the next power of two.
+    explicit AtomicQueue(std::size_t capacity) {
+        check_arg(capacity >= 1, "AtomicQueue: capacity must be >= 1");
+        // Minimum ring size 2: in a 1-cell ring the published ticket
+        // (pos + 1) equals the next enqueue position, so a full ring
+        // would look free and the unconsumed value be overwritten.
+        std::size_t n = 2;
+        while (n < capacity) n <<= 1;
+        cells_ = std::vector<Cell>(n);
+        mask_ = n - 1;
+        for (std::size_t i = 0; i < n; ++i)
+            cells_[i].ticket.store(i, std::memory_order_relaxed);
+    }
+
+    AtomicQueue(const AtomicQueue&) = delete;
+    AtomicQueue& operator=(const AtomicQueue&) = delete;
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /// Enqueue without blocking; false when the ring is full.  Takes an
+    /// rvalue reference (not by value) so a failed push leaves the
+    /// caller's value untouched for the retry in the blocking wrapper.
+    bool try_push(T&& value) {
+        Cell* cell;
+        std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            const std::size_t ticket =
+                cell->ticket.load(std::memory_order_acquire);
+            const std::intptr_t dif = static_cast<std::intptr_t>(ticket) -
+                                      static_cast<std::intptr_t>(pos);
+            if (dif == 0) {
+                if (enqueue_pos_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                    break;
+            } else if (dif < 0) {
+                return false;  // full: the slot is still owned by a reader
+            } else {
+                pos = enqueue_pos_.load(std::memory_order_relaxed);
+            }
+        }
+        cell->value = std::move(value);
+        cell->ticket.store(pos + 1, std::memory_order_release);
+        pushed_.fetch_add(1, std::memory_order_release);
+        pushed_.notify_one();
+        return true;
+    }
+
+    bool try_push(const T& value) {
+        T copy(value);
+        return try_push(std::move(copy));
+    }
+
+    /// Dequeue without blocking; false when the ring is empty.
+    bool try_pop(T& out) {
+        Cell* cell;
+        std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            const std::size_t ticket =
+                cell->ticket.load(std::memory_order_acquire);
+            const std::intptr_t dif = static_cast<std::intptr_t>(ticket) -
+                                      static_cast<std::intptr_t>(pos + 1);
+            if (dif == 0) {
+                if (dequeue_pos_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                    break;
+            } else if (dif < 0) {
+                return false;  // empty: no writer has published this slot
+            } else {
+                pos = dequeue_pos_.load(std::memory_order_relaxed);
+            }
+        }
+        out = std::move(cell->value);
+        cell->ticket.store(pos + mask_ + 1, std::memory_order_release);
+        popped_.fetch_add(1, std::memory_order_release);
+        popped_.notify_one();
+        return true;
+    }
+
+    /// Enqueue, sleeping (atomic wait, no mutex) while the ring is full.
+    void push(T value) {
+        for (;;) {
+            const std::uint64_t seen =
+                popped_.load(std::memory_order_acquire);
+            if (try_push(std::move(value))) return;
+            // Full: sleep until a consumer frees a slot.  try_push moved
+            // nothing on failure, so the value is still ours to retry.
+            popped_.wait(seen, std::memory_order_acquire);
+        }
+    }
+
+    /// Dequeue, sleeping (atomic wait, no mutex) while the ring is empty.
+    T pop() {
+        T out;
+        for (;;) {
+            const std::uint64_t seen =
+                pushed_.load(std::memory_order_acquire);
+            if (try_pop(out)) return out;
+            pushed_.wait(seen, std::memory_order_acquire);
+        }
+    }
+
+private:
+    struct Cell {
+        std::atomic<std::size_t> ticket{0};
+        T value{};
+    };
+
+    std::vector<Cell> cells_;
+    std::size_t mask_ = 0;
+    alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+    alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+    /// Monotonic op counters backing the blocking waits only; the
+    /// lock-free fast path never waits on them.
+    alignas(64) std::atomic<std::uint64_t> pushed_{0};
+    alignas(64) std::atomic<std::uint64_t> popped_{0};
+};
+
+}  // namespace pvfp

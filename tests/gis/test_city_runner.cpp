@@ -13,6 +13,8 @@
 #include "pvfp/core/pipeline.hpp"
 #include "pvfp/gis/city_runner.hpp"
 #include "pvfp/gis/fixture.hpp"
+#include "pvfp/gis/json.hpp"
+#include "pvfp/gis/jsonl.hpp"
 #include "pvfp/util/csv.hpp"
 #include "pvfp/util/error.hpp"
 #include "pvfp/util/math.hpp"
@@ -309,6 +311,140 @@ TEST(CityRunner, Validation) {
     options.shard_size = 0;
     EXPECT_THROW(run_city(city.tiles, city.registry, options),
                  InvalidArgument);
+}
+
+// ---- The shared longest-valid-prefix scanner (PR-6 bugfix) ------------
+
+/// Validator accepting any JSON object line (the shape both resume and
+/// replay build on, minus their id/seq checks).
+bool valid_object(long, const std::string& line) {
+    try {
+        return JsonValue::parse(line).is_object();
+    } catch (const std::exception&) {
+        return false;
+    }
+}
+
+TEST(JsonlPrefix, KeepsAFinalRecordWithoutTrailingNewline) {
+    const std::string dir = temp_dir("jsonl_nonl");
+    const std::string path = dir + "/s.jsonl";
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << "{\"id\":\"a\"}\n{\"id\":\"b\"}";  // killed before the '\n'
+    }
+    const auto prefix = read_jsonl_prefix(path, valid_object);
+    ASSERT_EQ(prefix.size(), 2u);
+    EXPECT_EQ(prefix[1], "{\"id\":\"b\"}");
+}
+
+TEST(JsonlPrefix, StripsCrlfBeforeValidation) {
+    const std::string dir = temp_dir("jsonl_crlf");
+    const std::string path = dir + "/s.jsonl";
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << "{\"id\":\"a\"}\r\n{\"id\":\"b\"}\r\n";
+    }
+    const auto prefix = read_jsonl_prefix(path, valid_object);
+    ASSERT_EQ(prefix.size(), 2u);
+    // The returned lines are ending-free: re-appending them with '\n'
+    // reproduces a clean LF stream (what resume's byte-identity needs).
+    EXPECT_EQ(prefix[0], "{\"id\":\"a\"}");
+    EXPECT_EQ(prefix[1], "{\"id\":\"b\"}");
+}
+
+TEST(JsonlPrefix, TornWriteInsideAnEscapedStringEndsTheScan) {
+    const std::string dir = temp_dir("jsonl_torn");
+    const std::string path = dir + "/s.jsonl";
+    {
+        std::ofstream os(path, std::ios::binary);
+        // The torn tail stops mid-escape: `"id":"x\"` — a prefix that
+        // still *looks* string-like but never closes the object.
+        os << "{\"id\":\"a\"}\n{\"id\":\"x\\\"";
+    }
+    const auto prefix = read_jsonl_prefix(path, valid_object);
+    ASSERT_EQ(prefix.size(), 1u);
+    EXPECT_EQ(prefix[0], "{\"id\":\"a\"}");
+}
+
+TEST(JsonlPrefix, EmptyLineMissingFileAndMaxLines) {
+    const std::string dir = temp_dir("jsonl_misc");
+    EXPECT_TRUE(
+        read_jsonl_prefix(dir + "/absent.jsonl", valid_object).empty());
+
+    const std::string path = dir + "/s.jsonl";
+    {
+        std::ofstream os(path, std::ios::binary);
+        // Double newline: the empty line ends the prefix even though a
+        // valid record follows it.
+        os << "{\"id\":\"a\"}\n\n{\"id\":\"b\"}\n";
+    }
+    EXPECT_EQ(read_jsonl_prefix(path, valid_object).size(), 1u);
+
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << "{\"k\":0}\n{\"k\":1}\n{\"k\":2}\n";
+    }
+    EXPECT_EQ(read_jsonl_prefix(path, valid_object, 2).size(), 2u);
+    long calls = 0;
+    (void)read_jsonl_prefix(path, [&](long k, const std::string& line) {
+        EXPECT_EQ(k, calls);  // 0-based, in order
+        ++calls;
+        return valid_object(k, line);
+    });
+    EXPECT_EQ(calls, 3);
+}
+
+TEST(CityRunner, ResumesAStreamKilledBeforeTheTrailingNewline) {
+    const SmallCity city("run_resume_nonl");
+    CityRunOptions options = city.fast_options(city.dir + "/full.jsonl");
+    (void)run_city(city.tiles, city.registry, options);
+    const std::string full_bytes = read_file(options.jsonl_path);
+
+    // Kill *between* a record's bytes and its '\n': the record is
+    // complete and must be kept, not recomputed.
+    std::istringstream stream(full_bytes);
+    std::string l1, l2;
+    std::getline(stream, l1);
+    std::getline(stream, l2);
+    options.jsonl_path = city.dir + "/killed.jsonl";
+    {
+        std::ofstream os(options.jsonl_path, std::ios::binary);
+        os << l1 << "\n" << l2;  // no trailing newline
+    }
+    options.resume = true;
+    const CityRunSummary resumed =
+        run_city(city.tiles, city.registry, options);
+    EXPECT_EQ(resumed.resumed, 2);
+    EXPECT_EQ(resumed.processed, 7);
+    EXPECT_EQ(read_file(options.jsonl_path), full_bytes);
+}
+
+TEST(CityRunner, ResumesACrlfRewrittenStream) {
+    const SmallCity city("run_resume_crlf");
+    CityRunOptions options = city.fast_options(city.dir + "/full.jsonl");
+    (void)run_city(city.tiles, city.registry, options);
+    const std::string full_bytes = read_file(options.jsonl_path);
+
+    // A partial stream that crossed a text-mode transfer: LF -> CRLF.
+    std::istringstream stream(full_bytes);
+    std::string l1, l2, l3;
+    std::getline(stream, l1);
+    std::getline(stream, l2);
+    std::getline(stream, l3);
+    options.jsonl_path = city.dir + "/crlf.jsonl";
+    {
+        std::ofstream os(options.jsonl_path, std::ios::binary);
+        os << l1 << "\r\n" << l2 << "\r\n" << l3 << "\r\n";
+    }
+    options.resume = true;
+    const CityRunSummary resumed =
+        run_city(city.tiles, city.registry, options);
+    EXPECT_EQ(resumed.resumed, 3);
+    EXPECT_EQ(resumed.processed, 6);
+    // Resume rewrites the kept prefix as clean LF lines before
+    // appending, so the recovered stream is byte-identical to an
+    // uninterrupted run — CRLF artifacts do not survive.
+    EXPECT_EQ(read_file(options.jsonl_path), full_bytes);
 }
 
 }  // namespace

@@ -4,8 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
 
 #include "pvfp/geo/asc_grid.hpp"
 #include "pvfp/gis/tile_index.hpp"
@@ -193,6 +201,117 @@ TEST(TileIndex, WindowValidation) {
     const TileIndex index = TileIndex::scan(tiles.dir);
     EXPECT_THROW(index.read_window({5.0, 5.0, 5.0, 6.0}), InvalidArgument);
     EXPECT_THROW(index.read_window({5.0, 5.0, 4.0, 6.0}), InvalidArgument);
+}
+
+// ---- Per-key in-flight decode (the PR-6 bugfix) -----------------------
+//
+// These suites inject an instrumented loader: each decode parks on a
+// per-path latch the test releases, so the test can prove which decodes
+// run concurrently and which threads joined an in-flight build.
+
+/// Loader whose decodes block until released, counting calls per path.
+struct GatedLoader {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::map<std::string, int> calls;       ///< decodes started, per path
+    std::set<std::string> released;         ///< paths allowed to finish
+    bool fail = false;                      ///< throw instead of decode
+
+    TileCache::Loader loader() {
+        return [this](const std::string& path) {
+            std::unique_lock<std::mutex> lock(mutex);
+            ++calls[path];
+            cv.notify_all();
+            const bool ok = cv.wait_for(
+                lock, std::chrono::seconds(20),
+                [&] { return released.count(path) != 0; });
+            if (!ok) throw IoError("GatedLoader: timed out on " + path);
+            if (fail) throw IoError("GatedLoader: injected failure");
+            return geo::Raster(2, 2, 1.0, 0.0, 0.0, 2.0);
+        };
+    }
+
+    /// Block (bounded) until \p n decodes of \p path have *started*.
+    bool await_started(const std::string& path, int n) {
+        std::unique_lock<std::mutex> lock(mutex);
+        return cv.wait_for(lock, std::chrono::seconds(20),
+                           [&] { return calls[path] >= n; });
+    }
+
+    void release(const std::string& path) {
+        std::lock_guard<std::mutex> lock(mutex);
+        released.insert(path);
+        cv.notify_all();
+    }
+};
+
+TEST(TileCache, ConcurrentMissesOnDifferentTilesOverlap) {
+    // The regression this PR fixes: with the decode serialized under the
+    // cache-wide mutex (or waiters parked on it), two misses on
+    // *different* tiles could never be in flight together.  Here both
+    // decodes must start while neither has been allowed to finish —
+    // under the old locking this deadlocks the second start, and the
+    // bounded waits turn that into a failure instead of a hang.
+    GatedLoader gate;
+    TileCache cache(4, gate.loader());
+    std::thread a([&] { (void)cache.load("tile_a"); });
+    std::thread b([&] { (void)cache.load("tile_b"); });
+    EXPECT_TRUE(gate.await_started("tile_a", 1));
+    EXPECT_TRUE(gate.await_started("tile_b", 1));  // overlap proven
+    gate.release("tile_a");
+    gate.release("tile_b");
+    a.join();
+    b.join();
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(TileCache, ConcurrentMissesOnSameTileDecodeOnce) {
+    GatedLoader gate;
+    TileCache cache(4, gate.loader());
+    std::vector<std::thread> threads;
+    std::vector<std::shared_ptr<const geo::Raster>> got(4);
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&, t] { got[t] = cache.load("tile_x"); });
+    ASSERT_TRUE(gate.await_started("tile_x", 1));
+    gate.release("tile_x");
+    for (std::thread& t : threads) t.join();
+    {
+        std::lock_guard<std::mutex> lock(gate.mutex);
+        EXPECT_EQ(gate.calls["tile_x"], 1) << "duplicate decode";
+    }
+    EXPECT_EQ(cache.misses(), 1u);  // one decode initiated...
+    EXPECT_EQ(cache.hits(), 3u);    // ...three joins served without one
+    for (int t = 1; t < 4; ++t) EXPECT_EQ(got[t], got[0]);  // shared
+}
+
+TEST(TileCache, LoaderErrorPropagatesToAllWaitersAndIsRetryable) {
+    GatedLoader gate;
+    gate.fail = true;
+    TileCache cache(4, gate.loader());
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 3; ++t)
+        threads.emplace_back([&] {
+            try {
+                (void)cache.load("tile_bad");
+            } catch (const IoError&) {
+                failures.fetch_add(1);
+            }
+        });
+    ASSERT_TRUE(gate.await_started("tile_bad", 1));
+    gate.release("tile_bad");
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(failures.load(), 3);  // owner and every joiner throw
+
+    // Nothing was cached, so the next load retries the decode — and a
+    // now-healthy loader succeeds.
+    gate.fail = false;
+    EXPECT_NE(cache.load("tile_bad"), nullptr);
+    {
+        std::lock_guard<std::mutex> lock(gate.mutex);
+        EXPECT_EQ(gate.calls["tile_bad"], 2);
+    }
 }
 
 }  // namespace

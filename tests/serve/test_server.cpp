@@ -1,0 +1,309 @@
+/// \file test_server.cpp
+/// The serving daemon end to end through pipe-mode sessions: protocol
+/// parse/reject paths, rank payloads byte-identical to run_city
+/// records, live-vs-replay byte identity (including a torn log tail),
+/// plan/status/quit behaviour, and state persisting across sessions.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pvfp/gis/city_runner.hpp"
+#include "pvfp/gis/fixture.hpp"
+#include "pvfp/gis/json.hpp"
+#include "pvfp/serve/protocol.hpp"
+#include "pvfp/serve/server.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_dir(const std::string& name) {
+    const fs::path dir = fs::path(::testing::TempDir()) / ("pvfp_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+/// Fixture city + a server configured exactly like the city-runner
+/// tests' fast options, so rank payloads can be compared to run_city
+/// records byte for byte.
+struct ServerCity {
+    std::string dir;
+    gis::TileIndex tiles;
+    gis::RoofRegistry registry;
+
+    explicit ServerCity(const std::string& name)
+        : dir([&] {
+              const std::string d = temp_dir(name);
+              gis::CityFixtureOptions options;
+              options.roofs = 9;
+              options.tile_cells = 96;
+              gis::generate_city_fixture(d, options);
+              return d;
+          }()),
+          tiles(gis::TileIndex::scan(dir)),
+          registry(gis::RoofRegistry::load(dir + "/index.csv")) {}
+
+    ServerOptions fast_options() const {
+        ServerOptions options;
+        options.state.config.grid = TimeGrid(60, 100, 8);
+        options.state.config.horizon.azimuth_sectors = 16;
+        options.state.config.suitability.step_stride = 2;
+        options.state.eval.step_stride = 2;
+        options.state.topologies = {{4, 2}};
+        options.state.build.context_margin_m = 4.0;
+        options.index_path = dir + "/index.csv";
+        return options;
+    }
+
+    gis::CityRunOptions matching_city_options(
+        const std::string& jsonl) const {
+        gis::CityRunOptions options;
+        options.config.grid = TimeGrid(60, 100, 8);
+        options.config.horizon.azimuth_sectors = 16;
+        options.config.suitability.step_stride = 2;
+        options.eval.step_stride = 2;
+        options.topologies = {{4, 2}};
+        options.build.context_margin_m = 4.0;
+        options.shard_size = 4;
+        options.jsonl_path = jsonl;
+        return options;
+    }
+
+    Server make_server(ServerOptions options) const {
+        return Server(tiles, registry, std::move(options));
+    }
+
+    std::string roof(long i) const { return registry.record(i).id; }
+};
+
+/// Run one pipe-mode session over \p request_lines; returns the
+/// response lines.
+std::vector<std::string> session(Server& server,
+                                 const std::vector<std::string>& requests,
+                                 bool* quit = nullptr) {
+    std::string in_bytes;
+    for (const std::string& r : requests) in_bytes += r + "\n";
+    std::istringstream in(in_bytes);
+    std::ostringstream out;
+    const bool saw_quit = server.serve(in, out);
+    if (quit) *quit = saw_quit;
+    std::vector<std::string> lines;
+    std::istringstream split(out.str());
+    std::string line;
+    while (std::getline(split, line)) lines.push_back(line);
+    return lines;
+}
+
+TEST(Protocol, ParsesAndRejectsRequests) {
+    const Request rank = parse_request("{\"op\":\"rank\",\"id\":\"r1\"}");
+    EXPECT_EQ(rank.op, "rank");
+    EXPECT_EQ(rank.id, "r1");
+
+    const Request plan = parse_request(
+        "{\"op\":\"plan\",\"id\":\"r2\",\"series\":6,\"strings\":2,"
+        "\"orientation\":\"portrait\"}");
+    EXPECT_EQ(plan.series, 6);
+    EXPECT_EQ(plan.strings, 2);
+    EXPECT_TRUE(plan.portrait);
+    EXPECT_FALSE(
+        parse_request("{\"op\":\"plan\",\"id\":\"r\",\"series\":1,"
+                      "\"strings\":1}")
+            .portrait);
+
+    EXPECT_THROW(parse_request("not json"), Error);
+    EXPECT_THROW(parse_request("[1,2]"), IoError);
+    EXPECT_THROW(parse_request("{\"op\":\"frobnicate\"}"), IoError);
+    EXPECT_THROW(parse_request("{\"op\":\"rank\"}"), Error);  // no id
+    EXPECT_THROW(parse_request("{\"op\":\"plan\",\"id\":\"r\","
+                               "\"series\":0,\"strings\":2}"),
+                 IoError);
+    EXPECT_THROW(parse_request("{\"op\":\"plan\",\"id\":\"r\","
+                               "\"series\":1,\"strings\":1,"
+                               "\"orientation\":\"diagonal\"}"),
+                 IoError);
+}
+
+TEST(Protocol, RequestLogRoundTripsAndDetectsGaps) {
+    const std::string raw = "{\"op\":\"rank\",\"id\":\"a \\\"b\\\"\"}";
+    const std::string logged = request_log_line(7, raw);
+    EXPECT_EQ(request_from_log_line(7, logged), raw);
+    EXPECT_THROW(request_from_log_line(8, logged), IoError);  // gap
+    EXPECT_THROW(request_from_log_line(0, "{\"seq\":0,\"requ"), IoError);
+}
+
+TEST(Server, RankPayloadMatchesTheRunCityRecord) {
+    const ServerCity city("srv_rank");
+    gis::CityRunOptions batch =
+        city.matching_city_options(city.dir + "/batch.jsonl");
+    (void)gis::run_city(city.tiles, city.registry, batch);
+    std::vector<std::string> records;
+    {
+        std::ifstream is(batch.jsonl_path);
+        std::string line;
+        while (std::getline(is, line)) records.push_back(line);
+    }
+    ASSERT_EQ(records.size(), 9u);
+
+    Server server = city.make_server(city.fast_options());
+    const auto responses = session(
+        server, {"{\"op\":\"rank\",\"id\":\"" + city.roof(0) + "\"}",
+                 "{\"op\":\"rank\",\"id\":\"" + city.roof(5) + "\"}"});
+    ASSERT_EQ(responses.size(), 2u);
+    // The serving payload is the batch record with the envelope spliced
+    // in front — byte-identical tail, same key order and precision.
+    EXPECT_EQ(responses[0],
+              "{\"seq\":0,\"op\":\"rank\"," + records[0].substr(1));
+    EXPECT_EQ(responses[1],
+              "{\"seq\":1,\"op\":\"rank\"," + records[5].substr(1));
+}
+
+TEST(Server, LiveSessionAndReplayAreByteIdentical) {
+    const ServerCity city("srv_replay");
+    ServerOptions options = city.fast_options();
+    options.request_log_path = city.dir + "/requests.jsonl";
+    Server live = city.make_server(options);
+
+    const std::vector<std::string> requests = {
+        "{\"op\":\"status\"}",
+        "{\"op\":\"rank\",\"id\":\"" + city.roof(1) + "\"}",
+        "{\"op\":\"plan\",\"id\":\"" + city.roof(1) +
+            "\",\"series\":4,\"strings\":2}",
+        "{\"op\":\"rank\",\"id\":\"" + city.roof(1) + "\"}",  // warm hit
+        "{\"op\":\"rank\",\"id\":\"absent\"}",                // error
+        "this is not json",                                   // parse error
+        "{\"op\":\"quit\"}",
+    };
+    bool quit = false;
+    const auto live_lines = session(live, requests, &quit);
+    EXPECT_TRUE(quit);
+    ASSERT_EQ(live_lines.size(), requests.size());
+
+    // Replay on a *fresh* server: identical bytes, cold caches and all.
+    Server replayer = city.make_server(city.fast_options());
+    std::ostringstream replay_out;
+    EXPECT_EQ(replayer.replay(options.request_log_path, replay_out),
+              static_cast<long>(requests.size()));
+    std::string live_bytes;
+    for (const std::string& line : live_lines) live_bytes += line + "\n";
+    EXPECT_EQ(replay_out.str(), live_bytes);
+
+    // A torn tail (killed mid-append) replays the intact prefix.
+    const std::string log_bytes = read_file(options.request_log_path);
+    const std::string::size_type last =
+        log_bytes.rfind('\n', log_bytes.size() - 2);
+    ASSERT_NE(last, std::string::npos);
+    const std::string torn_path = city.dir + "/torn.jsonl";
+    std::ofstream(torn_path, std::ios::binary)
+        << log_bytes.substr(0, last + 1 + (log_bytes.size() - last) / 2);
+    Server torn_replayer = city.make_server(city.fast_options());
+    std::ostringstream torn_out;
+    EXPECT_EQ(torn_replayer.replay(torn_path, torn_out),
+              static_cast<long>(requests.size()) - 1);
+    EXPECT_EQ(torn_out.str(),
+              live_bytes.substr(0, live_bytes.rfind(
+                                       '\n', live_bytes.size() - 2) +
+                                       1));
+}
+
+TEST(Server, PlanPlacesTheRequestedTopology) {
+    const ServerCity city("srv_plan");
+    Server server = city.make_server(city.fast_options());
+    const auto responses = session(
+        server,
+        {"{\"op\":\"plan\",\"id\":\"" + city.roof(0) +
+             "\",\"series\":3,\"strings\":2}",
+         "{\"op\":\"plan\",\"id\":\"" + city.roof(0) +
+             "\",\"series\":3,\"strings\":2,\"orientation\":\"portrait\"}",
+         "{\"op\":\"plan\",\"id\":\"" + city.roof(0) +
+             "\",\"series\":80,\"strings\":40}"});  // infeasible
+    ASSERT_EQ(responses.size(), 3u);
+    const gis::JsonValue ok = gis::JsonValue::parse(responses[0]);
+    EXPECT_EQ(ok.at("status").as_string(), "ok");
+    EXPECT_EQ(ok.at("orientation").as_string(), "landscape");
+    EXPECT_EQ(ok.at("modules").as_array().size(), 6u);
+    EXPECT_GT(ok.at("energy_kwh").as_number(), 0.0);
+
+    const gis::JsonValue portrait = gis::JsonValue::parse(responses[1]);
+    EXPECT_EQ(portrait.at("orientation").as_string(), "portrait");
+    EXPECT_EQ(portrait.at("modules").as_array().size(), 6u);
+
+    const gis::JsonValue infeasible = gis::JsonValue::parse(responses[2]);
+    EXPECT_EQ(infeasible.at("status").as_string(), "error");
+    EXPECT_EQ(infeasible.at("seq").as_number(), 2.0);
+}
+
+TEST(Server, StatusIsDeterministicAndSessionsShareState) {
+    const ServerCity city("srv_status");
+    Server server = city.make_server(city.fast_options());
+    bool quit = true;
+    const auto first = session(server, {"{\"op\":\"status\"}"}, &quit);
+    EXPECT_FALSE(quit);  // EOF, not quit
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0],
+              "{\"seq\":0,\"op\":\"status\",\"status\":\"ok\","
+              "\"protocol\":1,\"roofs\":9,\"tiles\":12,"
+              "\"cell_size\":0.2000,\"topologies\":[[4,2]],"
+              "\"memory_budget_mb\":512}");
+
+    // Sequence numbers and resident state persist across sessions: the
+    // same roof prepared in session one is a hit in session two.
+    (void)session(server,
+                  {"{\"op\":\"rank\",\"id\":\"" + city.roof(0) + "\"}"});
+    const auto third = session(
+        server, {"", "{\"op\":\"rank\",\"id\":\"" + city.roof(0) + "\"}"});
+    ASSERT_EQ(third.size(), 1u);  // the blank line is skipped, no seq
+    EXPECT_EQ(third[0].rfind("{\"seq\":2,", 0), 0u) << third[0];
+    EXPECT_EQ(server.state().stats().hits, 1u);
+    EXPECT_EQ(server.requests_accepted(), 3);
+}
+
+TEST(Server, ReloadPicksUpAnEditedIndex) {
+    const ServerCity city("srv_reload");
+    Server server = city.make_server(city.fast_options());
+    // Append a tenth roof (a copy of roof 0's footprint, new id).
+    {
+        std::ifstream is(city.dir + "/index.csv");
+        std::string header, row0;
+        std::getline(is, header);
+        std::getline(is, row0);
+        is.close();
+        std::ofstream os(city.dir + "/index.csv", std::ios::app);
+        os << "roof_extra" << row0.substr(row0.find(',')) << "\n";
+    }
+    const auto responses = session(
+        server, {"{\"op\":\"rank\",\"id\":\"roof_extra\"}",
+                 "{\"op\":\"reload\"}",
+                 "{\"op\":\"rank\",\"id\":\"roof_extra\"}"});
+    ASSERT_EQ(responses.size(), 3u);
+    EXPECT_NE(responses[0].find("\"status\":\"error\""), std::string::npos);
+    EXPECT_EQ(responses[1],
+              "{\"seq\":1,\"op\":\"reload\",\"status\":\"ok\","
+              "\"roofs\":10}");
+    EXPECT_NE(responses[2].find("\"status\":\"ok\""), std::string::npos);
+
+    // A server started without an index path rejects reload.
+    ServerOptions no_index = city.fast_options();
+    no_index.index_path.clear();
+    Server fixed = city.make_server(std::move(no_index));
+    const auto rejected = session(fixed, {"{\"op\":\"reload\"}"});
+    ASSERT_EQ(rejected.size(), 1u);
+    EXPECT_NE(rejected[0].find("\"status\":\"error\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pvfp::serve

@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <vector>
 
 #include "pvfp/core/evaluator.hpp"
@@ -18,9 +19,12 @@
 #include "pvfp/core/roof_library.hpp"
 #include "pvfp/core/suitability.hpp"
 #include "pvfp/geo/horizon.hpp"
+#include "pvfp/geo/poly_raster.hpp"
 #include "pvfp/geo/scene.hpp"
 #include "pvfp/pv/array.hpp"
 #include "pvfp/solar/irradiance.hpp"
+#include "pvfp/solar/irradiance_kernels.hpp"
+#include "pvfp/solar/sky_artifact.hpp"
 #include "pvfp/util/rng.hpp"
 #include "pvfp/util/simd.hpp"
 #include "pvfp/util/stats.hpp"
@@ -103,10 +107,16 @@ const std::vector<long>& toy_sampled_steps() {
     return steps;
 }
 
-/// Apply a bench arg (0 = scalar, 1 = AVX2) to the kernel dispatch;
-/// returns false when the level is unavailable on this CPU.
+/// Apply a bench arg (0 = scalar, 1 = AVX2, 2 = AVX-512) to the kernel
+/// dispatch; returns false when the level is unavailable on this CPU.
 bool apply_simd_arg(benchmark::State& state) {
-    if (state.range(0) == 1) {
+    if (state.range(0) == 2) {
+        if (!cpu_supports_avx512()) {
+            state.SkipWithError("CPU has no AVX-512F/VL");
+            return false;
+        }
+        set_simd_level(SimdLevel::Avx512);
+    } else if (state.range(0) == 1) {
         if (!cpu_supports_avx2()) {
             state.SkipWithError("CPU has no AVX2");
             return false;
@@ -157,7 +167,7 @@ void BM_IrradianceRowKernel(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * field.width());
     set_simd_level_auto();
 }
-BENCHMARK(BM_IrradianceRowKernel)->Arg(0)->Arg(1);
+BENCHMARK(BM_IrradianceRowKernel)->Arg(0)->Arg(1)->Arg(2);
 
 /// Baseline: one cell's full sampled-step series through per-cell
 /// scalar calls — the pre-batching per-anchor series build.
@@ -195,7 +205,7 @@ void BM_IrradianceSeriesKernel(benchmark::State& state) {
                             static_cast<long>(steps.size()));
     set_simd_level_auto();
 }
-BENCHMARK(BM_IrradianceSeriesKernel)->Arg(0)->Arg(1);
+BENCHMARK(BM_IrradianceSeriesKernel)->Arg(0)->Arg(1)->Arg(2);
 
 /// Footprint-mean anchor series (the IncrementalEvaluator's per-anchor
 /// work) through the batch path, per dispatch level.
@@ -219,7 +229,173 @@ void BM_AnchorSeriesKernel(benchmark::State& state) {
                             prepared.geometry.cell_count());
     set_simd_level_auto();
 }
-BENCHMARK(BM_AnchorSeriesKernel)->Arg(0)->Arg(1);
+BENCHMARK(BM_AnchorSeriesKernel)->Arg(0)->Arg(1)->Arg(2);
+
+/// All daylight steps of the toy field at stride 1 — the realistic
+/// (≈50% daylight) series workload of the evaluator shards and the
+/// suitability sweep, contiguous in the packed index.
+const std::vector<long>& toy_daylight_steps() {
+    static const std::vector<long> steps = [] {
+        const auto& field = toy_prepared().field;
+        std::vector<long> out;
+        for (long s = 0; s < field.steps(); ++s)
+            if (field.is_daylight(s)) out.push_back(s);
+        return out;
+    }();
+    return steps;
+}
+
+/// The pre-packing gather path on the full daylight series: the series
+/// kernel indexing the step planes through the per-step index list,
+/// night gaps and all (what cell_irradiance_series did for this
+/// workload before the daylight-packed planes landed).
+void BM_DaylightSeriesGather(benchmark::State& state) {
+    if (!apply_simd_arg(state)) return;
+    const auto& field = toy_prepared().field;
+    const auto& steps = toy_daylight_steps();
+    const solar::detail::FieldView view = field.view();
+    std::vector<double> out(steps.size());
+    int x = 0;
+    for (auto _ : state) {
+        if (state.range(0) == 2)
+            solar::detail::cell_series_avx512(view, x, 1, steps.data(),
+                                              steps.size(), out.data());
+        else if (state.range(0) == 1)
+            solar::detail::cell_series_avx2(view, x, 1, steps.data(),
+                                            steps.size(), out.data());
+        else
+            solar::detail::cell_series_scalar(view, x, 1, steps.data(),
+                                              steps.size(), out.data());
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+        x = (x + 1) % field.width();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(steps.size()));
+    set_simd_level_auto();
+}
+BENCHMARK(BM_DaylightSeriesGather)->Arg(0)->Arg(1)->Arg(2);
+
+/// The same workload through the public series entry, which detects the
+/// contiguous daylight run and takes the unit-stride packed kernel.
+void BM_DaylightSeriesPacked(benchmark::State& state) {
+    if (!apply_simd_arg(state)) return;
+    const auto& field = toy_prepared().field;
+    const auto& steps = toy_daylight_steps();
+    std::vector<double> out(steps.size());
+    int x = 0;
+    for (auto _ : state) {
+        field.cell_irradiance_series(x, 1, steps, out.data());
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+        x = (x + 1) % field.width();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(steps.size()));
+    set_simd_level_auto();
+}
+BENCHMARK(BM_DaylightSeriesPacked)->Arg(0)->Arg(1)->Arg(2);
+
+/// Year of 15-minute weather for the shared-sky prepare benches (the
+/// pvfp_serve cold-start workload shape).
+std::vector<solar::EnvSample> sky_bench_env(const TimeGrid& grid) {
+    std::vector<solar::EnvSample> env(
+        static_cast<std::size_t>(grid.total_steps()));
+    Rng rng(29);
+    for (auto& e : env) {
+        e.ghi = rng.uniform(0.0, 900.0);
+        e.dni = rng.uniform(0.0, 800.0);
+        e.dhi = rng.uniform(0.0, 300.0);
+        e.temp_air_c = rng.uniform(-5.0, 32.0);
+    }
+    return env;
+}
+
+/// Baseline: the unbatched per-step sun_position + transposition loop
+/// (the pre-batching make_shared_sky, dominant pvfp_serve cold-start
+/// cost).
+void BM_SharedSkyPrepareReference(benchmark::State& state) {
+    const TimeGrid grid(15, 1, 365);
+    const auto env = sky_bench_env(grid);
+    const solar::Location location;
+    for (auto _ : state) {
+        const auto sky = solar::prepare_sky_artifact_reference(
+            location, grid, env, solar::SkyModel::HayDavies);
+        benchmark::DoNotOptimize(sky.beam_eq.data());
+    }
+    state.SetItemsProcessed(state.iterations() * grid.total_steps());
+}
+BENCHMARK(BM_SharedSkyPrepareReference);
+
+/// Batched prepare (per-day ephemeris hoisting + SIMD geometry and
+/// transposition kernels) at a given dispatch level.
+void BM_SharedSkyPrepare(benchmark::State& state) {
+    if (!apply_simd_arg(state)) return;
+    const TimeGrid grid(15, 1, 365);
+    const auto env = sky_bench_env(grid);
+    const solar::Location location;
+    for (auto _ : state) {
+        const auto sky = solar::prepare_sky_artifact(
+            location, grid, env, solar::SkyModel::HayDavies);
+        benchmark::DoNotOptimize(sky.beam_eq.data());
+    }
+    state.SetItemsProcessed(state.iterations() * grid.total_steps());
+    set_simd_level_auto();
+}
+BENCHMARK(BM_SharedSkyPrepare)->Arg(0)->Arg(1)->Arg(2);
+
+/// A cadastral-scale footprint: a 10^4-vertex star-ribbon ring around
+/// the window center (radii alternating, so rows cross many edges).
+std::vector<std::array<double, 2>> big_footprint(int vertices) {
+    std::vector<std::array<double, 2>> poly;
+    poly.reserve(static_cast<std::size_t>(vertices));
+    for (int v = 0; v < vertices; ++v) {
+        const double ang = v * 2.0 * kPi / vertices;
+        const double r = (v % 2 == 0) ? 55.0 : 40.0 + (v % 7);
+        poly.push_back(
+            {60.0 + r * std::cos(ang), 60.0 + r * std::sin(ang)});
+    }
+    return poly;
+}
+
+/// Baseline: the pre-scanline footprint mask build — one even-odd ray
+/// cast per cell, O(cells * edges).
+void BM_FootprintMaskPerCell(benchmark::State& state) {
+    const auto poly = big_footprint(static_cast<int>(state.range(0)));
+    const int w = 120, h = 120;
+    pvfp::Grid2D<unsigned char> mask(w, h, 0);
+    for (auto _ : state) {
+        for (int y = 0; y < h; ++y) {
+            const double py = 120.0 - (y + 0.5) * 1.0;
+            for (int x = 0; x < w; ++x) {
+                const double px = 0.0 + (x + 0.5) * 1.0;
+                mask(x, y) =
+                    geo::point_in_polygon_even_odd(px, py, poly) ? 1 : 0;
+            }
+        }
+        benchmark::DoNotOptimize(mask.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * w * h);
+}
+BENCHMARK(BM_FootprintMaskPerCell)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+/// The scanline rasterizer on the same footprint and window,
+/// O(rows * edges + cells).
+void BM_FootprintMaskScanline(benchmark::State& state) {
+    const auto poly = big_footprint(static_cast<int>(state.range(0)));
+    const int w = 120, h = 120;
+    for (auto _ : state) {
+        const auto mask =
+            geo::rasterize_polygon_even_odd(poly, w, h, 1.0, 0.0, 120.0);
+        benchmark::DoNotOptimize(mask.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * w * h);
+}
+BENCHMARK(BM_FootprintMaskScanline)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_HistogramAddPercentile(benchmark::State& state) {
     Rng rng(3);

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Perf-trajectory regression alert over the BENCH_*.json records.
+
+Each collect_bench_*.sh run appends one record per bench name, tagged
+with the commit it ran at.  This script compares, per bench name in each
+BENCH_*.json, the latest record against the most recent record from an
+*earlier* commit (the previous trajectory point) and flags deviations
+past a threshold (default +/-25%) on the record's primary metric:
+
+  wall_ms / real_time_ns   lower is better (regression = slower)
+  speedup / items_per_second  higher is better (regression = smaller)
+
+Exit status is nonzero when any comparison deviates past the threshold
+in either direction — a slowdown is a regression, and a silent 25%
+"improvement" usually means the workload changed and the trajectory
+needs re-baselining.  CI runs this as an informational step (the job
+reports, but is not required to pass), so the perf trajectory has an
+alert instead of just a log.
+
+Usage: scripts/bench_regress.py [--threshold 0.25] [files...]
+       (default files: BENCH_*.json at the repo root)
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Metric name -> True when higher is better.
+METRICS = [
+    ("wall_ms", False),
+    ("real_time_ns", False),
+    ("speedup", True),
+    ("items_per_second", True),
+]
+
+
+def primary_metric(record):
+    for key, higher_better in METRICS:
+        value = record.get(key)
+        if isinstance(value, (int, float)) and value > 0:
+            return key, float(value), higher_better
+    return None
+
+
+def latest_vs_previous(records):
+    """Pairs (name, latest_record, previous_record) where `previous` is
+    the newest record of the same name from an earlier commit."""
+    by_name = {}
+    for rec in records:  # file order is append order = chronological
+        by_name.setdefault(rec.get("name"), []).append(rec)
+    for name, recs in sorted(by_name.items()):
+        latest = recs[-1]
+        previous = None
+        for rec in reversed(recs[:-1]):
+            if rec.get("commit") != latest.get("commit"):
+                previous = rec
+                break
+        if previous is not None:
+            yield name, latest, previous
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative deviation that trips the alert "
+                             "(default 0.25 = +/-25%%)")
+    parser.add_argument("files", nargs="*",
+                        help="BENCH_*.json files (default: repo root)")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = args.files or sorted(glob.glob(
+        os.path.join(repo_root, "BENCH_*.json")))
+    if not files:
+        print("bench_regress: no BENCH_*.json files found")
+        return 0
+
+    alerts = 0
+    comparisons = 0
+    for path in files:
+        try:
+            with open(path) as f:
+                records = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"bench_regress: cannot read {path}: {err}")
+            alerts += 1
+            continue
+        for name, latest, previous in latest_vs_previous(records):
+            metric = primary_metric(latest)
+            prev_metric = primary_metric(previous)
+            if metric is None or prev_metric is None:
+                continue
+            key, value, higher_better = metric
+            prev_key, prev_value, _ = prev_metric
+            if key != prev_key:
+                continue  # metric shape changed; nothing comparable
+            comparisons += 1
+            change = value / prev_value - 1.0
+            # Express as "regression fraction": positive = worse.
+            worse = -change if higher_better else change
+            flag = abs(change) > args.threshold
+            if flag or os.environ.get("BENCH_REGRESS_VERBOSE"):
+                direction = "REGRESSION" if worse > 0 else "improvement"
+                marker = f"ALERT {direction}" if flag else "ok"
+                print(f"[{marker}] {os.path.basename(path)} {name}: "
+                      f"{key} {prev_value:.4g} ({previous.get('commit')}) "
+                      f"-> {value:.4g} ({latest.get('commit')}), "
+                      f"{change:+.1%}")
+            if flag:
+                alerts += 1
+
+    print(f"bench_regress: {comparisons} comparisons, {alerts} past "
+          f"the +/-{args.threshold:.0%} threshold")
+    return 1 if alerts else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,7 @@ fi
 
 commit="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
-raw="$("$bench" --benchmark_filter='Irradiance|AnchorSeries' \
+raw="$("$bench" --benchmark_filter='Irradiance|AnchorSeries|Daylight|SharedSky|Footprint' \
                 --benchmark_format=json --benchmark_min_time=0.2 \
                 2>/dev/null)"
 
@@ -62,15 +62,29 @@ def speedup(base, kernel):
 print(f"appended {len(by_name)} records at {commit} -> {out_path}")
 for base, kernel, label in [
     ("BM_IrradianceRowScalarCells", "BM_IrradianceRowKernel/0",
-     "row kernel (scalar batch)"),
+     "row kernel (scalar batch) vs per-cell scalar"),
     ("BM_IrradianceRowScalarCells", "BM_IrradianceRowKernel/1",
-     "row kernel (avx2)"),
+     "row kernel (avx2) vs per-cell scalar"),
+    ("BM_IrradianceRowScalarCells", "BM_IrradianceRowKernel/2",
+     "row kernel (avx512) vs per-cell scalar"),
     ("BM_IrradianceSeriesScalarCells", "BM_IrradianceSeriesKernel/0",
-     "series kernel (scalar batch)"),
+     "series kernel (scalar batch) vs per-cell scalar"),
     ("BM_IrradianceSeriesScalarCells", "BM_IrradianceSeriesKernel/1",
-     "series kernel (avx2)"),
+     "series kernel (avx2) vs per-cell scalar"),
+    ("BM_IrradianceSeriesScalarCells", "BM_IrradianceSeriesKernel/2",
+     "series kernel (avx512) vs per-cell scalar"),
+    ("BM_DaylightSeriesGather/1", "BM_DaylightSeriesPacked/1",
+     "daylight series packed-vs-gather (avx2)"),
+    ("BM_DaylightSeriesGather/2", "BM_DaylightSeriesPacked/2",
+     "daylight series packed-vs-gather (avx512)"),
+    ("BM_SharedSkyPrepareReference", "BM_SharedSkyPrepare/1",
+     "shared-sky prepare batched-vs-reference (avx2)"),
+    ("BM_SharedSkyPrepareReference", "BM_SharedSkyPrepare/2",
+     "shared-sky prepare batched-vs-reference (avx512)"),
+    ("BM_FootprintMaskPerCell/10000", "BM_FootprintMaskScanline/10000",
+     "footprint mask scanline-vs-per-cell (10^4 vertices)"),
 ]:
     s = speedup(base, kernel)
     if s is not None:
-        print(f"  {label}: {s:.1f}x vs per-cell scalar baseline")
+        print(f"  {label}: {s:.1f}x")
 PY

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Bench-trajectory collector for the placement plane: runs
+# bench_placer_speedup (full re-evaluation vs incremental deltas) and
+# bench_table1_production (the paper's Table I campaign) in JSON mode
+# and appends one record per timed section (tagged with the current
+# commit) plus a derived full-vs-incremental speedup record to
+# BENCH_placer.json at the repo root, mirroring collect_bench_serve.sh
+# (ROADMAP "extend to placer_speedup/table1" trajectory item).
+#
+# Usage: scripts/collect_bench_placer.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-build}"
+placer="$repo_root/$build_dir/bench/bench_placer_speedup"
+table1="$repo_root/$build_dir/bench/bench_table1_production"
+out="$repo_root/BENCH_placer.json"
+
+for bench in "$placer" "$table1"; do
+    if [[ ! -x "$bench" ]]; then
+        echo "error: $bench not built" >&2
+        exit 1
+    fi
+done
+
+commit="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+placer_raw="$(mktemp)"
+table1_raw="$(mktemp)"
+trap 'rm -f "$placer_raw" "$table1_raw"' EXIT
+
+"$placer" --json "$placer_raw" >/dev/null
+"$table1" --json "$table1_raw" >/dev/null
+
+PLACER_PATH="$placer_raw" TABLE1_PATH="$table1_raw" COMMIT="$commit" \
+OUT_PATH="$out" python3 - <<'PY'
+import json
+import os
+
+raw = []
+for key in ("PLACER_PATH", "TABLE1_PATH"):
+    with open(os.environ[key]) as f:
+        raw.extend(json.load(f))
+commit = os.environ["COMMIT"]
+out_path = os.environ["OUT_PATH"]
+
+records = []
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        records = json.load(f)
+
+by_name = {}
+for b in raw:
+    rec = {
+        "commit": commit,
+        "name": b["name"],
+        "wall_ms": b["wall_ms"],
+        "iterations": b["iterations"],
+        "threads": b["threads"],
+    }
+    by_name[b["name"]] = rec
+    records.append(rec)
+
+full = by_name.get("placer_speedup/full_reeval")
+inc = by_name.get("placer_speedup/incremental")
+extra = 0
+if full and inc and inc["wall_ms"] > 0:
+    speedup = full["wall_ms"] / inc["wall_ms"]
+    records.append({
+        "commit": commit,
+        "name": "placer_speedup/speedup",
+        "speedup": speedup,
+        "threads": full["threads"],
+    })
+    extra = 1
+    print(f"placer speedup (incremental vs full): {speedup:.1f}x "
+          f"({full['wall_ms']:.0f} ms full, {inc['wall_ms']:.0f} ms "
+          f"incremental)")
+
+with open(out_path, "w") as f:
+    json.dump(records, f, indent=1)
+    f.write("\n")
+print(f"appended {len(by_name) + extra} records at {commit} -> {out_path}")
+PY

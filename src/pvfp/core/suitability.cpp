@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "pvfp/solar/irradiance_kernels.hpp"
 #include "pvfp/util/error.hpp"
 #include "pvfp/util/parallel.hpp"
 #include "pvfp/util/stats.hpp"
@@ -64,26 +65,48 @@ SuitabilityResult compute_suitability(const solar::IrradianceField& field,
     }
 
     const double k_th = field.config().thermal_k;
+    // Bin axes mirroring the Histogram construction above, for the
+    // fused binning pass (bin_series replicates Histogram::bin_index
+    // exactly — integer indices, so the fusion is deterministic by
+    // construction at any SIMD level).
+    const solar::detail::BinAxis g_axis{0.0, options.g_max,
+                                        g_hist[0].bin_width(),
+                                        options.bins};
+    const solar::detail::BinAxis t_axis{options.t_min_c, options.t_max_c,
+                                        t_hist[0].bin_width(),
+                                        options.bins};
     // Each cell's time sweep runs through the batched series kernel
-    // (bitwise-identical to the scalar per-step walk), then feeds the
-    // histograms; the irradiance scratch is pooled across chunks.  The
-    // sampled axis is built from [0, steps()) above and the cells come
-    // from the window-matched area, so the unchecked entry applies.
-    ScratchPool<std::vector<double>> scratch_pool;
+    // (bitwise-identical to the scalar per-step walk), then the fused
+    // binning pass turns the series plus the module-temperature model
+    // into bin indices in one vectorized sweep; the histograms just
+    // count.  Scratch is pooled across chunks.  The sampled axis is
+    // built from [0, steps()) above and the cells come from the
+    // window-matched area, so the unchecked entry applies.
+    struct BinScratch {
+        std::vector<double> g;
+        std::vector<std::int32_t> g_bins;
+        std::vector<std::int32_t> t_bins;
+    };
+    ScratchPool<BinScratch> scratch_pool;
     parallel_for(
         0, static_cast<long>(cells.size()), 32, [&](long cb, long ce) {
-            auto g_buf = scratch_pool.acquire();
-            g_buf->resize(sampled.size());
+            auto scratch = scratch_pool.acquire();
+            scratch->g.resize(sampled.size());
+            scratch->g_bins.resize(sampled.size());
+            scratch->t_bins.resize(sampled.size());
             for (long c = cb; c < ce; ++c) {
                 const auto [x, y] = cells[static_cast<std::size_t>(c)];
                 auto& gh = g_hist[static_cast<std::size_t>(c)];
                 auto& th = t_hist[static_cast<std::size_t>(c)];
                 field.cell_irradiance_series_unchecked(x, y, sampled,
-                                                       g_buf->data());
+                                                       scratch->g.data());
+                solar::detail::bin_series(
+                    scratch->g.data(), sampled.size(), sampled_t_air.data(),
+                    k_th, g_axis, t_axis, scratch->g_bins.data(),
+                    scratch->t_bins.data());
                 for (std::size_t k = 0; k < sampled.size(); ++k) {
-                    const double g = (*g_buf)[k];
-                    gh.add(g);
-                    th.add(sampled_t_air[k] + k_th * g);
+                    gh.add_bin(scratch->g_bins[k]);
+                    th.add_bin(scratch->t_bins[k]);
                 }
             }
         });

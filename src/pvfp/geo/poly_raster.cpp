@@ -1,0 +1,119 @@
+#include "pvfp/geo/poly_raster.hpp"
+
+#include <algorithm>
+
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::geo {
+
+bool point_in_polygon_even_odd(
+    double px, double py, const std::vector<std::array<double, 2>>& poly) {
+    bool inside = false;
+    const std::size_t n = poly.size();
+    for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+        const double xi = poly[i][0];
+        const double yi = poly[i][1];
+        const double xj = poly[j][0];
+        const double yj = poly[j][1];
+        // Boundary hardening: exactly on vertex i, or exactly on a
+        // horizontal edge (closed interval), is inside.
+        if (yi == py && xi == px) return true;
+        if (yi == py && yj == py && std::min(xi, xj) <= px &&
+            px <= std::max(xi, xj))
+            return true;
+        if ((yi > py) != (yj > py) &&
+            px < (xj - xi) * (py - yi) / (yj - yi) + xi)
+            inside = !inside;
+    }
+    return inside;
+}
+
+namespace {
+
+/// Closed x interval of boundary samples on one row (a vertex
+/// degenerates to lo == hi).
+struct BoundarySpan {
+    double lo;
+    double hi;
+};
+
+}  // namespace
+
+pvfp::Grid2D<unsigned char> rasterize_polygon_even_odd(
+    const std::vector<std::array<double, 2>>& poly, int width, int height,
+    double cell_size, double origin_x, double origin_y) {
+    check_arg(width >= 0 && height >= 0,
+              "rasterize_polygon_even_odd: negative window");
+    check_arg(cell_size > 0.0,
+              "rasterize_polygon_even_odd: cell_size must be > 0");
+    pvfp::Grid2D<unsigned char> out(width, height, 0);
+    const std::size_t n = poly.size();
+    if (n == 0) return out;
+
+    std::vector<double> crossings;
+    std::vector<BoundarySpan> boundary;
+    crossings.reserve(n);
+    for (int y = 0; y < height; ++y) {
+        const double py = origin_y - (y + 0.5) * cell_size;
+        crossings.clear();
+        boundary.clear();
+        for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+            const double xi = poly[i][0];
+            const double yi = poly[i][1];
+            const double xj = poly[j][0];
+            const double yj = poly[j][1];
+            if (yi == py) {
+                if (yj == py)
+                    boundary.push_back(
+                        {std::min(xi, xj), std::max(xi, xj)});
+                else
+                    boundary.push_back({xi, xi});
+            }
+            if ((yi > py) != (yj > py))
+                crossings.push_back((xj - xi) * (py - yi) / (yj - yi) + xi);
+        }
+        std::sort(crossings.begin(), crossings.end());
+        if (!boundary.empty()) {
+            // Union of the closed spans: containment in the merged set is
+            // containment in at least one original span.
+            std::sort(boundary.begin(), boundary.end(),
+                      [](const BoundarySpan& a, const BoundarySpan& b) {
+                          return a.lo < b.lo;
+                      });
+            std::size_t m = 0;
+            for (std::size_t k = 1; k < boundary.size(); ++k) {
+                if (boundary[k].lo <= boundary[m].hi)
+                    boundary[m].hi =
+                        std::max(boundary[m].hi, boundary[k].hi);
+                else
+                    boundary[++m] = boundary[k];
+            }
+            boundary.resize(m + 1);
+        }
+
+        // Left-to-right sweep: px is strictly increasing in x, so the
+        // count of crossing thresholds still ahead (`px < t`, the
+        // oracle's comparison) only ever shrinks, and the boundary-span
+        // pointer only ever advances.
+        std::size_t cross_idx = 0;
+        std::size_t span_idx = 0;
+        for (int x = 0; x < width; ++x) {
+            const double px = origin_x + (x + 0.5) * cell_size;
+            while (cross_idx < crossings.size() &&
+                   !(px < crossings[cross_idx]))
+                ++cross_idx;
+            bool inside = ((crossings.size() - cross_idx) & 1) != 0;
+            if (!inside && span_idx < boundary.size()) {
+                while (span_idx < boundary.size() &&
+                       boundary[span_idx].hi < px)
+                    ++span_idx;
+                inside = span_idx < boundary.size() &&
+                         boundary[span_idx].lo <= px;
+            }
+            out(x, y) = inside ? 1 : 0;
+        }
+    }
+    return out;
+}
+
+}  // namespace pvfp::geo

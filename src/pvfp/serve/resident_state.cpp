@@ -71,6 +71,13 @@ std::size_t prepared_scenario_bytes(const core::PreparedScenario& prepared) {
     bytes += static_cast<std::size_t>(prepared.field.steps()) *
              (9 * sizeof(float) + sizeof(std::uint8_t) +
               2 * sizeof(std::int32_t) + sizeof(double));
+    // Daylight-packed plane twins (7 float planes + 2 x int32 + 1 x
+    // double per daylight step) and the two step<->packed index maps.
+    bytes += static_cast<std::size_t>(prepared.field.packed_steps()) *
+             (7 * sizeof(float) + 2 * sizeof(std::int32_t) +
+              sizeof(double) + sizeof(long));
+    bytes += static_cast<std::size_t>(prepared.field.steps()) *
+             sizeof(long);
     // Suitability, G percentile, T percentile grids.
     bytes += (prepared.suitability.suitability.size() +
               prepared.suitability.g_percentile.size() +

@@ -144,6 +144,46 @@ IrradianceField::IrradianceField(geo::HorizonMap horizon,
         hor_frac_[si] = pos - std::floor(pos);
     }
     });
+
+    // Daylight-packed twins: compact every per-step quantity the series
+    // kernels touch over daylight steps only, in step order.  A stride-1
+    // daylight sweep (the evaluator shards, suitability with
+    // daylight_only sampling) then maps to a contiguous packed run and
+    // runs unit-stride with no gathers — see
+    // cell_irradiance_series_unchecked.  Pure bitwise copies; ~50% of
+    // steps are daylight, so this costs about half a plane set of extra
+    // memory (accounted in serve::ResidentState's budget).
+    step_to_packed_.assign(n, -1);
+    long nd = 0;
+    for (std::size_t si = 0; si < n; ++si)
+        if (daylight_[si] != 0) ++nd;
+    p_beam_eq_.resize(static_cast<std::size_t>(nd));
+    p_sky_diffuse_.resize(static_cast<std::size_t>(nd));
+    p_reflected_.resize(static_cast<std::size_t>(nd));
+    p_sun_elevation_.resize(static_cast<std::size_t>(nd));
+    p_sun_e_.resize(static_cast<std::size_t>(nd));
+    p_sun_n_.resize(static_cast<std::size_t>(nd));
+    p_sun_u_.resize(static_cast<std::size_t>(nd));
+    p_hor_off0_.resize(static_cast<std::size_t>(nd));
+    p_hor_off1_.resize(static_cast<std::size_t>(nd));
+    p_hor_frac_.resize(static_cast<std::size_t>(nd));
+    packed_to_step_.reserve(static_cast<std::size_t>(nd));
+    for (std::size_t si = 0; si < n; ++si) {
+        if (daylight_[si] == 0) continue;
+        const std::size_t p = packed_to_step_.size();
+        step_to_packed_[si] = static_cast<long>(p);
+        p_beam_eq_[p] = beam_eq_[si];
+        p_sky_diffuse_[p] = sky_diffuse_[si];
+        p_reflected_[p] = reflected_[si];
+        p_sun_elevation_[p] = sun_elevation_[si];
+        p_sun_e_[p] = sun_e_[si];
+        p_sun_n_[p] = sun_n_[si];
+        p_sun_u_[p] = sun_u_[si];
+        p_hor_off0_[p] = hor_off0_[si];
+        p_hor_off1_[p] = hor_off1_[si];
+        p_hor_frac_[p] = hor_frac_[si];
+        packed_to_step_.push_back(static_cast<long>(si));
+    }
 }
 
 double IrradianceField::cell_irradiance(int x, int y, long s) const {
@@ -190,6 +230,16 @@ detail::FieldView IrradianceField::view() const {
     v.hor_off0 = hor_off0_.data();
     v.hor_off1 = hor_off1_.data();
     v.hor_frac = hor_frac_.data();
+    v.p_beam_eq = p_beam_eq_.data();
+    v.p_sky_diffuse = p_sky_diffuse_.data();
+    v.p_reflected = p_reflected_.data();
+    v.p_sun_elevation = p_sun_elevation_.data();
+    v.p_sun_e = p_sun_e_.data();
+    v.p_sun_n = p_sun_n_.data();
+    v.p_sun_u = p_sun_u_.data();
+    v.p_hor_off0 = p_hor_off0_.data();
+    v.p_hor_off1 = p_hor_off1_.data();
+    v.p_hor_frac = p_hor_frac_.data();
     v.angles = horizon_.angles_data();
     v.svf = horizon_.svf_data();
     if (has_normals_) {
@@ -212,7 +262,10 @@ void IrradianceField::cell_irradiance_row(int y, long s, int x0, int x1,
               "IrradianceField: row span out of range");
     if (x0 == x1) return;
     const detail::FieldView v = view();
-    if (simd_level() == SimdLevel::Avx2 && detail::avx2_kernels_compiled())
+    const SimdLevel lvl = simd_level();
+    if (lvl == SimdLevel::Avx512 && detail::avx512_kernels_compiled())
+        detail::cell_row_avx512(v, y, s, x0, x1, out);
+    else if (lvl != SimdLevel::Scalar && detail::avx2_kernels_compiled())
         detail::cell_row_avx2(v, y, s, x0, x1, out);
     else
         detail::cell_row_scalar(v, y, s, x0, x1, out);
@@ -234,12 +287,65 @@ void IrradianceField::cell_irradiance_series_unchecked(
     int x, int y, std::span<const long> steps, double* out) const {
     assert(x >= 0 && x < width() && y >= 0 && y < height());
     if (steps.empty()) return;
+    // Packed fast path: when the step span is a contiguous daylight run
+    // (every daylight step between steps.front() and steps.back(), in
+    // order — exactly what the stride-1 evaluator shards and
+    // daylight-filtered suitability sampling produce), sweep the packed
+    // planes unit-stride instead of gathering.  The O(n) detection scan
+    // is a table walk, far cheaper than the gathers it replaces; any
+    // mismatch (night step first, strides, scrambled order) falls back
+    // to the gather kernel.
+    const long p0 = step_to_packed_[static_cast<std::size_t>(steps[0])];
+    if (p0 >= 0) {
+        bool contiguous = true;
+        for (std::size_t k = 1; k < steps.size(); ++k) {
+            if (step_to_packed_[static_cast<std::size_t>(steps[k])] !=
+                p0 + static_cast<long>(k)) {
+                contiguous = false;
+                break;
+            }
+        }
+        if (contiguous) {
+            cell_irradiance_packed_unchecked(
+                x, y, p0, p0 + static_cast<long>(steps.size()), out);
+            return;
+        }
+    }
     const detail::FieldView v = view();
-    if (simd_level() == SimdLevel::Avx2 && detail::avx2_kernels_compiled())
+    const SimdLevel lvl = simd_level();
+    if (lvl == SimdLevel::Avx512 && detail::avx512_kernels_compiled())
+        detail::cell_series_avx512(v, x, y, steps.data(), steps.size(),
+                                   out);
+    else if (lvl != SimdLevel::Scalar && detail::avx2_kernels_compiled())
         detail::cell_series_avx2(v, x, y, steps.data(), steps.size(), out);
     else
         detail::cell_series_scalar(v, x, y, steps.data(), steps.size(),
                                    out);
+}
+
+void IrradianceField::cell_irradiance_packed(int x, int y, long p0, long p1,
+                                             double* out) const {
+    check_arg(x >= 0 && x < width() && y >= 0 && y < height(),
+              "IrradianceField: cell out of range");
+    check_arg(p0 >= 0 && p0 <= p1 && p1 <= packed_steps(),
+              "IrradianceField: packed range out of range");
+    cell_irradiance_packed_unchecked(x, y, p0, p1, out);
+}
+
+void IrradianceField::cell_irradiance_packed_unchecked(int x, int y,
+                                                       long p0, long p1,
+                                                       double* out) const {
+    assert(x >= 0 && x < width() && y >= 0 && y < height());
+    assert(p0 >= 0 && p0 <= p1 && p1 <= packed_steps());
+    if (p0 == p1) return;
+    const detail::FieldView v = view();
+    const SimdLevel lvl = simd_level();
+    if (lvl == SimdLevel::Avx512 && detail::avx512_kernels_compiled())
+        detail::cell_packed_avx512(v, x, y, p0, p1, out);
+    else if (lvl != SimdLevel::Scalar && detail::avx2_kernels_compiled())
+        detail::cell_packed_avx2(v, x, y, p0, p1, out);
+    else
+        detail::cell_packed_scalar(v, x, y, p0, p1, out);
 }
 
 double IrradianceField::cell_module_temperature(int x, int y, long s) const {

@@ -24,6 +24,14 @@
 /// run as branch-free SIMD-friendly loops.  Both are *bitwise identical*
 /// to the scalar cell_irradiance_unchecked per cell, at any SIMD level
 /// (see util/simd.hpp for the dispatch contract).
+///
+/// The per-step planes additionally carry *daylight-packed* twins: the
+/// same quantities compacted over daylight steps only, in step order.
+/// cell_irradiance_series detects contiguous daylight runs (the default
+/// stride-1 sweeps of the evaluator and suitability) and sweeps the
+/// packed planes unit-stride — no gathers, no night lanes — via
+/// cell_irradiance_packed; packed_to_step()/packed_index() map between
+/// the two step domains.
 
 #include <cassert>
 #include <cstdint>
@@ -72,6 +80,21 @@ struct FieldView {
     const std::int32_t* hor_off0 = nullptr;
     const std::int32_t* hor_off1 = nullptr;
     const double* hor_frac = nullptr;
+    // Daylight-packed step planes: the same per-step quantities
+    // compacted over daylight steps only, in step order, so stride-1
+    // daylight sweeps read them unit-stride with no gathers and no
+    // night lanes.  Values are bitwise copies of the step planes above
+    // (the packed kernels recompute nothing).
+    const float* p_beam_eq = nullptr;
+    const float* p_sky_diffuse = nullptr;
+    const float* p_reflected = nullptr;
+    const float* p_sun_elevation = nullptr;
+    const float* p_sun_e = nullptr;
+    const float* p_sun_n = nullptr;
+    const float* p_sun_u = nullptr;
+    const std::int32_t* p_hor_off0 = nullptr;
+    const std::int32_t* p_hor_off1 = nullptr;
+    const double* p_hor_frac = nullptr;
     // Cell-indexed planes (row-major over the window).
     const float* angles = nullptr;  ///< sector-major horizon planes
     const float* svf = nullptr;
@@ -132,6 +155,20 @@ public:
         return daylight_[static_cast<std::size_t>(s)] != 0;
     }
 
+    /// Number of daylight steps — the length of the packed step planes.
+    long packed_steps() const {
+        return static_cast<long>(packed_to_step_.size());
+    }
+
+    /// Original step index of packed index \p p (ascending in p).
+    std::span<const long> packed_to_step() const { return packed_to_step_; }
+
+    /// Packed index of step \p s, or -1 when \p s is a night step.
+    long packed_index(long s) const {
+        check_step(s);
+        return step_to_packed_[static_cast<std::size_t>(s)];
+    }
+
     /// Sun position at step \p s.
     SunPosition sun(long s) const {
         check_step(s);
@@ -183,6 +220,24 @@ public:
                                           std::span<const long> steps,
                                           double* out) const;
 
+    /// Packed series kernel: out[k] = cell_irradiance of cell (x, y) at
+    /// step packed_to_step()[p0 + k] for k in [0, p1 - p0) — the
+    /// gather-free unit-stride sweep over daylight steps.  Bitwise
+    /// identical to cell_irradiance_series on the corresponding original
+    /// steps at any SIMD level.  cell_irradiance_series_unchecked calls
+    /// this automatically when its step span is a contiguous daylight
+    /// run (the stride-1 evaluator/suitability sweeps), so callers only
+    /// need it when they already think in packed indices.  Validates the
+    /// cell and packed range (throws InvalidArgument).
+    void cell_irradiance_packed(int x, int y, long p0, long p1,
+                                double* out) const;
+
+    /// Unchecked fast path of cell_irradiance_packed.  Preconditions
+    /// (debug-asserted): cell inside the window,
+    /// 0 <= p0 <= p1 <= packed_steps().
+    void cell_irradiance_packed_unchecked(int x, int y, long p0, long p1,
+                                          double* out) const;
+
     /// Module temperature [deg C] at the cell: Tair + k * G.
     double cell_module_temperature(int x, int y, long s) const;
 
@@ -193,14 +248,18 @@ public:
     /// Yearly unshaded plane-of-array insolation [kWh/m^2] (diagnostics).
     double unshaded_insolation_kwh_m2() const;
 
+    /// Raw SoA plane view consumed by the batched kernels
+    /// (irradiance_kernels.hpp).  Internal surface, exposed for the
+    /// kernel micro-benchmarks and differential tests; pointers are
+    /// invalidated by destroying the field.
+    detail::FieldView view() const;
+
 private:
     /// Validating step guard backing the public per-step methods.
     void check_step(long s) const {
         check_arg(s >= 0 && s < static_cast<long>(daylight_.size()),
                   "IrradianceField: step out of range");
     }
-
-    detail::FieldView view() const;
 
     geo::HorizonMap horizon_;
     pvfp::TimeGrid grid_;
@@ -234,6 +293,21 @@ private:
     std::vector<std::int32_t> hor_off0_;
     std::vector<std::int32_t> hor_off1_;
     std::vector<double> hor_frac_;
+    /// Daylight-packed twins of the step planes above (bitwise copies,
+    /// daylight steps only, in step order) plus the index maps between
+    /// the two domains.  step_to_packed_ is -1 on night steps.
+    std::vector<float> p_beam_eq_;
+    std::vector<float> p_sky_diffuse_;
+    std::vector<float> p_reflected_;
+    std::vector<float> p_sun_elevation_;
+    std::vector<float> p_sun_e_;
+    std::vector<float> p_sun_n_;
+    std::vector<float> p_sun_u_;
+    std::vector<std::int32_t> p_hor_off0_;
+    std::vector<std::int32_t> p_hor_off1_;
+    std::vector<double> p_hor_frac_;
+    std::vector<long> packed_to_step_;
+    std::vector<long> step_to_packed_;
 };
 
 }  // namespace pvfp::solar

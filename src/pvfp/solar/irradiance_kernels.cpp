@@ -1,5 +1,9 @@
 #include "pvfp/solar/irradiance_kernels.hpp"
 
+#include <algorithm>
+
+#include "pvfp/util/simd.hpp"
+
 namespace pvfp::solar::detail {
 
 // Bitwise contract with cell_irradiance_unchecked, which computes
@@ -127,6 +131,108 @@ void cell_series_scalar(const FieldView& f, int x, int y, const long* steps,
             lit ? static_cast<double>(f.beam_eq[si]) * cosi : 0.0;
         out[k] = base + add;
     }
+}
+
+void cell_packed_scalar(const FieldView& f, int x, int y, long p0, long p1,
+                        double* out) {
+    // Unit-stride twin of cell_series_scalar over the daylight-packed
+    // planes.  The packed planes are bitwise copies of the step planes,
+    // so computing the identical expression over them reproduces the
+    // series kernel (and thus the scalar reference) bit for bit.  The
+    // full lit condition stays: a daylight step can still have
+    // beam_eq == 0 (no beam in the weather series) and the float-cast
+    // sun elevation of a barely-risen sun can round to 0.0f.
+    const long ci = static_cast<long>(y) * f.width + x;
+    const double svf = f.svf[ci];
+    const float* angles_cell = f.angles + ci;
+    const std::size_t n = static_cast<std::size_t>(p1 - p0);
+    const float* beam_p = f.p_beam_eq + p0;
+    const float* sky_p = f.p_sky_diffuse + p0;
+    const float* refl_p = f.p_reflected + p0;
+    const float* elev_p = f.p_sun_elevation + p0;
+    const float* se_p = f.p_sun_e + p0;
+    const float* sn_p = f.p_sun_n + p0;
+    const float* su_p = f.p_sun_u + p0;
+    const std::int32_t* off0_p = f.p_hor_off0 + p0;
+    const std::int32_t* off1_p = f.p_hor_off1 + p0;
+    const double* frac_p = f.p_hor_frac + p0;
+
+    if (f.norm_e != nullptr) {
+        const float ne = f.norm_e[ci];
+        const float nn = f.norm_n[ci];
+        const float nu = f.norm_u[ci];
+        for (std::size_t k = 0; k < n; ++k) {
+            const double base = static_cast<double>(refl_p[k]) +
+                                svf * static_cast<double>(sky_p[k]);
+            const double elev = elev_p[k];
+            const double a0 = angles_cell[off0_p[k]];
+            const double a1 = angles_cell[off1_p[k]];
+            const double h = a0 + (a1 - a0) * frac_p[k];
+            const double cosi =
+                ne * se_p[k] + nn * sn_p[k] + nu * su_p[k];
+            const bool lit = beam_p[k] > 0.0f && elev > 0.0 && elev >= h &&
+                             cosi > 0.0;
+            const double add =
+                lit ? static_cast<double>(beam_p[k]) * cosi : 0.0;
+            out[k] = base + add;
+        }
+        return;
+    }
+
+    for (std::size_t k = 0; k < n; ++k) {
+        const double base = static_cast<double>(refl_p[k]) +
+                            svf * static_cast<double>(sky_p[k]);
+        const double elev = elev_p[k];
+        const double a0 = angles_cell[off0_p[k]];
+        const double a1 = angles_cell[off1_p[k]];
+        const double h = a0 + (a1 - a0) * frac_p[k];
+        const double cosi = f.plane_e * static_cast<double>(se_p[k]) +
+                            f.plane_n * static_cast<double>(sn_p[k]) +
+                            f.plane_u * static_cast<double>(su_p[k]);
+        const bool lit =
+            beam_p[k] > 0.0f && elev > 0.0 && elev >= h && cosi > 0.0;
+        const double add =
+            lit ? static_cast<double>(beam_p[k]) * cosi : 0.0;
+        out[k] = base + add;
+    }
+}
+
+namespace {
+
+/// Histogram::bin_index(x) replicated branch-free: clamp the linear
+/// index before the int cast (the cast is only defined inside int
+/// range; x far past hi must not reach it un-clamped), then apply the
+/// two boundary overrides exactly as the branchy original does.  For
+/// lo < x < hi the clamped cast equals min((int)((x-lo)/width),
+/// bins-1) because truncation is monotone.
+inline std::int32_t bin_index_branchfree(double x, const BinAxis& a) {
+    const double top = static_cast<double>(a.bins - 1);
+    const double v = std::min((x - a.lo) / a.width, top);
+    std::int32_t i = static_cast<std::int32_t>(std::max(v, 0.0));
+    if (x <= a.lo) i = 0;
+    if (x >= a.hi) i = a.bins - 1;
+    return i;
+}
+
+}  // namespace
+
+void bin_series_scalar(const double* g, std::size_t n, const double* t_air,
+                       double k_th, const BinAxis& ga, const BinAxis& ta,
+                       std::int32_t* g_bins, std::int32_t* t_bins) {
+    for (std::size_t k = 0; k < n; ++k) {
+        g_bins[k] = bin_index_branchfree(g[k], ga);
+        const double t = t_air[k] + k_th * g[k];
+        t_bins[k] = bin_index_branchfree(t, ta);
+    }
+}
+
+void bin_series(const double* g, std::size_t n, const double* t_air,
+                double k_th, const BinAxis& ga, const BinAxis& ta,
+                std::int32_t* g_bins, std::int32_t* t_bins) {
+    if (simd_level() == SimdLevel::Avx512 && avx512_kernels_compiled())
+        bin_series_avx512(g, n, t_air, k_th, ga, ta, g_bins, t_bins);
+    else
+        bin_series_scalar(g, n, t_air, k_th, ga, ta, g_bins, t_bins);
 }
 
 }  // namespace pvfp::solar::detail

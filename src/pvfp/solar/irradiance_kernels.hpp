@@ -2,26 +2,31 @@
 /// \file irradiance_kernels.hpp
 /// Internal batched irradiance kernels over a FieldView (SoA planes).
 ///
-/// Two shapes, two implementations each:
+/// Three shapes, up to three implementations each:
 ///  - row kernel:    fixed step, contiguous span of cells in one row;
-///  - series kernel: fixed cell, arbitrary span of steps.
+///  - series kernel: fixed cell, arbitrary span of steps (gathers);
+///  - packed kernel: fixed cell, contiguous run of *daylight-packed*
+///    steps (unit-stride loads over the packed planes — the gather-free
+///    fast path of cell_irradiance_series for stride-1 daylight sweeps).
 ///
 /// The scalar implementations are branch-free inner loops (horizon lerp
 /// + compare instead of is_shaded branching, masked beam term) written
-/// so GCC/Clang auto-vectorize them; the AVX2 implementations are
-/// hand-written intrinsics selected at runtime (util/simd.hpp).  Both
-/// compute the *same IEEE operations in the same association* as
-/// IrradianceField::cell_irradiance_unchecked — no FMA (the build sets
-/// -ffp-contract=off), no reassociation — so every implementation is
-/// bitwise-identical per cell.  tests/solar/test_batched_kernels pins
-/// this property across roofs, sky models, normals on/off, and SIMD
-/// on/off.
+/// so GCC/Clang auto-vectorize them; the AVX2 and AVX-512 paths are
+/// hand-written intrinsics selected at runtime (util/simd.hpp), the
+/// AVX-512 ones using masked loads/stores so no scalar tail loop
+/// remains.  All compute the *same IEEE operations in the same
+/// association* as IrradianceField::cell_irradiance_unchecked — no FMA
+/// (the build sets -ffp-contract=off), no reassociation — so every
+/// implementation is bitwise-identical per cell.
+/// tests/solar/test_batched_kernels pins this property across roofs,
+/// sky models, normals on/off, and SIMD levels.
 ///
 /// Preconditions (debug-asserted by the callers, validated at the
 /// IrradianceField boundary): row/cell inside the window, steps in
-/// range, out sized to the span.
+/// range, packed runs inside [0, n_packed), out sized to the span.
 
 #include <cstddef>
+#include <cstdint>
 
 #include "pvfp/solar/irradiance.hpp"
 
@@ -35,10 +40,19 @@ void cell_row_scalar(const FieldView& f, int y, long s, int x0, int x1,
 void cell_series_scalar(const FieldView& f, int x, int y, const long* steps,
                         std::size_t n, double* out);
 
+/// out[k] = G(x, y, packed_to_step[p0 + k]) for k in [0, p1 - p0):
+/// unit-stride sweep over the daylight-packed planes.
+void cell_packed_scalar(const FieldView& f, int x, int y, long p0, long p1,
+                        double* out);
+
 /// True when this build carries the AVX2 kernels (x86-64 compilers);
 /// callers must additionally check pvfp::cpu_supports_avx2() / the
 /// dispatch level before calling them.
 bool avx2_kernels_compiled();
+
+/// Same gate for the AVX-512 kernels (needs avx512f + avx512vl at run
+/// time, checked by pvfp::cpu_supports_avx512()).
+bool avx512_kernels_compiled();
 
 /// AVX2 twins of the scalar kernels; fall back to the scalar kernels on
 /// builds where avx2_kernels_compiled() is false.
@@ -46,5 +60,48 @@ void cell_row_avx2(const FieldView& f, int y, long s, int x0, int x1,
                    double* out);
 void cell_series_avx2(const FieldView& f, int x, int y, const long* steps,
                       std::size_t n, double* out);
+void cell_packed_avx2(const FieldView& f, int x, int y, long p0, long p1,
+                      double* out);
+
+/// AVX-512 twins (masked tails — no scalar remainder loop); fall back
+/// to the scalar kernels on builds where avx512_kernels_compiled() is
+/// false.
+void cell_row_avx512(const FieldView& f, int y, long s, int x0, int x1,
+                     double* out);
+void cell_series_avx512(const FieldView& f, int x, int y, const long* steps,
+                        std::size_t n, double* out);
+void cell_packed_avx512(const FieldView& f, int x, int y, long p0, long p1,
+                        double* out);
+
+/// One histogram axis for the fused suitability binning: the fixed
+/// bin grid of a pvfp::Histogram(lo, hi, bins).  width must equal
+/// (hi - lo) / bins exactly as the Histogram constructor computes it.
+struct BinAxis {
+    double lo = 0.0;
+    double hi = 1.0;
+    double width = 0.0;
+    int bins = 1;
+};
+
+/// Fused suitability binning: for each sample k, g_bins[k] is the
+/// Histogram::bin_index of g[k] on \p ga and t_bins[k] the bin_index of
+/// t_air[k] + k_th * g[k] on \p ta — exactly the per-sample arithmetic
+/// compute_suitability used to run after the series kernel, now a
+/// branch-free elementwise pass (with an AVX-512 twin) fused onto the
+/// kernel output.  Bin indices are integers, so this is trivially
+/// deterministic; the expressions still replicate Histogram::bin_index
+/// case for case.
+void bin_series_scalar(const double* g, std::size_t n, const double* t_air,
+                       double k_th, const BinAxis& ga, const BinAxis& ta,
+                       std::int32_t* g_bins, std::int32_t* t_bins);
+void bin_series_avx512(const double* g, std::size_t n, const double* t_air,
+                       double k_th, const BinAxis& ga, const BinAxis& ta,
+                       std::int32_t* g_bins, std::int32_t* t_bins);
+
+/// Dispatch helper used by compute_suitability: bin_series at the
+/// current simd_level().
+void bin_series(const double* g, std::size_t n, const double* t_air,
+                double k_th, const BinAxis& ga, const BinAxis& ta,
+                std::int32_t* g_bins, std::int32_t* t_bins);
 
 }  // namespace pvfp::solar::detail

@@ -74,11 +74,25 @@ struct SharedSkyArtifact {
 /// Prepare the artifact: validates \p env (size and non-negativity) and
 /// runs the per-step sun-position + transposition precompute over the
 /// deterministic parallel substrate (fixed chunks — same bits at any
-/// thread count).
+/// thread count).  The sweep is batched: per-day ephemeris constants are
+/// hoisted (association preserved) and the elementwise geometry /
+/// transposition passes run through runtime-dispatched SIMD kernels
+/// (sky_kernels.hpp), bitwise-identical to the reference below at every
+/// SIMD level.
 SharedSkyArtifact prepare_sky_artifact(const Location& location,
                                        const pvfp::TimeGrid& grid,
                                        std::vector<EnvSample> env,
                                        SkyModel sky_model);
+
+/// The original unbatched per-step loop (one sun_position call plus the
+/// inline transposition block per step).  Kept as the differential
+/// oracle: tests pin prepare_sky_artifact against it bitwise across
+/// latitudes and sky models, and the micro benchmarks use it as the
+/// cold-start baseline.
+SharedSkyArtifact prepare_sky_artifact_reference(const Location& location,
+                                                 const pvfp::TimeGrid& grid,
+                                                 std::vector<EnvSample> env,
+                                                 SkyModel sky_model);
 
 /// Convenience overload returning a shared handle ready to hand to many
 /// fields/scenarios.

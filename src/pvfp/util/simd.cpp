@@ -18,15 +18,26 @@ bool detect_avx2() {
 #endif
 }
 
+bool detect_avx512() {
+#if defined(__x86_64__) || defined(__amd64__) || defined(__i386__)
+    return __builtin_cpu_supports("avx512f") != 0 &&
+           __builtin_cpu_supports("avx512vl") != 0;
+#else
+    return false;
+#endif
+}
+
 /// Resolve the default level from PVFP_SIMD and the CPU.  Explicit
-/// requests are strict: "avx2" on a CPU without AVX2, or an
-/// unrecognized value, throws instead of silently degrading — a CI job
-/// that forces a level must fail loudly rather than test the wrong
+/// requests are strict: "avx2"/"avx512" on a CPU without the level, or
+/// an unrecognized value, throws instead of silently degrading — a CI
+/// job that forces a level must fail loudly rather than test the wrong
 /// kernels.
 SimdLevel resolve_default() {
     const char* env = std::getenv("PVFP_SIMD");
-    if (env == nullptr || std::strcmp(env, "auto") == 0)
+    if (env == nullptr || std::strcmp(env, "auto") == 0) {
+        if (cpu_supports_avx512()) return SimdLevel::Avx512;
         return cpu_supports_avx2() ? SimdLevel::Avx2 : SimdLevel::Scalar;
+    }
     if (std::strcmp(env, "scalar") == 0 || std::strcmp(env, "off") == 0 ||
         std::strcmp(env, "0") == 0)
         return SimdLevel::Scalar;
@@ -35,8 +46,14 @@ SimdLevel resolve_default() {
                   "PVFP_SIMD=avx2 requested but the CPU has no AVX2");
         return SimdLevel::Avx2;
     }
+    if (std::strcmp(env, "avx512") == 0) {
+        check_arg(cpu_supports_avx512(),
+                  "PVFP_SIMD=avx512 requested but the CPU has no "
+                  "AVX-512F/VL");
+        return SimdLevel::Avx512;
+    }
     throw InvalidArgument(std::string("PVFP_SIMD: unrecognized value \"") +
-                          env + "\" (use scalar|avx2|auto)");
+                          env + "\" (use scalar|avx2|avx512|auto)");
 }
 
 /// Current level, encoded as int so the hot-path read is one relaxed
@@ -47,6 +64,11 @@ std::atomic<int> g_level{-1};
 
 bool cpu_supports_avx2() {
     static const bool supported = detect_avx2();
+    return supported;
+}
+
+bool cpu_supports_avx512() {
+    static const bool supported = detect_avx512();
     return supported;
 }
 
@@ -62,6 +84,9 @@ SimdLevel simd_level() {
 void set_simd_level(SimdLevel level) {
     check_arg(level != SimdLevel::Avx2 || cpu_supports_avx2(),
               "set_simd_level: AVX2 requested but not supported by this CPU");
+    check_arg(level != SimdLevel::Avx512 || cpu_supports_avx512(),
+              "set_simd_level: AVX-512 requested but not supported by this "
+              "CPU");
     g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
@@ -71,7 +96,11 @@ void set_simd_level_auto() {
 }
 
 const char* simd_level_name(SimdLevel level) {
-    return level == SimdLevel::Avx2 ? "avx2" : "scalar";
+    switch (level) {
+        case SimdLevel::Avx512: return "avx512";
+        case SimdLevel::Avx2: return "avx2";
+        default: return "scalar";
+    }
 }
 
 }  // namespace pvfp

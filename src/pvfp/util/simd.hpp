@@ -2,21 +2,23 @@
 /// \file simd.hpp
 /// Runtime SIMD dispatch for the batched irradiance kernels.
 ///
-/// The batched kernels (solar/irradiance_kernels) ship two
+/// The batched kernels (solar/irradiance_kernels) ship three
 /// implementations: a branch-free scalar loop the compiler can
-/// auto-vectorize, and a hand-written AVX2 path.  Which one runs is a
-/// pure runtime decision — the library binary is portable — resolved
-/// from, in priority order:
+/// auto-vectorize, a hand-written AVX2 path, and a hand-written AVX-512
+/// path whose masked loads/stores remove the scalar tail loops.  Which
+/// one runs is a pure runtime decision — the library binary is
+/// portable — resolved from, in priority order:
 ///
 ///   1. a set_simd_level() override (tests and benches toggling paths),
 ///   2. the PVFP_SIMD environment variable
-///      ("scalar"/"off"/"0" forces scalar, "avx2" forces AVX2 — an
-///      InvalidArgument when the CPU lacks it, as is any unrecognized
-///      value, so a CI job forcing a level fails loudly instead of
-///      silently testing the wrong kernels — "auto"/unset detects), and
-///   3. CPU detection (auto runs AVX2 only when the CPU has it).
+///      ("scalar"/"off"/"0" forces scalar, "avx2" forces AVX2, "avx512"
+///      forces AVX-512 — an InvalidArgument when the CPU lacks the
+///      level, as is any unrecognized value, so a CI job forcing a
+///      level fails loudly instead of silently testing the wrong
+///      kernels — "auto"/unset detects), and
+///   3. CPU detection (auto runs the widest level the CPU has).
 ///
-/// Determinism contract: both paths compute elementwise-identical IEEE
+/// Determinism contract: all paths compute elementwise-identical IEEE
 /// arithmetic (same operations, same association, no FMA contraction —
 /// the build sets -ffp-contract=off), so switching levels never changes
 /// a single bit of any result.  tests/solar/test_batched_kernels pins
@@ -28,23 +30,29 @@ namespace pvfp {
 enum class SimdLevel {
     Scalar,  ///< portable loops (still auto-vectorizable)
     Avx2,    ///< 4-wide double / 8-wide float intrinsics
+    Avx512,  ///< 8-wide double intrinsics with masked tails
 };
 
 /// True when the executing CPU supports AVX2.
 bool cpu_supports_avx2();
 
+/// True when the executing CPU supports the AVX-512 subset the kernels
+/// use (avx512f + avx512vl: foundation ops plus 256-bit masked forms).
+bool cpu_supports_avx512();
+
 /// The level the batched kernels dispatch to right now.
 SimdLevel simd_level();
 
-/// Force a level (Avx2 throws InvalidArgument when the CPU lacks it).
-/// Only call at a quiescent point — the setting is global.
+/// Force a level (Avx2/Avx512 throw InvalidArgument when the CPU lacks
+/// them).  Only call at a quiescent point — the setting is global.
 void set_simd_level(SimdLevel level);
 
 /// Restore the default resolution (PVFP_SIMD env, then CPU detection);
 /// throws InvalidArgument on a bad PVFP_SIMD value, like startup does.
 void set_simd_level_auto();
 
-/// Human-readable name of a level ("scalar" / "avx2") for bench banners.
+/// Human-readable name of a level ("scalar" / "avx2" / "avx512") for
+/// bench banners.
 const char* simd_level_name(SimdLevel level);
 
 }  // namespace pvfp

@@ -1,6 +1,7 @@
 #include "pvfp/util/stats.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "pvfp/util/error.hpp"
@@ -124,6 +125,12 @@ void Histogram::add(double x) { add(x, 1); }
 
 void Histogram::add(double x, std::uint32_t n) {
     counts_[static_cast<std::size_t>(bin_index(x))] += n;
+    total_ += n;
+}
+
+void Histogram::add_bin(int i, std::uint32_t n) {
+    assert(i >= 0 && i < bin_count());
+    counts_[static_cast<std::size_t>(i)] += n;
     total_ += n;
 }
 

@@ -72,6 +72,10 @@ public:
     void add(double x);
     /// Add \p n occurrences of \p x at once.
     void add(double x, std::uint32_t n);
+    /// Add \p n occurrences directly into bin \p i — the fused binning
+    /// path (solar::detail::bin_series precomputes indices in batch).
+    /// Precondition (debug-asserted): 0 <= i < bin_count().
+    void add_bin(int i, std::uint32_t n = 1);
 
     /// Percentile via cumulative counts with linear interpolation inside the
     /// containing bin.  Throws when the histogram is empty.

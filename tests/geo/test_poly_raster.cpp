@@ -1,0 +1,204 @@
+/// \file test_poly_raster.cpp
+/// The scanline rasterizer contract: the mask equals the per-cell
+/// even-odd oracle bit for bit on every cell center, across randomized
+/// polygons (including degenerate and collinear ones), and the
+/// boundary hardening (on-vertex / on-horizontal-edge samples) is
+/// deterministic.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "pvfp/geo/poly_raster.hpp"
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/rng.hpp"
+
+namespace pvfp::geo {
+namespace {
+
+/// Compare the rasterized mask against the per-cell oracle on every
+/// cell center of the window.
+void expect_mask_matches_oracle(
+    const std::vector<std::array<double, 2>>& poly, int width, int height,
+    double cell_size, double origin_x, double origin_y,
+    const char* what) {
+    const auto mask = rasterize_polygon_even_odd(
+        poly, width, height, cell_size, origin_x, origin_y);
+    ASSERT_EQ(mask.width(), width);
+    ASSERT_EQ(mask.height(), height);
+    for (int y = 0; y < height; ++y) {
+        const double py = origin_y - (y + 0.5) * cell_size;
+        for (int x = 0; x < width; ++x) {
+            const double px = origin_x + (x + 0.5) * cell_size;
+            const bool oracle = point_in_polygon_even_odd(px, py, poly);
+            ASSERT_EQ(mask(x, y) != 0, oracle)
+                << what << ": cell (" << x << "," << y << ") center ("
+                << px << "," << py << ")";
+        }
+    }
+}
+
+TEST(PolyRaster, SquareMatchesOracle) {
+    const std::vector<std::array<double, 2>> square{
+        {2.0, 2.0}, {8.0, 2.0}, {8.0, 8.0}, {2.0, 8.0}};
+    expect_mask_matches_oracle(square, 12, 12, 1.0, 0.0, 12.0, "square");
+
+    // Sanity on content, not just oracle parity: centers strictly inside.
+    const auto mask =
+        rasterize_polygon_even_odd(square, 12, 12, 1.0, 0.0, 12.0);
+    long inside = 0;
+    for (int y = 0; y < 12; ++y)
+        for (int x = 0; x < 12; ++x) inside += mask(x, y);
+    EXPECT_EQ(inside, 36);  // centers x.5/y.5 with x,y in [2,8) -> 6x6
+    EXPECT_EQ(mask(2, 5), 1);
+    EXPECT_EQ(mask(1, 5), 0);
+}
+
+TEST(PolyRaster, ConcaveAndSelfIntersectingMatchOracle) {
+    // L-shape (concave).
+    const std::vector<std::array<double, 2>> ell{
+        {1.0, 1.0}, {9.0, 1.0}, {9.0, 5.0}, {5.0, 5.0},
+        {5.0, 9.0}, {1.0, 9.0}};
+    expect_mask_matches_oracle(ell, 10, 10, 1.0, 0.0, 10.0, "L-shape");
+
+    // Bowtie (self-intersecting: even-odd leaves the pinch empty).
+    const std::vector<std::array<double, 2>> bowtie{
+        {1.0, 1.0}, {9.0, 9.0}, {9.0, 1.0}, {1.0, 9.0}};
+    expect_mask_matches_oracle(bowtie, 10, 10, 1.0, 0.0, 10.0, "bowtie");
+}
+
+TEST(PolyRaster, BoundarySamplesAreInside) {
+    // Square whose horizontal edges and vertices pass exactly through
+    // cell centers (centers at half-integers with cell_size 1).
+    const std::vector<std::array<double, 2>> square{
+        {2.5, 2.5}, {7.5, 2.5}, {7.5, 7.5}, {2.5, 7.5}};
+    // Top edge y = 7.5 is row y=2 (py = 10 - 2.5); its samples x in
+    // [2.5, 7.5] must be inside, on both the oracle and the mask.
+    EXPECT_TRUE(point_in_polygon_even_odd(2.5, 7.5, square));   // vertex
+    EXPECT_TRUE(point_in_polygon_even_odd(5.5, 7.5, square));   // on edge
+    EXPECT_TRUE(point_in_polygon_even_odd(5.5, 2.5, square));   // bottom
+    EXPECT_FALSE(point_in_polygon_even_odd(8.5, 7.5, square));  // past it
+    EXPECT_FALSE(point_in_polygon_even_odd(1.5, 2.5, square));
+    expect_mask_matches_oracle(square, 10, 10, 1.0, 0.0, 10.0,
+                               "on-center square");
+
+    const auto mask =
+        rasterize_polygon_even_odd(square, 10, 10, 1.0, 0.0, 10.0);
+    for (int x = 2; x <= 7; ++x) {
+        EXPECT_EQ(mask(x, 2), 1) << "top-edge sample x=" << x;
+        EXPECT_EQ(mask(x, 7), 1) << "bottom-edge sample x=" << x;
+    }
+    EXPECT_EQ(mask(1, 2), 0);
+    EXPECT_EQ(mask(8, 2), 0);
+}
+
+TEST(PolyRaster, DegenerateShapesMatchOracle) {
+    // Collinear "polygon" (zero area): nothing strictly inside, but the
+    // horizontal-segment samples themselves are boundary-inside.
+    const std::vector<std::array<double, 2>> flat{
+        {1.5, 4.5}, {5.5, 4.5}, {8.5, 4.5}};
+    expect_mask_matches_oracle(flat, 10, 10, 1.0, 0.0, 10.0, "collinear");
+    const auto mask =
+        rasterize_polygon_even_odd(flat, 10, 10, 1.0, 0.0, 10.0);
+    EXPECT_EQ(mask(3, 5), 1);  // py = 4.5 on the segment
+    EXPECT_EQ(mask(3, 4), 0);
+
+    // Repeated vertices.
+    const std::vector<std::array<double, 2>> repeated{
+        {2.0, 2.0}, {2.0, 2.0}, {8.0, 2.0}, {8.0, 8.0}, {8.0, 8.0},
+        {2.0, 8.0}};
+    expect_mask_matches_oracle(repeated, 10, 10, 1.0, 0.0, 10.0,
+                               "repeated vertices");
+
+    // A single point and a two-point "polygon".
+    const std::vector<std::array<double, 2>> point{{4.5, 4.5}};
+    expect_mask_matches_oracle(point, 10, 10, 1.0, 0.0, 10.0, "point");
+    const std::vector<std::array<double, 2>> segment{{1.5, 6.5},
+                                                     {7.5, 2.5}};
+    expect_mask_matches_oracle(segment, 10, 10, 1.0, 0.0, 10.0, "segment");
+
+    // Empty polygon: all-zero mask.
+    const auto empty =
+        rasterize_polygon_even_odd({}, 4, 4, 1.0, 0.0, 4.0);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x) EXPECT_EQ(empty(x, y), 0);
+}
+
+TEST(PolyRaster, RandomizedDifferentialAgainstOracle) {
+    // >= 50 random polygons spanning convex-ish rings, jagged stars,
+    // fully random vertex clouds (self-intersecting), lattice-snapped
+    // coordinates (exact on-center hits), and collinear degenerates.
+    pvfp::Rng rng(20260808);
+    const int width = 24;
+    const int height = 20;
+    const double origin_x = -3.0;
+    const double origin_y = 17.0;
+    for (int trial = 0; trial < 60; ++trial) {
+        const int family = trial % 4;
+        const int n_vertices =
+            3 + static_cast<int>(rng.uniform_int(family == 3 ? 4 : 14));
+        std::vector<std::array<double, 2>> poly;
+        poly.reserve(static_cast<std::size_t>(n_vertices));
+        if (family == 0) {
+            // Star-like ring: angular order with random radii (concave,
+            // non-self-intersecting).
+            const double cx = rng.uniform(0.0, 18.0);
+            const double cy = rng.uniform(0.0, 14.0);
+            for (int v = 0; v < n_vertices; ++v) {
+                const double ang =
+                    (v + rng.uniform(0.0, 0.8)) * 2.0 * 3.14159265 /
+                    n_vertices;
+                const double r = rng.uniform(1.0, 9.0);
+                poly.push_back(
+                    {cx + r * std::cos(ang), cy + r * std::sin(ang)});
+            }
+        } else if (family == 1) {
+            // Random vertex cloud: almost surely self-intersecting.
+            for (int v = 0; v < n_vertices; ++v)
+                poly.push_back({rng.uniform(-5.0, 23.0),
+                                rng.uniform(-5.0, 19.0)});
+        } else if (family == 2) {
+            // Lattice-snapped half-integer coordinates: vertices and
+            // horizontal edges land exactly on cell centers, exercising
+            // the boundary hardening differentially.
+            for (int v = 0; v < n_vertices; ++v)
+                poly.push_back(
+                    {static_cast<double>(rng.uniform_int(22)) - 2.5,
+                     static_cast<double>(rng.uniform_int(18)) - 1.5});
+        } else {
+            // Degenerate: all vertices collinear on a random line
+            // (horizontal every other trial).
+            const bool horizontal = (trial / 4) % 2 == 0;
+            const double c0 = rng.uniform(0.0, 14.0);
+            const double slope = horizontal ? 0.0 : rng.uniform(-1.5, 1.5);
+            for (int v = 0; v < n_vertices; ++v) {
+                const double t = rng.uniform(-4.0, 20.0);
+                poly.push_back({t, c0 + slope * t});
+            }
+        }
+        char what[64];
+        std::snprintf(what, sizeof(what), "trial %d family %d", trial,
+                      family);
+        expect_mask_matches_oracle(poly, width, height, 1.0, origin_x,
+                                   origin_y, what);
+        // Non-unit cell size and shifted origin on a subset.
+        if (trial % 5 == 0)
+            expect_mask_matches_oracle(poly, 30, 26, 0.8, origin_x - 1.0,
+                                       origin_y + 2.0, what);
+    }
+}
+
+TEST(PolyRaster, Validation) {
+    EXPECT_THROW(
+        rasterize_polygon_even_odd({{0.0, 0.0}}, 4, 4, 0.0, 0.0, 4.0),
+        InvalidArgument);
+    EXPECT_THROW(
+        rasterize_polygon_even_odd({{0.0, 0.0}}, -1, 4, 1.0, 0.0, 4.0),
+        InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pvfp::geo

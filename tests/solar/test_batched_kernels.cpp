@@ -32,6 +32,17 @@ struct SimdLevelGuard {
     ~SimdLevelGuard() { set_simd_level_auto(); }
 };
 
+/// Every dispatch level this CPU can run: always Scalar, plus Avx2 and
+/// Avx512 when supported, so the per-level sweeps below cover the full
+/// tier ladder and skip un-runnable tiers silently (the dedicated
+/// Avx512 tests announce the skip).
+std::vector<SimdLevel> runnable_levels() {
+    std::vector<SimdLevel> levels{SimdLevel::Scalar};
+    if (cpu_supports_avx2()) levels.push_back(SimdLevel::Avx2);
+    if (cpu_supports_avx512()) levels.push_back(SimdLevel::Avx512);
+    return levels;
+}
+
 struct RandomFieldSpec {
     std::uint64_t seed = 1;
     bool normals = false;
@@ -186,10 +197,8 @@ TEST(BatchedKernels, RowMatchesScalarAcrossRoofs) {
     SimdLevelGuard guard;
     for (const auto& spec : all_specs()) {
         const auto field = random_field(spec);
-        set_simd_level(SimdLevel::Scalar);
-        expect_row_matches(field);
-        if (cpu_supports_avx2()) {
-            set_simd_level(SimdLevel::Avx2);
+        for (const SimdLevel level : runnable_levels()) {
+            set_simd_level(level);
             expect_row_matches(field);
         }
     }
@@ -199,10 +208,8 @@ TEST(BatchedKernels, SeriesMatchesScalarAcrossRoofs) {
     SimdLevelGuard guard;
     for (const auto& spec : all_specs()) {
         const auto field = random_field(spec);
-        set_simd_level(SimdLevel::Scalar);
-        expect_series_matches(field, spec.seed + 7);
-        if (cpu_supports_avx2()) {
-            set_simd_level(SimdLevel::Avx2);
+        for (const SimdLevel level : runnable_levels()) {
+            set_simd_level(level);
             expect_series_matches(field, spec.seed + 7);
         }
     }
@@ -212,13 +219,123 @@ TEST(BatchedKernels, AnchorSeriesMatchesScalarAcrossModes) {
     SimdLevelGuard guard;
     for (const auto& spec : all_specs()) {
         const auto field = random_field(spec);
-        set_simd_level(SimdLevel::Scalar);
-        expect_anchor_series_matches(field, spec.seed + 13);
-        if (cpu_supports_avx2()) {
-            set_simd_level(SimdLevel::Avx2);
+        for (const SimdLevel level : runnable_levels()) {
+            set_simd_level(level);
             expect_anchor_series_matches(field, spec.seed + 13);
         }
     }
+}
+
+TEST(BatchedKernels, PackedPlanesMatchUnpackedSeries) {
+    // The daylight-packed planes are bitwise copies: sweeping them via
+    // cell_irradiance_packed must reproduce the scalar per-step
+    // reference on the mapped original steps, at every dispatch level.
+    SimdLevelGuard guard;
+    for (const auto& spec : all_specs()) {
+        const auto field = random_field(spec);
+        const auto packed = field.packed_to_step();
+        ASSERT_GT(field.packed_steps(), 0);
+        std::vector<double> out(packed.size());
+        for (const SimdLevel level : runnable_levels()) {
+            set_simd_level(level);
+            for (int y = 0; y < field.height(); y += 2)
+                for (int x = 0; x < field.width(); x += 3) {
+                    field.cell_irradiance_packed(
+                        x, y, 0, field.packed_steps(), out.data());
+                    for (std::size_t k = 0; k < packed.size(); ++k)
+                        ASSERT_EQ(out[k], field.cell_irradiance_unchecked(
+                                              x, y, packed[k]))
+                            << "packed mismatch at x=" << x << " y=" << y
+                            << " k=" << k << " level="
+                            << simd_level_name(level);
+                }
+        }
+    }
+}
+
+TEST(BatchedKernels, SeriesDetectsContiguousDaylightRuns) {
+    // A step span that lists every daylight step between its endpoints
+    // (what the stride-1 evaluator shards produce) takes the packed
+    // fast path inside cell_irradiance_series; the result must stay
+    // bitwise identical to the scalar reference.  Also probe sub-runs
+    // crossing a night gap (contiguous in packed space) and spans that
+    // must *not* match (scrambled, strided, night-leading).
+    SimdLevelGuard guard;
+    RandomFieldSpec spec;
+    spec.seed = 777;
+    spec.normals = true;
+    const auto field = random_field(spec);
+    const auto packed = field.packed_to_step();
+    ASSERT_GT(packed.size(), 8u);
+
+    std::vector<std::vector<long>> spans;
+    spans.emplace_back(packed.begin(), packed.end());  // full daylight run
+    spans.emplace_back(packed.begin() + 3,
+                       packed.begin() + static_cast<long>(packed.size()) - 2);
+    spans.push_back({packed[4]});
+    {
+        std::vector<long> strided;  // daylight stride 2: not contiguous
+        for (std::size_t k = 0; k < packed.size(); k += 2)
+            strided.push_back(packed[k]);
+        spans.push_back(std::move(strided));
+    }
+    spans.push_back(scrambled_steps(field, 11));
+    {
+        std::vector<long> night_first;  // night step leads: gather path
+        for (long s = 0; s < field.steps(); ++s)
+            if (!field.is_daylight(s)) {
+                night_first.push_back(s);
+                break;
+            }
+        night_first.insert(night_first.end(), packed.begin(),
+                           packed.begin() + 5);
+        spans.push_back(std::move(night_first));
+    }
+
+    for (const SimdLevel level : runnable_levels()) {
+        set_simd_level(level);
+        for (const auto& steps : spans) {
+            std::vector<double> out(steps.size());
+            for (int y = 0; y < field.height(); y += 3)
+                for (int x = 0; x < field.width(); x += 4) {
+                    field.cell_irradiance_series(x, y, steps, out.data());
+                    for (std::size_t k = 0; k < steps.size(); ++k)
+                        ASSERT_EQ(out[k], field.cell_irradiance_unchecked(
+                                              x, y, steps[k]))
+                            << "span size " << steps.size() << " x=" << x
+                            << " y=" << y << " k=" << k;
+                }
+        }
+    }
+}
+
+TEST(BatchedKernels, PackedIndexMapsAreConsistent) {
+    RandomFieldSpec spec;
+    spec.seed = 555;
+    const auto field = random_field(spec);
+    const auto packed = field.packed_to_step();
+    long count = 0;
+    for (long s = 0; s < field.steps(); ++s) {
+        const long p = field.packed_index(s);
+        if (field.is_daylight(s)) {
+            ASSERT_EQ(p, count);
+            ASSERT_EQ(packed[static_cast<std::size_t>(p)], s);
+            ++count;
+        } else {
+            ASSERT_EQ(p, -1);
+        }
+    }
+    EXPECT_EQ(count, field.packed_steps());
+    EXPECT_EQ(count, static_cast<long>(packed.size()));
+    double out[1];
+    EXPECT_THROW(
+        field.cell_irradiance_packed(0, 0, 0, field.packed_steps() + 1, out),
+        InvalidArgument);
+    EXPECT_THROW(field.cell_irradiance_packed(0, 0, -1, 0, out),
+                 InvalidArgument);
+    EXPECT_THROW(
+        field.cell_irradiance_packed(field.width(), 0, 0, 1, out),
+        InvalidArgument);
 }
 
 TEST(BatchedKernels, SimdLevelsAgreeBitwise) {
@@ -231,15 +348,35 @@ TEST(BatchedKernels, SimdLevelsAgreeBitwise) {
     const auto field = random_field(spec);
     const std::vector<long> steps = scrambled_steps(field, 5);
     std::vector<double> scalar_out(steps.size());
-    std::vector<double> avx2_out(steps.size());
+    std::vector<double> simd_out(steps.size());
     for (int y = 0; y < field.height(); ++y)
         for (int x = 0; x < field.width(); ++x) {
             set_simd_level(SimdLevel::Scalar);
             field.cell_irradiance_series(x, y, steps, scalar_out.data());
-            set_simd_level(SimdLevel::Avx2);
-            field.cell_irradiance_series(x, y, steps, avx2_out.data());
-            ASSERT_EQ(scalar_out, avx2_out);
+            for (const SimdLevel level : runnable_levels()) {
+                if (level == SimdLevel::Scalar) continue;
+                set_simd_level(level);
+                field.cell_irradiance_series(x, y, steps, simd_out.data());
+                ASSERT_EQ(scalar_out, simd_out)
+                    << "level " << simd_level_name(level);
+            }
         }
+}
+
+TEST(BatchedKernels, Avx512MatchesScalarBitwise) {
+    // The dedicated tier-2 gate: every kernel shape at the AVX-512
+    // level against the scalar reference.  Skips visibly on hosts
+    // without AVX-512F/VL — the CI avx512 leg greps for this notice.
+    if (!cpu_supports_avx512())
+        GTEST_SKIP() << "CPU has no AVX-512F/VL; avx512 tier not runnable";
+    SimdLevelGuard guard;
+    for (const auto& spec : all_specs()) {
+        const auto field = random_field(spec);
+        set_simd_level(SimdLevel::Avx512);
+        expect_row_matches(field);
+        expect_series_matches(field, spec.seed + 7);
+        expect_anchor_series_matches(field, spec.seed + 13);
+    }
 }
 
 TEST(BatchedKernels, EvaluatorTotalsInvariantUnderSimd) {
@@ -257,14 +394,19 @@ TEST(BatchedKernels, EvaluatorTotalsInvariantUnderSimd) {
     set_simd_level(SimdLevel::Scalar);
     const auto scalar_result = core::evaluate_floorplan(
         plan, setup.area, setup.field, setup.model, options);
-    set_simd_level(SimdLevel::Avx2);
-    const auto avx2_result = core::evaluate_floorplan(
-        plan, setup.area, setup.field, setup.model, options);
-    EXPECT_EQ(scalar_result.energy_kwh, avx2_result.energy_kwh);
-    EXPECT_EQ(scalar_result.ideal_energy_kwh, avx2_result.ideal_energy_kwh);
-    EXPECT_EQ(scalar_result.mismatch_loss_kwh,
-              avx2_result.mismatch_loss_kwh);
-    EXPECT_EQ(scalar_result.wiring_loss_kwh, avx2_result.wiring_loss_kwh);
+    for (const SimdLevel level : runnable_levels()) {
+        if (level == SimdLevel::Scalar) continue;
+        set_simd_level(level);
+        const auto simd_result = core::evaluate_floorplan(
+            plan, setup.area, setup.field, setup.model, options);
+        EXPECT_EQ(scalar_result.energy_kwh, simd_result.energy_kwh);
+        EXPECT_EQ(scalar_result.ideal_energy_kwh,
+                  simd_result.ideal_energy_kwh);
+        EXPECT_EQ(scalar_result.mismatch_loss_kwh,
+                  simd_result.mismatch_loss_kwh);
+        EXPECT_EQ(scalar_result.wiring_loss_kwh,
+                  simd_result.wiring_loss_kwh);
+    }
 }
 
 TEST(BatchedKernels, SuitabilityInvariantUnderSimd) {
@@ -277,12 +419,15 @@ TEST(BatchedKernels, SuitabilityInvariantUnderSimd) {
     set_simd_level(SimdLevel::Scalar);
     const auto scalar_result =
         core::compute_suitability(setup.field, setup.area, options);
-    set_simd_level(SimdLevel::Avx2);
-    const auto avx2_result =
-        core::compute_suitability(setup.field, setup.area, options);
-    EXPECT_EQ(scalar_result.suitability, avx2_result.suitability);
-    EXPECT_EQ(scalar_result.g_percentile, avx2_result.g_percentile);
-    EXPECT_EQ(scalar_result.t_percentile, avx2_result.t_percentile);
+    for (const SimdLevel level : runnable_levels()) {
+        if (level == SimdLevel::Scalar) continue;
+        set_simd_level(level);
+        const auto simd_result =
+            core::compute_suitability(setup.field, setup.area, options);
+        EXPECT_EQ(scalar_result.suitability, simd_result.suitability);
+        EXPECT_EQ(scalar_result.g_percentile, simd_result.g_percentile);
+        EXPECT_EQ(scalar_result.t_percentile, simd_result.t_percentile);
+    }
 }
 
 TEST(BatchedKernels, RowValidatesArguments) {
@@ -345,11 +490,21 @@ TEST(SimdDispatch, ForcedLevelsRoundTrip) {
     } else {
         EXPECT_THROW(set_simd_level(SimdLevel::Avx2), InvalidArgument);
     }
+    if (cpu_supports_avx512()) {
+        set_simd_level(SimdLevel::Avx512);
+        EXPECT_EQ(simd_level(), SimdLevel::Avx512);
+    } else {
+        EXPECT_THROW(set_simd_level(SimdLevel::Avx512), InvalidArgument);
+    }
     set_simd_level_auto();
     const SimdLevel resolved = simd_level();
-    if (!cpu_supports_avx2()) EXPECT_EQ(resolved, SimdLevel::Scalar);
-    EXPECT_TRUE(resolved == SimdLevel::Scalar ||
-                resolved == SimdLevel::Avx2);
+    // Auto resolves to the widest runnable tier.
+    if (cpu_supports_avx512())
+        EXPECT_EQ(resolved, SimdLevel::Avx512);
+    else if (cpu_supports_avx2())
+        EXPECT_EQ(resolved, SimdLevel::Avx2);
+    else
+        EXPECT_EQ(resolved, SimdLevel::Scalar);
 }
 
 TEST(SimdDispatch, EnvToggleIsStrict) {
@@ -366,6 +521,14 @@ TEST(SimdDispatch, EnvToggleIsStrict) {
         setenv("PVFP_SIMD", "avx2", 1);
         set_simd_level_auto();
         EXPECT_EQ(simd_level(), SimdLevel::Avx2);
+    }
+    if (cpu_supports_avx512()) {
+        setenv("PVFP_SIMD", "avx512", 1);
+        set_simd_level_auto();
+        EXPECT_EQ(simd_level(), SimdLevel::Avx512);
+    } else {
+        setenv("PVFP_SIMD", "avx512", 1);
+        EXPECT_THROW(set_simd_level_auto(), InvalidArgument);
     }
     if (old != nullptr)
         setenv("PVFP_SIMD", saved.c_str(), 1);

@@ -7,12 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "pvfp/solar/irradiance.hpp"
 #include "pvfp/solar/sky_artifact.hpp"
 #include "pvfp/util/error.hpp"
 #include "pvfp/util/parallel.hpp"
+#include "pvfp/util/simd.hpp"
 #include "test_helpers.hpp"
 
 namespace pvfp::solar {
@@ -49,6 +51,61 @@ std::vector<EnvSample> varied_weather(const TimeGrid& grid) {
         env[i].temp_air_c = 10.0 + phase;
     }
     return env;
+}
+
+/// SIMD levels this host can actually execute.
+std::vector<SimdLevel> runnable_levels() {
+    std::vector<SimdLevel> levels{SimdLevel::Scalar};
+    if (cpu_supports_avx2()) levels.push_back(SimdLevel::Avx2);
+    if (cpu_supports_avx512()) levels.push_back(SimdLevel::Avx512);
+    return levels;
+}
+
+void expect_artifacts_bitwise_equal(const SharedSkyArtifact& a,
+                                    const SharedSkyArtifact& b,
+                                    const char* what) {
+    ASSERT_EQ(a.steps(), b.steps()) << what;
+    for (long s = 0; s < a.steps(); ++s) {
+        const std::size_t i = static_cast<std::size_t>(s);
+        ASSERT_EQ(a.sun_azimuth[i], b.sun_azimuth[i]) << what << " step " << s;
+        ASSERT_EQ(a.sun_elevation[i], b.sun_elevation[i])
+            << what << " step " << s;
+        ASSERT_EQ(a.sun_e[i], b.sun_e[i]) << what << " step " << s;
+        ASSERT_EQ(a.sun_n[i], b.sun_n[i]) << what << " step " << s;
+        ASSERT_EQ(a.sun_u[i], b.sun_u[i]) << what << " step " << s;
+        ASSERT_EQ(a.beam_eq[i], b.beam_eq[i]) << what << " step " << s;
+        ASSERT_EQ(a.dhi_iso[i], b.dhi_iso[i]) << what << " step " << s;
+        ASSERT_EQ(a.daylight[i], b.daylight[i]) << what << " step " << s;
+    }
+}
+
+TEST(SkyArtifact, BatchedPrepareMatchesReferenceBitwise) {
+    // The batched prepare (per-day hoisting + SIMD geometry/transposition
+    // kernels) must reproduce the unbatched reference loop bit for bit at
+    // every SIMD level, across hemispheres (polar-night/midnight-sun
+    // latitudes included) and both sky models.
+    const TimeGrid grid = coarse_grid(12);
+    const auto env = varied_weather(grid);
+    for (const double lat : {-35.0, 0.0, 45.07, 68.5}) {
+        for (const SkyModel model :
+             {SkyModel::HayDavies, SkyModel::Isotropic}) {
+            Location loc;
+            loc.latitude_deg = lat;
+            const SharedSkyArtifact ref =
+                prepare_sky_artifact_reference(loc, grid, env, model);
+            for (const SimdLevel lvl : runnable_levels()) {
+                set_simd_level(lvl);
+                const SharedSkyArtifact batched =
+                    prepare_sky_artifact(loc, grid, env, model);
+                set_simd_level_auto();
+                const std::string what =
+                    std::string("lat ") + std::to_string(lat) + " model " +
+                    (model == SkyModel::HayDavies ? "hay" : "iso") + " " +
+                    simd_level_name(lvl);
+                expect_artifacts_bitwise_equal(ref, batched, what.c_str());
+            }
+        }
+    }
 }
 
 TEST(SkyArtifact, FieldFromArtifactIsBitwiseIdentical) {

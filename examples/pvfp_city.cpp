@@ -15,6 +15,10 @@
 ///     --margin <m>               shading context margin (default: 8)
 ///     --resume                   continue an interrupted run
 ///     --no-shared-sky            regenerate weather per roof (baseline)
+///     --feeder-index <file>      radial feeder index (feeder.csv|.json)
+///     --grid-plan <out.jsonl>    grid-aware sequential placement plan
+///                                (requires --feeder-index)
+///     --grid-summary <path.csv>  per-feeder cap/yield summary
 ///
 ///   Fixture mode (writes a synthetic city, then exits):
 ///   pvfp_city --gen-fixture <dir> [--roofs N] [--seed u64]
@@ -31,6 +35,7 @@
 
 #include "pvfp/gis/city_runner.hpp"
 #include "pvfp/gis/fixture.hpp"
+#include "pvfp/grid/sequential_place.hpp"
 #include "pvfp/util/cli.hpp"
 
 namespace {
@@ -42,6 +47,8 @@ namespace {
               << "                 [--minutes step] [--stride k] [--seed u64]\n"
               << "                 [--shard N] [--tile-cache N] [--margin m]\n"
               << "                 [--resume] [--no-shared-sky]\n"
+              << "                 [--feeder-index FILE --grid-plan OUT.jsonl\n"
+              << "                  [--grid-summary grid.csv]]\n"
               << "   or: pvfp_city --gen-fixture DIR [--roofs N] [--seed u64]\n";
     std::exit(2);
 }
@@ -69,6 +76,7 @@ int main(int argc, char** argv) {
     using namespace pvfp;
 
     std::string tiles_dir, index_path, out_path, summary_path, fixture_dir;
+    std::string feeder_path, grid_plan_path, grid_summary_path;
     std::string topologies = "8x2";
     int minutes = 15;
     long stride = 4;
@@ -107,6 +115,9 @@ int main(int argc, char** argv) {
             tile_cache = cli::parse_int(arg, next(), 1);
         else if (arg == "--margin")
             margin = cli::parse_double(arg, next(), 0.0);
+        else if (arg == "--feeder-index") feeder_path = next();
+        else if (arg == "--grid-plan") grid_plan_path = next();
+        else if (arg == "--grid-summary") grid_summary_path = next();
         else if (arg == "--resume") resume = true;
         else if (arg == "--no-shared-sky") shared_sky = false;
         else if (arg == "--gen-fixture") fixture_dir = next();
@@ -134,11 +145,17 @@ int main(int argc, char** argv) {
             if (!fixture.json_index_path.empty())
                 std::cout << " (+ " << fixture.json_index_path << ")";
             std::cout << "\n";
+            if (!fixture.csv_feeder_path.empty())
+                std::cout << "feeders: " << fixture.feeders << " in "
+                          << fixture.csv_feeder_path << " (+ "
+                          << fixture.json_feeder_path << ")\n";
             return 0;
         }
 
         if (tiles_dir.empty() || index_path.empty() || out_path.empty())
             usage_error("--tiles, --index and --out are required");
+        if (!grid_plan_path.empty() && feeder_path.empty())
+            usage_error("--grid-plan requires --feeder-index");
         if (minutes <= 0 || stride <= 0 || shard <= 0 || tile_cache <= 0 ||
             sectors <= 0)
             usage_error("non-positive numeric option");
@@ -183,6 +200,26 @@ int main(int argc, char** argv) {
         std::cout << "results: " << out_path << "\n";
         if (!summary_path.empty())
             std::cout << "ranking: " << summary_path << "\n";
+
+        if (!grid_plan_path.empty()) {
+            const grid::FeederModel model = grid::FeederModel::load(feeder_path);
+            model.validate_roofs(registry);
+            grid::GridPlaceOptions grid_options;
+            grid_options.plan_jsonl_path = grid_plan_path;
+            grid_options.summary_csv_path = grid_summary_path;
+            const grid::GridPlanResult plan =
+                grid::sequential_place(model, summary.results, grid_options);
+            long capped = 0;
+            for (const auto& skip : plan.skipped)
+                if (skip.reason == "capped") ++capped;
+            std::cout << "grid: placed " << plan.placements.size() << " of "
+                      << plan.attached << " attached roofs over "
+                      << plan.feeders.size() << " feeders (" << capped
+                      << " capped, " << plan.errors << " errored)\n";
+            std::cout << "plan: " << grid_plan_path << "\n";
+            if (!grid_summary_path.empty())
+                std::cout << "feeders: " << grid_summary_path << "\n";
+        }
         return summary.failed == summary.total ? 1 : 0;
     } catch (const std::exception& e) {
         std::cerr << "pvfp_city: " << e.what() << "\n";

@@ -5,6 +5,8 @@
 ///     --socket <path>            serve an AF_UNIX socket instead of
 ///                                stdin/stdout (one client at a time)
 ///     --log <path.jsonl>         append every request (replayable)
+///     --feeder-index <file>      radial feeder index enabling the
+///                                grid_rank op (feeder.csv|.json)
 ///     --replay <path.jsonl>      re-execute a request log serially and
 ///                                exit — byte-identical to the live
 ///                                session that wrote it
@@ -46,6 +48,7 @@ namespace {
               << "usage: pvfp_serve --tiles DIR --index FILE\n"
               << "                  [--socket PATH] [--log REQ.jsonl]\n"
               << "                  [--replay REQ.jsonl]\n"
+              << "                  [--feeder-index FILE]\n"
               << "                  [--memory-budget-mb MB]\n"
               << "                  [--topologies 8x2,8x4] [--minutes step]\n"
               << "                  [--stride k] [--sectors n] [--seed u64]\n"
@@ -77,6 +80,7 @@ int main(int argc, char** argv) {
     using namespace pvfp;
 
     std::string tiles_dir, index_path, socket_path, log_path, replay_path;
+    std::string feeder_path;
     std::string topologies = "8x2";
     long memory_budget_mb = 512;
     int minutes = 15;
@@ -99,6 +103,7 @@ int main(int argc, char** argv) {
         else if (arg == "--socket") socket_path = next();
         else if (arg == "--log") log_path = next();
         else if (arg == "--replay") replay_path = next();
+        else if (arg == "--feeder-index") feeder_path = next();
         else if (arg == "--memory-budget-mb")
             memory_budget_mb = cli::parse_long(arg, next(), 1);
         else if (arg == "--topologies") topologies = next();
@@ -141,6 +146,7 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(memory_budget_mb) << 20;
         options.request_log_path = log_path;
         options.index_path = index_path;
+        options.feeder_path = feeder_path;
         options.max_batch = max_batch;
 
         serve::Server server(std::move(tiles), std::move(registry),

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Bench-trajectory collector for grid-aware placement: runs
+# bench_grid_plan in JSON mode and appends one record per timed section
+# (tagged with the current commit) plus a derived incremental-vs-brute-
+# force speedup record to BENCH_grid.json at the repo root, mirroring
+# collect_bench_serve.sh (ROADMAP trajectory item).
+#
+# Usage: scripts/collect_bench_grid.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-build}"
+bench="$repo_root/$build_dir/bench/bench_grid_plan"
+out="$repo_root/BENCH_grid.json"
+
+if [[ ! -x "$bench" ]]; then
+    echo "error: $bench not built" >&2
+    exit 1
+fi
+
+commit="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+raw_path="$(mktemp)"
+trap 'rm -f "$raw_path"' EXIT
+
+"$bench" --json "$raw_path"
+
+RAW_PATH="$raw_path" COMMIT="$commit" OUT_PATH="$out" python3 - <<'PY'
+import json
+import os
+
+with open(os.environ["RAW_PATH"]) as f:
+    raw = json.load(f)
+commit = os.environ["COMMIT"]
+out_path = os.environ["OUT_PATH"]
+
+records = []
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        records = json.load(f)
+
+by_name = {}
+for b in raw:
+    rec = {
+        "commit": commit,
+        "name": b["name"],
+        "wall_ms": b["wall_ms"],
+        "placements": b["iterations"],
+        "threads": b["threads"],
+    }
+    by_name[b["name"]] = rec
+    records.append(rec)
+
+incremental = by_name.get("grid/sequential_place_ms")
+brute = by_name.get("grid/brute_force_ms")
+extra = 0
+if incremental and brute and incremental["wall_ms"] > 0:
+    speedup = brute["wall_ms"] / incremental["wall_ms"]
+    records.append({
+        "commit": commit,
+        "name": "grid/incremental_speedup",
+        "speedup": speedup,
+        "threads": incremental["threads"],
+    })
+    extra = 1
+    print(f"incremental/brute-force speedup: {speedup:.1f}x "
+          f"({brute['wall_ms']:.1f} ms brute, "
+          f"{incremental['wall_ms']:.2f} ms incremental)")
+
+with open(out_path, "w") as f:
+    json.dump(records, f, indent=1)
+    f.write("\n")
+print(f"appended {len(by_name) + extra} records at {commit} -> {out_path}")
+PY

@@ -32,6 +32,7 @@ struct LocalRecord {
     std::string id;
     double x0 = 0.0, y0 = 0.0, x1 = 0.0, y1 = 0.0;  // local, y SOUTHWARD
     bool cut_corner = false;  ///< emit a 5-vertex polygon missing one corner
+    int lot = 0;              ///< hosting lot (drives feeder attachment)
 };
 
 }  // namespace
@@ -117,6 +118,7 @@ CityFixture generate_city_fixture(const std::string& directory,
             rec.x1 = x1;
             rec.y1 = y1;
             rec.cut_corner = records.size() % 5 == 4;
+            rec.lot = li;
             records.push_back(rec);
         };
 
@@ -273,6 +275,114 @@ CityFixture generate_city_fixture(const std::string& directory,
         }
         os << "]\n";
         check_io(os.good(), "city_fixture: JSON index write failed");
+    }
+
+    // ---- Synthetic radial feeder index. ----------------------------------
+    // A separate generator keeps the city stream untouched: toggling the
+    // feeder index on or off must not move a single tile or index byte.
+    if (options.write_feeder_index) {
+        check_arg(options.lots_per_feeder >= 1,
+                  "city_fixture: lots_per_feeder must be >= 1");
+        Rng grid_rng(options.seed ^ 0xFEEDE12ULL);
+
+        const int per = options.lots_per_feeder;
+        const int n_feeders = (n_lots + per - 1) / per;
+        const auto feeder_of_lot = [&](int lot) { return lot / per; };
+        const auto feeder_id = [](int f) {
+            char id[32];
+            std::snprintf(id, sizeof id, "F%02d", f);
+            return std::string(id);
+        };
+        const auto bus_id = [](int lot) {
+            char id[32];
+            std::snprintf(id, sizeof id, "bus_%03d", lot);
+            return std::string(id);
+        };
+
+        // Per-feeder roof count drives the shared export cap; every 4th
+        // feeder stays uncapped so both cap regimes appear in the fixture.
+        std::vector<int> roofs_on(static_cast<std::size_t>(n_feeders), 0);
+        for (const LocalRecord& rec : records)
+            ++roofs_on[static_cast<std::size_t>(feeder_of_lot(rec.lot))];
+
+        struct BusRow {
+            std::string id, feeder, parent;
+            double r_ohm, ampacity_a, load_kw;
+        };
+        std::vector<std::string> feeder_ids;
+        std::vector<double> feeder_caps;
+        std::vector<BusRow> bus_rows;
+        for (int f = 0; f < n_feeders; ++f) {
+            feeder_ids.push_back(feeder_id(f));
+            feeder_caps.push_back(
+                f % 4 == 3 ? 0.0
+                           : 0.02 * roofs_on[static_cast<std::size_t>(f)]);
+            // Transformer drop, then the street chain lot by lot.
+            bus_rows.push_back({feeder_id(f) + "_root", feeder_id(f), "",
+                                grid_rng.uniform(0.01, 0.05), 400.0, 0.0});
+            std::string prev = bus_rows.back().id;
+            const int lot_end = std::min(n_lots, (f + 1) * per);
+            for (int lot = f * per; lot < lot_end; ++lot) {
+                bus_rows.push_back(
+                    {bus_id(lot), feeder_id(f), prev,
+                     grid_rng.uniform(0.02, 0.10),
+                     100.0 + 20.0 * static_cast<double>(
+                                        grid_rng.uniform_int(8)),
+                     grid_rng.uniform(0.4, 2.5)});
+                prev = bus_rows.back().id;
+            }
+        }
+
+        CsvTable feeder_csv({"kind", "id", "feeder", "parent", "r_ohm",
+                             "ampacity_a", "load_kw", "export_cap_kw",
+                             "bus"});
+        for (int f = 0; f < n_feeders; ++f)
+            feeder_csv.add_row(
+                {"feeder", feeder_ids[static_cast<std::size_t>(f)], "", "",
+                 "", "", "",
+                 fmt(feeder_caps[static_cast<std::size_t>(f)], 3), ""});
+        for (const BusRow& bus : bus_rows)
+            feeder_csv.add_row({"bus", bus.id, bus.feeder, bus.parent,
+                                fmt(bus.r_ohm, 4), fmt(bus.ampacity_a, 1),
+                                fmt(bus.load_kw, 3), "", ""});
+        for (const LocalRecord& rec : records)
+            feeder_csv.add_row(
+                {"roof", rec.id, "", "", "", "", "", "", bus_id(rec.lot)});
+        fixture.csv_feeder_path =
+            (fs::path(directory) / "feeder.csv").string();
+        feeder_csv.write_file(fixture.csv_feeder_path);
+
+        fixture.json_feeder_path =
+            (fs::path(directory) / "feeder.json").string();
+        std::ofstream os(fixture.json_feeder_path);
+        check_io(os.good(), "city_fixture: cannot write feeder JSON");
+        os << "{\n  \"feeders\": [\n";
+        for (int f = 0; f < n_feeders; ++f)
+            os << "    {\"id\": \""
+               << json_escape(feeder_ids[static_cast<std::size_t>(f)])
+               << "\", \"export_cap_kw\": "
+               << fmt(feeder_caps[static_cast<std::size_t>(f)], 3) << "}"
+               << (f + 1 < n_feeders ? "," : "") << "\n";
+        os << "  ],\n  \"buses\": [\n";
+        for (std::size_t i = 0; i < bus_rows.size(); ++i) {
+            const BusRow& bus = bus_rows[i];
+            os << "    {\"id\": \"" << json_escape(bus.id)
+               << "\", \"feeder\": \"" << json_escape(bus.feeder) << "\"";
+            if (!bus.parent.empty())
+                os << ", \"parent\": \"" << json_escape(bus.parent) << "\"";
+            os << ", \"r_ohm\": " << fmt(bus.r_ohm, 4)
+               << ", \"ampacity_a\": " << fmt(bus.ampacity_a, 1)
+               << ", \"load_kw\": " << fmt(bus.load_kw, 3) << "}"
+               << (i + 1 < bus_rows.size() ? "," : "") << "\n";
+        }
+        os << "  ],\n  \"roofs\": [\n";
+        for (std::size_t i = 0; i < records.size(); ++i)
+            os << "    {\"id\": \"" << json_escape(records[i].id)
+               << "\", \"bus\": \"" << bus_id(records[i].lot) << "\"}"
+               << (i + 1 < records.size() ? "," : "") << "\n";
+        os << "  ]\n}\n";
+        check_io(os.good(), "city_fixture: feeder JSON write failed");
+        fixture.feeders = n_feeders;
     }
     return fixture;
 }

@@ -36,6 +36,14 @@ struct CityFixtureOptions {
     double lot_d = 14.0;
     /// Also write index.json next to index.csv.
     bool write_json_index = true;
+    /// Also write a synthetic radial feeder index (feeder.csv +
+    /// feeder.json) attaching every roof record to a bus, so the
+    /// grid-aware placement path can be exercised end to end on the
+    /// fixture alone.  Lots on one street segment share a feeder; the
+    /// buses chain down the street (real LV feeders are radial).
+    bool write_feeder_index = true;
+    /// Lots per feeder (the chain length knob).
+    int lots_per_feeder = 6;
 };
 
 /// What was written where.
@@ -43,8 +51,11 @@ struct CityFixture {
     std::string directory;        ///< tiles live here
     std::string csv_index_path;   ///< <dir>/index.csv
     std::string json_index_path;  ///< <dir>/index.json ("" when disabled)
+    std::string csv_feeder_path;  ///< <dir>/feeder.csv ("" when disabled)
+    std::string json_feeder_path;  ///< <dir>/feeder.json ("" when disabled)
     int tiles_written = 0;
     int records = 0;
+    int feeders = 0;  ///< feeders in the feeder index
 };
 
 /// Generate the fixture into \p directory (created if needed; existing

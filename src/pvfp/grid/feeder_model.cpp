@@ -1,0 +1,336 @@
+#include "pvfp/grid/feeder_model.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "pvfp/gis/json.hpp"
+#include "pvfp/gis/roof_registry.hpp"
+#include "pvfp/util/csv.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::grid {
+
+namespace {
+
+/// Strict non-negative number for electrical fields: the CSV cells
+/// arrive as strings, the JSON ones as doubles; both funnel through
+/// here so the typed-error surface is identical.
+double checked_quantity(double value, const std::string& what,
+                        const std::string& id) {
+    check_io(value == value && value >= 0.0,
+             "feeder index: " + what + " of '" + id +
+                 "' must be a non-negative number");
+    return value;
+}
+
+double csv_number(const CsvTable& table, std::size_t row,
+                  const std::string& column, const std::string& what,
+                  const std::string& id) {
+    return checked_quantity(table.cell_as_double(row, table.column(column)),
+                            what, id);
+}
+
+double csv_number_or(const CsvTable& table, std::size_t row,
+                     const std::string& column, const std::string& what,
+                     const std::string& id, double fallback) {
+    const std::string& cell = table.cell(row, table.column(column));
+    if (cell.empty()) return fallback;
+    return csv_number(table, row, column, what, id);
+}
+
+double json_number_or(const gis::JsonValue& object, const std::string& key,
+                      const std::string& what, const std::string& id,
+                      double fallback) {
+    const gis::JsonValue* value = object.find(key);
+    if (!value || value->is_null()) return fallback;
+    return checked_quantity(value->as_number(), what, id);
+}
+
+std::string json_string_or(const gis::JsonValue& object,
+                           const std::string& key) {
+    const gis::JsonValue* value = object.find(key);
+    if (!value || value->is_null()) return {};
+    return value->as_string();
+}
+
+}  // namespace
+
+FeederModel FeederModel::load(const std::string& path) {
+    const std::string::size_type dot = path.rfind('.');
+    if (dot != std::string::npos && path.substr(dot) == ".json")
+        return load_json(path);
+    return load_csv(path);
+}
+
+FeederModel FeederModel::load_csv(const std::string& path) {
+    const CsvTable table = CsvTable::read_file(path);
+    for (const char* column : {"kind", "id", "feeder", "parent", "r_ohm",
+                               "ampacity_a", "load_kw", "export_cap_kw",
+                               "bus"})
+        check_io(table.has_column(column),
+                 "feeder index: missing column '" + std::string(column) +
+                     "' in '" + path + "'");
+
+    FeederModel model;
+    for (std::size_t row = 0; row < table.row_count(); ++row) {
+        const std::string& kind = table.cell(row, table.column("kind"));
+        const std::string& id = table.cell(row, table.column("id"));
+        check_io(!id.empty(), "feeder index: empty id in row " +
+                                  std::to_string(row + 1));
+        if (kind == "feeder") {
+            FeederRecord feeder;
+            feeder.id = id;
+            feeder.export_cap_kw = csv_number_or(
+                table, row, "export_cap_kw", "export_cap_kw", id, 0.0);
+            model.feeders_.push_back(std::move(feeder));
+        } else if (kind == "bus") {
+            BusRecord bus;
+            bus.id = id;
+            bus.feeder_id = table.cell(row, table.column("feeder"));
+            bus.parent_id = table.cell(row, table.column("parent"));
+            bus.r_ohm = csv_number(table, row, "r_ohm", "r_ohm", id);
+            bus.ampacity_a =
+                csv_number(table, row, "ampacity_a", "ampacity_a", id);
+            bus.load_kw = csv_number_or(table, row, "load_kw", "load_kw",
+                                        id, 0.0);
+            model.buses_.push_back(std::move(bus));
+        } else if (kind == "roof") {
+            RoofAttachment attachment;
+            attachment.roof_id = id;
+            attachment.bus_id = table.cell(row, table.column("bus"));
+            model.attachments_.push_back(std::move(attachment));
+        } else {
+            throw IoError("feeder index: unknown kind '" + kind +
+                          "' in row " + std::to_string(row + 1));
+        }
+    }
+    model.resolve_and_validate();
+    return model;
+}
+
+FeederModel FeederModel::load_json(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    check_io(is.good(), "feeder index: cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    const gis::JsonValue document = gis::JsonValue::parse(buffer.str());
+    check_io(document.is_object(),
+             "feeder index: '" + path + "' is not a JSON object");
+
+    FeederModel model;
+    if (const gis::JsonValue* feeders = document.find("feeders")) {
+        for (const gis::JsonValue& entry : feeders->as_array()) {
+            FeederRecord feeder;
+            feeder.id = entry.at("id").as_string();
+            check_io(!feeder.id.empty(), "feeder index: empty feeder id");
+            feeder.export_cap_kw = json_number_or(
+                entry, "export_cap_kw", "export_cap_kw", feeder.id, 0.0);
+            model.feeders_.push_back(std::move(feeder));
+        }
+    }
+    if (const gis::JsonValue* buses = document.find("buses")) {
+        for (const gis::JsonValue& entry : buses->as_array()) {
+            BusRecord bus;
+            bus.id = entry.at("id").as_string();
+            check_io(!bus.id.empty(), "feeder index: empty bus id");
+            bus.feeder_id = json_string_or(entry, "feeder");
+            bus.parent_id = json_string_or(entry, "parent");
+            bus.r_ohm = checked_quantity(entry.at("r_ohm").as_number(),
+                                         "r_ohm", bus.id);
+            bus.ampacity_a = checked_quantity(
+                entry.at("ampacity_a").as_number(), "ampacity_a", bus.id);
+            bus.load_kw =
+                json_number_or(entry, "load_kw", "load_kw", bus.id, 0.0);
+            model.buses_.push_back(std::move(bus));
+        }
+    }
+    if (const gis::JsonValue* roofs = document.find("roofs")) {
+        for (const gis::JsonValue& entry : roofs->as_array()) {
+            RoofAttachment attachment;
+            attachment.roof_id = entry.at("id").as_string();
+            check_io(!attachment.roof_id.empty(),
+                     "feeder index: empty roof id");
+            attachment.bus_id = entry.at("bus").as_string();
+            model.attachments_.push_back(std::move(attachment));
+        }
+    }
+    model.resolve_and_validate();
+    return model;
+}
+
+void FeederModel::resolve_and_validate() {
+    // --- Unique ids, resolvable references. --------------------------
+    std::unordered_map<std::string, long> feeder_index;
+    for (std::size_t f = 0; f < feeders_.size(); ++f)
+        check_io(feeder_index.emplace(feeders_[f].id, static_cast<long>(f))
+                     .second,
+                 "feeder index: duplicate feeder id '" + feeders_[f].id +
+                     "'");
+    std::unordered_map<std::string, long> bus_index;
+    for (std::size_t b = 0; b < buses_.size(); ++b)
+        check_io(
+            bus_index.emplace(buses_[b].id, static_cast<long>(b)).second,
+            "feeder index: duplicate bus id '" + buses_[b].id + "'");
+
+    for (BusRecord& bus : buses_) {
+        const auto feeder = feeder_index.find(bus.feeder_id);
+        check_io(feeder != feeder_index.end(),
+                 "feeder index: bus '" + bus.id + "' names unknown feeder '" +
+                     bus.feeder_id + "'");
+        bus.feeder = feeder->second;
+        if (bus.parent_id.empty()) {
+            bus.parent = -1;
+            FeederRecord& record =
+                feeders_[static_cast<std::size_t>(bus.feeder)];
+            // Branch before building the message: the happy path has
+            // root_bus == -1, which must never index buses_.
+            if (record.root_bus >= 0)
+                throw IoError(
+                    "feeder index: feeder '" + record.id +
+                    "' has two roots ('" +
+                    buses_[static_cast<std::size_t>(record.root_bus)].id +
+                    "' and '" + bus.id + "')");
+            record.root_bus = bus_index.at(bus.id);
+        } else {
+            const auto parent = bus_index.find(bus.parent_id);
+            check_io(parent != bus_index.end(),
+                     "feeder index: bus '" + bus.id +
+                         "' names unknown parent '" + bus.parent_id + "'");
+            bus.parent = parent->second;
+            check_io(bus.parent != bus_index.at(bus.id),
+                     "feeder index: bus '" + bus.id + "' is its own parent");
+            check_io(
+                buses_[static_cast<std::size_t>(bus.parent)].feeder_id ==
+                    bus.feeder_id,
+                "feeder index: bus '" + bus.id + "' and parent '" +
+                    bus.parent_id + "' belong to different feeders");
+        }
+    }
+    for (const FeederRecord& feeder : feeders_)
+        check_io(feeder.root_bus >= 0, "feeder index: feeder '" + feeder.id +
+                                           "' has no root bus");
+
+    std::unordered_set<std::string> attached;
+    for (RoofAttachment& attachment : attachments_) {
+        const auto bus = bus_index.find(attachment.bus_id);
+        check_io(bus != bus_index.end(),
+                 "feeder index: roof '" + attachment.roof_id +
+                     "' attaches to unknown bus '" + attachment.bus_id +
+                     "'");
+        attachment.bus = bus->second;
+        check_io(attached.insert(attachment.roof_id).second,
+                 "feeder index: roof '" + attachment.roof_id +
+                     "' attached twice");
+    }
+
+    // --- Acyclic parent relation; topological order. ------------------
+    children_.assign(buses_.size(), {});
+    for (std::size_t b = 0; b < buses_.size(); ++b)
+        if (buses_[b].parent >= 0)
+            children_[static_cast<std::size_t>(buses_[b].parent)].push_back(
+                static_cast<long>(b));
+
+    topo_order_.clear();
+    topo_order_.reserve(buses_.size());
+    feeder_topo_.assign(feeders_.size(), {});
+    std::vector<char> visited(buses_.size(), 0);
+    for (std::size_t f = 0; f < feeders_.size(); ++f) {
+        // Iterative preorder DFS; a stack entry is pushed exactly once,
+        // so a tree reaches every bus and a cycle strands its members.
+        std::vector<long> stack{feeders_[f].root_bus};
+        while (!stack.empty()) {
+            const long b = stack.back();
+            stack.pop_back();
+            visited[static_cast<std::size_t>(b)] = 1;
+            topo_order_.push_back(b);
+            feeder_topo_[f].push_back(b);
+            const std::vector<long>& kids =
+                children_[static_cast<std::size_t>(b)];
+            // Reverse push keeps file order on the preorder walk.
+            for (auto it = kids.rbegin(); it != kids.rend(); ++it)
+                stack.push_back(*it);
+        }
+    }
+    for (std::size_t b = 0; b < buses_.size(); ++b)
+        check_io(visited[b] != 0,
+                 "feeder index: bus '" + buses_[b].id +
+                     "' is unreachable from its feeder root (parent cycle)");
+}
+
+long FeederModel::find_feeder(const std::string& feeder_id) const {
+    for (std::size_t f = 0; f < feeders_.size(); ++f)
+        if (feeders_[f].id == feeder_id) return static_cast<long>(f);
+    return -1;
+}
+
+long FeederModel::bus_of(const std::string& roof_id) const {
+    for (const RoofAttachment& attachment : attachments_)
+        if (attachment.roof_id == roof_id) return attachment.bus;
+    return -1;
+}
+
+const std::vector<long>& FeederModel::feeder_topo(long feeder) const {
+    check_arg(feeder >= 0 &&
+                  feeder < static_cast<long>(feeder_topo_.size()),
+              "FeederModel::feeder_topo: feeder index out of range");
+    return feeder_topo_[static_cast<std::size_t>(feeder)];
+}
+
+void FeederModel::validate_roofs(const gis::RoofRegistry& registry) const {
+    std::unordered_set<std::string> known;
+    known.reserve(static_cast<std::size_t>(registry.size()));
+    for (const gis::RoofRecord& record : registry.records())
+        known.insert(record.id);
+    for (const RoofAttachment& attachment : attachments_)
+        check_io(known.count(attachment.roof_id) != 0,
+                 "feeder index: attached roof '" + attachment.roof_id +
+                     "' is not in the roof registry");
+}
+
+std::vector<double> FeederModel::base_flows() const {
+    std::vector<double> flow(buses_.size(), 0.0);
+    // Children accumulate into parents leaf-upward: the reverse of the
+    // topo order visits every child before its parent, and the child
+    // list order fixes the fold order.
+    for (std::size_t b = 0; b < buses_.size(); ++b)
+        flow[b] = buses_[b].load_kw;
+    for (auto it = topo_order_.rbegin(); it != topo_order_.rend(); ++it) {
+        const BusRecord& bus = buses_[static_cast<std::size_t>(*it)];
+        if (bus.parent >= 0)
+            flow[static_cast<std::size_t>(bus.parent)] +=
+                flow[static_cast<std::size_t>(*it)];
+    }
+    return flow;
+}
+
+void FeederModel::apply_injection(std::vector<double>& flow_kw, long bus,
+                                  double kw) const {
+    check_arg(bus >= 0 && bus < static_cast<long>(buses_.size()),
+              "FeederModel::apply_injection: bus index out of range");
+    for (long b = bus; b >= 0;
+         b = buses_[static_cast<std::size_t>(b)].parent)
+        flow_kw[static_cast<std::size_t>(b)] -= kw;
+}
+
+std::vector<double> FeederModel::downstream_power_index(
+    const std::vector<double>& flow_kw) const {
+    check_arg(flow_kw.size() == buses_.size(),
+              "FeederModel::downstream_power_index: flow size mismatch");
+    std::vector<double> dpi(buses_.size(), 0.0);
+    for (long b : topo_order_) {
+        const BusRecord& bus = buses_[static_cast<std::size_t>(b)];
+        const double upstream =
+            bus.parent >= 0 ? dpi[static_cast<std::size_t>(bus.parent)]
+                            : 0.0;
+        dpi[static_cast<std::size_t>(b)] =
+            upstream +
+            bus.r_ohm *
+                std::max(flow_kw[static_cast<std::size_t>(b)], 0.0);
+    }
+    return dpi;
+}
+
+}  // namespace pvfp::grid

@@ -1,0 +1,157 @@
+#pragma once
+/// \file feeder_model.hpp
+/// The lightweight radial-feeder model behind grid-aware placement.
+///
+/// A city ranking that only orders roofs by kWh ignores where on the
+/// distribution network the energy lands.  Following the Downstream
+/// Power Index approach (arXiv 1706.04596), a FeederModel attaches an
+/// electrical skeleton to the roof registry: feeders (one transformer
+/// each, optional export cap), buses forming a radial tree per feeder
+/// (each bus row describes the line feeding it from its parent —
+/// resistance and ampacity — plus the local demand), and roof→bus
+/// attachments.  The model is loaded from a CSV or JSON feeder index
+/// and validated structurally on load: exactly one root per feeder, an
+/// acyclic parent relation, resolvable feeder/parent/bus references,
+/// unique ids, non-negative electrical quantities.  Attachments are
+/// validated against a RoofRegistry separately (validate_roofs), so a
+/// model can be loaded and inspected without the registry at hand.
+///
+/// Index formats (ids must be unique per kind):
+///   CSV, one `kind` column selecting the record type:
+///     kind,id,feeder,parent,r_ohm,ampacity_a,load_kw,export_cap_kw,bus
+///     feeder,F0,,,,,,24.0,
+///     bus,F0_root,F0,,0.02,400,0.0,,
+///     bus,F0_b01,F0,F0_root,0.08,160,1.4,,
+///     roof,roof_000,,,,,,,F0_b01
+///   JSON, one object with three arrays:
+///     {"feeders":[{"id":"F0","export_cap_kw":24.0}],
+///      "buses":[{"id":"F0_root","feeder":"F0","r_ohm":0.02,
+///                "ampacity_a":400,"load_kw":0.0},
+///               {"id":"F0_b01","feeder":"F0","parent":"F0_root",
+///                "r_ohm":0.08,"ampacity_a":160,"load_kw":1.4}],
+///      "roofs":[{"id":"roof_000","bus":"F0_b01"}]}
+///
+/// An export_cap_kw of 0 (or an omitted field) means the feeder is
+/// uncapped.  A bus with an empty/omitted parent is its feeder's root;
+/// its r_ohm is the line from the transformer.
+///
+/// The Downstream Power Index of a bus values generation injected
+/// there by the loss-weighted demand it displaces on the way to the
+/// transformer: with flow_kw[b] the net downstream demand crossing the
+/// line into bus b,
+///
+///     dpi[b] = dpi[parent(b)] + r_ohm[b] * max(flow_kw[b], 0)
+///
+/// accumulated root-downward in topological order.  The summation
+/// order is part of the contract: the sequential placer's incremental
+/// re-scoring and its brute-force differential oracle both fold in
+/// exactly this order, which is what makes them bitwise comparable.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pvfp::gis {
+class RoofRegistry;
+}
+
+namespace pvfp::grid {
+
+/// One feeder: a transformer with an optional shared export cap.
+struct FeederRecord {
+    std::string id;
+    /// Aggregate export limit for generation placed on this feeder
+    /// [kW]; <= 0 = uncapped.
+    double export_cap_kw = 0.0;
+    long root_bus = -1;  ///< index into buses(); resolved by load
+};
+
+/// One bus plus the line feeding it from its parent (root: from the
+/// transformer).
+struct BusRecord {
+    std::string id;
+    std::string feeder_id;
+    std::string parent_id;  ///< empty = feeder root
+    double r_ohm = 0.0;      ///< resistance of the feeding line
+    double ampacity_a = 0.0;  ///< thermal rating of the feeding line
+    double load_kw = 0.0;     ///< local demand at the bus
+    long feeder = -1;  ///< index into feeders(); resolved by load
+    long parent = -1;  ///< index into buses(); -1 at the root
+};
+
+/// One roof -> bus attachment.
+struct RoofAttachment {
+    std::string roof_id;
+    std::string bus_id;
+    long bus = -1;  ///< index into buses(); resolved by load
+};
+
+/// The loaded, validated feeder index.
+class FeederModel {
+public:
+    /// Load by extension: ".json" -> JSON, anything else -> CSV.  Both
+    /// loaders finish with the same structural validation and throw
+    /// IoError on malformed content (syntax, dangling references,
+    /// duplicate ids, multiple/missing roots, a parent cycle, negative
+    /// electrical quantities, duplicate roof attachments).
+    static FeederModel load(const std::string& path);
+    static FeederModel load_csv(const std::string& path);
+    static FeederModel load_json(const std::string& path);
+
+    const std::vector<FeederRecord>& feeders() const { return feeders_; }
+    const std::vector<BusRecord>& buses() const { return buses_; }
+    const std::vector<RoofAttachment>& attachments() const {
+        return attachments_;
+    }
+
+    /// Buses in root-downward topological order (parents before
+    /// children; within a level, file order).  The canonical iteration
+    /// order of every flow/DPI computation.
+    const std::vector<long>& topo_order() const { return topo_order_; }
+
+    /// One feeder's buses in the same root-downward order — the
+    /// affected set the incremental placer re-scores after a pick on
+    /// that feeder (other feeders' DPI cannot change).
+    const std::vector<long>& feeder_topo(long feeder) const;
+
+    /// Feeder index by id; -1 when unknown.
+    long find_feeder(const std::string& feeder_id) const;
+    /// Bus index of \p roof_id's attachment; -1 when unattached.
+    long bus_of(const std::string& roof_id) const;
+
+    /// Check that every attachment names a roof the registry knows;
+    /// throws IoError listing the first unresolvable id.
+    void validate_roofs(const gis::RoofRegistry& registry) const;
+
+    /// Net downstream demand crossing the line into each bus before
+    /// any generation is placed: flow[b] = load_kw[b] + sum of child
+    /// flows, folded child-by-child in topo order.  Both placers start
+    /// from this exact vector, so their later per-bus update sequences
+    /// stay bitwise comparable.
+    std::vector<double> base_flows() const;
+
+    /// Subtract an injection of \p kw at \p bus from the flow on every
+    /// line between the bus and its root (self included) — the
+    /// one-placement flow update both placers apply in placement
+    /// order.
+    void apply_injection(std::vector<double>& flow_kw, long bus,
+                         double kw) const;
+
+    /// Downstream Power Index of every bus under \p flow_kw, folded
+    /// root-downward in topo order (see the file comment for the
+    /// recurrence).
+    std::vector<double> downstream_power_index(
+        const std::vector<double>& flow_kw) const;
+
+private:
+    void resolve_and_validate();  ///< shared by both loaders
+
+    std::vector<FeederRecord> feeders_;
+    std::vector<BusRecord> buses_;
+    std::vector<RoofAttachment> attachments_;
+    std::vector<long> topo_order_;
+    std::vector<std::vector<long>> feeder_topo_;  ///< per feeder
+    std::vector<std::vector<long>> children_;     ///< per bus, file order
+};
+
+}  // namespace pvfp::grid

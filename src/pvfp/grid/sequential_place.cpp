@@ -1,0 +1,348 @@
+#include "pvfp/grid/sequential_place.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "pvfp/gis/json.hpp"
+#include "pvfp/util/csv.hpp"
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/parallel.hpp"
+
+namespace pvfp::grid {
+
+namespace {
+
+std::string num(double v, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+    return buf;
+}
+
+/// One placeable roof, resolved against the model.
+struct Candidate {
+    std::size_t result = 0;  ///< index into results
+    long bus = -1;
+    long feeder = -1;
+    double yield_kwh = 0.0;
+    double avg_kw = 0.0;
+    bool placed = false;
+};
+
+/// Resolve results against the model: candidates in results order
+/// (errors split out as skips), shared verbatim by both placers so
+/// only the scoring loops differ.
+struct Instance {
+    std::vector<Candidate> candidates;
+    std::vector<GridSkipped> error_skips;  ///< results order
+    long attached = 0;
+};
+
+Instance build_instance(const FeederModel& model,
+                        const std::vector<gis::RoofResult>& results,
+                        const GridPlaceOptions& options) {
+    check_arg(options.hours_per_year > 0.0,
+              "sequential_place: hours_per_year must be positive");
+    long filter = -1;
+    if (!options.feeder_filter.empty()) {
+        filter = model.find_feeder(options.feeder_filter);
+        check_io(filter >= 0, "sequential_place: unknown feeder '" +
+                                  options.feeder_filter + "'");
+    }
+
+    std::unordered_map<std::string, long> bus_of;
+    bus_of.reserve(model.attachments().size());
+    for (const RoofAttachment& attachment : model.attachments()) {
+        const long feeder =
+            model.buses()[static_cast<std::size_t>(attachment.bus)].feeder;
+        if (filter >= 0 && feeder != filter) continue;
+        bus_of.emplace(attachment.roof_id, attachment.bus);
+    }
+
+    Instance instance;
+    std::unordered_set<std::string> seen;
+    seen.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const gis::RoofResult& result = results[i];
+        seen.insert(result.id);
+        const auto it = bus_of.find(result.id);
+        if (it == bus_of.end()) continue;
+        ++instance.attached;
+        if (!result.ok) {
+            // An error record has no yield: it must never reach the
+            // scorer, where a NaN score would poison the argmax.
+            instance.error_skips.push_back({result.id, "error"});
+            continue;
+        }
+        Candidate candidate;
+        candidate.result = i;
+        candidate.bus = it->second;
+        candidate.feeder =
+            model.buses()[static_cast<std::size_t>(it->second)].feeder;
+        candidate.yield_kwh = result.best_kwh;
+        candidate.avg_kw = result.best_kwh / options.hours_per_year;
+        instance.candidates.push_back(candidate);
+    }
+    // Walk attachments in model order (not the hash map) so which
+    // missing roof gets named in the error is deterministic — these
+    // messages reach serve responses, which must replay byte-for-byte.
+    for (const RoofAttachment& attachment : model.attachments()) {
+        if (bus_of.count(attachment.roof_id) == 0) continue;
+        check_io(seen.count(attachment.roof_id) != 0,
+                 "sequential_place: attached roof '" + attachment.roof_id +
+                     "' has no yield record");
+    }
+    return instance;
+}
+
+bool fits_cap(double used_kw, double kw, double cap_kw) {
+    return cap_kw <= 0.0 || used_kw + kw <= cap_kw;
+}
+
+GridPlacement make_placement(const FeederModel& model,
+                             const std::vector<gis::RoofResult>& results,
+                             const Candidate& candidate, long order,
+                             double dpi, double used_after_kw) {
+    GridPlacement placement;
+    placement.order = order;
+    placement.roof_id = results[candidate.result].id;
+    placement.bus_id =
+        model.buses()[static_cast<std::size_t>(candidate.bus)].id;
+    placement.feeder_id =
+        model.feeders()[static_cast<std::size_t>(candidate.feeder)].id;
+    placement.yield_kwh = candidate.yield_kwh;
+    placement.avg_kw = candidate.avg_kw;
+    placement.dpi = dpi;
+    placement.score = candidate.yield_kwh * (1.0 + dpi);
+    placement.feeder_used_kw = used_after_kw;
+    return placement;
+}
+
+/// Close a finished plan: per-feeder totals and capped-roof skips, in
+/// deterministic (model, results) order — identical code on both
+/// placers, so every derived byte matches when the placements match.
+void finalize(const FeederModel& model,
+              const std::vector<gis::RoofResult>& results,
+              const Instance& instance, const std::vector<double>& used_kw,
+              GridPlanResult& plan) {
+    plan.attached = instance.attached;
+    plan.errors = static_cast<long>(instance.error_skips.size());
+    plan.skipped = instance.error_skips;
+
+    std::vector<GridFeederTotal> totals(model.feeders().size());
+    for (std::size_t f = 0; f < model.feeders().size(); ++f) {
+        totals[f].feeder_id = model.feeders()[f].id;
+        totals[f].export_cap_kw = model.feeders()[f].export_cap_kw;
+        totals[f].placed_kw = used_kw[f];
+    }
+    for (const GridPlacement& placement : plan.placements) {
+        GridFeederTotal& total = totals[static_cast<std::size_t>(
+            model.find_feeder(placement.feeder_id))];
+        ++total.placed;
+        total.yield_kwh += placement.yield_kwh;
+    }
+    for (const Candidate& candidate : instance.candidates) {
+        if (candidate.placed) continue;
+        plan.skipped.push_back({results[candidate.result].id, "capped"});
+        ++totals[static_cast<std::size_t>(candidate.feeder)].capped;
+    }
+    plan.feeders = std::move(totals);
+}
+
+}  // namespace
+
+std::string placement_to_jsonl(const GridPlacement& placement) {
+    std::string line = "{\"order\":" + std::to_string(placement.order);
+    line += ",\"id\":\"" + gis::json_escape(placement.roof_id) + "\"";
+    line += ",\"bus\":\"" + gis::json_escape(placement.bus_id) + "\"";
+    line += ",\"feeder\":\"" + gis::json_escape(placement.feeder_id) + "\"";
+    line += ",\"yield_kwh\":" + num(placement.yield_kwh, 6);
+    line += ",\"avg_kw\":" + num(placement.avg_kw, 6);
+    line += ",\"dpi\":" + num(placement.dpi, 6);
+    line += ",\"score\":" + num(placement.score, 6);
+    line += ",\"feeder_used_kw\":" + num(placement.feeder_used_kw, 6) + "}";
+    return line;
+}
+
+GridPlanResult sequential_place(const FeederModel& model,
+                                const std::vector<gis::RoofResult>& results,
+                                const GridPlaceOptions& options) {
+    const Instance instance = build_instance(model, results, options);
+    Instance live = instance;
+
+    std::vector<double> flow = model.base_flows();
+    std::vector<double> dpi = model.downstream_power_index(flow);
+    std::vector<double> used_kw(model.feeders().size(), 0.0);
+
+    // Alive candidate positions, results order — the tie-break order.
+    std::vector<std::size_t> alive(live.candidates.size());
+    for (std::size_t i = 0; i < alive.size(); ++i) alive[i] = i;
+
+    GridPlanResult plan;
+    struct Best {
+        std::size_t pos = 0;  ///< index into alive
+        double score = 0.0;
+        bool found = false;
+    };
+    while (!alive.empty()) {
+        const long n = static_cast<long>(alive.size());
+        // Fixed-chunk parallel argmax, partials merged in chunk order:
+        // the winner is the first strictly-best alive candidate, the
+        // same pick a serial scan makes — at any thread count.
+        const Best best = parallel_reduce(
+            0L, n, 256L, Best{},
+            [&](long begin, long end) {
+                Best local;
+                for (long k = begin; k < end; ++k) {
+                    const Candidate& candidate =
+                        live.candidates[alive[static_cast<std::size_t>(k)]];
+                    const double cap =
+                        model.feeders()[static_cast<std::size_t>(
+                                            candidate.feeder)]
+                            .export_cap_kw;
+                    if (!fits_cap(used_kw[static_cast<std::size_t>(
+                                      candidate.feeder)],
+                                  candidate.avg_kw, cap))
+                        continue;
+                    const double score =
+                        candidate.yield_kwh *
+                        (1.0 +
+                         dpi[static_cast<std::size_t>(candidate.bus)]);
+                    if (!local.found || score > local.score) {
+                        local.pos = static_cast<std::size_t>(k);
+                        local.score = score;
+                        local.found = true;
+                    }
+                }
+                return local;
+            },
+            [](Best acc, Best partial) {
+                if (!acc.found) return partial;
+                if (partial.found && partial.score > acc.score)
+                    return partial;
+                return acc;
+            });
+        if (!best.found) break;  // every remaining roof is capped out
+
+        Candidate& picked = live.candidates[alive[best.pos]];
+        picked.placed = true;
+        const std::size_t feeder = static_cast<std::size_t>(picked.feeder);
+        used_kw[feeder] += picked.avg_kw;
+        plan.placements.push_back(make_placement(
+            model, results, picked,
+            static_cast<long>(plan.placements.size()) + 1,
+            dpi[static_cast<std::size_t>(picked.bus)], used_kw[feeder]));
+
+        // Commit: pull the injection off the path to the root, then
+        // re-score the affected buses — exactly the picked feeder; no
+        // other feeder's flows moved.
+        model.apply_injection(flow, picked.bus, picked.avg_kw);
+        for (long b : model.feeder_topo(picked.feeder)) {
+            const BusRecord& bus =
+                model.buses()[static_cast<std::size_t>(b)];
+            const double upstream =
+                bus.parent >= 0
+                    ? dpi[static_cast<std::size_t>(bus.parent)]
+                    : 0.0;
+            dpi[static_cast<std::size_t>(b)] =
+                upstream +
+                bus.r_ohm *
+                    std::max(flow[static_cast<std::size_t>(b)], 0.0);
+        }
+        alive.erase(alive.begin() + static_cast<long>(best.pos));
+    }
+
+    finalize(model, results, live, used_kw, plan);
+
+    if (!options.plan_jsonl_path.empty()) {
+        std::ofstream os(options.plan_jsonl_path,
+                         std::ios::binary | std::ios::trunc);
+        check_io(os.good(), "sequential_place: cannot write '" +
+                                options.plan_jsonl_path + "'");
+        for (const GridPlacement& placement : plan.placements)
+            os << placement_to_jsonl(placement) << '\n';
+        check_io(os.good(), "sequential_place: plan write failed");
+    }
+    if (!options.summary_csv_path.empty()) {
+        CsvTable csv({"feeder", "placed", "capped", "placed_kw",
+                      "export_cap_kw", "utilization_pct", "yield_kwh"});
+        for (const GridFeederTotal& total : plan.feeders) {
+            const double utilization =
+                total.export_cap_kw > 0.0
+                    ? total.placed_kw / total.export_cap_kw * 100.0
+                    : 0.0;
+            csv.add_row({total.feeder_id, std::to_string(total.placed),
+                         std::to_string(total.capped),
+                         num(total.placed_kw, 6),
+                         num(total.export_cap_kw, 6), num(utilization, 3),
+                         num(total.yield_kwh, 6)});
+        }
+        csv.write_file(options.summary_csv_path);
+    }
+    return plan;
+}
+
+GridPlanResult sequential_place_reference(
+    const FeederModel& model, const std::vector<gis::RoofResult>& results,
+    const GridPlaceOptions& options) {
+    const Instance frozen = build_instance(model, results, options);
+    Instance live = frozen;
+
+    const std::vector<double> base = model.base_flows();
+    GridPlanResult plan;
+    std::vector<double> used_kw(model.feeders().size(), 0.0);
+
+    for (;;) {
+        // No incremental state: rebuild flows and per-feeder usage by
+        // replaying every committed placement in order, then recompute
+        // DPI for all buses from scratch.
+        std::vector<double> flow = base;
+        used_kw.assign(model.feeders().size(), 0.0);
+        for (const GridPlacement& placement : plan.placements) {
+            model.apply_injection(flow, model.bus_of(placement.roof_id),
+                                  placement.avg_kw);
+            used_kw[static_cast<std::size_t>(
+                model.find_feeder(placement.feeder_id))] +=
+                placement.avg_kw;
+        }
+        const std::vector<double> dpi =
+            model.downstream_power_index(flow);
+
+        // Serial re-walk of every remaining roof, first strict best.
+        Candidate* picked = nullptr;
+        double best_score = 0.0;
+        for (Candidate& candidate : live.candidates) {
+            if (candidate.placed) continue;
+            const double cap =
+                model.feeders()[static_cast<std::size_t>(candidate.feeder)]
+                    .export_cap_kw;
+            if (!fits_cap(
+                    used_kw[static_cast<std::size_t>(candidate.feeder)],
+                    candidate.avg_kw, cap))
+                continue;
+            const double score =
+                candidate.yield_kwh *
+                (1.0 + dpi[static_cast<std::size_t>(candidate.bus)]);
+            if (!picked || score > best_score) {
+                picked = &candidate;
+                best_score = score;
+            }
+        }
+        if (!picked) break;
+
+        picked->placed = true;
+        const std::size_t feeder = static_cast<std::size_t>(picked->feeder);
+        used_kw[feeder] += picked->avg_kw;
+        plan.placements.push_back(make_placement(
+            model, results, *picked,
+            static_cast<long>(plan.placements.size()) + 1,
+            dpi[static_cast<std::size_t>(picked->bus)], used_kw[feeder]));
+    }
+
+    finalize(model, results, live, used_kw, plan);
+    return plan;
+}
+
+}  // namespace pvfp::grid

@@ -1,0 +1,112 @@
+#pragma once
+/// \file sequential_place.hpp
+/// Grid-aware sequential city placement: rank roofs by DPI × yield.
+///
+/// sequential_place consumes the per-roof yield records of a
+/// gis::run_city JSONL stream (or a serving-plane equivalent) plus a
+/// FeederModel, and greedily builds a deployment *plan*: at each step
+/// it scores every remaining attached roof as
+///
+///     score = yield_kwh * (1 + dpi[bus])
+///
+/// with dpi the Downstream Power Index under the current net flows,
+/// picks the best feasible roof (its average export must fit the
+/// feeder's remaining shared cap), commits the placement, subtracts
+/// its injection from the bus flows on the path to the root, and
+/// re-scores the affected buses — exactly the placed roof's feeder,
+/// since no other feeder's flows changed.  Ties break by results
+/// order (= registry order), strictly: the placement sequence and the
+/// emitted bytes are identical at any thread count, because the
+/// candidate scan is a fixed-chunk parallel argmax merged in chunk
+/// order (the PR-2 pool contract).
+///
+/// Roofs whose record carries status:error are skipped up front (they
+/// never reach the scorer, so no NaN can leak into a score), as are
+/// roofs the feeder index does not attach.  Roofs whose export no
+/// longer fits their feeder's cap are reported as capped.
+///
+/// sequential_place_reference is the brute-force differential oracle:
+/// no incremental state at all — each step it rebuilds the flows from
+/// base by replaying every committed placement in order, recomputes
+/// DPI for all buses, and re-walks all remaining roofs serially.  The
+/// shared fold orders (base_flows / apply_injection /
+/// downstream_power_index) make both placers bitwise identical, which
+/// the equivalence suite pins on seeded random instances.
+
+#include <string>
+#include <vector>
+
+#include "pvfp/gis/city_runner.hpp"
+#include "pvfp/grid/feeder_model.hpp"
+
+namespace pvfp::grid {
+
+struct GridPlaceOptions {
+    /// Converts annual yield [kWh] to the average export power [kW]
+    /// accounted against the feeder cap.
+    double hours_per_year = 8760.0;
+    /// Restrict placement to one feeder id ("" = whole model) — the
+    /// serving daemon's grid_rank re-ranks a single feeder this way.
+    std::string feeder_filter;
+    /// Required output JSONL stream ("" = keep results in memory only).
+    std::string plan_jsonl_path;
+    /// Optional per-feeder summary CSV.
+    std::string summary_csv_path;
+};
+
+/// One committed placement, in pick order.
+struct GridPlacement {
+    long order = 0;  ///< 1-based pick position
+    std::string roof_id;
+    std::string bus_id;
+    std::string feeder_id;
+    double yield_kwh = 0.0;
+    double avg_kw = 0.0;  ///< yield_kwh / hours_per_year
+    double dpi = 0.0;     ///< at pick time
+    double score = 0.0;   ///< yield_kwh * (1 + dpi)
+    double feeder_used_kw = 0.0;  ///< feeder total after this pick
+};
+
+/// A roof the plan could not place.
+struct GridSkipped {
+    std::string roof_id;
+    std::string reason;  ///< "error" | "capped"
+};
+
+/// Per-feeder accounting, model order.
+struct GridFeederTotal {
+    std::string feeder_id;
+    long placed = 0;
+    long capped = 0;  ///< attached ok-roofs that no longer fit the cap
+    double placed_kw = 0.0;
+    double export_cap_kw = 0.0;  ///< <= 0 = uncapped
+    double yield_kwh = 0.0;
+};
+
+struct GridPlanResult {
+    std::vector<GridPlacement> placements;
+    std::vector<GridSkipped> skipped;
+    std::vector<GridFeederTotal> feeders;
+    long attached = 0;  ///< results with an attachment (after filter)
+    long errors = 0;    ///< attached but status:error
+};
+
+/// Serialize one placement as a JSONL line (no trailing newline);
+/// fixed key order and precision — the byte-determinism contract.
+std::string placement_to_jsonl(const GridPlacement& placement);
+
+/// Greedy DPI-weighted placement over \p results (see file comment).
+/// Every attachment the filter keeps must name a roof present in
+/// \p results (IoError otherwise — run_city emits a record for every
+/// registry roof, errors included, so a gap means mismatched inputs).
+GridPlanResult sequential_place(const FeederModel& model,
+                                const std::vector<gis::RoofResult>& results,
+                                const GridPlaceOptions& options = {});
+
+/// The brute-force differential oracle (see file comment).  Never
+/// writes files; bitwise-identical placements to sequential_place.
+GridPlanResult sequential_place_reference(
+    const FeederModel& model, const std::vector<gis::RoofResult>& results,
+    const GridPlaceOptions& options = {});
+
+}  // namespace pvfp::grid

@@ -23,6 +23,9 @@ Request parse_request(const std::string& line) {
                      "plan: orientation must be portrait or landscape");
             request.portrait = orientation == "portrait";
         }
+    } else if (request.op == "grid_rank") {
+        request.feeder = v.at("feeder").as_string();
+        check_io(!request.feeder.empty(), "grid_rank: empty feeder id");
     } else if (request.op != "rank" && request.op != "status" &&
                request.op != "reload" && request.op != "quit") {
         throw IoError("unknown op '" + request.op + "'");

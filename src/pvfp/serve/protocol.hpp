@@ -12,6 +12,10 @@
 ///   {"op":"plan","id":"R","series":M,"strings":N[,"orientation":"portrait"]}
 ///       Re-place K = M*N panels (landscape by default) on roof R:
 ///       proposed placement coordinates + energies.
+///   {"op":"grid_rank","feeder":"F"}
+///       Re-rank feeder F's attached roofs under its shared export cap
+///       (grid::sequential_place restricted to F against the resident
+///       yields): the placement objects reuse the plan-JSONL bytes.
 ///   {"op":"status"}   daemon identity: registry/tile counts, config.
 ///   {"op":"reload"}   re-read the footprint index from disk; edited
 ///                     roofs rebuild on their next request.
@@ -37,8 +41,9 @@ namespace pvfp::serve {
 
 /// A parsed request line.
 struct Request {
-    std::string op;  ///< rank | plan | status | reload | quit
+    std::string op;  ///< rank | plan | grid_rank | status | reload | quit
     std::string id;  ///< roof id (rank, plan)
+    std::string feeder;  ///< feeder id (grid_rank)
     int series = 0;      ///< plan
     int strings = 0;     ///< plan
     bool portrait = false;  ///< plan: panel orientation

@@ -13,6 +13,7 @@
 #include "pvfp/core/greedy_placer.hpp"
 #include "pvfp/gis/json.hpp"
 #include "pvfp/gis/jsonl.hpp"
+#include "pvfp/grid/sequential_place.hpp"
 #include "pvfp/serve/protocol.hpp"
 #include "pvfp/util/atomic_queue.hpp"
 #include "pvfp/util/error.hpp"
@@ -61,6 +62,10 @@ Server::Server(gis::TileIndex tiles, gis::RoofRegistry registry,
         check_io(log_->good(), "serve: cannot open request log '" +
                                    options_.request_log_path + "'");
     }
+    if (!options_.feeder_path.empty()) {
+        feeder_model_ = grid::FeederModel::load(options_.feeder_path);
+        feeder_model_->validate_roofs(*state_->registry());
+    }
 }
 
 Server::~Server() = default;
@@ -77,47 +82,100 @@ Server::Item Server::make_item(long seq, const std::string& raw_line) const {
     return item;
 }
 
+gis::RoofResult Server::rank_result(const std::string& roof_id) {
+    const ServeConfig& config = state_->config();
+    gis::RoofResult result;
+    result.id = roof_id;
+    try {
+        const std::shared_ptr<const PreparedRoof> roof =
+            state_->prepare(roof_id);
+        result.valid_cells = roof->prepared.area.valid_count;
+        result.area_w = roof->prepared.area.width;
+        result.area_h = roof->prepared.area.height;
+        result.tilt_deg = roof->fit.tilt_deg;
+        result.azimuth_deg = roof->fit.azimuth_deg;
+        result.fit_rmse_m = roof->fit.rmse_m;
+        for (const pv::Topology& topology : config.topologies) {
+            const core::PlacementComparison cmp = core::compare_placements(
+                roof->prepared, topology, config.greedy, config.eval);
+            gis::RoofTopologyResult t;
+            t.topology = topology;
+            t.proposed_kwh = cmp.proposed_eval.energy_kwh;
+            t.compact_kwh = cmp.traditional_eval.energy_kwh;
+            t.improvement_pct = cmp.improvement() * 100.0;
+            result.best_kwh = std::max(result.best_kwh, t.proposed_kwh);
+            result.topologies.push_back(t);
+        }
+        result.ok = true;
+    } catch (const std::exception& e) {
+        // Same shape run_city records for a failed roof, so the
+        // payload stays byte-compatible either way.
+        gis::RoofResult failed;
+        failed.id = roof_id;
+        failed.error = e.what();
+        result = std::move(failed);
+    }
+    return result;
+}
+
 std::string Server::respond(const Item& item) {
     if (!item.parse_ok)
         return error_response(item.seq, "error", "", item.error);
     const Request& request = item.request;
     const ServeConfig& config = state_->config();
     try {
-        if (request.op == "rank") {
-            gis::RoofResult result;
-            result.id = request.id;
-            try {
-                const std::shared_ptr<const PreparedRoof> roof =
-                    state_->prepare(request.id);
-                result.valid_cells = roof->prepared.area.valid_count;
-                result.area_w = roof->prepared.area.width;
-                result.area_h = roof->prepared.area.height;
-                result.tilt_deg = roof->fit.tilt_deg;
-                result.azimuth_deg = roof->fit.azimuth_deg;
-                result.fit_rmse_m = roof->fit.rmse_m;
-                for (const pv::Topology& topology : config.topologies) {
-                    const core::PlacementComparison cmp =
-                        core::compare_placements(roof->prepared, topology,
-                                                 config.greedy, config.eval);
-                    gis::RoofTopologyResult t;
-                    t.topology = topology;
-                    t.proposed_kwh = cmp.proposed_eval.energy_kwh;
-                    t.compact_kwh = cmp.traditional_eval.energy_kwh;
-                    t.improvement_pct = cmp.improvement() * 100.0;
-                    result.best_kwh = std::max(result.best_kwh,
-                                               t.proposed_kwh);
-                    result.topologies.push_back(t);
-                }
-                result.ok = true;
-            } catch (const std::exception& e) {
-                // Same shape run_city records for a failed roof, so the
-                // payload stays byte-compatible either way.
-                gis::RoofResult failed;
-                failed.id = request.id;
-                failed.error = e.what();
-                result = std::move(failed);
+        if (request.op == "rank")
+            return rank_response(item.seq, rank_result(request.id));
+        if (request.op == "grid_rank") {
+            check_arg(feeder_model_.has_value(),
+                      "grid_rank: server started without --feeder-index");
+            const grid::FeederModel& model = *feeder_model_;
+            const long feeder = model.find_feeder(request.feeder);
+            check_arg(feeder >= 0, "grid_rank: unknown feeder '" +
+                                       request.feeder + "'");
+            // Attached roofs in registry order — the same results order
+            // (and thus tie-break order) the batch planner sees, with
+            // every yield round-tripped through the batch codec so the
+            // scores use run_city's fixed JSONL precision.
+            const std::shared_ptr<const gis::RoofRegistry> registry =
+                state_->registry();
+            std::vector<gis::RoofResult> results;
+            for (const gis::RoofRecord& record : registry->records()) {
+                const long bus = model.bus_of(record.id);
+                if (bus < 0 ||
+                    model.buses()[static_cast<std::size_t>(bus)].feeder !=
+                        feeder)
+                    continue;
+                results.push_back(gis::roof_result_from_jsonl(
+                    gis::roof_result_to_jsonl(rank_result(record.id))));
             }
-            return rank_response(item.seq, result);
+            grid::GridPlaceOptions grid_options;
+            grid_options.feeder_filter = request.feeder;
+            const grid::GridPlanResult plan =
+                grid::sequential_place(model, results, grid_options);
+            std::string out = ok_envelope(item.seq, "grid_rank");
+            out += ",\"feeder\":\"" + gis::json_escape(request.feeder) +
+                   "\"";
+            out += ",\"status\":\"ok\"";
+            out += ",\"export_cap_kw\":" +
+                   num(model.feeders()[static_cast<std::size_t>(feeder)]
+                           .export_cap_kw,
+                       6);
+            out += ",\"attached\":" + std::to_string(plan.attached);
+            out += ",\"placements\":[";
+            for (std::size_t p = 0; p < plan.placements.size(); ++p) {
+                if (p) out += ',';
+                out += grid::placement_to_jsonl(plan.placements[p]);
+            }
+            out += "],\"skipped\":[";
+            for (std::size_t s = 0; s < plan.skipped.size(); ++s) {
+                if (s) out += ',';
+                out += "{\"id\":\"" +
+                       gis::json_escape(plan.skipped[s].roof_id) +
+                       "\",\"reason\":\"" + plan.skipped[s].reason + "\"}";
+            }
+            out += "]}";
+            return out;
         }
         if (request.op == "plan") {
             const std::shared_ptr<const PreparedRoof> roof =

@@ -26,8 +26,11 @@
 #include <cstddef>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "pvfp/gis/city_runner.hpp"
+#include "pvfp/grid/feeder_model.hpp"
 #include "pvfp/serve/resident_state.hpp"
 
 namespace pvfp::serve {
@@ -39,6 +42,10 @@ struct ServerOptions {
     std::string request_log_path;
     /// Footprint index path backing the `reload` op; "" rejects reload.
     std::string index_path;
+    /// Feeder index (grid::FeederModel) backing the `grid_rank` op;
+    /// "" rejects grid_rank.  Loaded and validated against the roof
+    /// registry at construction.
+    std::string feeder_path;
     /// Request ring capacity (rounded up to a power of two).
     std::size_t queue_capacity = 1024;
     /// Max requests executed as one batch; 0 = 2 x thread_count().
@@ -85,8 +92,12 @@ private:
     /// Deterministic per (seq, request, registry state); never throws.
     std::string respond(const Item& item);
     Item make_item(long seq, const std::string& raw_line) const;
+    /// One roof's rank payload: the run_city record shape, errors
+    /// captured in the record (shared by rank and grid_rank).
+    gis::RoofResult rank_result(const std::string& roof_id);
 
     ServerOptions options_;
+    std::optional<grid::FeederModel> feeder_model_;
     std::unique_ptr<ResidentState> state_;
     std::unique_ptr<std::ofstream> log_;
     long seq_ = 0;

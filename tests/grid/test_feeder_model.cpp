@@ -1,0 +1,409 @@
+/// \file test_feeder_model.cpp
+/// Property suite for the feeder-index loaders: every malformed input
+/// in the catalogue below must surface as a *typed* pvfp error naming
+/// the defect — never a crash, never a silently wrong model — and the
+/// CSV and JSON loaders must produce identical models for equivalent
+/// content.  Mirrors the PR-6 edge-pinning style of the JSONL scanner
+/// tests: each known failure mode is pinned individually, then a
+/// random byte-mutation fuzz sweep checks the "typed error or valid
+/// model" contract holds off the beaten path too.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pvfp/gis/roof_registry.hpp"
+#include "pvfp/grid/feeder_model.hpp"
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/rng.hpp"
+
+namespace {
+
+using pvfp::Rng;
+using pvfp::grid::FeederModel;
+
+std::string write_temp(const std::string& name, const std::string& content) {
+    const std::string path = testing::TempDir() + name;
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << content;
+    return path;
+}
+
+/// A small well-formed index shared by the happy-path tests: two
+/// feeders, a 3-bus chain plus a 1-bus feeder, three roofs.
+const char* const kGoodCsv =
+    "kind,id,feeder,parent,r_ohm,ampacity_a,load_kw,export_cap_kw,bus\n"
+    "feeder,F0,,,,,,24.0,\n"
+    "feeder,F1,,,,,,,\n"
+    "bus,F0_root,F0,,0.02,400,0.0,,\n"
+    "bus,b01,F0,F0_root,0.08,160,1.4,,\n"
+    "bus,b02,F0,b01,0.05,120,2.1,,\n"
+    "bus,F1_root,F1,,0.03,250,0.7,,\n"
+    "roof,roof_000,,,,,,,b01\n"
+    "roof,roof_001,,,,,,,b02\n"
+    "roof,roof_002,,,,,,,F1_root\n";
+
+const char* const kGoodJson =
+    "{\"feeders\":[{\"id\":\"F0\",\"export_cap_kw\":24.0},{\"id\":\"F1\"}],"
+    "\"buses\":["
+    "{\"id\":\"F0_root\",\"feeder\":\"F0\",\"r_ohm\":0.02,"
+    "\"ampacity_a\":400,\"load_kw\":0.0},"
+    "{\"id\":\"b01\",\"feeder\":\"F0\",\"parent\":\"F0_root\","
+    "\"r_ohm\":0.08,\"ampacity_a\":160,\"load_kw\":1.4},"
+    "{\"id\":\"b02\",\"feeder\":\"F0\",\"parent\":\"b01\","
+    "\"r_ohm\":0.05,\"ampacity_a\":120,\"load_kw\":2.1},"
+    "{\"id\":\"F1_root\",\"feeder\":\"F1\",\"r_ohm\":0.03,"
+    "\"ampacity_a\":250,\"load_kw\":0.7}],"
+    "\"roofs\":[{\"id\":\"roof_000\",\"bus\":\"b01\"},"
+    "{\"id\":\"roof_001\",\"bus\":\"b02\"},"
+    "{\"id\":\"roof_002\",\"bus\":\"F1_root\"}]}";
+
+void expect_equivalent(const FeederModel& a, const FeederModel& b) {
+    ASSERT_EQ(a.feeders().size(), b.feeders().size());
+    for (std::size_t f = 0; f < a.feeders().size(); ++f) {
+        EXPECT_EQ(a.feeders()[f].id, b.feeders()[f].id);
+        EXPECT_EQ(a.feeders()[f].export_cap_kw, b.feeders()[f].export_cap_kw);
+        EXPECT_EQ(a.feeders()[f].root_bus, b.feeders()[f].root_bus);
+    }
+    ASSERT_EQ(a.buses().size(), b.buses().size());
+    for (std::size_t i = 0; i < a.buses().size(); ++i) {
+        EXPECT_EQ(a.buses()[i].id, b.buses()[i].id);
+        EXPECT_EQ(a.buses()[i].feeder, b.buses()[i].feeder);
+        EXPECT_EQ(a.buses()[i].parent, b.buses()[i].parent);
+        EXPECT_EQ(a.buses()[i].r_ohm, b.buses()[i].r_ohm);
+        EXPECT_EQ(a.buses()[i].ampacity_a, b.buses()[i].ampacity_a);
+        EXPECT_EQ(a.buses()[i].load_kw, b.buses()[i].load_kw);
+    }
+    ASSERT_EQ(a.attachments().size(), b.attachments().size());
+    for (std::size_t r = 0; r < a.attachments().size(); ++r) {
+        EXPECT_EQ(a.attachments()[r].roof_id, b.attachments()[r].roof_id);
+        EXPECT_EQ(a.attachments()[r].bus, b.attachments()[r].bus);
+    }
+    EXPECT_EQ(a.topo_order(), b.topo_order());
+    EXPECT_EQ(a.base_flows(), b.base_flows());
+    EXPECT_EQ(a.downstream_power_index(a.base_flows()),
+              b.downstream_power_index(b.base_flows()));
+}
+
+TEST(FeederModel, CsvAndJsonLoadersAgree) {
+    const FeederModel csv =
+        FeederModel::load(write_temp("fm_good.csv", kGoodCsv));
+    const FeederModel json =
+        FeederModel::load(write_temp("fm_good.json", kGoodJson));
+    expect_equivalent(csv, json);
+
+    EXPECT_EQ(csv.feeders().size(), 2u);
+    EXPECT_EQ(csv.buses().size(), 4u);
+    EXPECT_EQ(csv.attachments().size(), 3u);
+    EXPECT_EQ(csv.find_feeder("F1"), 1);
+    EXPECT_EQ(csv.find_feeder("F9"), -1);
+    EXPECT_EQ(csv.bus_of("roof_001"), 2);
+    EXPECT_EQ(csv.bus_of("ghost"), -1);
+    // Omitted cap = uncapped.
+    EXPECT_EQ(csv.feeders()[1].export_cap_kw, 0.0);
+}
+
+TEST(FeederModel, TopoOrderAndFlows) {
+    const FeederModel model =
+        FeederModel::load(write_temp("fm_topo.csv", kGoodCsv));
+    // Root-downward, file order within a feeder; feeders in file order.
+    const std::vector<long> want_topo{0, 1, 2, 3};
+    EXPECT_EQ(model.topo_order(), want_topo);
+    ASSERT_EQ(model.feeder_topo(0).size(), 3u);
+    ASSERT_EQ(model.feeder_topo(1).size(), 1u);
+
+    const std::vector<double> flow = model.base_flows();
+    EXPECT_DOUBLE_EQ(flow[2], 2.1);              // leaf
+    EXPECT_DOUBLE_EQ(flow[1], 1.4 + 2.1);        // chain
+    EXPECT_DOUBLE_EQ(flow[0], 0.0 + 1.4 + 2.1);  // root
+    EXPECT_DOUBLE_EQ(flow[3], 0.7);
+
+    const std::vector<double> dpi = model.downstream_power_index(flow);
+    EXPECT_DOUBLE_EQ(dpi[0], 0.02 * 3.5);
+    EXPECT_DOUBLE_EQ(dpi[1], dpi[0] + 0.08 * 3.5);
+    EXPECT_DOUBLE_EQ(dpi[2], dpi[1] + 0.05 * 2.1);
+    EXPECT_DOUBLE_EQ(dpi[3], 0.03 * 0.7);
+
+    // An injection at the leaf drains the whole path to the root.
+    std::vector<double> after = flow;
+    model.apply_injection(after, 2, 1.0);
+    EXPECT_DOUBLE_EQ(after[2], flow[2] - 1.0);
+    EXPECT_DOUBLE_EQ(after[1], flow[1] - 1.0);
+    EXPECT_DOUBLE_EQ(after[0], flow[0] - 1.0);
+    EXPECT_DOUBLE_EQ(after[3], flow[3]);
+    // Negative flow clamps out of the DPI (no negative displacement).
+    model.apply_injection(after, 3, 10.0);
+    EXPECT_DOUBLE_EQ(model.downstream_power_index(after)[3], 0.0);
+}
+
+TEST(FeederModel, CrlfFileParses) {
+    std::string crlf(kGoodCsv);
+    std::string with_cr;
+    for (char c : crlf) {
+        if (c == '\n') with_cr += '\r';
+        with_cr += c;
+    }
+    const FeederModel model =
+        FeederModel::load(write_temp("fm_crlf.csv", with_cr));
+    expect_equivalent(model,
+                      FeederModel::load(write_temp("fm_lf.csv", kGoodCsv)));
+}
+
+/// Each entry: a broken index plus the substring its error must carry.
+struct BrokenCase {
+    const char* name;
+    const char* content;
+    const char* expect;  ///< substring of the IoError message
+};
+
+class FeederModelBrokenCsv : public testing::TestWithParam<BrokenCase> {};
+
+TEST_P(FeederModelBrokenCsv, TypedError) {
+    const BrokenCase& broken = GetParam();
+    const std::string path = write_temp(
+        std::string("fm_") + broken.name + ".csv", broken.content);
+    try {
+        FeederModel::load(path);
+        FAIL() << broken.name << ": expected IoError";
+    } catch (const pvfp::IoError& e) {
+        EXPECT_NE(std::string(e.what()).find(broken.expect),
+                  std::string::npos)
+            << broken.name << ": got '" << e.what() << "'";
+    }
+}
+
+const char* const kHeader =
+    "kind,id,feeder,parent,r_ohm,ampacity_a,load_kw,export_cap_kw,bus\n";
+
+std::string rows(std::initializer_list<const char*> lines) {
+    std::string out = kHeader;
+    for (const char* line : lines) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+// Static storage: TestWithParam keeps pointers, not copies.
+const std::string kTwoRoots = rows({"feeder,F0,,,,,,,",
+                                    "bus,a,F0,,0.1,100,0,,",
+                                    "bus,b,F0,,0.1,100,0,,"});
+const std::string kNoRoot = rows({"feeder,F0,,,,,,,",
+                                  "bus,a,F0,b,0.1,100,0,,",
+                                  "bus,b,F0,a,0.1,100,0,,"});
+const std::string kCycle = rows({"feeder,F0,,,,,,,",
+                                 "bus,root,F0,,0.1,100,0,,",
+                                 "bus,a,F0,b,0.1,100,0,,",
+                                 "bus,b,F0,a,0.1,100,0,,"});
+const std::string kSelfParent = rows({"feeder,F0,,,,,,,",
+                                      "bus,root,F0,,0.1,100,0,,",
+                                      "bus,a,F0,a,0.1,100,0,,"});
+const std::string kDanglingParent = rows({"feeder,F0,,,,,,,",
+                                          "bus,root,F0,,0.1,100,0,,",
+                                          "bus,a,F0,ghost,0.1,100,0,,"});
+const std::string kUnknownFeeder = rows({"feeder,F0,,,,,,,",
+                                         "bus,root,F9,,0.1,100,0,,"});
+const std::string kCrossFeederParent =
+    rows({"feeder,F0,,,,,,,", "feeder,F1,,,,,,,",
+          "bus,r0,F0,,0.1,100,0,,", "bus,r1,F1,,0.1,100,0,,",
+          "bus,a,F1,r0,0.1,100,0,,"});
+const std::string kDuplicateFeeder =
+    rows({"feeder,F0,,,,,,,", "feeder,F0,,,,,,,"});
+const std::string kDuplicateBus = rows({"feeder,F0,,,,,,,",
+                                        "bus,a,F0,,0.1,100,0,,",
+                                        "bus,a,F0,,0.1,100,0,,"});
+const std::string kUnknownBusRoof = rows({"feeder,F0,,,,,,,",
+                                          "bus,root,F0,,0.1,100,0,,",
+                                          "roof,r,,,,,,,ghost"});
+const std::string kDuplicateRoof = rows({"feeder,F0,,,,,,,",
+                                         "bus,root,F0,,0.1,100,0,,",
+                                         "roof,r,,,,,,,root",
+                                         "roof,r,,,,,,,root"});
+const std::string kNegativeR = rows({"feeder,F0,,,,,,,",
+                                     "bus,root,F0,,-0.1,100,0,,"});
+const std::string kNegativeAmpacity = rows({"feeder,F0,,,,,,,",
+                                            "bus,root,F0,,0.1,-5,0,,"});
+const std::string kNegativeLoad = rows({"feeder,F0,,,,,,,",
+                                        "bus,root,F0,,0.1,100,-1,,"});
+const std::string kNanCap = rows({"feeder,F0,,,,,,nan,"});
+const std::string kEmptyId = rows({"feeder,,,,,,,,"});
+const std::string kUnknownKind = rows({"transformer,T0,,,,,,,"});
+const std::string kTornRow =
+    std::string(kHeader) + "feeder,F0,,,,,,24.0,\nbus,a,F0";
+const std::string kMissingColumn = "kind,id\nfeeder,F0\n";
+const std::string kEmptyFile = "";
+
+INSTANTIATE_TEST_SUITE_P(
+    Catalogue, FeederModelBrokenCsv,
+    testing::Values(
+        BrokenCase{"two_roots", kTwoRoots.c_str(), "two roots"},
+        BrokenCase{"no_root", kNoRoot.c_str(), "no root"},
+        BrokenCase{"cycle", kCycle.c_str(), "unreachable"},
+        BrokenCase{"self_parent", kSelfParent.c_str(), "own parent"},
+        BrokenCase{"dangling_parent", kDanglingParent.c_str(),
+                   "unknown parent"},
+        BrokenCase{"unknown_feeder", kUnknownFeeder.c_str(),
+                   "unknown feeder"},
+        BrokenCase{"cross_feeder_parent", kCrossFeederParent.c_str(),
+                   "different feeders"},
+        BrokenCase{"duplicate_feeder", kDuplicateFeeder.c_str(),
+                   "duplicate feeder"},
+        BrokenCase{"duplicate_bus", kDuplicateBus.c_str(), "duplicate bus"},
+        BrokenCase{"unknown_bus_roof", kUnknownBusRoof.c_str(),
+                   "unknown bus"},
+        BrokenCase{"duplicate_roof", kDuplicateRoof.c_str(),
+                   "attached twice"},
+        BrokenCase{"negative_r", kNegativeR.c_str(), "r_ohm"},
+        BrokenCase{"negative_ampacity", kNegativeAmpacity.c_str(),
+                   "ampacity_a"},
+        BrokenCase{"negative_load", kNegativeLoad.c_str(), "load_kw"},
+        BrokenCase{"nan_cap", kNanCap.c_str(), "export_cap_kw"},
+        BrokenCase{"empty_id", kEmptyId.c_str(), "empty id"},
+        BrokenCase{"unknown_kind", kUnknownKind.c_str(), "unknown kind"},
+        BrokenCase{"missing_column", kMissingColumn.c_str(),
+                   "missing column"}),
+    [](const testing::TestParamInfo<BrokenCase>& info) {
+        return info.param.name;
+    });
+
+TEST(FeederModel, TwoRootsNamesBothBuses) {
+    // Regression: building this message once indexed buses_[-1] on the
+    // happy path; the error content itself is also part of the contract
+    // (serve replies carry it verbatim).
+    try {
+        FeederModel::load(write_temp("fm_tworoots.csv", kTwoRoots));
+        FAIL() << "expected IoError";
+    } catch (const pvfp::IoError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("'a'"), std::string::npos) << what;
+        EXPECT_NE(what.find("'b'"), std::string::npos) << what;
+    }
+}
+
+TEST(FeederModel, TornAndEmptyFilesAreTypedErrors) {
+    for (const std::string* content : {&kTornRow, &kEmptyFile}) {
+        const std::string path = write_temp("fm_torn.csv", *content);
+        EXPECT_THROW(FeederModel::load(path), pvfp::Error);
+    }
+    EXPECT_THROW(FeederModel::load(testing::TempDir() + "fm_missing.csv"),
+                 pvfp::Error);
+}
+
+TEST(FeederModel, MalformedJsonIsTypedError) {
+    for (const char* content :
+         {"", "[]", "{\"feeders\":[{\"id\":\"F0\"}],\"buses\":[{}]}",
+          "{\"buses\":[{\"id\":\"a\",\"feeder\":\"F0\"", "nonsense",
+          "{\"feeders\":[{\"id\":\"F0\"}],"
+          "\"buses\":[{\"id\":\"a\",\"feeder\":\"F0\","
+          "\"r_ohm\":-1,\"ampacity_a\":10}]}"}) {
+        const std::string path = write_temp("fm_bad.json", content);
+        EXPECT_THROW(FeederModel::load(path), pvfp::Error) << content;
+    }
+}
+
+TEST(FeederModel, ValidateRoofsAgainstRegistry) {
+    // A minimal registry with exactly the three roofs the index names.
+    const std::string index = write_temp(
+        "fm_registry.csv",
+        "id,min_x,min_y,max_x,max_y,lat,lon,polygon\n"
+        "roof_000,0,0,8,6,45.0,7.7,\n"
+        "roof_001,10,0,18,6,45.0,7.7,\n"
+        "roof_002,20,0,28,6,45.0,7.7,\n");
+    const pvfp::gis::RoofRegistry registry =
+        pvfp::gis::RoofRegistry::load(index);
+    const FeederModel model =
+        FeederModel::load(write_temp("fm_vr.csv", kGoodCsv));
+    EXPECT_NO_THROW(model.validate_roofs(registry));
+
+    const std::string extra = std::string(kGoodCsv) +
+                              "roof,roof_999,,,,,,,F1_root\n";
+    const FeederModel widened =
+        FeederModel::load(write_temp("fm_vr2.csv", extra));
+    try {
+        widened.validate_roofs(registry);
+        FAIL() << "expected IoError";
+    } catch (const pvfp::IoError& e) {
+        EXPECT_NE(std::string(e.what()).find("roof_999"),
+                  std::string::npos);
+    }
+}
+
+/// Fuzz: random structural mutations of a valid index must either load
+/// into a valid model or throw a pvfp::Error — nothing else escapes.
+TEST(FeederModel, FuzzByteMutationsNeverCrash) {
+    const std::string base = kGoodCsv;
+    Rng rng(0xF33D5EEDULL);
+    int loaded = 0, rejected = 0;
+    for (int iteration = 0; iteration < 200; ++iteration) {
+        std::string mutated = base;
+        const int edits = 1 + static_cast<int>(rng.uniform_int(4));
+        for (int e = 0; e < edits; ++e) {
+            const std::size_t at = rng.uniform_int(mutated.size());
+            switch (rng.uniform_int(4)) {
+                case 0:  // flip a byte
+                    mutated[at] = static_cast<char>(
+                        32 + rng.uniform_int(95));
+                    break;
+                case 1:  // delete a byte
+                    mutated.erase(at, 1);
+                    break;
+                case 2:  // duplicate a chunk
+                    mutated.insert(at, mutated.substr(
+                                           at, rng.uniform_int(20) + 1));
+                    break;
+                default:  // truncate (torn write)
+                    mutated.resize(at);
+                    break;
+            }
+            if (mutated.empty()) mutated = "x";
+        }
+        const std::string path = write_temp("fm_fuzz.csv", mutated);
+        try {
+            const FeederModel model = FeederModel::load(path);
+            // Whatever loaded must be internally consistent.
+            for (const pvfp::grid::FeederRecord& feeder : model.feeders())
+                ASSERT_GE(feeder.root_bus, 0);
+            ASSERT_EQ(model.topo_order().size(), model.buses().size());
+            ++loaded;
+        } catch (const pvfp::Error&) {
+            ++rejected;
+        }
+    }
+    // The sweep must exercise both outcomes to mean anything.
+    EXPECT_GT(loaded, 0);
+    EXPECT_GT(rejected, 0);
+}
+
+/// Same contract on the JSON loader.
+TEST(FeederModel, FuzzJsonMutationsNeverCrash) {
+    const std::string base = kGoodJson;
+    Rng rng(0xBADF00DULL);
+    int rejected = 0;
+    for (int iteration = 0; iteration < 200; ++iteration) {
+        std::string mutated = base;
+        const std::size_t at = rng.uniform_int(mutated.size());
+        switch (rng.uniform_int(3)) {
+            case 0:
+                mutated[at] = static_cast<char>(32 + rng.uniform_int(95));
+                break;
+            case 1:
+                mutated.erase(at, rng.uniform_int(8) + 1);
+                break;
+            default:
+                mutated.resize(at);
+                break;
+        }
+        const std::string path = write_temp("fm_fuzz.json", mutated);
+        try {
+            (void)FeederModel::load(path);
+        } catch (const pvfp::Error&) {
+            ++rejected;
+        }
+    }
+    EXPECT_GT(rejected, 0);
+}
+
+}  // namespace

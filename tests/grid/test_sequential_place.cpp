@@ -1,0 +1,381 @@
+/// \file test_sequential_place.cpp
+/// Differential hardening of the grid-aware sequential placer: the
+/// incremental production placer must match its brute-force oracle
+/// *bitwise* — identical placement order and identical serialized
+/// bytes — on a sweep of seeded random feeder instances, and its own
+/// bytes must not move with the thread count.  Plus the pinned edge
+/// cases: status:error records never reach the scorer, caps are
+/// enforced, ties break by results order, attached-but-missing yields
+/// are a typed error.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pvfp/gis/city_runner.hpp"
+#include "pvfp/grid/sequential_place.hpp"
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/parallel.hpp"
+#include "pvfp/util/rng.hpp"
+
+namespace {
+
+using pvfp::Rng;
+using pvfp::gis::RoofResult;
+using pvfp::grid::FeederModel;
+using pvfp::grid::GridPlacement;
+using pvfp::grid::GridPlaceOptions;
+using pvfp::grid::GridPlanResult;
+using pvfp::grid::placement_to_jsonl;
+using pvfp::grid::sequential_place;
+using pvfp::grid::sequential_place_reference;
+
+std::string write_temp(const std::string& name, const std::string& content) {
+    const std::string path = testing::TempDir() + name;
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << content;
+    return path;
+}
+
+/// One seeded random instance: a CSV feeder index (written to a temp
+/// file) plus the matching yield records in registry order.
+struct Instance {
+    std::string index_path;
+    std::vector<RoofResult> results;
+};
+
+Instance random_instance(std::uint64_t seed) {
+    Rng rng(seed);
+    const int n_feeders = 1 + static_cast<int>(rng.uniform_int(4));
+    std::string csv =
+        "kind,id,feeder,parent,r_ohm,ampacity_a,load_kw,export_cap_kw,bus\n";
+
+    // Feeders: a mix of binding caps, loose caps, and uncapped.
+    std::vector<std::string> feeder_ids;
+    for (int f = 0; f < n_feeders; ++f) {
+        feeder_ids.push_back("F" + std::to_string(f));
+        std::string cap;
+        const std::uint64_t regime = rng.uniform_int(3);
+        if (regime == 0) cap = "";  // uncapped (omitted)
+        else if (regime == 1)
+            cap = std::to_string(rng.uniform(0.05, 0.4));   // binds often
+        else
+            cap = std::to_string(rng.uniform(5.0, 50.0));   // loose
+        csv += "feeder," + feeder_ids.back() + ",,,,,," + cap + ",\n";
+    }
+
+    // Buses: per feeder a root plus a random tree (parent = any earlier
+    // bus of the same feeder), so chains, stars, and bushy trees all
+    // appear in the sweep.
+    std::vector<std::string> bus_ids;
+    std::vector<int> bus_feeder;
+    for (int f = 0; f < n_feeders; ++f) {
+        const int n_buses = 1 + static_cast<int>(rng.uniform_int(7));
+        std::vector<std::string> mine;
+        for (int b = 0; b < n_buses; ++b) {
+            const std::string id =
+                feeder_ids[static_cast<std::size_t>(f)] + "_b" +
+                std::to_string(b);
+            const std::string parent =
+                b == 0 ? ""
+                       : mine[rng.uniform_int(mine.size())];
+            csv += "bus," + id + "," +
+                   feeder_ids[static_cast<std::size_t>(f)] + "," + parent +
+                   "," + std::to_string(rng.uniform(0.005, 0.12)) + "," +
+                   std::to_string(rng.uniform(80.0, 400.0)) + "," +
+                   std::to_string(rng.uniform(0.0, 3.0)) + ",,\n";
+            mine.push_back(id);
+            bus_ids.push_back(id);
+            bus_feeder.push_back(f);
+        }
+    }
+
+    // Roofs: each attaches to a random bus; yields overlap across
+    // feeders so the argmax constantly flips between them.  A slice of
+    // records are errors, and a few extra results are unattached.
+    Instance instance;
+    const int n_roofs = 4 + static_cast<int>(rng.uniform_int(28));
+    for (int r = 0; r < n_roofs; ++r) {
+        RoofResult result;
+        result.id = "roof_" + std::to_string(r);
+        if (rng.bernoulli(0.85)) {
+            const std::size_t bus = rng.uniform_int(bus_ids.size());
+            csv += "roof," + result.id + ",,,,,,," + bus_ids[bus] + "\n";
+        }
+        if (rng.bernoulli(0.12)) {
+            result.ok = false;
+            result.error = "mosaic: footprint off the tile set";
+        } else {
+            result.ok = true;
+            result.best_kwh = rng.uniform(40.0, 2600.0);
+            // Exact ties exercise the results-order tie-break.
+            if (rng.bernoulli(0.2)) result.best_kwh = 1000.0;
+        }
+        instance.results.push_back(result);
+    }
+    instance.index_path = write_temp(
+        "sp_" + std::to_string(seed) + ".csv", csv);
+    return instance;
+}
+
+std::string serialize(const GridPlanResult& plan) {
+    std::string out;
+    for (const GridPlacement& placement : plan.placements)
+        out += placement_to_jsonl(placement) + "\n";
+    for (const pvfp::grid::GridSkipped& skip : plan.skipped)
+        out += skip.roof_id + ":" + skip.reason + "\n";
+    for (const pvfp::grid::GridFeederTotal& total : plan.feeders) {
+        char buf[256];
+        std::snprintf(buf, sizeof buf, "%s placed=%ld capped=%ld "
+                      "kw=%.17g cap=%.17g kwh=%.17g\n",
+                      total.feeder_id.c_str(), total.placed, total.capped,
+                      total.placed_kw, total.export_cap_kw,
+                      total.yield_kwh);
+        out += buf;
+    }
+    out += "attached=" + std::to_string(plan.attached) +
+           " errors=" + std::to_string(plan.errors) + "\n";
+    return out;
+}
+
+/// Tentpole satellite: 40+ seeded instances, oracle vs incremental,
+/// bitwise.
+TEST(SequentialPlaceDifferential, MatchesBruteForceOracleBitwise) {
+    int nonempty = 0, capped_somewhere = 0, errored_somewhere = 0;
+    for (std::uint64_t seed = 1; seed <= 44; ++seed) {
+        const Instance instance = random_instance(seed * 7919);
+        const FeederModel model = FeederModel::load(instance.index_path);
+        const GridPlanResult fast =
+            sequential_place(model, instance.results);
+        const GridPlanResult oracle =
+            sequential_place_reference(model, instance.results);
+        EXPECT_EQ(serialize(fast), serialize(oracle))
+            << "seed " << seed;
+        if (!fast.placements.empty()) ++nonempty;
+        if (fast.errors > 0) ++errored_somewhere;
+        for (const pvfp::grid::GridSkipped& skip : fast.skipped)
+            if (skip.reason == "capped") {
+                ++capped_somewhere;
+                break;
+            }
+    }
+    // The sweep must cover placements, cap exhaustion, and error
+    // records, or the equivalence claim is hollow.
+    EXPECT_GT(nonempty, 30);
+    EXPECT_GT(capped_somewhere, 5);
+    EXPECT_GT(errored_somewhere, 5);
+}
+
+TEST(SequentialPlaceDifferential, ThreadCountNeverMovesBytes) {
+    for (std::uint64_t seed : {3ULL, 11ULL, 29ULL}) {
+        const Instance instance = random_instance(seed * 104729);
+        const FeederModel model = FeederModel::load(instance.index_path);
+        pvfp::set_thread_count(1);
+        const std::string serial =
+            serialize(sequential_place(model, instance.results));
+        pvfp::set_thread_count(8);
+        const std::string parallel =
+            serialize(sequential_place(model, instance.results));
+        pvfp::set_thread_count(0);
+        EXPECT_EQ(serial, parallel) << "seed " << seed;
+    }
+}
+
+const char* const kChainCsv =
+    "kind,id,feeder,parent,r_ohm,ampacity_a,load_kw,export_cap_kw,bus\n"
+    "feeder,F0,,,,,,0.5,\n"
+    "bus,root,F0,,0.02,400,1.0,,\n"
+    "bus,mid,F0,root,0.05,160,2.0,,\n"
+    "bus,leaf,F0,mid,0.08,120,1.5,,\n"
+    "roof,r0,,,,,,,leaf\n"
+    "roof,r1,,,,,,,mid\n"
+    "roof,r2,,,,,,,leaf\n";
+
+RoofResult ok_result(const std::string& id, double kwh) {
+    RoofResult result;
+    result.id = id;
+    result.ok = true;
+    result.best_kwh = kwh;
+    return result;
+}
+
+RoofResult error_result(const std::string& id) {
+    RoofResult result;
+    result.id = id;
+    result.ok = false;
+    result.error = "prepare failed";
+    return result;
+}
+
+/// Regression: a status:error record must be skipped up front, not
+/// scored — previously a NaN (0/0-style missing yield) could have
+/// poisoned the argmax and the emitted bytes.
+TEST(SequentialPlace, ErrorRecordsAreSkippedNotScored) {
+    const FeederModel model =
+        FeederModel::load(write_temp("sp_err.csv", kChainCsv));
+    const std::vector<RoofResult> results{
+        error_result("r0"), ok_result("r1", 800.0), ok_result("r2", 900.0)};
+    const GridPlanResult plan = sequential_place(model, results);
+
+    EXPECT_EQ(plan.errors, 1);
+    ASSERT_EQ(plan.placements.size(), 2u);
+    for (const GridPlacement& placement : plan.placements) {
+        EXPECT_NE(placement.roof_id, "r0");
+        EXPECT_TRUE(std::isfinite(placement.score));
+        EXPECT_TRUE(std::isfinite(placement.dpi));
+    }
+    ASSERT_FALSE(plan.skipped.empty());
+    EXPECT_EQ(plan.skipped[0].roof_id, "r0");
+    EXPECT_EQ(plan.skipped[0].reason, "error");
+    // And the oracle agrees bitwise even here.
+    EXPECT_EQ(serialize(plan),
+              serialize(sequential_place_reference(model, results)));
+}
+
+TEST(SequentialPlace, CapIsEnforcedPerFeeder) {
+    const FeederModel model =
+        FeederModel::load(write_temp("sp_cap.csv", kChainCsv));
+    // avg_kw = kwh/8760: 2628 -> 0.3, 1752 -> 0.2, 1314 -> 0.15.
+    const std::vector<RoofResult> results{ok_result("r0", 2628.0),
+                                          ok_result("r1", 1752.0),
+                                          ok_result("r2", 1314.0)};
+    const GridPlanResult plan = sequential_place(model, results);
+
+    // Cap 0.5: the 0.3 pick fits, then exactly one of the others.
+    ASSERT_EQ(plan.feeders.size(), 1u);
+    EXPECT_LE(plan.feeders[0].placed_kw, 0.5 + 1e-12);
+    EXPECT_EQ(plan.feeders[0].placed, 2);
+    EXPECT_EQ(plan.feeders[0].capped, 1);
+    ASSERT_EQ(plan.skipped.size(), 1u);
+    EXPECT_EQ(plan.skipped[0].reason, "capped");
+    // feeder_used_kw in the emitted records is the running total.
+    EXPECT_NEAR(plan.placements.back().feeder_used_kw,
+                plan.feeders[0].placed_kw, 1e-12);
+}
+
+TEST(SequentialPlace, TiesBreakByResultsOrder) {
+    const FeederModel model =
+        FeederModel::load(write_temp("sp_tie.csv", kChainCsv));
+    // r0 and r2 attach to the same bus with identical yields: the
+    // first in results order must win every time.
+    const std::vector<RoofResult> results{ok_result("r0", 1000.0),
+                                          ok_result("r1", 1.0),
+                                          ok_result("r2", 1000.0)};
+    const GridPlanResult plan = sequential_place(model, results);
+    ASSERT_GE(plan.placements.size(), 2u);
+    EXPECT_EQ(plan.placements[0].roof_id, "r0");
+    EXPECT_EQ(plan.placements[1].roof_id, "r2");
+}
+
+TEST(SequentialPlace, DpiPrefersDeepBusesAndUpdatesAfterPicks) {
+    const char* const csv =
+        "kind,id,feeder,parent,r_ohm,ampacity_a,load_kw,export_cap_kw,bus\n"
+        "feeder,F0,,,,,,,\n"
+        "bus,root,F0,,0.02,400,5.0,,\n"
+        "bus,leaf,F0,root,0.10,120,5.0,,\n"
+        "roof,shallow,,,,,,,root\n"
+        "roof,deep,,,,,,,leaf\n";
+    const FeederModel model =
+        FeederModel::load(write_temp("sp_dpi.csv", csv));
+    // Identical yields: the deeper bus has strictly larger DPI, so the
+    // leaf roof must be picked first despite equal kWh.
+    const std::vector<RoofResult> results{ok_result("shallow", 1200.0),
+                                          ok_result("deep", 1200.0)};
+    const GridPlanResult plan = sequential_place(model, results);
+    ASSERT_EQ(plan.placements.size(), 2u);
+    EXPECT_EQ(plan.placements[0].roof_id, "deep");
+    EXPECT_GT(plan.placements[0].dpi, plan.placements[1].dpi);
+    // The second pick is scored under post-commit flows, so its DPI is
+    // smaller than the same bus's pre-commit value.
+    const std::vector<double> dpi0 =
+        model.downstream_power_index(model.base_flows());
+    EXPECT_LT(plan.placements[1].dpi, dpi0[0]);
+}
+
+TEST(SequentialPlace, FeederFilterRestrictsThePlan) {
+    const char* const csv =
+        "kind,id,feeder,parent,r_ohm,ampacity_a,load_kw,export_cap_kw,bus\n"
+        "feeder,F0,,,,,,,\n"
+        "feeder,F1,,,,,,,\n"
+        "bus,a,F0,,0.02,400,1.0,,\n"
+        "bus,b,F1,,0.02,400,1.0,,\n"
+        "roof,r0,,,,,,,a\n"
+        "roof,r1,,,,,,,b\n";
+    const FeederModel model =
+        FeederModel::load(write_temp("sp_filter.csv", csv));
+    const std::vector<RoofResult> results{ok_result("r0", 500.0),
+                                          ok_result("r1", 700.0)};
+    GridPlaceOptions options;
+    options.feeder_filter = "F1";
+    const GridPlanResult plan = sequential_place(model, results, options);
+    EXPECT_EQ(plan.attached, 1);
+    ASSERT_EQ(plan.placements.size(), 1u);
+    EXPECT_EQ(plan.placements[0].roof_id, "r1");
+    EXPECT_EQ(serialize(plan),
+              serialize(sequential_place_reference(model, results,
+                                                   options)));
+
+    GridPlaceOptions unknown;
+    unknown.feeder_filter = "F9";
+    EXPECT_THROW(sequential_place(model, results, unknown), pvfp::IoError);
+}
+
+TEST(SequentialPlace, AttachedRoofWithoutYieldIsTypedError) {
+    const FeederModel model =
+        FeederModel::load(write_temp("sp_gap.csv", kChainCsv));
+    const std::vector<RoofResult> results{ok_result("r0", 500.0),
+                                          ok_result("r1", 700.0)};
+    // r2 is attached but absent from results.
+    try {
+        sequential_place(model, results);
+        FAIL() << "expected IoError";
+    } catch (const pvfp::IoError& e) {
+        EXPECT_NE(std::string(e.what()).find("r2"), std::string::npos);
+    }
+}
+
+TEST(SequentialPlace, BadOptionsAreTypedErrors) {
+    const FeederModel model =
+        FeederModel::load(write_temp("sp_opt.csv", kChainCsv));
+    const std::vector<RoofResult> results{ok_result("r0", 500.0),
+                                          ok_result("r1", 700.0),
+                                          ok_result("r2", 100.0)};
+    GridPlaceOptions options;
+    options.hours_per_year = 0.0;
+    EXPECT_THROW(sequential_place(model, results, options),
+                 pvfp::InvalidArgument);
+}
+
+TEST(SequentialPlace, WritesPlanAndSummaryFiles) {
+    const FeederModel model =
+        FeederModel::load(write_temp("sp_files.csv", kChainCsv));
+    const std::vector<RoofResult> results{ok_result("r0", 2628.0),
+                                          ok_result("r1", 1752.0),
+                                          error_result("r2")};
+    GridPlaceOptions options;
+    options.plan_jsonl_path = testing::TempDir() + "sp_plan.jsonl";
+    options.summary_csv_path = testing::TempDir() + "sp_summary.csv";
+    const GridPlanResult plan = sequential_place(model, results, options);
+
+    std::ifstream plan_in(options.plan_jsonl_path);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(plan_in, line)) {
+        EXPECT_EQ(line, placement_to_jsonl(plan.placements[lines]));
+        ++lines;
+    }
+    EXPECT_EQ(lines, plan.placements.size());
+
+    std::ifstream summary_in(options.summary_csv_path);
+    ASSERT_TRUE(std::getline(summary_in, line));
+    EXPECT_EQ(line,
+              "feeder,placed,capped,placed_kw,export_cap_kw,"
+              "utilization_pct,yield_kwh");
+    ASSERT_TRUE(std::getline(summary_in, line));
+    EXPECT_EQ(line.substr(0, 3), "F0,");
+}
+
+}  // namespace

@@ -15,6 +15,7 @@
 #include "pvfp/gis/city_runner.hpp"
 #include "pvfp/gis/fixture.hpp"
 #include "pvfp/gis/json.hpp"
+#include "pvfp/grid/sequential_place.hpp"
 #include "pvfp/serve/protocol.hpp"
 #include "pvfp/serve/server.hpp"
 #include "pvfp/util/error.hpp"
@@ -125,6 +126,14 @@ TEST(Protocol, ParsesAndRejectsRequests) {
                       "\"strings\":1}")
             .portrait);
 
+    const Request grid = parse_request(
+        "{\"op\":\"grid_rank\",\"feeder\":\"F00\"}");
+    EXPECT_EQ(grid.op, "grid_rank");
+    EXPECT_EQ(grid.feeder, "F00");
+    EXPECT_THROW(parse_request("{\"op\":\"grid_rank\"}"), Error);
+    EXPECT_THROW(parse_request("{\"op\":\"grid_rank\",\"feeder\":\"\"}"),
+                 IoError);
+
     EXPECT_THROW(parse_request("not json"), Error);
     EXPECT_THROW(parse_request("[1,2]"), IoError);
     EXPECT_THROW(parse_request("{\"op\":\"frobnicate\"}"), IoError);
@@ -218,6 +227,84 @@ TEST(Server, LiveSessionAndReplayAreByteIdentical) {
               live_bytes.substr(0, live_bytes.rfind(
                                        '\n', live_bytes.size() - 2) +
                                        1));
+}
+
+TEST(Server, GridRankMatchesBatchPlanAndReplaysByteIdentical) {
+    const ServerCity city("srv_grid");
+
+    // The batch route: run_city results fed to sequential_place with
+    // the same feeder filter — grid_rank must embed the exact same
+    // placement bytes (the serving path round-trips every yield
+    // through the batch codec precisely so these agree).
+    gis::CityRunOptions batch =
+        city.matching_city_options(city.dir + "/batch.jsonl");
+    const gis::CityRunSummary summary =
+        gis::run_city(city.tiles, city.registry, batch);
+    const grid::FeederModel model =
+        grid::FeederModel::load(city.dir + "/feeder.json");
+    grid::GridPlaceOptions grid_options;
+    grid_options.feeder_filter = "F00";
+    const grid::GridPlanResult expected =
+        grid::sequential_place(model, summary.results, grid_options);
+    ASSERT_GT(expected.attached, 0);
+    std::string expected_placements;
+    for (std::size_t p = 0; p < expected.placements.size(); ++p) {
+        if (p) expected_placements += ',';
+        expected_placements +=
+            grid::placement_to_jsonl(expected.placements[p]);
+    }
+
+    ServerOptions options = city.fast_options();
+    options.feeder_path = city.dir + "/feeder.json";
+    options.request_log_path = city.dir + "/grid_requests.jsonl";
+    Server live = city.make_server(options);
+    const std::vector<std::string> requests = {
+        "{\"op\":\"grid_rank\",\"feeder\":\"F00\"}",
+        "{\"op\":\"grid_rank\",\"feeder\":\"F00\"}",  // warm caches
+        "{\"op\":\"grid_rank\",\"feeder\":\"no_such_feeder\"}",
+        "{\"op\":\"quit\"}",
+    };
+    const auto live_lines = session(live, requests);
+    ASSERT_EQ(live_lines.size(), requests.size());
+
+    EXPECT_EQ(live_lines[0].rfind("{\"seq\":0,\"op\":\"grid_rank\","
+                                  "\"feeder\":\"F00\",\"status\":\"ok\"",
+                                  0),
+              0u)
+        << live_lines[0];
+    EXPECT_NE(live_lines[0].find("\"placements\":[" + expected_placements +
+                                 "]"),
+              std::string::npos)
+        << live_lines[0];
+    EXPECT_NE(live_lines[0].find(
+                  "\"attached\":" + std::to_string(expected.attached)),
+              std::string::npos);
+    // Warm and cold responses differ only in seq — pure function of
+    // the request, never of cache state.
+    EXPECT_EQ(live_lines[1].substr(9), live_lines[0].substr(9));
+    EXPECT_NE(live_lines[2].find("\"status\":\"error\""),
+              std::string::npos);
+    EXPECT_NE(live_lines[2].find("unknown feeder"), std::string::npos);
+
+    // Replay on a fresh server: byte-identical, grid_rank included.
+    // (No log path — reopening the same log would truncate it.)
+    ServerOptions replay_options = options;
+    replay_options.request_log_path.clear();
+    Server replayer = city.make_server(replay_options);
+    std::ostringstream replay_out;
+    EXPECT_EQ(replayer.replay(options.request_log_path, replay_out),
+              static_cast<long>(requests.size()));
+    std::string live_bytes;
+    for (const std::string& line : live_lines) live_bytes += line + "\n";
+    EXPECT_EQ(replay_out.str(), live_bytes);
+
+    // Without --feeder-index the op is a deterministic error.
+    Server bare = city.make_server(city.fast_options());
+    const auto rejected =
+        session(bare, {"{\"op\":\"grid_rank\",\"feeder\":\"F00\"}"});
+    ASSERT_EQ(rejected.size(), 1u);
+    EXPECT_NE(rejected[0].find("without --feeder-index"),
+              std::string::npos);
 }
 
 TEST(Server, PlanPlacesTheRequestedTopology) {

@@ -10,10 +10,21 @@
 ///   1. share_sky = false  — every roof regenerates the env series and
 ///      the per-step sun/transposition precompute (the pre-PR-5
 ///      run_scenarios behaviour);
-///   2. share_sky = true   — one SharedSkyArtifact serves the batch.
-/// Outputs are verified byte-identical; the wall-clock ratio is the
-/// shared-sky batch speedup, and roofs/sec the city throughput.
-/// `--json BENCH_city.json` records both runs for the BENCH_* trajectory
+///   2. share_sky = true   — one SharedSkyArtifact serves the batch;
+///   3. shared-horizon cold — a caller-owned gis::HorizonCache is
+///      injected and the run pays the macro-tile marching that
+///      populates it (roof windows are disjoint, so this pass does
+///      *more* marching than the per-roof path — the cache's cost);
+///   4. shared-horizon warm — the same cache serves a second full run
+///      from resident planes: the steady-state re-rank / delta-rerun /
+///      serve-daemon workload the cache exists for.
+/// Runs 1 and 2 are verified byte-identical, as are runs 3 and 4
+/// (cached planes vs freshly-marched planes).  The wall-clock ratios
+/// are the shared-sky batch speedup and the shared-horizon *warm*
+/// speedup (run 2 / run 4), and roofs/sec the city throughput.  Runs
+/// 3/4 rank to a different deterministic stream than 1/2 (uniform
+/// march distance over real halo terrain).  `--json BENCH_city.json`
+/// records every run for the BENCH_* trajectory
 /// (scripts/collect_bench_city.sh).
 ///
 ///   bench_city_scale [--roofs N] [--minutes M] [--stride K]
@@ -29,6 +40,7 @@
 #include "bench_common.hpp"
 #include "pvfp/gis/city_runner.hpp"
 #include "pvfp/gis/fixture.hpp"
+#include "pvfp/gis/horizon_cache.hpp"
 #include "pvfp/util/parallel.hpp"
 
 namespace {
@@ -84,11 +96,19 @@ int main(int argc, char** argv) {
     options.config.grid = TimeGrid(minutes, 1, 365);
     options.config.suitability.step_stride = stride;
     options.config.horizon.azimuth_sectors = 48;
+    // A 40 m march radius: the cold path's per-roof cap (margin +
+    // footprint diagonal, ~29 m on the fixture) still binds, so the
+    // cold timings are unchanged, while the shared-horizon run marches
+    // the full uniform distance — a conservative comparison.
+    options.config.horizon.max_distance = 40.0;
     options.eval.step_stride = stride;
     options.topologies = {{8, 2}};
 
-    const auto timed_run = [&](bool share, const char* jsonl) {
-        options.share_sky = share;
+    const auto timed_run = [&](const char* label, const char* record,
+                               const char* jsonl, bool share_sky,
+                               gis::HorizonCache* horizon_cache) {
+        options.share_sky = share_sky;
+        options.shared_horizon_cache = horizon_cache;
         options.jsonl_path = dir + "/" + jsonl;
         const auto start = Clock::now();
         const gis::CityRunSummary summary =
@@ -96,25 +116,49 @@ int main(int argc, char** argv) {
         const double ms = std::chrono::duration<double, std::milli>(
                               Clock::now() - start)
                               .count();
-        std::cout << (share ? "shared sky " : "per-roof sky") << ": "
-                  << ms / 1000.0 << " s  ("
+        std::cout << label << ": " << ms / 1000.0 << " s  ("
                   << 1000.0 * static_cast<double>(summary.processed) / ms
                   << " roofs/sec, " << summary.failed << " infeasible)\n";
-        reporter.record(share ? "city/shared_sky" : "city/per_roof_sky", ms,
-                        summary.processed);
+        reporter.record(record, ms, summary.processed);
         return ms;
     };
 
-    // Per-roof regeneration first (the baseline), shared second.
-    const double per_roof_ms = timed_run(false, "per_roof.jsonl");
-    const double shared_ms = timed_run(true, "shared.jsonl");
+    // Per-roof regeneration first (the baseline), shared sky second,
+    // then the horizon cache's cold (populating) and warm (resident)
+    // passes through one injected cache.
+    const double per_roof_ms = timed_run(
+        "per-roof sky        ", "city/per_roof_sky", "per_roof.jsonl",
+        false, nullptr);
+    const double shared_ms = timed_run(
+        "shared sky          ", "city/shared_sky", "shared.jsonl",
+        true, nullptr);
 
-    const bool identical = read_file(dir + "/per_roof.jsonl") ==
-                           read_file(dir + "/shared.jsonl");
-    std::cout << "outputs byte-identical: " << (identical ? "yes" : "NO")
-              << "\n";
-    std::cout << "shared-sky batch speedup: " << per_roof_ms / shared_ms
-              << "x\n";
-    if (!identical) return 1;
+    gis::TileCache horizon_tiles(16);
+    gis::HorizonCacheOptions cache_options;
+    cache_options.horizon = options.config.horizon;
+    gis::HorizonCache horizon_cache(tiles, &horizon_tiles, cache_options);
+    const double cold_ms = timed_run(
+        "shared horizon cold ", "city/shared_horizon_cold",
+        "shared_horizon_cold.jsonl", true, &horizon_cache);
+    const double warm_ms = timed_run(
+        "shared horizon warm ", "city/shared_horizon",
+        "shared_horizon.jsonl", true, &horizon_cache);
+
+    const bool sky_identical = read_file(dir + "/per_roof.jsonl") ==
+                               read_file(dir + "/shared.jsonl");
+    const bool horizon_identical =
+        read_file(dir + "/shared_horizon_cold.jsonl") ==
+        read_file(dir + "/shared_horizon.jsonl");
+    std::cout << "sky outputs byte-identical:          "
+              << (sky_identical ? "yes" : "NO") << "\n";
+    std::cout << "cold/warm horizon byte-identical:    "
+              << (horizon_identical ? "yes" : "NO") << "\n";
+    std::cout << "shared-sky batch speedup:            "
+              << per_roof_ms / shared_ms << "x\n";
+    std::cout << "shared-horizon cold overhead:        "
+              << cold_ms / shared_ms << "x wall\n";
+    std::cout << "shared-horizon warm speedup:         "
+              << shared_ms / warm_ms << "x\n";
+    if (!sky_identical || !horizon_identical) return 1;
     return 0;
 }

@@ -1,9 +1,11 @@
 /// \file micro_kernels.cpp
 /// google-benchmark microbenchmarks of the pipeline's hot kernels:
-/// horizon ray-marching, per-cell irradiance sampling, the batched SoA
-/// irradiance kernels (scalar and AVX2 dispatch vs the per-cell scalar
-/// baseline — the headline of the batched-kernel PR), per-cell
-/// histogram statistics, panel aggregation, and the summed-area table.
+/// horizon ray-marching (the per-cell oracle vs the batched SIMD
+/// row-march kernels, per dispatch level), per-cell irradiance
+/// sampling, the batched SoA irradiance kernels (scalar and AVX2
+/// dispatch vs the per-cell scalar baseline — the headline of the
+/// batched-kernel PR), per-cell histogram statistics, panel
+/// aggregation, and the summed-area table.
 /// These bound the cost drivers behind the paper's "<120 s" end-to-end
 /// figure.  scripts/collect_bench_kernels.sh appends the
 /// irradiance-kernel records to BENCH_kernels.json for the cross-PR
@@ -25,6 +27,7 @@
 #include "pvfp/solar/irradiance.hpp"
 #include "pvfp/solar/irradiance_kernels.hpp"
 #include "pvfp/solar/sky_artifact.hpp"
+#include "pvfp/util/parallel.hpp"
 #include "pvfp/util/rng.hpp"
 #include "pvfp/util/simd.hpp"
 #include "pvfp/util/stats.hpp"
@@ -127,6 +130,62 @@ bool apply_simd_arg(benchmark::State& state) {
     }
     return true;
 }
+
+/// A city-block-scale DSM for the horizon benches: the roof window
+/// sits 80+ m from every edge, so sectors march the full default
+/// max_distance through neighbouring terrain instead of exiting the
+/// raster after a few steps — the run_city context-window workload.
+const geo::Raster& horizon_bench_dsm() {
+    static const geo::Raster dsm = [] {
+        geo::SceneBuilder scene(200.0, 200.0);
+        Rng rng(41);
+        for (int i = 0; i < 60; ++i)
+            scene.add_building({rng.uniform(5.0, 180.0),
+                                rng.uniform(5.0, 180.0),
+                                rng.uniform(6.0, 14.0),
+                                rng.uniform(6.0, 12.0),
+                                rng.uniform(3.0, 12.0)});
+        return scene.rasterize(0.2);
+    }();
+    return dsm;
+}
+
+/// Baseline: the retained per-cell horizon oracle on a roof-scale
+/// window — the pre-batching shadow-engine cost (single-threaded so the
+/// ratio against the batched kernels is a pure kernel speedup).
+void BM_HorizonMapReference(benchmark::State& state) {
+    const geo::Raster& dsm = horizon_bench_dsm();
+    geo::HorizonOptions opt;
+    opt.azimuth_sectors = 72;
+    set_thread_count(1);
+    for (auto _ : state) {
+        const geo::HorizonMap map =
+            geo::horizon_map_reference(dsm, 480, 480, 40, 30, opt);
+        benchmark::DoNotOptimize(map.angles_data());
+    }
+    set_thread_count(0);
+    state.SetItemsProcessed(state.iterations() * 40 * 30 * 72);
+}
+BENCHMARK(BM_HorizonMapReference)->Unit(benchmark::kMillisecond);
+
+/// The batched row-march kernels on the same window at a dispatch level
+/// (0 scalar, 1 AVX2, 2 AVX-512) — the horizon-engine headline.
+void BM_HorizonMapBatched(benchmark::State& state) {
+    if (!apply_simd_arg(state)) return;
+    const geo::Raster& dsm = horizon_bench_dsm();
+    geo::HorizonOptions opt;
+    opt.azimuth_sectors = 72;
+    set_thread_count(1);
+    for (auto _ : state) {
+        const geo::HorizonMap map(dsm, 480, 480, 40, 30, opt);
+        benchmark::DoNotOptimize(map.angles_data());
+    }
+    set_thread_count(0);
+    state.SetItemsProcessed(state.iterations() * 40 * 30 * 72);
+    set_simd_level_auto();
+}
+BENCHMARK(BM_HorizonMapBatched)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
 
 /// Baseline: one field row filled through per-cell scalar calls — the
 /// pre-batching hot loop of compute_suitability / the footprint modes.

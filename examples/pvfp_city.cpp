@@ -15,6 +15,11 @@
 ///     --margin <m>               shading context margin (default: 8)
 ///     --resume                   continue an interrupted run
 ///     --no-shared-sky            regenerate weather per roof (baseline)
+///     --shared-horizon           share horizon marching across roofs
+///                                (macro-tile plane cache; uniform march
+///                                distance instead of the per-roof cap)
+///     --horizon-cache-mb <MiB>   resident horizon plane budget
+///                                (default: 256)
 ///     --feeder-index <file>      radial feeder index (feeder.csv|.json)
 ///     --grid-plan <out.jsonl>    grid-aware sequential placement plan
 ///                                (requires --feeder-index)
@@ -47,6 +52,7 @@ namespace {
               << "                 [--minutes step] [--stride k] [--seed u64]\n"
               << "                 [--shard N] [--tile-cache N] [--margin m]\n"
               << "                 [--resume] [--no-shared-sky]\n"
+              << "                 [--shared-horizon] [--horizon-cache-mb N]\n"
               << "                 [--feeder-index FILE --grid-plan OUT.jsonl\n"
               << "                  [--grid-summary grid.csv]]\n"
               << "   or: pvfp_city --gen-fixture DIR [--roofs N] [--seed u64]\n";
@@ -89,6 +95,8 @@ int main(int argc, char** argv) {
     int fixture_roofs = 60;
     bool resume = false;
     bool shared_sky = true;
+    bool shared_horizon = false;
+    int horizon_cache_mb = 256;
 
     try {
     for (int i = 1; i < argc; ++i) {
@@ -120,6 +128,9 @@ int main(int argc, char** argv) {
         else if (arg == "--grid-summary") grid_summary_path = next();
         else if (arg == "--resume") resume = true;
         else if (arg == "--no-shared-sky") shared_sky = false;
+        else if (arg == "--shared-horizon") shared_horizon = true;
+        else if (arg == "--horizon-cache-mb")
+            horizon_cache_mb = cli::parse_int(arg, next(), 1);
         else if (arg == "--gen-fixture") fixture_dir = next();
         else if (arg == "--roofs") fixture_roofs = cli::parse_int(arg, next(), 1);
         else if (arg == "--help" || arg == "-h") usage_error("help requested");
@@ -175,6 +186,9 @@ int main(int argc, char** argv) {
         options.tile_cache_tiles = static_cast<std::size_t>(tile_cache);
         options.resume = resume;
         options.share_sky = shared_sky;
+        options.share_horizon = shared_horizon;
+        options.horizon_cache_mb =
+            static_cast<std::size_t>(horizon_cache_mb);
         options.jsonl_path = out_path;
         options.summary_csv_path = summary_path;
 
@@ -188,6 +202,13 @@ int main(int argc, char** argv) {
                   << tiles.cell_size() << " m\n";
         std::cout << "tile cache: " << summary.tile_cache_hits << " hits / "
                   << summary.tile_cache_misses << " misses\n";
+        if (shared_horizon)
+            std::cout << "horizon cache: " << summary.horizon_cache_hits
+                      << " hits / " << summary.horizon_cache_misses
+                      << " misses, " << summary.horizon_cache_evictions
+                      << " evictions, "
+                      << summary.horizon_cache_bytes / (1024.0 * 1024.0)
+                      << " MiB resident\n";
         const std::size_t top =
             std::min<std::size_t>(5, summary.ranking.size());
         for (std::size_t i = 0; i < top; ++i) {

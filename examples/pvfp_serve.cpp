@@ -10,8 +10,12 @@
 ///     --replay <path.jsonl>      re-execute a request log serially and
 ///                                exit — byte-identical to the live
 ///                                session that wrote it
-///     --memory-budget-mb <MB>    resident roof/sky byte budget
+///     --memory-budget-mb <MB>    resident roof/sky/horizon byte budget
 ///                                (default: 512)
+///     --shared-horizon           share horizon marching across roofs
+///                                (macro-tile plane cache; uniform march
+///                                distance, run_city --shared-horizon
+///                                semantics)
 ///     --topologies <m1xn1,...>   topologies a rank compares
 ///                                (default: 8x2)
 ///     --minutes <step>           time step in minutes (default: 15)
@@ -50,6 +54,7 @@ namespace {
               << "                  [--replay REQ.jsonl]\n"
               << "                  [--feeder-index FILE]\n"
               << "                  [--memory-budget-mb MB]\n"
+              << "                  [--shared-horizon]\n"
               << "                  [--topologies 8x2,8x4] [--minutes step]\n"
               << "                  [--stride k] [--sectors n] [--seed u64]\n"
               << "                  [--margin m] [--tile-cache N]\n"
@@ -90,6 +95,7 @@ int main(int argc, char** argv) {
     double margin = 8.0;
     int tile_cache = 16;
     int max_batch = 0;
+    bool shared_horizon = false;
 
     try {
     for (int i = 1; i < argc; ++i) {
@@ -118,6 +124,7 @@ int main(int argc, char** argv) {
             tile_cache = cli::parse_int(arg, next(), 1);
         else if (arg == "--max-batch")
             max_batch = cli::parse_int(arg, next(), 1);
+        else if (arg == "--shared-horizon") shared_horizon = true;
         else if (arg == "--help" || arg == "-h") usage_error("help requested");
         else usage_error("unknown option " + arg);
     }
@@ -144,6 +151,7 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(tile_cache);
         options.state.memory_budget_bytes =
             static_cast<std::size_t>(memory_budget_mb) << 20;
+        options.state.share_horizon = shared_horizon;
         options.request_log_path = log_path;
         options.index_path = index_path;
         options.feeder_path = feeder_path;
@@ -175,6 +183,13 @@ int main(int argc, char** argv) {
                   << stats.invalidations << " invalidation(s); tiles "
                   << stats.tile_cache_hits << " hit(s) / "
                   << stats.tile_cache_misses << " miss(es)\n";
+        if (shared_horizon)
+            std::cerr << "pvfp_serve: horizon cache "
+                      << stats.horizon_cache_hits << " hit(s) / "
+                      << stats.horizon_cache_misses << " miss(es), "
+                      << stats.horizon_cache_evictions << " eviction(s), "
+                      << (stats.horizon_cache_bytes >> 20)
+                      << " MB resident\n";
         return 0;
     } catch (const std::exception& e) {
         std::cerr << "pvfp_serve: " << e.what() << "\n";

@@ -1,0 +1,276 @@
+#!/usr/bin/env python3
+"""Render the BENCH_*.json trajectories to SVG (stdlib only).
+
+The collectors (scripts/collect_bench_kernels.sh,
+scripts/collect_bench_city.sh) append one record per benchmark per
+commit, so each file holds a trajectory of the project's perf-counter
+history.  The ROADMAP's "plot the curves" item: this script turns those
+trajectories into small self-contained SVG line charts, one chart per
+metric family, under bench/plots/.
+
+  scripts/bench_plot.py [--out DIR] [FILE.json ...]
+
+With no files it reads BENCH_kernels.json and BENCH_city.json from the
+repo root (missing files are skipped).  The x axis is the append order
+of distinct commits (the PR sequence); every benchmark name becomes one
+polyline.  Metric families:
+
+  BENCH_kernels.json -> kernels_ns.svg        (real_time_ns, log y)
+  BENCH_city.json    -> city_roofs_per_sec.svg, city_speedup.svg
+
+Charts are informational — CI uploads them as artifacts but never gates
+on them.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+PALETTE = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b",
+    "#e377c2", "#7f7f7f", "#bcbd22", "#17becf", "#aec7e8", "#ffbb78",
+    "#98df8a", "#ff9896", "#c5b0d5", "#c49c94",
+]
+
+WIDTH, HEIGHT = 960, 480
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 70, 250, 40, 50
+
+
+def esc(text):
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def load_records(path):
+    with open(path) as f:
+        records = json.load(f)
+    if not isinstance(records, list):
+        raise ValueError(f"{path}: expected a JSON array of records")
+    return records
+
+
+def series_by_name(records, value_key):
+    """name -> [(commit_index, value)], x = first-appearance order of
+    each commit across the whole file (the PR sequence)."""
+    commits = []
+    commit_index = {}
+    for rec in records:
+        commit = rec.get("commit", "unknown")
+        if commit not in commit_index:
+            commit_index[commit] = len(commits)
+            commits.append(commit)
+    series = {}
+    for rec in records:
+        value = rec.get(value_key)
+        if value is None or not isinstance(value, (int, float)):
+            continue
+        if not math.isfinite(value) or value <= 0:
+            continue
+        name = rec.get("name", "?")
+        series.setdefault(name, []).append(
+            (commit_index[rec.get("commit", "unknown")], float(value)))
+    # Keep one point per (name, commit): the last append wins, matching
+    # "re-collect on the same commit overwrites the reading".
+    for name, points in series.items():
+        dedup = {}
+        for x, v in points:
+            dedup[x] = v
+        series[name] = sorted(dedup.items())
+    return commits, series
+
+
+def nice_ticks(lo, hi, n=5):
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    step = 10 ** math.floor(math.log10(span / max(n, 1)))
+    for mult in (1, 2, 5, 10):
+        if span / (step * mult) <= n:
+            step *= mult
+            break
+    start = math.ceil(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + 1e-12 * span:
+        ticks.append(t)
+        t += step
+    return ticks
+
+
+def fmt_tick(v):
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e6 or abs(v) < 1e-3:
+        return f"{v:.0e}"
+    if abs(v) >= 100:
+        return f"{v:.0f}"
+    return f"{v:g}"
+
+
+def render_chart(path, title, y_label, commits, series, log_y=False):
+    if not series:
+        return False
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    plot_h = HEIGHT - MARGIN_T - MARGIN_B
+
+    xs = [x for pts in series.values() for x, _ in pts]
+    vals = [v for pts in series.values() for _, v in pts]
+    x_min, x_max = min(xs), max(xs)
+    if x_max == x_min:
+        x_max = x_min + 1
+    tr = math.log10 if log_y else (lambda v: v)
+    y_min, y_max = min(tr(v) for v in vals), max(tr(v) for v in vals)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    pad = 0.05 * (y_max - y_min)
+    y_min -= pad
+    y_max += pad
+
+    def px(x):
+        return MARGIN_L + plot_w * (x - x_min) / (x_max - x_min)
+
+    def py(v):
+        return (MARGIN_T + plot_h -
+                plot_h * (tr(v) - y_min) / (y_max - y_min))
+
+    out = []
+    out.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" '
+        f'font-family="monospace" font-size="12">')
+    out.append(f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>')
+    out.append(
+        f'<text x="{MARGIN_L}" y="{MARGIN_T - 16}" font-size="15" '
+        f'font-weight="bold">{esc(title)}</text>')
+
+    # Axes + y grid.
+    if log_y:
+        lo_e = math.floor(y_min)
+        hi_e = math.ceil(y_max)
+        y_ticks = [(10.0 ** e, f"1e{e}") for e in range(lo_e, hi_e + 1)
+                   if y_min <= e <= y_max]
+    else:
+        y_ticks = [(t, fmt_tick(t)) for t in nice_ticks(y_min, y_max)]
+    for val, label in y_ticks:
+        y = py(10 ** math.log10(val)) if log_y else py(val)
+        out.append(
+            f'<line x1="{MARGIN_L}" y1="{y:.1f}" '
+            f'x2="{MARGIN_L + plot_w}" y2="{y:.1f}" stroke="#dddddd"/>')
+        out.append(
+            f'<text x="{MARGIN_L - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{esc(label)}</text>')
+    out.append(
+        f'<text x="16" y="{MARGIN_T + plot_h / 2:.1f}" '
+        f'transform="rotate(-90 16 {MARGIN_T + plot_h / 2:.1f})" '
+        f'text-anchor="middle">{esc(y_label)}</text>')
+
+    # X axis: one tick per commit.
+    for i in range(x_min, x_max + 1):
+        x = px(i)
+        out.append(
+            f'<line x1="{x:.1f}" y1="{MARGIN_T + plot_h}" '
+            f'x2="{x:.1f}" y2="{MARGIN_T + plot_h + 4}" stroke="black"/>')
+        label = commits[i] if i < len(commits) else str(i)
+        out.append(
+            f'<text x="{x:.1f}" y="{MARGIN_T + plot_h + 18}" '
+            f'text-anchor="middle">{esc(label)}</text>')
+    out.append(
+        f'<text x="{MARGIN_L + plot_w / 2:.1f}" y="{HEIGHT - 12}" '
+        f'text-anchor="middle">commit (append order)</text>')
+    out.append(
+        f'<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="black"/>')
+
+    # One polyline + legend row per benchmark name.
+    for k, (name, points) in enumerate(sorted(series.items())):
+        color = PALETTE[k % len(PALETTE)]
+        coords = " ".join(f"{px(x):.1f},{py(v):.1f}" for x, v in points)
+        if len(points) > 1:
+            out.append(
+                f'<polyline points="{coords}" fill="none" '
+                f'stroke="{color}" stroke-width="1.5"/>')
+        for x, v in points:
+            out.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(v):.1f}" r="3" '
+                f'fill="{color}"/>')
+        ly = MARGIN_T + 14 * k
+        lx = MARGIN_L + plot_w + 12
+        out.append(
+            f'<line x1="{lx}" y1="{ly + 4}" x2="{lx + 18}" y2="{ly + 4}" '
+            f'stroke="{color}" stroke-width="3"/>')
+        out.append(f'<text x="{lx + 24}" y="{ly + 8}">{esc(name)}</text>')
+
+    out.append("</svg>")
+    with open(path, "w") as f:
+        f.write("\n".join(out) + "\n")
+    return True
+
+
+def plot_file(json_path, out_dir):
+    base = os.path.basename(json_path)
+    records = load_records(json_path)
+    written = []
+
+    def emit(svg_name, title, y_label, value_key, names=None,
+             log_y=False):
+        commits, series = series_by_name(records, value_key)
+        if names is not None:
+            series = {n: p for n, p in series.items() if n in names}
+        out_path = os.path.join(out_dir, svg_name)
+        if render_chart(out_path, title, y_label, commits, series,
+                        log_y=log_y):
+            written.append(out_path)
+
+    if base == "BENCH_city.json":
+        emit("city_roofs_per_sec.svg",
+             "City batch throughput (bench_city_scale)",
+             "roofs / sec", "roofs_per_sec")
+        emit("city_speedup.svg",
+             "City batch derived speedups", "speedup (x)", "speedup")
+    else:
+        stem = base[len("BENCH_"):-len(".json")] \
+            if base.startswith("BENCH_") and base.endswith(".json") \
+            else os.path.splitext(base)[0]
+        emit(f"{stem}_ns.svg",
+             f"Kernel micro-bench times ({base})",
+             "real time [ns, log]", "real_time_ns", log_y=True)
+    return written
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Render BENCH_*.json trajectories to SVG.")
+    parser.add_argument("files", nargs="*",
+                        help="BENCH json files (default: repo-root "
+                             "BENCH_kernels.json + BENCH_city.json)")
+    parser.add_argument("--out", default=None,
+                        help="output directory (default: bench/plots "
+                             "next to the first input)")
+    args = parser.parse_args(argv)
+
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    files = args.files or [
+        os.path.join(repo_root, "BENCH_kernels.json"),
+        os.path.join(repo_root, "BENCH_city.json"),
+    ]
+    files = [f for f in files if os.path.exists(f)]
+    if not files:
+        print("bench_plot: no BENCH_*.json inputs found", file=sys.stderr)
+        return 1
+
+    out_dir = args.out or os.path.join(repo_root, "bench", "plots")
+    os.makedirs(out_dir, exist_ok=True)
+
+    written = []
+    for path in files:
+        written += plot_file(path, out_dir)
+    for path in written:
+        print(f"wrote {path}")
+    return 0 if written else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

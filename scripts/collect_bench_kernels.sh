@@ -21,7 +21,7 @@ fi
 
 commit="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
-raw="$("$bench" --benchmark_filter='Irradiance|AnchorSeries|Daylight|SharedSky|Footprint' \
+raw="$("$bench" --benchmark_filter='Irradiance|AnchorSeries|Daylight|SharedSky|Footprint|HorizonMap' \
                 --benchmark_format=json --benchmark_min_time=0.2 \
                 2>/dev/null)"
 
@@ -83,6 +83,12 @@ for base, kernel, label in [
      "shared-sky prepare batched-vs-reference (avx512)"),
     ("BM_FootprintMaskPerCell/10000", "BM_FootprintMaskScanline/10000",
      "footprint mask scanline-vs-per-cell (10^4 vertices)"),
+    ("BM_HorizonMapReference", "BM_HorizonMapBatched/0",
+     "horizon build (scalar batch) vs per-cell oracle"),
+    ("BM_HorizonMapReference", "BM_HorizonMapBatched/1",
+     "horizon build (avx2) vs per-cell oracle"),
+    ("BM_HorizonMapReference", "BM_HorizonMapBatched/2",
+     "horizon build (avx512) vs per-cell oracle"),
 ]:
     s = speedup(base, kernel)
     if s is not None:

@@ -35,9 +35,27 @@ PreparedScenario prepare_scenario(const RoofScenario& scenario,
         dsm, scenario.scene, scenario.roof_index, config.area,
         scenario.placement_mask.get());
 
-    // Shadow/horizon model for the placement window.
-    geo::HorizonMap horizon(dsm, area.origin_col, area.origin_row,
-                            area.width, area.height, config.horizon);
+    // Shadow/horizon model for the placement window: the shared
+    // provider (city/serve horizon cache) when configured, else a local
+    // march over this scenario's own mosaic.
+    std::optional<geo::HorizonMap> horizon;
+    if (config.horizon_provider) {
+        horizon = config.horizon_provider(dsm, area.origin_col,
+                                          area.origin_row, area.width,
+                                          area.height, config.horizon);
+        if (horizon) {
+            check_arg(horizon->window_x0() == area.origin_col &&
+                          horizon->window_y0() == area.origin_row &&
+                          horizon->window_width() == area.width &&
+                          horizon->window_height() == area.height &&
+                          horizon->sectors() ==
+                              config.horizon.azimuth_sectors,
+                      "prepare_scenario: horizon_provider window mismatch");
+        }
+    }
+    if (!horizon)
+        horizon.emplace(dsm, area.origin_col, area.origin_row, area.width,
+                        area.height, config.horizon);
 
     // Sky state: the shared per-batch artifact when the caller prepared
     // one, else a private weather trace (synthetic stand-in for station
@@ -68,7 +86,7 @@ PreparedScenario prepare_scenario(const RoofScenario& scenario,
     // Irradiance/temperature field on the roof plane.
     solar::FieldConfig field_config = config.field;
     field_config.location = config.location;
-    solar::IrradianceField field(std::move(horizon), std::move(sky),
+    solar::IrradianceField field(std::move(*horizon), std::move(sky),
                                  area.tilt_rad, area.azimuth_rad,
                                  field_config, std::move(normals));
 

@@ -6,7 +6,9 @@
 /// extraction of Section IV feeding the algorithm of Section III), and the
 /// single entry point used by examples and benches.
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 
@@ -40,6 +42,20 @@ struct ScenarioConfig {
     /// prepares one automatically when unset.  Results are bitwise
     /// identical either way.
     std::shared_ptr<const solar::SharedSkyArtifact> shared_sky;
+    /// Optional shared horizon source (ROADMAP "share prepared
+    /// HorizonMaps between adjacent roofs").  When set,
+    /// prepare_scenario asks it for the placement window's horizons —
+    /// arguments are the scenario DSM and the window the local build
+    /// would march — before marching locally; returning std::nullopt
+    /// falls back to the local build.  The returned map must cover
+    /// exactly the requested window (checked).  gis::HorizonCache
+    /// windows satisfy the determinism contract: served planes are
+    /// bitwise-identical to a fresh HorizonMap over the same terrain,
+    /// independent of thread count and eviction order.
+    std::function<std::optional<geo::HorizonMap>(
+        const geo::Raster& dsm, int x0, int y0, int w, int h,
+        const geo::HorizonOptions& options)>
+        horizon_provider;
 };
 
 /// A scenario with all derived data materialized, ready for experiments.

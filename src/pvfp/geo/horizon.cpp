@@ -2,7 +2,9 @@
 
 #include <cassert>
 #include <cmath>
+#include <utility>
 
+#include "pvfp/geo/horizon_kernels.hpp"
 #include "pvfp/util/error.hpp"
 #include "pvfp/util/math.hpp"
 #include "pvfp/util/parallel.hpp"
@@ -43,56 +45,80 @@ double march(const Raster& dsm, int x, int y, double azimuth_rad,
     return best;
 }
 
+void validate_build(const Raster& dsm, int x0, int y0, int win_w, int win_h,
+                    const HorizonOptions& options) {
+    check_arg(win_w > 0 && win_h > 0, "HorizonMap: empty window");
+    check_arg(x0 >= 0 && y0 >= 0 && x0 + win_w <= dsm.width() &&
+                  y0 + win_h <= dsm.height(),
+              "HorizonMap: window outside raster");
+    check_arg(options.azimuth_sectors >= 4,
+              "HorizonMap: need at least 4 azimuth sectors");
+    check_arg(std::isfinite(options.max_distance) &&
+                  std::isfinite(options.step_factor) &&
+                  std::isfinite(options.step_growth) &&
+                  std::isfinite(options.max_step_factor) &&
+                  std::isfinite(options.observer_offset),
+              "HorizonMap: non-finite marching parameter");
+    check_arg(options.max_distance > 0.0 && options.step_factor > 0.0 &&
+                  options.step_growth >= 1.0 &&
+                  options.max_step_factor >= options.step_factor,
+              "HorizonMap: invalid marching parameters");
+    check_arg(options.observer_offset >= 0.0,
+              "HorizonMap: observer_offset must be >= 0");
+}
+
 }  // namespace
 
 HorizonMap::HorizonMap(const Raster& dsm, int x0, int y0, int win_w,
                        int win_h, const HorizonOptions& options)
     : x0_(x0), y0_(y0), win_w_(win_w), win_h_(win_h),
       sectors_(options.azimuth_sectors) {
-    check_arg(win_w > 0 && win_h > 0, "HorizonMap: empty window");
-    check_arg(x0 >= 0 && y0 >= 0 && x0 + win_w <= dsm.width() &&
-                  y0 + win_h <= dsm.height(),
-              "HorizonMap: window outside raster");
-    check_arg(sectors_ >= 4, "HorizonMap: need at least 4 azimuth sectors");
-    check_arg(options.max_distance > 0.0 && options.step_factor > 0.0 &&
-                  options.step_growth >= 1.0 &&
-                  options.max_step_factor >= options.step_factor,
-              "HorizonMap: invalid marching parameters");
+    validate_build(dsm, x0, y0, win_w, win_h, options);
 
-    const double step = options.step_factor * dsm.cell_size();
     angles_.resize(static_cast<std::size_t>(win_w) * win_h * sectors_);
     svf_.resize(static_cast<std::size_t>(win_w) * win_h);
 
     // The win_h x win_w x sectors ray sweep is the prepare-time
-    // bottleneck; rows are independent (each writes its own angles_/svf_
-    // slice), so parallelize over window rows.  One row per chunk keeps
-    // the grid thread-count independent, hence deterministic.  Writes
-    // into angles_ are sector-strided (the storage is sector-major for
-    // the batched irradiance kernels); build time is march-dominated, so
-    // the stride costs nothing.
+    // bottleneck.  The batched engine marches all cells of a window row
+    // through one sector together (shared step schedule and direction
+    // offsets, shared bilinear y half, SIMD lanes across cells — see
+    // horizon_kernels.hpp); rows are independent (each writes its own
+    // angles_/svf_ slice), so parallelize over window rows.  One row per
+    // chunk keeps the grid thread-count independent, hence deterministic.
+    const HorizonSchedule sched =
+        make_horizon_schedule(options, dsm.cell_size());
     const std::size_t ncells = static_cast<std::size_t>(cell_count());
     parallel_for(0, win_h, 1, [&](long row_begin, long row_end) {
         for (long wy = row_begin; wy < row_end; ++wy) {
-            for (int wx = 0; wx < win_w; ++wx) {
-                const std::size_t ci =
-                    cell_index(wx, static_cast<int>(wy));
-                double svf_acc = 0.0;
-                for (int s = 0; s < sectors_; ++s) {
-                    const double az = kTwoPi * s / sectors_;
-                    const double ang = march(
-                        dsm, x0 + wx, y0 + static_cast<int>(wy), az,
-                        options.max_distance, step, options.step_growth,
-                        options.max_step_factor * dsm.cell_size(),
-                        options.observer_offset);
-                    angles_[static_cast<std::size_t>(s) * ncells + ci] =
-                        static_cast<float>(ang);
-                    const double c = std::cos(ang);
-                    svf_acc += c * c;
-                }
-                svf_[ci] = static_cast<float>(svf_acc / sectors_);
-            }
+            const std::size_t ri = static_cast<std::size_t>(wy) * win_w;
+            horizon_row_batched(dsm, x0, y0 + static_cast<int>(wy), win_w,
+                                sched, options.observer_offset,
+                                angles_.data() + ri, ncells,
+                                svf_.data() + ri);
         }
     });
+}
+
+HorizonMap HorizonMap::from_planes(int x0, int y0, int win_w, int win_h,
+                                   int sectors, std::vector<float> angles,
+                                   std::vector<float> svf) {
+    check_arg(win_w > 0 && win_h > 0, "HorizonMap::from_planes: empty window");
+    check_arg(sectors >= 4,
+              "HorizonMap::from_planes: need at least 4 azimuth sectors");
+    const std::size_t ncells = static_cast<std::size_t>(win_w) * win_h;
+    check_arg(angles.size() == ncells * static_cast<std::size_t>(sectors),
+              "HorizonMap::from_planes: angle plane size mismatch");
+    check_arg(svf.size() == ncells,
+              "HorizonMap::from_planes: svf plane size mismatch");
+    HorizonMap map;
+    map.x0_ = x0;
+    map.y0_ = y0;
+    map.win_w_ = win_w;
+    map.win_h_ = win_h;
+    map.sectors_ = sectors;
+    map.angles_ = std::move(angles);
+    map.svf_ = std::move(svf);
+    return map;
 }
 
 std::size_t HorizonMap::cell_index(int wx, int wy) const {
@@ -153,6 +179,44 @@ bool HorizonMap::is_shaded_unchecked(int wx, int wy, double azimuth_rad,
 
 double HorizonMap::sky_view_factor_unchecked(int wx, int wy) const {
     return svf_[cell_index(wx, wy)];
+}
+
+HorizonMap horizon_map_reference(const Raster& dsm, int x0, int y0,
+                                 int win_w, int win_h,
+                                 const HorizonOptions& options) {
+    validate_build(dsm, x0, y0, win_w, win_h, options);
+    const int sectors = options.azimuth_sectors;
+    const double step = options.step_factor * dsm.cell_size();
+    const std::size_t ncells = static_cast<std::size_t>(win_w) * win_h;
+    std::vector<float> angles(ncells * static_cast<std::size_t>(sectors));
+    std::vector<float> svf(ncells);
+
+    // The original per-cell build loop, retained verbatim as the
+    // differential oracle for the batched kernels.
+    parallel_for(0, win_h, 1, [&](long row_begin, long row_end) {
+        for (long wy = row_begin; wy < row_end; ++wy) {
+            for (int wx = 0; wx < win_w; ++wx) {
+                const std::size_t ci =
+                    static_cast<std::size_t>(wy) * win_w + wx;
+                double svf_acc = 0.0;
+                for (int s = 0; s < sectors; ++s) {
+                    const double az = kTwoPi * s / sectors;
+                    const double ang = march(
+                        dsm, x0 + wx, y0 + static_cast<int>(wy), az,
+                        options.max_distance, step, options.step_growth,
+                        options.max_step_factor * dsm.cell_size(),
+                        options.observer_offset);
+                    angles[static_cast<std::size_t>(s) * ncells + ci] =
+                        static_cast<float>(ang);
+                    const double c = std::cos(ang);
+                    svf_acc += c * c;
+                }
+                svf[ci] = static_cast<float>(svf_acc / sectors);
+            }
+        }
+    });
+    return HorizonMap::from_planes(x0, y0, win_w, win_h, sectors,
+                                   std::move(angles), std::move(svf));
 }
 
 double brute_force_horizon(const Raster& dsm, int x, int y,

@@ -46,8 +46,19 @@ public:
     /// Build horizons for the window with top-left cell (x0, y0) and size
     /// win_w x win_h (in cells) of \p dsm.  The whole raster participates
     /// as potential obstruction.  The window must lie inside the raster.
+    /// Runs the batched row-march kernels (geo/horizon_kernels.hpp),
+    /// bitwise-identical to the per-cell oracle horizon_map_reference().
     HorizonMap(const Raster& dsm, int x0, int y0, int win_w, int win_h,
                const HorizonOptions& options = {});
+
+    /// Assemble a map from precomputed planes: \p angles is sector-major
+    /// (sectors * win_w * win_h floats, see angles_data()), \p svf is
+    /// row-major (win_w * win_h floats).  Used by the shared horizon
+    /// cache (gis/horizon_cache) to hand out window views into cached
+    /// macro-tile planes, and by the reference builder.
+    static HorizonMap from_planes(int x0, int y0, int win_w, int win_h,
+                                  int sectors, std::vector<float> angles,
+                                  std::vector<float> svf);
 
     int window_x0() const { return x0_; }
     int window_y0() const { return y0_; }
@@ -100,17 +111,27 @@ public:
     const float* svf_data() const { return svf_.data(); }
 
 private:
+    HorizonMap() = default;
+
     std::size_t cell_index(int wx, int wy) const;
 
-    int x0_;
-    int y0_;
-    int win_w_;
-    int win_h_;
-    int sectors_;
+    int x0_ = 0;
+    int y0_ = 0;
+    int win_w_ = 0;
+    int win_h_ = 0;
+    int sectors_ = 0;
     /// Sector-major horizon angles [rad]: see angles_data().
     std::vector<float> angles_;
     std::vector<float> svf_;
 };
+
+/// Retained per-cell reference builder: marches every (cell, sector) with
+/// the original scalar loop.  The differential oracle the batched kernels
+/// are pinned against (tests/geo/test_horizon_kernels) — bitwise equal to
+/// the HorizonMap ctor at every SIMD level.
+HorizonMap horizon_map_reference(const Raster& dsm, int x0, int y0,
+                                 int win_w, int win_h,
+                                 const HorizonOptions& options = {});
 
 /// Reference implementation: march the DSM directly for a single cell and
 /// azimuth with *uniform* steps; used by tests to validate HorizonMap and

@@ -1,0 +1,110 @@
+/// \file horizon_kernels_avx512.cpp
+/// AVX-512 twin of the batched horizon row marcher: eight double lanes
+/// with masked loads, so the window-row remainder runs masked instead of
+/// falling back to a scalar tail loop.  Same bitwise contract and
+/// dispatch rules as the AVX2 twin (see horizon_kernels_avx2.cpp).
+
+#include "pvfp/geo/horizon_kernels.hpp"
+
+#if (defined(__x86_64__) || defined(__amd64__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define PVFP_HORIZON_AVX512 1
+#include <immintrin.h>
+
+#include <cmath>
+#else
+#define PVFP_HORIZON_AVX512 0
+#endif
+
+namespace pvfp::geo::detail {
+
+bool horizon_avx512_compiled() { return PVFP_HORIZON_AVX512 != 0; }
+
+#if PVFP_HORIZON_AVX512
+
+__attribute__((target("avx512f,avx512vl"))) void march_row_avx512(
+    const HorizonRowArgs& a) {
+    const __m512d zero = _mm512_setzero_pd();
+    const __m512d half = _mm512_set1_pd(0.5);
+    const __m512d cs_v = _mm512_set1_pd(a.cs);
+    const __m512d wm_v = _mm512_set1_pd(a.width_m);
+    const __m512d wm1_v = _mm512_set1_pd(static_cast<double>(a.gw - 1));
+    const __m512d band_v = _mm512_set1_pd(1.0 - 1e-9);
+    const __m256i wm1_i = _mm256_set1_epi32(a.gw - 1);
+    const __m256i one_i = _mm256_set1_epi32(1);
+
+    for (int i = 0; i < a.n; i += 8) {
+        const int rem = a.n - i;
+        const __mmask8 lanes =
+            rem >= 8 ? static_cast<__mmask8>(0xff)
+                     : static_cast<__mmask8>((1u << rem) - 1u);
+        // Masked loads: dead lanes read as 0.0 and never escape `lanes`.
+        const __m512d lx0_v = _mm512_maskz_loadu_pd(lanes, a.lx0 + i);
+        const __m512d h0_v = _mm512_maskz_loadu_pd(lanes, a.h0 + i);
+        __m512d rmax_v = zero;
+        __mmask8 active = lanes;
+        const int nlanes = rem >= 8 ? 8 : rem;
+        for (int lane = 0; lane < nlanes; ++lane) a.best[i + lane] = 0.0;
+        for (int k = 0; k < a.ksteps; ++k) {
+            const __m512d lx =
+                _mm512_add_pd(lx0_v, _mm512_set1_pd(a.xoff[k]));
+            const __mmask8 inb =
+                _mm512_cmp_pd_mask(lx, zero, _CMP_GE_OQ) &
+                _mm512_cmp_pd_mask(lx, wm_v, _CMP_LT_OQ);
+            active &= inb;
+            if (active == 0) break;
+
+            const __m512d cx =
+                _mm512_sub_pd(_mm512_div_pd(lx, cs_v), half);
+            const __m512d fx =
+                _mm512_min_pd(_mm512_max_pd(cx, zero), wm1_v);
+            __m256i x0 = _mm512_cvttpd_epi32(fx);
+            x0 = _mm256_min_epi32(x0, wm1_i);
+            const __m256i x1 =
+                _mm256_min_epi32(_mm256_add_epi32(x0, one_i), wm1_i);
+            const __m512d tx =
+                _mm512_sub_pd(fx, _mm512_cvtepi32_pd(x0));
+            const double* r0 = a.grid + a.row0[k];
+            const double* r1 = a.grid + a.row1[k];
+            const __m512d g00 = _mm512_i32gather_pd(x0, r0, 8);
+            const __m512d g10 = _mm512_i32gather_pd(x1, r0, 8);
+            const __m512d g01 = _mm512_i32gather_pd(x0, r1, 8);
+            const __m512d g11 = _mm512_i32gather_pd(x1, r1, 8);
+            const __m512d top = _mm512_add_pd(
+                g00, _mm512_mul_pd(_mm512_sub_pd(g10, g00), tx));
+            const __m512d bot = _mm512_add_pd(
+                g01, _mm512_mul_pd(_mm512_sub_pd(g11, g01), tx));
+            const __m512d h = _mm512_add_pd(
+                top, _mm512_mul_pd(_mm512_sub_pd(bot, top),
+                                   _mm512_set1_pd(a.ty[k])));
+
+            const __m512d d = _mm512_sub_pd(h, h0_v);
+            const __mmask8 pos =
+                active & _mm512_cmp_pd_mask(d, zero, _CMP_GT_OQ);
+            if (pos == 0) continue;
+            const __m512d r =
+                _mm512_div_pd(d, _mm512_set1_pd(a.t[k]));
+            const __mmask8 guard =
+                pos & _mm512_cmp_pd_mask(
+                          r, _mm512_mul_pd(rmax_v, band_v), _CMP_GE_OQ);
+            if (guard != 0) {
+                alignas(64) double dd[8];
+                _mm512_store_pd(dd, d);
+                for (int lane = 0; lane < 8; ++lane) {
+                    if ((guard & (1 << lane)) == 0) continue;
+                    const double ang = std::atan2(dd[lane], a.t[k]);
+                    if (ang > a.best[i + lane]) a.best[i + lane] = ang;
+                }
+            }
+            rmax_v = _mm512_mask_max_pd(rmax_v, pos, rmax_v, r);
+        }
+    }
+}
+
+#else  // !PVFP_HORIZON_AVX512
+
+void march_row_avx512(const HorizonRowArgs& a) { march_row_scalar(a); }
+
+#endif  // PVFP_HORIZON_AVX512
+
+}  // namespace pvfp::geo::detail

@@ -5,9 +5,11 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <set>
 #include <utility>
 
+#include "pvfp/gis/horizon_cache.hpp"
 #include "pvfp/gis/json.hpp"
 #include "pvfp/gis/jsonl.hpp"
 #include "pvfp/util/csv.hpp"
@@ -180,6 +182,28 @@ CityRunSummary run_city(const TileIndex& tiles, const RoofRegistry& registry,
     };
 
     TileCache cache(options.tile_cache_tiles);
+    std::unique_ptr<HorizonCache> owned_horizon_cache;
+    HorizonCache* horizon_cache = options.shared_horizon_cache;
+    if (horizon_cache != nullptr) {
+        // An injected cache carries planes from previous runs; serving
+        // them is only sound if this run would march them identically.
+        const geo::HorizonOptions& have = horizon_cache->options().horizon;
+        const geo::HorizonOptions& want = base.horizon;
+        check_arg(have.azimuth_sectors == want.azimuth_sectors &&
+                      have.max_distance == want.max_distance &&
+                      have.step_factor == want.step_factor &&
+                      have.step_growth == want.step_growth &&
+                      have.max_step_factor == want.max_step_factor &&
+                      have.observer_offset == want.observer_offset,
+                  "run_city: shared_horizon_cache options differ from "
+                  "config.horizon");
+    } else if (options.share_horizon) {
+        HorizonCacheOptions hc;
+        hc.horizon = base.horizon;
+        hc.byte_budget = options.horizon_cache_mb << 20;
+        owned_horizon_cache = std::make_unique<HorizonCache>(tiles, &cache, hc);
+        horizon_cache = owned_horizon_cache.get();
+    }
     summary.results = std::move(kept);
     summary.results.reserve(static_cast<std::size_t>(total));
 
@@ -203,19 +227,42 @@ CityRunSummary run_city(const TileIndex& tiles, const RoofRegistry& registry,
             r.id = rec.id;
             try {
                 RoofPlaneFit fit;
-                const core::RoofScenario scenario =
-                    make_scenario(rec, tiles, options.build, &cache, &fit);
+                WindowOrigin origin;
+                const core::RoofScenario scenario = make_scenario(
+                    rec, tiles, options.build, &cache, &fit, &origin);
                 core::ScenarioConfig config = base;
                 config.location = location_of(rec);
-                // The mosaic holds real heights only out to the context
-                // margin; marching the horizon rays further would sample
-                // the raster's clamped edge values as if they were
-                // terrain.  Bound the march by what the window can
-                // actually answer (never extend a tighter user bound).
-                config.horizon.max_distance = std::min(
-                    config.horizon.max_distance,
-                    options.build.context_margin_m +
-                        std::hypot(rec.bbox.width(), rec.bbox.height()));
+                if (horizon_cache) {
+                    // Shared planes answer the full run-uniform
+                    // max_distance over real halo terrain, so the
+                    // window cap below does not apply.  The closure
+                    // maps the scene-local window back onto the tile
+                    // lattice via the pre-rebase world origin.
+                    HorizonCache* hc = horizon_cache;
+                    const double wx = origin.x;
+                    const double wy = origin.y;
+                    const double cs = tiles.cell_size();
+                    config.horizon_provider =
+                        [hc, wx, wy, cs](const geo::Raster&, int x0, int y0,
+                                         int w, int h,
+                                         const geo::HorizonOptions&)
+                        -> std::optional<geo::HorizonMap> {
+                        return hc->window(wx + x0 * cs, wy - y0 * cs, x0,
+                                          y0, w, h);
+                    };
+                } else {
+                    // The mosaic holds real heights only out to the
+                    // context margin; marching the horizon rays further
+                    // would sample the raster's clamped edge values as
+                    // if they were terrain.  Bound the march by what
+                    // the window can actually answer (never extend a
+                    // tighter user bound).
+                    config.horizon.max_distance = std::min(
+                        config.horizon.max_distance,
+                        options.build.context_margin_m +
+                            std::hypot(rec.bbox.width(),
+                                       rec.bbox.height()));
+                }
                 if (options.share_sky) {
                     config.shared_sky =
                         artifacts.at({config.location.latitude_deg,
@@ -313,6 +360,13 @@ CityRunSummary run_city(const TileIndex& tiles, const RoofRegistry& registry,
 
     summary.tile_cache_hits = cache.hits();
     summary.tile_cache_misses = cache.misses();
+    if (horizon_cache) {
+        const HorizonCacheStats hs = horizon_cache->stats();
+        summary.horizon_cache_hits = hs.hits + hs.joins;
+        summary.horizon_cache_misses = hs.misses;
+        summary.horizon_cache_evictions = hs.evictions;
+        summary.horizon_cache_bytes = hs.bytes;
+    }
     return summary;
 }
 

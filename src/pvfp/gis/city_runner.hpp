@@ -35,6 +35,8 @@
 
 namespace pvfp::gis {
 
+class HorizonCache;  // gis/horizon_cache.hpp
+
 /// Everything a city run needs beyond the tiles and the registry.
 struct CityRunOptions {
     /// Pipeline configuration shared by every roof.  cell_size is
@@ -57,6 +59,27 @@ struct CityRunOptions {
     /// every roof regenerates weather + sun precompute (bench baseline;
     /// results are bitwise identical either way).
     bool share_sky = true;
+    /// Share the horizon marching across roofs (gis::HorizonCache):
+    /// sector planes are computed once per macro tile over a
+    /// max_distance-halo mosaic and every roof window is assembled from
+    /// the cached planes.  The per-roof march cap (see run_city) does
+    /// not apply — every roof marches the run-uniform
+    /// config.horizon.max_distance over real neighbouring terrain, so
+    /// results legitimately differ from the cold path; within the mode
+    /// the stream stays bitwise identical at any thread count.
+    bool share_horizon = false;
+    /// Byte budget [MiB] of the resident horizon planes (shared mode).
+    std::size_t horizon_cache_mb = 256;
+    /// Optional externally-owned horizon cache: when set, the run uses
+    /// it instead of creating its own (and implies share_horizon
+    /// semantics).  This is how a caller amortizes the macro-tile
+    /// marching across *runs* — re-ranks, delta re-runs, the serve
+    /// daemon's workload — where the shared planes pay for themselves;
+    /// a single cold pass over disjoint roof windows computes more
+    /// cells than it consumes.  The cache's horizon options must match
+    /// config.horizon (checked); its stats are cumulative across runs.
+    /// The caller keeps ownership and must keep it alive for the run.
+    HorizonCache* shared_horizon_cache = nullptr;
     /// Required: incremental JSONL result stream (one object per roof).
     std::string jsonl_path;
     /// Optional: final ranking summary CSV.
@@ -100,6 +123,11 @@ struct CityRunSummary {
     std::vector<std::size_t> ranking;
     std::size_t tile_cache_hits = 0;
     std::size_t tile_cache_misses = 0;
+    /// Horizon cache accounting (share_horizon runs; all zero otherwise).
+    std::size_t horizon_cache_hits = 0;
+    std::size_t horizon_cache_misses = 0;
+    std::size_t horizon_cache_evictions = 0;
+    std::size_t horizon_cache_bytes = 0;
 };
 
 /// Serialize one result as a JSONL line (no trailing newline).  Fixed

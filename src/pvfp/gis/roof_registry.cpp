@@ -172,7 +172,8 @@ RoofPlaneFit fit_roof_plane(const geo::Raster& dsm,
 core::RoofScenario make_scenario(const RoofRecord& record,
                                  const TileIndex& tiles,
                                  const ScenarioBuildOptions& options,
-                                 TileCache* cache, RoofPlaneFit* fit_out) {
+                                 TileCache* cache, RoofPlaneFit* fit_out,
+                                 WindowOrigin* origin_out) {
     check_arg(options.context_margin_m >= 0.0,
               "make_scenario: negative context margin");
     check_arg(!record.bbox.empty(),
@@ -251,6 +252,8 @@ core::RoofScenario make_scenario(const RoofRecord& record,
 
     geo::SceneBuilder scene(dsm.width() * cs, dsm.height() * cs, 0.0);
     scene.add_roof(std::move(roof));
+
+    if (origin_out) *origin_out = {dsm.origin_x(), dsm.origin_y()};
 
     // Rebase the mosaic to the scene-local georeference (NW corner at
     // (0, extent_y), like SceneBuilder::rasterize) now that the

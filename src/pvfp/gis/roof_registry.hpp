@@ -77,6 +77,16 @@ RoofPlaneFit fit_roof_plane(const geo::Raster& dsm,
                             const pvfp::Grid2D<unsigned char>& mask,
                             double trim_sigma = 3.0);
 
+/// World georeference of a scenario's mosaic window.  The scenario
+/// raster is rebased to a scene-local frame for the pipeline, which
+/// erases where the window sat on the tile lattice; shared-horizon
+/// consumers (gis::HorizonCache) need that corner back to address the
+/// cached macro-tile planes.
+struct WindowOrigin {
+    double x = 0.0;  ///< easting of the window's west edge [m]
+    double y = 0.0;  ///< northing of the window's north edge [m]
+};
+
 /// Assemble the scenario for \p record: mosaic its window from
 /// \p tiles, mask its footprint, fit its plane, and package everything
 /// as a core::RoofScenario (measured DSM override + placement mask +
@@ -84,12 +94,13 @@ RoofPlaneFit fit_roof_plane(const geo::Raster& dsm,
 /// backfilled with the window's minimum height so the horizon scan sees
 /// ground, not a -9999 m canyon.  Throws Infeasible when the footprint
 /// holds no data cells.  \p fit_out, when non-null, receives the plane
-/// fit diagnostics.
+/// fit diagnostics; \p origin_out the window's world NW corner.
 core::RoofScenario make_scenario(const RoofRecord& record,
                                  const TileIndex& tiles,
                                  const ScenarioBuildOptions& options = {},
                                  TileCache* cache = nullptr,
-                                 RoofPlaneFit* fit_out = nullptr);
+                                 RoofPlaneFit* fit_out = nullptr,
+                                 WindowOrigin* origin_out = nullptr);
 
 /// The loaded index.
 class RoofRegistry {

@@ -133,10 +133,21 @@ ResidentState::ResidentState(gis::TileIndex tiles, gis::RoofRegistry registry,
               "ResidentState: no topologies configured");
     base_config_.cell_size = tiles_.cell_size();
     base_config_.shared_sky = nullptr;
+    if (serve_config_.share_horizon) {
+        gis::HorizonCacheOptions hc;
+        hc.horizon = base_config_.horizon;
+        hc.byte_budget = serve_config_.memory_budget_bytes;
+        horizon_cache_ = std::make_unique<gis::HorizonCache>(
+            tiles_, &tile_cache_, hc);
+    }
     update_registry(std::move(registry));
 }
 
 void ResidentState::update_registry(gis::RoofRegistry registry) {
+    // A reload is the operator's "inputs may have changed" signal: drop
+    // the horizon planes and their per-tile content memo so re-written
+    // tiles re-hash (roof entries self-invalidate via content_hash).
+    if (horizon_cache_) horizon_cache_->clear();
     auto next = std::make_shared<const gis::RoofRegistry>(std::move(registry));
     auto by_id = std::make_shared<std::unordered_map<std::string, long>>();
     by_id->reserve(static_cast<std::size_t>(next->size()));
@@ -189,12 +200,24 @@ void ResidentState::evict_over_budget_locked() {
         }
         return b;
     };
+    const std::size_t horizon_bytes =
+        horizon_cache_ ? horizon_cache_->bytes_used() : 0;
     while (lru_.size() > 1 &&
-           entry_bytes_ + artifact_bytes() >
+           entry_bytes_ + artifact_bytes() + horizon_bytes >
                serve_config_.memory_budget_bytes) {
         drop_entry_locked(lru_.back(), /*stale=*/false);
     }
-    artifact_bytes();  // prune artifacts the final eviction released
+    const std::size_t remaining =
+        entry_bytes_ + artifact_bytes();  // prunes released artifacts too
+    // Roof entries alone may still exceed the budget (keep-1 floor);
+    // shrink the horizon planes into whatever headroom is left.  Planes
+    // rebuild bitwise-identically on demand, so this only costs time.
+    if (horizon_cache_) {
+        horizon_cache_->shrink_to(
+            serve_config_.memory_budget_bytes > remaining
+                ? serve_config_.memory_budget_bytes - remaining
+                : 0);
+    }
 }
 
 std::shared_ptr<const solar::SharedSkyArtifact> ResidentState::sky_for(
@@ -247,20 +270,37 @@ std::shared_ptr<const solar::SharedSkyArtifact> ResidentState::sky_for(
 std::shared_ptr<PreparedRoof> ResidentState::build_roof(
     const gis::RoofRecord& record, std::uint64_t hash) {
     gis::RoofPlaneFit fit;
+    gis::WindowOrigin origin;
     const core::RoofScenario scenario = gis::make_scenario(
-        record, tiles_, serve_config_.build, &tile_cache_, &fit);
+        record, tiles_, serve_config_.build, &tile_cache_, &fit, &origin);
 
     core::ScenarioConfig config = base_config_;
     if (record.has_location) {
         config.location.latitude_deg = record.latitude_deg;
         config.location.longitude_deg = record.longitude_deg;
     }
-    // Same clamp as run_city: the mosaic answers horizon rays only out
-    // to the context margin, so never march further.
-    config.horizon.max_distance =
-        std::min(config.horizon.max_distance,
-                 serve_config_.build.context_margin_m +
-                     std::hypot(record.bbox.width(), record.bbox.height()));
+    if (horizon_cache_) {
+        // Shared planes answer the full uniform max_distance over real
+        // halo terrain — the run_city --shared-horizon semantics — so
+        // the window cap below does not apply.
+        gis::HorizonCache* hc = horizon_cache_.get();
+        const double wx = origin.x;
+        const double wy = origin.y;
+        const double cs = tiles_.cell_size();
+        config.horizon_provider =
+            [hc, wx, wy, cs](const geo::Raster&, int x0, int y0, int w,
+                             int h, const geo::HorizonOptions&)
+            -> std::optional<geo::HorizonMap> {
+            return hc->window(wx + x0 * cs, wy - y0 * cs, x0, y0, w, h);
+        };
+    } else {
+        // Same clamp as run_city: the mosaic answers horizon rays only
+        // out to the context margin, so never march further.
+        config.horizon.max_distance = std::min(
+            config.horizon.max_distance,
+            serve_config_.build.context_margin_m +
+                std::hypot(record.bbox.width(), record.bbox.height()));
+    }
     config.shared_sky = sky_for(config.location);
 
     auto roof = std::make_shared<PreparedRoof>(PreparedRoof{
@@ -373,6 +413,14 @@ ResidentStats ResidentState::stats() const {
     }
     s.tile_cache_hits = tile_cache_.hits();
     s.tile_cache_misses = tile_cache_.misses();
+    if (horizon_cache_) {
+        const gis::HorizonCacheStats hs = horizon_cache_->stats();
+        s.horizon_cache_hits = hs.hits + hs.joins;
+        s.horizon_cache_misses = hs.misses;
+        s.horizon_cache_evictions = hs.evictions;
+        s.horizon_cache_bytes = hs.bytes;
+        s.resident_bytes += hs.bytes;
+    }
     return s;
 }
 

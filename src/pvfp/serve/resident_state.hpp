@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "pvfp/core/pipeline.hpp"
+#include "pvfp/gis/horizon_cache.hpp"
 #include "pvfp/gis/roof_registry.hpp"
 #include "pvfp/gis/tile_index.hpp"
 
@@ -56,11 +57,20 @@ struct ServeConfig {
     gis::ScenarioBuildOptions build{};
     /// Resident decoded tiles in the shared LRU cache.
     std::size_t tile_cache_tiles = 16;
-    /// Byte budget for resident roofs + sky artifacts.  The LRU evicts
-    /// past it after every build; the most recent entry is always kept,
-    /// so a single roof larger than the budget still serves (the budget
-    /// then bounds *additional* residency, not that one roof).
+    /// Byte budget for resident roofs + sky artifacts + shared horizon
+    /// planes.  The LRU evicts past it after every build; the most
+    /// recent entry is always kept, so a single roof larger than the
+    /// budget still serves (the budget then bounds *additional*
+    /// residency, not that one roof).
     std::size_t memory_budget_bytes = 512ull << 20;
+    /// Share horizon marching across roofs (gis::HorizonCache): sector
+    /// planes are computed once per macro tile over a max_distance-halo
+    /// mosaic and each prepared roof assembles its window from the
+    /// cached planes.  Served results then match a
+    /// `run_city --shared-horizon` stream (uniform march distance over
+    /// real neighbouring terrain) instead of the cold per-roof-capped
+    /// one; either mode is bitwise deterministic.
+    bool share_horizon = false;
 };
 
 /// One roof's resident hot state — immutable once built, shared with
@@ -94,6 +104,11 @@ struct ResidentStats {
     std::size_t invalidations = 0;   ///< entries dropped as stale
     std::size_t tile_cache_hits = 0;
     std::size_t tile_cache_misses = 0;
+    /// Shared horizon cache accounting (share_horizon; zero otherwise).
+    std::size_t horizon_cache_hits = 0;
+    std::size_t horizon_cache_misses = 0;
+    std::size_t horizon_cache_evictions = 0;
+    std::size_t horizon_cache_bytes = 0;
 };
 
 class ResidentState {
@@ -141,6 +156,10 @@ private:
     ServeConfig serve_config_;
     core::ScenarioConfig base_config_;  ///< config with tile cell size
     gis::TileCache tile_cache_;
+    /// Shared macro-tile horizon planes (share_horizon; else null).
+    /// Its bytes count against memory_budget_bytes: the roof eviction
+    /// pass shrinks it once the resident roofs alone fit.
+    std::unique_ptr<gis::HorizonCache> horizon_cache_;
 
     mutable std::mutex registry_mutex_;
     std::shared_ptr<const gis::RoofRegistry> registry_;

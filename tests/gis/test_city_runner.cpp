@@ -13,6 +13,7 @@
 #include "pvfp/core/pipeline.hpp"
 #include "pvfp/gis/city_runner.hpp"
 #include "pvfp/gis/fixture.hpp"
+#include "pvfp/gis/horizon_cache.hpp"
 #include "pvfp/gis/json.hpp"
 #include "pvfp/gis/jsonl.hpp"
 #include "pvfp/util/csv.hpp"
@@ -174,6 +175,83 @@ TEST(CityRunner, SharedSkyEqualsPerRoofRegeneration) {
 
     EXPECT_EQ(read_file(options.jsonl_path),
               read_file(per_roof.jsonl_path));
+}
+
+TEST(CityRunner, SharedHorizonIsThreadIdenticalAndDiffersFromCold) {
+    const SmallCity city("run_shared_horizon");
+    CityRunOptions options = city.fast_options(city.dir + "/sh1.jsonl");
+    options.share_horizon = true;
+    // Keep the uniform march distance moderate: the shared mode marches
+    // the configured distance over real halo terrain for every roof.
+    options.config.horizon.max_distance = 40.0;
+
+    set_thread_count(1);
+    const CityRunSummary one_summary =
+        run_city(city.tiles, city.registry, options);
+    const std::string one = read_file(options.jsonl_path);
+
+    set_thread_count(8);
+    options.jsonl_path = city.dir + "/sh8.jsonl";
+    (void)run_city(city.tiles, city.registry, options);
+    const std::string eight = read_file(options.jsonl_path);
+    set_thread_count(0);
+
+    ASSERT_FALSE(one.empty());
+    EXPECT_EQ(one, eight);
+    EXPECT_EQ(one_summary.failed, 0);
+    EXPECT_GT(one_summary.horizon_cache_misses, 0u);
+    EXPECT_GT(one_summary.horizon_cache_hits, 0u);
+    EXPECT_GT(one_summary.horizon_cache_bytes, 0u);
+
+    // The cold path stays on the per-roof max_distance cap (pinned by
+    // MatchesThePerRoofPipeline); the shared stream is a different —
+    // equally deterministic — artifact: every roof sees the uniform
+    // distance over real neighbouring terrain instead of a clamped
+    // margin mosaic.
+    CityRunOptions cold = city.fast_options(city.dir + "/cold.jsonl");
+    cold.config.horizon.max_distance = 40.0;
+    (void)run_city(city.tiles, city.registry, cold);
+    EXPECT_NE(one, read_file(cold.jsonl_path));
+}
+
+TEST(CityRunner, InjectedHorizonCachePersistsAcrossRuns) {
+    const SmallCity city("run_injected_horizon");
+    CityRunOptions options = city.fast_options(city.dir + "/self.jsonl");
+    options.share_horizon = true;
+    options.config.horizon.max_distance = 40.0;
+    const CityRunSummary self_owned =
+        run_city(city.tiles, city.registry, options);
+    const std::string self_bytes = read_file(options.jsonl_path);
+    ASSERT_FALSE(self_bytes.empty());
+
+    // A caller-owned cache serves the same bytes, and the second run
+    // through it — the warm re-rank workload injection exists for —
+    // reuses the resident planes instead of re-marching them.
+    TileCache tile_cache(8);
+    HorizonCacheOptions cache_options;
+    cache_options.horizon = options.config.horizon;
+    HorizonCache cache(city.tiles, &tile_cache, cache_options);
+    options.share_horizon = false;  // the injected cache alone turns it on
+    options.shared_horizon_cache = &cache;
+
+    options.jsonl_path = city.dir + "/injected_cold.jsonl";
+    const CityRunSummary cold = run_city(city.tiles, city.registry, options);
+    EXPECT_EQ(read_file(options.jsonl_path), self_bytes);
+    EXPECT_EQ(cold.horizon_cache_misses, self_owned.horizon_cache_misses);
+    EXPECT_GT(cold.horizon_cache_misses, 0u);
+
+    options.jsonl_path = city.dir + "/injected_warm.jsonl";
+    const CityRunSummary warm = run_city(city.tiles, city.registry, options);
+    EXPECT_EQ(read_file(options.jsonl_path), self_bytes);
+    // Stats are cumulative across runs: the warm pass added no misses.
+    EXPECT_EQ(warm.horizon_cache_misses, cold.horizon_cache_misses);
+    EXPECT_GT(warm.horizon_cache_hits, cold.horizon_cache_hits);
+
+    // Serving planes marched under different options would be silent
+    // corruption; the runner refuses instead.
+    options.config.horizon.azimuth_sectors += 4;
+    EXPECT_THROW(run_city(city.tiles, city.registry, options),
+                 InvalidArgument);
 }
 
 TEST(CityRunner, ResumeAfterKillReproducesTheFullStream) {

@@ -24,6 +24,10 @@
 ///     --grid-plan <out.jsonl>    grid-aware sequential placement plan
 ///                                (requires --feeder-index)
 ///     --grid-summary <path.csv>  per-feeder cap/yield summary
+///     --metrics-out <path.json>  write the obs metrics snapshot (enables
+///                                telemetry; results stay byte-identical)
+///     --trace-out <path.json>    write Chrome trace-event JSON (load in
+///                                Perfetto); enables telemetry + spans
 ///
 ///   Fixture mode (writes a synthetic city, then exits):
 ///   pvfp_city --gen-fixture <dir> [--roofs N] [--seed u64]
@@ -34,6 +38,7 @@
 ///             --out /tmp/city/results.jsonl --summary /tmp/city/rank.csv
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -41,7 +46,10 @@
 #include "pvfp/gis/city_runner.hpp"
 #include "pvfp/gis/fixture.hpp"
 #include "pvfp/grid/sequential_place.hpp"
+#include "pvfp/obs/metrics.hpp"
+#include "pvfp/obs/trace.hpp"
 #include "pvfp/util/cli.hpp"
+#include "pvfp/util/error.hpp"
 
 namespace {
 
@@ -55,6 +63,7 @@ namespace {
               << "                 [--shared-horizon] [--horizon-cache-mb N]\n"
               << "                 [--feeder-index FILE --grid-plan OUT.jsonl\n"
               << "                  [--grid-summary grid.csv]]\n"
+              << "                 [--metrics-out M.json] [--trace-out T.json]\n"
               << "   or: pvfp_city --gen-fixture DIR [--roofs N] [--seed u64]\n";
     std::exit(2);
 }
@@ -97,6 +106,7 @@ int main(int argc, char** argv) {
     bool shared_sky = true;
     bool shared_horizon = false;
     int horizon_cache_mb = 256;
+    std::string metrics_out, trace_out;
 
     try {
     for (int i = 1; i < argc; ++i) {
@@ -131,6 +141,8 @@ int main(int argc, char** argv) {
         else if (arg == "--shared-horizon") shared_horizon = true;
         else if (arg == "--horizon-cache-mb")
             horizon_cache_mb = cli::parse_int(arg, next(), 1);
+        else if (arg == "--metrics-out") metrics_out = next();
+        else if (arg == "--trace-out") trace_out = next();
         else if (arg == "--gen-fixture") fixture_dir = next();
         else if (arg == "--roofs") fixture_roofs = cli::parse_int(arg, next(), 1);
         else if (arg == "--help" || arg == "-h") usage_error("help requested");
@@ -170,6 +182,13 @@ int main(int argc, char** argv) {
         if (minutes <= 0 || stride <= 0 || shard <= 0 || tile_cache <= 0 ||
             sectors <= 0)
             usage_error("non-positive numeric option");
+
+        // Telemetry switches before any pipeline work: --metrics-out
+        // turns the registry on, --trace-out additionally records span
+        // timings.  Neither changes a single output byte (CI-gated).
+        if (!metrics_out.empty() || !trace_out.empty())
+            obs::set_enabled(true);
+        if (!trace_out.empty()) obs::set_trace_enabled(true);
 
         const gis::TileIndex tiles = gis::TileIndex::scan(tiles_dir);
         const gis::RoofRegistry registry = gis::RoofRegistry::load(index_path);
@@ -221,6 +240,20 @@ int main(int argc, char** argv) {
         std::cout << "results: " << out_path << "\n";
         if (!summary_path.empty())
             std::cout << "ranking: " << summary_path << "\n";
+
+        if (!metrics_out.empty()) {
+            std::ofstream ms(metrics_out, std::ios::binary);
+            ms << obs::registry().snapshot_json() << "\n";
+            if (!ms.good())
+                throw IoError("cannot write metrics to '" + metrics_out +
+                              "'");
+            std::cout << "metrics: " << metrics_out << "\n";
+        }
+        if (!trace_out.empty()) {
+            obs::write_chrome_trace(trace_out);
+            std::cout << "trace: " << trace_out << " ("
+                      << obs::dropped_spans() << " spans dropped)\n";
+        }
 
         if (!grid_plan_path.empty()) {
             const grid::FeederModel model = grid::FeederModel::load(feeder_path);

@@ -27,6 +27,11 @@
 ///     --tile-cache <N>           resident decoded tiles (default: 16)
 ///     --max-batch <N>            max requests per parallel batch
 ///                                (default: 2 x threads)
+///     --metrics-out <path.json>  write the obs metrics snapshot on exit
+///                                (enables telemetry; the `metrics` op
+///                                works regardless once PVFP_OBS=1)
+///     --trace-out <path.json>    write Chrome trace-event JSON on exit
+///                                (Perfetto); enables telemetry + spans
 ///
 /// Requests are newline-delimited JSON, one response line per request
 /// in arrival order (see src/pvfp/serve/protocol.hpp).  A typical
@@ -38,12 +43,16 @@
 ///   (one shell line; wrapped here for width)
 ///   pvfp_serve --tiles city/ --index city/index.csv --replay req.jsonl
 
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "pvfp/obs/metrics.hpp"
+#include "pvfp/obs/trace.hpp"
 #include "pvfp/serve/server.hpp"
 #include "pvfp/util/cli.hpp"
+#include "pvfp/util/error.hpp"
 
 namespace {
 
@@ -58,7 +67,9 @@ namespace {
               << "                  [--topologies 8x2,8x4] [--minutes step]\n"
               << "                  [--stride k] [--sectors n] [--seed u64]\n"
               << "                  [--margin m] [--tile-cache N]\n"
-              << "                  [--max-batch N]\n";
+              << "                  [--max-batch N]\n"
+              << "                  [--metrics-out M.json] "
+                 "[--trace-out T.json]\n";
     std::exit(2);
 }
 
@@ -96,6 +107,7 @@ int main(int argc, char** argv) {
     int tile_cache = 16;
     int max_batch = 0;
     bool shared_horizon = false;
+    std::string metrics_out, trace_out;
 
     try {
     for (int i = 1; i < argc; ++i) {
@@ -125,6 +137,8 @@ int main(int argc, char** argv) {
         else if (arg == "--max-batch")
             max_batch = cli::parse_int(arg, next(), 1);
         else if (arg == "--shared-horizon") shared_horizon = true;
+        else if (arg == "--metrics-out") metrics_out = next();
+        else if (arg == "--trace-out") trace_out = next();
         else if (arg == "--help" || arg == "-h") usage_error("help requested");
         else usage_error("unknown option " + arg);
     }
@@ -136,6 +150,12 @@ int main(int argc, char** argv) {
         usage_error("--tiles and --index are required");
 
     try {
+        // Telemetry switches before any request is served; response
+        // bytes are identical either way (the replay gate).
+        if (!metrics_out.empty() || !trace_out.empty())
+            obs::set_enabled(true);
+        if (!trace_out.empty()) obs::set_trace_enabled(true);
+
         gis::TileIndex tiles = gis::TileIndex::scan(tiles_dir);
         gis::RoofRegistry registry = gis::RoofRegistry::load(index_path);
 
@@ -190,6 +210,19 @@ int main(int argc, char** argv) {
                       << stats.horizon_cache_evictions << " eviction(s), "
                       << (stats.horizon_cache_bytes >> 20)
                       << " MB resident\n";
+        if (!metrics_out.empty()) {
+            std::ofstream ms(metrics_out, std::ios::binary);
+            ms << obs::registry().snapshot_json() << "\n";
+            if (!ms.good())
+                throw IoError("cannot write metrics to '" + metrics_out +
+                              "'");
+            std::cerr << "pvfp_serve: metrics -> " << metrics_out << "\n";
+        }
+        if (!trace_out.empty()) {
+            obs::write_chrome_trace(trace_out);
+            std::cerr << "pvfp_serve: trace -> " << trace_out << " ("
+                      << obs::dropped_spans() << " spans dropped)\n";
+        }
         return 0;
     } catch (const std::exception& e) {
         std::cerr << "pvfp_serve: " << e.what() << "\n";

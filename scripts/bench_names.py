@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Canonical benchmark-name matching for the BENCH_*.json trajectories.
+
+The collectors record whatever `name` the bench harness emits.  Google-
+benchmark appends modifier suffixes to that name — `/real_time`,
+`/process_time`, `/threads:8`, `/repeats:3`, and statistic suffixes like
+`_mean` — and whether they appear depends on how the bench was invoked
+at that commit.  bench_regress.py and bench_plot.py used to group
+records by the raw string, so a record written as
+`kernels/sky_prep/real_time` at one commit and `kernels/sky_prep` at the
+next landed in different groups and the comparison was *silently
+skipped*: no alert, no trajectory line, no hint.
+
+normalize() strips exactly the modifier decorations and nothing else:
+repo-style path names (`city/shared_sky`) and numeric workload levels
+(`horizon/march/512`) are workload identity and survive untouched.
+
+Run `scripts/bench_names.py --self-test` (registered in ctest) to check
+the matcher against the cases above.
+"""
+
+import sys
+
+# Statistic suffixes google-benchmark appends after aggregate runs.
+_STAT_SUFFIXES = ("_mean", "_median", "_stddev", "_cv", "_min", "_max")
+
+# Whole path segments that are run modifiers, not workload identity.
+_MODIFIER_SEGMENTS = {"real_time", "process_time", "manual_time"}
+
+# Segments of the form "key:value" that are run modifiers.
+_MODIFIER_KEYS = {"threads", "repeats", "iterations", "min_time",
+                  "min_warmup_time"}
+
+
+def normalize(name):
+    """Strip google-benchmark modifier decorations from a bench name.
+
+    Keeps: path-style names, numeric workload levels, anything that is
+    not a recognized modifier.  Returns non-strings unchanged.
+    """
+    if not isinstance(name, str):
+        return name
+    for suffix in _STAT_SUFFIXES:
+        if name.endswith(suffix):
+            name = name[: -len(suffix)]
+            break
+    segments = []
+    for segment in name.split("/"):
+        if segment in _MODIFIER_SEGMENTS:
+            continue
+        key, sep, _ = segment.partition(":")
+        if sep and key in _MODIFIER_KEYS:
+            continue
+        segments.append(segment)
+    return "/".join(segments)
+
+
+_SELF_TEST_CASES = [
+    # Repo-style names are workload identity: untouched.
+    ("city/shared_sky", "city/shared_sky"),
+    ("city/shared_horizon_speedup", "city/shared_horizon_speedup"),
+    # Numeric workload levels survive.
+    ("horizon/march/512", "horizon/march/512"),
+    ("BM_sky_prep/64", "BM_sky_prep/64"),
+    # google-benchmark modifier suffixes are stripped...
+    ("BM_sky_prep/64/real_time", "BM_sky_prep/64"),
+    ("BM_sky_prep/64/process_time", "BM_sky_prep/64"),
+    ("BM_rank/threads:8", "BM_rank"),
+    ("BM_rank/64/threads:8/real_time", "BM_rank/64"),
+    ("BM_rank/repeats:3", "BM_rank"),
+    ("BM_rank/min_time:2.5", "BM_rank"),
+    # ...including aggregate-statistic suffixes.
+    ("BM_rank/64_mean", "BM_rank/64"),
+    ("BM_rank/64/real_time_stddev", "BM_rank/64"),
+    ("BM_rank_cv", "BM_rank"),
+    # The suffix mismatch that used to split trajectories: both sides
+    # normalize to the same key.
+    ("kernels/sky_prep/real_time", "kernels/sky_prep"),
+    ("kernels/sky_prep", "kernels/sky_prep"),
+    # Colon segments that are NOT modifiers stay (workload identity).
+    ("serve/op:rank", "serve/op:rank"),
+    # Non-strings pass through.
+    (None, None),
+]
+
+
+def self_test():
+    failures = 0
+    for raw, want in _SELF_TEST_CASES:
+        got = normalize(raw)
+        if got != want:
+            print(f"FAIL normalize({raw!r}) = {got!r}, want {want!r}")
+            failures += 1
+    # Idempotence over every case.
+    for raw, _ in _SELF_TEST_CASES:
+        once = normalize(raw)
+        if normalize(once) != once:
+            print(f"FAIL normalize not idempotent on {raw!r}")
+            failures += 1
+    total = len(_SELF_TEST_CASES)
+    print(f"bench_names: {total - failures}/{total} cases pass")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    if "--self-test" in sys.argv[1:]:
+        sys.exit(self_test())
+    for arg in sys.argv[1:]:
+        print(normalize(arg))

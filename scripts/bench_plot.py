@@ -28,6 +28,9 @@ import math
 import os
 import sys
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_names import normalize  # noqa: E402
+
 PALETTE = [
     "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b",
     "#e377c2", "#7f7f7f", "#bcbd22", "#17becf", "#aec7e8", "#ffbb78",
@@ -53,7 +56,10 @@ def load_records(path):
 
 def series_by_name(records, value_key):
     """name -> [(commit_index, value)], x = first-appearance order of
-    each commit across the whole file (the PR sequence)."""
+    each commit across the whole file (the PR sequence).  Names go
+    through bench_names.normalize() so a modifier-suffix change between
+    commits (`/real_time` appearing or vanishing) keeps one polyline
+    instead of silently forking the series."""
     commits = []
     commit_index = {}
     for rec in records:
@@ -68,7 +74,7 @@ def series_by_name(records, value_key):
             continue
         if not math.isfinite(value) or value <= 0:
             continue
-        name = rec.get("name", "?")
+        name = normalize(rec.get("name", "?"))
         series.setdefault(name, []).append(
             (commit_index[rec.get("commit", "unknown")], float(value)))
     # Keep one point per (name, commit): the last append wins, matching

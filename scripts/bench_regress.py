@@ -27,6 +27,9 @@ import json
 import os
 import sys
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from bench_names import normalize  # noqa: E402
+
 # Metric name -> True when higher is better.
 METRICS = [
     ("wall_ms", False),
@@ -46,10 +49,13 @@ def primary_metric(record):
 
 def latest_vs_previous(records):
     """Pairs (name, latest_record, previous_record) where `previous` is
-    the newest record of the same name from an earlier commit."""
+    the newest record of the same name from an earlier commit.  Names
+    are matched through bench_names.normalize() so google-benchmark
+    modifier suffixes (`/real_time`, `/threads:8`, `_mean`, ...) that
+    come and go between commits don't silently split a trajectory."""
     by_name = {}
     for rec in records:  # file order is append order = chronological
-        by_name.setdefault(rec.get("name"), []).append(rec)
+        by_name.setdefault(normalize(rec.get("name")), []).append(rec)
     for name, recs in sorted(by_name.items()):
         latest = recs[-1]
         previous = None

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Validate pvfp observability artifacts against their schemas.
+
+CI runs pvfp_city/pvfp_serve with --metrics-out/--trace-out and feeds
+the artifacts through this checker, so a codec regression (key renamed,
+bucket array length drifting from bounds, non-finite gauge, trace event
+missing a field) fails the `obs` job instead of silently producing
+files Perfetto or the bench tooling can't read.
+
+  scripts/check_obs_schema.py --metrics M.json [--trace T.json ...]
+
+Schema for a metrics snapshot (src/pvfp/obs/metrics.cpp to_json):
+  {"counters": {name: uint, ...},            # names sorted
+   "gauges": {name: finite number, ...},     # names sorted
+   "histograms": {name: {"count": uint, "sum": uint,
+                         "bounds": [uint...],   # strictly increasing
+                         "buckets": [uint...]}, # len(bounds) + 1
+                  ...}}                      # names sorted
+
+Schema for a trace (src/pvfp/obs/trace.cpp chrome_trace_json): the
+Chrome trace-event JSON object format —
+  {"displayTimeUnit": "ms", "pvfp_dropped_spans": uint,
+   "traceEvents": [{"name": str, "ph": "X", "pid": 1, "tid": uint,
+                    "ts": number >= 0, "dur": number >= 0}, ...]}
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+class SchemaError(Exception):
+    pass
+
+
+def fail(path, message):
+    raise SchemaError(f"{path}: {message}")
+
+
+def check_uint(path, where, value):
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        fail(path, f"{where}: expected a non-negative integer, "
+                   f"got {value!r}")
+
+
+def check_sorted_names(path, where, mapping):
+    names = list(mapping.keys())
+    if names != sorted(names):
+        fail(path, f"{where}: names not sorted ({names})")
+    for name in names:
+        if not name or not isinstance(name, str):
+            fail(path, f"{where}: bad metric name {name!r}")
+
+
+def check_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    if list(doc.keys()) != ["counters", "gauges", "histograms"]:
+        fail(path, f"top-level keys {list(doc.keys())}, want "
+                   f"['counters', 'gauges', 'histograms'] in that order")
+
+    check_sorted_names(path, "counters", doc["counters"])
+    for name, value in doc["counters"].items():
+        check_uint(path, f"counters[{name}]", value)
+
+    check_sorted_names(path, "gauges", doc["gauges"])
+    for name, value in doc["gauges"].items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or not math.isfinite(value):
+            fail(path, f"gauges[{name}]: expected a finite number, "
+                       f"got {value!r}")
+
+    check_sorted_names(path, "histograms", doc["histograms"])
+    for name, hist in doc["histograms"].items():
+        where = f"histograms[{name}]"
+        if not isinstance(hist, dict):
+            fail(path, f"{where}: not an object")
+        if list(hist.keys()) != ["count", "sum", "bounds", "buckets"]:
+            fail(path, f"{where}: keys {list(hist.keys())}, want "
+                       f"['count', 'sum', 'bounds', 'buckets']")
+        check_uint(path, f"{where}.count", hist["count"])
+        check_uint(path, f"{where}.sum", hist["sum"])
+        bounds, buckets = hist["bounds"], hist["buckets"]
+        if not isinstance(bounds, list) or not isinstance(buckets, list):
+            fail(path, f"{where}: bounds/buckets must be arrays")
+        for i, b in enumerate(bounds):
+            check_uint(path, f"{where}.bounds[{i}]", b)
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            fail(path, f"{where}.bounds not strictly increasing")
+        if len(buckets) != len(bounds) + 1:
+            fail(path, f"{where}: {len(buckets)} buckets for "
+                       f"{len(bounds)} bounds (want bounds + 1)")
+        for i, b in enumerate(buckets):
+            check_uint(path, f"{where}.buckets[{i}]", b)
+        if sum(buckets) != hist["count"]:
+            fail(path, f"{where}: bucket sum {sum(buckets)} != count "
+                       f"{hist['count']}")
+    counts = (len(doc["counters"]), len(doc["gauges"]),
+              len(doc["histograms"]))
+    print(f"{path}: ok ({counts[0]} counters, {counts[1]} gauges, "
+          f"{counts[2]} histograms)")
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    for key in ("displayTimeUnit", "pvfp_dropped_spans", "traceEvents"):
+        if key not in doc:
+            fail(path, f"missing key {key!r}")
+    if doc["displayTimeUnit"] != "ms":
+        fail(path, f"displayTimeUnit {doc['displayTimeUnit']!r}, want 'ms'")
+    check_uint(path, "pvfp_dropped_spans", doc["pvfp_dropped_spans"])
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(path, "traceEvents is not an array")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(path, f"{where}: not an object")
+        for key in ("name", "ph", "pid", "tid", "ts", "dur"):
+            if key not in ev:
+                fail(path, f"{where}: missing key {key!r}")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            fail(path, f"{where}.name: bad span name {ev['name']!r}")
+        if ev["ph"] != "X":
+            fail(path, f"{where}.ph: {ev['ph']!r}, want 'X' "
+                       f"(complete event)")
+        if ev["pid"] != 1:
+            fail(path, f"{where}.pid: {ev['pid']!r}, want 1")
+        check_uint(path, f"{where}.tid", ev["tid"])
+        for key in ("ts", "dur"):
+            v = ev[key]
+            if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                    or not math.isfinite(v) or v < 0:
+                fail(path, f"{where}.{key}: expected a non-negative "
+                           f"number, got {v!r}")
+    print(f"{path}: ok ({len(events)} trace events, "
+          f"{doc['pvfp_dropped_spans']} dropped)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics", action="append", default=[],
+                        help="metrics snapshot JSON to validate "
+                             "(repeatable)")
+    parser.add_argument("--trace", action="append", default=[],
+                        help="Chrome trace-event JSON to validate "
+                             "(repeatable)")
+    args = parser.parse_args()
+    if not args.metrics and not args.trace:
+        parser.error("nothing to check: pass --metrics and/or --trace")
+    try:
+        for path in args.metrics:
+            check_metrics(path)
+        for path in args.trace:
+            check_trace(path)
+    except (OSError, json.JSONDecodeError, SchemaError) as err:
+        print(f"check_obs_schema: FAIL {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

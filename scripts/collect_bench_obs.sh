@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Telemetry-overhead collector: runs the pvfp_city ranking pass over a
+# synthetic fixture with telemetry off and then with metrics + tracing
+# on (--metrics-out/--trace-out), checks the ranked JSONL is
+# byte-identical either way, and appends wall-time records plus a
+# derived overhead record to BENCH_city.json at the repo root —
+# mirroring collect_bench_city.sh so bench_regress.py/bench_plot.py
+# track the overhead as a trajectory.  The obs acceptance bar is < 3%
+# overhead; the trajectory makes a creeping regression visible.
+#
+# Usage: scripts/collect_bench_obs.sh [build-dir] [roofs]
+#        (defaults: build, 60)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-build}"
+roofs="${2:-60}"
+city="$repo_root/$build_dir/examples/example_pvfp_city"
+out="$repo_root/BENCH_city.json"
+
+if [[ ! -x "$city" ]]; then
+    echo "error: $city not built" >&2
+    exit 1
+fi
+
+commit="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+"$city" --gen-fixture "$work/city" --roofs "$roofs" > /dev/null
+
+# Wall-clock milliseconds of one command (ns resolution via date).
+time_ms() {
+    local t0 t1
+    t0="$(date +%s%N)"
+    "$@" > /dev/null
+    t1="$(date +%s%N)"
+    echo $(( (t1 - t0) / 1000000 ))
+}
+
+run_city() {
+    local tag="$1"
+    shift
+    PVFP_THREADS="${PVFP_THREADS:-8}" "$city" \
+        --tiles "$work/city" --index "$work/city/index.csv" \
+        --out "$work/$tag.jsonl" --minutes 60 --sectors 24 "$@"
+}
+
+# Warm-up pass so the OS page cache does not bias the off/on split,
+# then one timed pass each way.
+run_city warm > /dev/null
+off_ms="$(time_ms run_city off)"
+on_ms="$(time_ms run_city on \
+    --metrics-out "$work/metrics.json" --trace-out "$work/trace.json")"
+
+# The telemetry-invariance contract, enforced here too: same bytes.
+cmp "$work/off.jsonl" "$work/on.jsonl"
+
+OFF_MS="$off_ms" ON_MS="$on_ms" ROOFS="$roofs" COMMIT="$commit" \
+    OUT_PATH="$out" THREADS="${PVFP_THREADS:-8}" python3 - <<'PY'
+import json
+import os
+
+commit = os.environ["COMMIT"]
+out_path = os.environ["OUT_PATH"]
+off_ms = float(os.environ["OFF_MS"])
+on_ms = float(os.environ["ON_MS"])
+roofs = int(os.environ["ROOFS"])
+threads = int(os.environ["THREADS"])
+
+records = []
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        records = json.load(f)
+prior = len(records)
+
+for name, wall_ms in (("city/obs_off", off_ms), ("city/obs_on", on_ms)):
+    records.append({
+        "commit": commit,
+        "name": name,
+        "wall_ms": wall_ms,
+        "roofs": roofs,
+        "roofs_per_sec": 1000.0 * roofs / wall_ms if wall_ms > 0 else None,
+        "threads": threads,
+    })
+if on_ms > 0:
+    # speedup > 1 means telemetry-on was FASTER (noise); the regression
+    # alert fires when telemetry overhead pushes this below 1/threshold.
+    records.append({
+        "commit": commit,
+        "name": "city/obs_overhead",
+        "speedup": off_ms / on_ms,
+        "threads": threads,
+    })
+    overhead = (on_ms - off_ms) / off_ms if off_ms > 0 else float("nan")
+    print(f"telemetry overhead: {overhead:+.1%} "
+          f"({off_ms:.0f} ms off, {on_ms:.0f} ms on)")
+
+with open(out_path, "w") as f:
+    json.dump(records, f, indent=1)
+    f.write("\n")
+print(f"appended {len(records) - prior} records at {commit} -> {out_path}")
+PY

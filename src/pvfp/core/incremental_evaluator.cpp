@@ -5,6 +5,7 @@
 #include <limits>
 #include <string>
 
+#include "pvfp/obs/metrics.hpp"
 #include "pvfp/util/error.hpp"
 #include "pvfp/util/parallel.hpp"
 
@@ -539,6 +540,22 @@ std::vector<double> ideal_anchor_energies(
         }
     });
     return out;
+}
+
+IncrementalEvaluator::~IncrementalEvaluator() {
+    if (!obs::enabled()) return;
+    obs::MetricsRegistry& reg = obs::registry();
+    const auto fold = [&](const char* name, long value) {
+        if (value > 0)
+            reg.counter(name).add(static_cast<std::uint64_t>(value));
+    };
+    fold("core.incremental.full_passes", stats_.full_passes);
+    fold("core.incremental.proposals", stats_.proposals);
+    fold("core.incremental.commits", stats_.commits);
+    fold("core.incremental.rollbacks", stats_.rollbacks);
+    fold("core.incremental.rejected", stats_.rejected);
+    fold("core.incremental.series_computed", stats_.series_computed);
+    fold("core.incremental.series_reused", stats_.series_reused);
 }
 
 }  // namespace pvfp::core

@@ -123,6 +123,12 @@ public:
 
     const IncrementalStats& stats() const { return stats_; }
 
+    /// Folds this evaluator's lifetime stats into the global obs
+    /// registry (`core.incremental.*` counters) when telemetry is on —
+    /// proposal/commit totals are a pure function of the search
+    /// workload, so the exported counters stay deterministic.
+    ~IncrementalEvaluator();
+
 private:
     /// Per-anchor operating points over the sampled steps, stored as
     /// structure-of-arrays so accumulate()'s per-sample folds run over

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "pvfp/obs/trace.hpp"
 #include "pvfp/util/error.hpp"
 #include "pvfp/util/parallel.hpp"
 
@@ -11,6 +12,7 @@ namespace pvfp::core {
 
 PreparedScenario prepare_scenario(const RoofScenario& scenario,
                                   const ScenarioConfig& config) {
+    PVFP_TRACE_SPAN("prepare_scenario");
     check_arg(config.cell_size > 0.0,
               "prepare_scenario: cell_size must be positive");
 
@@ -39,23 +41,27 @@ PreparedScenario prepare_scenario(const RoofScenario& scenario,
     // provider (city/serve horizon cache) when configured, else a local
     // march over this scenario's own mosaic.
     std::optional<geo::HorizonMap> horizon;
-    if (config.horizon_provider) {
-        horizon = config.horizon_provider(dsm, area.origin_col,
-                                          area.origin_row, area.width,
-                                          area.height, config.horizon);
-        if (horizon) {
-            check_arg(horizon->window_x0() == area.origin_col &&
-                          horizon->window_y0() == area.origin_row &&
-                          horizon->window_width() == area.width &&
-                          horizon->window_height() == area.height &&
-                          horizon->sectors() ==
-                              config.horizon.azimuth_sectors,
-                      "prepare_scenario: horizon_provider window mismatch");
+    {
+        PVFP_TRACE_SPAN("stage.horizon");
+        if (config.horizon_provider) {
+            horizon = config.horizon_provider(dsm, area.origin_col,
+                                              area.origin_row, area.width,
+                                              area.height, config.horizon);
+            if (horizon) {
+                check_arg(horizon->window_x0() == area.origin_col &&
+                              horizon->window_y0() == area.origin_row &&
+                              horizon->window_width() == area.width &&
+                              horizon->window_height() == area.height &&
+                              horizon->sectors() ==
+                                  config.horizon.azimuth_sectors,
+                          "prepare_scenario: horizon_provider window "
+                          "mismatch");
+            }
         }
+        if (!horizon)
+            horizon.emplace(dsm, area.origin_col, area.origin_row,
+                            area.width, area.height, config.horizon);
     }
-    if (!horizon)
-        horizon.emplace(dsm, area.origin_col, area.origin_row, area.width,
-                        area.height, config.horizon);
 
     // Sky state: the shared per-batch artifact when the caller prepared
     // one, else a private weather trace (synthetic stand-in for station
@@ -71,6 +77,7 @@ PreparedScenario prepare_scenario(const RoofScenario& scenario,
                   "prepare_scenario: shared_sky grid != config.grid");
     }
     if (!sky) {
+        PVFP_TRACE_SPAN("stage.sky");
         sky = solar::make_shared_sky(
             config.location, config.grid,
             weather::generate_synthetic_weather(config.location, config.grid,
@@ -86,13 +93,19 @@ PreparedScenario prepare_scenario(const RoofScenario& scenario,
     // Irradiance/temperature field on the roof plane.
     solar::FieldConfig field_config = config.field;
     field_config.location = config.location;
-    solar::IrradianceField field(std::move(*horizon), std::move(sky),
-                                 area.tilt_rad, area.azimuth_rad,
-                                 field_config, std::move(normals));
+    std::optional<solar::IrradianceField> field;
+    {
+        PVFP_TRACE_SPAN("stage.field");
+        field.emplace(std::move(*horizon), std::move(sky), area.tilt_rad,
+                      area.azimuth_rad, field_config, std::move(normals));
+    }
 
     // Suitability matrix (Section III-C).
-    SuitabilityResult suitability =
-        compute_suitability(field, area, config.suitability);
+    SuitabilityResult suitability;
+    {
+        PVFP_TRACE_SPAN("stage.suitability");
+        suitability = compute_suitability(*field, area, config.suitability);
+    }
 
     pv::EmpiricalModuleModel model(config.module);
     const PanelGeometry geometry =
@@ -101,7 +114,7 @@ PreparedScenario prepare_scenario(const RoofScenario& scenario,
     return PreparedScenario{scenario.name,
                             std::move(dsm_ptr),
                             std::move(area),
-                            std::move(field),
+                            std::move(*field),
                             std::move(suitability),
                             std::move(model),
                             geometry,
@@ -112,6 +125,7 @@ PlacementComparison compare_placements(const PreparedScenario& prepared,
                                        const pv::Topology& topology,
                                        const GreedyOptions& greedy_options,
                                        const EvaluationOptions& eval_options) {
+    PVFP_TRACE_SPAN("stage.place");
     PlacementComparison cmp;
 
     const CompactResult compact =

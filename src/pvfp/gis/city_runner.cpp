@@ -12,6 +12,8 @@
 #include "pvfp/gis/horizon_cache.hpp"
 #include "pvfp/gis/json.hpp"
 #include "pvfp/gis/jsonl.hpp"
+#include "pvfp/obs/metrics.hpp"
+#include "pvfp/obs/trace.hpp"
 #include "pvfp/util/csv.hpp"
 #include "pvfp/util/error.hpp"
 #include "pvfp/util/parallel.hpp"
@@ -222,6 +224,7 @@ CityRunSummary run_city(const TileIndex& tiles, const RoofRegistry& registry,
             prepare_shard_artifacts(shard_begin, shard_end);
 
         const auto process = [&](long k) {
+            PVFP_TRACE_SPAN("city.roof");
             const RoofRecord& rec = registry.record(shard_begin + k);
             RoofResult& r = shard[static_cast<std::size_t>(k)];
             r.id = rec.id;
@@ -304,13 +307,16 @@ CityRunSummary run_city(const TileIndex& tiles, const RoofRegistry& registry,
         // Same policy as run_scenarios: one roof per task when the shard
         // is at least pool-wide, else let each roof's inner loops fan
         // out.  Either way the per-roof results are identical.
-        if (n > 1 && n >= thread_count()) {
-            parallel_for(0, n, 1, [&](long b, long e) {
-                SerialScope serial;
-                for (long k = b; k < e; ++k) process(k);
-            });
-        } else {
-            for (long k = 0; k < n; ++k) process(k);
+        {
+            PVFP_TRACE_SPAN("city.shard");
+            if (n > 1 && n >= thread_count()) {
+                parallel_for(0, n, 1, [&](long b, long e) {
+                    SerialScope serial;
+                    for (long k = b; k < e; ++k) process(k);
+                });
+            } else {
+                for (long k = 0; k < n; ++k) process(k);
+            }
         }
 
         for (RoofResult& r : shard) {
@@ -366,6 +372,35 @@ CityRunSummary run_city(const TileIndex& tiles, const RoofRegistry& registry,
         summary.horizon_cache_misses = hs.misses;
         summary.horizon_cache_evictions = hs.evictions;
         summary.horizon_cache_bytes = hs.bytes;
+    }
+
+    // Re-export the run's component stats through the global registry so
+    // one snapshot covers the whole process.  Counts are pure functions
+    // of the workload (joins count as hits in the horizon cache), so
+    // they are thread-count-invariant; byte totals are point-in-time
+    // state and go to gauges.  Registration is the cold path — once per
+    // run, not per roof.
+    if (obs::enabled()) {
+        obs::MetricsRegistry& reg = obs::registry();
+        reg.counter("city.roofs_processed")
+            .add(static_cast<std::uint64_t>(summary.processed));
+        reg.counter("city.roofs_failed")
+            .add(static_cast<std::uint64_t>(summary.failed));
+        reg.counter("city.roofs_resumed")
+            .add(static_cast<std::uint64_t>(summary.resumed));
+        reg.counter("gis.tile_cache.hits").add(cache.hits());
+        reg.counter("gis.tile_cache.misses").add(cache.misses());
+        reg.gauge("gis.tile_cache.bytes")
+            .set(static_cast<double>(cache.bytes()));
+        if (horizon_cache) {
+            const HorizonCacheStats hs = horizon_cache->stats();
+            reg.counter("gis.horizon_cache.hits").add(hs.hits);
+            reg.counter("gis.horizon_cache.joins").add(hs.joins);
+            reg.counter("gis.horizon_cache.misses").add(hs.misses);
+            reg.counter("gis.horizon_cache.evictions").add(hs.evictions);
+            reg.gauge("gis.horizon_cache.bytes")
+                .set(static_cast<double>(hs.bytes));
+        }
     }
     return summary;
 }

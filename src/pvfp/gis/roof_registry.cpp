@@ -5,12 +5,14 @@
 #include <cmath>
 #include <fstream>
 #include <limits>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <utility>
 
 #include "pvfp/geo/poly_raster.hpp"
 #include "pvfp/gis/json.hpp"
+#include "pvfp/obs/trace.hpp"
 #include "pvfp/util/csv.hpp"
 #include "pvfp/util/error.hpp"
 #include "pvfp/util/math.hpp"
@@ -179,8 +181,13 @@ core::RoofScenario make_scenario(const RoofRecord& record,
     check_arg(!record.bbox.empty(),
               "make_scenario: empty bbox for roof '" + record.id + "'");
 
-    geo::Raster dsm = tiles.read_window(
-        record.bbox.expanded(options.context_margin_m), cache);
+    std::optional<geo::Raster> dsm_slot;
+    {
+        PVFP_TRACE_SPAN("stage.mosaic");
+        dsm_slot = tiles.read_window(
+            record.bbox.expanded(options.context_margin_m), cache);
+    }
+    geo::Raster& dsm = *dsm_slot;
     const double cs = dsm.cell_size();
 
     // Footprint mask: bbox AND polygon AND data.  The polygon mask comes
@@ -211,7 +218,11 @@ core::RoofScenario make_scenario(const RoofRecord& record,
         throw Infeasible("make_scenario: footprint of roof '" + record.id +
                          "' holds no data cells (outside the tile set?)");
 
-    const RoofPlaneFit fit = fit_roof_plane(dsm, mask, options.trim_sigma);
+    RoofPlaneFit fit;
+    {
+        PVFP_TRACE_SPAN("stage.fit");
+        fit = fit_roof_plane(dsm, mask, options.trim_sigma);
+    }
     if (fit_out) *fit_out = fit;
 
     // Backfill NODATA with the window's minimum height: the horizon scan

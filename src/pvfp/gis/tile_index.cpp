@@ -113,6 +113,16 @@ std::size_t TileCache::misses() const {
     return misses_;
 }
 
+std::size_t TileCache::bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t total = 0;
+    for (const Entry& entry : lru_)
+        total += static_cast<std::size_t>(entry.second->width()) *
+                 static_cast<std::size_t>(entry.second->height()) *
+                 sizeof(double);
+    return total;
+}
+
 TileIndex TileIndex::scan(const std::string& directory) {
     namespace fs = std::filesystem;
     std::error_code ec;

@@ -103,6 +103,8 @@ public:
     /// decodes initiated.
     std::size_t hits() const;
     std::size_t misses() const;
+    /// Heap bytes of every resident (cached) tile's cell grid.
+    std::size_t bytes() const;
 
 private:
     using Entry = std::pair<std::string, std::shared_ptr<const geo::Raster>>;

@@ -1,0 +1,425 @@
+#include "pvfp/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "pvfp/gis/json.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::obs {
+
+namespace {
+
+std::atomic<bool>& enabled_flag() {
+    static std::atomic<bool> flag = [] {
+        const char* env = std::getenv("PVFP_OBS");
+        return env != nullptr && *env != '\0' &&
+               std::string_view(env) != "0";
+    }();
+    return flag;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+    enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+#ifndef PVFP_OBS_DISABLED
+
+/// One thread's update target: a flat array of relaxed atomic cells the
+/// owning thread alone mutates (counters and histogram buckets share
+/// the cell index space).  std::deque keeps element addresses stable
+/// while the owner grows it, so snapshot() can read concurrently under
+/// the state mutex which also guards the growth.
+struct MetricsRegistry::Shard {
+    std::deque<std::atomic<std::uint64_t>> cells;
+    std::uint64_t epoch = 0;  ///< registry epoch this shard belongs to
+};
+
+struct MetricsRegistry::State {
+    struct CounterDef {
+        std::string name;
+        int cell = 0;
+    };
+    struct HistDef {
+        std::string name;
+        std::vector<std::uint64_t> bounds;
+        int first_cell = 0;  ///< bounds.size()+1 buckets, then the sum
+    };
+
+    mutable std::mutex mutex;
+    std::map<std::string, CounterDef> counters;
+    std::map<std::string, HistDef> histograms;
+    std::map<std::string, std::deque<std::atomic<double>>::size_type>
+        gauge_index;
+    std::deque<std::atomic<double>> gauges;
+    int next_cell = 0;
+    std::vector<Shard*> shards;  ///< live per-thread shards
+    std::vector<std::uint64_t> retired;  ///< folded cells of dead threads
+    /// Bumped by reset_for_tests so stale thread-cached shards are
+    /// detected and replaced instead of silently updating orphans.
+    std::atomic<std::uint64_t> epoch{0};
+};
+
+namespace {
+
+/// Thread-exit bookkeeping: every (state, shard) pair this thread ever
+/// touched; the destructor folds each shard into its state's retired
+/// totals so counts survive thread churn.  The shared_ptr keeps the
+/// state alive past its registry (test instances) and past static
+/// destruction order (the global registry is intentionally leaked).
+struct ThreadShards {
+    struct Entry {
+        std::shared_ptr<MetricsRegistry::State> state;
+        std::unique_ptr<MetricsRegistry::Shard> shard;
+    };
+    std::vector<Entry> entries;
+
+    ~ThreadShards() {
+        for (Entry& entry : entries) retire(entry);
+    }
+
+    static void retire(Entry& entry);
+};
+
+thread_local ThreadShards t_shards;
+
+/// Registries hand their state around as shared_ptr so thread caches
+/// can outlive the registry object; the registry itself stores the raw
+/// pointer (header stays container-free) and parks the owning ref here.
+std::mutex g_states_mutex;
+std::vector<std::shared_ptr<MetricsRegistry::State>>& g_states() {
+    static auto* states =
+        new std::vector<std::shared_ptr<MetricsRegistry::State>>;
+    return *states;
+}
+
+std::shared_ptr<MetricsRegistry::State> make_state() {
+    auto state = std::make_shared<MetricsRegistry::State>();
+    std::lock_guard<std::mutex> lock(g_states_mutex);
+    g_states().push_back(state);
+    return state;
+}
+
+std::shared_ptr<MetricsRegistry::State> find_state(
+    MetricsRegistry::State* raw) {
+    std::lock_guard<std::mutex> lock(g_states_mutex);
+    for (const auto& state : g_states())
+        if (state.get() == raw) return state;
+    return nullptr;
+}
+
+void drop_state(MetricsRegistry::State* raw) {
+    std::lock_guard<std::mutex> lock(g_states_mutex);
+    auto& states = g_states();
+    states.erase(std::remove_if(states.begin(), states.end(),
+                                [&](const auto& s) { return s.get() == raw; }),
+                 states.end());
+}
+
+void ThreadShards::retire(Entry& entry) {
+    MetricsRegistry::State& state = *entry.state;
+    std::lock_guard<std::mutex> lock(state.mutex);
+    if (entry.shard->epoch ==
+        state.epoch.load(std::memory_order_relaxed)) {
+        if (state.retired.size() < entry.shard->cells.size())
+            state.retired.resize(entry.shard->cells.size(), 0);
+        for (std::size_t i = 0; i < entry.shard->cells.size(); ++i)
+            state.retired[i] +=
+                entry.shard->cells[i].load(std::memory_order_relaxed);
+    }
+    state.shards.erase(
+        std::remove(state.shards.begin(), state.shards.end(),
+                    entry.shard.get()),
+        state.shards.end());
+    entry.shard.reset();
+}
+
+std::string format_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", v);
+    return buf;
+}
+
+}  // namespace
+
+MetricsRegistry::State& MetricsRegistry::state() const {
+    // Lazy so the global registry() and test instances share one path;
+    // the first call wins (registration and updates both funnel here).
+    if (state_ == nullptr) {
+        static std::mutex init_mutex;
+        std::lock_guard<std::mutex> lock(init_mutex);
+        if (state_ == nullptr)
+            const_cast<MetricsRegistry*>(this)->state_ = make_state().get();
+    }
+    return *state_;
+}
+
+MetricsRegistry::~MetricsRegistry() {
+    if (state_ != nullptr) drop_state(state_);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() const {
+    State& s = state();
+    const std::uint64_t epoch = s.epoch.load(std::memory_order_relaxed);
+    for (auto& entry : t_shards.entries) {
+        if (entry.state.get() != &s) continue;
+        if (entry.shard->epoch != epoch) {
+            // reset_for_tests happened: the registry forgot this shard,
+            // so updating it would vanish.  Replace with a fresh one.
+            ThreadShards::Entry stale = std::move(entry);
+            entry.state = stale.state;
+            entry.shard = std::make_unique<Shard>();
+            entry.shard->epoch = epoch;
+            std::lock_guard<std::mutex> lock(s.mutex);
+            s.shards.push_back(entry.shard.get());
+        }
+        return *entry.shard;
+    }
+    ThreadShards::Entry entry;
+    entry.state = find_state(&s);
+    entry.shard = std::make_unique<Shard>();
+    entry.shard->epoch = epoch;
+    Shard* shard = entry.shard.get();
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.shards.push_back(shard);
+    }
+    t_shards.entries.push_back(std::move(entry));
+    return *shard;
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    check_arg(s.histograms.find(name) == s.histograms.end() &&
+                  s.gauge_index.find(name) == s.gauge_index.end(),
+              "obs: metric '" + name + "' already registered as another kind");
+    auto [it, inserted] = s.counters.try_emplace(name);
+    if (inserted) {
+        it->second.name = name;
+        it->second.cell = s.next_cell++;
+    }
+    return Counter(this, it->second.cell);
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    check_arg(s.counters.find(name) == s.counters.end() &&
+                  s.histograms.find(name) == s.histograms.end(),
+              "obs: metric '" + name + "' already registered as another kind");
+    auto [it, inserted] = s.gauge_index.try_emplace(name, s.gauges.size());
+    if (inserted) s.gauges.emplace_back(0.0);
+    return Gauge(&s.gauges[it->second]);
+}
+
+HistogramHandle MetricsRegistry::histogram(
+    const std::string& name, const std::vector<std::uint64_t>& bounds) {
+    check_arg(!bounds.empty(), "obs: histogram needs at least one bound");
+    check_arg(std::is_sorted(bounds.begin(), bounds.end()) &&
+                  std::adjacent_find(bounds.begin(), bounds.end()) ==
+                      bounds.end(),
+              "obs: histogram bounds must be strictly ascending");
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    check_arg(s.counters.find(name) == s.counters.end() &&
+                  s.gauge_index.find(name) == s.gauge_index.end(),
+              "obs: metric '" + name + "' already registered as another kind");
+    auto it = s.histograms.find(name);
+    if (it == s.histograms.end()) {
+        State::HistDef def;
+        def.name = name;
+        def.bounds = bounds;
+        def.first_cell = s.next_cell;
+        s.next_cell += static_cast<int>(bounds.size()) + 2;
+        it = s.histograms.emplace(name, std::move(def)).first;
+    } else {
+        check_arg(it->second.bounds == bounds,
+                  "obs: histogram '" + name +
+                      "' re-registered with different bounds");
+    }
+    return HistogramHandle(this, it->second.first_cell,
+                           it->second.bounds.data(),
+                           static_cast<int>(it->second.bounds.size()));
+}
+
+namespace {
+
+/// Grow \p shard (owner thread only) to cover cell \p cell, under the
+/// state mutex so a concurrent snapshot never races the deque growth.
+void ensure_cell(MetricsRegistry::State& s, MetricsRegistry::Shard& shard,
+                 int cell) {
+    if (static_cast<std::size_t>(cell) < shard.cells.size()) return;
+    std::lock_guard<std::mutex> lock(s.mutex);
+    // Value-initialized atomics: new cells start at zero.
+    while (shard.cells.size() <= static_cast<std::size_t>(cell))
+        shard.cells.emplace_back();
+}
+
+}  // namespace
+
+void Counter::add(std::uint64_t n) const {
+    if (registry_ == nullptr || !enabled()) return;
+    MetricsRegistry::Shard& shard = registry_->local_shard();
+    ensure_cell(registry_->state(), shard, cell_);
+    shard.cells[static_cast<std::size_t>(cell_)].fetch_add(
+        n, std::memory_order_relaxed);
+}
+
+void Gauge::set(double value) const {
+    if (cell_ == nullptr || !enabled()) return;
+    cell_->store(value, std::memory_order_relaxed);
+}
+
+void HistogramHandle::record(std::uint64_t value) const {
+    if (registry_ == nullptr || !enabled()) return;
+    // Inclusive upper bounds (the Prometheus "le" convention): a value
+    // equal to a bound lands in that bound's bucket; only values past
+    // the last bound overflow.
+    const std::uint64_t* end = bounds_ + n_bounds_;
+    const int bucket =
+        static_cast<int>(std::lower_bound(bounds_, end, value) - bounds_);
+    MetricsRegistry::Shard& shard = registry_->local_shard();
+    const int sum_cell = first_cell_ + n_bounds_ + 1;
+    ensure_cell(registry_->state(), shard, sum_cell);
+    shard.cells[static_cast<std::size_t>(first_cell_ + bucket)].fetch_add(
+        1, std::memory_order_relaxed);
+    shard.cells[static_cast<std::size_t>(sum_cell)].fetch_add(
+        value, std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const auto cell_total = [&](int cell) {
+        std::uint64_t total =
+            static_cast<std::size_t>(cell) < s.retired.size()
+                ? s.retired[static_cast<std::size_t>(cell)]
+                : 0;
+        for (const Shard* shard : s.shards)
+            if (static_cast<std::size_t>(cell) < shard->cells.size())
+                total += shard->cells[static_cast<std::size_t>(cell)].load(
+                    std::memory_order_relaxed);
+        return total;
+    };
+
+    MetricsSnapshot snap;
+    for (const auto& [name, def] : s.counters)
+        snap.counters.emplace_back(name, cell_total(def.cell));
+    for (const auto& [name, slot] : s.gauge_index)
+        snap.gauges.emplace_back(
+            name, s.gauges[slot].load(std::memory_order_relaxed));
+    for (const auto& [name, def] : s.histograms) {
+        HistogramSnapshot h;
+        h.name = name;
+        h.bounds = def.bounds;
+        h.buckets.resize(def.bounds.size() + 1);
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+            h.buckets[b] = cell_total(def.first_cell + static_cast<int>(b));
+            h.count += h.buckets[b];
+        }
+        h.sum = cell_total(def.first_cell +
+                           static_cast<int>(def.bounds.size()) + 1);
+        snap.histograms.push_back(std::move(h));
+    }
+    // std::map iteration is already name-sorted — the codec's fixed key
+    // order falls out of the container choice.
+    return snap;
+}
+
+std::string MetricsRegistry::to_json(const MetricsSnapshot& snapshot) {
+    std::string out = "{\"counters\":{";
+    for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+        if (i) out += ',';
+        out += '"' + gis::json_escape(snapshot.counters[i].first) +
+               "\":" + std::to_string(snapshot.counters[i].second);
+    }
+    out += "},\"gauges\":{";
+    for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+        if (i) out += ',';
+        out += '"' + gis::json_escape(snapshot.gauges[i].first) +
+               "\":" + format_double(snapshot.gauges[i].second);
+    }
+    out += "},\"histograms\":{";
+    for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+        const HistogramSnapshot& h = snapshot.histograms[i];
+        if (i) out += ',';
+        out += '"' + gis::json_escape(h.name) + "\":{\"count\":" +
+               std::to_string(h.count) + ",\"sum\":" + std::to_string(h.sum) +
+               ",\"bounds\":[";
+        for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+            if (b) out += ',';
+            out += std::to_string(h.bounds[b]);
+        }
+        out += "],\"buckets\":[";
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+            if (b) out += ',';
+            out += std::to_string(h.buckets[b]);
+        }
+        out += "]}";
+    }
+    out += "}}";
+    return out;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+    return to_json(snapshot());
+}
+
+void MetricsRegistry::reset_for_tests() {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    // Definitions survive (span sites and other call sites hold static
+    // handles); only the accumulated values go.  Live threads notice the
+    // epoch bump and re-register a fresh zeroed shard on next touch.
+    s.shards.clear();
+    s.retired.clear();
+    for (auto& gauge : s.gauges) gauge.store(0.0, std::memory_order_relaxed);
+    s.epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsRegistry& registry() {
+    // Intentionally leaked: thread_local shard destructors may run
+    // during shutdown after function-local statics are destroyed.
+    static MetricsRegistry* instance = new MetricsRegistry;
+    return *instance;
+}
+
+const std::vector<std::uint64_t>& latency_bounds_ns() {
+    static const std::vector<std::uint64_t> bounds = {
+        1'000,          2'000,          5'000,         10'000,
+        20'000,         50'000,         100'000,       200'000,
+        500'000,        1'000'000,      2'000'000,     5'000'000,
+        10'000'000,     20'000'000,     50'000'000,    100'000'000,
+        200'000'000,    500'000'000,    1'000'000'000, 2'000'000'000,
+        5'000'000'000,  10'000'000'000,
+    };
+    return bounds;
+}
+
+#else  // PVFP_OBS_DISABLED
+
+MetricsRegistry& registry() {
+    static MetricsRegistry instance;
+    return instance;
+}
+
+const std::vector<std::uint64_t>& latency_bounds_ns() {
+    static const std::vector<std::uint64_t> bounds = {1'000};
+    return bounds;
+}
+
+#endif  // PVFP_OBS_DISABLED
+
+}  // namespace pvfp::obs

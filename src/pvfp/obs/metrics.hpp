@@ -1,0 +1,245 @@
+#pragma once
+/// \file metrics.hpp
+/// pvfp::obs — low-overhead process-wide telemetry: a registry of named
+/// counters, gauges, and fixed-bucket histograms.
+///
+/// The system now spans a batch city runner, an always-on daemon, SIMD
+/// kernel tiers, and three caches; each grew its own ad-hoc stats
+/// struct, none of which can answer "what is the horizon-cache hit rate
+/// on this live run" without recompiling.  The MetricsRegistry gives
+/// every layer one place to account events, and one snapshot that
+/// covers the whole process.
+///
+/// Design constraints (in order):
+///  1. *The hot path must not serialize.*  Counter and histogram
+///     updates go to a lock-free per-thread shard (plain relaxed
+///     atomics the owning thread alone writes); snapshot() merges the
+///     shards under the registry mutex.  A dying thread folds its shard
+///     into a retired accumulator, so totals survive thread churn (the
+///     daemon spawns one dispatcher per session).
+///  2. *Zero cost when off.*  Every mutating call is gated on a single
+///     relaxed atomic bool — the runtime `PVFP_OBS` switch (env var at
+///     startup, set_enabled() programmatically) — and the whole layer
+///     compiles out under -DPVFP_OBS_DISABLED (macros and inline calls
+///     become empty; the symbols stay so callers never #ifdef).
+///  3. *Deterministic metrics stay deterministic.*  Counters are
+///     order-independent sums, so event counts that are a pure function
+///     of the workload (roofs processed, per-stage call counts, cache
+///     misses on a cold run) are bitwise thread-count-invariant in the
+///     snapshot.  Wall-clock data lives only in gauges and histogram
+///     sections, which the snapshot segregates so consumers (and the CI
+///     schema gate) can tell the two classes apart.
+///
+/// The snapshot JSON codec follows the gis/json writer conventions:
+/// fixed key order (sorted metric names inside fixed sections), fixed
+/// precision, strings escaped with gis::json_escape — equal telemetry
+/// produces equal bytes.
+///
+/// Telemetry never alters results: ranked/plan/JSONL output bytes are
+/// identical with the registry on or off (pinned by
+/// tests/gis/test_city_runner and the CI `obs` job).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pvfp::obs {
+
+class MetricsRegistry;
+
+/// Runtime master switch.  Initialized once from the PVFP_OBS
+/// environment variable ("0"/unset = off, anything else = on); flipped
+/// programmatically by the CLI --metrics-out/--trace-out flags.
+bool enabled();
+void set_enabled(bool on);
+
+#ifndef PVFP_OBS_DISABLED
+
+/// Handle on one named monotonic counter (index into the registry).
+/// Cheap to copy; valid for the registry's lifetime.
+class Counter {
+public:
+    Counter() = default;
+    /// Add \p n events; no-op when telemetry is disabled.
+    void add(std::uint64_t n = 1) const;
+
+private:
+    friend class MetricsRegistry;
+    Counter(MetricsRegistry* registry, int cell) noexcept
+        : registry_(registry), cell_(cell) {}
+    MetricsRegistry* registry_ = nullptr;
+    int cell_ = -1;
+};
+
+/// Handle on one named point-in-time gauge (last write wins).  Gauges
+/// carry wall-clock-ish state (queue depth, resident bytes) and are
+/// *not* covered by the determinism contract.
+class Gauge {
+public:
+    Gauge() = default;
+    void set(double value) const;
+
+private:
+    friend class MetricsRegistry;
+    explicit Gauge(std::atomic<double>* cell) noexcept : cell_(cell) {}
+    /// Stable address inside the registry (deque-backed, never moves).
+    std::atomic<double>* cell_ = nullptr;
+};
+
+/// Handle on one named fixed-bucket histogram.  Bucket upper bounds are
+/// fixed at registration; values past the last bound land in a final
+/// overflow bucket, so the layout (and the snapshot shape) never
+/// changes after registration.  Bucket *counts* of deterministic values
+/// are thread-count-invariant; latency histograms are wall-clock data.
+class HistogramHandle {
+public:
+    HistogramHandle() = default;
+    /// Record one sample (same unit as the registered bounds).
+    void record(std::uint64_t value) const;
+
+private:
+    friend class MetricsRegistry;
+    HistogramHandle(MetricsRegistry* registry, int first_cell,
+                    const std::uint64_t* bounds, int n_bounds) noexcept
+        : registry_(registry),
+          first_cell_(first_cell),
+          bounds_(bounds),
+          n_bounds_(n_bounds) {}
+    MetricsRegistry* registry_ = nullptr;
+    int first_cell_ = -1;  ///< first bucket cell; sum cell follows buckets
+    const std::uint64_t* bounds_ = nullptr;  ///< stable registry storage
+    int n_bounds_ = 0;
+};
+
+/// Merged view of one histogram at snapshot time.
+struct HistogramSnapshot {
+    std::string name;
+    std::vector<std::uint64_t> bounds;  ///< upper bounds, ascending
+    /// bounds.size() + 1 entries; the last is the overflow bucket.
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+};
+
+/// Merged view of the whole registry at one instant.
+struct MetricsSnapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;  ///< sorted
+    std::vector<std::pair<std::string, double>> gauges;           ///< sorted
+    std::vector<HistogramSnapshot> histograms;                    ///< sorted
+};
+
+/// The registry of every metric in the process.  One canonical global
+/// instance (registry()); construction of further instances is reserved
+/// for tests that need full isolation.
+class MetricsRegistry {
+public:
+    /// Opaque implementation types (defined in metrics.cpp); public in
+    /// name only so file-local helpers there can take them by reference.
+    struct Shard;
+    struct State;
+
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+    ~MetricsRegistry();
+
+    /// Find-or-register the named metric.  Idempotent by name; throws
+    /// InvalidArgument when the name is already registered with another
+    /// kind (or, for histograms, other bounds).  Registration is the
+    /// cold path (a mutex); typical call sites hold the handle in a
+    /// function-local static.
+    Counter counter(const std::string& name);
+    Gauge gauge(const std::string& name);
+    /// \p bounds: ascending, non-empty upper bucket bounds.
+    HistogramHandle histogram(const std::string& name,
+                              const std::vector<std::uint64_t>& bounds);
+
+    /// Merge every per-thread shard (live and retired) into one view.
+    /// Safe concurrently with updates; counter sums are exact for
+    /// events that happened-before the call.
+    MetricsSnapshot snapshot() const;
+
+    /// Serialize \p snapshot with fixed key order and precision:
+    /// {"counters":{...},"gauges":{...},"histograms":{...}} with names
+    /// sorted inside each section.  Equal snapshots give equal bytes.
+    static std::string to_json(const MetricsSnapshot& snapshot);
+
+    /// snapshot() + to_json() of this registry.
+    std::string snapshot_json() const;
+
+    /// Zero every metric (shards, retired totals, gauges).  Definitions
+    /// — and therefore previously issued handles, including the static
+    /// handles inside PVFP_TRACE_SPAN sites — stay valid.  Test-only:
+    /// callers must be quiescent (no concurrent updates).
+    void reset_for_tests();
+
+private:
+    friend class Counter;
+    friend class Gauge;
+    friend class HistogramHandle;
+
+    Shard& local_shard() const;
+    void retire_shard(Shard* shard) noexcept;
+
+    /// All registry state lives behind one pimpl so the header stays
+    /// free of container/mutex includes on the hot path.
+    State* state_ = nullptr;
+    State& state() const;
+};
+
+/// The process-wide registry (never destroyed: safe from thread_local
+/// destructors during shutdown).
+MetricsRegistry& registry();
+
+/// Exponential latency bucket bounds in nanoseconds, 1 us .. 10 s (the
+/// fixed layout every latency histogram in the tree shares).
+const std::vector<std::uint64_t>& latency_bounds_ns();
+
+#else  // PVFP_OBS_DISABLED: the whole layer compiles to nothing.
+
+class Counter {
+public:
+    void add(std::uint64_t = 1) const {}
+};
+class Gauge {
+public:
+    void set(double) const {}
+};
+class HistogramHandle {
+public:
+    void record(std::uint64_t) const {}
+};
+struct HistogramSnapshot {
+    std::string name;
+    std::vector<std::uint64_t> bounds;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+};
+struct MetricsSnapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+};
+class MetricsRegistry {
+public:
+    Counter counter(const std::string&) { return {}; }
+    Gauge gauge(const std::string&) { return {}; }
+    HistogramHandle histogram(const std::string&,
+                              const std::vector<std::uint64_t>&) {
+        return {};
+    }
+    MetricsSnapshot snapshot() const { return {}; }
+    static std::string to_json(const MetricsSnapshot&) {
+        return "{\"counters\":{},\"gauges\":{},\"histograms\":{}}";
+    }
+    std::string snapshot_json() const { return to_json({}); }
+    void reset_for_tests() {}
+};
+MetricsRegistry& registry();
+const std::vector<std::uint64_t>& latency_bounds_ns();
+
+#endif  // PVFP_OBS_DISABLED
+
+}  // namespace pvfp::obs

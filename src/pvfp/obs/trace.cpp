@@ -1,0 +1,178 @@
+#include "pvfp/obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "pvfp/gis/json.hpp"
+#include "pvfp/util/error.hpp"
+
+namespace pvfp::obs {
+
+namespace {
+
+std::atomic<bool>& trace_flag() {
+    static std::atomic<bool> flag = [] {
+        const char* env = std::getenv("PVFP_OBS_TRACE");
+        return env != nullptr && *env != '\0' &&
+               std::string_view(env) != "0";
+    }();
+    return flag;
+}
+
+}  // namespace
+
+bool trace_enabled() {
+    return trace_flag().load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) {
+    trace_flag().store(on, std::memory_order_relaxed);
+}
+
+#ifndef PVFP_OBS_DISABLED
+
+namespace {
+
+struct SpanRecord {
+    const char* name;
+    std::uint64_t begin_ns;
+    std::uint64_t end_ns;
+};
+
+/// One thread's span storage.  The owner writes the slot *before*
+/// publishing it via the release store on `count`; the exporter
+/// acquires `count` and reads only published slots, so slots are
+/// immutable once visible (no overwrite ring — full buffers drop).
+struct TraceBuffer {
+    static constexpr std::size_t kCapacity = 1 << 16;  // 64k spans/thread
+    std::vector<SpanRecord> slots{kCapacity};
+    std::atomic<std::uint64_t> count{0};
+    std::uint64_t tid = 0;  ///< first-seen order, 1-based
+};
+
+struct TraceState {
+    std::mutex mutex;
+    /// shared_ptr: buffers outlive their thread so the exporter can
+    /// still read spans from threads that already exited.
+    std::vector<std::shared_ptr<TraceBuffer>> buffers;
+    std::atomic<std::uint64_t> dropped{0};
+    /// Bumped by reset_trace_for_tests; stale thread-local buffers
+    /// re-register instead of resurrecting cleared spans.
+    std::atomic<std::uint64_t> epoch{0};
+};
+
+TraceState& trace_state() {
+    // Leaked for the same reason as the metrics registry: thread_local
+    // destructors may outlive function-local statics at shutdown.
+    static TraceState* state = new TraceState;
+    return *state;
+}
+
+struct LocalBuffer {
+    std::shared_ptr<TraceBuffer> buffer;
+    std::uint64_t epoch = 0;
+};
+
+TraceBuffer& local_buffer() {
+    thread_local LocalBuffer local;
+    TraceState& state = trace_state();
+    const std::uint64_t epoch = state.epoch.load(std::memory_order_relaxed);
+    if (local.buffer == nullptr || local.epoch != epoch) {
+        local.buffer = std::make_shared<TraceBuffer>();
+        local.epoch = epoch;
+        std::lock_guard<std::mutex> lock(state.mutex);
+        local.buffer->tid = state.buffers.size() + 1;
+        state.buffers.push_back(local.buffer);
+    }
+    return *local.buffer;
+}
+
+}  // namespace
+
+namespace detail {
+
+SpanSite::SpanSite(const char* name_literal)
+    : name(name_literal),
+      calls(registry().counter(std::string("span.") + name_literal)) {}
+
+std::uint64_t steady_now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void record_span(const SpanSite& site, std::uint64_t begin_ns,
+                 std::uint64_t end_ns) {
+    TraceBuffer& buffer = local_buffer();
+    const std::uint64_t n = buffer.count.load(std::memory_order_relaxed);
+    if (n >= TraceBuffer::kCapacity) {
+        trace_state().dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    buffer.slots[n] = SpanRecord{site.name, begin_ns, end_ns};
+    buffer.count.store(n + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+std::string chrome_trace_json() {
+    TraceState& state = trace_state();
+    std::vector<std::shared_ptr<TraceBuffer>> buffers;
+    {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        buffers = state.buffers;
+    }
+    std::string out = "{\"displayTimeUnit\":\"ms\",\"pvfp_dropped_spans\":";
+    out += std::to_string(dropped_spans());
+    out += ",\"traceEvents\":[";
+    bool first = true;
+    for (const auto& buffer : buffers) {
+        const std::uint64_t n = buffer->count.load(std::memory_order_acquire);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const SpanRecord& span = buffer->slots[i];
+            if (!first) out += ',';
+            first = false;
+            // Complete ("X") events: microsecond begin + duration, one
+            // pid for the process, tid in thread first-seen order.
+            out += "{\"name\":\"" + gis::json_escape(span.name) +
+                   "\",\"ph\":\"X\",\"ts\":" +
+                   std::to_string(span.begin_ns / 1000) + ",\"dur\":" +
+                   std::to_string((span.end_ns - span.begin_ns) / 1000) +
+                   ",\"pid\":1,\"tid\":" + std::to_string(buffer->tid) + "}";
+        }
+    }
+    out += "]}";
+    return out;
+}
+
+std::uint64_t dropped_spans() {
+    return trace_state().dropped.load(std::memory_order_relaxed);
+}
+
+void reset_trace_for_tests() {
+    TraceState& state = trace_state();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.buffers.clear();
+    state.dropped.store(0, std::memory_order_relaxed);
+    state.epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+#endif  // PVFP_OBS_DISABLED
+
+void write_chrome_trace(const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    check_io(out.good(), "obs: cannot open trace output '" + path + "'");
+    const std::string json = chrome_trace_json();
+    out.write(json.data(), static_cast<std::streamsize>(json.size()));
+    out.put('\n');
+    check_io(out.good(), "obs: failed writing trace output '" + path + "'");
+}
+
+}  // namespace pvfp::obs

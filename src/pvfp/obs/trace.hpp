@@ -1,0 +1,125 @@
+#pragma once
+/// \file trace.hpp
+/// pvfp::obs — scoped trace spans with Chrome trace-event export.
+///
+/// `PVFP_TRACE_SPAN("prepare_scenario")` at the top of a scope records
+/// one complete event (begin timestamp + duration) into a per-thread
+/// buffer when tracing is on.  chrome_trace_json() serializes every
+/// buffered span as Chrome trace-event JSON — load the file in Perfetto
+/// (https://ui.perfetto.dev) or chrome://tracing to see the per-roof /
+/// per-request timeline.
+///
+/// Two deliberate asymmetries with the metrics layer:
+///  - Each span site also owns a deterministic `span.<name>` *counter*
+///    in the global MetricsRegistry, incremented whenever telemetry is
+///    enabled (obs::enabled()), even when span *timing* is off.  Call
+///    counts are a pure function of the workload and thread-count
+///    invariant; timestamps are wall clock and live only in the trace.
+///  - Span buffers drop new events when full instead of overwriting:
+///    published slots are immutable, so concurrent export never reads a
+///    half-written record (TSan-clean by construction).  The drop count
+///    is reported in the export.
+///
+/// Tracing never alters results: enabling it must not change ranked /
+/// plan / JSONL bytes (pinned by the CI `obs` job).
+
+#include <cstdint>
+#include <string>
+
+#include "pvfp/obs/metrics.hpp"
+
+namespace pvfp::obs {
+
+/// Span-timing switch, independent of the metrics switch (enabled()):
+/// timing costs a clock read per span, so callers opt in separately
+/// (--trace-out sets both).  Initialized from PVFP_OBS_TRACE.
+bool trace_enabled();
+void set_trace_enabled(bool on);
+
+#ifndef PVFP_OBS_DISABLED
+
+namespace detail {
+
+/// Per-site registration (one per PVFP_TRACE_SPAN literal): interns the
+/// name and the deterministic call counter once, at first execution.
+struct SpanSite {
+    explicit SpanSite(const char* name);
+    const char* name;
+    Counter calls;  ///< `span.<name>` in the global registry
+};
+
+/// Record one complete span for this thread.  \p begin_ns / \p end_ns
+/// come from the steady clock; conversion to trace-event microseconds
+/// happens at export.
+void record_span(const SpanSite& site, std::uint64_t begin_ns,
+                 std::uint64_t end_ns);
+
+std::uint64_t steady_now_ns();
+
+}  // namespace detail
+
+/// RAII span: counts the call on entry (when enabled()), records the
+/// timed event on exit (when trace_enabled()).
+class ScopedSpan {
+public:
+    explicit ScopedSpan(const detail::SpanSite& site) : site_(&site) {
+        if (enabled()) site.calls.add();
+        if (trace_enabled()) begin_ns_ = detail::steady_now_ns();
+    }
+    ~ScopedSpan() {
+        if (begin_ns_ != 0)
+            detail::record_span(*site_, begin_ns_, detail::steady_now_ns());
+    }
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+private:
+    const detail::SpanSite* site_;
+    std::uint64_t begin_ns_ = 0;  ///< 0 = timing off for this span
+};
+
+/// Serialize every buffered span as Chrome trace-event JSON (complete
+/// "ph":"X" events, microsecond timestamps, one tid per recording
+/// thread in first-seen order).  Deterministic key order; the wrapper
+/// object carries the drop count under "pvfp_dropped_spans".
+std::string chrome_trace_json();
+
+/// chrome_trace_json() to \p path (throws IoError on failure).
+void write_chrome_trace(const std::string& path);
+
+/// Spans dropped because a thread buffer was full.
+std::uint64_t dropped_spans();
+
+/// Drop every buffered span and the drop count.  Test-only; callers
+/// must be quiescent.
+void reset_trace_for_tests();
+
+#define PVFP_OBS_CONCAT2(a, b) a##b
+#define PVFP_OBS_CONCAT(a, b) PVFP_OBS_CONCAT2(a, b)
+
+/// Trace the enclosing scope as one named span.  \p name_literal must
+/// be a string literal (it is interned by pointer at first execution).
+#define PVFP_TRACE_SPAN(name_literal)                                    \
+    static const ::pvfp::obs::detail::SpanSite PVFP_OBS_CONCAT(          \
+        pvfp_span_site_, __LINE__){name_literal};                        \
+    ::pvfp::obs::ScopedSpan PVFP_OBS_CONCAT(pvfp_span_,                  \
+                                            __LINE__)(PVFP_OBS_CONCAT(  \
+        pvfp_span_site_, __LINE__))
+
+#else  // PVFP_OBS_DISABLED: spans compile to nothing.
+
+inline std::string chrome_trace_json() {
+    return "{\"displayTimeUnit\":\"ms\",\"pvfp_dropped_spans\":0,"
+           "\"traceEvents\":[]}";
+}
+void write_chrome_trace(const std::string& path);
+inline std::uint64_t dropped_spans() { return 0; }
+inline void reset_trace_for_tests() {}
+
+#define PVFP_TRACE_SPAN(name_literal) \
+    do {                              \
+    } while (false)
+
+#endif  // PVFP_OBS_DISABLED
+
+}  // namespace pvfp::obs

@@ -27,7 +27,8 @@ Request parse_request(const std::string& line) {
         request.feeder = v.at("feeder").as_string();
         check_io(!request.feeder.empty(), "grid_rank: empty feeder id");
     } else if (request.op != "rank" && request.op != "status" &&
-               request.op != "reload" && request.op != "quit") {
+               request.op != "metrics" && request.op != "reload" &&
+               request.op != "quit") {
         throw IoError("unknown op '" + request.op + "'");
     }
     return request;

@@ -16,7 +16,16 @@
 ///       Re-rank feeder F's attached roofs under its shared export cap
 ///       (grid::sequential_place restricted to F against the resident
 ///       yields): the placement objects reuse the plan-JSONL bytes.
-///   {"op":"status"}   daemon identity: registry/tile counts, config.
+///   {"op":"status"}   daemon identity (registry/tile counts, config)
+///                     plus per-cache resident byte accounting
+///                     (tiles/sky/prepared/horizon).  Executed as a
+///                     serial barrier so the accounting is a pure
+///                     function of the preceding request sequence.
+///   {"op":"metrics"}  pvfp::obs registry snapshot (counters, gauges,
+///                     latency histograms) + trace drop count.  The one
+///                     op whose response carries wall-clock data and is
+///                     therefore *excluded* from the replay byte
+///                     contract below.
 ///   {"op":"reload"}   re-read the footprint index from disk; edited
 ///                     roofs rebuild on their next request.
 ///   {"op":"quit"}     acknowledge and shut the session down.
@@ -25,7 +34,9 @@
 /// index, and `"status":"ok"` or `"status":"error","error":...`.
 /// Response bytes are a pure function of the request sequence (never of
 /// scheduling, cache hits, or wall clock), which is what lets --replay
-/// reproduce a logged session byte-for-byte at any thread count.
+/// reproduce a logged session byte-for-byte at any thread count.  Sole
+/// exception: `metrics` responses (latency data is wall clock by
+/// nature); streams compared byte-for-byte must not include them.
 ///
 /// The request log wraps each raw request line as
 /// {"seq":N,"request":"<escaped line>"} so a torn tail write is
@@ -41,7 +52,7 @@ namespace pvfp::serve {
 
 /// A parsed request line.
 struct Request {
-    std::string op;  ///< rank | plan | grid_rank | status | reload | quit
+    std::string op;  ///< rank|plan|grid_rank|status|metrics|reload|quit
     std::string id;  ///< roof id (rank, plan)
     std::string feeder;  ///< feeder id (grid_rank)
     int series = 0;      ///< plan

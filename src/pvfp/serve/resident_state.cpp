@@ -399,7 +399,7 @@ ResidentStats ResidentState::stats() const {
     {
         std::lock_guard<std::mutex> lock(mutex_);
         s.entries = entries_.size();
-        s.resident_bytes = entry_bytes_;
+        s.prepared_bytes = entry_bytes_;
         s.hits = hits_;
         s.misses = misses_;
         s.evictions = evictions_;
@@ -409,10 +409,12 @@ ResidentStats ResidentState::stats() const {
         std::lock_guard<std::mutex> lock(sky_mutex_);
         s.sky_artifacts = sky_cache_.size();
         for (const auto& [key, sky] : sky_cache_)
-            s.resident_bytes += sky_artifact_bytes(*sky);
+            s.sky_bytes += sky_artifact_bytes(*sky);
     }
+    s.resident_bytes = s.prepared_bytes + s.sky_bytes;
     s.tile_cache_hits = tile_cache_.hits();
     s.tile_cache_misses = tile_cache_.misses();
+    s.tile_cache_bytes = tile_cache_.bytes();
     if (horizon_cache_) {
         const gis::HorizonCacheStats hs = horizon_cache_->stats();
         s.horizon_cache_hits = hs.hits + hs.joins;

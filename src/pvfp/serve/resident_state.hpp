@@ -96,7 +96,12 @@ struct PreparedRoof {
 /// quiescent).
 struct ResidentStats {
     std::size_t entries = 0;         ///< resident PreparedRoofs
-    std::size_t resident_bytes = 0;  ///< entries + sky artifacts
+    /// Aggregate: prepared + sky + horizon bytes (the budget's view).
+    std::size_t resident_bytes = 0;
+    /// Per-cache byte accounting (status op: tiles/sky/prepared/horizon).
+    std::size_t tile_cache_bytes = 0;  ///< decoded tiles (outside budget)
+    std::size_t sky_bytes = 0;         ///< resident sky artifacts
+    std::size_t prepared_bytes = 0;    ///< resident PreparedRoof buffers
     std::size_t sky_artifacts = 0;   ///< distinct resident sites
     std::size_t hits = 0;            ///< served without building
     std::size_t misses = 0;          ///< builds initiated

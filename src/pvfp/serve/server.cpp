@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <istream>
@@ -14,6 +15,8 @@
 #include "pvfp/gis/json.hpp"
 #include "pvfp/gis/jsonl.hpp"
 #include "pvfp/grid/sequential_place.hpp"
+#include "pvfp/obs/metrics.hpp"
+#include "pvfp/obs/trace.hpp"
 #include "pvfp/serve/protocol.hpp"
 #include "pvfp/util/atomic_queue.hpp"
 #include "pvfp/util/error.hpp"
@@ -35,6 +38,41 @@ std::string num(double v, int decimals) {
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
     return buf;
+}
+
+/// Per-op request counter + latency histogram.  One static pair per op
+/// (magic-statics init), so the steady-state request path never takes
+/// the registry's registration mutex.
+struct OpMetrics {
+    obs::Counter requests;
+    obs::HistogramHandle latency;
+};
+
+OpMetrics make_op_metrics(const char* op) {
+    obs::MetricsRegistry& reg = obs::registry();
+    return OpMetrics{
+        reg.counter(std::string("serve.requests.") + op),
+        reg.histogram(std::string("serve.latency_ns.") + op,
+                      obs::latency_bounds_ns())};
+}
+
+const OpMetrics& op_metrics(const std::string& op) {
+    static const OpMetrics rank = make_op_metrics("rank");
+    static const OpMetrics grid_rank = make_op_metrics("grid_rank");
+    static const OpMetrics plan = make_op_metrics("plan");
+    static const OpMetrics status = make_op_metrics("status");
+    static const OpMetrics metrics = make_op_metrics("metrics");
+    static const OpMetrics reload = make_op_metrics("reload");
+    static const OpMetrics quit = make_op_metrics("quit");
+    static const OpMetrics parse_error = make_op_metrics("parse_error");
+    if (op == "rank") return rank;
+    if (op == "grid_rank") return grid_rank;
+    if (op == "plan") return plan;
+    if (op == "status") return status;
+    if (op == "metrics") return metrics;
+    if (op == "reload") return reload;
+    if (op == "quit") return quit;
+    return parse_error;
 }
 
 }  // namespace
@@ -119,6 +157,20 @@ gis::RoofResult Server::rank_result(const std::string& roof_id) {
 }
 
 std::string Server::respond(const Item& item) {
+    if (!obs::enabled()) return respond_payload(item);
+    const OpMetrics& om =
+        op_metrics(item.parse_ok ? item.request.op : "parse_error");
+    om.requests.add();
+    const auto begin = std::chrono::steady_clock::now();
+    std::string response = respond_payload(item);
+    om.latency.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - begin)
+            .count()));
+    return response;
+}
+
+std::string Server::respond_payload(const Item& item) {
     if (!item.parse_ok)
         return error_response(item.seq, "error", "", item.error);
     const Request& request = item.request;
@@ -212,10 +264,15 @@ std::string Server::respond(const Item& item) {
             return out;
         }
         if (request.op == "status") {
-            // Deterministic identity only — never cache statistics or
-            // timings, which would differ between live and replay.
+            // Identity plus per-cache resident byte accounting.  status
+            // executes as a serial barrier, so the accounting is a pure
+            // function of the preceding request sequence — live at any
+            // thread count and replay agree byte for byte (as long as
+            // the budget is not forcing evictions mid-race; the CI
+            // fixtures keep ample budgets).  Never timings or rates.
             const std::shared_ptr<const gis::RoofRegistry> registry =
                 state_->registry();
+            const ResidentStats rs = state_->stats();
             std::string out = ok_envelope(item.seq, "status");
             out += ",\"status\":\"ok\",\"protocol\":1";
             out += ",\"roofs\":" + std::to_string(registry->size());
@@ -231,6 +288,22 @@ std::string Server::respond(const Item& item) {
             }
             out += "],\"memory_budget_mb\":" +
                    std::to_string(config.memory_budget_bytes >> 20);
+            out += ",\"resident_bytes\":{\"tiles\":" +
+                   std::to_string(rs.tile_cache_bytes);
+            out += ",\"sky\":" + std::to_string(rs.sky_bytes);
+            out += ",\"prepared\":" + std::to_string(rs.prepared_bytes);
+            out += ",\"horizon\":" +
+                   std::to_string(rs.horizon_cache_bytes) + "}";
+            out += '}';
+            return out;
+        }
+        if (request.op == "metrics") {
+            export_resident_metrics();
+            std::string out = ok_envelope(item.seq, "metrics");
+            out += ",\"status\":\"ok\"";
+            out += ",\"metrics\":" + obs::registry().snapshot_json();
+            out += ",\"dropped_spans\":" +
+                   std::to_string(obs::dropped_spans());
             out += '}';
             return out;
         }
@@ -250,6 +323,46 @@ std::string Server::respond(const Item& item) {
     } catch (const std::exception& e) {
         return error_response(item.seq, request.op, request.id, e.what());
     }
+}
+
+void Server::export_resident_metrics() {
+    if (!obs::enabled()) return;
+    const ResidentStats now = state_->stats();
+    obs::MetricsRegistry& reg = obs::registry();
+    const auto fold = [&](const char* name, std::size_t total,
+                          std::size_t exported) {
+        if (total > exported)
+            reg.counter(name).add(
+                static_cast<std::uint64_t>(total - exported));
+    };
+    fold("serve.resident.hits", now.hits, obs_exported_.hits);
+    fold("serve.resident.misses", now.misses, obs_exported_.misses);
+    fold("serve.resident.evictions", now.evictions,
+         obs_exported_.evictions);
+    fold("serve.resident.invalidations", now.invalidations,
+         obs_exported_.invalidations);
+    fold("serve.tile_cache.hits", now.tile_cache_hits,
+         obs_exported_.tile_cache_hits);
+    fold("serve.tile_cache.misses", now.tile_cache_misses,
+         obs_exported_.tile_cache_misses);
+    fold("serve.horizon_cache.hits", now.horizon_cache_hits,
+         obs_exported_.horizon_cache_hits);
+    fold("serve.horizon_cache.misses", now.horizon_cache_misses,
+         obs_exported_.horizon_cache_misses);
+    fold("serve.horizon_cache.evictions", now.horizon_cache_evictions,
+         obs_exported_.horizon_cache_evictions);
+    reg.gauge("serve.resident.entries")
+        .set(static_cast<double>(now.entries));
+    reg.gauge("serve.resident.sky_artifacts")
+        .set(static_cast<double>(now.sky_artifacts));
+    reg.gauge("serve.bytes.tiles")
+        .set(static_cast<double>(now.tile_cache_bytes));
+    reg.gauge("serve.bytes.sky").set(static_cast<double>(now.sky_bytes));
+    reg.gauge("serve.bytes.prepared")
+        .set(static_cast<double>(now.prepared_bytes));
+    reg.gauge("serve.bytes.horizon")
+        .set(static_cast<double>(now.horizon_cache_bytes));
+    obs_exported_ = now;
 }
 
 bool Server::serve(std::istream& in, std::ostream& out) {
@@ -287,17 +400,25 @@ bool Server::serve(std::istream& in, std::ostream& out) {
         bool stop = false;
         while (!stop) {
             Item item = queue.pop();
+            if (obs::enabled()) {
+                static const obs::Gauge depth =
+                    obs::registry().gauge("serve.queue_depth");
+                depth.set(static_cast<double>(queue.approx_size()));
+            }
             for (;;) {
                 if (item.stop) {
                     stop = true;
                     break;
                 }
-                // Ops that mutate shared state execute as serial
-                // barriers between batches, so every request sees a
-                // registry state determined by arrival order alone.
+                // Ops that mutate shared state (reload, quit) — or
+                // observe it (status byte accounting, metrics) —
+                // execute as serial barriers between batches, so every
+                // request sees state determined by arrival order alone.
                 const bool barrier =
                     item.parse_ok && (item.request.op == "reload" ||
-                                      item.request.op == "quit");
+                                      item.request.op == "quit" ||
+                                      item.request.op == "status" ||
+                                      item.request.op == "metrics");
                 if (barrier) {
                     flush();
                     out << respond(item) << '\n';

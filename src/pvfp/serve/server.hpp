@@ -12,11 +12,13 @@
 /// fan-out otherwise — the run_city policy), writing responses strictly
 /// in arrival order.  Because every response byte is a pure function of
 /// the request sequence — per-roof results are bitwise thread-count
-/// independent, and ops that mutate shared state (reload, quit) run as
-/// serial barriers — a live session at 8 threads, a live session at 1
-/// thread, and a --replay of the logged session all produce identical
-/// bytes.  That extends the repo's determinism contract from batch
-/// outputs to the serving plane and gives load tests an exact oracle.
+/// independent, and ops that mutate or observe shared state (reload,
+/// quit, status, metrics) run as serial barriers — a live session at 8
+/// threads, a live session at 1 thread, and a --replay of the logged
+/// session all produce identical bytes (metrics responses excepted:
+/// they carry wall-clock data by design).  That extends the repo's
+/// determinism contract from batch outputs to the serving plane and
+/// gives load tests an exact oracle.
 ///
 /// Hot state (tiles, per-site sky artifacts, prepared roofs) lives in
 /// ResidentState and persists across sessions/connections: the first
@@ -90,8 +92,17 @@ private:
 
     /// Compute the response line for one parsed item (no newline).
     /// Deterministic per (seq, request, registry state); never throws.
+    /// Wraps respond_payload with per-op telemetry (request counter and
+    /// latency histogram) when obs is enabled — the payload bytes are
+    /// identical either way.
     std::string respond(const Item& item);
+    std::string respond_payload(const Item& item);
     Item make_item(long seq, const std::string& raw_line) const;
+    /// Fold resident-state/cache stats into the obs registry: byte
+    /// totals as gauges, event totals as counters fed the delta since
+    /// the last export (tracked in obs_exported_).  Runs under the
+    /// metrics op's barrier serialization.
+    void export_resident_metrics();
     /// One roof's rank payload: the run_city record shape, errors
     /// captured in the record (shared by rank and grid_rank).
     gis::RoofResult rank_result(const std::string& roof_id);
@@ -101,6 +112,10 @@ private:
     std::unique_ptr<ResidentState> state_;
     std::unique_ptr<std::ofstream> log_;
     long seq_ = 0;
+    /// ResidentStats totals already folded into the obs registry; the
+    /// next `metrics` op adds only the delta (counters stay monotonic
+    /// across repeated snapshots).  Barrier-serial, so unsynchronized.
+    ResidentStats obs_exported_{};
 };
 
 }  // namespace pvfp::serve

@@ -124,6 +124,16 @@ public:
         }
     }
 
+    /// Approximate buffered items (pushed minus popped): exact when
+    /// quiescent, a racy-but-consistent estimate under traffic — enough
+    /// for the telemetry queue-depth gauge.
+    std::size_t approx_size() const {
+        const std::uint64_t pushed = pushed_.load(std::memory_order_acquire);
+        const std::uint64_t popped = popped_.load(std::memory_order_acquire);
+        return pushed >= popped ? static_cast<std::size_t>(pushed - popped)
+                                : 0;
+    }
+
     /// Dequeue, sleeping (atomic wait, no mutex) while the ring is empty.
     T pop() {
         T out;

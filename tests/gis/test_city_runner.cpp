@@ -16,6 +16,8 @@
 #include "pvfp/gis/horizon_cache.hpp"
 #include "pvfp/gis/json.hpp"
 #include "pvfp/gis/jsonl.hpp"
+#include "pvfp/obs/metrics.hpp"
+#include "pvfp/obs/trace.hpp"
 #include "pvfp/util/csv.hpp"
 #include "pvfp/util/error.hpp"
 #include "pvfp/util/math.hpp"
@@ -161,6 +163,58 @@ TEST(CityRunner, BitwiseIdenticalAcrossThreadCounts) {
 
     ASSERT_FALSE(one.empty());
     EXPECT_EQ(one, eight);
+}
+
+/// The observability contract end to end: turning the full telemetry
+/// stack on (metrics + span timing) must not perturb a single output
+/// byte, and the deterministic counters it produces must be identical
+/// across thread counts.
+TEST(CityRunner, TelemetryOnOffAndThreadCountsGiveSameBytes) {
+    const SmallCity city("run_obs");
+    CityRunOptions options = city.fast_options(city.dir + "/off.jsonl");
+
+    const bool was_enabled = obs::enabled();
+    const bool was_trace = obs::trace_enabled();
+    obs::set_enabled(false);
+    obs::set_trace_enabled(false);
+    (void)run_city(city.tiles, city.registry, options);
+    const std::string off = read_file(options.jsonl_path);
+
+    const auto run_with_obs = [&](const std::string& jsonl, int threads) {
+        obs::registry().reset_for_tests();
+        obs::reset_trace_for_tests();
+        obs::set_enabled(true);
+        obs::set_trace_enabled(true);
+        set_thread_count(threads);
+        options.jsonl_path = jsonl;
+        (void)run_city(city.tiles, city.registry, options);
+        set_thread_count(0);
+        std::string counters;
+        for (const auto& [name, value] :
+             obs::registry().snapshot().counters)
+            counters += name + "=" + std::to_string(value) + "\n";
+        return std::make_pair(read_file(jsonl), counters);
+    };
+    const auto [on1, counters1] = run_with_obs(city.dir + "/on1.jsonl", 1);
+    const auto [on8, counters8] = run_with_obs(city.dir + "/on8.jsonl", 8);
+    obs::registry().reset_for_tests();
+    obs::reset_trace_for_tests();
+    obs::set_enabled(was_enabled);
+    obs::set_trace_enabled(was_trace);
+
+    ASSERT_FALSE(off.empty());
+    EXPECT_EQ(off, on1);   // telemetry on/off: same bytes
+    EXPECT_EQ(on1, on8);   // and thread-count invariant as ever
+
+#ifndef PVFP_OBS_DISABLED
+    // The full deterministic counter set — every span.* call count and
+    // every city.* event counter — is bitwise thread-count-invariant.
+    EXPECT_EQ(counters1, counters8);
+    EXPECT_NE(counters1.find("city.roofs_processed=9"), std::string::npos)
+        << counters1;
+    EXPECT_NE(counters1.find("span.city.roof=9"), std::string::npos)
+        << counters1;
+#endif
 }
 
 TEST(CityRunner, SharedSkyEqualsPerRoofRegeneration) {

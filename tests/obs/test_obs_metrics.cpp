@@ -1,0 +1,273 @@
+/// Tests for pvfp/obs/metrics: the lock-free sharded registry, the
+/// fixed-order JSON codec, the runtime enable gate, and the
+/// thread-count invariance of deterministic counters — the contract the
+/// CI `obs` job leans on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pvfp/gis/json.hpp"
+#include "pvfp/obs/metrics.hpp"
+#include "pvfp/util/error.hpp"
+#include "pvfp/util/parallel.hpp"
+
+namespace pvfp::obs {
+namespace {
+
+#ifndef PVFP_OBS_DISABLED
+
+/// Every test runs with telemetry forced on against a private registry
+/// (full isolation from the global one), and restores the switch.
+class ObsMetrics : public ::testing::Test {
+protected:
+    void SetUp() override {
+        was_enabled_ = enabled();
+        set_enabled(true);
+    }
+    void TearDown() override { set_enabled(was_enabled_); }
+
+    MetricsRegistry reg_;
+
+private:
+    bool was_enabled_ = false;
+};
+
+std::uint64_t counter_value(const MetricsSnapshot& snap,
+                            const std::string& name) {
+    for (const auto& [n, v] : snap.counters)
+        if (n == name) return v;
+    ADD_FAILURE() << "counter '" << name << "' not in snapshot";
+    return 0;
+}
+
+TEST_F(ObsMetrics, CounterAccumulatesAndSnapshotReads) {
+    Counter c = reg_.counter("test.events");
+    c.add();
+    c.add(41);
+    EXPECT_EQ(counter_value(reg_.snapshot(), "test.events"), 42u);
+}
+
+TEST_F(ObsMetrics, RegistrationIsIdempotentByName) {
+    Counter a = reg_.counter("test.same");
+    Counter b = reg_.counter("test.same");
+    a.add(1);
+    b.add(2);  // same cell: both handles feed one metric
+    EXPECT_EQ(counter_value(reg_.snapshot(), "test.same"), 3u);
+    EXPECT_EQ(reg_.snapshot().counters.size(), 1u);
+}
+
+TEST_F(ObsMetrics, KindCollisionThrows) {
+    reg_.counter("test.kind");
+    EXPECT_THROW(reg_.gauge("test.kind"), InvalidArgument);
+    EXPECT_THROW(reg_.histogram("test.kind", {1, 2}), InvalidArgument);
+    reg_.histogram("test.hist", {1, 2});
+    EXPECT_THROW(reg_.counter("test.hist"), InvalidArgument);
+    EXPECT_THROW(reg_.histogram("test.hist", {1, 2, 3}), InvalidArgument);
+    EXPECT_THROW(reg_.histogram("test.bad", {}), InvalidArgument);
+    EXPECT_THROW(reg_.histogram("test.bad", {5, 5}), InvalidArgument);
+    EXPECT_THROW(reg_.histogram("test.bad", {5, 2}), InvalidArgument);
+}
+
+TEST_F(ObsMetrics, GaugeLastWriteWins) {
+    Gauge g = reg_.gauge("test.depth");
+    g.set(3.0);
+    g.set(1.5);
+    const MetricsSnapshot snap = reg_.snapshot();
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_EQ(snap.gauges[0].first, "test.depth");
+    EXPECT_DOUBLE_EQ(snap.gauges[0].second, 1.5);
+}
+
+TEST_F(ObsMetrics, HistogramBucketsByUpperBoundWithOverflow) {
+    HistogramHandle h = reg_.histogram("test.lat", {10, 100, 1000});
+    h.record(5);     // <= 10        -> bucket 0
+    h.record(10);    // <= 10        -> bucket 0 (bounds are inclusive)
+    h.record(11);    // <= 100       -> bucket 1
+    h.record(1000);  // <= 1000      -> bucket 2
+    h.record(5000);  // past the end -> overflow bucket 3
+    const MetricsSnapshot snap = reg_.snapshot();
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    const HistogramSnapshot& hs = snap.histograms[0];
+    EXPECT_EQ(hs.name, "test.lat");
+    EXPECT_EQ(hs.bounds, (std::vector<std::uint64_t>{10, 100, 1000}));
+    EXPECT_EQ(hs.buckets, (std::vector<std::uint64_t>{2, 1, 1, 1}));
+    EXPECT_EQ(hs.count, 5u);
+    EXPECT_EQ(hs.sum, 5u + 10 + 11 + 1000 + 5000);
+}
+
+TEST_F(ObsMetrics, DisabledSwitchDropsUpdates) {
+    Counter c = reg_.counter("test.gated");
+    Gauge g = reg_.gauge("test.gated_gauge");
+    HistogramHandle h = reg_.histogram("test.gated_hist", {10});
+    set_enabled(false);
+    c.add(7);
+    g.set(9.0);
+    h.record(3);
+    set_enabled(true);
+    const MetricsSnapshot snap = reg_.snapshot();
+    EXPECT_EQ(counter_value(snap, "test.gated"), 0u);
+    EXPECT_DOUBLE_EQ(snap.gauges[0].second, 0.0);
+    EXPECT_EQ(snap.histograms[0].count, 0u);
+}
+
+TEST_F(ObsMetrics, DefaultConstructedHandlesAreInertNoops) {
+    Counter c;
+    Gauge g;
+    HistogramHandle h;
+    c.add(5);
+    g.set(1.0);
+    h.record(2);  // must not crash or register anything
+    EXPECT_TRUE(reg_.snapshot().counters.empty());
+}
+
+TEST_F(ObsMetrics, CountsSurviveThreadChurn) {
+    Counter c = reg_.counter("test.churn");
+    for (int t = 0; t < 8; ++t) {
+        std::thread worker([&] { c.add(10); });
+        worker.join();  // shard retires; total must fold, not vanish
+    }
+    EXPECT_EQ(counter_value(reg_.snapshot(), "test.churn"), 80u);
+}
+
+TEST_F(ObsMetrics, ConcurrentAddsSumExactly) {
+    Counter c = reg_.counter("test.race");
+    HistogramHandle h = reg_.histogram("test.race_hist", {100});
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t)
+        workers.emplace_back([&] {
+            for (int i = 0; i < 10'000; ++i) {
+                c.add();
+                h.record(static_cast<std::uint64_t>(i % 7));
+            }
+        });
+    for (std::thread& w : workers) w.join();
+    const MetricsSnapshot snap = reg_.snapshot();
+    EXPECT_EQ(counter_value(snap, "test.race"), 40'000u);
+    EXPECT_EQ(snap.histograms[0].count, 40'000u);
+}
+
+/// The invariance the obs design doc promises: counters that account a
+/// deterministic workload are bitwise identical across thread counts.
+TEST_F(ObsMetrics, DeterministicCountersAreThreadCountInvariant) {
+    const auto run_workload = [&](const std::string& prefix) {
+        Counter items = reg_.counter(prefix + ".items");
+        HistogramHandle sizes =
+            reg_.histogram(prefix + ".sizes", {8, 64, 512});
+        parallel_for(0, 1000, 16, [&](long begin, long end) {
+            for (long i = begin; i < end; ++i) {
+                items.add();
+                sizes.record(static_cast<std::uint64_t>((i * 37) % 700));
+            }
+        });
+    };
+    const int saved = thread_count();
+    set_thread_count(1);
+    run_workload("t1");
+    set_thread_count(4);
+    run_workload("t4");
+    set_thread_count(saved);
+
+    const MetricsSnapshot snap = reg_.snapshot();
+    EXPECT_EQ(counter_value(snap, "t1.items"), counter_value(snap,
+                                                             "t4.items"));
+    ASSERT_EQ(snap.histograms.size(), 2u);
+    EXPECT_EQ(snap.histograms[0].buckets, snap.histograms[1].buckets);
+    EXPECT_EQ(snap.histograms[0].sum, snap.histograms[1].sum);
+}
+
+TEST_F(ObsMetrics, ResetZeroesValuesButKeepsDefinitionsAndHandles) {
+    Counter c = reg_.counter("test.reset");
+    Gauge g = reg_.gauge("test.reset_gauge");
+    c.add(5);
+    g.set(2.0);
+    reg_.reset_for_tests();
+    MetricsSnapshot snap = reg_.snapshot();
+    EXPECT_EQ(counter_value(snap, "test.reset"), 0u);  // definition kept
+    EXPECT_DOUBLE_EQ(snap.gauges[0].second, 0.0);
+    // Handles issued before the reset keep working afterwards.
+    c.add(3);
+    g.set(4.0);
+    snap = reg_.snapshot();
+    EXPECT_EQ(counter_value(snap, "test.reset"), 3u);
+    EXPECT_DOUBLE_EQ(snap.gauges[0].second, 4.0);
+}
+
+TEST_F(ObsMetrics, JsonHasFixedSectionOrderAndSortedNames) {
+    reg_.counter("b.count").add(2);
+    reg_.counter("a.count").add(1);
+    reg_.gauge("z.gauge").set(0.5);
+    reg_.histogram("m.hist", {10, 20}).record(15);
+    const std::string json = reg_.snapshot_json();
+
+    // Byte-stable prefix: the three sections in fixed order, counter
+    // names sorted.
+    EXPECT_EQ(json.find("{\"counters\":{\"a.count\":1,\"b.count\":2}"), 0u);
+    EXPECT_NE(json.find("\"gauges\":{\"z.gauge\":0.500000}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"histograms\":{\"m.hist\":{\"count\":1,"
+                        "\"sum\":15,\"bounds\":[10,20],"
+                        "\"buckets\":[0,1,0]}}"),
+              std::string::npos);
+
+    // And it parses as strict JSON with the expected shape.
+    const gis::JsonValue doc = gis::JsonValue::parse(json);
+    const auto& top = doc.as_object();
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0].first, "counters");
+    EXPECT_EQ(top[1].first, "gauges");
+    EXPECT_EQ(top[2].first, "histograms");
+    EXPECT_EQ(doc.at("counters").at("a.count").as_number(), 1.0);
+    EXPECT_EQ(doc.at("histograms").at("m.hist").at("buckets")
+                  .as_array().size(), 3u);
+}
+
+TEST_F(ObsMetrics, EqualTelemetryGivesEqualJsonBytes) {
+    MetricsRegistry other;
+    for (MetricsRegistry* r : {&reg_, &other}) {
+        r->counter("x.n").add(3);
+        r->gauge("x.g").set(1.25);
+        r->histogram("x.h", {5}).record(4);
+    }
+    EXPECT_EQ(reg_.snapshot_json(), other.snapshot_json());
+}
+
+TEST_F(ObsMetrics, LatencyBoundsAreAscendingAndSpanMicroToSeconds) {
+    const std::vector<std::uint64_t>& bounds = latency_bounds_ns();
+    ASSERT_FALSE(bounds.empty());
+    EXPECT_EQ(bounds.front(), 1'000u);  // 1 us
+    EXPECT_EQ(bounds.back(), 10'000'000'000u);  // 10 s
+    for (std::size_t i = 1; i < bounds.size(); ++i)
+        EXPECT_LT(bounds[i - 1], bounds[i]);
+}
+
+TEST(ObsMetricsGlobal, GlobalRegistrySingletonAndEnvGate) {
+    EXPECT_EQ(&registry(), &registry());
+    // enabled() honours set_enabled in both directions.
+    const bool was = enabled();
+    set_enabled(true);
+    EXPECT_TRUE(enabled());
+    set_enabled(false);
+    EXPECT_FALSE(enabled());
+    set_enabled(was);
+}
+
+#else  // PVFP_OBS_DISABLED
+
+TEST(ObsMetricsDisabled, EverythingIsAnInertStub) {
+    MetricsRegistry reg;
+    reg.counter("x").add(5);
+    reg.gauge("y").set(1.0);
+    reg.histogram("z", {1}).record(2);
+    EXPECT_TRUE(reg.snapshot().counters.empty());
+    EXPECT_EQ(reg.snapshot_json(),
+              "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+#endif  // PVFP_OBS_DISABLED
+
+}  // namespace
+}  // namespace pvfp::obs

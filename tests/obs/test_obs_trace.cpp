@@ -1,0 +1,176 @@
+/// Tests for pvfp/obs/trace: scoped spans, the deterministic span.*
+/// call counters, the Chrome trace-event export, and the
+/// drop-when-full buffer contract.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pvfp/gis/json.hpp"
+#include "pvfp/obs/metrics.hpp"
+#include "pvfp/obs/trace.hpp"
+
+namespace pvfp::obs {
+namespace {
+
+#ifndef PVFP_OBS_DISABLED
+
+/// Spans talk to the *global* registry and the global trace state, so
+/// each test starts from a clean slate and restores both switches.
+class ObsTrace : public ::testing::Test {
+protected:
+    void SetUp() override {
+        was_enabled_ = enabled();
+        was_trace_ = trace_enabled();
+        set_enabled(true);
+        set_trace_enabled(true);
+        registry().reset_for_tests();
+        reset_trace_for_tests();
+    }
+    void TearDown() override {
+        reset_trace_for_tests();
+        registry().reset_for_tests();
+        set_enabled(was_enabled_);
+        set_trace_enabled(was_trace_);
+    }
+
+    static std::uint64_t span_count(const std::string& name) {
+        for (const auto& [n, v] : registry().snapshot().counters)
+            if (n == "span." + name) return v;
+        return 0;
+    }
+
+private:
+    bool was_enabled_ = false;
+    bool was_trace_ = false;
+};
+
+void traced_work() { PVFP_TRACE_SPAN("test.unit_span"); }
+
+TEST_F(ObsTrace, SpanRecordsEventAndCountsCall) {
+    traced_work();
+    traced_work();
+    EXPECT_EQ(span_count("test.unit_span"), 2u);
+
+    const gis::JsonValue doc = gis::JsonValue::parse(chrome_trace_json());
+    EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+    EXPECT_EQ(doc.at("pvfp_dropped_spans").as_number(), 0.0);
+    const auto& events = doc.at("traceEvents").as_array();
+    ASSERT_EQ(events.size(), 2u);
+    for (const gis::JsonValue& ev : events) {
+        EXPECT_EQ(ev.at("name").as_string(), "test.unit_span");
+        EXPECT_EQ(ev.at("ph").as_string(), "X");
+        EXPECT_EQ(ev.at("pid").as_number(), 1.0);
+        EXPECT_EQ(ev.at("tid").as_number(), 1.0);  // one thread so far
+        EXPECT_GE(ev.at("dur").as_number(), 0.0);
+        EXPECT_GE(ev.at("ts").as_number(), 0.0);
+    }
+}
+
+TEST_F(ObsTrace, CountsStillAccumulateWhenTimingIsOff) {
+    set_trace_enabled(false);
+    traced_work();
+    traced_work();
+    traced_work();
+    // Deterministic call counter advances; no timed events appear.
+    EXPECT_EQ(span_count("test.unit_span"), 3u);
+    const gis::JsonValue doc = gis::JsonValue::parse(chrome_trace_json());
+    EXPECT_TRUE(doc.at("traceEvents").as_array().empty());
+}
+
+TEST_F(ObsTrace, FullyDisabledSpansCostNothingVisible) {
+    set_enabled(false);
+    set_trace_enabled(false);
+    traced_work();
+    EXPECT_EQ(span_count("test.unit_span"), 0u);
+    const gis::JsonValue doc = gis::JsonValue::parse(chrome_trace_json());
+    EXPECT_TRUE(doc.at("traceEvents").as_array().empty());
+}
+
+TEST_F(ObsTrace, ThreadsGetDistinctTidsInFirstSeenOrder) {
+    traced_work();  // tid 1 = this thread
+    std::thread other([] { traced_work(); });
+    other.join();   // tid 2, exporter still sees its buffer
+
+    const gis::JsonValue doc = gis::JsonValue::parse(chrome_trace_json());
+    const auto& events = doc.at("traceEvents").as_array();
+    ASSERT_EQ(events.size(), 2u);
+    std::vector<double> tids;
+    for (const gis::JsonValue& ev : events)
+        tids.push_back(ev.at("tid").as_number());
+    EXPECT_EQ(tids, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST_F(ObsTrace, NestedSpansAllRecorded) {
+    {
+        PVFP_TRACE_SPAN("test.outer");
+        {
+            PVFP_TRACE_SPAN("test.inner");
+        }
+    }
+    EXPECT_EQ(span_count("test.outer"), 1u);
+    EXPECT_EQ(span_count("test.inner"), 1u);
+    const gis::JsonValue doc = gis::JsonValue::parse(chrome_trace_json());
+    EXPECT_EQ(doc.at("traceEvents").as_array().size(), 2u);
+}
+
+TEST_F(ObsTrace, FullBufferDropsInsteadOfOverwriting) {
+    // kCapacity is 64k per thread; overflow it and check accounting.
+    constexpr int kTotal = (1 << 16) + 100;
+    for (int i = 0; i < kTotal; ++i) traced_work();
+    EXPECT_EQ(dropped_spans(), 100u);
+    // Call counts are not subject to the buffer: all calls counted.
+    EXPECT_EQ(span_count("test.unit_span"),
+              static_cast<std::uint64_t>(kTotal));
+    const gis::JsonValue doc = gis::JsonValue::parse(chrome_trace_json());
+    EXPECT_EQ(doc.at("pvfp_dropped_spans").as_number(), 100.0);
+    EXPECT_EQ(doc.at("traceEvents").as_array().size(),
+              static_cast<std::size_t>(1 << 16));
+}
+
+TEST_F(ObsTrace, ResetClearsSpansAndDropCountButSitesSurvive) {
+    traced_work();
+    reset_trace_for_tests();
+    registry().reset_for_tests();
+    const gis::JsonValue cleared =
+        gis::JsonValue::parse(chrome_trace_json());
+    EXPECT_TRUE(cleared.at("traceEvents").as_array().empty());
+    // The static SpanSite keeps working after both resets.
+    traced_work();
+    EXPECT_EQ(span_count("test.unit_span"), 1u);
+    const gis::JsonValue doc = gis::JsonValue::parse(chrome_trace_json());
+    EXPECT_EQ(doc.at("traceEvents").as_array().size(), 1u);
+}
+
+TEST_F(ObsTrace, ExportIsValidJsonUnderConcurrentRecording) {
+    std::atomic<bool> stop{false};
+    std::thread recorder([&] {
+        while (!stop.load(std::memory_order_relaxed)) traced_work();
+    });
+    for (int i = 0; i < 50; ++i) {
+        // Every interleaving must parse: published slots are immutable.
+        EXPECT_NO_THROW(gis::JsonValue::parse(chrome_trace_json()));
+    }
+    stop.store(true, std::memory_order_relaxed);
+    recorder.join();
+}
+
+#else  // PVFP_OBS_DISABLED
+
+TEST(ObsTraceDisabled, MacroAndExportAreInertStubs) {
+    {
+        PVFP_TRACE_SPAN("test.noop");
+    }
+    EXPECT_EQ(dropped_spans(), 0u);
+    EXPECT_EQ(chrome_trace_json(),
+              "{\"displayTimeUnit\":\"ms\",\"pvfp_dropped_spans\":0,"
+              "\"traceEvents\":[]}");
+}
+
+#endif  // PVFP_OBS_DISABLED
+
+}  // namespace
+}  // namespace pvfp::obs

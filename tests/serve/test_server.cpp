@@ -16,6 +16,7 @@
 #include "pvfp/gis/fixture.hpp"
 #include "pvfp/gis/json.hpp"
 #include "pvfp/grid/sequential_place.hpp"
+#include "pvfp/obs/metrics.hpp"
 #include "pvfp/serve/protocol.hpp"
 #include "pvfp/serve/server.hpp"
 #include "pvfp/util/error.hpp"
@@ -345,7 +346,8 @@ TEST(Server, StatusIsDeterministicAndSessionsShareState) {
               "{\"seq\":0,\"op\":\"status\",\"status\":\"ok\","
               "\"protocol\":1,\"roofs\":9,\"tiles\":12,"
               "\"cell_size\":0.2000,\"topologies\":[[4,2]],"
-              "\"memory_budget_mb\":512}");
+              "\"memory_budget_mb\":512,\"resident_bytes\":{"
+              "\"tiles\":0,\"sky\":0,\"prepared\":0,\"horizon\":0}}");
 
     // Sequence numbers and resident state persist across sessions: the
     // same roof prepared in session one is a hit in session two.
@@ -358,6 +360,102 @@ TEST(Server, StatusIsDeterministicAndSessionsShareState) {
     EXPECT_EQ(server.state().stats().hits, 1u);
     EXPECT_EQ(server.requests_accepted(), 3);
 }
+
+/// The per-cache byte accounting contract: resident_bytes is the last
+/// status field, its sub-keys come in the pinned order
+/// tiles/sky/prepared/horizon, and a warm server reports the caches it
+/// actually holds.
+TEST(Server, StatusResidentBytesFieldOrderOnWarmState) {
+    const ServerCity city("srv_status_bytes");
+    Server server = city.make_server(city.fast_options());
+    const auto responses = session(
+        server, {"{\"op\":\"rank\",\"id\":\"" + city.roof(0) + "\"}",
+                 "{\"op\":\"status\"}"});
+    ASSERT_EQ(responses.size(), 2u);
+
+    const gis::JsonValue status = gis::JsonValue::parse(responses[1]);
+    const auto& top = status.as_object();
+    ASSERT_FALSE(top.empty());
+    EXPECT_EQ(top.back().first, "resident_bytes");
+    const auto& bytes = status.at("resident_bytes").as_object();
+    ASSERT_EQ(bytes.size(), 4u);
+    EXPECT_EQ(bytes[0].first, "tiles");
+    EXPECT_EQ(bytes[1].first, "sky");
+    EXPECT_EQ(bytes[2].first, "prepared");
+    EXPECT_EQ(bytes[3].first, "horizon");
+
+    // After one rank the tile cache and the prepared-roof cache hold
+    // real bytes; no shared-horizon cache was configured.
+    EXPECT_GT(bytes[0].second.as_number(), 0.0);
+    EXPECT_GT(bytes[2].second.as_number(), 0.0);
+    EXPECT_EQ(bytes[3].second.as_number(), 0.0);
+
+    const ResidentStats stats = server.state().stats();
+    EXPECT_EQ(bytes[0].second.as_number(),
+              static_cast<double>(stats.tile_cache_bytes));
+    EXPECT_EQ(bytes[1].second.as_number(),
+              static_cast<double>(stats.sky_bytes));
+    EXPECT_EQ(bytes[2].second.as_number(),
+              static_cast<double>(stats.prepared_bytes));
+}
+
+#ifndef PVFP_OBS_DISABLED
+/// The metrics op surfaces the registry (request counters, latency
+/// histograms, resident-cache deltas) as one JSON document.  It is the
+/// single op excluded from the replay byte contract, so the test pins
+/// shape, not bytes.
+TEST(Server, MetricsOpReportsRequestCountersAndCacheState) {
+    const ServerCity city("srv_metrics");
+    const bool was_enabled = obs::enabled();
+    obs::registry().reset_for_tests();
+    obs::set_enabled(true);
+
+    Server server = city.make_server(city.fast_options());
+    const auto responses = session(
+        server, {"{\"op\":\"rank\",\"id\":\"" + city.roof(0) + "\"}",
+                 "{\"op\":\"rank\",\"id\":\"" + city.roof(1) + "\"}",
+                 "{\"op\":\"metrics\"}"});
+    obs::set_enabled(was_enabled);
+    ASSERT_EQ(responses.size(), 3u);
+
+    const gis::JsonValue doc = gis::JsonValue::parse(responses[2]);
+    EXPECT_EQ(doc.at("op").as_string(), "metrics");
+    EXPECT_EQ(doc.at("status").as_string(), "ok");
+    EXPECT_GE(doc.at("dropped_spans").as_number(), 0.0);
+
+    const gis::JsonValue& metrics = doc.at("metrics");
+    const auto& counters = metrics.at("counters").as_object();
+    const auto find_counter = [&](const std::string& name) -> double {
+        for (const auto& [n, v] : counters)
+            if (n == name) return v.as_number();
+        ADD_FAILURE() << "counter '" << name << "' missing";
+        return -1.0;
+    };
+    EXPECT_EQ(find_counter("serve.requests.rank"), 2.0);
+    // The metrics request itself is counted when its response renders.
+    EXPECT_EQ(find_counter("serve.requests.metrics"), 1.0);
+    // Two cold ranks: two resident-cache misses, zero hits so far.
+    EXPECT_EQ(find_counter("serve.resident.misses"), 2.0);
+
+    // Latency histograms exist per op with the shared bounds layout.
+    const gis::JsonValue* hist =
+        metrics.at("histograms").find("serve.latency_ns.rank");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->at("count").as_number(), 2.0);
+    EXPECT_EQ(hist->at("bounds").as_array().size(),
+              obs::latency_bounds_ns().size());
+
+    // Byte gauges mirror the warm resident state.
+    const ResidentStats stats = server.state().stats();
+    const gis::JsonValue* prepared =
+        metrics.at("gauges").find("serve.bytes.prepared");
+    ASSERT_NE(prepared, nullptr);
+    EXPECT_EQ(prepared->as_number(),
+              static_cast<double>(stats.prepared_bytes));
+
+    obs::registry().reset_for_tests();
+}
+#endif  // PVFP_OBS_DISABLED
 
 TEST(Server, ReloadPicksUpAnEditedIndex) {
     const ServerCity city("srv_reload");

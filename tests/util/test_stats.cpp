@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "pvfp/util/error.hpp"
@@ -125,6 +126,91 @@ TEST(RunningStats, MergeEqualsSinglePass) {
     EXPECT_DOUBLE_EQ(a.min(), whole.min());
     EXPECT_DOUBLE_EQ(a.max(), whole.max());
 }
+
+/// Property sweep over randomized partitions: merging per-chunk
+/// accumulators in any grouping or order matches the single-stream
+/// reference.  This is the contract the parallel reductions lean on —
+/// util/parallel merges per-thread RunningStats in chunk order, and the
+/// chunking changes with the thread count.
+class RunningStatsMergeProperty : public ::testing::TestWithParam<int> {
+protected:
+    static RunningStats accumulate(std::span<const double> xs) {
+        RunningStats rs;
+        for (double x : xs) rs.add(x);
+        return rs;
+    }
+
+    static void expect_same(const RunningStats& got,
+                            const RunningStats& want) {
+        ASSERT_EQ(got.count(), want.count());
+        EXPECT_NEAR(got.mean(), want.mean(), 1e-10);
+        EXPECT_NEAR(got.variance(), want.variance(), 1e-7);
+        EXPECT_DOUBLE_EQ(got.min(), want.min());
+        EXPECT_DOUBLE_EQ(got.max(), want.max());
+    }
+};
+
+TEST_P(RunningStatsMergeProperty, RandomPartitionMatchesSingleStream) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const int n = 200 + static_cast<int>(rng.uniform(0.0, 2000.0));
+    std::vector<double> xs;
+    RunningStats whole;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(250.0, 80.0);
+        xs.push_back(x);
+        whole.add(x);
+    }
+    // Split into a random number of contiguous chunks (some possibly
+    // empty) and merge the per-chunk accumulators left to right.
+    const int chunks = 1 + static_cast<int>(rng.uniform(0.0, 12.0));
+    std::vector<std::size_t> cuts{0, xs.size()};
+    for (int c = 1; c < chunks; ++c)
+        cuts.push_back(static_cast<std::size_t>(
+            rng.uniform(0.0, static_cast<double>(xs.size()))));
+    std::sort(cuts.begin(), cuts.end());
+    RunningStats merged;
+    for (std::size_t c = 0; c + 1 < cuts.size(); ++c)
+        merged.merge(accumulate(
+            std::span<const double>(xs).subspan(cuts[c],
+                                                cuts[c + 1] - cuts[c])));
+    expect_same(merged, whole);
+}
+
+TEST_P(RunningStatsMergeProperty, CommutativeAndAssociative) {
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+    std::vector<double> xs;
+    RunningStats whole;
+    for (int i = 0; i < 900; ++i) {
+        const double x = rng.uniform(-1000.0, 1000.0);
+        xs.push_back(x);
+        whole.add(x);
+    }
+    const std::span<const double> all(xs);
+    const RunningStats a = accumulate(all.subspan(0, 200));
+    const RunningStats b = accumulate(all.subspan(200, 300));
+    const RunningStats c = accumulate(all.subspan(500, 400));
+
+    // (a + b) + c  ==  a + (b + c)  ==  whole stream.
+    RunningStats left = a;
+    left.merge(b);
+    left.merge(c);
+    RunningStats bc = b;
+    bc.merge(c);
+    RunningStats right = a;
+    right.merge(bc);
+    expect_same(left, whole);
+    expect_same(right, whole);
+
+    // a + b  ==  b + a.
+    RunningStats ab = a;
+    ab.merge(b);
+    RunningStats ba = b;
+    ba.merge(a);
+    expect_same(ba, ab);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunningStatsMergeProperty,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18));
 
 TEST(RunningStats, MergeWithEmptySides) {
     RunningStats empty;
